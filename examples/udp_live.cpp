@@ -1,0 +1,108 @@
+// Live-network demo: the same InterEdge components the other examples run
+// on the simulator, here running over real UDP sockets on localhost —
+// two hosts, one service node, ILP pipes with PSP-sealed headers on the
+// actual wire.
+//
+//   ./examples/udp_live [--messages=5]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/service_node.h"
+#include "host/host_stack.h"
+#include "net/udp_transport.h"
+#include "services/delivery.h"
+#include "services/pubsub.h"
+#include "services/clients/pubsub_client.h"
+
+using namespace interedge;
+using namespace std::chrono_literals;
+
+namespace {
+
+// All destinations resolve through the directory-lite below.
+class port_router final : public core::router {
+ public:
+  std::optional<core::peer_id> next_hop(core::edge_addr dest) const override { return dest; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flag_set flags(argc, argv);
+  const int n_messages = static_cast<int>(flags.get_int("messages", 5));
+
+  std::printf("== InterEdge over real UDP sockets ==\n\n");
+
+  net::udp_endpoint ep_alice, ep_sn, ep_bob;
+  net::event_loop loop;
+  const net::peer_id id_alice = ep_alice.port();
+  const net::peer_id id_sn = ep_sn.port();
+  const net::peer_id id_bob = ep_bob.port();
+  std::printf("alice = 127.0.0.1:%u   SN = 127.0.0.1:%u   bob = 127.0.0.1:%u\n\n",
+              ep_alice.port(), ep_sn.port(), ep_bob.port());
+
+  ep_alice.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_bob.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_sn.add_peer(id_alice, "127.0.0.1", ep_alice.port());
+  ep_sn.add_peer(id_bob, "127.0.0.1", ep_bob.port());
+
+  port_router route;
+  real_clock clk;
+  core::service_node sn(core::sn_config{.id = id_sn, .edomain = 1}, clk,
+                        [&](net::peer_id to, bytes d) { ep_sn.send(to, d); },
+                        loop.scheduler(), &route);
+  sn.env().deploy(std::make_unique<services::delivery_service>());
+
+  lookup::lookup_service directory;
+  edomain::domain_core core(1, directory);
+  core.add_sn(id_sn);
+  sn.env().deploy(std::make_unique<services::pubsub_service>(core, id_sn));
+
+  host::host_config cfg_a{.addr = id_alice, .first_hop_sn = id_sn, .fallback_sns = {}};
+  host::host_config cfg_b{.addr = id_bob, .first_hop_sn = id_sn, .fallback_sns = {}};
+  host::host_stack alice(cfg_a, clk, [&](net::peer_id to, bytes d) { ep_alice.send(to, d); },
+                         loop.scheduler(), nullptr);
+  host::host_stack bob(cfg_b, clk, [&](net::peer_id to, bytes d) { ep_bob.send(to, d); },
+                       loop.scheduler(), nullptr);
+
+  loop.attach(ep_alice, [&](net::peer_id f, const_byte_span d) { alice.on_datagram(f, d); });
+  loop.attach(ep_bob, [&](net::peer_id f, const_byte_span d) { bob.on_datagram(f, d); });
+  loop.attach(ep_sn, [&](net::peer_id f, const_byte_span d) { sn.on_datagram(f, d); });
+
+  int delivered = 0;
+  bob.set_default_handler([&](const ilp::ilp_header& h, bytes payload) {
+    std::printf("  bob <- [conn %llx] \"%s\"\n",
+                static_cast<unsigned long long>(h.connection), to_string(payload).c_str());
+    ++delivered;
+  });
+
+  services::pubsub_client sub(bob), pub(alice);
+  int headlines = 0;
+  sub.subscribe("headlines", [&](const std::string&, bytes p) {
+    std::printf("  bob <- pub/sub headlines: \"%s\"\n", to_string(p).c_str());
+    ++headlines;
+  });
+  loop.run_until_quiet(30ms, 2000ms);
+
+  std::printf("alice sends %d datagrams through the SN (delivery service):\n", n_messages);
+  auto conn = alice.open(id_bob, ilp::svc::delivery);
+  for (int i = 0; i < n_messages; ++i) {
+    conn.send(to_bytes("udp payload " + std::to_string(i)));
+  }
+  loop.run_until_quiet(30ms, 3000ms);
+
+  std::printf("\nalice publishes to \"headlines\" (pub/sub service):\n");
+  pub.publish("headlines", to_bytes("InterEdge runs on real sockets"));
+  loop.run_until_quiet(30ms, 2000ms);
+
+  const auto& stats = sn.datapath_stats();
+  std::printf("\nSN datapath: received=%llu fast-path=%llu slow-path=%llu forwarded=%llu\n",
+              static_cast<unsigned long long>(stats.received),
+              static_cast<unsigned long long>(stats.fast_path),
+              static_cast<unsigned long long>(stats.slow_path),
+              static_cast<unsigned long long>(stats.forwarded));
+  std::printf("UDP: alice sent %llu datagrams, SN received %llu\n",
+              static_cast<unsigned long long>(ep_alice.sent()),
+              static_cast<unsigned long long>(ep_sn.received()));
+  return (delivered == n_messages && headlines == 1) ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates every experiment (DESIGN.md §4). Each binary bounds its own
+# runtime; google-benchmark binaries accept --benchmark_min_time.
+set -e
+cd "$(dirname "$0")"
+./build/bench/table1_enclave
+echo
+./build/bench/peering_scale --scale=0.05
+echo
+./build/bench/ablation_decision_cache --benchmark_min_time=0.05
+echo
+./build/bench/ablation_transport --benchmark_min_time=0.05
+echo
+./build/bench/ablation_ilp_crypto --benchmark_min_time=0.05
+echo
+./build/bench/ablation_enclave --benchmark_min_time=0.05
+echo
+./build/bench/ablation_services --max_subscribers=64

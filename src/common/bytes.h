@@ -1,0 +1,62 @@
+// Byte-buffer aliases and small helpers used across the InterEdge codebase.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace interedge {
+
+using bytes = std::vector<std::uint8_t>;
+using byte_span = std::span<std::uint8_t>;
+using const_byte_span = std::span<const std::uint8_t>;
+
+// Builds a byte vector from a string literal / string view (no NUL added).
+inline bytes to_bytes(std::string_view s) {
+  return bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(const_byte_span b) {
+  return std::string(b.begin(), b.end());
+}
+
+// Lowercase hex encoding, primarily for logs and test assertions.
+inline std::string hex(const_byte_span b) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(digits[v >> 4]);
+    out.push_back(digits[v & 0xf]);
+  }
+  return out;
+}
+
+// Parses lowercase/uppercase hex. Returns an empty vector on malformed input
+// of odd length; individual non-hex characters map to 0 (test-only helper).
+inline bytes from_hex(std::string_view s) {
+  auto nib = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+    return 0;
+  };
+  if (s.size() % 2 != 0) return {};
+  bytes out(s.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(nib(s[2 * i]) << 4 | nib(s[2 * i + 1]));
+  }
+  return out;
+}
+
+// Constant-time equality for secrets (MAC tags, keys).
+inline bool ct_equal(const_byte_span a, const_byte_span b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace interedge

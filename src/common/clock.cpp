@@ -1,0 +1,14 @@
+#include "common/clock.h"
+
+namespace interedge {
+
+time_point real_clock::now() const {
+  return std::chrono::time_point_cast<nanoseconds>(std::chrono::steady_clock::now());
+}
+
+real_clock& real_clock::instance() {
+  static real_clock c;
+  return c;
+}
+
+}  // namespace interedge

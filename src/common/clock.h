@@ -1,0 +1,38 @@
+// Clock abstraction: production code takes a `clock&` so integration tests
+// and the network simulator can drive virtual time deterministically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace interedge {
+
+using nanoseconds = std::chrono::nanoseconds;
+using time_point = std::chrono::time_point<std::chrono::steady_clock, nanoseconds>;
+
+class clock {
+ public:
+  virtual ~clock() = default;
+  virtual time_point now() const = 0;
+};
+
+// Wall-clock-backed monotonic clock for benchmarks and examples.
+class real_clock final : public clock {
+ public:
+  time_point now() const override;
+  // Process-wide instance; real_clock is stateless.
+  static real_clock& instance();
+};
+
+// Manually advanced clock for unit tests.
+class manual_clock final : public clock {
+ public:
+  time_point now() const override { return now_; }
+  void advance(nanoseconds d) { now_ += d; }
+  void set(time_point t) { now_ = t; }
+
+ private:
+  time_point now_{};
+};
+
+}  // namespace interedge

@@ -1,0 +1,30 @@
+// Tiny command-line flag parsing for the examples and bench harnesses.
+// Supports --name=value and --name value; unknown flags are an error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace interedge {
+
+class flag_set {
+ public:
+  // Parses argv; throws std::runtime_error on malformed input.
+  flag_set(int argc, char** argv);
+
+  std::string get(const std::string& name, const std::string& default_value) const;
+  std::int64_t get_int(const std::string& name, std::int64_t default_value) const;
+  double get_double(const std::string& name, double default_value) const;
+  bool get_bool(const std::string& name, bool default_value) const;
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace interedge

@@ -1,0 +1,31 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace interedge {
+namespace {
+std::atomic<log_level> g_level{log_level::warn};
+std::mutex g_mu;
+const char* name_of(log_level l) {
+  switch (l) {
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+log_level global_log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_global_log_level(log_level level) { g_level.store(level, std::memory_order_relaxed); }
+
+void log_write(log_level level, const std::string& message) {
+  std::lock_guard lock(g_mu);
+  std::fprintf(stderr, "[%s] %s\n", name_of(level), message.c_str());
+}
+
+}  // namespace interedge

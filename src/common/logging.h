@@ -1,0 +1,38 @@
+// Minimal leveled logger. Defaults to warnings-and-above so tests and
+// benchmarks stay quiet; examples raise the level for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace interedge {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+log_level global_log_level();
+void set_global_log_level(log_level level);
+void log_write(log_level level, const std::string& message);
+
+namespace detail {
+class log_line {
+ public:
+  explicit log_line(log_level level) : level_(level) {}
+  ~log_line() { log_write(level_, os_.str()); }
+  template <typename T>
+  log_line& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  log_level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define IE_LOG(level)                                        \
+  if (::interedge::log_level::level < ::interedge::global_log_level()) { \
+  } else                                                     \
+    ::interedge::detail::log_line(::interedge::log_level::level)
+
+}  // namespace interedge

@@ -1,0 +1,92 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <memory>
+#include <sstream>
+
+namespace interedge {
+
+std::size_t histogram::bucket_of(std::uint64_t v) {
+  if (v < kSub) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int tier = msb - kSubBits + 1;
+  const std::uint64_t sub = (v >> (msb - kSubBits)) & (kSub - 1);
+  return static_cast<std::size_t>(tier) * kSub + static_cast<std::size_t>(sub) + kSub;
+}
+
+std::uint64_t histogram::bucket_mid(std::size_t idx) {
+  if (idx < kSub) return idx;
+  idx -= kSub;
+  const int tier = static_cast<int>(idx / kSub);
+  const std::uint64_t sub = idx % kSub;
+  const int msb = tier + kSubBits - 1;
+  const std::uint64_t base = (1ull << msb) | (sub << (msb - kSubBits));
+  const std::uint64_t width = 1ull << (msb - kSubBits);
+  return base + width / 2;
+}
+
+void histogram::record(std::uint64_t v) {
+  std::size_t idx = bucket_of(v);
+  if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev && !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+double histogram::mean() const {
+  const std::uint64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+std::uint64_t histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (target >= total) target = total - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > target) return bucket_mid(i);
+  }
+  return max();
+}
+
+void histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+counter& metrics_registry::get_counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<counter>();
+  return *slot;
+}
+
+histogram& metrics_registry::get_histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<histogram>();
+  return *slot;
+}
+
+std::string metrics_registry::report() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ": count=" << h->count() << " mean=" << h->mean()
+       << "ns p50=" << h->quantile(0.5) << "ns p99=" << h->quantile(0.99)
+       << "ns max=" << h->max() << "ns\n";
+  }
+  return os.str();
+}
+
+}  // namespace interedge

@@ -1,0 +1,65 @@
+// Lightweight metrics: counters and a log-linear latency histogram.
+// Service nodes expose per-path counters; benchmarks use the histogram
+// for latency percentiles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace interedge {
+
+class counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// HDR-style log-linear histogram over nanosecond values: 64 base-2 tiers,
+// 16 linear sub-buckets each. Bounded relative error ~6%.
+class histogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSub = 1 << kSubBits;
+
+  void record(std::uint64_t value_ns);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  // q in [0,1]; returns bucket midpoint.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  static std::size_t bucket_of(std::uint64_t v);
+  static std::uint64_t bucket_mid(std::size_t idx);
+  std::array<std::atomic<std::uint64_t>, 64 * kSub> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Named registry so a service node can dump all of its metrics at once.
+class metrics_registry {
+ public:
+  counter& get_counter(const std::string& name);
+  histogram& get_histogram(const std::string& name);
+  std::string report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<counter>> counters_;
+  std::map<std::string, std::unique_ptr<histogram>> histograms_;
+};
+
+}  // namespace interedge

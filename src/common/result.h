@@ -1,0 +1,69 @@
+// Minimal expected-style result type. Used on paths where failure is an
+// expected outcome (protocol violations, cache misses, denied requests)
+// rather than a programming error.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace interedge {
+
+struct error {
+  std::string message;
+};
+
+template <typename T>
+class result {
+ public:
+  result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  result(error e) : error_(std::move(e)) {}      // NOLINT: implicit by design
+
+  static result ok(T value) { return result(std::move(value)); }
+  static result fail(std::string message) { return result(error{std::move(message)}); }
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T& value() & {
+    require();
+    return *value_;
+  }
+  T&& take() {
+    require();
+    return std::move(*value_);
+  }
+  const std::string& message() const { return error_->message; }
+
+ private:
+  void require() const {
+    if (!value_) throw std::logic_error("result::value() on error: " + error_->message);
+  }
+  std::optional<T> value_;
+  std::optional<error> error_;
+};
+
+// void specialization.
+template <>
+class result<void> {
+ public:
+  result() = default;
+  result(error e) : error_(std::move(e)) {}  // NOLINT: implicit by design
+
+  static result ok() { return result(); }
+  static result fail(std::string message) { return result(error{std::move(message)}); }
+
+  bool has_value() const { return !error_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+  const std::string& message() const { return error_->message; }
+
+ private:
+  std::optional<error> error_;
+};
+
+}  // namespace interedge

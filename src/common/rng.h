@@ -1,0 +1,27 @@
+// Deterministic PRNG (xoshiro256**) for simulations and property tests.
+// Not cryptographic — key material comes from crypto/random.h.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace interedge {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed);
+
+  std::uint64_t next();
+  // Uniform in [0, bound); bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound);
+  // Uniform double in [0, 1).
+  double uniform();
+  bool chance(double p) { return uniform() < p; }
+  void fill(byte_span out);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace interedge

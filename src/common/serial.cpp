@@ -1,0 +1,94 @@
+#include "common/serial.h"
+
+namespace interedge {
+
+void writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void writer::blob(const_byte_span b) {
+  varint(b.size());
+  raw(b);
+}
+
+void reader::need(std::size_t n) const {
+  if (buf_.size() - pos_ < n) throw serial_error("truncated input");
+}
+
+std::uint8_t reader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint16_t reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(buf_[pos_] | buf_[pos_ + 1] << 8);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::uint64_t reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    std::uint8_t b = buf_[pos_++];
+    if (shift >= 63 && (b & 0x7e) != 0) throw serial_error("varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+const_byte_span reader::raw(std::size_t n) {
+  need(n);
+  const_byte_span out = buf_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+const_byte_span reader::blob() {
+  std::uint64_t n = varint();
+  if (n > remaining()) throw serial_error("blob length exceeds input");
+  return raw(static_cast<std::size_t>(n));
+}
+
+std::string reader::str() {
+  const_byte_span b = blob();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace interedge

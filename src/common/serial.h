@@ -1,0 +1,73 @@
+// Bounds-checked little-endian serialization used by all wire formats
+// (ILP headers, lookup records, service metadata, checkpoints).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace interedge {
+
+// Thrown by reader on truncated or malformed input. Wire-format consumers
+// at trust boundaries catch this and drop the packet.
+class serial_error : public std::runtime_error {
+ public:
+  explicit serial_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Appends little-endian fixed-width integers and length-prefixed blobs
+// to an owned buffer.
+class writer {
+ public:
+  writer() = default;
+  explicit writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // LEB128-style variable-length unsigned integer.
+  void varint(std::uint64_t v);
+  void raw(const_byte_span b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  // varint length prefix followed by the bytes.
+  void blob(const_byte_span b);
+  void str(std::string_view s) { blob(const_byte_span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size())); }
+
+  const bytes& data() const { return buf_; }
+  bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  bytes buf_;
+};
+
+// Non-owning cursor over an input buffer; every accessor throws
+// serial_error instead of reading past the end.
+class reader {
+ public:
+  explicit reader(const_byte_span b) : buf_(b) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  const_byte_span raw(std::size_t n);
+  const_byte_span blob();
+  std::string str();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == buf_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  const_byte_span buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace interedge

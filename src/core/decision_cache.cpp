@@ -1,0 +1,112 @@
+#include "core/decision_cache.h"
+
+namespace interedge::core {
+namespace {
+
+crypto::siphash_key seed_to_key(std::uint64_t seed) {
+  crypto::siphash_key k{};
+  for (int i = 0; i < 8; ++i) {
+    k[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+    k[8 + i] = static_cast<std::uint8_t>(~seed >> (8 * i));
+  }
+  return k;
+}
+
+}  // namespace
+
+std::size_t decision_cache::key_hash::operator()(const cache_key& k) const {
+  std::uint8_t packed[8 + 4 + 8];
+  for (int i = 0; i < 8; ++i) packed[i] = static_cast<std::uint8_t>(k.l3_src >> (8 * i));
+  for (int i = 0; i < 4; ++i) packed[8 + i] = static_cast<std::uint8_t>(k.service >> (8 * i));
+  for (int i = 0; i < 8; ++i) packed[12 + i] = static_cast<std::uint8_t>(k.connection >> (8 * i));
+  return static_cast<std::size_t>(crypto::siphash24(seed, const_byte_span(packed, sizeof(packed))));
+}
+
+decision_cache::decision_cache(std::size_t capacity, std::uint64_t hash_seed)
+    : index_(16, key_hash{seed_to_key(hash_seed)}), capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::optional<decision> decision_cache::lookup(const cache_key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  ++it->second->hits;
+  entries_.splice(entries_.begin(), entries_, it->second);  // bump recency
+  return it->second->value;
+}
+
+bool decision_cache::contains(const cache_key& key) const { return index_.count(key) > 0; }
+
+void decision_cache::insert(const cache_key& key, decision d) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(d);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++stats_.inserts;
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const entry& victim = entries_.back();
+    index_.erase(victim.key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(entry{key, std::move(d), 0});
+  index_[key] = entries_.begin();
+  ++stats_.inserts;
+}
+
+bool decision_cache::erase(const cache_key& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  entries_.erase(it->second);
+  index_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+std::size_t decision_cache::erase_connection(ilp::service_id service,
+                                             ilp::connection_id connection) {
+  std::size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->key.service == service && it->key.connection == connection) {
+      index_.erase(it->key);
+      it = entries_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += erased;
+  return erased;
+}
+
+std::size_t decision_cache::erase_service(ilp::service_id service) {
+  std::size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->key.service == service) {
+      index_.erase(it->key);
+      it = entries_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += erased;
+  return erased;
+}
+
+void decision_cache::clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+  index_.clear();
+}
+
+std::uint64_t decision_cache::hit_count(const cache_key& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second->hits;
+}
+
+}  // namespace interedge::core

@@ -1,0 +1,81 @@
+// The pipe-terminus decision cache (paper §4 and Appendix B).
+//
+// Match-action entries keyed by (L3 source, service ID, connection ID).
+// Implementations "can arbitrarily evict entries, even when the connections
+// they are associated with are active" — correctness never depends on an
+// entry being present, because a miss falls back to the service module.
+// This implementation evicts least-recently-used entries at capacity.
+//
+// Appendix B also requires an API "that services can use to determine
+// whether or not a decision cache entry has been recently used" by
+// "retrieving the hit-count for an entry" — see hit_count().
+//
+// The hash is SipHash-keyed so an adversary choosing connection IDs cannot
+// force pathological collisions.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "core/packet.h"
+#include "crypto/siphash.h"
+
+namespace interedge::core {
+
+struct cache_stats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+};
+
+class decision_cache {
+ public:
+  explicit decision_cache(std::size_t capacity, std::uint64_t hash_seed = 0);
+
+  // Looks up a decision; bumps recency and the entry's hit count.
+  std::optional<decision> lookup(const cache_key& key);
+  // Read-only probe: no recency/hit-count side effects.
+  bool contains(const cache_key& key) const;
+
+  // Inserts or replaces. Evicts the LRU entry at capacity.
+  void insert(const cache_key& key, decision d);
+
+  // Targeted invalidation.
+  bool erase(const cache_key& key);
+  // Drops every entry for (service, connection) regardless of L3 source —
+  // used when a service tears down a connection.
+  std::size_t erase_connection(ilp::service_id service, ilp::connection_id connection);
+  // Drops every entry installed by a service (service reconfiguration).
+  std::size_t erase_service(ilp::service_id service);
+  void clear();
+
+  // Appendix B hit-count API. 0 if the entry is not resident.
+  std::uint64_t hit_count(const cache_key& key) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const cache_stats& stats() const { return stats_; }
+
+ private:
+  struct entry {
+    cache_key key;
+    decision value;
+    std::uint64_t hits = 0;
+  };
+  struct key_hash {
+    crypto::siphash_key seed;
+    std::size_t operator()(const cache_key& k) const;
+  };
+
+  using lru_list = std::list<entry>;
+  lru_list entries_;  // front = most recent
+  std::unordered_map<cache_key, lru_list::iterator, key_hash> index_;
+  std::size_t capacity_;
+  cache_stats stats_;
+};
+
+}  // namespace interedge::core

@@ -1,0 +1,147 @@
+#include "core/exec_env.h"
+
+#include "common/logging.h"
+#include "common/serial.h"
+
+namespace interedge::core {
+
+// Per-module view of the node: namespaced storage and config, shared
+// clock/cache/metrics.
+class exec_env::context_impl final : public service_context {
+ public:
+  context_impl(node_services& node, ilp::service_id service) : node_(node), service_(service) {}
+
+  peer_id node_id() const override { return node_.node_id(); }
+  std::uint16_t edomain() const override { return node_.edomain(); }
+  const clock& node_clock() const override { return node_.node_clock(); }
+  kv_store& storage() override { return storage_; }
+
+  void send(peer_id to, const ilp::ilp_header& header, bytes payload) override {
+    node_.send(to, header, std::move(payload));
+  }
+
+  void schedule(nanoseconds delay, std::function<void()> fn) override {
+    node_.schedule(delay, std::move(fn));
+  }
+
+  std::string config(const std::string& key, const std::string& fallback) const override {
+    auto it = config_.find(key);
+    return it == config_.end() ? fallback : it->second;
+  }
+
+  void invalidate_connection(ilp::service_id service, ilp::connection_id conn) override {
+    node_.cache().erase_connection(service, conn);
+  }
+
+  std::uint64_t cache_hit_count(const cache_key& key) const override {
+    return node_.cache().hit_count(key);
+  }
+
+  std::optional<peer_id> next_hop(edge_addr dest) const override { return node_.next_hop(dest); }
+
+  metrics_registry& metrics() override { return node_.metrics(); }
+
+  void set_config(const std::string& key, const std::string& value) { config_[key] = value; }
+  ilp::service_id service() const { return service_; }
+  bytes storage_snapshot() const { return storage_.snapshot(); }
+  void storage_restore(const_byte_span s) { storage_.restore(s); }
+
+ private:
+  node_services& node_;
+  ilp::service_id service_;
+  kv_store storage_;
+  std::map<std::string, std::string> config_;
+};
+
+exec_env::exec_env(node_services& node) : node_(node) {}
+exec_env::~exec_env() = default;
+
+void exec_env::deploy(std::unique_ptr<service_module> module) {
+  const ilp::service_id id = module->id();
+  deployed_module dm;
+  dm.context = std::make_unique<context_impl>(node_, id);
+  dm.module = std::move(module);
+  dm.module->start(*dm.context);
+  modules_[id] = std::move(dm);
+}
+
+bool exec_env::has_module(ilp::service_id service) const { return modules_.count(service) > 0; }
+
+service_module* exec_env::module_for(ilp::service_id service) {
+  auto it = modules_.find(service);
+  return it == modules_.end() ? nullptr : it->second.module.get();
+}
+
+std::vector<ilp::service_id> exec_env::deployed() const {
+  std::vector<ilp::service_id> out;
+  out.reserve(modules_.size());
+  for (const auto& [id, dm] : modules_) out.push_back(id);
+  return out;
+}
+
+void exec_env::set_interceptor(std::unique_ptr<service_module> interceptor) {
+  interceptor_.context = std::make_unique<context_impl>(node_, interceptor->id());
+  interceptor_.module = std::move(interceptor);
+  interceptor_.module->start(*interceptor_.context);
+}
+
+module_result exec_env::dispatch(const packet& pkt) {
+  ++dispatches_;
+  if (interceptor_.module) {
+    module_result imposed = interceptor_.module->on_packet(*interceptor_.context, pkt);
+    if (imposed.verdict.kind != decision::verdict::deliver_local) {
+      ++intercepted_;
+      return imposed;  // blocked, or forwarded past this SN's services
+    }
+    // deliver_local = "continue": fall through to the addressed module.
+    // (A purely observing interceptor returns deliver() with no sends;
+    // side effects it produced via ctx.send() have already happened.)
+  }
+  auto it = modules_.find(pkt.header.service);
+  if (it == modules_.end()) {
+    ++unknown_drops_;
+    IE_LOG(debug) << "exec_env: no module for service " << pkt.header.service;
+    return module_result::drop();
+  }
+  module_result result = it->second.module->on_packet(*it->second.context, pkt);
+  if (interceptor_.module && interceptor_.module->content_dependent()) {
+    // A payload-inspecting interceptor must see every packet: no module may
+    // install a fast-path entry that would route around it.
+    result.cache_inserts.clear();
+  }
+  return result;
+}
+
+void exec_env::set_config(ilp::service_id service, const std::string& key,
+                          const std::string& value) {
+  auto it = modules_.find(service);
+  if (it == modules_.end()) return;
+  it->second.context->set_config(key, value);
+}
+
+bytes exec_env::checkpoint() {
+  writer w;
+  w.varint(modules_.size());
+  for (auto& [id, dm] : modules_) {
+    w.u32(id);
+    w.blob(dm.module->checkpoint(*dm.context));
+    w.blob(dm.context->storage_snapshot());
+  }
+  return w.take();
+}
+
+void exec_env::restore(const_byte_span snapshot) {
+  reader r(snapshot);
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ilp::service_id id = r.u32();
+    const const_byte_span module_state = r.blob();
+    const const_byte_span storage_state = r.blob();
+    auto it = modules_.find(id);
+    if (it == modules_.end()) continue;  // module not deployed here
+    it->second.context->storage_restore(storage_state);
+    it->second.module->restore(*it->second.context, module_state);
+  }
+}
+
+}  // namespace interedge::core

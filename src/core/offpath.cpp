@@ -1,0 +1,57 @@
+#include "core/offpath.h"
+
+#include "common/serial.h"
+
+namespace interedge::core {
+
+void kv_store::put(const std::string& key, bytes value) {
+  ++writes_;
+  data_[key] = std::move(value);
+}
+
+std::optional<bytes> kv_store::get(const std::string& key) const {
+  ++reads_;
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool kv_store::erase(const std::string& key) {
+  ++writes_;
+  return data_.erase(key) > 0;
+}
+
+bool kv_store::contains(const std::string& key) const { return data_.count(key) > 0; }
+
+std::vector<std::string> kv_store::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+bytes kv_store::snapshot() const {
+  writer w;
+  w.varint(data_.size());
+  for (const auto& [key, value] : data_) {
+    w.str(key);
+    w.blob(value);
+  }
+  return w.take();
+}
+
+void kv_store::restore(const_byte_span snapshot) {
+  reader r(snapshot);
+  std::map<std::string, bytes> restored;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    const const_byte_span value = r.blob();
+    restored.emplace(std::move(key), bytes(value.begin(), value.end()));
+  }
+  data_ = std::move(restored);
+}
+
+}  // namespace interedge::core

@@ -1,0 +1,47 @@
+// Off-path persistent storage (paper §3.1: "off-path functions, such as
+// access to persistent storage, that are substantially slower than packet
+// forwarding").
+//
+// In-memory key-value store with an injectable access-latency model; the
+// latency is charged to the simulated clock by callers that care (service
+// modules run single-threaded inside the simulation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace interedge::core {
+
+class kv_store {
+ public:
+  kv_store() = default;
+
+  void put(const std::string& key, bytes value);
+  std::optional<bytes> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return data_.size(); }
+
+  // Keys with the given prefix, in lexicographic order.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  // Serializes the full store for SN checkpointing.
+  bytes snapshot() const;
+  void restore(const_byte_span snapshot);
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::map<std::string, bytes> data_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace interedge::core

@@ -1,0 +1,56 @@
+// In-SN packet representation and the match-action vocabulary shared by the
+// pipe-terminus, the decision cache, and service modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ilp/header.h"
+#include "ilp/pipe_manager.h"
+
+namespace interedge::core {
+
+using ilp::edge_addr;
+using ilp::peer_id;
+
+// A packet as seen inside an SN: the outer (L3) source it arrived from,
+// the decrypted ILP header, and the (endpoint-encrypted, opaque) payload.
+struct packet {
+  peer_id l3_src = 0;
+  ilp::ilp_header header;
+  bytes payload;
+};
+
+// The decision-cache key (§4: "the pipe-terminus uses the packet's L3
+// header, service ID, and connection ID to query the decision cache").
+struct cache_key {
+  peer_id l3_src = 0;
+  ilp::service_id service = 0;
+  ilp::connection_id connection = 0;
+
+  bool operator==(const cache_key&) const = default;
+};
+
+// A match-action decision. "The decision can specify multiple forwarding
+// destinations, in which case a copy of the packet is forwarded to each."
+struct decision {
+  enum class verdict : std::uint8_t {
+    forward = 0,        // send a copy to each next hop
+    deliver_local = 1,  // packet terminates at this SN (service consumed it)
+    drop = 2,
+  };
+  verdict kind = verdict::drop;
+  std::vector<peer_id> next_hops;
+
+  static decision forward_to(peer_id hop) { return {verdict::forward, {hop}}; }
+  static decision forward_all(std::vector<peer_id> hops) {
+    return {verdict::forward, std::move(hops)};
+  }
+  static decision deliver() { return {verdict::deliver_local, {}}; }
+  static decision drop_packet() { return {verdict::drop, {}}; }
+
+  bool operator==(const decision&) const = default;
+};
+
+}  // namespace interedge::core

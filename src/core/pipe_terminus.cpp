@@ -1,0 +1,82 @@
+#include "core/pipe_terminus.h"
+
+namespace interedge::core {
+
+pipe_terminus::pipe_terminus(decision_cache& cache, slowpath_channel& channel, forward_fn forward)
+    : cache_(cache), channel_(channel), forward_(std::move(forward)) {}
+
+void pipe_terminus::handle(packet pkt) {
+  ++stats_.received;
+
+  // Control-plane packets always reach the service module: they mutate
+  // service state and must not be short-circuited by a stale decision.
+  const bool is_control = (pkt.header.flags & ilp::kFlagControl) != 0;
+  if (!is_control) {
+    const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
+    if (auto d = cache_.lookup(key)) {
+      ++stats_.fast_path;
+      apply(*d, pkt.header, pkt.payload);
+      return;
+    }
+  }
+
+  ++stats_.slow_path;
+  slowpath_request req;
+  req.token = next_token_++;
+  req.l3_src = pkt.l3_src;
+  req.header_bytes = pkt.header.encode();
+  req.payload = pkt.payload;  // services like caching need it; §4 fidelity note in DESIGN.md
+
+  const std::uint64_t token = req.token;
+  while (!channel_.submit(req)) {
+    // Bounded channel full: drain completions to make room.
+    ++stats_.backpressure;
+    pump();
+  }
+  in_flight_.emplace(token, std::move(pkt));
+  pump();
+}
+
+std::size_t pipe_terminus::pump() {
+  std::size_t applied = 0;
+  while (auto resp = channel_.poll()) {
+    complete(std::move(*resp));
+    ++applied;
+  }
+  return applied;
+}
+
+void pipe_terminus::complete(slowpath_response resp) {
+  auto it = in_flight_.find(resp.token);
+  if (it == in_flight_.end()) return;  // spurious / duplicate token
+  packet pkt = std::move(it->second);
+  in_flight_.erase(it);
+
+  for (auto& [key, value] : resp.cache_inserts) {
+    cache_.insert(key, std::move(value));
+  }
+  for (const outbound& o : resp.sends) {
+    forward_(o.to, o.header, o.payload);
+    ++stats_.forwarded;
+  }
+  apply(resp.verdict, pkt.header, pkt.payload);
+}
+
+void pipe_terminus::apply(const decision& d, const ilp::ilp_header& header, const bytes& payload) {
+  switch (d.kind) {
+    case decision::verdict::forward:
+      for (peer_id hop : d.next_hops) {
+        forward_(hop, header, payload);
+        ++stats_.forwarded;
+      }
+      break;
+    case decision::verdict::deliver_local:
+      ++stats_.delivered;
+      break;
+    case decision::verdict::drop:
+      ++stats_.dropped;
+      break;
+  }
+}
+
+}  // namespace interedge::core

@@ -1,0 +1,68 @@
+// The pipe-terminus fast path (paper §3.1, §4, Figure 2).
+//
+// Every packet entering an SN lands here after its ILP header is decrypted
+// by the pipe layer. The terminus:
+//   1. queries the decision cache with (L3 src, service ID, connection ID);
+//   2. on a hit, applies the match-action decision directly (fast path);
+//   3. on a miss, upcalls the service module over the slow-path channel and
+//      applies the returned decision, installing any cache entries the
+//      module requested.
+//
+// The channel may be asynchronous (service on another thread/process), so
+// the terminus keeps a bounded in-flight table and drains completions via
+// pump(). With the inline channel a submit completes immediately and
+// handle() drains it before returning.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/channel.h"
+#include "core/decision_cache.h"
+#include "core/packet.h"
+
+namespace interedge::core {
+
+struct terminus_stats {
+  std::uint64_t received = 0;
+  std::uint64_t fast_path = 0;
+  std::uint64_t slow_path = 0;
+  std::uint64_t forwarded = 0;   // copies sent
+  std::uint64_t delivered = 0;   // consumed locally by a service
+  std::uint64_t dropped = 0;
+  std::uint64_t backpressure = 0;  // submit retries due to a full channel
+};
+
+class pipe_terminus {
+ public:
+  // `forward` sends a packet to an adjacent element over the node's pipes.
+  using forward_fn = std::function<void(peer_id to, const ilp::ilp_header&, const bytes& payload)>;
+
+  pipe_terminus(decision_cache& cache, slowpath_channel& channel, forward_fn forward);
+
+  // Processes one decrypted ingress packet.
+  void handle(packet pkt);
+
+  // Drains completed slow-path responses; returns how many were applied.
+  std::size_t pump();
+
+  // True while slow-path responses are outstanding.
+  bool busy() const { return !in_flight_.empty(); }
+  std::size_t in_flight() const { return in_flight_.size(); }
+
+  const terminus_stats& stats() const { return stats_; }
+
+ private:
+  void apply(const decision& d, const ilp::ilp_header& header, const bytes& payload);
+  void complete(slowpath_response resp);
+
+  decision_cache& cache_;
+  slowpath_channel& channel_;
+  forward_fn forward_;
+  std::unordered_map<std::uint64_t, packet> in_flight_;
+  std::uint64_t next_token_ = 1;
+  terminus_stats stats_;
+};
+
+}  // namespace interedge::core

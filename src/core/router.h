@@ -1,0 +1,18 @@
+// Routing interface the edomain layer provides to an SN: given a
+// destination host address, which adjacent element (host, intra-edomain SN,
+// or inter-edomain gateway SN) should the packet go to next?
+#pragma once
+
+#include <optional>
+
+#include "core/packet.h"
+
+namespace interedge::core {
+
+class router {
+ public:
+  virtual ~router() = default;
+  virtual std::optional<peer_id> next_hop(edge_addr dest) const = 0;
+};
+
+}  // namespace interedge::core

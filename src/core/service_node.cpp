@@ -1,0 +1,71 @@
+#include "core/service_node.h"
+
+#include "common/logging.h"
+#include "common/serial.h"
+
+namespace interedge::core {
+
+slowpath_response to_response(std::uint64_t token, module_result result) {
+  slowpath_response resp;
+  resp.token = token;
+  resp.verdict = std::move(result.verdict);
+  resp.cache_inserts = std::move(result.cache_inserts);
+  resp.sends = std::move(result.sends);
+  return resp;
+}
+
+service_node::service_node(sn_config config, const clock& clk, send_datagram_fn send_datagram,
+                           scheduler_fn scheduler, const router* route)
+    : config_(config),
+      clock_(clk),
+      send_datagram_(std::move(send_datagram)),
+      scheduler_(std::move(scheduler)),
+      router_(route),
+      cache_(config.cache_capacity, config.cache_hash_seed),
+      pipes_(
+          config.id,
+          [this](peer_id to, bytes datagram) { send_datagram_(to, std::move(datagram)); },
+          [this](peer_id from, const ilp::ilp_header& header, bytes payload) {
+            terminus_->handle(packet{from, header, std::move(payload)});
+          }) {
+  env_ = std::make_unique<exec_env>(*this);
+  channel_ = std::make_unique<inline_channel>(
+      [this](slowpath_request req) { return handle_slowpath(std::move(req)); });
+  terminus_ = std::make_unique<pipe_terminus>(
+      cache_, *channel_,
+      [this](peer_id to, const ilp::ilp_header& header, const bytes& payload) {
+        pipes_.send(to, header, payload);
+      });
+}
+
+void service_node::on_datagram(peer_id from, const_byte_span datagram) {
+  pipes_.on_datagram(from, datagram);
+}
+
+void service_node::send(peer_id to, const ilp::ilp_header& header, bytes payload) {
+  pipes_.send(to, header, std::move(payload));
+}
+
+void service_node::schedule(nanoseconds delay, std::function<void()> fn) {
+  scheduler_(delay, std::move(fn));
+}
+
+std::optional<peer_id> service_node::next_hop(edge_addr dest) const {
+  if (!router_) return std::nullopt;
+  return router_->next_hop(dest);
+}
+
+slowpath_response service_node::handle_slowpath(slowpath_request req) {
+  packet pkt;
+  pkt.l3_src = req.l3_src;
+  try {
+    pkt.header = ilp::ilp_header::decode(req.header_bytes);
+  } catch (const serial_error&) {
+    IE_LOG(warn) << "service_node " << config_.id << ": undecodable slow-path header";
+    return to_response(req.token, module_result::drop());
+  }
+  pkt.payload = std::move(req.payload);
+  return to_response(req.token, env_->dispatch(pkt));
+}
+
+}  // namespace interedge::core

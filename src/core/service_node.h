@@ -1,0 +1,94 @@
+// Service Node (SN): the commodity-cluster element of the InterEdge
+// (paper §3). Assembles the pipe layer, the pipe-terminus fast path with
+// its decision cache, and the common execution environment hosting the
+// standardized service modules.
+//
+// Transport-agnostic like pipe_manager: the owner supplies datagram send
+// and timer callbacks, so the same SN runs over the simulator or a real
+// UDP socket. Inside the simulator an SN is single-threaded, so the
+// slow path uses the inline channel; the benchmark harness builds the
+// threaded channels around the same terminus and exec_env types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "core/channel.h"
+#include "core/decision_cache.h"
+#include "core/exec_env.h"
+#include "core/pipe_terminus.h"
+#include "core/router.h"
+#include "ilp/pipe_manager.h"
+
+namespace interedge::core {
+
+struct sn_config {
+  peer_id id = 0;
+  std::uint16_t edomain = 0;
+  std::size_t cache_capacity = 4096;
+  std::uint64_t cache_hash_seed = 0;
+};
+
+class service_node final : public node_services {
+ public:
+  using send_datagram_fn = std::function<void(peer_id to, bytes datagram)>;
+  using scheduler_fn = std::function<void(nanoseconds delay, std::function<void()> fn)>;
+
+  service_node(sn_config config, const clock& clk, send_datagram_fn send_datagram,
+               scheduler_fn scheduler, const router* route);
+
+  // Wire this to the underlying network (simulator node handler / socket).
+  void on_datagram(peer_id from, const_byte_span datagram);
+
+  // node_services (what the execution environment sees).
+  peer_id node_id() const override { return config_.id; }
+  std::uint16_t edomain() const override { return config_.edomain; }
+  const clock& node_clock() const override { return clock_; }
+  void send(peer_id to, const ilp::ilp_header& header, bytes payload) override;
+  void schedule(nanoseconds delay, std::function<void()> fn) override;
+  std::optional<peer_id> next_hop(edge_addr dest) const override;
+  decision_cache& cache() override { return cache_; }
+  metrics_registry& metrics() override { return metrics_; }
+
+  exec_env& env() { return *env_; }
+  ilp::pipe_manager& pipes() { return pipes_; }
+  pipe_terminus& terminus() { return *terminus_; }
+  const terminus_stats& datapath_stats() const { return terminus_->stats(); }
+
+  // Establishes a long-lived pipe (inter-edomain peering, §3.2).
+  void peer_with(peer_id other) { pipes_.connect(other); }
+
+  // Rekey schedule hook.
+  void rotate_keys() { pipes_.rotate_all(); }
+
+  // Fault-tolerance: checkpoint covers service-module state and off-path
+  // storage. The decision cache is deliberately NOT checkpointed — it is
+  // soft state, and correctness never depends on it (Appendix B).
+  bytes checkpoint() { return env_->checkpoint(); }
+  void restore(const_byte_span snapshot) { env_->restore(snapshot); }
+
+ private:
+  slowpath_response handle_slowpath(slowpath_request req);
+
+  sn_config config_;
+  const clock& clock_;
+  send_datagram_fn send_datagram_;
+  scheduler_fn scheduler_;
+  const router* router_;
+
+  decision_cache cache_;
+  metrics_registry metrics_;
+  std::unique_ptr<exec_env> env_;
+  std::unique_ptr<inline_channel> channel_;
+  std::unique_ptr<pipe_terminus> terminus_;
+  ilp::pipe_manager pipes_;
+};
+
+// Bridges a module_result into the channel response format. Shared with the
+// bench harness, which runs exec_env behind threaded channels.
+slowpath_response to_response(std::uint64_t token, module_result result);
+
+}  // namespace interedge::core

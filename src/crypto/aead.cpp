@@ -1,0 +1,55 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+namespace interedge::crypto {
+namespace {
+
+poly_tag compute_tag(const std::uint8_t key[kAeadKeySize], const std::uint8_t nonce[kAeadNonceSize],
+                     const_byte_span aad, const_byte_span ciphertext) {
+  // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
+  std::uint8_t block0[64];
+  chacha20_block(key, 0, nonce, block0);
+
+  poly1305 mac(block0);
+  static constexpr std::uint8_t zeros[15] = {};
+  mac.update(aad);
+  if (aad.size() % 16 != 0) mac.update(const_byte_span(zeros, 16 - aad.size() % 16));
+  mac.update(ciphertext);
+  if (ciphertext.size() % 16 != 0) mac.update(const_byte_span(zeros, 16 - ciphertext.size() % 16));
+  std::uint8_t lengths[16];
+  const std::uint64_t aad_len = aad.size();
+  const std::uint64_t ct_len = ciphertext.size();
+  for (int i = 0; i < 8; ++i) {
+    lengths[i] = static_cast<std::uint8_t>(aad_len >> (8 * i));
+    lengths[8 + i] = static_cast<std::uint8_t>(ct_len >> (8 * i));
+  }
+  mac.update(lengths);
+  return mac.finish();
+}
+
+}  // namespace
+
+bytes aead_seal(const std::uint8_t key[kAeadKeySize], const std::uint8_t nonce[kAeadNonceSize],
+                const_byte_span aad, const_byte_span plaintext) {
+  bytes out(plaintext.begin(), plaintext.end());
+  chacha20_xor(key, 1, nonce, out);
+  const poly_tag tag = compute_tag(key, nonce, aad, out);
+  out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<bytes> aead_open(const std::uint8_t key[kAeadKeySize],
+                               const std::uint8_t nonce[kAeadNonceSize], const_byte_span aad,
+                               const_byte_span sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const const_byte_span ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  const const_byte_span tag = sealed.last(kAeadTagSize);
+  const poly_tag expected = compute_tag(key, nonce, aad, ciphertext);
+  if (!ct_equal(const_byte_span(expected.data(), expected.size()), tag)) return std::nullopt;
+  bytes out(ciphertext.begin(), ciphertext.end());
+  chacha20_xor(key, 1, nonce, out);
+  return out;
+}
+
+}  // namespace interedge::crypto

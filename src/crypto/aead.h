@@ -1,0 +1,26 @@
+// AEAD_CHACHA20_POLY1305 (RFC 8439 §2.8). The sealing primitive behind
+// ILP header protection (via PSP-lite) and the peering tunnels.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace interedge::crypto {
+
+inline constexpr std::size_t kAeadKeySize = 32;
+inline constexpr std::size_t kAeadNonceSize = 12;
+inline constexpr std::size_t kAeadTagSize = 16;
+
+// Encrypts `plaintext` and returns ciphertext || 16-byte tag.
+bytes aead_seal(const std::uint8_t key[kAeadKeySize], const std::uint8_t nonce[kAeadNonceSize],
+                const_byte_span aad, const_byte_span plaintext);
+
+// Verifies and decrypts ciphertext || tag; nullopt on authentication failure.
+std::optional<bytes> aead_open(const std::uint8_t key[kAeadKeySize],
+                               const std::uint8_t nonce[kAeadNonceSize], const_byte_span aad,
+                               const_byte_span sealed);
+
+}  // namespace interedge::crypto

@@ -1,0 +1,69 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace interedge::crypto {
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void store32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                    const std::uint8_t nonce[kChaChaNonceSize], std::uint8_t out[64]) {
+  std::uint32_t s[16];
+  s[0] = 0x61707865;
+  s[1] = 0x3320646e;
+  s[2] = 0x79622d32;
+  s[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) s[4 + i] = load32(key + 4 * i);
+  s[12] = counter;
+  for (int i = 0; i < 3; ++i) s[13 + i] = load32(nonce + 4 * i);
+
+  std::uint32_t w[16];
+  std::memcpy(w, s, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) store32(out + 4 * i, w[i] + s[i]);
+}
+
+void chacha20_xor(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                  const std::uint8_t nonce[kChaChaNonceSize], byte_span data) {
+  std::uint8_t block[64];
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(key, counter++, nonce, block);
+    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= block[i];
+    offset += take;
+  }
+}
+
+}  // namespace interedge::crypto

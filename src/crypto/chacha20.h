@@ -1,0 +1,23 @@
+// ChaCha20 stream cipher (RFC 8439): 256-bit key, 96-bit nonce,
+// 32-bit block counter.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace interedge::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+// Generates one 64-byte keystream block.
+void chacha20_block(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                    const std::uint8_t nonce[kChaChaNonceSize], std::uint8_t out[64]);
+
+// XORs `data` in place with the keystream starting at `counter`.
+void chacha20_xor(const std::uint8_t key[kChaChaKeySize], std::uint32_t counter,
+                  const std::uint8_t nonce[kChaChaNonceSize], byte_span data);
+
+}  // namespace interedge::crypto

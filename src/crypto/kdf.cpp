@@ -1,0 +1,65 @@
+#include "crypto/kdf.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace interedge::crypto {
+
+sha256::digest hmac_sha256(const_byte_span key, const_byte_span data) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const auto d = sha256::hash(key);
+    std::memcpy(block.data(), d.data(), d.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+sha256::digest hkdf_extract(const_byte_span salt, const_byte_span ikm) {
+  static constexpr std::uint8_t zero_salt[sha256::kDigestSize] = {};
+  if (salt.empty()) salt = const_byte_span(zero_salt, sizeof(zero_salt));
+  return hmac_sha256(salt, ikm);
+}
+
+bytes hkdf_expand(const_byte_span prk, const_byte_span info, std::size_t length) {
+  if (length > 255 * sha256::kDigestSize) throw std::invalid_argument("hkdf_expand: length too large");
+  bytes out;
+  out.reserve(length);
+  sha256::digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    bytes msg;
+    msg.insert(msg.end(), t.begin(), t.begin() + t_len);
+    msg.insert(msg.end(), info.begin(), info.end());
+    msg.push_back(counter++);
+    t = hmac_sha256(prk, msg);
+    t_len = t.size();
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+  }
+  return out;
+}
+
+bytes hkdf(const_byte_span salt, const_byte_span ikm, const_byte_span info, std::size_t length) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace interedge::crypto

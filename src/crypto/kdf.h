@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HKDF derives the directional
+// PSP master keys from an X25519 shared secret during pipe establishment,
+// and per-SPI packet keys from a PSP master key.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace interedge::crypto {
+
+sha256::digest hmac_sha256(const_byte_span key, const_byte_span data);
+
+// HKDF-Extract: PRK = HMAC(salt, ikm).
+sha256::digest hkdf_extract(const_byte_span salt, const_byte_span ikm);
+
+// HKDF-Expand: derives `length` (<= 255*32) output bytes from a PRK.
+bytes hkdf_expand(const_byte_span prk, const_byte_span info, std::size_t length);
+
+// Convenience one-shot: extract + expand.
+bytes hkdf(const_byte_span salt, const_byte_span ikm, const_byte_span info, std::size_t length);
+
+}  // namespace interedge::crypto

@@ -1,0 +1,37 @@
+// Poly1305 one-time authenticator (RFC 8439).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace interedge::crypto {
+
+inline constexpr std::size_t kPolyKeySize = 32;
+inline constexpr std::size_t kPolyTagSize = 16;
+
+using poly_tag = std::array<std::uint8_t, kPolyTagSize>;
+
+class poly1305 {
+ public:
+  explicit poly1305(const std::uint8_t key[kPolyKeySize]);
+  void update(const_byte_span data);
+  poly_tag finish();
+
+  static poly_tag mac(const std::uint8_t key[kPolyKeySize], const_byte_span data) {
+    poly1305 p(key);
+    p.update(data);
+    return p.finish();
+  }
+
+ private:
+  void block(const std::uint8_t* m, std::uint32_t hibit);
+  std::uint32_t r_[5];
+  std::uint32_t h_[5];
+  std::uint32_t pad_[4];
+  std::array<std::uint8_t, 16> buffer_;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace interedge::crypto

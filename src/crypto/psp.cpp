@@ -1,0 +1,86 @@
+#include "crypto/psp.h"
+
+#include <cstring>
+
+#include "crypto/aead.h"
+#include "crypto/kdf.h"
+
+namespace interedge::crypto {
+namespace {
+
+void make_nonce(std::uint8_t out[kAeadNonceSize], std::uint32_t spi, std::uint64_t iv) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(spi >> (8 * i));
+  for (int i = 0; i < 8; ++i) out[4 + i] = static_cast<std::uint8_t>(iv >> (8 * i));
+}
+
+}  // namespace
+
+psp_context::psp_context(const psp_master_key& master, std::uint32_t spi_base)
+    : master_(master), spi_base_(spi_base & 0x7fffffffu) {
+  current_ = derive(0);
+  previous_ = current_;
+}
+
+psp_context::epoch_key psp_context::derive(std::uint64_t epoch) const {
+  epoch_key ek;
+  ek.spi = spi_base_ | (static_cast<std::uint32_t>(epoch & 1) << 31);
+  std::uint8_t info[16 + 8 + 4];
+  std::memcpy(info, "psp-lite pkt key", 16);
+  for (int i = 0; i < 8; ++i) info[16 + i] = static_cast<std::uint8_t>(epoch >> (8 * i));
+  for (int i = 0; i < 4; ++i) info[24 + i] = static_cast<std::uint8_t>(spi_base_ >> (8 * i));
+  const bytes key = hkdf_expand(master_, const_byte_span(info, sizeof(info)), 32);
+  std::memcpy(ek.key.data(), key.data(), 32);
+  return ek;
+}
+
+bytes psp_context::seal(const_byte_span plaintext, const_byte_span aad) {
+  const std::uint64_t iv = iv_counter_++;
+  std::uint8_t nonce[kAeadNonceSize];
+  make_nonce(nonce, current_.spi, iv);
+
+  bytes out;
+  out.reserve(kPspOverhead + plaintext.size());
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(current_.spi >> (8 * i)));
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(iv >> (8 * i)));
+
+  // Bind spi||iv into the AAD alongside the caller's context.
+  bytes full_aad(out.begin(), out.end());
+  full_aad.insert(full_aad.end(), aad.begin(), aad.end());
+
+  const bytes sealed = aead_seal(current_.key.data(), nonce, full_aad, plaintext);
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<bytes> psp_context::open(const_byte_span wire, const_byte_span aad) const {
+  if (wire.size() < kPspOverhead) return std::nullopt;
+  std::uint32_t spi = 0;
+  std::uint64_t iv = 0;
+  for (int i = 0; i < 4; ++i) spi |= static_cast<std::uint32_t>(wire[i]) << (8 * i);
+  for (int i = 0; i < 8; ++i) iv |= static_cast<std::uint64_t>(wire[4 + i]) << (8 * i);
+
+  const epoch_key* ek = nullptr;
+  if (spi == current_.spi) {
+    ek = &current_;
+  } else if (spi == previous_.spi && epoch_ > 0) {
+    ek = &previous_;
+  } else {
+    return std::nullopt;
+  }
+
+  std::uint8_t nonce[kAeadNonceSize];
+  make_nonce(nonce, spi, iv);
+
+  bytes full_aad(wire.begin(), wire.begin() + 12);
+  full_aad.insert(full_aad.end(), aad.begin(), aad.end());
+  return aead_open(ek->key.data(), nonce, full_aad, wire.subspan(12));
+}
+
+void psp_context::rotate() {
+  previous_ = current_;
+  ++epoch_;
+  current_ = derive(epoch_);
+  iv_counter_ = 0;
+}
+
+}  // namespace interedge::crypto

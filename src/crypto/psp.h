@@ -1,0 +1,65 @@
+// PSP-lite: per-packet transport encryption in the style of Google's PSP
+// Security Protocol, which the paper selects for ILP because it "can operate
+// on individual packets, even when they arrive out of order" and imposes no
+// connection-establishment latency.
+//
+// Wire layout per packet:  spi(4) || iv(8) || ciphertext || tag(16)
+//
+// * The packet key is derived from a per-association master key and the SPI
+//   (so rekeying = bumping the epoch bit in the SPI; no handshake).
+// * The AEAD nonce is spi || iv, so each packet is independently sealed:
+//   the receiver needs no per-packet ordering state.
+// * The receiver accepts the current and the previous epoch, which lets a
+//   sender rotate keys unilaterally without packet loss.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace interedge::crypto {
+
+inline constexpr std::size_t kPspMasterKeySize = 32;
+inline constexpr std::size_t kPspOverhead = 4 + 8 + 16;  // spi + iv + tag
+
+using psp_master_key = std::array<std::uint8_t, kPspMasterKeySize>;
+
+// One direction of a security association. The two ends of an ILP pipe hold
+// mirrored contexts (A's tx == B's rx) built from HKDF of the handshake
+// secret.
+class psp_context {
+ public:
+  psp_context(const psp_master_key& master, std::uint32_t spi_base);
+
+  // Seals `plaintext`; `aad` binds cleartext context (e.g. outer addresses).
+  bytes seal(const_byte_span plaintext, const_byte_span aad);
+
+  // Opens a sealed packet; nullopt on unknown SPI or authentication failure.
+  std::optional<bytes> open(const_byte_span wire, const_byte_span aad) const;
+
+  // Advances to the next key epoch (flips the SPI epoch bit, re-derives the
+  // packet key). The previous epoch stays valid on the receive side.
+  void rotate();
+
+  std::uint32_t current_spi() const { return current_.spi; }
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t packets_sealed() const { return iv_counter_; }
+
+ private:
+  struct epoch_key {
+    std::uint32_t spi = 0;
+    std::array<std::uint8_t, 32> key{};
+  };
+  epoch_key derive(std::uint64_t epoch) const;
+
+  psp_master_key master_;
+  std::uint32_t spi_base_;
+  std::uint64_t epoch_ = 0;
+  epoch_key current_;
+  epoch_key previous_;
+  std::uint64_t iv_counter_ = 0;
+};
+
+}  // namespace interedge::crypto

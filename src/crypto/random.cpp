@@ -1,0 +1,35 @@
+#include "crypto/random.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace interedge::crypto {
+namespace {
+std::function<void(byte_span)>& test_source() {
+  static std::function<void(byte_span)> source;
+  return source;
+}
+}  // namespace
+
+void random_bytes(byte_span out) {
+  if (test_source()) {
+    test_source()(out);
+    return;
+  }
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    const std::size_t take = std::min<std::size_t>(256, out.size() - offset);
+    if (::getentropy(out.data() + offset, take) != 0) {
+      throw std::runtime_error("getentropy failed");
+    }
+    offset += take;
+  }
+}
+
+void set_random_source_for_test(std::function<void(byte_span)> source) {
+  test_source() = std::move(source);
+}
+
+}  // namespace interedge::crypto

@@ -1,0 +1,19 @@
+// Secret randomness for key material. Production path reads the OS
+// entropy source; tests can install a deterministic source.
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+
+namespace interedge::crypto {
+
+// Fills `out` with cryptographically secure random bytes (getentropy(2)
+// in chunks), unless a test source is installed.
+void random_bytes(byte_span out);
+
+// Installs a deterministic source for tests; pass nullptr to restore the
+// OS source. Not thread-safe with concurrent random_bytes calls.
+void set_random_source_for_test(std::function<void(byte_span)> source);
+
+}  // namespace interedge::crypto

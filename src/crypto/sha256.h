@@ -1,0 +1,35 @@
+// SHA-256 (FIPS 180-4). Used by HMAC/HKDF, attestation quotes, and the
+// lookup service's signed statements.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace interedge::crypto {
+
+class sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using digest = std::array<std::uint8_t, kDigestSize>;
+
+  sha256();
+  void update(const_byte_span data);
+  digest finish();
+
+  static digest hash(const_byte_span data) {
+    sha256 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void compress(const std::uint8_t* block);
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t total_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace interedge::crypto

@@ -1,0 +1,17 @@
+// SipHash-2-4 keyed hash. Used to key the decision cache's hash map so a
+// third party cannot force pathological collisions with crafted
+// connection IDs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace interedge::crypto {
+
+using siphash_key = std::array<std::uint8_t, 16>;
+
+std::uint64_t siphash24(const siphash_key& key, const_byte_span data);
+
+}  // namespace interedge::crypto

@@ -1,0 +1,273 @@
+// Field arithmetic mod 2^255 - 19 with five 51-bit limbs and __int128
+// accumulation; Montgomery ladder per RFC 7748.
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+namespace interedge::crypto {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask = (1ull << 51) - 1;
+
+struct fe {
+  u64 v[5];
+};
+
+fe fe_zero() { return {{0, 0, 0, 0, 0}}; }
+fe fe_one() { return {{1, 0, 0, 0, 0}}; }
+
+fe fe_add(const fe& a, const fe& b) {
+  fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+// a - b with bias 2p added so limbs stay nonnegative.
+fe fe_sub(const fe& a, const fe& b) {
+  fe r;
+  r.v[0] = a.v[0] + 0xfffffffffffdaull - b.v[0];
+  r.v[1] = a.v[1] + 0xffffffffffffeull - b.v[1];
+  r.v[2] = a.v[2] + 0xffffffffffffeull - b.v[2];
+  r.v[3] = a.v[3] + 0xffffffffffffeull - b.v[3];
+  r.v[4] = a.v[4] + 0xffffffffffffeull - b.v[4];
+  return r;
+}
+
+fe fe_mul(const fe& f, const fe& g) {
+  const u128 f0 = f.v[0], f1 = f.v[1], f2 = f.v[2], f3 = f.v[3], f4 = f.v[4];
+  const u64 g0 = g.v[0], g1 = g.v[1], g2 = g.v[2], g3 = g.v[3], g4 = g.v[4];
+  const u64 g1_19 = g1 * 19, g2_19 = g2 * 19, g3_19 = g3 * 19, g4_19 = g4 * 19;
+
+  u128 r0 = f0 * g0 + f1 * g4_19 + f2 * g3_19 + f3 * g2_19 + f4 * g1_19;
+  u128 r1 = f0 * g1 + f1 * g0 + f2 * g4_19 + f3 * g3_19 + f4 * g2_19;
+  u128 r2 = f0 * g2 + f1 * g1 + f2 * g0 + f3 * g4_19 + f4 * g3_19;
+  u128 r3 = f0 * g3 + f1 * g2 + f2 * g1 + f3 * g0 + f4 * g4_19;
+  u128 r4 = f0 * g4 + f1 * g3 + f2 * g2 + f3 * g1 + f4 * g0;
+
+  fe out;
+  u64 c;
+  c = static_cast<u64>(r0 >> 51);
+  out.v[0] = static_cast<u64>(r0) & kMask;
+  r1 += c;
+  c = static_cast<u64>(r1 >> 51);
+  out.v[1] = static_cast<u64>(r1) & kMask;
+  r2 += c;
+  c = static_cast<u64>(r2 >> 51);
+  out.v[2] = static_cast<u64>(r2) & kMask;
+  r3 += c;
+  c = static_cast<u64>(r3 >> 51);
+  out.v[3] = static_cast<u64>(r3) & kMask;
+  r4 += c;
+  c = static_cast<u64>(r4 >> 51);
+  out.v[4] = static_cast<u64>(r4) & kMask;
+  out.v[0] += c * 19;
+  c = out.v[0] >> 51;
+  out.v[0] &= kMask;
+  out.v[1] += c;
+  return out;
+}
+
+fe fe_sq(const fe& a) { return fe_mul(a, a); }
+
+fe fe_mul_small(const fe& f, u64 s) {
+  u128 r0 = static_cast<u128>(f.v[0]) * s;
+  u128 r1 = static_cast<u128>(f.v[1]) * s;
+  u128 r2 = static_cast<u128>(f.v[2]) * s;
+  u128 r3 = static_cast<u128>(f.v[3]) * s;
+  u128 r4 = static_cast<u128>(f.v[4]) * s;
+  fe out;
+  u64 c;
+  c = static_cast<u64>(r0 >> 51);
+  out.v[0] = static_cast<u64>(r0) & kMask;
+  r1 += c;
+  c = static_cast<u64>(r1 >> 51);
+  out.v[1] = static_cast<u64>(r1) & kMask;
+  r2 += c;
+  c = static_cast<u64>(r2 >> 51);
+  out.v[2] = static_cast<u64>(r2) & kMask;
+  r3 += c;
+  c = static_cast<u64>(r3 >> 51);
+  out.v[3] = static_cast<u64>(r3) & kMask;
+  r4 += c;
+  c = static_cast<u64>(r4 >> 51);
+  out.v[4] = static_cast<u64>(r4) & kMask;
+  out.v[0] += c * 19;
+  c = out.v[0] >> 51;
+  out.v[0] &= kMask;
+  out.v[1] += c;
+  return out;
+}
+
+fe fe_from_bytes(const std::uint8_t s[32]) {
+  auto load64 = [](const std::uint8_t* p) {
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
+  };
+  fe r;
+  r.v[0] = load64(s) & kMask;
+  r.v[1] = (load64(s + 6) >> 3) & kMask;
+  r.v[2] = (load64(s + 12) >> 6) & kMask;
+  r.v[3] = (load64(s + 19) >> 1) & kMask;
+  r.v[4] = (load64(s + 24) >> 12) & kMask;  // top bit of s[31] is masked off
+  return r;
+}
+
+void fe_to_bytes(std::uint8_t out[32], const fe& a) {
+  // Canonical contraction (curve25519-donna-c64 fcontract).
+  u64 t[5] = {a.v[0], a.v[1], a.v[2], a.v[3], a.v[4]};
+  auto carry_pass = [&t] {
+    t[1] += t[0] >> 51;
+    t[0] &= kMask;
+    t[2] += t[1] >> 51;
+    t[1] &= kMask;
+    t[3] += t[2] >> 51;
+    t[2] &= kMask;
+    t[4] += t[3] >> 51;
+    t[3] &= kMask;
+    t[0] += 19 * (t[4] >> 51);
+    t[4] &= kMask;
+  };
+  carry_pass();
+  carry_pass();
+  // t is now in [0, 2^255 - 1]. Add 19 so values >= p wrap.
+  t[0] += 19;
+  carry_pass();
+  // Offset by 2^255 - 19 (= p) so a final masked carry chain yields t mod p.
+  t[0] += (1ull << 51) - 19;
+  t[1] += (1ull << 51) - 1;
+  t[2] += (1ull << 51) - 1;
+  t[3] += (1ull << 51) - 1;
+  t[4] += (1ull << 51) - 1;
+  t[1] += t[0] >> 51;
+  t[0] &= kMask;
+  t[2] += t[1] >> 51;
+  t[1] &= kMask;
+  t[3] += t[2] >> 51;
+  t[2] &= kMask;
+  t[4] += t[3] >> 51;
+  t[3] &= kMask;
+  t[4] &= kMask;  // discard the 2^255 bit
+
+  u64 lo = t[0] | (t[1] << 51);
+  u64 mid = (t[1] >> 13) | (t[2] << 38);
+  u64 hi = (t[2] >> 26) | (t[3] << 25);
+  u64 top = (t[3] >> 39) | (t[4] << 12);
+  auto store64 = [](std::uint8_t* p, u64 v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  store64(out, lo);
+  store64(out + 8, mid);
+  store64(out + 16, hi);
+  store64(out + 24, top);
+}
+
+// Constant-time conditional swap.
+void fe_cswap(fe& a, fe& b, u64 swap) {
+  const u64 mask = 0 - swap;
+  for (int i = 0; i < 5; ++i) {
+    const u64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+fe fe_invert(const fe& z) {
+  // z^(p-2) via the standard curve25519 addition chain.
+  fe z2 = fe_sq(z);
+  fe t = fe_sq(z2);
+  t = fe_sq(t);
+  fe z9 = fe_mul(t, z);
+  fe z11 = fe_mul(z9, z2);
+  t = fe_sq(z11);
+  fe z2_5_0 = fe_mul(t, z9);
+  t = fe_sq(z2_5_0);
+  for (int i = 0; i < 4; ++i) t = fe_sq(t);
+  fe z2_10_0 = fe_mul(t, z2_5_0);
+  t = fe_sq(z2_10_0);
+  for (int i = 0; i < 9; ++i) t = fe_sq(t);
+  fe z2_20_0 = fe_mul(t, z2_10_0);
+  t = fe_sq(z2_20_0);
+  for (int i = 0; i < 19; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_20_0);
+  t = fe_sq(t);
+  for (int i = 0; i < 9; ++i) t = fe_sq(t);
+  fe z2_50_0 = fe_mul(t, z2_10_0);
+  t = fe_sq(z2_50_0);
+  for (int i = 0; i < 49; ++i) t = fe_sq(t);
+  fe z2_100_0 = fe_mul(t, z2_50_0);
+  t = fe_sq(z2_100_0);
+  for (int i = 0; i < 99; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_100_0);
+  t = fe_sq(t);
+  for (int i = 0; i < 49; ++i) t = fe_sq(t);
+  t = fe_mul(t, z2_50_0);
+  t = fe_sq(t);
+  for (int i = 0; i < 4; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);
+}
+
+}  // namespace
+
+x25519_key x25519(const x25519_key& scalar, const x25519_key& point) {
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  const fe x1 = fe_from_bytes(point.data());
+  fe x2 = fe_one(), z2 = fe_zero();
+  fe x3 = x1, z3 = fe_one();
+  u64 swap = 0;
+
+  for (int pos = 254; pos >= 0; --pos) {
+    const u64 bit = (e[pos / 8] >> (pos & 7)) & 1;
+    swap ^= bit;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = bit;
+
+    const fe a = fe_add(x2, z2);
+    const fe aa = fe_sq(a);
+    const fe b = fe_sub(x2, z2);
+    const fe bb = fe_sq(b);
+    const fe ee = fe_sub(aa, bb);
+    const fe c = fe_add(x3, z3);
+    const fe d = fe_sub(x3, z3);
+    const fe da = fe_mul(d, a);
+    const fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(ee, fe_add(aa, fe_mul_small(ee, 121665)));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const fe out = fe_mul(x2, fe_invert(z2));
+  x25519_key result;
+  fe_to_bytes(result.data(), out);
+  return result;
+}
+
+x25519_key x25519_base(const x25519_key& scalar) {
+  x25519_key base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+x25519_keypair x25519_keypair_from_seed(const x25519_key& seed) {
+  x25519_keypair kp;
+  kp.secret = seed;
+  kp.secret[0] &= 248;
+  kp.secret[31] &= 127;
+  kp.secret[31] |= 64;
+  kp.public_key = x25519_base(kp.secret);
+  return kp;
+}
+
+}  // namespace interedge::crypto

@@ -1,0 +1,29 @@
+// X25519 Diffie-Hellman (RFC 7748). Used for the pipe-establishment
+// handshake between hosts/SNs and for peering-tunnel rekeys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace interedge::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+using x25519_key = std::array<std::uint8_t, kX25519KeySize>;
+
+// out = scalar * point (Montgomery u-coordinate).
+x25519_key x25519(const x25519_key& scalar, const x25519_key& point);
+
+// Public key = scalar * base point (u = 9).
+x25519_key x25519_base(const x25519_key& scalar);
+
+struct x25519_keypair {
+  x25519_key secret;
+  x25519_key public_key;
+};
+
+// Derives a keypair from 32 bytes of secret randomness.
+x25519_keypair x25519_keypair_from_seed(const x25519_key& seed);
+
+}  // namespace interedge::crypto

@@ -1,0 +1,84 @@
+#include "deploy/standard_services.h"
+
+#include "services/anycast.h"
+#include "services/bulk_delivery.h"
+#include "services/cluster_interconnect.h"
+#include "services/ddos.h"
+#include "services/delivery.h"
+#include "services/message_queue.h"
+#include "services/mixnet.h"
+#include "services/mobility.h"
+#include "services/multicast.h"
+#include "services/odns.h"
+#include "services/ordered_delivery.h"
+#include "services/pubsub.h"
+#include "services/qos.h"
+#include "services/streaming.h"
+#include "services/vpn.h"
+
+namespace interedge::deploy {
+
+void deploy_standard_services(deployment& d, const standard_services_config& config) {
+  using namespace interedge::services;
+  if (config.delivery) {
+    d.deploy_service_simple([] { return std::make_unique<delivery_service>(); });
+  }
+  if (config.pubsub) {
+    d.deploy_service([](edomain::domain_core& core, peer_id sn) {
+      return std::make_unique<pubsub_service>(core, sn);
+    });
+  }
+  if (config.multicast) {
+    d.deploy_service([](edomain::domain_core& core, peer_id sn) {
+      return std::make_unique<multicast_service>(core, sn);
+    });
+  }
+  if (config.anycast) {
+    d.deploy_service([](edomain::domain_core& core, peer_id sn) {
+      return std::make_unique<anycast_service>(core, sn);
+    });
+  }
+  if (config.qos) {
+    d.deploy_service_simple([] { return std::make_unique<qos_service>(); });
+  }
+  if (config.odns) {
+    d.deploy_service_simple([] { return std::make_unique<odns_service>(); });
+  }
+  if (config.mixnet) {
+    d.deploy_service_simple([] { return std::make_unique<mixnet_service>(); });
+  }
+  if (config.ddos) {
+    d.deploy_service_simple([] { return std::make_unique<ddos_service>(); });
+  }
+  if (config.vpn) {
+    d.deploy_service_simple([] { return std::make_unique<vpn_service>(); });
+  }
+  if (config.message_queue) {
+    d.deploy_service([](edomain::domain_core& core, peer_id sn) {
+      return std::make_unique<queue_service>(core, sn);
+    });
+  }
+  if (config.ordered_delivery) {
+    d.deploy_service_simple([] { return std::make_unique<ordered_delivery_service>(); });
+  }
+  if (config.streaming) {
+    d.deploy_service_simple([] { return std::make_unique<streaming_service>(); });
+  }
+  if (config.cluster) {
+    d.deploy_service([](edomain::domain_core& core, peer_id sn) {
+      return std::make_unique<cluster_interconnect_service>(core, sn);
+    });
+  }
+  if (config.mobility) {
+    d.deploy_service([](edomain::domain_core& core, peer_id sn) {
+      return std::make_unique<mobility_service>(core, sn);
+    });
+  }
+  if (config.bulk_delivery) {
+    d.deploy_service([](edomain::domain_core& core, peer_id sn) {
+      return std::make_unique<bulk_delivery_service>(core, sn);
+    });
+  }
+}
+
+}  // namespace interedge::deploy

@@ -1,0 +1,31 @@
+// Deploys the standardized InterEdge service suite on every SN of a
+// deployment — the paper's uniform service model: services "are chosen by
+// some governance body (such as the IETF) and deployed on all SNs,
+// ensuring that the InterEdge's service model is uniformly available."
+#pragma once
+
+#include "deploy/deployment.h"
+
+namespace interedge::deploy {
+
+struct standard_services_config {
+  bool delivery = true;
+  bool pubsub = true;
+  bool multicast = true;
+  bool anycast = true;
+  bool qos = true;
+  bool odns = false;      // needs a resolver configured; enable explicitly
+  bool mixnet = false;    // mixes are usually a subset of SNs
+  bool ddos = true;
+  bool vpn = true;
+  bool message_queue = true;
+  bool ordered_delivery = true;
+  bool bulk_delivery = true;
+  bool streaming = true;
+  bool mobility = true;
+  bool cluster = true;
+};
+
+void deploy_standard_services(deployment& d, const standard_services_config& config = {});
+
+}  // namespace interedge::deploy

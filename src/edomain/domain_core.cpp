@@ -1,0 +1,137 @@
+#include "edomain/domain_core.h"
+
+namespace interedge::edomain {
+
+domain_core::domain_core(edomain_id id, lookup::lookup_service& global)
+    : id_(id), global_(global) {}
+
+void domain_core::set_gateway(edomain_id remote, peer_id local_gateway, peer_id remote_gateway) {
+  gateways_[remote] = {local_gateway, remote_gateway};
+}
+
+std::optional<std::pair<peer_id, peer_id>> domain_core::gateway_to(edomain_id remote) const {
+  auto it = gateways_.find(remote);
+  if (it == gateways_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<edomain_id> domain_core::peered_edomains() const {
+  std::vector<edomain_id> out;
+  out.reserve(gateways_.size());
+  for (const auto& [domain, gw] : gateways_) out.push_back(domain);
+  return out;
+}
+
+void domain_core::group_join(const std::string& group, peer_id sn) {
+  auto& by_sn = members_[group];
+  const bool sn_was_empty = by_sn.find(sn) == by_sn.end() || by_sn[sn] == 0;
+  const bool domain_was_empty = !has_local_members(group);
+  ++by_sn[sn];
+  if (sn_was_empty) notify_watchers(group, sn, /*added=*/true);
+  if (domain_was_empty) {
+    // "Whenever an SN receives a join message for a group for which it
+    // does not currently have a member, it sends a notice to the edomain's
+    // core ... If the edomain did not currently have a member, the core
+    // forwards this message to the IANA lookup service."
+    global_.add_member_edomain(group, id_);
+  }
+}
+
+void domain_core::group_leave(const std::string& group, peer_id sn) {
+  auto git = members_.find(group);
+  if (git == members_.end()) return;
+  auto sit = git->second.find(sn);
+  if (sit == git->second.end() || sit->second == 0) return;
+  if (--sit->second == 0) {
+    git->second.erase(sit);
+    notify_watchers(group, sn, /*added=*/false);
+  }
+  if (!has_local_members(group)) {
+    global_.remove_member_edomain(group, id_);
+  }
+}
+
+domain_core::sender_info domain_core::register_sender(const std::string& group, peer_id sn) {
+  senders_[group].insert(sn);
+  // Register with the lookup service, installing our watch for remote
+  // membership changes (idempotent re-registration refreshes the view).
+  const auto remote = global_.register_sender(
+      group, id_, [this](const std::string& g, edomain_id domain, lookup::group_event event) {
+        on_lookup_event(g, domain, event);
+      });
+  auto& cache = remote_members_[group];
+  cache.clear();
+  for (edomain_id d : remote) {
+    if (d != id_) cache.insert(d);
+  }
+  sender_info info;
+  info.local_member_sns = member_sns(group);
+  info.remote_member_edomains.assign(cache.begin(), cache.end());
+  return info;
+}
+
+void domain_core::deregister_sender(const std::string& group, peer_id sn) {
+  auto it = senders_.find(group);
+  if (it == senders_.end()) return;
+  it->second.erase(sn);
+  if (it->second.empty()) {
+    senders_.erase(it);
+    global_.deregister_sender(group, id_);
+    remote_members_.erase(group);
+  }
+}
+
+void domain_core::watch_members(const std::string& group, peer_id watcher, member_watch watch) {
+  watches_[group][watcher] = std::move(watch);
+}
+
+void domain_core::unwatch_members(const std::string& group, peer_id watcher) {
+  auto it = watches_.find(group);
+  if (it != watches_.end()) it->second.erase(watcher);
+}
+
+std::vector<peer_id> domain_core::member_sns(const std::string& group) const {
+  std::vector<peer_id> out;
+  auto it = members_.find(group);
+  if (it == members_.end()) return out;
+  for (const auto& [sn, count] : it->second) {
+    if (count > 0) out.push_back(sn);
+  }
+  return out;
+}
+
+std::vector<edomain_id> domain_core::remote_member_edomains(const std::string& group) const {
+  auto it = remote_members_.find(group);
+  if (it == remote_members_.end()) return {};
+  return std::vector<edomain_id>(it->second.begin(), it->second.end());
+}
+
+bool domain_core::has_local_members(const std::string& group) const {
+  auto it = members_.find(group);
+  if (it == members_.end()) return false;
+  for (const auto& [sn, count] : it->second) {
+    if (count > 0) return true;
+  }
+  return false;
+}
+
+void domain_core::on_lookup_event(const std::string& group, edomain_id domain,
+                                  lookup::group_event event) {
+  if (domain == id_) return;  // our own membership change echoed back
+  auto& cache = remote_members_[group];
+  if (event == lookup::group_event::member_edomain_added) {
+    cache.insert(domain);
+  } else {
+    cache.erase(domain);
+  }
+}
+
+void domain_core::notify_watchers(const std::string& group, peer_id sn, bool added) {
+  auto it = watches_.find(group);
+  if (it == watches_.end()) return;
+  for (const auto& [watcher, callback] : it->second) {
+    if (callback) callback(group, sn, added);
+  }
+}
+
+}  // namespace interedge::edomain

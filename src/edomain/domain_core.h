@@ -1,0 +1,94 @@
+// The edomain "core" (paper §6): "we assume that edomains use SDN-like
+// network management tools with a persistent and scalable store that we
+// refer to as the core (which will be used in anycast, multicast, and
+// pub/sub)".
+//
+// Per edomain it tracks: the SN registry, which local SNs have members of
+// each group, the inter-edomain gateway map (§3.2: "each SN has a mapping
+// between each edomain and an SN in their edomain that has a direct
+// connection to that edomain"), and the remote edomains with group members
+// (learned from the global lookup service, kept fresh via a watch).
+//
+// Substitution note: the core is an in-process object reachable by its
+// edomain's SNs (the paper's SDN management network); its interactions with
+// the lookup service follow the paper's join/register-sender protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ilp/header.h"
+#include "lookup/lookup_service.h"
+
+namespace interedge::edomain {
+
+using ilp::peer_id;
+using lookup::edomain_id;
+
+class domain_core {
+ public:
+  domain_core(edomain_id id, lookup::lookup_service& global);
+
+  edomain_id id() const { return id_; }
+  lookup::lookup_service& global() { return global_; }
+  const lookup::lookup_service& global() const { return global_; }
+
+  // ---- SN registry ----
+  void add_sn(peer_id sn) { sns_.insert(sn); }
+  const std::set<peer_id>& sns() const { return sns_; }
+
+  // ---- inter-edomain gateways ----
+  // Remote edomain -> (local gateway SN, remote gateway SN).
+  void set_gateway(edomain_id remote, peer_id local_gateway, peer_id remote_gateway);
+  std::optional<std::pair<peer_id, peer_id>> gateway_to(edomain_id remote) const;
+  std::vector<edomain_id> peered_edomains() const;
+
+  // ---- group membership (the §6 join/sender protocol) ----
+  // An SN reports a local member joined the group. If this is the
+  // edomain's first member, the core notifies the global lookup service.
+  void group_join(const std::string& group, peer_id sn);
+  // Member left; if the edomain's last member, the lookup service is told.
+  void group_leave(const std::string& group, peer_id sn);
+
+  struct sender_info {
+    std::vector<peer_id> local_member_sns;
+    std::vector<edomain_id> remote_member_edomains;
+  };
+  // An SN registers as sender for a group: the core registers with the
+  // lookup service (installing the watch) and returns the current view.
+  sender_info register_sender(const std::string& group, peer_id sn);
+  void deregister_sender(const std::string& group, peer_id sn);
+
+  // SNs put watches on the local member list (§6: "puts a watch on this
+  // list so the core will send updates").
+  using member_watch = std::function<void(const std::string& group, peer_id sn, bool added)>;
+  void watch_members(const std::string& group, peer_id watcher, member_watch watch);
+  void unwatch_members(const std::string& group, peer_id watcher);
+
+  // Queries.
+  std::vector<peer_id> member_sns(const std::string& group) const;
+  std::vector<edomain_id> remote_member_edomains(const std::string& group) const;
+  bool has_local_members(const std::string& group) const;
+
+ private:
+  void on_lookup_event(const std::string& group, edomain_id domain, lookup::group_event event);
+  void notify_watchers(const std::string& group, peer_id sn, bool added);
+
+  edomain_id id_;
+  lookup::lookup_service& global_;
+  std::set<peer_id> sns_;
+  std::map<edomain_id, std::pair<peer_id, peer_id>> gateways_;
+  // group -> SN -> local member count on that SN.
+  std::map<std::string, std::map<peer_id, std::uint32_t>> members_;
+  // group -> remote edomains with members (lookup-sourced cache).
+  std::map<std::string, std::set<edomain_id>> remote_members_;
+  std::map<std::string, std::set<peer_id>> senders_;
+  std::map<std::string, std::map<peer_id, member_watch>> watches_;
+};
+
+}  // namespace interedge::edomain

@@ -1,0 +1,27 @@
+#include "edomain/peering.h"
+
+namespace interedge::edomain {
+
+void settlement_ledger::record_transfer(edomain_id from, edomain_id to,
+                                        std::uint64_t transfer_bytes) {
+  traffic_[{from, to}] += transfer_bytes;
+  total_ += transfer_bytes;
+}
+
+std::uint64_t settlement_ledger::traffic(edomain_id from, edomain_id to) const {
+  auto it = traffic_.find({from, to});
+  return it == traffic_.end() ? 0 : it->second;
+}
+
+money settlement_ledger::settlement_due(edomain_id /*from*/, edomain_id /*to*/) const {
+  return 0;  // settlement-free by architectural requirement (§5)
+}
+
+std::vector<std::pair<edomain_id, edomain_id>> settlement_ledger::active_pairs() const {
+  std::vector<std::pair<edomain_id, edomain_id>> out;
+  out.reserve(traffic_.size());
+  for (const auto& [pair, bytes] : traffic_) out.push_back(pair);
+  return out;
+}
+
+}  // namespace interedge::edomain

@@ -1,0 +1,44 @@
+// Settlement-free peering accounting (paper §5): "when an SN in one
+// edomain sends packets via ILP to an SN in another edomain, no money
+// changes hands."
+//
+// The ledger records traffic per directed edomain pair (for capacity
+// planning and the Appendix C peering benchmark) and exposes the
+// settlement computation — identically zero by architecture — so the
+// neutrality test suite can assert the invariant rather than assume it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "lookup/lookup_service.h"
+
+namespace interedge::edomain {
+
+using lookup::edomain_id;
+
+// Money in micro-currency units.
+using money = std::int64_t;
+
+class settlement_ledger {
+ public:
+  void record_transfer(edomain_id from, edomain_id to, std::uint64_t transfer_bytes);
+
+  std::uint64_t traffic(edomain_id from, edomain_id to) const;
+  std::uint64_t total_traffic() const { return total_; }
+
+  // The settlement owed by `from` to `to` for peering traffic. Always 0:
+  // "neither edomain is offering transport, and each is being paid
+  // directly by their respective customers."
+  money settlement_due(edomain_id from, edomain_id to) const;
+
+  std::vector<std::pair<edomain_id, edomain_id>> active_pairs() const;
+
+ private:
+  std::map<std::pair<edomain_id, edomain_id>, std::uint64_t> traffic_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace interedge::edomain

@@ -1,0 +1,101 @@
+#include "edomain/pricing.h"
+
+#include <algorithm>
+
+namespace interedge::edomain {
+
+void rate_card::set_rate(ilp::service_id service, const std::string& region,
+                         std::vector<rate_tier> tiers) {
+  rates_[service][region] = std::move(tiers);
+}
+
+std::optional<money> rate_card::price(ilp::service_id service, const std::string& region,
+                                      std::uint64_t volume_gb) const {
+  auto sit = rates_.find(service);
+  if (sit == rates_.end()) return std::nullopt;
+  auto rit = sit->second.find(region);
+  if (rit == sit->second.end()) return std::nullopt;
+
+  money total = 0;
+  std::uint64_t charged = 0;
+  for (const rate_tier& tier : rit->second) {
+    const std::uint64_t tier_span =
+        tier.up_to_gb == 0 ? volume_gb - charged
+                           : std::min(volume_gb, tier.up_to_gb) - std::min(volume_gb, charged);
+    total += static_cast<money>(tier_span) * tier.per_gb;
+    charged += tier_span;
+    if (charged >= volume_gb) break;
+  }
+  return total;
+}
+
+bool rate_card::offers(ilp::service_id service, const std::string& region) const {
+  auto sit = rates_.find(service);
+  return sit != rates_.end() && sit->second.count(region) > 0;
+}
+
+std::vector<std::string> rate_card::regions_for(ilp::service_id service) const {
+  std::vector<std::string> out;
+  auto sit = rates_.find(service);
+  if (sit == rates_.end()) return out;
+  for (const auto& [region, tiers] : sit->second) out.push_back(region);
+  return out;
+}
+
+void marketplace::add(std::shared_ptr<iesp> provider) { providers_.push_back(std::move(provider)); }
+
+std::shared_ptr<iesp> marketplace::find(const std::string& name) const {
+  for (const auto& p : providers_) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+std::vector<neutrality_violation> neutrality_auditor::audit(
+    const iesp& provider, const std::vector<probe>& probes,
+    const std::vector<std::string>& customers) const {
+  std::vector<neutrality_violation> violations;
+  for (const probe& p : probes) {
+    std::optional<money> reference;
+    std::string reference_customer;
+    for (const std::string& customer : customers) {
+      const auto quoted = provider.quote(customer, p.service, p.region, p.volume_gb);
+      const money value = quoted.value_or(-1);  // "not offered" must also be uniform
+      if (!reference) {
+        reference = value;
+        reference_customer = customer;
+        continue;
+      }
+      if (value != *reference) {
+        violations.push_back(neutrality_violation{p.service, p.region, p.volume_gb,
+                                                  reference_customer, customer, *reference,
+                                                  value});
+      }
+    }
+  }
+  return violations;
+}
+
+std::optional<broker::plan> broker::stitch(
+    const std::string& customer, ilp::service_id service,
+    const std::map<std::string, std::uint64_t>& volume_by_region) const {
+  plan result;
+  for (const auto& [region, volume] : volume_by_region) {
+    std::shared_ptr<iesp> best;
+    money best_price = 0;
+    for (const auto& provider : market_.providers()) {
+      const auto quoted = provider->quote(customer, service, region, volume);
+      if (!quoted) continue;
+      if (!best || *quoted < best_price) {
+        best = provider;
+        best_price = *quoted;
+      }
+    }
+    if (!best) return std::nullopt;  // region uncoverable
+    result.assignments.push_back(assignment{region, best, best_price});
+    result.total += best_price;
+  }
+  return result;
+}
+
+}  // namespace interedge::edomain

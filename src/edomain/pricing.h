@@ -1,0 +1,133 @@
+// Neutrality machinery (paper §5): "we propose that each IESP be forced to
+// publish their standard rates and make their services available to all on
+// nondiscriminatory terms ... These prices might depend on the volume and
+// location of service, but cannot vary based on the customer."
+//
+// And the broker ecosystem: "with standard rates being published openly, we
+// believe that a set of 'brokers' will arise that can do the stitching on
+// behalf of customers", letting collections of small IESPs compete with
+// global providers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "edomain/peering.h"  // money
+#include "ilp/header.h"
+
+namespace interedge::edomain {
+
+// Volume-tiered pricing: tiers are cumulative step rates — the first
+// tier.up_to_gb gigabytes cost tier.per_gb each, and so on; the final tier
+// must have up_to_gb == 0 (unbounded).
+struct rate_tier {
+  std::uint64_t up_to_gb = 0;  // 0 = unbounded (must be last)
+  money per_gb = 0;
+};
+
+// A published rate card: service x region -> tier schedule. Pure data, and
+// the price function is deliberately a function of (service, region,
+// volume) only.
+class rate_card {
+ public:
+  void set_rate(ilp::service_id service, const std::string& region, std::vector<rate_tier> tiers);
+  // Total price for `volume_gb` of service in region; nullopt if the
+  // (service, region) combination is not offered.
+  std::optional<money> price(ilp::service_id service, const std::string& region,
+                             std::uint64_t volume_gb) const;
+  bool offers(ilp::service_id service, const std::string& region) const;
+  std::vector<std::string> regions_for(ilp::service_id service) const;
+
+ private:
+  std::map<ilp::service_id, std::map<std::string, std::vector<rate_tier>>> rates_;
+};
+
+// An InterEdge Service Provider's published listing. quote() receives the
+// customer identity because a *non-compliant* provider could discriminate
+// on it; the compliant base class ignores it, and the auditor below
+// verifies that empirically for any provider.
+class iesp {
+ public:
+  iesp(std::string name, rate_card card) : name_(std::move(name)), card_(std::move(card)) {}
+  virtual ~iesp() = default;
+
+  const std::string& name() const { return name_; }
+  const rate_card& card() const { return card_; }
+
+  virtual std::optional<money> quote(const std::string& customer, ilp::service_id service,
+                                     const std::string& region, std::uint64_t volume_gb) const {
+    (void)customer;  // neutrality: identity cannot influence the price
+    return card_.price(service, region, volume_gb);
+  }
+
+ private:
+  std::string name_;
+  rate_card card_;
+};
+
+// Public registry of published rates.
+class marketplace {
+ public:
+  void add(std::shared_ptr<iesp> provider);
+  const std::vector<std::shared_ptr<iesp>>& providers() const { return providers_; }
+  std::shared_ptr<iesp> find(const std::string& name) const;
+
+ private:
+  std::vector<std::shared_ptr<iesp>> providers_;
+};
+
+// Empirical nondiscrimination check: probes a provider's quote() with many
+// distinct customer identities over a grid of (service, region, volume)
+// and reports any quote that varied by identity.
+struct neutrality_violation {
+  ilp::service_id service = 0;
+  std::string region;
+  std::uint64_t volume_gb = 0;
+  std::string customer_a;
+  std::string customer_b;
+  money price_a = 0;
+  money price_b = 0;
+};
+
+class neutrality_auditor {
+ public:
+  struct probe {
+    ilp::service_id service;
+    std::string region;
+    std::uint64_t volume_gb;
+  };
+  std::vector<neutrality_violation> audit(const iesp& provider, const std::vector<probe>& probes,
+                                          const std::vector<std::string>& customers) const;
+};
+
+// Coverage broker: given the regions a customer needs, assembles the
+// cheapest per-region assignment of providers from the marketplace.
+class broker {
+ public:
+  struct assignment {
+    std::string region;
+    std::shared_ptr<iesp> provider;
+    money price = 0;
+  };
+  struct plan {
+    std::vector<assignment> assignments;
+    money total = 0;
+  };
+
+  explicit broker(const marketplace& market) : market_(market) {}
+
+  // nullopt if any region cannot be covered by any provider.
+  std::optional<plan> stitch(const std::string& customer, ilp::service_id service,
+                             const std::map<std::string, std::uint64_t>& volume_by_region) const;
+
+ private:
+  const marketplace& market_;
+};
+
+}  // namespace interedge::edomain

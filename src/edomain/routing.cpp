@@ -1,0 +1,38 @@
+#include "edomain/routing.h"
+
+#include <algorithm>
+
+namespace interedge::edomain {
+
+std::optional<core::peer_id> sn_router::next_hop(core::edge_addr dest) const {
+  const auto record = global_.find_host(dest);
+  if (!record || record->service_nodes.empty()) return std::nullopt;
+
+  // Destination host hangs off this SN: deliver to the host. (Host L3
+  // identifiers and edge addresses coincide in this implementation; see
+  // DESIGN.md.)
+  const auto& sns = record->service_nodes;
+  if (std::find(sns.begin(), sns.end(), self_) != sns.end()) {
+    return dest;
+  }
+
+  if (record->edomain == core_.id()) {
+    return sns.front();
+  }
+
+  if (direct_interdomain_) {
+    // On-demand direct pipe to the destination's SN in the remote edomain.
+    return sns.front();
+  }
+
+  const auto gateway = core_.gateway_to(record->edomain);
+  if (!gateway) return std::nullopt;
+  const auto [local_gateway, remote_gateway] = *gateway;
+  if (local_gateway == self_) {
+    // We are the gateway: cross the long-lived inter-edomain pipe.
+    return remote_gateway;
+  }
+  return local_gateway;
+}
+
+}  // namespace interedge::edomain

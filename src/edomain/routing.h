@@ -1,0 +1,36 @@
+// Per-SN router (paper §3.2 "Inter-edomain connectivity"):
+//
+// * destination attached to this SN            -> the host itself
+// * destination in this edomain                -> its first-hop SN
+// * destination in a remote edomain            -> the local gateway SN for
+//   that edomain; the gateway itself forwards over its direct pipe to the
+//   remote gateway ("SNs can route inter-edomain traffic through the
+//   appropriate SN in their edomain")
+// * with direct_interdomain enabled            -> the destination's SN
+//   directly ("or, as an optimization, they can establish, on demand, a
+//   connection directly to the destination's associated SN in another
+//   edomain")
+#pragma once
+
+#include "core/router.h"
+#include "edomain/domain_core.h"
+#include "lookup/lookup_service.h"
+
+namespace interedge::edomain {
+
+class sn_router final : public core::router {
+ public:
+  sn_router(peer_id self, const domain_core& core, const lookup::lookup_service& global,
+            bool direct_interdomain = false)
+      : self_(self), core_(core), global_(global), direct_interdomain_(direct_interdomain) {}
+
+  std::optional<core::peer_id> next_hop(core::edge_addr dest) const override;
+
+ private:
+  peer_id self_;
+  const domain_core& core_;
+  const lookup::lookup_service& global_;
+  bool direct_interdomain_;
+};
+
+}  // namespace interedge::edomain

@@ -1,0 +1,64 @@
+#include "enclave/attestation.h"
+
+#include "crypto/kdf.h"
+
+namespace interedge::enclave {
+
+measurement measure_module(std::string_view name, std::string_view version,
+                           const_byte_span code_image) {
+  crypto::sha256 h;
+  h.update(to_bytes("interedge-module-measurement-v1"));
+  h.update(to_bytes(name));
+  h.update(to_bytes("\x00"));
+  h.update(to_bytes(version));
+  h.update(to_bytes("\x00"));
+  h.update(code_image);
+  return h.finish();
+}
+
+void tpm::extend(const measurement& m) {
+  crypto::sha256 h;
+  h.update(register_);
+  h.update(m);
+  register_ = h.finish();
+}
+
+bytes tpm::quote(const_byte_span nonce) const {
+  bytes msg;
+  msg.insert(msg.end(), register_.begin(), register_.end());
+  msg.insert(msg.end(), nonce.begin(), nonce.end());
+  const auto mac = crypto::hmac_sha256(device_key_, msg);
+  return bytes(mac.begin(), mac.end());
+}
+
+attestation_authority::attestation_authority(std::uint64_t seed) {
+  std::uint8_t seed_bytes[8];
+  for (int i = 0; i < 8; ++i) seed_bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  const auto prk = crypto::hkdf_extract(to_bytes("attestation-authority"),
+                                        const_byte_span(seed_bytes, 8));
+  root_secret_.assign(prk.begin(), prk.end());
+}
+
+bytes attestation_authority::key_for(std::uint64_t node_id) const {
+  std::uint8_t info[8];
+  for (int i = 0; i < 8; ++i) info[i] = static_cast<std::uint8_t>(node_id >> (8 * i));
+  return crypto::hkdf_expand(root_secret_, const_byte_span(info, 8), 32);
+}
+
+bytes attestation_authority::provision(std::uint64_t node_id) { return key_for(node_id); }
+
+void attestation_authority::expect(const std::string& label, const measurement& m) {
+  expected_[label] = m;
+}
+
+bool attestation_authority::verify(std::uint64_t node_id, const std::string& label,
+                                   const_byte_span nonce, const_byte_span quote) const {
+  auto it = expected_.find(label);
+  if (it == expected_.end()) return false;
+  bytes msg(it->second.begin(), it->second.end());
+  msg.insert(msg.end(), nonce.begin(), nonce.end());
+  const auto mac = crypto::hmac_sha256(key_for(node_id), msg);
+  return ct_equal(const_byte_span(mac.data(), mac.size()), quote);
+}
+
+}  // namespace interedge::enclave

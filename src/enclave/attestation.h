@@ -1,0 +1,66 @@
+// TPM-style attestation (paper §3.1: "We assume that SNs have TPMs that can
+// be used for attestation").
+//
+// Substitution for hardware TPMs: each SN is provisioned with a device key
+// by an attestation authority; a quote is an HMAC over (measurement ||
+// nonce). The authority verifies quotes against the provisioned key and an
+// expected-measurement registry. This exercises the full
+// measure → quote → verify flow without hardware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace interedge::enclave {
+
+using measurement = crypto::sha256::digest;
+
+// Measures a service module build: hash of (name, version, code image).
+measurement measure_module(std::string_view name, std::string_view version,
+                           const_byte_span code_image);
+
+// The per-SN quoting device.
+class tpm {
+ public:
+  explicit tpm(bytes device_key) : device_key_(std::move(device_key)) {}
+
+  // Extends the measurement register (TPM PCR-extend semantics: order
+  // matters and extension is one-way).
+  void extend(const measurement& m);
+  const measurement& register_value() const { return register_; }
+
+  // Produces a quote over the current register and a verifier nonce.
+  bytes quote(const_byte_span nonce) const;
+
+ private:
+  bytes device_key_;
+  measurement register_{};
+};
+
+// Provisioning authority + verifier.
+class attestation_authority {
+ public:
+  explicit attestation_authority(std::uint64_t seed);
+
+  // Provisions a device key for an SN; returns the key to install in its TPM.
+  bytes provision(std::uint64_t node_id);
+
+  // Registers a golden register value: the TPM register an SN in a good
+  // state would hold after all of its extend() calls.
+  void expect(const std::string& label, const measurement& m);
+
+  // Verifies a quote from `node_id` over nonce, against the golden value.
+  bool verify(std::uint64_t node_id, const std::string& label, const_byte_span nonce,
+              const_byte_span quote) const;
+
+ private:
+  bytes key_for(std::uint64_t node_id) const;
+  bytes root_secret_;
+  std::map<std::string, measurement> expected_;
+};
+
+}  // namespace interedge::enclave

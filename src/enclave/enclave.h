@@ -1,0 +1,82 @@
+// Simulated secure-enclave runtime (paper §6 "Privacy", Appendix C).
+//
+// Substitution for AMD SEV: we cannot run real encrypted VMs, so the
+// enclave boundary is modeled the way SEV actually costs — "enclaves
+// typically have little computational overhead, but do have I/O overhead"
+// (Appendix C). Every packet crossing the boundary pays:
+//   * a bounce-buffer copy in and out (unencrypted shared memory <->
+//     enclave-private memory, exactly the SEV-SNP data path), and
+//   * an optional calibrated per-transition busy-wait for the VMEXIT/
+//     VMENTER cost, used by the Table 1 benchmark.
+//
+// The runtime also provides the two enclave facilities services rely on:
+//   * sealed storage — checkpoints encrypted under a key derived from the
+//     module measurement, so a tampered module cannot unseal state;
+//   * an attestation hook via the node TPM (see attestation.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "core/service_module.h"
+#include "enclave/attestation.h"
+
+namespace interedge::enclave {
+
+struct enclave_config {
+  // Bounce-buffer copies on entry and exit (the structural I/O cost).
+  bool bounce_buffers = true;
+  // Calibrated additional cost per boundary crossing (busy-wait, real
+  // time; used only by real-time benchmarks — keep 0 in simulations).
+  nanoseconds transition_cost{0};
+  // Device secret for sealing (provisioned per SN).
+  bytes sealing_secret;
+};
+
+struct enclave_stats {
+  std::uint64_t transitions_in = 0;
+  std::uint64_t transitions_out = 0;
+  std::uint64_t bytes_copied = 0;
+};
+
+// Wraps a service module so all of its packet processing happens "inside"
+// the enclave. Drop-in service_module decorator: the execution environment
+// deploys the wrapper like any other module.
+class enclave_runtime final : public core::service_module {
+ public:
+  enclave_runtime(std::unique_ptr<core::service_module> inner, enclave_config config);
+  ~enclave_runtime() override;
+
+  ilp::service_id id() const override { return inner_->id(); }
+  std::string_view name() const override { return inner_->name(); }
+  bool content_dependent() const override { return inner_->content_dependent(); }
+  void start(core::service_context& ctx) override { inner_->start(ctx); }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  // Checkpoints are sealed: ciphertext bound to the module measurement.
+  bytes checkpoint(core::service_context& ctx) override;
+  void restore(core::service_context& ctx, const_byte_span state) override;
+
+  const enclave_stats& stats() const { return stats_; }
+  const measurement& module_measurement() const { return measurement_; }
+
+  // Sealing primitives (exposed for tests and for services that seal
+  // application data directly).
+  bytes seal(const_byte_span plaintext);
+  std::optional<bytes> unseal(const_byte_span sealed) const;
+
+ private:
+  void cross_boundary(const_byte_span data, bool inbound);
+
+  std::unique_ptr<core::service_module> inner_;
+  enclave_config config_;
+  measurement measurement_;
+  bytes bounce_;  // reused bounce buffer
+  std::uint64_t seal_counter_ = 0;
+  enclave_stats stats_;
+};
+
+}  // namespace interedge::enclave

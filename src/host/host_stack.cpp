@@ -1,0 +1,141 @@
+#include "host/host_stack.h"
+
+#include "common/logging.h"
+#include "common/serial.h"
+
+namespace interedge::host {
+
+void connection::send(bytes payload) {
+  ilp::ilp_header header;
+  header.service = service_;
+  header.connection = id_;
+  header.flags = ilp::kFlagFromHost;
+  header.set_meta_u64(ilp::meta_key::dest_addr, remote_);
+  header.set_meta_u64(ilp::meta_key::src_addr, stack_->addr());
+  for (const auto& [key, value] : options_) header.metadata[key] = value;
+  stack_->send_packet(via_, header, std::move(payload));
+}
+
+void connection::set_option(ilp::meta_key key, std::uint64_t value) {
+  writer w(8);
+  w.u64(value);
+  options_[static_cast<std::uint16_t>(key)] = w.take();
+}
+
+void connection::set_option_str(ilp::meta_key key, std::string_view value) {
+  options_[static_cast<std::uint16_t>(key)] = to_bytes(value);
+}
+
+host_stack::host_stack(host_config config, const clock& clk, send_datagram_fn send,
+                       scheduler_fn scheduler, const lookup::lookup_service* directory)
+    : config_(config),
+      clock_(clk),
+      scheduler_(std::move(scheduler)),
+      directory_(directory),
+      pipes_(
+          config.addr, [s = std::move(send)](peer_id to, bytes d) { s(to, std::move(d)); },
+          [this](peer_id from, const ilp::ilp_header& header, bytes payload) {
+            ++received_;
+            const bool is_control = (header.flags & ilp::kFlagControl) != 0;
+            auto& handlers = is_control ? control_handlers_ : service_handlers_;
+            auto it = handlers.find(header.service);
+            if (it != handlers.end() && it->second) {
+              it->second(header, std::move(payload));
+            } else if (default_handler_) {
+              default_handler_(header, std::move(payload));
+            } else {
+              IE_LOG(debug) << "host " << config_.addr << ": unhandled packet from " << from
+                            << " service " << header.service;
+            }
+          }),
+      conn_rng_(config.connection_seed != 0 ? config.connection_seed : config.addr * 0x9e3779b9ull + 1) {}
+
+void host_stack::on_datagram(peer_id from, const_byte_span datagram) {
+  pipes_.on_datagram(from, datagram);
+}
+
+peer_id host_stack::route_first_hop(edge_addr dest, peer_id override_sn) {
+  if (override_sn != 0) return override_sn;
+  // §3.2 Direct connectivity: if the peer shares our first-hop SN (the
+  // "same subnet" signal available to us), talk to it directly over ILP.
+  if (config_.allow_direct && directory_ != nullptr) {
+    const auto record = directory_->find_host(dest);
+    if (record) {
+      for (peer_id sn : record->service_nodes) {
+        if (sn == config_.first_hop_sn) {
+          ++direct_sends_;
+          return dest;
+        }
+      }
+    }
+  }
+  return config_.first_hop_sn;
+}
+
+connection host_stack::open(edge_addr dest, ilp::service_id service, peer_id via_sn) {
+  connection c;
+  c.stack_ = this;
+  c.id_ = conn_rng_.next();
+  c.service_ = service;
+  c.remote_ = dest;
+  c.via_ = route_first_hop(dest, via_sn);
+  return c;
+}
+
+void host_stack::send_to(edge_addr dest, ilp::service_id service, bytes payload) {
+  connection c = open(dest, service);
+  c.send(std::move(payload));
+}
+
+void host_stack::send_control(ilp::service_id service, const std::string& operation, bytes args,
+                              std::optional<ilp::connection_id> conn) {
+  send_control_to(config_.first_hop_sn, service, operation, std::move(args), conn);
+}
+
+void host_stack::send_control_to(peer_id sn, ilp::service_id service,
+                                 const std::string& operation, bytes args,
+                                 std::optional<ilp::connection_id> conn) {
+  ilp::ilp_header header;
+  header.service = service;
+  header.connection = conn.value_or(conn_rng_.next());
+  header.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  header.set_meta_str(ilp::meta_key::control_op, operation);
+  header.set_meta_u64(ilp::meta_key::src_addr, config_.addr);
+  header.set_meta_u64(ilp::meta_key::reply_to, config_.addr);
+  send_packet(sn, header, std::move(args));
+}
+
+void host_stack::set_service_handler(ilp::service_id service, receive_handler handler) {
+  service_handlers_[service] = std::move(handler);
+}
+
+void host_stack::set_control_handler(ilp::service_id service, receive_handler handler) {
+  control_handlers_[service] = std::move(handler);
+}
+
+bool host_stack::switch_to_fallback() {
+  if (config_.fallback_sns.empty()) return false;
+  config_.first_hop_sn = config_.fallback_sns.front();
+  config_.fallback_sns.erase(config_.fallback_sns.begin());
+  return true;
+}
+
+void host_stack::send_packet(peer_id via, const ilp::ilp_header& header, bytes payload) {
+  ++sent_;
+  pipes_.send(via, header, std::move(payload));
+  arm_handshake_retry();
+}
+
+void host_stack::arm_handshake_retry() {
+  if (retry_armed_ || pipes_.pending_handshakes() == 0) return;
+  retry_armed_ = true;
+  scheduler_(std::chrono::milliseconds(kHandshakeRetryMs), [this] {
+    retry_armed_ = false;
+    if (pipes_.pending_handshakes() == 0) return;
+    ++handshake_retries_;
+    pipes_.retry_pending();
+    arm_handshake_retry();
+  });
+}
+
+}  // namespace interedge::host

@@ -1,0 +1,156 @@
+// Host support for the InterEdge (paper §3.1 "Host support", §3.2).
+//
+// "The InterEdge requires a host component that implements support for ILP.
+// Additionally, the host component is also responsible for implementing
+// client-side support for services — such as pub/sub, anycast and
+// multicast — that require host logic."
+//
+// This is that component: it owns the host's ILP pipes, its first-hop SN
+// association(s), the extended network API applications use to invoke
+// services ("applications indicating their desired service to the host OS
+// via an extended host network API"), the out-of-band control channel to
+// the first-hop SN, and the direct host-to-host fast path for peers behind
+// the same SN.
+//
+// Service-specific client logic (pub/sub subscriber state reconstruction,
+// multicast join signing, ...) lives in services/clients/ and builds on
+// this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "ilp/pipe_manager.h"
+#include "lookup/lookup_service.h"
+
+namespace interedge::host {
+
+using ilp::edge_addr;
+using ilp::peer_id;
+
+struct host_config {
+  edge_addr addr = 0;  // also the host's L3 identifier in this implementation
+  peer_id first_hop_sn = 0;
+  std::vector<peer_id> fallback_sns;
+  // Allow the §3.2 "Direct connectivity" optimization: hosts behind the
+  // same first-hop SN exchange packets directly over ILP.
+  bool allow_direct = true;
+  std::uint64_t connection_seed = 0;  // 0 = derived from addr
+};
+
+// A point-to-point conversation using one InterEdge service. "There is no
+// composition in such explicit invocations; hosts can only invoke a single
+// service" — a connection is bound to exactly one service id (which may
+// name a bundle).
+class connection {
+ public:
+  ilp::connection_id id() const { return id_; }
+  ilp::service_id service() const { return service_; }
+  edge_addr remote() const { return remote_; }
+
+  // Sends one datagram on this connection.
+  void send(bytes payload);
+  // Optional per-packet service metadata ("the invocation may have
+  // optional settings (signalled in the metadata)").
+  void set_option(ilp::meta_key key, std::uint64_t value);
+  void set_option_str(ilp::meta_key key, std::string_view value);
+
+ private:
+  friend class host_stack;
+  class host_stack* stack_ = nullptr;
+  ilp::connection_id id_ = 0;
+  ilp::service_id service_ = 0;
+  edge_addr remote_ = 0;
+  peer_id via_ = 0;  // first hop this connection uses (SN or the peer host)
+  std::map<std::uint16_t, bytes> options_;
+};
+
+class host_stack {
+ public:
+  using send_datagram_fn = std::function<void(peer_id to, bytes datagram)>;
+  using scheduler_fn = std::function<void(nanoseconds delay, std::function<void()> fn)>;
+  // Handler for arriving application data: (source info header, payload).
+  using receive_handler = std::function<void(const ilp::ilp_header&, bytes payload)>;
+
+  host_stack(host_config config, const clock& clk, send_datagram_fn send,
+             scheduler_fn scheduler, const lookup::lookup_service* directory);
+
+  // Wire to the network.
+  void on_datagram(peer_id from, const_byte_span datagram);
+
+  edge_addr addr() const { return config_.addr; }
+  peer_id first_hop_sn() const { return config_.first_hop_sn; }
+
+  // ---- extended network API ----
+  // Opens a connection to `dest` using `service`. `via_sn` overrides the
+  // first-hop SN ("the host will use whichever first-hop SN is appropriate
+  // for a given connection ... depend[ing] on who is paying").
+  connection open(edge_addr dest, ilp::service_id service, peer_id via_sn = 0);
+
+  // One-shot datagram without connection state.
+  void send_to(edge_addr dest, ilp::service_id service, bytes payload);
+
+  // Out-of-band control to the first-hop SN (§3.2 second invocation mode:
+  // "services can be invoked by the host out of band (via a control
+  // protocol between the host and its first-hop SN)").
+  void send_control(ilp::service_id service, const std::string& operation, bytes args,
+                    std::optional<ilp::connection_id> conn = std::nullopt);
+  // Control message addressed to a specific SN (service clients use this).
+  void send_control_to(peer_id sn, ilp::service_id service, const std::string& operation,
+                       bytes args, std::optional<ilp::connection_id> conn = std::nullopt);
+
+  // ---- receive dispatch ----
+  void set_default_handler(receive_handler handler) { default_handler_ = std::move(handler); }
+  void set_service_handler(ilp::service_id service, receive_handler handler);
+  void set_control_handler(ilp::service_id service, receive_handler handler);
+
+  // Failover to the next fallback SN (association management).
+  bool switch_to_fallback();
+
+  // Mobility: the host attached to a different first-hop SN (new access
+  // network). Client-side service state (pub/sub etc.) is reconstructed by
+  // the service clients' resync paths; the mobility service updates the
+  // global record.
+  void rehome(peer_id new_first_hop_sn) { config_.first_hop_sn = new_first_hop_sn; }
+
+  // Raw pipe access for advanced clients.
+  ilp::pipe_manager& pipes() { return pipes_; }
+  void rotate_keys() { pipes_.rotate_all(); }
+
+  std::uint64_t packets_sent() const { return sent_; }
+  std::uint64_t packets_received() const { return received_; }
+  std::uint64_t direct_sends() const { return direct_sends_; }
+  std::uint64_t handshake_retries() const { return handshake_retries_; }
+
+ private:
+  friend class connection;
+  // Lost handshakes (and the packets queued behind them) are recovered by
+  // a periodic retry while any handshake is outstanding.
+  static constexpr int kHandshakeRetryMs = 500;
+  void send_packet(peer_id via, const ilp::ilp_header& header, bytes payload);
+  void arm_handshake_retry();
+  // Picks the first hop for a destination, applying the direct-path rule.
+  peer_id route_first_hop(edge_addr dest, peer_id override_sn);
+
+  host_config config_;
+  const clock& clock_;
+  scheduler_fn scheduler_;
+  const lookup::lookup_service* directory_;
+  ilp::pipe_manager pipes_;
+  rng conn_rng_;
+  receive_handler default_handler_;
+  std::map<ilp::service_id, receive_handler> service_handlers_;
+  std::map<ilp::service_id, receive_handler> control_handlers_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t direct_sends_ = 0;
+  std::uint64_t handshake_retries_ = 0;
+  bool retry_armed_ = false;
+};
+
+}  // namespace interedge::host

@@ -1,0 +1,69 @@
+#include "ilp/header.h"
+
+#include "common/serial.h"
+
+namespace interedge::ilp {
+
+bytes ilp_header::encode() const {
+  writer w(32);
+  w.u32(service);
+  w.u64(connection);
+  w.u16(flags);
+  w.varint(metadata.size());
+  for (const auto& [key, value] : metadata) {
+    w.u16(key);
+    w.blob(value);
+  }
+  return w.take();
+}
+
+ilp_header ilp_header::decode(const_byte_span data) {
+  reader r(data);
+  ilp_header h;
+  h.service = r.u32();
+  h.connection = r.u64();
+  h.flags = r.u16();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint16_t key = r.u16();
+    const const_byte_span value = r.blob();
+    h.metadata[key] = bytes(value.begin(), value.end());
+  }
+  if (!r.done()) throw serial_error("trailing bytes after ILP header");
+  return h;
+}
+
+void ilp_header::set_meta(meta_key key, const_byte_span value) {
+  metadata[static_cast<std::uint16_t>(key)] = bytes(value.begin(), value.end());
+}
+
+void ilp_header::set_meta_u64(meta_key key, std::uint64_t value) {
+  writer w(8);
+  w.u64(value);
+  metadata[static_cast<std::uint16_t>(key)] = w.take();
+}
+
+void ilp_header::set_meta_str(meta_key key, std::string_view value) {
+  metadata[static_cast<std::uint16_t>(key)] = to_bytes(value);
+}
+
+std::optional<const_byte_span> ilp_header::meta(meta_key key) const {
+  auto it = metadata.find(static_cast<std::uint16_t>(key));
+  if (it == metadata.end()) return std::nullopt;
+  return const_byte_span(it->second);
+}
+
+std::optional<std::uint64_t> ilp_header::meta_u64(meta_key key) const {
+  auto v = meta(key);
+  if (!v || v->size() != 8) return std::nullopt;
+  reader r(*v);
+  return r.u64();
+}
+
+std::optional<std::string> ilp_header::meta_str(meta_key key) const {
+  auto v = meta(key);
+  if (!v) return std::nullopt;
+  return to_string(*v);
+}
+
+}  // namespace interedge::ilp

@@ -1,0 +1,89 @@
+// ILP header (paper §4, Figure 2).
+//
+// "Other than requiring that the initial portion of the ILP header contain a
+// service ID and connection ID, we place no limits on the length or contents
+// of a packet's ILP header."  We therefore model the service-specific
+// portion as TLV metadata: services may attach arbitrary blobs, and may vary
+// them per packet within a connection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace interedge::ilp {
+
+using service_id = std::uint32_t;
+using connection_id = std::uint64_t;
+
+// Flat endpoint address (the paper's name services map service-specific
+// names to an address plus the SNs associated with the destination host).
+using edge_addr = std::uint64_t;
+inline constexpr edge_addr kInvalidAddr = 0;
+
+// L3-level identifier of an adjacent InterEdge element (host or SN). In
+// this implementation a host's peer_id and edge_addr coincide numerically.
+using peer_id = std::uint64_t;
+
+// Well-known service IDs for the standardized service modules (§6).
+// The governance body assigns these; experimental services use >= 0x8000.
+namespace svc {
+inline constexpr service_id null_service = 1;
+inline constexpr service_id delivery = 2;       // IP-like bundle (+ optional caching)
+inline constexpr service_id pubsub = 3;
+inline constexpr service_id multicast = 4;
+inline constexpr service_id anycast = 5;
+inline constexpr service_id last_hop_qos = 6;
+inline constexpr service_id odns = 7;
+inline constexpr service_id mixnet = 8;
+inline constexpr service_id ddos_protect = 9;
+inline constexpr service_id vpn = 10;
+inline constexpr service_id message_queue = 11;
+inline constexpr service_id ordered_delivery = 12;
+inline constexpr service_id bulk_delivery = 13;
+inline constexpr service_id firewall = 14;      // operator-imposed pass-through
+inline constexpr service_id streaming = 15;     // bitrate-adaptive media delivery
+inline constexpr service_id mobility = 16;      // mobility lookup service
+inline constexpr service_id cluster = 17;       // cluster interconnection
+}  // namespace svc
+
+// Header flags.
+inline constexpr std::uint16_t kFlagControl = 1 << 0;   // out-of-band host<->SN control
+inline constexpr std::uint16_t kFlagToHost = 1 << 1;    // delivery leg toward a host
+inline constexpr std::uint16_t kFlagFromHost = 1 << 2;  // first leg from a host
+
+// Well-known metadata keys. Values >= 0x100 are service-private.
+enum class meta_key : std::uint16_t {
+  dest_addr = 1,       // u64: final destination host
+  src_addr = 2,        // u64: originating host
+  payer = 3,           // payment-context token (who arranged the service)
+  bundle_options = 4,  // u64 bitmask of optional bundle settings
+  service_data = 5,    // opaque service-specific blob
+  control_op = 6,      // control-plane operation name
+  reply_to = 7,        // u64: address control replies should target
+};
+
+struct ilp_header {
+  service_id service = 0;
+  connection_id connection = 0;
+  std::uint16_t flags = 0;
+  std::map<std::uint16_t, bytes> metadata;
+
+  bytes encode() const;
+  // Throws interedge::serial_error on malformed input.
+  static ilp_header decode(const_byte_span data);
+
+  // Typed metadata accessors.
+  void set_meta(meta_key key, const_byte_span value);
+  void set_meta_u64(meta_key key, std::uint64_t value);
+  void set_meta_str(meta_key key, std::string_view value);
+  std::optional<const_byte_span> meta(meta_key key) const;
+  std::optional<std::uint64_t> meta_u64(meta_key key) const;
+  std::optional<std::string> meta_str(meta_key key) const;
+
+  bool operator==(const ilp_header&) const = default;
+};
+
+}  // namespace interedge::ilp

@@ -1,0 +1,63 @@
+#include "ilp/pipe.h"
+
+#include <cstring>
+
+#include "common/serial.h"
+#include "crypto/kdf.h"
+
+namespace interedge::ilp {
+namespace {
+
+crypto::psp_master_key derive_master(const_byte_span secret, std::string_view label) {
+  const bytes key =
+      crypto::hkdf(to_bytes("interedge-ilp-pipe-v1"), secret, to_bytes(label), 32);
+  crypto::psp_master_key master;
+  std::memcpy(master.data(), key.data(), master.size());
+  return master;
+}
+
+// AAD binds the payload length so header and payload cannot be recombined
+// across packets without detection.
+bytes length_aad(std::size_t payload_size) {
+  writer w(8);
+  w.u64(payload_size);
+  return w.take();
+}
+
+}  // namespace
+
+pipe::pipe(const_byte_span secret, std::uint32_t local_spi, std::uint32_t remote_spi,
+           bool initiator)
+    : tx_(derive_master(secret, initiator ? "init->resp" : "resp->init"), local_spi),
+      rx_(derive_master(secret, initiator ? "resp->init" : "init->resp"), remote_spi) {}
+
+bytes pipe::seal(const ilp_header& header, const_byte_span payload) {
+  const bytes sealed = tx_.seal(header.encode(), length_aad(payload.size()));
+  writer w(1 + 4 + sealed.size() + payload.size());
+  w.u8(static_cast<std::uint8_t>(msg_kind::data));
+  w.blob(sealed);
+  w.raw(payload);
+  ++stats_.sealed;
+  return w.take();
+}
+
+std::optional<std::pair<ilp_header, bytes>> pipe::open(const_byte_span body) {
+  try {
+    reader r(body);
+    const const_byte_span sealed = r.blob();
+    const const_byte_span payload = r.raw(r.remaining());
+    const auto header_bytes = rx_.open(sealed, length_aad(payload.size()));
+    if (!header_bytes) {
+      ++stats_.rejected;
+      return std::nullopt;
+    }
+    ilp_header header = ilp_header::decode(*header_bytes);
+    ++stats_.opened;
+    return std::make_pair(std::move(header), bytes(payload.begin(), payload.end()));
+  } catch (const serial_error&) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+}
+
+}  // namespace interedge::ilp

@@ -1,0 +1,70 @@
+// An established ILP pipe: the encrypted channel between two adjacent
+// InterEdge elements (host<->SN or SN<->SN).
+//
+// Per the paper's trust model (§4), only the ILP *header* is sealed with the
+// pipe's hop key; the application payload is protected end-to-end with a key
+// the pipe never sees. The seal binds the payload length (splice detection)
+// but intentionally not its contents — payload integrity is the endpoints'
+// concern.
+//
+// Wire format of a data message (after the 1-byte message kind):
+//   varint sealed_len || psp_wire(sealed ILP header) || payload
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/bytes.h"
+#include "crypto/psp.h"
+#include "ilp/header.h"
+
+namespace interedge::ilp {
+
+// Message kinds on the wire between two elements.
+enum class msg_kind : std::uint8_t {
+  handshake_init = 1,
+  handshake_resp = 2,
+  data = 3,
+};
+
+struct pipe_stats {
+  std::uint64_t sealed = 0;
+  std::uint64_t opened = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rekeys = 0;
+};
+
+class pipe {
+ public:
+  // `secret` is the X25519 shared secret; `initiator` selects the key
+  // direction so the two ends derive mirrored tx/rx contexts.
+  pipe(const_byte_span secret, std::uint32_t local_spi, std::uint32_t remote_spi, bool initiator);
+
+  // Builds a full data message (kind byte included).
+  bytes seal(const ilp_header& header, const_byte_span payload);
+
+  // Parses a data message body (kind byte already consumed).
+  // nullopt if the header fails to authenticate or the message is malformed.
+  std::optional<std::pair<ilp_header, bytes>> open(const_byte_span body);
+
+  // Unilateral sender-side rekey; the peer keeps accepting the previous
+  // epoch, so no coordination round-trip is needed.
+  void rotate_tx() {
+    tx_.rotate();
+    ++stats_.rekeys;
+  }
+  // Receive-side epoch advance (driven by observing the peer's new SPI or by
+  // the same schedule).
+  void rotate_rx() { rx_.rotate(); }
+
+  const pipe_stats& stats() const { return stats_; }
+  std::uint64_t tx_epoch() const { return tx_.epoch(); }
+
+ private:
+  crypto::psp_context tx_;
+  crypto::psp_context rx_;
+  pipe_stats stats_;
+};
+
+}  // namespace interedge::ilp

@@ -1,0 +1,198 @@
+#include "ilp/pipe_manager.h"
+
+#include "common/logging.h"
+#include "common/serial.h"
+#include "crypto/random.h"
+
+namespace interedge::ilp {
+namespace {
+
+crypto::x25519_keypair fresh_keypair() {
+  crypto::x25519_key seed;
+  crypto::random_bytes(seed);
+  return crypto::x25519_keypair_from_seed(seed);
+}
+
+bytes handshake_message(msg_kind kind, std::uint32_t spi, const crypto::x25519_key& pub) {
+  writer w(1 + 4 + 32);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(spi);
+  w.raw(const_byte_span(pub.data(), pub.size()));
+  return w.take();
+}
+
+}  // namespace
+
+pipe_manager::pipe_manager(peer_id self, send_fn send, deliver_fn deliver)
+    : self_(self), send_(std::move(send)), deliver_(std::move(deliver)) {}
+
+std::uint32_t pipe_manager::fresh_spi() {
+  // SPI bases are 31-bit (the top bit is the PSP epoch bit). Mix in the
+  // element id so SPIs from different elements rarely collide in logs.
+  const std::uint32_t spi =
+      (next_spi_++ ^ static_cast<std::uint32_t>(self_ * 2654435761u)) & 0x7fffffffu;
+  return spi == 0 ? 1 : spi;
+}
+
+void pipe_manager::connect(peer_id peer) {
+  if (pipes_.count(peer) || pending_.count(peer)) return;
+  start_handshake(peer);
+}
+
+void pipe_manager::start_handshake(peer_id peer) {
+  pending_state state;
+  state.keypair = fresh_keypair();
+  state.local_spi = fresh_spi();
+  send_(peer, handshake_message(msg_kind::handshake_init, state.local_spi, state.keypair.public_key));
+  pending_.emplace(peer, std::move(state));
+}
+
+void pipe_manager::send(peer_id peer, const ilp_header& header, bytes payload) {
+  auto it = pipes_.find(peer);
+  if (it != pipes_.end()) {
+    send_(peer, it->second->seal(header, payload));
+    return;
+  }
+  auto pending_it = pending_.find(peer);
+  if (pending_it == pending_.end()) {
+    start_handshake(peer);
+    pending_it = pending_.find(peer);
+  }
+  pending_it->second.queued.emplace_back(header, std::move(payload));
+}
+
+void pipe_manager::on_datagram(peer_id peer, const_byte_span datagram) {
+  if (datagram.empty()) return;
+  const auto kind = static_cast<msg_kind>(datagram[0]);
+  const const_byte_span body = datagram.subspan(1);
+  switch (kind) {
+    case msg_kind::handshake_init:
+      handle_init(peer, body);
+      break;
+    case msg_kind::handshake_resp:
+      handle_resp(peer, body);
+      break;
+    case msg_kind::data:
+      handle_data(peer, body);
+      break;
+    default:
+      IE_LOG(warn) << "pipe_manager " << self_ << ": unknown message kind from " << peer;
+  }
+}
+
+void pipe_manager::handle_init(peer_id peer, const_byte_span body) {
+  try {
+    reader r(body);
+    const std::uint32_t remote_spi = r.u32();
+    crypto::x25519_key remote_pub;
+    const const_byte_span pub = r.raw(32);
+    std::copy(pub.begin(), pub.end(), remote_pub.begin());
+
+    // Duplicate of an init we already answered (our response was lost):
+    // resend the identical response so the initiator can complete.
+    auto memo_it = responder_memos_.find(peer);
+    if (memo_it != responder_memos_.end() &&
+        memo_it->second.init_body.size() == body.size() &&
+        std::equal(body.begin(), body.end(), memo_it->second.init_body.begin())) {
+      send_(peer, memo_it->second.response);
+      return;
+    }
+    // A *different* init while a pipe exists means the peer restarted its
+    // handshake state: fall through and re-establish.
+
+    // Simultaneous-open tie-break: the element with the larger id yields
+    // (acts as responder); the smaller id's init is the one answered.
+    auto pending_it = pending_.find(peer);
+    if (pending_it != pending_.end() && self_ < peer) {
+      return;  // our init outranks theirs; they will answer it
+    }
+
+    std::vector<std::pair<ilp_header, bytes>> queued;
+    if (pending_it != pending_.end()) {
+      queued = std::move(pending_it->second.queued);
+      pending_.erase(pending_it);
+    }
+
+    const crypto::x25519_keypair keypair = fresh_keypair();
+    const std::uint32_t local_spi = fresh_spi();
+    bytes response =
+        handshake_message(msg_kind::handshake_resp, local_spi, keypair.public_key);
+    send_(peer, response);
+    responder_memos_[peer] =
+        responder_memo{bytes(body.begin(), body.end()), std::move(response)};
+    establish(peer, keypair.secret, remote_pub, local_spi, remote_spi, /*initiator=*/false,
+              std::move(queued));
+  } catch (const serial_error&) {
+    IE_LOG(warn) << "pipe_manager " << self_ << ": malformed handshake init from " << peer;
+  }
+}
+
+void pipe_manager::handle_resp(peer_id peer, const_byte_span body) {
+  auto pending_it = pending_.find(peer);
+  if (pending_it == pending_.end()) return;  // stale or duplicate response
+  try {
+    reader r(body);
+    const std::uint32_t remote_spi = r.u32();
+    crypto::x25519_key remote_pub;
+    const const_byte_span pub = r.raw(32);
+    std::copy(pub.begin(), pub.end(), remote_pub.begin());
+
+    pending_state state = std::move(pending_it->second);
+    pending_.erase(pending_it);
+    establish(peer, state.keypair.secret, remote_pub, state.local_spi, remote_spi,
+              /*initiator=*/true, std::move(state.queued));
+  } catch (const serial_error&) {
+    IE_LOG(warn) << "pipe_manager " << self_ << ": malformed handshake resp from " << peer;
+  }
+}
+
+void pipe_manager::establish(peer_id peer, const crypto::x25519_key& secret_scalar,
+                             const crypto::x25519_key& peer_public, std::uint32_t local_spi,
+                             std::uint32_t remote_spi, bool initiator,
+                             std::vector<std::pair<ilp_header, bytes>> queued) {
+  const crypto::x25519_key shared = crypto::x25519(secret_scalar, peer_public);
+  auto p = std::make_unique<pipe>(const_byte_span(shared.data(), shared.size()), local_spi,
+                                  remote_spi, initiator);
+  ++handshakes_completed_;
+  // Overwrite any existing pipe: a re-handshake (peer restart) supersedes
+  // the old keys.
+  auto& slot = pipes_[peer];
+  slot = std::move(p);
+  for (auto& [header, payload] : queued) {
+    send_(peer, slot->seal(header, payload));
+  }
+}
+
+void pipe_manager::handle_data(peer_id peer, const_byte_span body) {
+  auto it = pipes_.find(peer);
+  if (it == pipes_.end()) {
+    IE_LOG(debug) << "pipe_manager " << self_ << ": data before pipe from " << peer;
+    return;
+  }
+  auto opened = it->second->open(body);
+  if (!opened) return;
+  deliver_(peer, opened->first, std::move(opened->second));
+}
+
+bool pipe_manager::has_pipe(peer_id peer) const { return pipes_.count(peer) > 0; }
+
+void pipe_manager::retry_pending() {
+  for (auto& [peer, state] : pending_) {
+    send_(peer,
+          handshake_message(msg_kind::handshake_init, state.local_spi, state.keypair.public_key));
+  }
+}
+
+void pipe_manager::rotate_all() {
+  for (auto& [peer, p] : pipes_) {
+    p->rotate_tx();
+    p->rotate_rx();
+  }
+}
+
+const pipe_stats* pipe_manager::stats_for(peer_id peer) const {
+  auto it = pipes_.find(peer);
+  return it == pipes_.end() ? nullptr : &it->second->stats();
+}
+
+}  // namespace interedge::ilp

@@ -1,0 +1,94 @@
+// Pipe manager: owns all ILP pipes of one InterEdge element (a host stack
+// or a service node) and runs the establishment handshake.
+//
+// Handshake: single round trip. Each side contributes an ephemeral X25519
+// key and an SPI base; the shared secret plus direction labels yield the
+// two directional PSP master keys ("created when the sender and the
+// receiver first connect with each other" — §4). Once a pipe exists, data
+// packets carry zero handshake overhead.
+//
+// Transport-agnostic: the owner supplies a send function and feeds received
+// datagrams in via on_datagram(), so the same code runs over the simulator,
+// a real socket, or a benchmark loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/x25519.h"
+#include "ilp/pipe.h"
+
+namespace interedge::ilp {
+
+class pipe_manager {
+ public:
+  using send_fn = std::function<void(peer_id peer, bytes datagram)>;
+  using deliver_fn = std::function<void(peer_id peer, const ilp_header&, bytes payload)>;
+
+  pipe_manager(peer_id self, send_fn send, deliver_fn deliver);
+
+  // Sends over the pipe to `peer`, establishing it first if needed
+  // (packets queue behind the handshake).
+  void send(peer_id peer, const ilp_header& header, bytes payload);
+
+  // Feeds a received datagram (handshake or data) into the manager.
+  void on_datagram(peer_id peer, const_byte_span datagram);
+
+  // Proactively establishes a pipe (used for the long-lived inter-edomain
+  // peering pipes of §3.2).
+  void connect(peer_id peer);
+
+  bool has_pipe(peer_id peer) const;
+  std::size_t pipe_count() const { return pipes_.size(); }
+  std::size_t pending_handshakes() const { return pending_.size(); }
+
+  // Rotates the tx key of every established pipe (rekey schedule).
+  void rotate_all();
+
+  // Re-sends the initiation for every handshake still pending — datagrams
+  // (including handshakes) can be lost; owners call this on a timer.
+  // Queued packets are preserved; the responder side is stateless until it
+  // answers, so duplicate inits are harmless.
+  void retry_pending();
+
+  const pipe_stats* stats_for(peer_id peer) const;
+  std::uint64_t handshakes_completed() const { return handshakes_completed_; }
+
+ private:
+  struct pending_state {
+    crypto::x25519_keypair keypair;
+    std::uint32_t local_spi = 0;
+    std::vector<std::pair<ilp_header, bytes>> queued;
+  };
+  // Responder-side memo: lets a duplicate init (our response was lost) be
+  // re-answered idempotently instead of deadlocking the initiator.
+  struct responder_memo {
+    bytes init_body;
+    bytes response;
+  };
+
+  void start_handshake(peer_id peer);
+  void handle_init(peer_id peer, const_byte_span body);
+  void handle_resp(peer_id peer, const_byte_span body);
+  void handle_data(peer_id peer, const_byte_span body);
+  void establish(peer_id peer, const crypto::x25519_key& secret_scalar,
+                 const crypto::x25519_key& peer_public, std::uint32_t local_spi,
+                 std::uint32_t remote_spi, bool initiator,
+                 std::vector<std::pair<ilp_header, bytes>> queued);
+  std::uint32_t fresh_spi();
+
+  peer_id self_;
+  send_fn send_;
+  deliver_fn deliver_;
+  std::map<peer_id, std::unique_ptr<pipe>> pipes_;
+  std::map<peer_id, pending_state> pending_;
+  std::map<peer_id, responder_memo> responder_memos_;
+  std::uint32_t next_spi_ = 1;
+  std::uint64_t handshakes_completed_ = 0;
+};
+
+}  // namespace interedge::ilp

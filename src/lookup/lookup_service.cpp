@@ -1,0 +1,151 @@
+#include "lookup/lookup_service.h"
+
+#include "crypto/kdf.h"
+#include "crypto/random.h"
+
+namespace interedge::lookup {
+
+bytes make_auth_token(const crypto::x25519_key& principal_secret,
+                      const crypto::x25519_key& verifier_public, const_byte_span statement) {
+  const crypto::x25519_key shared = crypto::x25519(principal_secret, verifier_public);
+  const auto mac = crypto::hmac_sha256(const_byte_span(shared.data(), shared.size()), statement);
+  return bytes(mac.begin(), mac.end());
+}
+
+lookup_service::lookup_service() {
+  crypto::x25519_key seed;
+  crypto::random_bytes(seed);
+  keypair_ = crypto::x25519_keypair_from_seed(seed);
+}
+
+void lookup_service::register_host(host_record record) { hosts_[record.addr] = std::move(record); }
+
+std::optional<host_record> lookup_service::find_host(edge_addr addr) const {
+  ++queries_;
+  auto it = hosts_.find(addr);
+  if (it == hosts_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool lookup_service::deregister_host(edge_addr addr) { return hosts_.erase(addr) > 0; }
+
+bool lookup_service::create_group(const std::string& group,
+                                  const crypto::x25519_key& owner_public) {
+  if (groups_.count(group)) return false;
+  group_record rec;
+  rec.group = group;
+  rec.owner_public = owner_public;
+  groups_.emplace(group, std::move(rec));
+  return true;
+}
+
+bool lookup_service::ensure_open_group(const std::string& group) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) return it->second.open;
+  group_record rec;
+  rec.group = group;
+  rec.open = true;
+  groups_.emplace(group, std::move(rec));
+  return true;
+}
+
+bool lookup_service::verify_owner_token(const group_record& rec, const_byte_span statement,
+                                        const_byte_span token) const {
+  // Designated-verifier check: recompute the MAC with our secret and the
+  // owner's public key.
+  const crypto::x25519_key shared = crypto::x25519(keypair_.secret, rec.owner_public);
+  const auto mac = crypto::hmac_sha256(const_byte_span(shared.data(), shared.size()), statement);
+  return ct_equal(const_byte_span(mac.data(), mac.size()), token);
+}
+
+bool lookup_service::set_group_open(const std::string& group, const_byte_span token) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  if (!verify_owner_token(it->second, to_bytes("open:" + group), token)) return false;
+  it->second.open = true;
+  return true;
+}
+
+bool lookup_service::grant_membership(const std::string& group, edge_addr member,
+                                      const_byte_span token) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  if (!verify_owner_token(it->second, to_bytes("grant:" + group + ":" + std::to_string(member)),
+                          token)) {
+    return false;
+  }
+  it->second.granted.insert(member);
+  return true;
+}
+
+bool lookup_service::can_join(const std::string& group, edge_addr member) const {
+  ++queries_;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  return it->second.open || it->second.granted.count(member) > 0;
+}
+
+bool lookup_service::add_member_edomain(const std::string& group, edomain_id domain) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  const bool inserted = it->second.member_edomains.insert(domain).second;
+  if (inserted) notify(group, domain, group_event::member_edomain_added);
+  return inserted;
+}
+
+bool lookup_service::remove_member_edomain(const std::string& group, edomain_id domain) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return false;
+  const bool removed = it->second.member_edomains.erase(domain) > 0;
+  if (removed) notify(group, domain, group_event::member_edomain_removed);
+  return removed;
+}
+
+std::vector<edomain_id> lookup_service::register_sender(const std::string& group,
+                                                        edomain_id domain, group_watch watch) {
+  ++queries_;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  it->second.sender_edomains.insert(domain);
+  watches_[group][domain] = std::move(watch);
+  return std::vector<edomain_id>(it->second.member_edomains.begin(),
+                                 it->second.member_edomains.end());
+}
+
+void lookup_service::deregister_sender(const std::string& group, edomain_id domain) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.sender_edomains.erase(domain);
+  auto w = watches_.find(group);
+  if (w != watches_.end()) w->second.erase(domain);
+}
+
+std::optional<group_record> lookup_service::find_group(const std::string& group) const {
+  ++queries_;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool lookup_service::register_name(const std::string& name, std::uint64_t value) {
+  auto [it, inserted] = names_.emplace(name, value);
+  return inserted || it->second == value;
+}
+
+std::optional<std::uint64_t> lookup_service::resolve_name(const std::string& name) const {
+  ++queries_;
+  auto it = names_.find(name);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool lookup_service::unregister_name(const std::string& name) { return names_.erase(name) > 0; }
+
+void lookup_service::notify(const std::string& group, edomain_id domain, group_event event) {
+  auto w = watches_.find(group);
+  if (w == watches_.end()) return;
+  for (const auto& [watcher_domain, callback] : w->second) {
+    if (callback) callback(group, domain, event);
+  }
+}
+
+}  // namespace interedge::lookup

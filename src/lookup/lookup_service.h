@@ -1,0 +1,132 @@
+// The global lookup service (paper §3.2 "Name services" and §6 "Multipoint
+// delivery"): "IANA or some other organization provides a durable and
+// scalable lookup service that associates each address with the public key
+// of the owner of that address", tracks which edomains have members of
+// each group, and supports watches so edomain cores learn about changes.
+//
+// Substitution note: the paper assumes an external operated service; we
+// implement it as an in-process object with the same interface semantics
+// (records, authorization, watches). Point-to-point name resolution
+// "returns not just the service-specific address but also one or more SNs
+// associated with the destination host" — see host_record.
+//
+// Authorization uses designated-verifier MACs: a principal P authorizes a
+// statement to verifier V with HMAC(X25519(sk_P, pk_V), statement). This
+// gives the paper's "signature from the owner" semantics using only the
+// primitives we implement from scratch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/x25519.h"
+#include "ilp/header.h"
+
+namespace interedge::lookup {
+
+using ilp::edge_addr;
+using edomain_id = std::uint16_t;
+
+// What name resolution returns for a host.
+struct host_record {
+  edge_addr addr = 0;
+  crypto::x25519_key owner_public{};
+  std::vector<ilp::peer_id> service_nodes;  // associated (first-hop) SNs
+  edomain_id edomain = 0;
+};
+
+// A group (anycast/multicast/pub-sub topic) record.
+struct group_record {
+  std::string group;
+  crypto::x25519_key owner_public{};
+  bool open = false;  // owner posted a signed open-group statement
+  std::set<edge_addr> granted;   // per-member authorizations
+  std::set<edomain_id> member_edomains;
+  std::set<edomain_id> sender_edomains;
+};
+
+enum class group_event { member_edomain_added, member_edomain_removed };
+using group_watch =
+    std::function<void(const std::string& group, edomain_id domain, group_event event)>;
+
+// Designated-verifier authorization token.
+bytes make_auth_token(const crypto::x25519_key& principal_secret,
+                      const crypto::x25519_key& verifier_public, const_byte_span statement);
+
+class lookup_service {
+ public:
+  lookup_service();
+
+  const crypto::x25519_key& public_key() const { return keypair_.public_key; }
+
+  // ---- host records ----
+  void register_host(host_record record);
+  std::optional<host_record> find_host(edge_addr addr) const;
+  bool deregister_host(edge_addr addr);
+
+  // ---- group lifecycle ----
+  // Creates a group owned by `owner_public`. Fails if it already exists.
+  bool create_group(const std::string& group, const crypto::x25519_key& owner_public);
+
+  // Creates an ungoverned open group (no owner) if absent — the paper's
+  // "some groups will be open to all" case for topics nobody claimed.
+  // Returns true if the group now exists and is open.
+  bool ensure_open_group(const std::string& group);
+
+  // Owner posts a signed statement opening the group to all receivers.
+  // `token` must be make_auth_token(owner_secret, service.public_key(),
+  // "open:" + group).
+  bool set_group_open(const std::string& group, const_byte_span token);
+
+  // Owner grants a specific address the right to join.
+  bool grant_membership(const std::string& group, edge_addr member, const_byte_span token);
+
+  // Join authorization check used by SNs/cores when validating joins.
+  bool can_join(const std::string& group, edge_addr member) const;
+
+  // ---- edomain-level membership (maintained by edomain cores) ----
+  // Returns true if this was the edomain's first membership.
+  bool add_member_edomain(const std::string& group, edomain_id domain);
+  bool remove_member_edomain(const std::string& group, edomain_id domain);
+  // Registering a sender returns the current member-edomain list and
+  // installs the core's watch (paper: "reads from the lookup service the
+  // list of edomains with members (and puts a watch on that list)").
+  std::vector<edomain_id> register_sender(const std::string& group, edomain_id domain,
+                                          group_watch watch);
+  void deregister_sender(const std::string& group, edomain_id domain);
+
+  std::optional<group_record> find_group(const std::string& group) const;
+
+  // ---- generic name registry ----
+  // "Different services can be based on different name and address spaces"
+  // (§3.2): services register service-specific names (e.g. a message
+  // queue's home SN). First writer wins; returns false on collision with a
+  // different value.
+  bool register_name(const std::string& name, std::uint64_t value);
+  std::optional<std::uint64_t> resolve_name(const std::string& name) const;
+  bool unregister_name(const std::string& name);
+
+  // Stats for tests/benchmarks.
+  std::uint64_t queries() const { return queries_; }
+
+ private:
+  bool verify_owner_token(const group_record& rec, const_byte_span statement,
+                          const_byte_span token) const;
+  void notify(const std::string& group, edomain_id domain, group_event event);
+
+  crypto::x25519_keypair keypair_;
+  std::map<edge_addr, host_record> hosts_;
+  std::map<std::string, group_record> groups_;
+  // Watches installed by sender edomains: group -> (edomain -> watch).
+  std::map<std::string, std::map<edomain_id, group_watch>> watches_;
+  std::map<std::string, std::uint64_t> names_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace interedge::lookup

@@ -1,0 +1,161 @@
+#include "net/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/select.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace interedge::net {
+namespace {
+
+std::uint64_t pack_source(const sockaddr_in& addr) {
+  return (static_cast<std::uint64_t>(addr.sin_addr.s_addr) << 16) | addr.sin_port;
+}
+
+}  // namespace
+
+udp_endpoint::udp_endpoint(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("udp socket failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error(std::string("udp bind failed: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  const int fl = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, fl | O_NONBLOCK);
+}
+
+udp_endpoint::~udp_endpoint() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void udp_endpoint::add_peer(peer_id peer, const std::string& ip, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  ::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr);
+  addr.sin_port = htons(port);
+  peers_[peer] = addr;
+  by_source_[pack_source(addr)] = peer;
+}
+
+bool udp_endpoint::send(peer_id to, const bytes& datagram) {
+  auto it = peers_.find(to);
+  if (it == peers_.end()) return false;
+  const ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&it->second),
+                             sizeof(it->second));
+  if (n < 0) return false;  // transient (e.g. buffer full): UDP is lossy anyway
+  ++sent_;
+  return true;
+}
+
+std::optional<std::pair<peer_id, bytes>> udp_endpoint::poll() {
+  std::uint8_t buffer[65536];
+  sockaddr_in source{};
+  socklen_t len = sizeof(source);
+  const ssize_t n = ::recvfrom(fd_, buffer, sizeof(buffer), 0,
+                               reinterpret_cast<sockaddr*>(&source), &len);
+  if (n < 0) return std::nullopt;  // EAGAIN / transient
+  auto it = by_source_.find(pack_source(source));
+  if (it == by_source_.end()) {
+    ++dropped_unknown_;
+    return std::nullopt;
+  }
+  ++received_;
+  return std::make_pair(it->second, bytes(buffer, buffer + n));
+}
+
+// ---- event_loop --------------------------------------------------------
+
+void event_loop::attach(udp_endpoint& endpoint, datagram_handler handler) {
+  endpoints_.push_back(attached{&endpoint, std::move(handler)});
+}
+
+void event_loop::schedule(nanoseconds delay, std::function<void()> fn) {
+  timers_.push(timer{std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(delay),
+                     next_seq_++, std::move(fn)});
+}
+
+std::size_t event_loop::pass(std::chrono::milliseconds max_wait) {
+  const auto now = std::chrono::steady_clock::now();
+
+  // Fire due timers.
+  while (!timers_.empty() && timers_.top().due <= now) {
+    auto fn = timers_.top().fn;
+    timers_.pop();
+    fn();
+  }
+
+  // Wait for readability across all endpoints (bounded by the next timer).
+  fd_set readable;
+  FD_ZERO(&readable);
+  int max_fd = -1;
+  for (const attached& a : endpoints_) {
+    FD_SET(a.endpoint->fd(), &readable);
+    max_fd = std::max(max_fd, a.endpoint->fd());
+  }
+  auto wait = max_wait;
+  if (!timers_.empty()) {
+    const auto until_timer = std::chrono::duration_cast<std::chrono::milliseconds>(
+        timers_.top().due - now);
+    wait = std::clamp(until_timer, std::chrono::milliseconds(0), max_wait);
+  }
+  timeval tv{static_cast<time_t>(wait.count() / 1000),
+             static_cast<suseconds_t>((wait.count() % 1000) * 1000)};
+  if (::select(max_fd + 1, &readable, nullptr, nullptr, &tv) <= 0) return 0;
+
+  // Drain everything readable.
+  std::size_t dispatched = 0;
+  for (const attached& a : endpoints_) {
+    while (auto datagram = a.endpoint->poll()) {
+      a.handler(datagram->first, datagram->second);
+      ++dispatched;
+    }
+  }
+  return dispatched;
+}
+
+std::size_t event_loop::run_for(std::chrono::milliseconds deadline_from_now) {
+  const auto deadline = std::chrono::steady_clock::now() + deadline_from_now;
+  std::size_t total = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    total += pass(std::max(std::chrono::milliseconds(1), remaining));
+  }
+  return total;
+}
+
+std::size_t event_loop::run_until_quiet(std::chrono::milliseconds quiet,
+                                        std::chrono::milliseconds limit) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  auto last_activity = std::chrono::steady_clock::now();
+  std::size_t total = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::size_t n = pass(std::chrono::milliseconds(5));
+    if (n > 0) {
+      total += n;
+      last_activity = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - last_activity > quiet && timers_.empty()) {
+      break;
+    }
+  }
+  return total;
+}
+
+}  // namespace interedge::net

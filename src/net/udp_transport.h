@@ -1,0 +1,122 @@
+// Real-network binding: runs InterEdge elements over UDP sockets.
+//
+// Every component above L3 (pipe_manager, service_node, host_stack) is
+// transport-agnostic — it takes a send callback and an on_datagram feed.
+// The simulator provides one binding (tests, examples, topology research);
+// this module provides the other: actual UDP datagrams, so an SN or host
+// built from this library runs on a real network unchanged.
+//
+//   udp_endpoint  — a bound non-blocking UDP socket with a peer table
+//                   (peer_id <-> sockaddr), send/poll in pipe_manager's
+//                   vocabulary
+//   event_loop    — single-threaded driver: pumps any number of endpoints
+//                   into their handlers and runs timers (the scheduler_fn
+//                   service_node/host_stack need)
+#pragma once
+
+#include <netinet/in.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "ilp/header.h"
+
+namespace interedge::net {
+
+using ilp::peer_id;
+
+class udp_endpoint {
+ public:
+  // Binds 127.0.0.1:port (port 0 = ephemeral). Throws std::runtime_error
+  // on socket failures.
+  explicit udp_endpoint(std::uint16_t port = 0);
+  ~udp_endpoint();
+
+  udp_endpoint(const udp_endpoint&) = delete;
+  udp_endpoint& operator=(const udp_endpoint&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+  // Registers a peer's network address. Datagrams from unregistered
+  // sources are dropped (and counted).
+  void add_peer(peer_id peer, const std::string& ip, std::uint16_t port);
+
+  // Sends a datagram to a registered peer; false if the peer is unknown.
+  bool send(peer_id to, const bytes& datagram);
+
+  // Non-blocking receive of one datagram from a registered peer.
+  std::optional<std::pair<peer_id, bytes>> poll();
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t received() const { return received_; }
+  std::uint64_t dropped_unknown() const { return dropped_unknown_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<peer_id, sockaddr_in> peers_;
+  std::map<std::uint64_t, peer_id> by_source_;  // packed ip:port -> peer
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t dropped_unknown_ = 0;
+};
+
+// Single-threaded real-time driver for one or more endpoints.
+class event_loop {
+ public:
+  using datagram_handler = std::function<void(peer_id from, const_byte_span data)>;
+
+  // Attaches an endpoint: arriving datagrams go to `handler`.
+  void attach(udp_endpoint& endpoint, datagram_handler handler);
+
+  // Timer facility, signature-compatible with service_node/host_stack's
+  // scheduler_fn.
+  void schedule(nanoseconds delay, std::function<void()> fn);
+  auto scheduler() {
+    return [this](nanoseconds delay, std::function<void()> fn) {
+      schedule(delay, std::move(fn));
+    };
+  }
+
+  // Pumps sockets and timers until `deadline_from_now` elapses.
+  // Returns the number of datagrams dispatched.
+  std::size_t run_for(std::chrono::milliseconds deadline_from_now);
+
+  // Pumps until no datagram arrives for `quiet` (and no timers are due),
+  // up to `limit`. The usual test idiom: run until the exchange quiesces.
+  std::size_t run_until_quiet(std::chrono::milliseconds quiet,
+                              std::chrono::milliseconds limit);
+
+ private:
+  struct attached {
+    udp_endpoint* endpoint;
+    datagram_handler handler;
+  };
+  struct timer {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const timer& other) const {
+      return due != other.due ? due > other.due : seq > other.seq;
+    }
+  };
+
+  // One pass: fire due timers, drain readable sockets. Returns datagrams
+  // dispatched; `waited` reports whether it had to block.
+  std::size_t pass(std::chrono::milliseconds max_wait);
+
+  std::vector<attached> endpoints_;
+  std::priority_queue<timer, std::vector<timer>, std::greater<>> timers_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace interedge::net

@@ -1,0 +1,36 @@
+#include "services/anycast.h"
+
+namespace interedge::services {
+
+core::module_result anycast_service::handle_control(core::service_context& ctx,
+                                                    const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto group = get_skey_str(pkt.header, skey::group);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !group || !src) return core::module_result::drop();
+
+  const bool auto_open = ctx.config("auto_open_groups", "true") == "true";
+  if (*op == ops::join) {
+    if (!fanout_.may_join(*group, *src, auto_open)) {
+      ctx.metrics().get_counter("anycast.denied_joins").add();
+      return core::module_result::deliver();
+    }
+    fanout_.local_join(*group, *src);
+    return core::module_result::deliver();
+  }
+  if (*op == ops::leave) {
+    fanout_.local_leave(*group, *src);
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+core::module_result anycast_service::on_packet(core::service_context& ctx,
+                                               const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+  const auto group = get_skey_str(pkt.header, skey::group);
+  if (!group) return core::module_result::drop();
+  return fanout_.deliver_one(ctx, pkt, *group);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,36 @@
+// Anycast service module (paper §6): join/leave like multicast, but a
+// datagram sent to the group reaches exactly one member, preferring the
+// nearest (same-SN member, then same-edomain, then a remote edomain).
+#pragma once
+
+#include "core/service_module.h"
+#include "services/fanout.h"
+
+namespace interedge::services {
+
+class anycast_service final : public core::service_module {
+ public:
+  anycast_service(edomain::domain_core& core, core::peer_id self)
+      : fanout_(core, self, ilp::svc::anycast) {}
+
+  ilp::service_id id() const override { return ilp::svc::anycast; }
+  std::string_view name() const override { return "anycast"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
+  void restore(core::service_context&, const_byte_span state) override {
+    fanout_.restore(state);
+  }
+
+  std::size_t members(const std::string& group) const {
+    return fanout_.local_member_count(group);
+  }
+
+ private:
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+
+  group_fanout fanout_;
+};
+
+}  // namespace interedge::services

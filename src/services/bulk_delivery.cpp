@@ -1,0 +1,93 @@
+#include "services/bulk_delivery.h"
+
+namespace interedge::services {
+namespace {
+std::string chunk_key(const std::string& object, std::uint64_t index) {
+  return "chunk/" + object + "/" + std::to_string(index);
+}
+inline constexpr const char* kFetchOp = "fetch";
+inline constexpr const char* kChunkOp = "chunk";
+}  // namespace
+
+void bulk_delivery_service::cache_chunk(core::service_context& ctx, const std::string& object,
+                                        std::uint64_t index, const bytes& body) {
+  const std::string key = chunk_key(object, index);
+  if (ctx.storage().contains(key)) return;
+  if (cached_keys_.size() >= max_cached_) {
+    ctx.storage().erase(cached_keys_.front());
+    cached_keys_.pop_front();
+  }
+  cached_keys_.push_back(key);
+  ctx.storage().put(key, body);
+}
+
+core::module_result bulk_delivery_service::handle_control(core::service_context& ctx,
+                                                          const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !src) return core::module_result::drop();
+
+  const auto group = get_skey_str(pkt.header, skey::group);
+  if (*op == ops::join && group) {
+    if (fanout_.may_join(*group, *src, /*auto_open=*/true)) {
+      fanout_.local_join(*group, *src);
+    }
+    return core::module_result::deliver();
+  }
+  if (*op == ops::leave && group) {
+    fanout_.local_leave(*group, *src);
+    return core::module_result::deliver();
+  }
+
+  if (*op == kFetchOp) {
+    // A receiver re-fetches a chunk it missed from its first-hop SN.
+    const auto object = get_skey_str(pkt.header, skey::object_id);
+    const auto index = get_skey_u64(pkt.header, skey::chunk_index);
+    if (!object || !index) return core::module_result::drop();
+    const auto cached = ctx.storage().get(chunk_key(*object, *index));
+    if (!cached) return core::module_result::deliver();  // miss: nothing to send
+    ++refetch_hits_;
+    ctx.metrics().get_counter("bulk.refetch_hits").add();
+    ilp::ilp_header h;
+    h.service = ilp::svc::bulk_delivery;
+    h.connection = pkt.header.connection;
+    h.flags = ilp::kFlagControl | ilp::kFlagToHost;
+    h.set_meta_str(ilp::meta_key::control_op, kChunkOp);
+    set_skey_str(h, skey::object_id, *object);
+    set_skey_u64(h, skey::chunk_index, *index);
+    // The cached chunk count lets a receiver that missed every data packet
+    // still learn the object size.
+    if (const auto count = ctx.storage().get("count/" + *object)) {
+      if (count->size() == 8) {
+        std::uint64_t total = 0;
+        for (int i = 0; i < 8; ++i) total |= static_cast<std::uint64_t>((*count)[i]) << (8 * i);
+        set_skey_u64(h, skey::chunk_count, total);
+      }
+    }
+    ctx.send(*src, h, *cached);
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+core::module_result bulk_delivery_service::on_packet(core::service_context& ctx,
+                                                     const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+
+  const auto group = get_skey_str(pkt.header, skey::group);
+  const auto object = get_skey_str(pkt.header, skey::object_id);
+  const auto index = get_skey_u64(pkt.header, skey::chunk_index);
+  if (!group || !object || !index) return core::module_result::drop();
+
+  // Every SN on the distribution path caches the chunk (and the object's
+  // chunk count, for gap repair).
+  cache_chunk(ctx, *object, *index, pkt.payload);
+  if (const auto total = get_skey_u64(pkt.header, skey::chunk_count)) {
+    bytes enc(8);
+    for (int i = 0; i < 8; ++i) enc[i] = static_cast<std::uint8_t>(*total >> (8 * i));
+    ctx.storage().put("count/" + *object, std::move(enc));
+  }
+  return fanout_.fan_out(ctx, pkt, *group);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,52 @@
+// Bulk data delivery service (paper §6 "Specialty services"): "Bulk data
+// delivery is a form of multipoint delivery but focuses on large data
+// transfers rather than single packets or messages. The InterEdge could
+// incorporate an interconnected version of this, and we are currently
+// building such a service for possible use for large experimental datasets
+// in the scientific community."
+//
+// Objects are split into chunks by the sending client; each chunk fans out
+// to the group (via the same machinery as multicast) and every SN it
+// traverses caches it, so (a) receivers in the same edomain cost one
+// cross-domain transfer, and (b) a receiver missing chunks re-fetches them
+// from its own first-hop SN instead of the sender ("fetch" control op).
+#pragma once
+
+#include <deque>
+
+#include "core/service_module.h"
+#include "services/fanout.h"
+
+namespace interedge::services {
+
+class bulk_delivery_service final : public core::service_module {
+ public:
+  bulk_delivery_service(edomain::domain_core& core, core::peer_id self,
+                        std::size_t max_cached_chunks = 4096)
+      : fanout_(core, self, ilp::svc::bulk_delivery), max_cached_(max_cached_chunks) {}
+
+  ilp::service_id id() const override { return ilp::svc::bulk_delivery; }
+  std::string_view name() const override { return "bulk-delivery"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
+  void restore(core::service_context&, const_byte_span state) override {
+    fanout_.restore(state);
+  }
+
+  std::uint64_t chunks_cached() const { return cached_keys_.size(); }
+  std::uint64_t refetch_hits() const { return refetch_hits_; }
+
+ private:
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+  void cache_chunk(core::service_context& ctx, const std::string& object,
+                   std::uint64_t index, const bytes& body);
+
+  group_fanout fanout_;
+  std::size_t max_cached_;
+  std::deque<std::string> cached_keys_;
+  std::uint64_t refetch_hits_ = 0;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,100 @@
+#include "services/clients/bulk_client.h"
+
+namespace interedge::services {
+
+void bulk_sender::send_object(const std::string& group, const std::string& object_id,
+                              const_byte_span body, std::size_t chunk_size) {
+  const std::uint64_t total =
+      body.empty() ? 1 : (body.size() + chunk_size - 1) / chunk_size;
+  const ilp::connection_id conn = next_conn_++;
+  for (std::uint64_t index = 1; index <= total; ++index) {
+    const std::size_t offset = static_cast<std::size_t>(index - 1) * chunk_size;
+    const std::size_t take = std::min(chunk_size, body.size() - offset);
+    ilp::ilp_header h;
+    h.service = ilp::svc::bulk_delivery;
+    h.connection = conn;
+    h.flags = ilp::kFlagFromHost;
+    h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+    set_skey_str(h, skey::group, group);
+    set_skey_str(h, skey::object_id, object_id);
+    set_skey_u64(h, skey::chunk_index, index);
+    set_skey_u64(h, skey::chunk_count, total);
+    const auto chunk = body.subspan(offset, take);
+    stack_.pipes().send(stack_.first_hop_sn(), h, bytes(chunk.begin(), chunk.end()));
+  }
+}
+
+bulk_receiver::bulk_receiver(host::host_stack& stack) : stack_(stack) {
+  // Fan-out data chunks.
+  stack_.set_service_handler(ilp::svc::bulk_delivery,
+                             [this](const ilp::ilp_header& h, bytes payload) {
+                               const auto object = get_skey_str(h, skey::object_id);
+                               const auto index = get_skey_u64(h, skey::chunk_index);
+                               const auto total = get_skey_u64(h, skey::chunk_count);
+                               if (!object || !index || !total) return;
+                               accept_chunk(*object, *index, *total, std::move(payload));
+                             });
+  // Re-fetched chunks arrive as control replies; the SN includes the
+  // object's chunk count so even a receiver that saw no data packets can
+  // reassemble.
+  stack_.set_control_handler(ilp::svc::bulk_delivery,
+                             [this](const ilp::ilp_header& h, bytes payload) {
+                               const auto object = get_skey_str(h, skey::object_id);
+                               const auto index = get_skey_u64(h, skey::chunk_index);
+                               if (!object || !index) return;
+                               std::uint64_t total = get_skey_u64(h, skey::chunk_count).value_or(0);
+                               auto it = assemblies_.find(*object);
+                               if (total == 0 && it != assemblies_.end()) total = it->second.total;
+                               if (total == 0) return;  // size unknown: cannot place
+                               accept_chunk(*object, *index, total, std::move(payload));
+                             });
+}
+
+void bulk_receiver::join(const std::string& group) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::bulk_delivery;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, ops::join);
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  set_skey_str(h, skey::group, group);
+  stack_.pipes().send(stack_.first_hop_sn(), h, {});
+}
+
+void bulk_receiver::fetch_chunk(const std::string& object_id, std::uint64_t index) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::bulk_delivery;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, "fetch");
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  set_skey_str(h, skey::object_id, object_id);
+  set_skey_u64(h, skey::chunk_index, index);
+  stack_.pipes().send(stack_.first_hop_sn(), h, {});
+}
+
+std::vector<std::uint64_t> bulk_receiver::missing(const std::string& object_id) const {
+  std::vector<std::uint64_t> out;
+  auto it = assemblies_.find(object_id);
+  if (it == assemblies_.end()) return out;
+  for (std::uint64_t i = 1; i <= it->second.total; ++i) {
+    if (!it->second.chunks.count(i)) out.push_back(i);
+  }
+  return out;
+}
+
+void bulk_receiver::accept_chunk(const std::string& object_id, std::uint64_t index,
+                                 std::uint64_t total, bytes data) {
+  assembly& a = assemblies_[object_id];
+  a.total = std::max(a.total, total);
+  a.chunks.emplace(index, std::move(data));
+  if (a.total == 0 || a.chunks.size() < a.total) return;
+  // Complete: reassemble in order and hand off.
+  bytes body;
+  for (auto& [i, chunk] : a.chunks) body.insert(body.end(), chunk.begin(), chunk.end());
+  assemblies_.erase(object_id);
+  if (on_object_) on_object_(object_id, std::move(body));
+}
+
+}  // namespace interedge::services

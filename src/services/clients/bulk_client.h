@@ -1,0 +1,58 @@
+// Host-side bulk-data-delivery logic: the sender chunks objects; receivers
+// reassemble, detect gaps, and re-fetch missing chunks from their first-hop
+// SN's cache.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class bulk_sender {
+ public:
+  explicit bulk_sender(host::host_stack& stack) : stack_(stack) {}
+
+  // Splits `body` into chunks and pushes them to the group.
+  void send_object(const std::string& group, const std::string& object_id,
+                   const_byte_span body, std::size_t chunk_size = 1024);
+
+ private:
+  host::host_stack& stack_;
+  std::uint64_t next_conn_ = 1;
+};
+
+class bulk_receiver {
+ public:
+  using object_handler = std::function<void(const std::string& object_id, bytes body)>;
+
+  explicit bulk_receiver(host::host_stack& stack);
+
+  void join(const std::string& group);
+  void set_handler(object_handler handler) { on_object_ = std::move(handler); }
+
+  // Gap repair: ask the first-hop SN for a specific chunk.
+  void fetch_chunk(const std::string& object_id, std::uint64_t index);
+
+  // Chunk indices still missing for an in-progress object.
+  std::vector<std::uint64_t> missing(const std::string& object_id) const;
+
+ private:
+  struct assembly {
+    std::uint64_t total = 0;
+    std::map<std::uint64_t, bytes> chunks;  // 1-based index -> data
+  };
+  void accept_chunk(const std::string& object_id, std::uint64_t index, std::uint64_t total,
+                    bytes data);
+
+  host::host_stack& stack_;
+  object_handler on_object_;
+  std::map<std::string, assembly> assemblies_;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,54 @@
+#include "services/clients/cluster_client.h"
+
+#include "common/serial.h"
+
+namespace interedge::services {
+
+cluster_gateway::cluster_gateway(host::host_stack& stack) : stack_(stack) {
+  stack_.set_service_handler(ilp::svc::cluster, [this](const ilp::ilp_header&, bytes payload) {
+    try {
+      reader r(payload);
+      const std::uint64_t inner_dest = r.u64();
+      const auto frame = r.blob();
+      ++received_;
+      if (handler_) handler_(inner_dest, bytes(frame.begin(), frame.end()));
+    } catch (const serial_error&) {
+    }
+  });
+}
+
+void cluster_gateway::control(const std::string& op, const std::string& cluster) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::cluster;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, op);
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  set_skey_str(h, skey::group, cluster);
+  stack_.pipes().send(stack_.first_hop_sn(), h, {});
+}
+
+void cluster_gateway::attach(const std::string& cluster) {
+  control(cluster_ops::attach, cluster);
+}
+
+void cluster_gateway::detach(const std::string& cluster) {
+  control(cluster_ops::detach, cluster);
+}
+
+void cluster_gateway::send_frame(const std::string& cluster, std::uint64_t inner_dest,
+                                 bytes frame) {
+  writer w(8 + frame.size());
+  w.u64(inner_dest);
+  w.blob(frame);
+  ilp::ilp_header h;
+  h.service = ilp::svc::cluster;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagFromHost;
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  set_skey_str(h, skey::group, cluster);
+  stack_.pipes().send(stack_.first_hop_sn(), h, w.take());
+}
+
+}  // namespace interedge::services

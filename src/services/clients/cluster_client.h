@@ -1,0 +1,40 @@
+// Host-side cluster-interconnect logic: the site gateway. Encapsulates
+// frames (inner private address + payload) toward other sites and hands
+// decapsulated frames to the local cluster.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "host/host_stack.h"
+#include "services/cluster_interconnect.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class cluster_gateway {
+ public:
+  // (inner destination address within this cluster site, frame payload)
+  using frame_handler = std::function<void(std::uint64_t inner_dest, bytes frame)>;
+
+  explicit cluster_gateway(host::host_stack& stack);
+
+  void attach(const std::string& cluster);
+  void detach(const std::string& cluster);
+
+  // Encapsulates a frame for a host in a remote site of the cluster.
+  void send_frame(const std::string& cluster, std::uint64_t inner_dest, bytes frame);
+
+  void set_handler(frame_handler handler) { handler_ = std::move(handler); }
+  std::uint64_t frames_received() const { return received_; }
+
+ private:
+  void control(const std::string& op, const std::string& cluster);
+
+  host::host_stack& stack_;
+  frame_handler handler_;
+  std::uint64_t received_ = 0;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,48 @@
+#include "services/clients/content.h"
+
+#include "services/delivery.h"
+
+namespace interedge::services {
+
+content_client::content_client(host::host_stack& stack) : stack_(stack) {
+  stack_.set_service_handler(ilp::svc::delivery, [this](const ilp::ilp_header& h, bytes payload) {
+    const auto key = get_skey_str(h, skey::content_key);
+    const auto stage = get_skey_u64(h, skey::stage);
+    if (!key || stage != kContentResponse) return;
+    auto it = pending_.find(*key);
+    if (it == pending_.end()) return;
+    auto handler = std::move(it->second);
+    pending_.erase(it);
+    ++responses_;
+    if (handler) handler(*key, std::move(payload));
+  });
+}
+
+void content_client::fetch(host::edge_addr origin, const std::string& key,
+                           content_handler handler) {
+  pending_[key] = std::move(handler);
+  auto conn = stack_.open(origin, ilp::svc::delivery, stack_.first_hop_sn());
+  conn.set_option(ilp::meta_key::bundle_options, kBundleCaching);
+  conn.set_option_str(static_cast<ilp::meta_key>(skey::content_key), key);
+  conn.set_option(static_cast<ilp::meta_key>(skey::stage), kContentRequest);
+  conn.send({});
+}
+
+content_origin::content_origin(host::host_stack& stack) : stack_(stack) {
+  stack_.set_service_handler(ilp::svc::delivery, [this](const ilp::ilp_header& h, bytes) {
+    const auto key = get_skey_str(h, skey::content_key);
+    const auto stage = get_skey_u64(h, skey::stage).value_or(kContentRequest);
+    const auto requester = h.meta_u64(ilp::meta_key::src_addr);
+    if (!key || stage != kContentRequest || !requester) return;
+    auto it = store_.find(*key);
+    if (it == store_.end()) return;
+    ++served_;
+    auto conn = stack_.open(*requester, ilp::svc::delivery, stack_.first_hop_sn());
+    conn.set_option(ilp::meta_key::bundle_options, kBundleCaching);
+    conn.set_option_str(static_cast<ilp::meta_key>(skey::content_key), *key);
+    conn.set_option(static_cast<ilp::meta_key>(skey::stage), kContentResponse);
+    conn.send(it->second);
+  });
+}
+
+}  // namespace interedge::services

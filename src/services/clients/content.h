@@ -1,0 +1,46 @@
+// Host-side content (CDN bundle) logic: a fetch client and an origin
+// server, both built on the delivery service with the caching option set.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+// Requests content by key from an origin; responses may come from any SN
+// cache on the path (transparent to the client).
+class content_client {
+ public:
+  using content_handler = std::function<void(const std::string& key, bytes body)>;
+
+  explicit content_client(host::host_stack& stack);
+
+  void fetch(host::edge_addr origin, const std::string& key, content_handler handler);
+  std::uint64_t responses() const { return responses_; }
+
+ private:
+  host::host_stack& stack_;
+  std::map<std::string, content_handler> pending_;  // key -> handler
+  std::uint64_t responses_ = 0;
+  std::uint64_t next_conn_ = 1;
+};
+
+// Origin server: answers content requests from its in-memory store.
+class content_origin {
+ public:
+  explicit content_origin(host::host_stack& stack);
+
+  void put(const std::string& key, bytes body) { store_[key] = std::move(body); }
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  host::host_stack& stack_;
+  std::map<std::string, bytes> store_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace interedge::services

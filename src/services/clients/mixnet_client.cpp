@@ -1,0 +1,48 @@
+#include "services/clients/mixnet_client.h"
+
+#include "common/serial.h"
+#include "services/envelope.h"
+#include "services/mixnet.h"
+
+namespace interedge::services {
+
+mixnet_client::mixnet_client(host::host_stack& stack) : stack_(stack) {
+  stack_.set_service_handler(ilp::svc::mixnet, [this](const ilp::ilp_header&, bytes payload) {
+    if (handler_) handler_(std::move(payload));
+  });
+}
+
+bytes mixnet_client::build_onion(const std::vector<mix_node>& hops, host::edge_addr dest,
+                                 const_byte_span payload) {
+  // Innermost layer: the exit instruction, sealed to the last mix.
+  writer exit_layer;
+  exit_layer.u8(kMixExit);
+  exit_layer.u64(dest);
+  exit_layer.blob(payload);
+  bytes onion = envelope_seal(hops.back().public_key, exit_layer.data());
+
+  // Wrap outward: each earlier mix learns only its successor.
+  for (std::size_t i = hops.size() - 1; i-- > 0;) {
+    writer layer;
+    layer.u8(kMixRelay);
+    layer.u64(hops[i + 1].sn);
+    layer.blob(onion);
+    onion = envelope_seal(hops[i].public_key, layer.data());
+  }
+  return onion;
+}
+
+void mixnet_client::send(const std::vector<mix_node>& hops, host::edge_addr dest,
+                         bytes payload) {
+  if (hops.empty()) return;
+  ilp::ilp_header h;
+  h.service = ilp::svc::mixnet;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagFromHost;
+  // Entry point: the first mix. The sender's own identity appears only on
+  // the first hop (as the L3 source of the host->SN pipe).
+  h.set_meta_u64(ilp::meta_key::dest_addr, hops.front().sn);
+  stack_.pipes().send(stack_.first_hop_sn(), h, build_onion(hops, dest, payload));
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,43 @@
+// Host-side mixnet logic: onion construction over a published directory of
+// mix SNs and their keys.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+struct mix_node {
+  host::peer_id sn = 0;
+  crypto::x25519_key public_key{};
+};
+
+// The directory of available mixes (in a deployment this is published
+// alongside IESP rate cards; tests and examples build it from the modules).
+using mix_directory = std::vector<mix_node>;
+
+class mixnet_client {
+ public:
+  using message_handler = std::function<void(bytes payload)>;
+
+  explicit mixnet_client(host::host_stack& stack);
+
+  // Builds the onion for a hop chain and a final destination host.
+  static bytes build_onion(const std::vector<mix_node>& hops, host::edge_addr dest,
+                           const_byte_span payload);
+
+  // Sends payload to dest through the given chain of mixes.
+  void send(const std::vector<mix_node>& hops, host::edge_addr dest, bytes payload);
+
+  void set_handler(message_handler handler) { handler_ = std::move(handler); }
+
+ private:
+  host::host_stack& stack_;
+  message_handler handler_;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace interedge::services

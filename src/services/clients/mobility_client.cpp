@@ -1,0 +1,52 @@
+#include "services/clients/mobility_client.h"
+
+#include "common/serial.h"
+
+namespace interedge::services {
+
+mobility_client::mobility_client(host::host_stack& stack) : stack_(stack) {
+  stack_.set_control_handler(
+      ilp::svc::mobility, [this](const ilp::ilp_header& h, bytes payload) {
+        const auto op = h.meta_str(ilp::meta_key::control_op);
+        if (op != mobility_ops::located) return;
+        auto it = pending_.find(h.connection);
+        if (it == pending_.end()) return;
+        auto [target, handler] = std::move(it->second);
+        pending_.erase(it);
+        try {
+          reader r(payload);
+          const std::uint64_t n = r.varint();
+          std::vector<host::peer_id> sns;
+          for (std::uint64_t i = 0; i < n; ++i) sns.push_back(r.u64());
+          if (handler) handler(target, std::move(sns));
+        } catch (const serial_error&) {
+        }
+      });
+}
+
+void mobility_client::announce() {
+  ilp::ilp_header h;
+  h.service = ilp::svc::mobility;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, mobility_ops::announce);
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  stack_.pipes().send(stack_.first_hop_sn(), h, {});
+}
+
+void mobility_client::locate(host::edge_addr target, locate_handler handler) {
+  const ilp::connection_id conn = next_conn_++;
+  pending_[conn] = {target, std::move(handler)};
+  ilp::ilp_header h;
+  h.service = ilp::svc::mobility;
+  h.connection = conn;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, mobility_ops::locate);
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::dest_addr, target);
+  stack_.pipes().send(stack_.first_hop_sn(), h, {});
+}
+
+}  // namespace interedge::services

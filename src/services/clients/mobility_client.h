@@ -1,0 +1,35 @@
+// Host-side mobility logic: announce after re-homing, locate peers.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+#include "services/mobility.h"
+
+namespace interedge::services {
+
+class mobility_client {
+ public:
+  using locate_handler =
+      std::function<void(host::edge_addr target, std::vector<host::peer_id> sns)>;
+
+  explicit mobility_client(host::host_stack& stack);
+
+  // Call after stack.rehome(new_sn): announces the move through the new
+  // first-hop SN (which updates the lookup record and breadcrumbs the old
+  // SNs).
+  void announce();
+
+  // Asks the first-hop SN for a peer's current first-hop SNs.
+  void locate(host::edge_addr target, locate_handler handler);
+
+ private:
+  host::host_stack& stack_;
+  std::map<ilp::connection_id, std::pair<host::edge_addr, locate_handler>> pending_;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,78 @@
+#include "services/clients/multicast_client.h"
+
+namespace interedge::services {
+
+multicast_client::multicast_client(host::host_stack& stack) : stack_(stack) {
+  stack_.set_service_handler(ilp::svc::multicast,
+                             [this](const ilp::ilp_header& h, bytes payload) {
+                               const auto group = get_skey_str(h, skey::group);
+                               if (group && handler_) handler_(*group, std::move(payload));
+                             });
+  stack_.set_control_handler(ilp::svc::multicast, [this](const ilp::ilp_header& h, bytes) {
+    const auto op = h.meta_str(ilp::meta_key::control_op);
+    if (op == ops::publish_ack) ++acks_;
+    if (op == ops::deny) ++denials_;
+  });
+}
+
+void multicast_client::control(const std::string& op, const std::string& group) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::multicast;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, op);
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  set_skey_str(h, skey::group, group);
+  stack_.pipes().send(stack_.first_hop_sn(), h, {});
+}
+
+void multicast_client::join(const std::string& group) { control(ops::join, group); }
+void multicast_client::leave(const std::string& group) { control(ops::leave, group); }
+void multicast_client::register_sender(const std::string& group) {
+  control(ops::register_sender, group);
+}
+
+void multicast_client::send(const std::string& group, bytes payload) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::multicast;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagFromHost;
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  set_skey_str(h, skey::group, group);
+  stack_.pipes().send(stack_.first_hop_sn(), h, std::move(payload));
+}
+
+anycast_client::anycast_client(host::host_stack& stack) : stack_(stack) {
+  stack_.set_service_handler(ilp::svc::anycast, [this](const ilp::ilp_header& h, bytes payload) {
+    const auto group = get_skey_str(h, skey::group);
+    if (group && handler_) handler_(*group, std::move(payload));
+  });
+}
+
+void anycast_client::control(const std::string& op, const std::string& group) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::anycast;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, op);
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  set_skey_str(h, skey::group, group);
+  stack_.pipes().send(stack_.first_hop_sn(), h, {});
+}
+
+void anycast_client::join(const std::string& group) { control(ops::join, group); }
+void anycast_client::leave(const std::string& group) { control(ops::leave, group); }
+
+void anycast_client::send(const std::string& group, bytes payload) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::anycast;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagFromHost;
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  set_skey_str(h, skey::group, group);
+  stack_.pipes().send(stack_.first_hop_sn(), h, std::move(payload));
+}
+
+}  // namespace interedge::services

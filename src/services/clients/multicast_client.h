@@ -1,0 +1,58 @@
+// Host-side multicast logic: join with owner authorization, explicit
+// sender registration before sending (paper §6), and receive dispatch.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class multicast_client {
+ public:
+  using message_handler = std::function<void(const std::string& group, bytes payload)>;
+
+  explicit multicast_client(host::host_stack& stack);
+
+  void join(const std::string& group);
+  void leave(const std::string& group);
+  void register_sender(const std::string& group);
+  void send(const std::string& group, bytes payload);
+  void set_handler(message_handler handler) { handler_ = std::move(handler); }
+
+  std::uint64_t acks() const { return acks_; }
+  std::uint64_t denials() const { return denials_; }
+
+ private:
+  void control(const std::string& op, const std::string& group);
+
+  host::host_stack& stack_;
+  message_handler handler_;
+  std::uint64_t acks_ = 0;
+  std::uint64_t denials_ = 0;
+  std::uint64_t next_conn_ = 1;
+};
+
+// Anycast needs only trivial host logic: join/leave and plain sends.
+class anycast_client {
+ public:
+  using message_handler = std::function<void(const std::string& group, bytes payload)>;
+
+  explicit anycast_client(host::host_stack& stack);
+
+  void join(const std::string& group);
+  void leave(const std::string& group);
+  void send(const std::string& group, bytes payload);
+  void set_handler(message_handler handler) { handler_ = std::move(handler); }
+
+ private:
+  void control(const std::string& op, const std::string& group);
+  host::host_stack& stack_;
+  message_handler handler_;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,63 @@
+#include "services/clients/odns_client.h"
+
+#include "crypto/random.h"
+
+namespace interedge::services {
+
+odns_client::odns_client(host::host_stack& stack, crypto::x25519_key resolver_public)
+    : stack_(stack), resolver_public_(resolver_public) {
+  stack_.set_service_handler(ilp::svc::odns, [this](const ilp::ilp_header& h, bytes payload) {
+    auto it = pending_.find(h.connection);
+    if (it == pending_.end()) return;
+    const auto answer = reply_open(it->second.key, payload);
+    if (!answer) return;
+    pending p = std::move(it->second);
+    pending_.erase(it);
+    ++answers_;
+    if (p.handler) p.handler(p.name, to_string(*answer));
+  });
+}
+
+void odns_client::query(const std::string& name, answer_handler handler) {
+  auto [sealed, key] = envelope_seal_with_reply(resolver_public_, to_bytes(name));
+  const ilp::connection_id conn = next_conn_++;
+  pending_[conn] = pending{name, key, std::move(handler)};
+
+  ilp::ilp_header h;
+  h.service = ilp::svc::odns;
+  h.connection = conn;
+  h.flags = ilp::kFlagFromHost;
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  stack_.pipes().send(stack_.first_hop_sn(), h, std::move(sealed));
+}
+
+odns_resolver::odns_resolver(host::host_stack& stack) : stack_(stack) {
+  crypto::x25519_key seed;
+  crypto::random_bytes(seed);
+  keypair_ = crypto::x25519_keypair_from_seed(seed);
+
+  stack_.set_service_handler(ilp::svc::odns, [this](const ilp::ilp_header& h, bytes payload) {
+    const auto proxy = h.meta_u64(ilp::meta_key::src_addr);
+    if (!proxy) return;
+    observed_.push_back(*proxy);
+    const auto opened = envelope_open_with_reply(keypair_.secret, payload);
+    if (!opened) return;
+    const std::string name = to_string(opened->first);
+    auto it = zone_.find(name);
+    const std::string value = it == zone_.end() ? "NXDOMAIN" : it->second;
+    ++answered_;
+
+    // Reply to the proxy SN under the same connection id; it relays to
+    // whoever asked.
+    ilp::ilp_header reply;
+    reply.service = ilp::svc::odns;
+    reply.connection = h.connection;
+    reply.flags = ilp::kFlagFromHost;
+    reply.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+    reply.set_meta_u64(ilp::meta_key::dest_addr, *proxy);
+    stack_.pipes().send(stack_.first_hop_sn(), reply,
+                        reply_seal(opened->second, to_bytes(value)));
+  });
+}
+
+}  // namespace interedge::services

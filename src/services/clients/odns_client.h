@@ -1,0 +1,62 @@
+// Host-side oDNS logic: stub resolver (client) and the authoritative
+// oblivious resolver application.
+//
+// The client seals its query to the resolver's published key; only the
+// resolver can read the name, and only the proxy SN knows who asked.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+#include "services/envelope.h"
+
+namespace interedge::services {
+
+class odns_client {
+ public:
+  using answer_handler = std::function<void(const std::string& name, const std::string& value)>;
+
+  odns_client(host::host_stack& stack, crypto::x25519_key resolver_public);
+
+  void query(const std::string& name, answer_handler handler);
+  std::uint64_t answers() const { return answers_; }
+
+ private:
+  struct pending {
+    std::string name;
+    reply_key key;
+    answer_handler handler;
+  };
+  host::host_stack& stack_;
+  crypto::x25519_key resolver_public_;
+  std::map<ilp::connection_id, pending> pending_;
+  std::uint64_t next_conn_ = 1;
+  std::uint64_t answers_ = 0;
+};
+
+// The resolver application: decrypts queries, answers from its zone data,
+// and replies via the proxy SN without ever learning the client identity.
+class odns_resolver {
+ public:
+  explicit odns_resolver(host::host_stack& stack);
+
+  const crypto::x25519_key& public_key() const { return keypair_.public_key; }
+  void add_record(const std::string& name, const std::string& value) { zone_[name] = value; }
+
+  std::uint64_t queries_answered() const { return answered_; }
+  // Source addresses observed on incoming queries — for privacy tests:
+  // must only ever contain SN (proxy) identities.
+  const std::vector<host::edge_addr>& observed_sources() const { return observed_; }
+
+ private:
+  host::host_stack& stack_;
+  crypto::x25519_keypair keypair_;
+  std::map<std::string, std::string> zone_;
+  std::uint64_t answered_ = 0;
+  std::vector<host::edge_addr> observed_;
+};
+
+}  // namespace interedge::services

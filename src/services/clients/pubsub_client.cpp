@@ -1,0 +1,63 @@
+#include "services/clients/pubsub_client.h"
+
+namespace interedge::services {
+
+pubsub_client::pubsub_client(host::host_stack& stack) : stack_(stack) {
+  stack_.set_service_handler(ilp::svc::pubsub, [this](const ilp::ilp_header& h, bytes payload) {
+    const auto topic = get_skey_str(h, skey::group);
+    if (!topic) return;
+    auto it = handlers_.find(*topic);
+    if (it != handlers_.end() && it->second) it->second(*topic, std::move(payload));
+  });
+  stack_.set_control_handler(ilp::svc::pubsub, [this](const ilp::ilp_header& h, bytes) {
+    const auto op = h.meta_str(ilp::meta_key::control_op);
+    if (op == ops::publish_ack) ++acks_;
+    if (op == ops::deny) ++denials_;
+  });
+}
+
+void pubsub_client::send_subscribe(const std::string& topic) {
+  ilp::ilp_header control;
+  control.service = ilp::svc::pubsub;
+  control.connection = next_conn_++;
+  control.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  control.set_meta_str(ilp::meta_key::control_op, ops::subscribe);
+  control.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  control.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  set_skey_str(control, skey::group, topic);
+  stack_.pipes().send(stack_.first_hop_sn(), control, {});
+}
+
+void pubsub_client::subscribe(const std::string& topic, message_handler handler) {
+  handlers_[topic] = std::move(handler);
+  send_subscribe(topic);
+}
+
+void pubsub_client::unsubscribe(const std::string& topic) {
+  handlers_.erase(topic);
+  ilp::ilp_header control;
+  control.service = ilp::svc::pubsub;
+  control.connection = next_conn_++;
+  control.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  control.set_meta_str(ilp::meta_key::control_op, ops::unsubscribe);
+  control.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  control.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  set_skey_str(control, skey::group, topic);
+  stack_.pipes().send(stack_.first_hop_sn(), control, {});
+}
+
+void pubsub_client::publish(const std::string& topic, bytes payload) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::pubsub;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagFromHost;
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  set_skey_str(h, skey::group, topic);
+  stack_.pipes().send(stack_.first_hop_sn(), h, std::move(payload));
+}
+
+void pubsub_client::resync() {
+  for (const auto& [topic, handler] : handlers_) send_subscribe(topic);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,47 @@
+// Host-side pub/sub logic (paper §3.1: the host component implements
+// "client-side support for services — such as pub/sub ... — that require
+// host logic").
+//
+// Keeps the authoritative subscription set on the host so the paper's
+// host-driven state reconstruction works: after an SN failure/replacement,
+// resync() re-issues every subscription (§3.3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class pubsub_client {
+ public:
+  using message_handler = std::function<void(const std::string& topic, bytes payload)>;
+
+  explicit pubsub_client(host::host_stack& stack);
+
+  void subscribe(const std::string& topic, message_handler handler);
+  void unsubscribe(const std::string& topic);
+  void publish(const std::string& topic, bytes payload);
+
+  // Host-driven state reconstruction: re-subscribe everything (e.g. after
+  // the first-hop SN was replaced).
+  void resync();
+
+  std::size_t topic_count() const { return handlers_.size(); }
+  std::uint64_t acks() const { return acks_; }
+  std::uint64_t denials() const { return denials_; }
+
+ private:
+  void send_subscribe(const std::string& topic);
+
+  host::host_stack& stack_;
+  std::map<std::string, message_handler> handlers_;
+  std::uint64_t acks_ = 0;
+  std::uint64_t denials_ = 0;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace interedge::services

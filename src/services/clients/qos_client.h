@@ -1,0 +1,31 @@
+// Host-side last-hop QoS logic: a receiver pushes its access-link profile
+// to its first-hop SN out of band.
+#pragma once
+
+#include "host/host_stack.h"
+#include "services/qos.h"
+
+namespace interedge::services {
+
+class qos_client {
+ public:
+  explicit qos_client(host::host_stack& stack) : stack_(stack) {}
+
+  // Declares the receiver's access capacity and stream rules to the
+  // first-hop SN (paper §6: a household prioritizing gaming over
+  // streaming).
+  void configure(const qos_profile& profile) {
+    ilp::ilp_header h;
+    h.service = ilp::svc::last_hop_qos;
+    h.connection = 1;
+    h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+    h.set_meta_str(ilp::meta_key::control_op, ops::qos_configure);
+    h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+    stack_.pipes().send(stack_.first_hop_sn(), h, profile.encode());
+  }
+
+ private:
+  host::host_stack& stack_;
+};
+
+}  // namespace interedge::services

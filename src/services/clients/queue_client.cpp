@@ -1,0 +1,44 @@
+#include "services/clients/queue_client.h"
+
+namespace interedge::services {
+
+queue_client::queue_client(host::host_stack& stack) : stack_(stack) {
+  stack_.set_control_handler(
+      ilp::svc::message_queue, [this](const ilp::ilp_header& h, bytes payload) {
+        const auto op = h.meta_str(ilp::meta_key::control_op);
+        const auto queue = get_skey_str(h, skey::queue_name);
+        if (!op || !queue) return;
+        if (*op == ops::queue_msg) {
+          ++received_;
+          const std::uint64_t seq = get_skey_u64(h, skey::msg_seq).value_or(0);
+          if (on_message_) on_message_(*queue, seq, std::move(payload));
+        } else if (*op == ops::queue_empty) {
+          if (on_empty_) on_empty_(*queue);
+        }
+      });
+}
+
+void queue_client::control(const std::string& op, const std::string& queue, bytes body,
+                           std::optional<std::uint64_t> seq) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::message_queue;
+  h.connection = next_conn_++;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, op);
+  h.set_meta_u64(ilp::meta_key::src_addr, stack_.addr());
+  h.set_meta_u64(ilp::meta_key::reply_to, stack_.addr());
+  set_skey_str(h, skey::queue_name, queue);
+  if (seq) set_skey_u64(h, skey::msg_seq, *seq);
+  stack_.pipes().send(stack_.first_hop_sn(), h, std::move(body));
+}
+
+void queue_client::create(const std::string& queue) { control(ops::queue_create, queue, {}); }
+void queue_client::push(const std::string& queue, bytes body) {
+  control(ops::queue_push, queue, std::move(body));
+}
+void queue_client::pop(const std::string& queue) { control(ops::queue_pop, queue, {}); }
+void queue_client::ack(const std::string& queue, std::uint64_t seq) {
+  control(ops::queue_ack, queue, {}, seq);
+}
+
+}  // namespace interedge::services

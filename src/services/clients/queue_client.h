@@ -1,0 +1,45 @@
+// Host-side message-queue logic: producers push, consumers pop/ack, all
+// via control messages to the first-hop SN (which routes to the queue's
+// home SN through the name registry).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "host/host_stack.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class queue_client {
+ public:
+  using message_handler =
+      std::function<void(const std::string& queue, std::uint64_t seq, bytes body)>;
+  using empty_handler = std::function<void(const std::string& queue)>;
+
+  explicit queue_client(host::host_stack& stack);
+
+  void create(const std::string& queue);
+  void push(const std::string& queue, bytes body);
+  // Requests one message; it arrives via the message handler (or the empty
+  // handler). The consumer must ack(seq) within the visibility timeout.
+  void pop(const std::string& queue);
+  void ack(const std::string& queue, std::uint64_t seq);
+
+  void set_message_handler(message_handler handler) { on_message_ = std::move(handler); }
+  void set_empty_handler(empty_handler handler) { on_empty_ = std::move(handler); }
+
+  std::uint64_t received() const { return received_; }
+
+ private:
+  void control(const std::string& op, const std::string& queue, bytes body,
+               std::optional<std::uint64_t> seq = std::nullopt);
+
+  host::host_stack& stack_;
+  message_handler on_message_;
+  empty_handler on_empty_;
+  std::uint64_t received_ = 0;
+  std::uint64_t next_conn_ = 1;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,38 @@
+#include "services/cluster_interconnect.h"
+
+namespace interedge::services {
+
+core::module_result cluster_interconnect_service::on_packet(core::service_context& ctx,
+                                                            const core::packet& pkt) {
+  const auto cluster = get_skey_str(pkt.header, skey::group);
+  if (pkt.header.flags & ilp::kFlagControl) {
+    const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+    const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+    if (!op || !cluster || !src) return core::module_result::drop();
+    if (*op == cluster_ops::attach) {
+      // Cluster fabrics are private: membership is grant-gated unless the
+      // cluster owner opened it (auto-open off, like multicast).
+      const bool auto_open = ctx.config("auto_open_clusters", "true") == "true";
+      if (!fanout_.may_join(*cluster, *src, auto_open)) {
+        ctx.metrics().get_counter("cluster.denied").add();
+        return core::module_result::deliver();
+      }
+      fanout_.local_join(*cluster, *src);
+      ctx.metrics().get_counter("cluster.gateways").add();
+      return core::module_result::deliver();
+    }
+    if (*op == cluster_ops::detach) {
+      fanout_.local_leave(*cluster, *src);
+      return core::module_result::deliver();
+    }
+    return core::module_result::drop();
+  }
+
+  // Encapsulated cluster frame: fan out to every other site gateway. The
+  // inner (private) destination rides in the payload, opaque to us.
+  if (!cluster) return core::module_result::drop();
+  ctx.metrics().get_counter("cluster.frames").add();
+  return fanout_.fan_out(ctx, pkt, *cluster);
+}
+
+}  // namespace interedge::services

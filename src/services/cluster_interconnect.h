@@ -1,0 +1,46 @@
+// Cluster interconnection service (paper §6.3 prototype list: "cluster
+// interconnection").
+//
+// Joins geographically separate compute clusters into one fabric over the
+// InterEdge: each site registers a gateway host for a named cluster;
+// frames addressed to a remote private address are encapsulated by the
+// sending gateway, fanned out edge-to-edge to the other sites' gateways
+// (reusing the group machinery), and decapsulated into the remote cluster.
+// The InterEdge carries the frames; the private addressing stays opaque to
+// it.
+#pragma once
+
+#include "core/service_module.h"
+#include "services/fanout.h"
+
+namespace interedge::services {
+
+namespace cluster_ops {
+inline constexpr const char* attach = "cluster-attach";
+inline constexpr const char* detach = "cluster-detach";
+}  // namespace cluster_ops
+
+class cluster_interconnect_service final : public core::service_module {
+ public:
+  cluster_interconnect_service(edomain::domain_core& core, core::peer_id self)
+      : fanout_(core, self, ilp::svc::cluster) {}
+
+  ilp::service_id id() const override { return ilp::svc::cluster; }
+  std::string_view name() const override { return "cluster-interconnect"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
+  void restore(core::service_context&, const_byte_span state) override {
+    fanout_.restore(state);
+  }
+
+  std::size_t gateways(const std::string& cluster) const {
+    return fanout_.local_member_count(cluster);
+  }
+
+ private:
+  group_fanout fanout_;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,120 @@
+#include "services/ddos.h"
+
+#include "common/serial.h"
+#include "crypto/kdf.h"
+#include "crypto/random.h"
+
+namespace interedge::services {
+
+void ddos_service::start(core::service_context& ctx) {
+  (void)ctx;
+  secret_.resize(32);
+  crypto::random_bytes(secret_);
+}
+
+bytes ddos_service::token_for(core::edge_addr dest, core::edge_addr sender) const {
+  writer w(16);
+  w.u64(dest);
+  w.u64(sender);
+  const auto mac = crypto::hmac_sha256(secret_, w.data());
+  return bytes(mac.begin(), mac.end());
+}
+
+core::module_result ddos_service::handle_control(core::service_context& ctx,
+                                                 const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !src) return core::module_result::drop();
+
+  if (*op == ops::protect) {
+    protected_.insert(*src);
+    ctx.metrics().get_counter("ddos.protected_hosts").add();
+    return core::module_result::deliver();
+  }
+  if (*op == ops::allow) {
+    // Only the protected host itself can admit senders to its allowlist.
+    if (!protected_.count(*src)) return core::module_result::drop();
+    try {
+      reader r(pkt.payload);
+      const core::edge_addr sender = r.u64();
+      allowlist_[*src].insert(sender);
+      // Hand the capability token back to the protected host for
+      // out-of-band distribution to the sender.
+      ilp::ilp_header reply;
+      reply.service = ilp::svc::ddos_protect;
+      reply.connection = pkt.header.connection;
+      reply.flags = ilp::kFlagControl | ilp::kFlagToHost;
+      reply.set_meta_str(ilp::meta_key::control_op, ops::allow);
+      ctx.send(*src, reply, token_for(*src, sender));
+    } catch (const serial_error&) {
+      return core::module_result::drop();
+    }
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+bool ddos_service::admit_rate(core::service_context& ctx, core::edge_addr dest,
+                              core::edge_addr sender) {
+  bucket& b = buckets_[{dest, sender}];
+  const time_point now = ctx.now();
+  if (b.last.time_since_epoch().count() == 0) {
+    b.tokens = burst_;
+  } else {
+    const double elapsed_s =
+        static_cast<double>((now - b.last).count()) / 1e9;
+    b.tokens = std::min(burst_, b.tokens + elapsed_s * rate_pps_);
+  }
+  b.last = now;
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+core::module_result ddos_service::on_packet(core::service_context& ctx,
+                                            const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+
+  if (protected_.count(*dest)) {
+    const core::edge_addr sender =
+        pkt.header.meta_u64(ilp::meta_key::src_addr).value_or(pkt.l3_src);
+    bool admitted = false;
+    auto allow_it = allowlist_.find(*dest);
+    if (allow_it != allowlist_.end() && allow_it->second.count(sender)) {
+      admitted = true;
+    } else if (const auto token = get_skey_bytes(pkt.header, skey::auth_token)) {
+      admitted = ct_equal(*token, token_for(*dest, sender));
+    }
+    if (!admitted) {
+      ++denied_;
+      ctx.metrics().get_counter("ddos.denied").add();
+      // Shed this connection on the fast path from now on.
+      core::module_result r = core::module_result::drop();
+      r.cache_inserts.emplace_back(
+          core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+          core::decision::drop_packet());
+      return r;
+    }
+    if (!admit_rate(ctx, *dest, sender)) {
+      ++rate_limited_;
+      ctx.metrics().get_counter("ddos.rate_limited").add();
+      return core::module_result::drop();
+    }
+  }
+
+  const auto hop = ctx.next_hop(*dest);
+  if (!hop) return core::module_result::drop();
+  // Admitted traffic is deliberately NOT fast-path cached: the rate limit
+  // must see every packet.
+  if (protected_.count(*dest)) return core::module_result::forward(*hop);
+  core::module_result r = core::module_result::forward(*hop);
+  r.cache_inserts.emplace_back(
+      core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+      core::decision::forward_to(*hop));
+  return r;
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,65 @@
+// DDoS protection service (paper §6 tests it on the prototype: "DDoS
+// protection" is in the deployed-services list).
+//
+// A destination opts in ("protect"), flipping its policy at the edge to
+// default-deny. Admission is then by either:
+//   * allowlist — the protected host names a permitted sender ("allow"),
+//   * capability token — the SN mints HMAC(secret, dest||sender), which the
+//     protected host distributes out of band; senders attach it in
+//     skey::auth_token and the SN verifies statelessly.
+// Admitted traffic is still token-bucket rate-limited per (dest, sender),
+// so a compromised authorized sender cannot flood.
+//
+// Drops are installed in the decision cache, so attack traffic is shed on
+// the fast path — the service module only sees the first packet of each
+// attacking connection.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/service_module.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class ddos_service final : public core::service_module {
+ public:
+  // rate_pps: per-(dest,sender) admitted packet rate; burst: bucket depth.
+  explicit ddos_service(double rate_pps = 1000.0, double burst = 100.0)
+      : rate_pps_(rate_pps), burst_(burst) {}
+
+  ilp::service_id id() const override { return ilp::svc::ddos_protect; }
+  std::string_view name() const override { return "ddos-protect"; }
+
+  void start(core::service_context& ctx) override;
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  // Token a sender must carry for (dest, sender); exposed so tests and the
+  // protected host's control flow can mint expected values.
+  bytes token_for(core::edge_addr dest, core::edge_addr sender) const;
+
+  bool is_protected(core::edge_addr dest) const { return protected_.count(dest) > 0; }
+  std::uint64_t denied() const { return denied_; }
+  std::uint64_t rate_limited() const { return rate_limited_; }
+
+ private:
+  struct bucket {
+    double tokens = 0;
+    time_point last{};
+  };
+
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+  bool admit_rate(core::service_context& ctx, core::edge_addr dest, core::edge_addr sender);
+
+  double rate_pps_;
+  double burst_;
+  bytes secret_;
+  std::set<core::edge_addr> protected_;
+  std::map<core::edge_addr, std::set<core::edge_addr>> allowlist_;  // dest -> senders
+  std::map<std::pair<core::edge_addr, core::edge_addr>, bucket> buckets_;
+  std::uint64_t denied_ = 0;
+  std::uint64_t rate_limited_ = 0;
+};
+
+}  // namespace interedge::services

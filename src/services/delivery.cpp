@@ -1,0 +1,122 @@
+#include "services/delivery.h"
+
+namespace interedge::services {
+namespace {
+std::string storage_key(const std::string& content_key) { return "content/" + content_key; }
+std::string stamp_key(const std::string& content_key) { return "content_ts/" + content_key; }
+
+bytes encode_time(time_point t) {
+  bytes out(8);
+  const auto v = static_cast<std::uint64_t>(t.time_since_epoch().count());
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  return out;
+}
+
+std::uint64_t decode_time(const bytes& b) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8 && i < static_cast<int>(b.size()); ++i) {
+    v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+core::module_result delivery_service::plain_forward(core::service_context& ctx,
+                                                    const core::packet& pkt, bool cacheable) {
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+  const auto hop = ctx.next_hop(*dest);
+  if (!hop) return core::module_result::drop();
+  core::module_result r = core::module_result::forward(*hop);
+  if (cacheable) {
+    r.cache_inserts.emplace_back(
+        core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+        core::decision::forward_to(*hop));
+  }
+  return r;
+}
+
+void delivery_service::store_content(core::service_context& ctx, const std::string& key,
+                                     const bytes& body) {
+  const std::string skey_name = storage_key(key);
+  if (!ctx.storage().contains(skey_name)) {
+    if (cached_keys_.size() >= max_cached_) {
+      ctx.storage().erase(storage_key(cached_keys_.front()));
+      ctx.storage().erase(stamp_key(cached_keys_.front()));
+      cached_keys_.pop_front();
+    }
+    cached_keys_.push_back(key);
+  }
+  ctx.storage().put(skey_name, body);
+  ctx.storage().put(stamp_key(key), encode_time(ctx.now()));
+}
+
+std::optional<bytes> delivery_service::fresh_content(core::service_context& ctx,
+                                                     const std::string& key) {
+  auto cached = ctx.storage().get(storage_key(key));
+  if (!cached) return std::nullopt;
+  // Standardized freshness config: cache_ttl_ms, 0 = never expires.
+  const std::int64_t ttl_ms = std::stoll(ctx.config("cache_ttl_ms", "0"));
+  if (ttl_ms > 0) {
+    const auto stamp = ctx.storage().get(stamp_key(key));
+    const std::uint64_t stored_ns = stamp ? decode_time(*stamp) : 0;
+    const auto age_ns =
+        static_cast<std::uint64_t>(ctx.now().time_since_epoch().count()) - stored_ns;
+    if (age_ns > static_cast<std::uint64_t>(ttl_ms) * 1000000ull) {
+      ctx.storage().erase(storage_key(key));
+      ctx.storage().erase(stamp_key(key));
+      ++cache_expiries_;
+      return std::nullopt;
+    }
+  }
+  return cached;
+}
+
+core::module_result delivery_service::on_packet(core::service_context& ctx,
+                                                const core::packet& pkt) {
+  const std::uint64_t options = pkt.header.meta_u64(ilp::meta_key::bundle_options).value_or(0);
+  const auto content_key = get_skey_str(pkt.header, skey::content_key);
+  if ((options & kBundleCaching) == 0 || !content_key) {
+    // IP-like leg of the bundle; forwarding decisions are cacheable.
+    return plain_forward(ctx, pkt, /*cacheable=*/true);
+  }
+
+  const std::uint64_t stage = get_skey_u64(pkt.header, skey::stage).value_or(kContentRequest);
+  if (stage == kContentResponse) {
+    // Cache the object on the way through, then keep forwarding. Content
+    // packets must reach the service on every SN (not the decision cache),
+    // so the forwarding decision is deliberately NOT cached.
+    store_content(ctx, *content_key, pkt.payload);
+    return plain_forward(ctx, pkt, /*cacheable=*/false);
+  }
+
+  // Content request: serve locally if cached and fresh.
+  const auto cached = fresh_content(ctx, *content_key);
+  const auto requester = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (cached && requester) {
+    ++cache_hits_;
+    ctx.metrics().get_counter("delivery.cache_hits").add();
+    ilp::ilp_header response;
+    response.service = ilp::svc::delivery;
+    response.connection = pkt.header.connection;
+    response.flags = ilp::kFlagToHost;
+    response.set_meta_u64(ilp::meta_key::dest_addr, *requester);
+    response.set_meta_u64(ilp::meta_key::src_addr, ctx.node_id());
+    response.set_meta_u64(ilp::meta_key::bundle_options, kBundleCaching);
+    set_skey_str(response, skey::content_key, *content_key);
+    set_skey_u64(response, skey::stage, kContentResponse);
+
+    const auto hop = ctx.next_hop(*requester);
+    if (!hop) return core::module_result::drop();
+    core::module_result r = core::module_result::drop();  // request consumed
+    r.verdict = core::decision::deliver();
+    r.sends.push_back(core::outbound{*hop, std::move(response), *cached});
+    return r;
+  }
+
+  ++cache_misses_;
+  ctx.metrics().get_counter("delivery.cache_misses").add();
+  return plain_forward(ctx, pkt, /*cacheable=*/false);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,59 @@
+// Delivery bundle (paper §3.2): "naturally composable services can be
+// combined into 'bundles' (e.g., an IP-like service and a caching service)
+// that hosts can invoke, and the invocation may have optional settings
+// (signalled in the metadata) that control various aspects of the service
+// (e.g., whether or not to invoke caching)."
+//
+// Plain mode: IP-like forwarding by destination address, decision-cached.
+// With kBundleCaching set and a content key present, the SN additionally
+// runs a CDN-style content cache:
+//   * content request  (stage 0, empty payload): answered from the local
+//     cache when possible, else forwarded toward the origin;
+//   * content response (stage 1, payload = object): cached on every SN it
+//     traverses (so the client's first-hop SN serves the next request),
+//     then forwarded to the client.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "core/service_module.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+inline constexpr std::uint64_t kContentRequest = 0;
+inline constexpr std::uint64_t kContentResponse = 1;
+
+class delivery_service final : public core::service_module {
+ public:
+  explicit delivery_service(std::size_t max_cached_objects = 1024)
+      : max_cached_(max_cached_objects) {}
+
+  ilp::service_id id() const override { return ilp::svc::delivery; }
+  std::string_view name() const override { return "delivery"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  std::uint64_t cache_expiries() const { return cache_expiries_; }
+  std::uint64_t cached_objects() const { return cached_keys_.size(); }
+
+ private:
+  core::module_result plain_forward(core::service_context& ctx, const core::packet& pkt,
+                                    bool cacheable);
+  void store_content(core::service_context& ctx, const std::string& key, const bytes& body);
+  // Cached body if present and within the configured TTL; expired entries
+  // are dropped on access.
+  std::optional<bytes> fresh_content(core::service_context& ctx, const std::string& key);
+
+  std::size_t max_cached_;
+  std::deque<std::string> cached_keys_;  // FIFO eviction order
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_expiries_ = 0;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,88 @@
+#include "services/envelope.h"
+
+#include <cstring>
+
+#include "crypto/aead.h"
+#include "crypto/kdf.h"
+#include "crypto/random.h"
+
+namespace interedge::services {
+namespace {
+
+struct derived_keys {
+  std::array<std::uint8_t, 32> message;
+  reply_key reply;
+};
+
+derived_keys derive(const crypto::x25519_key& shared, const crypto::x25519_key& ephemeral_pub) {
+  bytes ikm(shared.begin(), shared.end());
+  ikm.insert(ikm.end(), ephemeral_pub.begin(), ephemeral_pub.end());
+  const bytes keys = crypto::hkdf(to_bytes("interedge-envelope-v1"), ikm, {}, 64);
+  derived_keys out;
+  std::memcpy(out.message.data(), keys.data(), 32);
+  std::memcpy(out.reply.data(), keys.data() + 32, 32);
+  return out;
+}
+
+}  // namespace
+
+std::pair<bytes, reply_key> envelope_seal_with_reply(const crypto::x25519_key& recipient_public,
+                                                     const_byte_span plaintext) {
+  crypto::x25519_key seed;
+  crypto::random_bytes(seed);
+  const auto ephemeral = crypto::x25519_keypair_from_seed(seed);
+  const auto shared = crypto::x25519(ephemeral.secret, recipient_public);
+  const derived_keys keys = derive(shared, ephemeral.public_key);
+
+  const std::uint8_t nonce[crypto::kAeadNonceSize] = {};
+  bytes out(ephemeral.public_key.begin(), ephemeral.public_key.end());
+  const bytes sealed = crypto::aead_seal(keys.message.data(), nonce,
+                                         const_byte_span(ephemeral.public_key.data(), 32),
+                                         plaintext);
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return {std::move(out), keys.reply};
+}
+
+bytes envelope_seal(const crypto::x25519_key& recipient_public, const_byte_span plaintext) {
+  return envelope_seal_with_reply(recipient_public, plaintext).first;
+}
+
+std::optional<std::pair<bytes, reply_key>> envelope_open_with_reply(
+    const crypto::x25519_key& recipient_secret, const_byte_span sealed) {
+  if (sealed.size() < kEnvelopeOverhead) return std::nullopt;
+  crypto::x25519_key ephemeral_pub;
+  std::copy(sealed.begin(), sealed.begin() + 32, ephemeral_pub.begin());
+  const auto shared = crypto::x25519(recipient_secret, ephemeral_pub);
+  const derived_keys keys = derive(shared, ephemeral_pub);
+
+  const std::uint8_t nonce[crypto::kAeadNonceSize] = {};
+  auto plaintext = crypto::aead_open(keys.message.data(), nonce,
+                                     const_byte_span(ephemeral_pub.data(), 32),
+                                     sealed.subspan(32));
+  if (!plaintext) return std::nullopt;
+  return std::make_pair(std::move(*plaintext), keys.reply);
+}
+
+std::optional<bytes> envelope_open(const crypto::x25519_key& recipient_secret,
+                                   const_byte_span sealed) {
+  auto opened = envelope_open_with_reply(recipient_secret, sealed);
+  if (!opened) return std::nullopt;
+  return std::move(opened->first);
+}
+
+bytes reply_seal(const reply_key& key, const_byte_span plaintext) {
+  std::uint8_t nonce[crypto::kAeadNonceSize];
+  crypto::random_bytes(byte_span(nonce, sizeof(nonce)));
+  bytes out(nonce, nonce + sizeof(nonce));
+  const bytes sealed = crypto::aead_seal(key.data(), nonce, {}, plaintext);
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  return out;
+}
+
+std::optional<bytes> reply_open(const reply_key& key, const_byte_span sealed) {
+  if (sealed.size() < crypto::kAeadNonceSize + crypto::kAeadTagSize) return std::nullopt;
+  return crypto::aead_open(key.data(), sealed.data(), {},
+                           sealed.subspan(crypto::kAeadNonceSize));
+}
+
+}  // namespace interedge::services

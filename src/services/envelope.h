@@ -1,0 +1,36 @@
+// Public-key sealed envelopes (X25519 + HKDF + ChaCha20-Poly1305), the
+// building block for the privacy services: oDNS queries encrypted to the
+// resolver, mixnet onion layers encrypted to each mix node.
+//
+// seal():  ephemeral_pub(32) || AEAD_{k}(plaintext), k = HKDF(DH(e, R)).
+// Each seal uses a fresh ephemeral key, so a fixed zero nonce is safe.
+// seal_with_reply() additionally derives a symmetric reply key both sides
+// share, so the recipient can answer without knowing the sender.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/bytes.h"
+#include "crypto/x25519.h"
+
+namespace interedge::services {
+
+inline constexpr std::size_t kEnvelopeOverhead = 32 + 16;  // eph pub + tag
+
+bytes envelope_seal(const crypto::x25519_key& recipient_public, const_byte_span plaintext);
+std::optional<bytes> envelope_open(const crypto::x25519_key& recipient_secret,
+                                   const_byte_span sealed);
+
+// Variants that also derive a shared reply key.
+using reply_key = std::array<std::uint8_t, 32>;
+std::pair<bytes, reply_key> envelope_seal_with_reply(const crypto::x25519_key& recipient_public,
+                                                     const_byte_span plaintext);
+std::optional<std::pair<bytes, reply_key>> envelope_open_with_reply(
+    const crypto::x25519_key& recipient_secret, const_byte_span sealed);
+
+// Symmetric seal/open under a reply key (fresh random nonce per message).
+bytes reply_seal(const reply_key& key, const_byte_span plaintext);
+std::optional<bytes> reply_open(const reply_key& key, const_byte_span sealed);
+
+}  // namespace interedge::services

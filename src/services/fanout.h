@@ -1,0 +1,79 @@
+// Group fan-out machinery shared by the pub/sub, multicast, and anycast
+// modules (paper §6 "Multipoint delivery").
+//
+// State per SN (exactly what §6 prescribes):
+//   * the local member hosts that joined through this SN;
+//   * via the edomain core: which other local SNs have members, and which
+//     remote edomains have members (lookup-sourced, watch-maintained).
+//
+// Data-plane relay protocol (metadata-driven, loop-free):
+//   * a packet from a member host (no relay markers) is the *origin* stage:
+//     the SN registers as sender with its core and emits copies to (a) each
+//     local member SN, (b) per remote member edomain, the gateway path with
+//     skey::target_domain set;
+//   * a packet with target_domain != this edomain is in gateway transit:
+//     forward along the gateway chain;
+//   * a packet with target_domain == this edomain re-fans out inside the
+//     domain (gateway ingress);
+//   * a packet from another SN without target_domain is an intra-domain
+//     relay copy: deliver to local member hosts only.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/service_module.h"
+#include "edomain/domain_core.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class group_fanout {
+ public:
+  group_fanout(edomain::domain_core& core, core::peer_id self, ilp::service_id service)
+      : core_(core), self_(self), service_(service) {}
+
+  // ---- membership (driven by validated control packets) ----
+  void local_join(const std::string& group, core::edge_addr member);
+  void local_leave(const std::string& group, core::edge_addr member);
+  bool is_local_member(const std::string& group, core::edge_addr member) const;
+  std::size_t local_member_count(const std::string& group) const;
+
+  // Authorization check against the global lookup service. With auto_open,
+  // unclaimed groups are created open on first use.
+  bool may_join(const std::string& group, core::edge_addr member, bool auto_open);
+
+  // ---- data plane ----
+  // Fan out to every member (pub/sub, multicast).
+  core::module_result fan_out(core::service_context& ctx, const core::packet& pkt,
+                              const std::string& group);
+  // Deliver to exactly one member, preferring the closest (anycast).
+  core::module_result deliver_one(core::service_context& ctx, const core::packet& pkt,
+                                  const std::string& group);
+
+  // ---- checkpointing ----
+  bytes checkpoint() const;
+  void restore(const_byte_span state);
+
+  edomain::domain_core& core() { return core_; }
+
+ private:
+  enum class role { origin, gateway_transit, gateway_ingress, relay };
+  role classify(const core::packet& pkt) const;
+  // Builds the copy sent to another SN.
+  core::outbound relay_copy(const core::packet& pkt, core::peer_id to,
+                            std::optional<edomain::edomain_id> target_domain) const;
+  void deliver_local(core::module_result& result, const core::packet& pkt,
+                     const std::string& group) const;
+  // Gateway hop toward a remote edomain: local gateway or (if we are the
+  // gateway) the remote gateway.
+  std::optional<core::peer_id> gateway_hop(edomain::edomain_id domain) const;
+
+  edomain::domain_core& core_;
+  core::peer_id self_;
+  ilp::service_id service_;
+  std::map<std::string, std::set<core::edge_addr>> local_members_;
+};
+
+}  // namespace interedge::services

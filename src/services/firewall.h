@@ -1,0 +1,81 @@
+// Operator-imposed firewall (paper §3.2, third invocation mode): "an
+// enterprise may impose a firewall service ... on all traffic entering and
+// leaving its network. In this case, the enterprise would have what we call
+// a 'pass-through' SN at its boundary that terminates ILP and executes the
+// operator-imposed services, and then forwards to the next-hop SN."
+//
+// Rules match on (source addr, dest addr, service id); any field may be a
+// wildcard. Default policy is allow; the operator installs deny rules via
+// standardized configuration.
+#pragma once
+
+#include <vector>
+
+#include "core/service_module.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+struct firewall_rule {
+  static constexpr std::uint64_t kAny = 0xffffffffffffffffull;
+  std::uint64_t src = kAny;       // edge addr or kAny
+  std::uint64_t dest = kAny;      // edge addr or kAny
+  std::uint64_t service = kAny;   // inner service id or kAny
+  bool allow = false;             // first matching rule wins
+
+  bool matches(std::uint64_t s, std::uint64_t d, std::uint64_t svc) const {
+    return (src == kAny || src == s) && (dest == kAny || dest == d) &&
+           (service == kAny || service == svc);
+  }
+};
+
+class firewall_service final : public core::service_module {
+ public:
+  ilp::service_id id() const override { return ilp::svc::firewall; }
+  std::string_view name() const override { return "firewall"; }
+
+  void add_rule(firewall_rule rule) { rules_.push_back(rule); }
+  void clear_rules() { rules_.clear(); }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override {
+    const std::uint64_t src =
+        pkt.header.meta_u64(ilp::meta_key::src_addr).value_or(pkt.l3_src);
+    const std::uint64_t dest = pkt.header.meta_u64(ilp::meta_key::dest_addr).value_or(0);
+    // The inner service the packet would use past the boundary. The
+    // pass-through SN sees it in metadata (origin service id).
+    const std::uint64_t inner = get_skey_u64(pkt.header, skey::origin_addr).value_or(
+        static_cast<std::uint64_t>(pkt.header.service));
+
+    for (const firewall_rule& rule : rules_) {
+      if (!rule.matches(src, dest, inner)) continue;
+      if (!rule.allow) {
+        ++blocked_;
+        // Deny decisions are cacheable: same connection keeps hitting the
+        // fast path as a drop.
+        core::module_result r = core::module_result::drop();
+        r.cache_inserts.emplace_back(
+            core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+            core::decision::drop_packet());
+        return r;
+      }
+      break;  // explicit allow
+    }
+
+    if (dest == 0) return core::module_result::drop();
+    const auto hop = ctx.next_hop(dest);
+    if (!hop) return core::module_result::drop();
+    core::module_result r = core::module_result::forward(*hop);
+    r.cache_inserts.emplace_back(
+        core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+        core::decision::forward_to(*hop));
+    return r;
+  }
+
+  std::uint64_t blocked() const { return blocked_; }
+
+ private:
+  std::vector<firewall_rule> rules_;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,176 @@
+#include "services/message_queue.h"
+
+#include "common/serial.h"
+
+namespace interedge::services {
+namespace {
+std::string home_name(const std::string& queue) { return "mq/" + queue; }
+}  // namespace
+
+core::module_result queue_service::forward_to_home(core::service_context& ctx,
+                                                   const core::packet& pkt,
+                                                   core::peer_id home) {
+  const auto hop = ctx.next_hop(home);
+  if (!hop) return core::module_result::drop();
+  core::module_result r;
+  r.verdict = core::decision::deliver();
+  core::outbound o;
+  o.to = *hop;
+  o.header = pkt.header;
+  o.header.set_meta_u64(ilp::meta_key::dest_addr, home);
+  o.payload = pkt.payload;
+  r.sends.push_back(std::move(o));
+  return r;
+}
+
+void queue_service::send_control(core::service_context& ctx, core::edge_addr to,
+                                 const std::string& op, const std::string& queue,
+                                 std::uint64_t seq, bytes body, ilp::connection_id conn) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::message_queue;
+  h.connection = conn;
+  h.flags = ilp::kFlagControl | ilp::kFlagToHost;
+  h.set_meta_str(ilp::meta_key::control_op, op);
+  set_skey_str(h, skey::queue_name, queue);
+  set_skey_u64(h, skey::msg_seq, seq);
+  ctx.send(to, h, std::move(body));
+}
+
+void queue_service::deliver(core::service_context& ctx, const std::string& queue,
+                            queue_state& state, core::edge_addr consumer,
+                            ilp::connection_id conn) {
+  if (state.ready.empty()) {
+    send_control(ctx, consumer, ops::queue_empty, queue, 0, {}, conn);
+    return;
+  }
+  message m = std::move(state.ready.front());
+  state.ready.pop_front();
+  const std::uint64_t seq = m.seq;
+  send_control(ctx, consumer, ops::queue_msg, queue, seq, m.body, conn);
+  state.unacked.emplace(seq, std::move(m));
+
+  // Visibility timeout: if unacked by then, the message returns to the
+  // front of the queue (at-least-once).
+  const auto visibility =
+      std::chrono::milliseconds(std::stoll(ctx.config("visibility_ms", "30000")));
+  ctx.schedule(visibility, [this, queue, seq]() {
+    auto qit = queues_.find(queue);
+    if (qit == queues_.end()) return;
+    auto mit = qit->second.unacked.find(seq);
+    if (mit == qit->second.unacked.end()) return;  // acked in time
+    qit->second.ready.push_front(std::move(mit->second));
+    qit->second.unacked.erase(mit);
+  });
+  ctx.metrics().get_counter("mq.delivered").add();
+}
+
+core::module_result queue_service::on_packet(core::service_context& ctx,
+                                             const core::packet& pkt) {
+  if (!(pkt.header.flags & ilp::kFlagControl)) return core::module_result::drop();
+
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto queue = get_skey_str(pkt.header, skey::queue_name);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !queue || !src) return core::module_result::drop();
+
+  auto& global = core_.global();
+
+  if (*op == ops::queue_create) {
+    // First creator wins; the home is this SN.
+    if (!global.register_name(home_name(*queue), self_)) {
+      return core::module_result::deliver();  // exists elsewhere; idempotent
+    }
+    queues_.try_emplace(*queue);
+    ctx.metrics().get_counter("mq.queues").add();
+    return core::module_result::deliver();
+  }
+
+  const auto home = global.resolve_name(home_name(*queue));
+  if (!home) return core::module_result::drop();  // unknown queue
+  if (*home != self_) return forward_to_home(ctx, pkt, *home);
+
+  queue_state& state = queues_[*queue];
+  if (*op == ops::queue_push) {
+    message m;
+    m.seq = state.next_seq++;
+    m.body = pkt.payload;
+    state.ready.push_back(std::move(m));
+    ctx.metrics().get_counter("mq.pushed").add();
+    return core::module_result::deliver();
+  }
+  if (*op == ops::queue_pop) {
+    const core::edge_addr consumer =
+        pkt.header.meta_u64(ilp::meta_key::reply_to).value_or(*src);
+    deliver(ctx, *queue, state, consumer, pkt.header.connection);
+    return core::module_result::deliver();
+  }
+  if (*op == ops::queue_ack) {
+    const auto seq = get_skey_u64(pkt.header, skey::msg_seq);
+    if (seq) state.unacked.erase(*seq);
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+std::size_t queue_service::depth(const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.ready.size();
+}
+
+std::size_t queue_service::in_flight(const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.unacked.size();
+}
+
+bytes queue_service::checkpoint(core::service_context&) {
+  writer w;
+  w.varint(queues_.size());
+  for (const auto& [name, state] : queues_) {
+    w.str(name);
+    w.u64(state.next_seq);
+    w.varint(state.ready.size());
+    for (const message& m : state.ready) {
+      w.u64(m.seq);
+      w.blob(m.body);
+    }
+    // Unacked messages checkpoint as ready: they will be redelivered,
+    // which at-least-once semantics permit.
+    w.varint(state.unacked.size());
+    for (const auto& [seq, m] : state.unacked) {
+      w.u64(m.seq);
+      w.blob(m.body);
+    }
+  }
+  return w.take();
+}
+
+void queue_service::restore(core::service_context&, const_byte_span snapshot) {
+  reader r(snapshot);
+  std::map<std::string, queue_state> restored;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t q = 0; q < n; ++q) {
+    std::string name = r.str();
+    queue_state state;
+    state.next_seq = r.u64();
+    const std::uint64_t ready = r.varint();
+    for (std::uint64_t i = 0; i < ready; ++i) {
+      message m;
+      m.seq = r.u64();
+      const auto body = r.blob();
+      m.body.assign(body.begin(), body.end());
+      state.ready.push_back(std::move(m));
+    }
+    const std::uint64_t unacked = r.varint();
+    for (std::uint64_t i = 0; i < unacked; ++i) {
+      message m;
+      m.seq = r.u64();
+      const auto body = r.blob();
+      m.body.assign(body.begin(), body.end());
+      state.ready.push_back(std::move(m));
+    }
+    restored.emplace(std::move(name), std::move(state));
+  }
+  queues_ = std::move(restored);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,65 @@
+#include "services/mixnet.h"
+
+#include "common/serial.h"
+#include "crypto/random.h"
+#include "services/envelope.h"
+
+namespace interedge::services {
+
+mixnet_service::mixnet_service() {
+  crypto::x25519_key seed;
+  crypto::random_bytes(seed);
+  keypair_ = crypto::x25519_keypair_from_seed(seed);
+}
+
+mixnet_service::mixnet_service(const crypto::x25519_key& seed) {
+  keypair_ = crypto::x25519_keypair_from_seed(seed);
+}
+
+core::module_result mixnet_service::on_packet(core::service_context& ctx,
+                                              const core::packet& pkt) {
+  // Try to peel a layer addressed to this mix.
+  if (const auto layer = envelope_open(keypair_.secret, pkt.payload)) {
+    try {
+      reader r(*layer);
+      const std::uint8_t type = r.u8();
+      const std::uint64_t next = r.u64();
+      const const_byte_span inner = r.blob();
+      ++peeled_;
+      ctx.metrics().get_counter("mixnet.peeled").add();
+
+      const auto hop = ctx.next_hop(next);
+      if (!hop) return core::module_result::drop();
+
+      ilp::ilp_header header;
+      header.service = ilp::svc::mixnet;
+      // Fresh connection id per hop: correlating packets across hops by
+      // connection id must not work.
+      header.connection = pkt.header.connection ^ (0x9e3779b97f4a7c15ull * (peeled_ + 1));
+      header.set_meta_u64(ilp::meta_key::dest_addr, next);
+      // The source is this mix, never the original sender.
+      header.set_meta_u64(ilp::meta_key::src_addr, ctx.node_id());
+      if (type == kMixExit) {
+        header.flags = ilp::kFlagToHost;
+        ++exited_;
+      }
+
+      core::module_result result;
+      result.verdict = core::decision::deliver();
+      result.sends.push_back(core::outbound{*hop, std::move(header),
+                                            bytes(inner.begin(), inner.end())});
+      return result;
+    } catch (const serial_error&) {
+      return core::module_result::drop();
+    }
+  }
+
+  // Not for us: transit toward the addressed mix.
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+  const auto hop = ctx.next_hop(*dest);
+  if (!hop) return core::module_result::drop();
+  return core::module_result::forward(*hop);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,48 @@
+// Mixnet service (paper §6: "ToR-like mixnet infrastructures" as a
+// privacy-aware service; "mixnets" is first in the prototype's
+// deployed-services list).
+//
+// Onion routing over SNs: the client picks a chain of mix SNs, wraps the
+// message in nested envelopes (one per hop, sealed to that mix's published
+// key), and each mix peels exactly one layer — learning only its successor.
+// The exit mix delivers the innermost payload to the destination host with
+// the original sender identity absent.
+//
+// Layer plaintext (serialized): u8 type (0 relay, 1 exit) || u64 next ||
+// blob inner. See services/clients/mixnet_client.h for the onion builder.
+// Deploying the module inside an enclave_runtime keeps even the peeled
+// routing information out of the untrusted part of the SN.
+#pragma once
+
+#include "core/service_module.h"
+#include "crypto/x25519.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+inline constexpr std::uint8_t kMixRelay = 0;
+inline constexpr std::uint8_t kMixExit = 1;
+
+class mixnet_service final : public core::service_module {
+ public:
+  mixnet_service();
+  explicit mixnet_service(const crypto::x25519_key& seed);
+
+  ilp::service_id id() const override { return ilp::svc::mixnet; }
+  std::string_view name() const override { return "mixnet"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  // Published in the mix directory the clients use.
+  const crypto::x25519_key& public_key() const { return keypair_.public_key; }
+
+  std::uint64_t peeled() const { return peeled_; }
+  std::uint64_t exited() const { return exited_; }
+
+ private:
+  crypto::x25519_keypair keypair_;
+  std::uint64_t peeled_ = 0;
+  std::uint64_t exited_ = 0;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,102 @@
+#include "services/mobility.h"
+
+#include "common/serial.h"
+
+namespace interedge::services {
+
+core::module_result mobility_service::handle_control(core::service_context& ctx,
+                                                     const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !src) return core::module_result::drop();
+  auto& global = core_.global();
+
+  if (*op == mobility_ops::announce) {
+    // The moved host announces through its NEW first-hop SN (this one).
+    const auto record = global.find_host(*src);
+    if (!record) return core::module_result::drop();
+    const auto old_sns = record->service_nodes;
+
+    lookup::host_record updated = *record;
+    updated.service_nodes = {self_};
+    updated.edomain = core_.id();
+    global.register_host(updated);
+    ++announces_;
+    ctx.metrics().get_counter("mobility.announces").add();
+
+    // Leave breadcrumbs at the previous SNs so in-flight traffic chases
+    // the host to its new attachment.
+    for (core::peer_id old_sn : old_sns) {
+      if (old_sn == self_) continue;
+      ilp::ilp_header crumb;
+      crumb.service = kId;
+      crumb.connection = pkt.header.connection;
+      crumb.flags = ilp::kFlagControl;
+      crumb.set_meta_str(ilp::meta_key::control_op, mobility_ops::breadcrumb);
+      crumb.set_meta_u64(ilp::meta_key::src_addr, *src);
+      writer w(8);
+      w.u64(self_);
+      ctx.send(old_sn, crumb, w.take());
+    }
+    return core::module_result::deliver();
+  }
+
+  if (*op == mobility_ops::breadcrumb) {
+    // Installed at the OLD SN by the new one. Only accept from SNs (the
+    // sender is the packet's L3 source, an SN, not a host).
+    try {
+      reader r(pkt.payload);
+      breadcrumbs_[*src] = r.u64();
+    } catch (const serial_error&) {
+      return core::module_result::drop();
+    }
+    return core::module_result::deliver();
+  }
+
+  if (*op == mobility_ops::locate) {
+    const auto target = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+    const auto reply_to = pkt.header.meta_u64(ilp::meta_key::reply_to);
+    if (!target || !reply_to) return core::module_result::drop();
+    const auto record = global.find_host(*target);
+    ilp::ilp_header reply;
+    reply.service = kId;
+    reply.connection = pkt.header.connection;
+    reply.flags = ilp::kFlagControl | ilp::kFlagToHost;
+    reply.set_meta_str(ilp::meta_key::control_op, mobility_ops::located);
+    reply.set_meta_u64(ilp::meta_key::dest_addr, *target);
+    writer w;
+    if (record) {
+      w.varint(record->service_nodes.size());
+      for (core::peer_id sn : record->service_nodes) w.u64(sn);
+    } else {
+      w.varint(0);
+    }
+    ctx.send(*reply_to, reply, w.take());
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+core::module_result mobility_service::on_packet(core::service_context& ctx,
+                                                const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+
+  // Breadcrumb chase: the destination moved away from this SN.
+  auto crumb = breadcrumbs_.find(*dest);
+  if (crumb != breadcrumbs_.end()) {
+    ++breadcrumbed_;
+    ctx.metrics().get_counter("mobility.breadcrumbed").add();
+    // NOT cached: the lookup record is already fresh, so new connections
+    // route correctly; only stragglers take this path.
+    return core::module_result::forward(crumb->second);
+  }
+
+  const auto hop = ctx.next_hop(*dest);
+  if (!hop) return core::module_result::drop();
+  return core::module_result::forward(*hop);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,59 @@
+// Mobility lookup service (paper §6.3 lists "mobility lookup service"
+// among the services running on the prototype).
+//
+// The problem: a host's first-hop SN association changes when it moves
+// (new access network, new IESP). Peers holding its old association keep
+// sending through the old SN. This service keeps the binding fresh:
+//
+//   announce  — the moved host tells its NEW first-hop SN, which updates
+//               the host's record in the global lookup service and leaves
+//               a forwarding breadcrumb at the OLD SN (via a control
+//               message), so in-flight traffic chases the host;
+//   locate    — any host asks its SN for a peer's current first-hop SNs.
+//
+// The breadcrumb makes the old SN forward mobility-service data packets to
+// the new SN for a grace period instead of dropping them.
+#pragma once
+
+#include <map>
+
+#include "core/service_module.h"
+#include "edomain/domain_core.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+namespace mobility_ops {
+inline constexpr const char* announce = "announce";
+inline constexpr const char* locate = "locate";
+inline constexpr const char* located = "located";
+inline constexpr const char* breadcrumb = "breadcrumb";
+}  // namespace mobility_ops
+
+class mobility_service final : public core::service_module {
+ public:
+  mobility_service(edomain::domain_core& core, core::peer_id self)
+      : core_(core), self_(self) {}
+
+  static constexpr ilp::service_id kId = ilp::svc::mobility;
+  ilp::service_id id() const override { return kId; }
+  std::string_view name() const override { return "mobility"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  std::uint64_t announces() const { return announces_; }
+  std::uint64_t forwarded_via_breadcrumb() const { return breadcrumbed_; }
+  bool has_breadcrumb(core::edge_addr host) const { return breadcrumbs_.count(host) > 0; }
+
+ private:
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+
+  edomain::domain_core& core_;
+  core::peer_id self_;
+  // host -> its new first-hop SN (left at the OLD SN after a move).
+  std::map<core::edge_addr, core::peer_id> breadcrumbs_;
+  std::uint64_t announces_ = 0;
+  std::uint64_t breadcrumbed_ = 0;
+};
+
+}  // namespace interedge::services

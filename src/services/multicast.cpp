@@ -1,0 +1,103 @@
+#include "services/multicast.h"
+
+#include "common/serial.h"
+
+namespace interedge::services {
+
+void multicast_service::reply(core::service_context& ctx, const core::packet& pkt,
+                              const std::string& op, const std::string& detail) {
+  const auto reply_to = pkt.header.meta_u64(ilp::meta_key::reply_to);
+  if (!reply_to) return;
+  ilp::ilp_header h;
+  h.service = ilp::svc::multicast;
+  h.connection = pkt.header.connection;
+  h.flags = ilp::kFlagControl | ilp::kFlagToHost;
+  h.set_meta_str(ilp::meta_key::control_op, op);
+  ctx.send(*reply_to, h, to_bytes(detail));
+}
+
+bool multicast_service::is_registered_sender(const std::string& group,
+                                             core::edge_addr host) const {
+  auto it = senders_.find(group);
+  return it != senders_.end() && it->second.count(host) > 0;
+}
+
+core::module_result multicast_service::handle_control(core::service_context& ctx,
+                                                      const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto group = get_skey_str(pkt.header, skey::group);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !group || !src) return core::module_result::drop();
+
+  const bool auto_open = ctx.config("auto_open_groups", "false") == "true";
+  if (*op == ops::join) {
+    if (!fanout_.may_join(*group, *src, auto_open)) {
+      reply(ctx, pkt, ops::deny, *group);
+      ctx.metrics().get_counter("multicast.denied_joins").add();
+      return core::module_result::deliver();
+    }
+    fanout_.local_join(*group, *src);
+    reply(ctx, pkt, ops::publish_ack, *group);
+    return core::module_result::deliver();
+  }
+  if (*op == ops::leave) {
+    fanout_.local_leave(*group, *src);
+    reply(ctx, pkt, ops::publish_ack, *group);
+    return core::module_result::deliver();
+  }
+  if (*op == ops::register_sender) {
+    // Registration itself needs no owner signature in the paper's text;
+    // it exists for scalability (the SN pre-fetches membership state).
+    senders_[*group].insert(*src);
+    fanout_.core().register_sender(*group, ctx.node_id());
+    reply(ctx, pkt, ops::publish_ack, *group);
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+core::module_result multicast_service::on_packet(core::service_context& ctx,
+                                                 const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+  const auto group = get_skey_str(pkt.header, skey::group);
+  if (!group) return core::module_result::drop();
+
+  // Sender registration is enforced only at the origin SN (relay copies
+  // come from peer SNs, which already enforced it).
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  const bool from_host = src && pkt.l3_src == *src &&
+                         !get_skey_u64(pkt.header, skey::origin_addr).has_value();
+  if (from_host && !is_registered_sender(*group, *src)) {
+    ctx.metrics().get_counter("multicast.unregistered_drops").add();
+    return core::module_result::drop();
+  }
+  return fanout_.fan_out(ctx, pkt, *group);
+}
+
+bytes multicast_service::checkpoint(core::service_context&) {
+  writer w;
+  w.blob(fanout_.checkpoint());
+  w.varint(senders_.size());
+  for (const auto& [group, hosts] : senders_) {
+    w.str(group);
+    w.varint(hosts.size());
+    for (core::edge_addr h : hosts) w.u64(h);
+  }
+  return w.take();
+}
+
+void multicast_service::restore(core::service_context&, const_byte_span state) {
+  reader r(state);
+  fanout_.restore(r.blob());
+  std::map<std::string, std::set<core::edge_addr>> senders;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t g = 0; g < n; ++g) {
+    std::string group = r.str();
+    const std::uint64_t count = r.varint();
+    auto& hosts = senders[group];
+    for (std::uint64_t i = 0; i < count; ++i) hosts.insert(r.u64());
+  }
+  senders_ = std::move(senders);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,45 @@
+// Multicast service module (paper §6).
+//
+// Differences from pub/sub, per the paper's scalability changes: "before a
+// host can send to a group it must first inform its first-hop SN of its
+// intention to do so; i.e., it must register as a sender to the group."
+// Unregistered senders' datagrams are dropped. Joins "must have a signature
+// from the owner authorizing them to join" — enforced against the lookup
+// service (auto-open is off by default for multicast).
+#pragma once
+
+#include <set>
+
+#include "core/service_module.h"
+#include "services/fanout.h"
+
+namespace interedge::services {
+
+class multicast_service final : public core::service_module {
+ public:
+  multicast_service(edomain::domain_core& core, core::peer_id self)
+      : fanout_(core, self, ilp::svc::multicast) {}
+
+  ilp::service_id id() const override { return ilp::svc::multicast; }
+  std::string_view name() const override { return "multicast"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bytes checkpoint(core::service_context&) override;
+  void restore(core::service_context&, const_byte_span state) override;
+
+  std::size_t members(const std::string& group) const {
+    return fanout_.local_member_count(group);
+  }
+  bool is_registered_sender(const std::string& group, core::edge_addr host) const;
+
+ private:
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+  void reply(core::service_context& ctx, const core::packet& pkt, const std::string& op,
+             const std::string& detail);
+
+  group_fanout fanout_;
+  std::map<std::string, std::set<core::edge_addr>> senders_;  // group -> local senders
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,49 @@
+// Null service (Appendix C): "the packet arrives on an ingress pipe to the
+// pipe-terminus, then is sent to a service module (via IPC) which
+// immediately returns the packet to the pipe-terminus, which then sends it
+// to an egress pipe."
+//
+// This is the measurement baseline of Table 1, not a real service: it makes
+// no decision beyond bouncing the packet toward its destination (or a fixed
+// egress peer), exercising the full terminus -> channel -> module ->
+// terminus path with zero service work.
+#pragma once
+
+#include "core/service_module.h"
+
+namespace interedge::services {
+
+class null_service final : public core::service_module {
+ public:
+  // egress == 0: route by dest_addr metadata; otherwise always forward to
+  // the fixed egress peer (the Appendix C microbenchmark setup).
+  explicit null_service(core::peer_id egress = 0, bool cacheable = false)
+      : egress_(egress), cacheable_(cacheable) {}
+
+  ilp::service_id id() const override { return ilp::svc::null_service; }
+  std::string_view name() const override { return "null"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override {
+    core::peer_id hop = egress_;
+    if (hop == 0) {
+      const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+      if (!dest) return core::module_result::drop();
+      const auto routed = ctx.next_hop(*dest);
+      if (!routed) return core::module_result::drop();
+      hop = *routed;
+    }
+    core::module_result r = core::module_result::forward(hop);
+    if (cacheable_) {
+      r.cache_inserts.emplace_back(
+          core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+          core::decision::forward_to(hop));
+    }
+    return r;
+  }
+
+ private:
+  core::peer_id egress_;
+  bool cacheable_;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,73 @@
+#include "services/odns.h"
+
+namespace interedge::services {
+
+core::module_result odns_service::on_packet(core::service_context& ctx,
+                                            const core::packet& pkt) {
+  const auto resolver_str = ctx.config("resolver", "");
+  if (resolver_str.empty()) return core::module_result::drop();
+  const core::edge_addr resolver = std::stoull(resolver_str);
+
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+
+  // Answer leg: the resolver addressed this SN (the proxy); match the
+  // pending query and relay the sealed answer to the client, restoring
+  // the client's original connection id.
+  if (dest && *dest == ctx.node_id()) {
+    auto it = pending_.find(pkt.header.connection);
+    if (it == pending_.end()) return core::module_result::drop();
+    const pending_query q = it->second;
+    pending_.erase(it);
+
+    ilp::ilp_header to_client;
+    to_client.service = ilp::svc::odns;
+    to_client.connection = q.client_connection;
+    to_client.flags = ilp::kFlagToHost;
+    to_client.set_meta_u64(ilp::meta_key::dest_addr, q.client);
+
+    const auto hop = ctx.next_hop(q.client);
+    if (!hop) return core::module_result::drop();
+    core::module_result r;
+    r.verdict = core::decision::deliver();
+    r.sends.push_back(core::outbound{*hop, std::move(to_client), pkt.payload});
+    return r;
+  }
+
+  // Transit leg: an explicitly addressed oDNS packet (proxy->resolver or
+  // resolver->proxy) passing through this SN. Must be checked before the
+  // query-leg test: the resolver is also a host.
+  if (dest) {
+    const auto hop = ctx.next_hop(*dest);
+    if (!hop) return core::module_result::drop();
+    return core::module_result::forward(*hop);
+  }
+
+  // Query leg from a client host (clients leave dest unset; the proxy
+  // supplies the resolver address): re-originate under the SN's identity.
+  if (src && pkt.l3_src == *src) {
+    const ilp::connection_id proxy_conn = next_proxy_conn_++;
+    pending_[proxy_conn] = pending_query{*src, pkt.header.connection};
+    ++proxied_;
+    ctx.metrics().get_counter("odns.proxied").add();
+
+    ilp::ilp_header to_resolver;
+    to_resolver.service = ilp::svc::odns;
+    to_resolver.connection = proxy_conn;
+    // The client's identity is deliberately absent: the resolver sees only
+    // the proxy SN as the source.
+    to_resolver.set_meta_u64(ilp::meta_key::src_addr, ctx.node_id());
+    to_resolver.set_meta_u64(ilp::meta_key::dest_addr, resolver);
+
+    const auto hop = ctx.next_hop(resolver);
+    if (!hop) return core::module_result::drop();
+    core::module_result r;
+    r.verdict = core::decision::deliver();
+    r.sends.push_back(core::outbound{*hop, std::move(to_resolver), pkt.payload});
+    return r;
+  }
+
+  return core::module_result::drop();
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,47 @@
+// Oblivious DNS service (paper §6: "The use of enclaves makes it simpler
+// to implement oDNS, private relays, ..."; oDNS is in the prototype's
+// deployed-services list).
+//
+// The oDNS split: the client's first-hop SN acts as the *proxy* — it sees
+// who is asking but not what (queries are envelope-sealed to the resolver's
+// public key); the resolver sees the question but not who asked (the proxy
+// re-originates the query under its own identity).
+//
+//   client --[sealed query]--> proxy SN --[sealed query, src=SN]--> resolver
+//   client <--[sealed answer]-- proxy SN <--[sealed answer]-------- resolver
+//
+// The resolver is an ordinary host running services/clients/odns_resolver.
+// Its address comes from the standardized module config key "resolver".
+// Deploy this module inside an enclave_runtime for the paper's full
+// privacy story (the tests do both).
+#pragma once
+
+#include <map>
+
+#include "core/service_module.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class odns_service final : public core::service_module {
+ public:
+  ilp::service_id id() const override { return ilp::svc::odns; }
+  std::string_view name() const override { return "odns"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  std::uint64_t proxied_queries() const { return proxied_; }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct pending_query {
+    core::edge_addr client = 0;
+    ilp::connection_id client_connection = 0;
+  };
+
+  std::map<ilp::connection_id, pending_query> pending_;  // proxy conn -> client
+  ilp::connection_id next_proxy_conn_ = 1;
+  std::uint64_t proxied_ = 0;
+};
+
+}  // namespace interedge::services

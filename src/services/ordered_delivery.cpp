@@ -1,0 +1,101 @@
+#include "services/ordered_delivery.h"
+
+namespace interedge::services {
+
+std::uint64_t ordered_delivery_service::gps_now(core::service_context& ctx) const {
+  const std::uint64_t base = static_cast<std::uint64_t>(ctx.now().time_since_epoch().count());
+  const std::uint64_t jitter = std::stoull(ctx.config("clock_jitter_ns", "0"));
+  if (jitter == 0) return base;
+  // Deterministic per-SN offset in [-jitter, +jitter] models bounded GPS
+  // clock error.
+  const std::uint64_t h = ctx.node_id() * 0x9e3779b97f4a7c15ull;
+  const std::int64_t offset = static_cast<std::int64_t>(h % (2 * jitter)) -
+                              static_cast<std::int64_t>(jitter);
+  return base + static_cast<std::uint64_t>(static_cast<std::int64_t>(base) > -offset ? offset : 0);
+}
+
+void ordered_delivery_service::schedule_release(core::service_context& ctx,
+                                                core::edge_addr receiver) {
+  const auto window =
+      std::chrono::milliseconds(std::stoll(ctx.config("release_delay_ms", "50")));
+  ctx.schedule(window, [this, &ctx, receiver]() {
+    auto it = buffers_.find(receiver);
+    if (it == buffers_.end()) return;
+    receiver_buffer& buf = it->second;
+    const std::uint64_t horizon =
+        static_cast<std::uint64_t>(ctx.now().time_since_epoch().count());
+
+    // Release everything stamped at least one window ago, in order.
+    const auto window_ns = static_cast<std::uint64_t>(
+        std::chrono::nanoseconds(
+            std::chrono::milliseconds(std::stoll(ctx.config("release_delay_ms", "50"))))
+            .count());
+    while (!buf.pending.empty()) {
+      auto first = buf.pending.begin();
+      const std::uint64_t ts = std::get<0>(first->first);
+      if (ts + window_ns > horizon) break;
+      const auto hop = ctx.next_hop(receiver);
+      if (hop) {
+        ilp::ilp_header h = first->second.header;
+        h.flags = ilp::kFlagToHost;
+        ctx.send(*hop, h, std::move(first->second.payload));
+        ++released_;
+      }
+      buf.released_watermark = std::max(buf.released_watermark, ts);
+      buf.pending.erase(first);
+    }
+  });
+}
+
+core::module_result ordered_delivery_service::on_packet(core::service_context& ctx,
+                                                        const core::packet& pkt) {
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  const bool origin_stage =
+      src && pkt.l3_src == *src && !get_skey_u64(pkt.header, skey::timestamp_ns);
+
+  ilp::ilp_header header = pkt.header;
+  if (origin_stage) {
+    // Stamp with the SN's GPS clock and a per-sender sequence number.
+    set_skey_u64(header, skey::timestamp_ns, gps_now(ctx));
+    set_skey_u64(header, skey::msg_seq, ++seq_[*src]);
+    ++stamped_;
+    ctx.metrics().get_counter("ordered.stamped").add();
+  }
+
+  const auto hop = ctx.next_hop(*dest);
+  if (!hop) return core::module_result::drop();
+
+  if (*hop != *dest) {
+    // Not the receiver's first-hop SN yet: relay the (stamped) message.
+    core::module_result r;
+    r.verdict = core::decision::deliver();
+    r.sends.push_back(core::outbound{*hop, std::move(header), pkt.payload});
+    return r;
+  }
+
+  // Receiver-side SN: buffer and release in timestamp order.
+  const std::uint64_t ts = get_skey_u64(header, skey::timestamp_ns).value_or(gps_now(ctx));
+  const std::uint64_t origin = get_skey_u64(header, skey::origin_addr).value_or(src.value_or(0));
+  const std::uint64_t sequence = get_skey_u64(header, skey::msg_seq).value_or(0);
+
+  receiver_buffer& buf = buffers_[*dest];
+  if (ts < buf.released_watermark) {
+    // Arrived after its slot was already passed: deliver immediately but
+    // count the ordering violation (non-atomicity, as the paper allows).
+    ++late_;
+    ctx.metrics().get_counter("ordered.late").add();
+    core::module_result r;
+    r.verdict = core::decision::deliver();
+    header.flags = ilp::kFlagToHost;
+    r.sends.push_back(core::outbound{*hop, std::move(header), pkt.payload});
+    return r;
+  }
+  buf.pending.emplace(order_key{ts, origin, sequence}, buffered{std::move(header), pkt.payload});
+  schedule_release(ctx, *dest);
+  return core::module_result::deliver();
+}
+
+}  // namespace interedge::services

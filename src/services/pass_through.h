@@ -1,0 +1,110 @@
+// Operator-imposed pass-through SN logic (paper §3.2, third invocation
+// mode): "an enterprise may impose a firewall service or an SD-WAN service
+// on all traffic entering and leaving its network. In this case, the
+// enterprise would have what we call a 'pass-through' SN at its boundary
+// that terminates ILP and executes the operator-imposed services, and then
+// forwards to the next-hop SN where the client-invoked InterEdge services
+// would be implemented."
+//
+// Install via exec_env::set_interceptor(). Behaviour:
+//   * packets from enterprise hosts: operator rules applied; survivors are
+//     forwarded verbatim to the configured upstream SN (SD-WAN-style exit
+//     selection is a rule away) — the client-invoked service runs there;
+//   * packets arriving from outside for enterprise hosts: rules applied,
+//     survivors delivered to the host;
+//   * anything the rules reject is dropped and fast-path cached.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "core/service_module.h"
+#include "services/firewall.h"
+
+namespace interedge::services {
+
+class pass_through_service final : public core::service_module {
+ public:
+  explicit pass_through_service(core::peer_id upstream_sn) : upstream_(upstream_sn) {}
+
+  ilp::service_id id() const override { return ilp::svc::firewall; }
+  std::string_view name() const override { return "pass-through"; }
+
+  void add_rule(firewall_rule rule) { rules_.push_back(rule); }
+  // Hosts inside the enterprise boundary (traffic direction detection).
+  void add_enterprise_host(core::edge_addr host) { enterprise_hosts_.insert(host); }
+
+  // SD-WAN-style exit selection (the paper's other operator-imposed
+  // example): outbound traffic of a given inner service leaves through a
+  // specific upstream SN instead of the default (e.g. latency-sensitive
+  // services via the premium transit IESP).
+  void set_service_exit(ilp::service_id service, core::peer_id upstream) {
+    service_exits_[service] = upstream;
+  }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override {
+    const std::uint64_t src = pkt.header.meta_u64(ilp::meta_key::src_addr).value_or(pkt.l3_src);
+    const std::uint64_t dest = pkt.header.meta_u64(ilp::meta_key::dest_addr).value_or(0);
+    const std::uint64_t inner = pkt.header.service;
+
+    for (const firewall_rule& rule : rules_) {
+      if (!rule.matches(src, dest, inner)) continue;
+      if (!rule.allow) {
+        ++blocked_;
+        ctx.metrics().get_counter("pass_through.blocked").add();
+        core::module_result r = core::module_result::drop();
+        // Control packets are never fast-path cached by the terminus, so
+        // this insert only affects data connections.
+        r.cache_inserts.emplace_back(
+            core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+            core::decision::drop_packet());
+        return r;
+      }
+      break;
+    }
+
+    const bool is_control = (pkt.header.flags & ilp::kFlagControl) != 0;
+    auto forward_cached = [&](core::peer_id hop) {
+      core::module_result r = core::module_result::forward(hop);
+      if (!is_control) {
+        r.cache_inserts.emplace_back(
+            core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+            core::decision::forward_to(hop));
+      }
+      return r;
+    };
+
+    // Outbound leg: enterprise host -> upstream IESP SN (per-service exit
+    // override first, then the default upstream).
+    if (enterprise_hosts_.count(pkt.l3_src)) {
+      ++passed_out_;
+      auto exit_it = service_exits_.find(pkt.header.service);
+      return forward_cached(exit_it != service_exits_.end() ? exit_it->second : upstream_);
+    }
+
+    // Inbound leg: deliver to the enterprise host it addresses.
+    if (dest != 0 && enterprise_hosts_.count(dest)) {
+      ++passed_in_;
+      return forward_cached(dest);
+    }
+
+    // Not enterprise traffic (e.g. the SN's own service frames): continue
+    // to this SN's service modules.
+    return core::module_result::deliver();
+  }
+
+  std::uint64_t blocked() const { return blocked_; }
+  std::uint64_t passed_out() const { return passed_out_; }
+  std::uint64_t passed_in() const { return passed_in_; }
+
+ private:
+  core::peer_id upstream_;
+  std::vector<firewall_rule> rules_;
+  std::map<ilp::service_id, core::peer_id> service_exits_;
+  std::set<core::edge_addr> enterprise_hosts_;
+  std::uint64_t blocked_ = 0;
+  std::uint64_t passed_out_ = 0;
+  std::uint64_t passed_in_ = 0;
+};
+
+}  // namespace interedge::services

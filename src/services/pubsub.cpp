@@ -1,0 +1,52 @@
+#include "services/pubsub.h"
+
+namespace interedge::services {
+
+void pubsub_service::reply(core::service_context& ctx, const core::packet& pkt,
+                           const std::string& op, const std::string& detail) {
+  const auto reply_to = pkt.header.meta_u64(ilp::meta_key::reply_to);
+  if (!reply_to) return;
+  ilp::ilp_header h;
+  h.service = ilp::svc::pubsub;
+  h.connection = pkt.header.connection;
+  h.flags = ilp::kFlagControl | ilp::kFlagToHost;
+  h.set_meta_str(ilp::meta_key::control_op, op);
+  ctx.send(*reply_to, h, to_bytes(detail));
+}
+
+core::module_result pubsub_service::handle_control(core::service_context& ctx,
+                                                   const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto topic = get_skey_str(pkt.header, skey::group);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !topic || !src) return core::module_result::drop();
+
+  const bool auto_open = ctx.config("auto_open_groups", "true") == "true";
+  if (*op == ops::subscribe) {
+    if (!fanout_.may_join(*topic, *src, auto_open)) {
+      reply(ctx, pkt, ops::deny, *topic);
+      ctx.metrics().get_counter("pubsub.denied_joins").add();
+      return core::module_result::deliver();
+    }
+    fanout_.local_join(*topic, *src);
+    reply(ctx, pkt, ops::publish_ack, *topic);
+    return core::module_result::deliver();
+  }
+  if (*op == ops::unsubscribe) {
+    fanout_.local_leave(*topic, *src);
+    reply(ctx, pkt, ops::publish_ack, *topic);
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+core::module_result pubsub_service::on_packet(core::service_context& ctx,
+                                              const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+  const auto topic = get_skey_str(pkt.header, skey::group);
+  if (!topic) return core::module_result::drop();
+  ctx.metrics().get_counter("pubsub.published").add();
+  return fanout_.fan_out(ctx, pkt, *topic);
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,49 @@
+// Pub/sub service module (paper §6; "we have an implementation of pub/sub
+// running on our prototype").
+//
+// Control plane (host -> first-hop SN, out of band):
+//   subscribe <topic>    join validated against the lookup service
+//   unsubscribe <topic>
+// Data plane: publish = a data packet with skey::group = topic; fan-out to
+// every subscriber across SNs and edomains via group_fanout.
+//
+// Resiliency is host-driven (paper §3.3: "host-driven state reconstruction
+// techniques (as briefly mentioned for pub/sub in Section 6)"): the
+// subscriber's client library remembers its topics and re-subscribes when
+// its SN loses state (see services/clients/pubsub_client.h); the module
+// additionally checkpoints its tables for standby replication.
+#pragma once
+
+#include "core/service_module.h"
+#include "services/fanout.h"
+
+namespace interedge::services {
+
+class pubsub_service final : public core::service_module {
+ public:
+  pubsub_service(edomain::domain_core& core, core::peer_id self)
+      : fanout_(core, self, ilp::svc::pubsub) {}
+
+  ilp::service_id id() const override { return ilp::svc::pubsub; }
+  std::string_view name() const override { return "pubsub"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
+  void restore(core::service_context&, const_byte_span state) override {
+    fanout_.restore(state);
+  }
+
+  std::size_t subscribers(const std::string& topic) const {
+    return fanout_.local_member_count(topic);
+  }
+
+ private:
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+  void reply(core::service_context& ctx, const core::packet& pkt, const std::string& op,
+             const std::string& detail);
+
+  group_fanout fanout_;
+};
+
+}  // namespace interedge::services

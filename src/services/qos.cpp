@@ -1,0 +1,142 @@
+#include "services/qos.h"
+
+#include "common/serial.h"
+
+namespace interedge::services {
+
+bytes qos_profile::encode() const {
+  writer w;
+  w.u64(access_bps);
+  w.varint(rules.size());
+  for (const qos_stream_rule& r : rules) {
+    w.u64(r.src_prefix);
+    w.u8(r.prefix_bits);
+    w.u32(r.priority);
+    w.u64(static_cast<std::uint64_t>(r.weight * 1000.0));  // milli-weight
+  }
+  return w.take();
+}
+
+qos_profile qos_profile::decode(const_byte_span data) {
+  reader r(data);
+  qos_profile p;
+  p.access_bps = r.u64();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    qos_stream_rule rule;
+    rule.src_prefix = r.u64();
+    rule.prefix_bits = r.u8();
+    rule.priority = r.u32();
+    rule.weight = static_cast<double>(r.u64()) / 1000.0;
+    p.rules.push_back(rule);
+  }
+  return p;
+}
+
+std::size_t qos_service::classify(const qos_profile& profile, std::uint64_t src) {
+  for (std::size_t i = 0; i < profile.rules.size(); ++i) {
+    if (profile.rules[i].matches(src)) return i;
+  }
+  return profile.rules.size();  // default class
+}
+
+core::module_result qos_service::handle_control(core::service_context& ctx,
+                                                const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !src || *op != ops::qos_configure) return core::module_result::drop();
+
+  try {
+    receiver_state state;
+    state.profile = qos_profile::decode(pkt.payload);
+    // One scheduler class per rule plus a default best-effort class.
+    for (std::size_t i = 0; i < state.profile.rules.size(); ++i) {
+      state.scheduler.configure_class(
+          i, {.priority = state.profile.rules[i].priority,
+              .weight = state.profile.rules[i].weight,
+              .max_queue = 1024});
+    }
+    state.scheduler.configure_class(state.profile.rules.size(),
+                                    {.priority = 0xffffffff, .weight = 1.0, .max_queue = 1024});
+    receivers_[*src] = std::move(state);
+    ctx.metrics().get_counter("qos.profiles").add();
+  } catch (const serial_error&) {
+    return core::module_result::drop();
+  }
+  return core::module_result::deliver();
+}
+
+void qos_service::start_drain(core::service_context& ctx, core::edge_addr receiver) {
+  auto it = receivers_.find(receiver);
+  if (it == receivers_.end() || it->second.draining) return;
+  it->second.draining = true;
+
+  // Release one packet, then schedule the next release after its
+  // serialization time on the declared access link.
+  std::function<void()> drain = [this, &ctx, receiver]() {
+    auto rit = receivers_.find(receiver);
+    if (rit == receivers_.end()) return;
+    receiver_state& state = rit->second;
+    auto next = state.scheduler.dequeue();
+    if (!next) {
+      state.draining = false;
+      return;
+    }
+    const std::size_t size = next->payload.size();
+    const auto hop = ctx.next_hop(receiver);
+    if (hop) {
+      ctx.send(*hop, next->header, std::move(next->payload));
+      ++state.shaped;
+    }
+    const double bps = static_cast<double>(std::max<std::uint64_t>(state.profile.access_bps, 1));
+    const auto transmit =
+        nanoseconds(static_cast<std::int64_t>(static_cast<double>(size) * 8 * 1.0e9 / bps));
+    ctx.schedule(transmit, [this, &ctx, receiver]() {
+      auto r2 = receivers_.find(receiver);
+      if (r2 == receivers_.end()) return;
+      r2->second.draining = false;
+      if (!r2->second.scheduler.empty()) start_drain(ctx, receiver);
+    });
+  };
+  ctx.schedule(nanoseconds(0), drain);
+}
+
+core::module_result qos_service::on_packet(core::service_context& ctx, const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+
+  auto it = receivers_.find(*dest);
+  if (it == receivers_.end()) {
+    // Receiver has no QoS profile here: plain forwarding.
+    const auto hop = ctx.next_hop(*dest);
+    if (!hop) return core::module_result::drop();
+    core::module_result r = core::module_result::forward(*hop);
+    r.cache_inserts.emplace_back(
+        core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+        core::decision::forward_to(*hop));
+    return r;
+  }
+
+  const std::uint64_t src = pkt.header.meta_u64(ilp::meta_key::src_addr).value_or(pkt.l3_src);
+  const std::size_t cls = classify(it->second.profile, src);
+  ilp::ilp_header header = pkt.header;
+  header.flags |= ilp::kFlagToHost;
+  const std::size_t size = std::max<std::size_t>(pkt.payload.size(), 1);
+  it->second.scheduler.enqueue(cls, pending_packet{std::move(header), pkt.payload}, size);
+  start_drain(ctx, *dest);
+  return core::module_result::deliver();  // consumed; released by the shaper
+}
+
+std::uint64_t qos_service::shaped(core::edge_addr receiver) const {
+  auto it = receivers_.find(receiver);
+  return it == receivers_.end() ? 0 : it->second.shaped;
+}
+
+std::uint64_t qos_service::dropped(core::edge_addr receiver) const {
+  auto it = receivers_.find(receiver);
+  return it == receivers_.end() ? 0 : it->second.scheduler.dropped();
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,78 @@
+// Last-hop QoS service (paper §6): "receivers ... specify to their
+// first-hop SN (which is presumably on the other side of their congested
+// network access link) the total bandwidth that their access link can
+// handle and a set of weights or priorities ... for various traffic
+// streams (identified by source prefixes). This approach would allow a
+// household to give high priority to gaming traffic ... while still
+// preserving enough bandwidth for streaming movies."
+//
+// The module shapes traffic destined to a configured receiver to the
+// declared access-link rate, scheduling releases with WFQ + priority.
+// Configuration arrives out of band (control op "qos-configure") with a
+// serialized qos_profile; it is standardized, so moving to another IESP
+// needs no reconfiguration (§5).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/service_module.h"
+#include "services/common.h"
+#include "services/wfq.h"
+
+namespace interedge::services {
+
+struct qos_stream_rule {
+  // Source prefix: addr/prefix_bits over the 64-bit address space.
+  std::uint64_t src_prefix = 0;
+  std::uint8_t prefix_bits = 0;  // 0 matches everything
+  std::uint32_t priority = 1;
+  double weight = 1.0;
+
+  bool matches(std::uint64_t src) const {
+    if (prefix_bits == 0) return true;
+    const std::uint64_t mask = prefix_bits >= 64 ? ~0ull : ~((1ull << (64 - prefix_bits)) - 1);
+    return (src & mask) == (src_prefix & mask);
+  }
+};
+
+struct qos_profile {
+  std::uint64_t access_bps = 0;  // declared last-mile capacity
+  std::vector<qos_stream_rule> rules;
+
+  bytes encode() const;
+  static qos_profile decode(const_byte_span data);  // throws serial_error
+};
+
+class qos_service final : public core::service_module {
+ public:
+  ilp::service_id id() const override { return ilp::svc::last_hop_qos; }
+  std::string_view name() const override { return "last-hop-qos"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bool has_profile(core::edge_addr receiver) const { return receivers_.count(receiver) > 0; }
+  std::uint64_t shaped(core::edge_addr receiver) const;
+  std::uint64_t dropped(core::edge_addr receiver) const;
+
+ private:
+  struct pending_packet {
+    ilp::ilp_header header;
+    bytes payload;
+  };
+  struct receiver_state {
+    qos_profile profile;
+    wfq_scheduler<pending_packet> scheduler;
+    bool draining = false;
+    std::uint64_t shaped = 0;
+  };
+
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+  void start_drain(core::service_context& ctx, core::edge_addr receiver);
+  // Rule index for a source under a receiver's profile (first match wins).
+  static std::size_t classify(const qos_profile& profile, std::uint64_t src);
+
+  std::map<core::edge_addr, receiver_state> receivers_;
+};
+
+}  // namespace interedge::services

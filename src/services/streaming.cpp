@@ -1,0 +1,95 @@
+#include "services/streaming.h"
+
+#include "common/serial.h"
+
+namespace interedge::services {
+
+bytes media_frame::encode() const {
+  writer w(16 + samples.size());
+  w.u32(frame_id);
+  w.u32(bitrate_kbps);
+  w.blob(samples);
+  return w.take();
+}
+
+media_frame media_frame::decode(const_byte_span data) {
+  reader r(data);
+  media_frame f;
+  f.frame_id = r.u32();
+  f.bitrate_kbps = r.u32();
+  const auto s = r.blob();
+  f.samples.assign(s.begin(), s.end());
+  return f;
+}
+
+media_frame media_transcode(const media_frame& frame, std::uint32_t target_kbps) {
+  if (target_kbps == 0 || frame.bitrate_kbps <= target_kbps) return frame;
+  media_frame out;
+  out.frame_id = frame.frame_id;
+  out.bitrate_kbps = target_kbps;
+  // Deterministic downsample: keep a sample-count proportional to the
+  // bitrate ratio, spread evenly across the frame.
+  const std::size_t keep = std::max<std::size_t>(
+      1, frame.samples.size() * target_kbps / frame.bitrate_kbps);
+  out.samples.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    out.samples.push_back(frame.samples[i * frame.samples.size() / keep]);
+  }
+  return out;
+}
+
+core::module_result streaming_service::on_packet(core::service_context& ctx,
+                                                 const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) {
+    const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+    const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+    if (!op || !src || *op != kStreamConfigure) return core::module_result::drop();
+    try {
+      reader r(pkt.payload);
+      max_kbps_[*src] = static_cast<std::uint32_t>(r.u64());
+      ctx.metrics().get_counter("streaming.profiles").add();
+    } catch (const serial_error&) {
+      return core::module_result::drop();
+    }
+    return core::module_result::deliver();
+  }
+
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+  const auto hop = ctx.next_hop(*dest);
+  if (!hop) return core::module_result::drop();
+
+  // Only the receiver's first-hop SN considers transcoding; transit SNs
+  // forward untouched (and may fast-path the connection).
+  auto profile = max_kbps_.find(*dest);
+  if (*hop != *dest || profile == max_kbps_.end()) {
+    core::module_result r = core::module_result::forward(*hop);
+    if (*hop != *dest) {
+      r.cache_inserts.emplace_back(
+          core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},
+          core::decision::forward_to(*hop));
+    }
+    return r;
+  }
+
+  try {
+    const media_frame frame = media_frame::decode(pkt.payload);
+    if (frame.bitrate_kbps <= profile->second) {
+      ++passed_;
+      return core::module_result::forward(*hop);
+    }
+    const media_frame reduced = media_transcode(frame, profile->second);
+    ++transcoded_;
+    ctx.metrics().get_counter("streaming.transcoded").add();
+    core::module_result r;
+    r.verdict = core::decision::deliver();
+    ilp::ilp_header header = pkt.header;
+    header.flags |= ilp::kFlagToHost;
+    r.sends.push_back(core::outbound{*hop, std::move(header), reduced.encode()});
+    return r;
+  } catch (const serial_error&) {
+    return core::module_result::drop();  // malformed media frame
+  }
+}
+
+}  // namespace interedge::services

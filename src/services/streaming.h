@@ -1,0 +1,56 @@
+// Streaming support service (paper §3.3 names "support for streaming" as a
+// use-case-specific standardized service; §3.1 lists "video-and-audio
+// re-encoding" among the execution environment's accelerable libraries).
+//
+// Receivers declare the bitrate their access path sustains
+// ("stream-configure" control, payload = u64 max kbps). Media packets
+// carry their encoded bitrate in metadata; at the receiver's first-hop SN,
+// frames above the declared rate are re-encoded down by the media library
+// before the last hop — the edge absorbs the bitrate mismatch instead of
+// the access link.
+#pragma once
+
+#include <map>
+
+#include "core/service_module.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+// ---- media re-encoding library --------------------------------------
+// Stand-in for the execution environment's transcoding library (the paper
+// cites GPU H.264 encoders): deterministic downsampling that preserves a
+// recoverable frame header. Output size scales with the bitrate ratio.
+struct media_frame {
+  std::uint32_t frame_id = 0;
+  std::uint32_t bitrate_kbps = 0;
+  bytes samples;
+
+  bytes encode() const;
+  static media_frame decode(const_byte_span data);  // throws serial_error
+};
+
+// Re-encodes a frame to at most `target_kbps`; a no-op when the frame is
+// already within the target.
+media_frame media_transcode(const media_frame& frame, std::uint32_t target_kbps);
+
+inline constexpr const char* kStreamConfigure = "stream-configure";
+
+class streaming_service final : public core::service_module {
+ public:
+  ilp::service_id id() const override { return ilp::svc::streaming; }
+  std::string_view name() const override { return "streaming"; }
+
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bool has_profile(core::edge_addr receiver) const { return max_kbps_.count(receiver) > 0; }
+  std::uint64_t transcoded() const { return transcoded_; }
+  std::uint64_t passed_through() const { return passed_; }
+
+ private:
+  std::map<core::edge_addr, std::uint32_t> max_kbps_;
+  std::uint64_t transcoded_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace interedge::services

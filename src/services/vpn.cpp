@@ -1,0 +1,113 @@
+#include "services/vpn.h"
+
+#include "common/serial.h"
+#include "crypto/kdf.h"
+#include "crypto/random.h"
+
+namespace interedge::services {
+
+void vpn_service::start(core::service_context& ctx) {
+  (void)ctx;
+  secret_.resize(32);
+  crypto::random_bytes(secret_);
+}
+
+bytes vpn_service::token_for(core::edge_addr customer, core::edge_addr sender) const {
+  writer w(16);
+  w.u64(customer);
+  w.u64(sender);
+  const auto mac = crypto::hmac_sha256(secret_, w.data());
+  return bytes(mac.begin(), mac.end());
+}
+
+core::module_result vpn_service::handle_control(core::service_context& ctx,
+                                                const core::packet& pkt) {
+  const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
+  const auto src = pkt.header.meta_u64(ilp::meta_key::src_addr);
+  if (!op || !src) return core::module_result::drop();
+
+  if (*op == ops::vpn_register) {
+    try {
+      reader r(pkt.payload);
+      customers_[*src] = r.u64();  // auth-service address
+      ctx.metrics().get_counter("vpn.customers").add();
+    } catch (const serial_error&) {
+      return core::module_result::drop();
+    }
+    return core::module_result::deliver();
+  }
+
+  if (*op == ops::vpn_auth_ok) {
+    // Must come from the registered auth service of some customer; the
+    // payload names (customer, sender).
+    try {
+      reader r(pkt.payload);
+      const core::edge_addr customer = r.u64();
+      const core::edge_addr sender = r.u64();
+      auto it = customers_.find(customer);
+      if (it == customers_.end() || it->second != *src) {
+        return core::module_result::drop();  // not that customer's auth service
+      }
+      // Return the capability token to the auth service, which relays it
+      // to the now-authenticated sender.
+      ilp::ilp_header reply;
+      reply.service = ilp::svc::vpn;
+      reply.connection = pkt.header.connection;
+      reply.flags = ilp::kFlagControl | ilp::kFlagToHost;
+      reply.set_meta_str(ilp::meta_key::control_op, ops::vpn_auth_ok);
+      reply.set_meta_u64(ilp::meta_key::dest_addr, customer);
+      set_skey_u64(reply, skey::origin_addr, sender);
+      ctx.send(*src, reply, token_for(customer, sender));
+    } catch (const serial_error&) {
+      return core::module_result::drop();
+    }
+    return core::module_result::deliver();
+  }
+  return core::module_result::drop();
+}
+
+core::module_result vpn_service::on_packet(core::service_context& ctx, const core::packet& pkt) {
+  if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
+
+  const auto dest = pkt.header.meta_u64(ilp::meta_key::dest_addr);
+  if (!dest) return core::module_result::drop();
+
+  auto it = customers_.find(*dest);
+  if (it == customers_.end()) {
+    // Not a VPN address: plain forward.
+    const auto hop = ctx.next_hop(*dest);
+    if (!hop) return core::module_result::drop();
+    return core::module_result::forward(*hop);
+  }
+
+  const core::edge_addr sender =
+      pkt.header.meta_u64(ilp::meta_key::src_addr).value_or(pkt.l3_src);
+  const auto token = get_skey_bytes(pkt.header, skey::auth_token);
+  if (token && ct_equal(*token, token_for(*dest, sender))) {
+    ++admitted_;
+    const auto hop = ctx.next_hop(*dest);
+    if (!hop) return core::module_result::drop();
+    return core::module_result::forward(*hop);
+  }
+
+  // Unauthenticated: redirect to the customer's authentication service,
+  // preserving the intended destination.
+  ++redirected_;
+  ctx.metrics().get_counter("vpn.redirected").add();
+  const core::edge_addr auth_service = it->second;
+  const auto hop = ctx.next_hop(auth_service);
+  if (!hop) return core::module_result::drop();
+
+  core::module_result r;
+  r.verdict = core::decision::deliver();  // original packet consumed
+  core::outbound redirect;
+  redirect.to = *hop;
+  redirect.header = pkt.header;
+  redirect.header.set_meta_u64(ilp::meta_key::dest_addr, auth_service);
+  set_skey_u64(redirect.header, skey::origin_addr, *dest);  // intended target
+  redirect.payload = pkt.payload;
+  r.sends.push_back(std::move(redirect));
+  return r;
+}
+
+}  // namespace interedge::services

@@ -1,0 +1,46 @@
+// Generic VPN service (paper §6): "the InterEdge could easily support a
+// generic VPN service that provides a customer with a publicly reachable
+// address, redirects incoming traffic to a customer-specified
+// authentication service, and only allows in traffic that has been duly
+// authenticated."
+//
+// Flow:
+//   1. customer registers: "vpn-register", payload = auth-service address;
+//   2. unauthenticated traffic for the customer is redirected to the auth
+//      service (original destination preserved in metadata);
+//   3. the auth service vouches for a sender: "vpn-auth-ok", payload =
+//      sender address — the SN replies with a capability token that the
+//      auth service forwards to the sender;
+//   4. traffic carrying a valid token in skey::auth_token flows through.
+#pragma once
+
+#include <map>
+
+#include "core/service_module.h"
+#include "services/common.h"
+
+namespace interedge::services {
+
+class vpn_service final : public core::service_module {
+ public:
+  ilp::service_id id() const override { return ilp::svc::vpn; }
+  std::string_view name() const override { return "vpn"; }
+
+  void start(core::service_context& ctx) override;
+  core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
+
+  bytes token_for(core::edge_addr customer, core::edge_addr sender) const;
+  bool is_registered(core::edge_addr customer) const { return customers_.count(customer) > 0; }
+  std::uint64_t redirected() const { return redirected_; }
+  std::uint64_t admitted() const { return admitted_; }
+
+ private:
+  core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
+
+  bytes secret_;
+  std::map<core::edge_addr, core::edge_addr> customers_;  // customer -> auth service
+  std::uint64_t redirected_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,122 @@
+// Weighted-fair-queueing + strict-priority scheduler used by the last-hop
+// QoS service (paper §6: receivers specify "a set of weights or priorities
+// (for weighted-fair-queueing and/or priority scheduling) for various
+// traffic streams").
+//
+// Classic virtual-finish-time WFQ:
+//   * strict priority between priority levels (lower value = served first);
+//   * within a level, each class c has weight w_c; an arriving item of size
+//     s gets finish time F = max(V, F_prev(c)) + s / w_c and the scheduler
+//     always releases the smallest F — long-run throughput shares converge
+//     to the weight ratios.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+namespace interedge::services {
+
+template <typename T>
+class wfq_scheduler {
+ public:
+  struct class_config {
+    std::uint32_t priority = 0;  // 0 = highest
+    double weight = 1.0;
+    std::size_t max_queue = 1024;
+  };
+
+  void configure_class(std::uint64_t class_id, class_config config) {
+    auto& c = classes_[class_id];
+    c.config = config;
+  }
+
+  bool has_class(std::uint64_t class_id) const { return classes_.count(class_id) > 0; }
+
+  // Enqueues into a class; returns false (drop) if the class queue is full
+  // or the class was never configured.
+  bool enqueue(std::uint64_t class_id, T item, std::size_t size) {
+    auto it = classes_.find(class_id);
+    if (it == classes_.end()) return false;
+    cls& c = it->second;
+    if (c.queue.size() >= c.config.max_queue) {
+      ++dropped_;
+      return false;
+    }
+    auto& level = levels_[c.config.priority];
+    const double start = std::max(level.virtual_time, c.last_finish);
+    const double finish = start + static_cast<double>(size) / std::max(c.config.weight, 1e-9);
+    c.last_finish = finish;
+    c.queue.push_back(entry{std::move(item), size, finish});
+    ++queued_;
+    return true;
+  }
+
+  // Releases the next item: highest-priority non-empty level, smallest
+  // virtual finish time within it.
+  std::optional<T> dequeue() {
+    for (auto& [priority, level] : levels_) {
+      std::uint64_t best_class = 0;
+      const entry* best = nullptr;
+      for (auto& [id, c] : classes_) {
+        if (c.config.priority != priority || c.queue.empty()) continue;
+        if (!best || c.queue.front().finish < best->finish) {
+          best = &c.queue.front();
+          best_class = id;
+        }
+      }
+      if (best) {
+        cls& c = classes_[best_class];
+        entry e = std::move(c.queue.front());
+        c.queue.pop_front();
+        level.virtual_time = e.finish;
+        --queued_;
+        ++released_;
+        return std::move(e.item);
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Size (bytes) of the item that dequeue() would release next.
+  std::optional<std::size_t> peek_size() const {
+    for (const auto& [priority, level] : levels_) {
+      const entry* best = nullptr;
+      for (const auto& [id, c] : classes_) {
+        if (c.config.priority != priority || c.queue.empty()) continue;
+        if (!best || c.queue.front().finish < best->finish) best = &c.queue.front();
+      }
+      if (best) return best->size;
+    }
+    return std::nullopt;
+  }
+
+  bool empty() const { return queued_ == 0; }
+  std::size_t pending() const { return queued_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t released() const { return released_; }
+
+ private:
+  struct entry {
+    T item;
+    std::size_t size;
+    double finish;
+  };
+  struct cls {
+    class_config config;
+    std::deque<entry> queue;
+    double last_finish = 0.0;
+  };
+  struct priority_level {
+    double virtual_time = 0.0;
+  };
+
+  std::map<std::uint64_t, cls> classes_;
+  std::map<std::uint32_t, priority_level> levels_;  // ordered: 0 first
+  std::size_t queued_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t released_ = 0;
+};
+
+}  // namespace interedge::services

@@ -1,0 +1,105 @@
+#include "simnet/simulation.h"
+
+#include <stdexcept>
+
+namespace interedge::sim {
+
+simulation::simulation(std::uint64_t seed) : rng_(seed) {}
+
+node_id simulation::add_node(datagram_handler handler) {
+  nodes_.push_back(std::move(handler));
+  return static_cast<node_id>(nodes_.size() - 1);
+}
+
+void simulation::set_handler(node_id node, datagram_handler handler) {
+  nodes_.at(node) = std::move(handler);
+}
+
+void simulation::set_link(node_id from, node_id to, link_properties props) {
+  links_[{from, to}] = props;
+}
+
+void simulation::set_link_symmetric(node_id a, node_id b, link_properties props) {
+  set_link(a, b, props);
+  set_link(b, a, props);
+}
+
+const link_properties& simulation::link_between(node_id from, node_id to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+bool simulation::send(node_id from, node_id to, bytes payload) {
+  if (to >= nodes_.size()) throw std::out_of_range("simulation::send: unknown destination");
+  ++sent_;
+  bytes_sent_ += payload.size();
+  const link_properties& link = link_between(from, to);
+
+  if (payload.size() > link.mtu) {
+    ++dropped_;
+    return false;
+  }
+  if (link.loss_rate > 0.0 && rng_.chance(link.loss_rate)) {
+    ++dropped_;
+    return false;
+  }
+
+  time_point depart = now();
+  if (link.bandwidth_bps > 0) {
+    // Serialize onto the wire: the pair's next free slot plus transmit time.
+    auto& free_at = wire_free_[{from, to}];
+    if (free_at > depart) depart = free_at;
+    const auto transmit = nanoseconds(
+        static_cast<std::int64_t>(payload.size() * 8 * 1.0e9 / static_cast<double>(link.bandwidth_bps)));
+    depart += transmit;
+    free_at = depart;
+  }
+
+  const time_point arrival = depart + link.latency;
+  push(arrival, [this, from, to, p = std::move(payload)]() {
+    ++delivered_;
+    if (tap_) tap_(from, to, p);
+    if (nodes_[to]) nodes_[to](from, p);
+  });
+  return true;
+}
+
+void simulation::at(time_point when, std::function<void()> fn) {
+  push(when < now() ? now() : when, std::move(fn));
+}
+
+void simulation::after(nanoseconds delay, std::function<void()> fn) {
+  push(now() + delay, std::move(fn));
+}
+
+void simulation::push(time_point when, std::function<void()> fn) {
+  queue_.push(event{when, next_seq_++, std::move(fn)});
+}
+
+bool simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out before pop.
+  event e = queue_.top();
+  queue_.pop();
+  clock_.set(e.when);
+  e.fn();
+  return true;
+}
+
+std::size_t simulation::run(std::size_t limit) {
+  std::size_t executed = 0;
+  while (executed < limit && step()) ++executed;
+  return executed;
+}
+
+std::size_t simulation::run_until(time_point deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+    ++executed;
+  }
+  if (clock_.now() < deadline) clock_.set(deadline);
+  return executed;
+}
+
+}  // namespace interedge::sim

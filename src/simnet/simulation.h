@@ -1,0 +1,121 @@
+// Deterministic event-driven network simulator.
+//
+// This is the substrate that stands in for the paper's multi-site testbed
+// (CloudLab / Fabric): it models the L3 layer the InterEdge assumes — "the
+// underlying Internet architecture is unchanged" — as best-effort datagram
+// delivery between nodes with configurable latency, bandwidth, loss, and
+// MTU. Everything above (ILP, SNs, edomains) runs unmodified on top.
+//
+// Determinism: all events (deliveries, timers) execute in (time, seq) order
+// from a single priority queue; loss decisions come from a seeded PRNG.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace interedge::sim {
+
+using node_id = std::uint32_t;
+inline constexpr node_id kInvalidNode = 0xffffffffu;
+
+// Path properties between a node pair. Defaults model an uncongested
+// metro path; tests override per pair.
+struct link_properties {
+  nanoseconds latency = std::chrono::microseconds(500);
+  // 0 = infinite bandwidth (no serialization delay).
+  std::uint64_t bandwidth_bps = 0;
+  double loss_rate = 0.0;
+  std::size_t mtu = 1500;
+};
+
+// A node's receive hook: (source node, datagram payload).
+using datagram_handler = std::function<void(node_id, const bytes&)>;
+
+class simulation {
+ public:
+  explicit simulation(std::uint64_t seed = 1);
+
+  // The virtual clock; production objects built on `clock&` take this.
+  clock& sim_clock() { return clock_; }
+  time_point now() const { return clock_.now(); }
+
+  // Adds a node. The handler runs inside the event loop.
+  node_id add_node(datagram_handler handler);
+  // Replaces a node's handler (used to wire objects created after the node).
+  void set_handler(node_id node, datagram_handler handler);
+
+  // Overrides path properties for the ordered pair (from, to).
+  void set_link(node_id from, node_id to, link_properties props);
+  // Overrides both directions.
+  void set_link_symmetric(node_id a, node_id b, link_properties props);
+  // Default properties for unconfigured pairs.
+  void set_default_link(link_properties props) { default_link_ = props; }
+  const link_properties& link_between(node_id from, node_id to) const;
+
+  // Sends a datagram; returns false if dropped immediately (oversized or
+  // lossy path decided at send time — deterministic given the seed).
+  bool send(node_id from, node_id to, bytes payload);
+
+  // Timers.
+  void at(time_point when, std::function<void()> fn);
+  void after(nanoseconds delay, std::function<void()> fn);
+
+  // Runs events until the queue is empty or `limit` events have executed.
+  // Returns the number of events executed.
+  std::size_t run(std::size_t limit = 1000000);
+  // Runs events with time <= deadline.
+  std::size_t run_until(time_point deadline);
+  // Executes the next event; false if none pending.
+  bool step();
+  bool idle() const { return queue_.empty(); }
+
+  // Counters for assertions.
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t datagrams_delivered() const { return delivered_; }
+  std::uint64_t datagrams_dropped() const { return dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  // Optional tap observing every delivered datagram (for tests/traces).
+  void set_tap(std::function<void(node_id from, node_id to, const bytes&)> tap) {
+    tap_ = std::move(tap);
+  }
+
+ private:
+  struct event {
+    time_point when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct event_order {
+    bool operator()(const event& a, const event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  void push(time_point when, std::function<void()> fn);
+
+  manual_clock clock_;
+  rng rng_;
+  std::vector<datagram_handler> nodes_;
+  std::map<std::pair<node_id, node_id>, link_properties> links_;
+  // Earliest time each directed pair's "wire" is free (bandwidth modeling).
+  std::map<std::pair<node_id, node_id>, time_point> wire_free_;
+  link_properties default_link_;
+  std::priority_queue<event, std::vector<event>, event_order> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::function<void(node_id, node_id, const bytes&)> tap_;
+};
+
+}  // namespace interedge::sim

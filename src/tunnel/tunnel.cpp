@@ -1,0 +1,274 @@
+#include "tunnel/tunnel.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/rng.h"
+#include "crypto/kdf.h"
+#include "crypto/random.h"
+
+namespace interedge::tunnel {
+namespace {
+
+// Chains two secrets into a new chaining key (Noise-style mix).
+crypto::x25519_key mix(const crypto::x25519_key& chain, const crypto::x25519_key& input) {
+  const bytes out = crypto::hkdf(const_byte_span(chain.data(), chain.size()),
+                                 const_byte_span(input.data(), input.size()),
+                                 to_bytes("interedge-tunnel-mix"), 32);
+  crypto::x25519_key next;
+  std::memcpy(next.data(), out.data(), 32);
+  return next;
+}
+
+std::array<std::uint8_t, 32> handshake_key(const crypto::x25519_key& chain,
+                                           std::string_view label) {
+  const bytes out = crypto::hkdf({}, const_byte_span(chain.data(), chain.size()),
+                                 to_bytes(label), 32);
+  std::array<std::uint8_t, 32> k;
+  std::memcpy(k.data(), out.data(), 32);
+  return k;
+}
+
+void make_counter_nonce(std::uint8_t nonce[crypto::kAeadNonceSize], std::uint64_t counter) {
+  std::memset(nonce, 0, crypto::kAeadNonceSize);
+  for (int i = 0; i < 8; ++i) nonce[4 + i] = static_cast<std::uint8_t>(counter >> (8 * i));
+}
+
+}  // namespace
+
+tunnel_endpoint::tunnel_endpoint(const crypto::x25519_keypair& static_keys,
+                                 const crypto::x25519_key& peer_static_public)
+    : static_(static_keys), peer_static_(peer_static_public) {}
+
+bytes tunnel_endpoint::create_initiation() {
+  crypto::x25519_key seed;
+  crypto::random_bytes(seed);
+  ephemeral_ = crypto::x25519_keypair_from_seed(seed);
+
+  // chain = mix(es) then mix(ss): the same DH count as WG msg 1.
+  crypto::x25519_key chain{};
+  chain = mix(chain, crypto::x25519(ephemeral_.secret, peer_static_));
+  const auto k1 = handshake_key(chain, "k1");
+  chain = mix(chain, crypto::x25519(static_.secret, peer_static_));
+  const auto k2 = handshake_key(chain, "k2");
+
+  // Layout (148 B): type(4) | sender(4) | ephemeral(32) |
+  //   sealed static pub (32+16) | sealed timestamp (12+16) | mac1+mac2 (32)
+  bytes msg;
+  msg.reserve(kInitiationSize);
+  const std::uint8_t type[4] = {1, 0, 0, 0};
+  msg.insert(msg.end(), type, type + 4);
+  std::uint8_t sender[4];
+  crypto::random_bytes(sender);
+  msg.insert(msg.end(), sender, sender + 4);
+  msg.insert(msg.end(), ephemeral_.public_key.begin(), ephemeral_.public_key.end());
+
+  std::uint8_t nonce[crypto::kAeadNonceSize];
+  make_counter_nonce(nonce, 0);
+  const bytes sealed_static =
+      crypto::aead_seal(k1.data(), nonce, {},
+                        const_byte_span(static_.public_key.data(), 32));
+  msg.insert(msg.end(), sealed_static.begin(), sealed_static.end());
+
+  std::uint8_t timestamp[12] = {};  // TAI64N placeholder, sealed like WG's
+  const bytes sealed_ts = crypto::aead_seal(k2.data(), nonce, {},
+                                            const_byte_span(timestamp, sizeof(timestamp)));
+  msg.insert(msg.end(), sealed_ts.begin(), sealed_ts.end());
+
+  // mac1/mac2 over the message so far, keyed by the peer's static key.
+  const auto mac1 = crypto::hmac_sha256(const_byte_span(peer_static_.data(), 32), msg);
+  msg.insert(msg.end(), mac1.begin(), mac1.begin() + 16);
+  const auto mac2 = crypto::hmac_sha256(const_byte_span(peer_static_.data(), 32), msg);
+  msg.insert(msg.end(), mac2.begin(), mac2.begin() + 16);
+
+  ++stats_.handshakes;
+  stats_.handshake_bytes += msg.size();
+  return msg;
+}
+
+std::optional<bytes> tunnel_endpoint::consume_initiation(const_byte_span initiation) {
+  if (initiation.size() != kInitiationSize) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  crypto::x25519_key their_ephemeral;
+  std::copy(initiation.begin() + 8, initiation.begin() + 40, their_ephemeral.begin());
+
+  crypto::x25519_key chain{};
+  chain = mix(chain, crypto::x25519(static_.secret, their_ephemeral));  // es (mirrored)
+  const auto k1 = handshake_key(chain, "k1");
+
+  std::uint8_t nonce[crypto::kAeadNonceSize];
+  make_counter_nonce(nonce, 0);
+  const auto opened_static =
+      crypto::aead_open(k1.data(), nonce, {}, initiation.subspan(40, 48));
+  if (!opened_static || opened_static->size() != 32 ||
+      !std::equal(opened_static->begin(), opened_static->end(), peer_static_.begin())) {
+    ++stats_.rejected;
+    return std::nullopt;  // not our configured peer
+  }
+  chain = mix(chain, crypto::x25519(static_.secret, peer_static_));  // ss
+  const auto k2 = handshake_key(chain, "k2");
+  const auto opened_ts = crypto::aead_open(k2.data(), nonce, {}, initiation.subspan(88, 28));
+  if (!opened_ts) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+
+  // Responder ephemeral; ee and se mixes, then transport keys.
+  crypto::x25519_key seed;
+  crypto::random_bytes(seed);
+  const auto responder_ephemeral = crypto::x25519_keypair_from_seed(seed);
+  chain = mix(chain, crypto::x25519(responder_ephemeral.secret, their_ephemeral));  // ee
+  chain = mix(chain, crypto::x25519(responder_ephemeral.secret, peer_static_));     // se
+  derive_transport(chain, /*initiator=*/false);
+
+  // Response (92 B): type(4) | sender(4) | receiver(4) | ephemeral(32) |
+  //   empty AEAD (16) | mac1+mac2 (32)
+  bytes msg;
+  msg.reserve(kResponseSize);
+  const std::uint8_t type[4] = {2, 0, 0, 0};
+  msg.insert(msg.end(), type, type + 4);
+  std::uint8_t indices[8];
+  crypto::random_bytes(indices);
+  msg.insert(msg.end(), indices, indices + 8);
+  msg.insert(msg.end(), responder_ephemeral.public_key.begin(),
+             responder_ephemeral.public_key.end());
+  const auto k3 = handshake_key(chain, "k3");
+  const bytes sealed_empty = crypto::aead_seal(k3.data(), nonce, {}, {});
+  msg.insert(msg.end(), sealed_empty.begin(), sealed_empty.end());
+  const auto mac1 = crypto::hmac_sha256(const_byte_span(peer_static_.data(), 32), msg);
+  msg.insert(msg.end(), mac1.begin(), mac1.begin() + 16);
+  const auto mac2 = crypto::hmac_sha256(const_byte_span(peer_static_.data(), 32), msg);
+  msg.insert(msg.end(), mac2.begin(), mac2.begin() + 16);
+
+  ++stats_.handshakes;
+  stats_.handshake_bytes += msg.size();
+  return msg;
+}
+
+bool tunnel_endpoint::consume_response(const_byte_span response) {
+  if (response.size() != kResponseSize) {
+    ++stats_.rejected;
+    return false;
+  }
+  crypto::x25519_key their_ephemeral;
+  std::copy(response.begin() + 12, response.begin() + 44, their_ephemeral.begin());
+
+  // Re-derive the chain the same way the responder did.
+  crypto::x25519_key chain{};
+  chain = mix(chain, crypto::x25519(ephemeral_.secret, peer_static_));  // es
+  chain = mix(chain, crypto::x25519(static_.secret, peer_static_));     // ss
+  chain = mix(chain, crypto::x25519(ephemeral_.secret, their_ephemeral));  // ee
+  chain = mix(chain, crypto::x25519(static_.secret, their_ephemeral));     // se
+  const auto k3 = handshake_key(chain, "k3");
+  std::uint8_t nonce[crypto::kAeadNonceSize];
+  make_counter_nonce(nonce, 0);
+  if (!crypto::aead_open(k3.data(), nonce, {}, response.subspan(44, 16))) {
+    ++stats_.rejected;
+    return false;
+  }
+  derive_transport(chain, /*initiator=*/true);
+  stats_.handshake_bytes += response.size();
+  return true;
+}
+
+void tunnel_endpoint::derive_transport(const crypto::x25519_key& chain, bool initiator) {
+  const bytes keys = crypto::hkdf({}, const_byte_span(chain.data(), chain.size()),
+                                  to_bytes("interedge-tunnel-transport"), 64);
+  if (initiator) {
+    std::memcpy(send_key_.data(), keys.data(), 32);
+    std::memcpy(recv_key_.data(), keys.data() + 32, 32);
+  } else {
+    std::memcpy(recv_key_.data(), keys.data(), 32);
+    std::memcpy(send_key_.data(), keys.data() + 32, 32);
+  }
+  send_counter_ = 0;
+  established_ = true;
+}
+
+bytes tunnel_endpoint::seal(const_byte_span plaintext) {
+  const std::uint64_t counter = send_counter_++;
+  std::uint8_t nonce[crypto::kAeadNonceSize];
+  make_counter_nonce(nonce, counter);
+  bytes out(8);
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(counter >> (8 * i));
+  const bytes sealed = crypto::aead_seal(send_key_.data(), nonce, {}, plaintext);
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  ++stats_.data_sealed;
+  return out;
+}
+
+std::optional<bytes> tunnel_endpoint::open(const_byte_span sealed) {
+  if (sealed.size() < 8 + crypto::kAeadTagSize) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  std::uint64_t counter = 0;
+  for (int i = 0; i < 8; ++i) counter |= static_cast<std::uint64_t>(sealed[i]) << (8 * i);
+  std::uint8_t nonce[crypto::kAeadNonceSize];
+  make_counter_nonce(nonce, counter);
+  auto opened = crypto::aead_open(recv_key_.data(), nonce, {}, sealed.subspan(8));
+  if (!opened) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  ++stats_.data_opened;
+  return opened;
+}
+
+// ---- tunnel_pair / fleet ----------------------------------------------
+
+crypto::x25519_keypair tunnel_pair::keys_from_seed(std::uint64_t seed) {
+  rng r(seed);
+  crypto::x25519_key k;
+  r.fill(k);
+  return crypto::x25519_keypair_from_seed(k);
+}
+
+tunnel_pair::tunnel_pair(std::uint64_t seed_a, std::uint64_t seed_b)
+    : a_(keys_from_seed(seed_a), keys_from_seed(seed_b).public_key),
+      b_(keys_from_seed(seed_b), keys_from_seed(seed_a).public_key) {}
+
+std::size_t tunnel_pair::rekey() {
+  const bytes initiation = a_.create_initiation();
+  const auto response = b_.consume_initiation(initiation);
+  if (!response) return initiation.size();
+  a_.consume_response(*response);
+  return initiation.size() + response->size();
+}
+
+bool tunnel_pair::verify_transport() {
+  if (!a_.established() || !b_.established()) return false;
+  const auto p1 = b_.open(a_.seal(to_bytes("probe-ab")));
+  const auto p2 = a_.open(b_.seal(to_bytes("probe-ba")));
+  return p1 && to_string(*p1) == "probe-ab" && p2 && to_string(*p2) == "probe-ba";
+}
+
+tunnel_fleet::tunnel_fleet(std::size_t count, nanoseconds rotation_interval, std::uint64_t seed)
+    : interval_(rotation_interval) {
+  tunnels_.reserve(count);
+  rng r(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    slot s;
+    s.pair = std::make_unique<tunnel_pair>(seed * 1000003 + 2 * i, seed * 1000003 + 2 * i + 1);
+    // Stagger deadlines uniformly so rekeys spread across the interval.
+    s.next_rekey = time_point(nanoseconds(
+        static_cast<std::int64_t>(r.below(static_cast<std::uint64_t>(interval_.count())))));
+    tunnels_.push_back(std::move(s));
+  }
+}
+
+std::size_t tunnel_fleet::rotate_due(time_point now) {
+  std::size_t rekeyed = 0;
+  for (slot& s : tunnels_) {
+    if (s.next_rekey > now) continue;
+    total_bytes_ += s.pair->rekey();
+    ++total_rekeys_;
+    ++rekeyed;
+    while (s.next_rekey <= now) s.next_rekey += interval_;
+  }
+  return rekeyed;
+}
+
+}  // namespace interedge::tunnel

@@ -1,0 +1,98 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace interedge {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentAddsAreLossless) {
+  counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.max(), 15u);
+}
+
+TEST(Histogram, QuantileWithinRelativeError) {
+  histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  const std::uint64_t p50 = h.quantile(0.5);
+  const std::uint64_t p99 = h.quantile(0.99);
+  EXPECT_NEAR(static_cast<double>(p50), 50000.0, 50000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(p99), 99000.0, 99000.0 * 0.07);
+}
+
+TEST(Histogram, MeanIsExact) {
+  histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  histogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  histogram h;
+  h.record(1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, LargeValuesDoNotOverflowBuckets) {
+  histogram h;
+  h.record(0xffffffffffffffffull);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 0xffffffffffffffffull);
+}
+
+TEST(MetricsRegistry, NamedAccessReturnsSameObject) {
+  metrics_registry reg;
+  reg.get_counter("packets").add(5);
+  EXPECT_EQ(reg.get_counter("packets").value(), 5u);
+  reg.get_histogram("latency").record(100);
+  EXPECT_EQ(reg.get_histogram("latency").count(), 1u);
+}
+
+TEST(MetricsRegistry, ReportContainsNames) {
+  metrics_registry reg;
+  reg.get_counter("rx_packets").add(3);
+  const std::string report = reg.report();
+  EXPECT_NE(report.find("rx_packets = 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace interedge

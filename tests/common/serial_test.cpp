@@ -1,0 +1,144 @@
+#include "common/serial.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace interedge {
+namespace {
+
+TEST(Serial, FixedWidthRoundTrip) {
+  writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+
+  reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, LittleEndianLayout) {
+  writer w;
+  w.u32(0x04030201);
+  const bytes& b = w.data();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+  EXPECT_EQ(b[2], 3);
+  EXPECT_EQ(b[3], 4);
+}
+
+TEST(Serial, VarintBoundaries) {
+  const std::uint64_t values[] = {0,    1,          127,        128,
+                                  300,  16383,      16384,      (1ull << 32) - 1,
+                                  1ull << 32, 0xffffffffffffffffull};
+  for (std::uint64_t v : values) {
+    writer w;
+    w.varint(v);
+    reader r(w.data());
+    EXPECT_EQ(r.varint(), v) << "value " << v;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Serial, VarintEncodingLength) {
+  writer w;
+  w.varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Serial, BlobAndString) {
+  writer w;
+  w.blob(to_bytes("hello"));
+  w.str("world");
+  reader r(w.data());
+  EXPECT_EQ(to_string(r.blob()), "hello");
+  EXPECT_EQ(r.str(), "world");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, EmptyBlob) {
+  writer w;
+  w.blob({});
+  reader r(w.data());
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, TruncatedReadThrows) {
+  writer w;
+  w.u16(7);
+  reader r(w.data());
+  EXPECT_THROW(r.u32(), serial_error);
+}
+
+TEST(Serial, BlobLengthBeyondInputThrows) {
+  writer w;
+  w.varint(1000);
+  w.raw(to_bytes("short"));
+  reader r(w.data());
+  EXPECT_THROW(r.blob(), serial_error);
+}
+
+TEST(Serial, VarintOverflowThrows) {
+  bytes evil(11, 0xff);  // more continuation bytes than a u64 can hold
+  reader r(evil);
+  EXPECT_THROW(r.varint(), serial_error);
+}
+
+TEST(Serial, ReaderPositionTracksConsumption) {
+  writer w;
+  w.u32(1);
+  w.u32(2);
+  reader r(w.data());
+  EXPECT_EQ(r.position(), 0u);
+  r.u32();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+// Property: arbitrary sequences of writes read back identically.
+TEST(Serial, RandomizedRoundTrip) {
+  rng random(42);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    writer w;
+    std::vector<std::uint64_t> expected;
+    const int n = static_cast<int>(random.below(20)) + 1;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t v = random.next();
+      expected.push_back(v);
+      w.varint(v);
+    }
+    reader r(w.data());
+    for (std::uint64_t v : expected) EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex(b), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+}
+
+TEST(Bytes, FromHexOddLengthIsEmpty) { EXPECT_TRUE(from_hex("abc").empty()); }
+
+TEST(Bytes, ConstantTimeEqual) {
+  const bytes a = to_bytes("secret");
+  const bytes b = to_bytes("secret");
+  const bytes c = to_bytes("secreT");
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, to_bytes("secre")));
+}
+
+}  // namespace
+}  // namespace interedge

@@ -1,0 +1,184 @@
+#include "core/decision_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace interedge::core {
+namespace {
+
+cache_key key_of(std::uint64_t n) { return cache_key{n, static_cast<ilp::service_id>(n % 7), n * 3}; }
+
+TEST(DecisionCache, InsertLookup) {
+  decision_cache cache(16);
+  const cache_key k{1, 2, 3};
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  cache.insert(k, decision::forward_to(99));
+  const auto d = cache.lookup(k);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, decision::verdict::forward);
+  EXPECT_EQ(d->next_hops, std::vector<peer_id>{99});
+}
+
+TEST(DecisionCache, KeyComponentsAllMatter) {
+  decision_cache cache(16);
+  cache.insert({1, 2, 3}, decision::deliver());
+  EXPECT_FALSE(cache.lookup({9, 2, 3}).has_value());  // different L3 src
+  EXPECT_FALSE(cache.lookup({1, 9, 3}).has_value());  // different service
+  EXPECT_FALSE(cache.lookup({1, 2, 9}).has_value());  // different connection
+  EXPECT_TRUE(cache.lookup({1, 2, 3}).has_value());
+}
+
+TEST(DecisionCache, ReplaceExistingEntry) {
+  decision_cache cache(16);
+  const cache_key k{1, 2, 3};
+  cache.insert(k, decision::forward_to(5));
+  cache.insert(k, decision::drop_packet());
+  EXPECT_EQ(cache.lookup(k)->kind, decision::verdict::drop);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCache, LruEvictionAtCapacity) {
+  decision_cache cache(3);
+  cache.insert(key_of(1), decision::deliver());
+  cache.insert(key_of(2), decision::deliver());
+  cache.insert(key_of(3), decision::deliver());
+  // Touch 1 so 2 becomes LRU.
+  cache.lookup(key_of(1));
+  cache.insert(key_of(4), decision::deliver());
+  EXPECT_TRUE(cache.contains(key_of(1)));
+  EXPECT_FALSE(cache.contains(key_of(2)));
+  EXPECT_TRUE(cache.contains(key_of(3)));
+  EXPECT_TRUE(cache.contains(key_of(4)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(DecisionCache, HitCountApi) {
+  // Appendix B: services can retrieve an entry's hit count to decide
+  // whether a connection is still active.
+  decision_cache cache(16);
+  const cache_key k{1, 2, 3};
+  cache.insert(k, decision::deliver());
+  EXPECT_EQ(cache.hit_count(k), 0u);
+  cache.lookup(k);
+  cache.lookup(k);
+  EXPECT_EQ(cache.hit_count(k), 2u);
+  EXPECT_EQ(cache.hit_count({9, 9, 9}), 0u);
+}
+
+TEST(DecisionCache, ContainsHasNoSideEffects) {
+  decision_cache cache(16);
+  const cache_key k{1, 2, 3};
+  cache.insert(k, decision::deliver());
+  cache.contains(k);
+  EXPECT_EQ(cache.hit_count(k), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(DecisionCache, EraseConnectionDropsAllSources) {
+  decision_cache cache(16);
+  cache.insert({1, 7, 100}, decision::deliver());
+  cache.insert({2, 7, 100}, decision::deliver());
+  cache.insert({1, 7, 200}, decision::deliver());
+  EXPECT_EQ(cache.erase_connection(7, 100), 2u);
+  EXPECT_FALSE(cache.contains({1, 7, 100}));
+  EXPECT_FALSE(cache.contains({2, 7, 100}));
+  EXPECT_TRUE(cache.contains({1, 7, 200}));
+}
+
+TEST(DecisionCache, EraseService) {
+  decision_cache cache(16);
+  cache.insert({1, 7, 1}, decision::deliver());
+  cache.insert({1, 7, 2}, decision::deliver());
+  cache.insert({1, 8, 1}, decision::deliver());
+  EXPECT_EQ(cache.erase_service(7), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCache, StatsTrackHitsAndMisses) {
+  decision_cache cache(16);
+  cache.lookup({1, 1, 1});
+  cache.insert({1, 1, 1}, decision::deliver());
+  cache.lookup({1, 1, 1});
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+TEST(DecisionCache, ClearEmptiesCache) {
+  decision_cache cache(16);
+  for (std::uint64_t i = 0; i < 10; ++i) cache.insert(key_of(i), decision::deliver());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(key_of(5)));
+}
+
+TEST(DecisionCache, ZeroCapacityClampsToOne) {
+  decision_cache cache(0);
+  cache.insert({1, 1, 1}, decision::deliver());
+  EXPECT_EQ(cache.size(), 1u);
+  cache.insert({2, 2, 2}, decision::deliver());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionCache, MulticastStyleMultiHopDecision) {
+  decision_cache cache(16);
+  cache.insert({1, 4, 9}, decision::forward_all({10, 11, 12}));
+  const auto d = cache.lookup({1, 4, 9});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->next_hops.size(), 3u);
+}
+
+// Property: under arbitrary interleavings of insert/lookup/erase, the
+// cache never exceeds capacity and lookup only returns inserted values.
+TEST(DecisionCache, RandomizedInvariants) {
+  rng random(5);
+  decision_cache cache(32);
+  std::map<std::tuple<peer_id, ilp::service_id, ilp::connection_id>, decision> model;
+
+  for (int op = 0; op < 5000; ++op) {
+    const cache_key k = key_of(random.below(100));
+    const auto mk = std::make_tuple(k.l3_src, k.service, k.connection);
+    switch (random.below(3)) {
+      case 0: {
+        decision d = decision::forward_to(random.below(1000));
+        cache.insert(k, d);
+        model[mk] = d;
+        break;
+      }
+      case 1: {
+        const auto got = cache.lookup(k);
+        if (got) {
+          // Anything the cache returns must match the latest insert.
+          ASSERT_TRUE(model.count(mk));
+          EXPECT_EQ(*got, model[mk]);
+        }
+        break;
+      }
+      case 2:
+        cache.erase(k);
+        model.erase(mk);
+        break;
+    }
+    ASSERT_LE(cache.size(), 32u);
+  }
+}
+
+// Property: arbitrary eviction is always safe — after filling far past
+// capacity, every lookup either misses (fall back to slow path) or
+// returns the correct decision.
+TEST(DecisionCache, EvictionNeverCorrupts) {
+  decision_cache cache(8);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    cache.insert(key_of(i), decision::forward_to(i));
+  }
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto d = cache.lookup(key_of(i));
+    if (d) {
+      EXPECT_EQ(d->next_hops, std::vector<peer_id>{i});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace interedge::core

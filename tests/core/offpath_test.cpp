@@ -1,0 +1,76 @@
+#include "core/offpath.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::core {
+namespace {
+
+TEST(KvStore, PutGetErase) {
+  kv_store kv;
+  kv.put("a", to_bytes("1"));
+  EXPECT_EQ(kv.get("a"), to_bytes("1"));
+  EXPECT_TRUE(kv.erase("a"));
+  EXPECT_FALSE(kv.get("a").has_value());
+  EXPECT_FALSE(kv.erase("a"));
+}
+
+TEST(KvStore, OverwriteReplaces) {
+  kv_store kv;
+  kv.put("k", to_bytes("old"));
+  kv.put("k", to_bytes("new"));
+  EXPECT_EQ(kv.get("k"), to_bytes("new"));
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+TEST(KvStore, PrefixScanOrdered) {
+  kv_store kv;
+  kv.put("group/b", {});
+  kv.put("group/a", {});
+  kv.put("other/x", {});
+  kv.put("group/c", {});
+  const auto keys = kv.keys_with_prefix("group/");
+  EXPECT_EQ(keys, (std::vector<std::string>{"group/a", "group/b", "group/c"}));
+}
+
+TEST(KvStore, PrefixScanEmptyResult) {
+  kv_store kv;
+  kv.put("a", {});
+  EXPECT_TRUE(kv.keys_with_prefix("zzz").empty());
+}
+
+TEST(KvStore, SnapshotRestoreRoundTrip) {
+  kv_store kv;
+  kv.put("x", to_bytes("payload-1"));
+  kv.put("y", bytes(1000, 0xee));
+  kv.put("", to_bytes("empty-key-ok"));
+  const bytes snap = kv.snapshot();
+
+  kv_store other;
+  other.put("stale", to_bytes("should vanish"));
+  other.restore(snap);
+  EXPECT_EQ(other.size(), 3u);
+  EXPECT_EQ(other.get("x"), to_bytes("payload-1"));
+  EXPECT_EQ(other.get("y")->size(), 1000u);
+  EXPECT_FALSE(other.contains("stale"));
+}
+
+TEST(KvStore, EmptySnapshotRestores) {
+  kv_store kv;
+  const bytes snap = kv.snapshot();
+  kv_store other;
+  other.put("a", {});
+  other.restore(snap);
+  EXPECT_EQ(other.size(), 0u);
+}
+
+TEST(KvStore, CountersTrackAccess) {
+  kv_store kv;
+  kv.put("a", {});
+  kv.get("a");
+  kv.get("missing");
+  EXPECT_EQ(kv.writes(), 1u);
+  EXPECT_EQ(kv.reads(), 2u);
+}
+
+}  // namespace
+}  // namespace interedge::core

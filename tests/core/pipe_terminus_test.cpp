@@ -1,0 +1,158 @@
+#include "core/pipe_terminus.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::core {
+namespace {
+
+struct forwarded_packet {
+  peer_id to;
+  ilp::ilp_header header;
+  bytes payload;
+};
+
+class terminus_fixture : public ::testing::Test {
+ protected:
+  terminus_fixture()
+      : cache_(16),
+        channel_([this](slowpath_request req) { return handler_(std::move(req)); }),
+        terminus_(cache_, channel_, [this](peer_id to, const ilp::ilp_header& h, const bytes& p) {
+          forwarded_.push_back({to, h, p});
+        }) {
+    // Default handler: forward to hop 50 and install a cache entry.
+    handler_ = [](slowpath_request req) {
+      const auto header = ilp::ilp_header::decode(req.header_bytes);
+      slowpath_response resp;
+      resp.token = req.token;
+      resp.verdict = decision::forward_to(50);
+      resp.cache_inserts.emplace_back(cache_key{req.l3_src, header.service, header.connection},
+                                      decision::forward_to(50));
+      return resp;
+    };
+  }
+
+  packet make_packet(ilp::connection_id conn = 1, std::uint16_t flags = 0) {
+    packet p;
+    p.l3_src = 7;
+    p.header.service = ilp::svc::delivery;
+    p.header.connection = conn;
+    p.header.flags = flags;
+    p.payload = to_bytes("payload");
+    return p;
+  }
+
+  decision_cache cache_;
+  slowpath_handler handler_;
+  inline_channel channel_;
+  pipe_terminus terminus_;
+  std::vector<forwarded_packet> forwarded_;
+};
+
+TEST_F(terminus_fixture, FirstPacketSlowPathSecondFastPath) {
+  terminus_.handle(make_packet());
+  EXPECT_EQ(terminus_.stats().slow_path, 1u);
+  EXPECT_EQ(terminus_.stats().fast_path, 0u);
+
+  terminus_.handle(make_packet());
+  EXPECT_EQ(terminus_.stats().slow_path, 1u);
+  EXPECT_EQ(terminus_.stats().fast_path, 1u);
+
+  ASSERT_EQ(forwarded_.size(), 2u);
+  EXPECT_EQ(forwarded_[0].to, 50u);
+  EXPECT_EQ(forwarded_[1].to, 50u);
+}
+
+TEST_F(terminus_fixture, PayloadForwardedByteIdentical) {
+  terminus_.handle(make_packet());
+  ASSERT_EQ(forwarded_.size(), 1u);
+  EXPECT_EQ(forwarded_[0].payload, to_bytes("payload"));
+  EXPECT_EQ(forwarded_[0].header.connection, 1u);
+}
+
+TEST_F(terminus_fixture, ControlPacketsAlwaysSlowPath) {
+  terminus_.handle(make_packet(1));
+  terminus_.handle(make_packet(1, ilp::kFlagControl));  // would hit cache otherwise
+  EXPECT_EQ(terminus_.stats().slow_path, 2u);
+}
+
+TEST_F(terminus_fixture, DropVerdictCounted) {
+  handler_ = [](slowpath_request req) {
+    slowpath_response resp;
+    resp.token = req.token;
+    resp.verdict = decision::drop_packet();
+    return resp;
+  };
+  terminus_.handle(make_packet());
+  EXPECT_EQ(terminus_.stats().dropped, 1u);
+  EXPECT_TRUE(forwarded_.empty());
+}
+
+TEST_F(terminus_fixture, DeliverVerdictCounted) {
+  handler_ = [](slowpath_request req) {
+    slowpath_response resp;
+    resp.token = req.token;
+    resp.verdict = decision::deliver();
+    return resp;
+  };
+  terminus_.handle(make_packet());
+  EXPECT_EQ(terminus_.stats().delivered, 1u);
+}
+
+TEST_F(terminus_fixture, MultiDestinationForwardsCopies) {
+  // "the decision can specify multiple forwarding destinations, in which
+  // case a copy of the packet is forwarded to each destination" (§4)
+  handler_ = [](slowpath_request req) {
+    slowpath_response resp;
+    resp.token = req.token;
+    resp.verdict = decision::forward_all({10, 11, 12});
+    return resp;
+  };
+  terminus_.handle(make_packet());
+  ASSERT_EQ(forwarded_.size(), 3u);
+  EXPECT_EQ(forwarded_[0].to, 10u);
+  EXPECT_EQ(forwarded_[2].to, 12u);
+  EXPECT_EQ(terminus_.stats().forwarded, 3u);
+}
+
+TEST_F(terminus_fixture, ServiceSendsEmittedBeforeVerdict) {
+  handler_ = [](slowpath_request req) {
+    slowpath_response resp;
+    resp.token = req.token;
+    resp.verdict = decision::deliver();
+    outbound o;
+    o.to = 99;
+    o.header.service = 5;
+    o.payload = to_bytes("control-reply");
+    resp.sends.push_back(std::move(o));
+    return resp;
+  };
+  terminus_.handle(make_packet());
+  ASSERT_EQ(forwarded_.size(), 1u);
+  EXPECT_EQ(forwarded_[0].to, 99u);
+  EXPECT_EQ(forwarded_[0].payload, to_bytes("control-reply"));
+}
+
+TEST_F(terminus_fixture, DifferentConnectionsDifferentCacheEntries) {
+  terminus_.handle(make_packet(1));
+  terminus_.handle(make_packet(2));
+  EXPECT_EQ(terminus_.stats().slow_path, 2u);
+  EXPECT_EQ(cache_.size(), 2u);
+}
+
+TEST_F(terminus_fixture, EvictedEntryFallsBackToSlowPath) {
+  // Fill the cache far past capacity; earlier connections get evicted and
+  // their packets must take the slow path again — correctness preserved.
+  for (ilp::connection_id c = 0; c < 100; ++c) terminus_.handle(make_packet(c));
+  const auto slow_before = terminus_.stats().slow_path;
+  terminus_.handle(make_packet(0));  // long evicted
+  EXPECT_EQ(terminus_.stats().slow_path, slow_before + 1);
+  ASSERT_EQ(forwarded_.size(), 101u);  // every packet still forwarded
+}
+
+TEST_F(terminus_fixture, StatsReceivedCountsAll) {
+  for (int i = 0; i < 5; ++i) terminus_.handle(make_packet());
+  EXPECT_EQ(terminus_.stats().received, 5u);
+}
+
+}  // namespace
+}  // namespace interedge::core

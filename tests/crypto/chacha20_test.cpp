@@ -1,0 +1,79 @@
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::crypto {
+namespace {
+
+// RFC 8439 §2.3.2 block function test vector.
+TEST(ChaCha20, Rfc8439BlockFunction) {
+  const bytes key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const bytes nonce = from_hex("000000090000004a00000000");
+  std::uint8_t out[64];
+  chacha20_block(key.data(), 1, nonce.data(), out);
+  EXPECT_EQ(hex(const_byte_span(out, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2 encryption test vector.
+TEST(ChaCha20, Rfc8439Encryption) {
+  const bytes key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const bytes nonce = from_hex("000000000000004a00000000");
+  bytes plaintext = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  chacha20_xor(key.data(), 1, nonce.data(), plaintext);
+  EXPECT_EQ(hex(plaintext),
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d");
+}
+
+TEST(ChaCha20, XorIsItsOwnInverse) {
+  const bytes key(32, 0x42);
+  const bytes nonce(12, 0x01);
+  bytes data = to_bytes("round trip me");
+  const bytes original = data;
+  chacha20_xor(key.data(), 0, nonce.data(), data);
+  EXPECT_NE(data, original);
+  chacha20_xor(key.data(), 0, nonce.data(), data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, CounterAdvancesKeystream) {
+  const bytes key(32, 1);
+  const bytes nonce(12, 2);
+  bytes a(64, 0), b(64, 0);
+  chacha20_xor(key.data(), 0, nonce.data(), a);
+  chacha20_xor(key.data(), 1, nonce.data(), b);
+  EXPECT_NE(a, b);
+}
+
+TEST(ChaCha20, MultiBlockMatchesBlockwise) {
+  const bytes key(32, 3);
+  const bytes nonce(12, 4);
+  bytes all(150, 0);
+  chacha20_xor(key.data(), 5, nonce.data(), all);
+
+  bytes block_a(64, 0), block_b(64, 0), block_c(22, 0);
+  chacha20_xor(key.data(), 5, nonce.data(), block_a);
+  chacha20_xor(key.data(), 6, nonce.data(), block_b);
+  chacha20_xor(key.data(), 7, nonce.data(), block_c);
+
+  bytes stitched;
+  stitched.insert(stitched.end(), block_a.begin(), block_a.end());
+  stitched.insert(stitched.end(), block_b.begin(), block_b.end());
+  stitched.insert(stitched.end(), block_c.begin(), block_c.end());
+  EXPECT_EQ(all, stitched);
+}
+
+}  // namespace
+}  // namespace interedge::crypto

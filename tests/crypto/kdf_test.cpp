@@ -1,0 +1,77 @@
+#include "crypto/kdf.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::crypto {
+namespace {
+
+std::string mac_hex(const_byte_span key, const_byte_span data) {
+  const auto d = hmac_sha256(key, data);
+  return hex(const_byte_span(d.data(), d.size()));
+}
+
+// RFC 4231 test cases.
+TEST(HmacSha256, Rfc4231Case1) {
+  const bytes key(20, 0x0b);
+  EXPECT_EQ(mac_hex(key, to_bytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(mac_hex(to_bytes("Jefe"), to_bytes("what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const bytes key(20, 0xaa);
+  const bytes data(50, 0xdd);
+  EXPECT_EQ(mac_hex(key, data),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const bytes key(131, 0xaa);
+  EXPECT_EQ(mac_hex(key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 5869 test case 1.
+TEST(Hkdf, Rfc5869Case1) {
+  const bytes ikm(22, 0x0b);
+  const bytes salt = from_hex("000102030405060708090a0b0c");
+  const bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+
+  const auto prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(hex(const_byte_span(prk.data(), prk.size())),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+
+  const bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3 (zero-length salt and info).
+TEST(Hkdf, Rfc5869Case3) {
+  const bytes ikm(22, 0x0b);
+  const bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(hex(okm),
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandLengthLimit) {
+  const bytes prk(32, 1);
+  EXPECT_NO_THROW(hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, DifferentInfoYieldsDifferentKeys) {
+  const bytes ikm(32, 7);
+  EXPECT_NE(hkdf({}, ikm, to_bytes("tx"), 32), hkdf({}, ikm, to_bytes("rx"), 32));
+}
+
+}  // namespace
+}  // namespace interedge::crypto

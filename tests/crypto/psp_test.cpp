@@ -1,0 +1,135 @@
+#include "crypto/psp.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::crypto {
+namespace {
+
+psp_master_key test_master(std::uint8_t fill = 0x44) {
+  psp_master_key k;
+  k.fill(fill);
+  return k;
+}
+
+TEST(Psp, SealOpenRoundTrip) {
+  psp_context tx(test_master(), 7);
+  const psp_context rx(test_master(), 7);
+  const bytes wire = tx.seal(to_bytes("ilp header bytes"), to_bytes("aad"));
+  const auto opened = rx.open(wire, to_bytes("aad"));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), "ilp header bytes");
+}
+
+TEST(Psp, WireOverheadIsFixed) {
+  psp_context tx(test_master(), 1);
+  const bytes wire = tx.seal(to_bytes("x"), {});
+  EXPECT_EQ(wire.size(), 1 + kPspOverhead);
+}
+
+TEST(Psp, OutOfOrderPacketsOpen) {
+  psp_context tx(test_master(), 3);
+  psp_context rx(test_master(), 3);
+  const bytes w1 = tx.seal(to_bytes("first"), {});
+  const bytes w2 = tx.seal(to_bytes("second"), {});
+  const bytes w3 = tx.seal(to_bytes("third"), {});
+  // Receiver sees 3, 1, 2 — PSP is stateless per packet, all must open.
+  EXPECT_EQ(to_string(*rx.open(w3, {})), "third");
+  EXPECT_EQ(to_string(*rx.open(w1, {})), "first");
+  EXPECT_EQ(to_string(*rx.open(w2, {})), "second");
+}
+
+TEST(Psp, WrongAadRejected) {
+  psp_context tx(test_master(), 3);
+  const psp_context rx(test_master(), 3);
+  const bytes wire = tx.seal(to_bytes("data"), to_bytes("outer-src=A"));
+  EXPECT_FALSE(rx.open(wire, to_bytes("outer-src=B")).has_value());
+}
+
+TEST(Psp, TamperedPacketRejected) {
+  psp_context tx(test_master(), 3);
+  const psp_context rx(test_master(), 3);
+  bytes wire = tx.seal(to_bytes("data"), {});
+  wire[wire.size() / 2] ^= 0x80;
+  EXPECT_FALSE(rx.open(wire, {}).has_value());
+}
+
+TEST(Psp, WrongMasterKeyRejected) {
+  psp_context tx(test_master(0x11), 3);
+  const psp_context rx(test_master(0x22), 3);
+  const bytes wire = tx.seal(to_bytes("data"), {});
+  EXPECT_FALSE(rx.open(wire, {}).has_value());
+}
+
+TEST(Psp, UnknownSpiRejected) {
+  psp_context tx(test_master(), 3);
+  const psp_context rx(test_master(), 4);  // different SPI base
+  const bytes wire = tx.seal(to_bytes("data"), {});
+  EXPECT_FALSE(rx.open(wire, {}).has_value());
+}
+
+TEST(Psp, RotationFlipsEpochBitAndChangesKey) {
+  psp_context tx(test_master(), 9);
+  const std::uint32_t spi0 = tx.current_spi();
+  tx.rotate();
+  EXPECT_NE(tx.current_spi(), spi0);
+  EXPECT_EQ(tx.current_spi() & 0x7fffffffu, spi0 & 0x7fffffffu);
+  EXPECT_EQ(tx.epoch(), 1u);
+}
+
+TEST(Psp, ReceiverAcceptsPreviousEpochDuringRotation) {
+  psp_context tx(test_master(), 9);
+  psp_context rx(test_master(), 9);
+  const bytes old_wire = tx.seal(to_bytes("pre-rotation"), {});
+  tx.rotate();
+  rx.rotate();
+  const bytes new_wire = tx.seal(to_bytes("post-rotation"), {});
+  // In-flight packet from the previous epoch still opens.
+  EXPECT_EQ(to_string(*rx.open(old_wire, {})), "pre-rotation");
+  EXPECT_EQ(to_string(*rx.open(new_wire, {})), "post-rotation");
+}
+
+TEST(Psp, TwoEpochsBackRejected) {
+  psp_context tx(test_master(), 9);
+  psp_context rx(test_master(), 9);
+  const bytes ancient = tx.seal(to_bytes("epoch-0"), {});
+  for (int i = 0; i < 2; ++i) {
+    tx.rotate();
+    rx.rotate();
+  }
+  // Epoch 0 and epoch 2 share an SPI (one epoch bit) but use different keys.
+  EXPECT_FALSE(rx.open(ancient, {}).has_value());
+}
+
+TEST(Psp, IvCounterResetOnRotate) {
+  psp_context tx(test_master(), 9);
+  tx.seal(to_bytes("a"), {});
+  tx.seal(to_bytes("b"), {});
+  EXPECT_EQ(tx.packets_sealed(), 2u);
+  tx.rotate();
+  EXPECT_EQ(tx.packets_sealed(), 0u);
+}
+
+TEST(Psp, DistinctPacketsDistinctCiphertext) {
+  psp_context tx(test_master(), 5);
+  const bytes w1 = tx.seal(to_bytes("same"), {});
+  const bytes w2 = tx.seal(to_bytes("same"), {});
+  EXPECT_NE(w1, w2);  // IV advances
+}
+
+class PspPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PspPayloadSweep, RoundTrip) {
+  psp_context tx(test_master(), 2);
+  const psp_context rx(test_master(), 2);
+  bytes payload(GetParam());
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::uint8_t>(i * 7);
+  const auto opened = rx.open(tx.seal(payload, {}), {});
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PspPayloadSweep,
+                         ::testing::Values(0, 1, 16, 64, 512, 1400, 9000));
+
+}  // namespace
+}  // namespace interedge::crypto

@@ -1,0 +1,53 @@
+#include "crypto/siphash.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::crypto {
+namespace {
+
+siphash_key reference_key() {
+  siphash_key k;
+  for (std::size_t i = 0; i < k.size(); ++i) k[i] = static_cast<std::uint8_t>(i);
+  return k;
+}
+
+// Reference vectors from the SipHash paper / reference implementation
+// (key = 00..0f, input = 00, 01, 02, ... prefix of length n).
+TEST(SipHash, ReferenceVectors) {
+  const siphash_key key = reference_key();
+  bytes input;
+  const std::uint64_t expected[] = {
+      0x726fdb47dd0e0e31ull, 0x74f839c593dc67fdull, 0x0d6c8009d9a94f5aull, 0x85676696d7fb7e2dull,
+      0xcf2794e0277187b7ull, 0x18765564cd99a68dull, 0xcbc9466e58fee3ceull, 0xab0200f58b01d137ull,
+  };
+  for (std::size_t n = 0; n < std::size(expected); ++n) {
+    EXPECT_EQ(siphash24(key, input), expected[n]) << "length " << n;
+    input.push_back(static_cast<std::uint8_t>(n));
+  }
+}
+
+TEST(SipHash, KeyDependence) {
+  siphash_key a = reference_key();
+  siphash_key b = reference_key();
+  b[0] ^= 1;
+  const bytes msg = to_bytes("connection-id-1234");
+  EXPECT_NE(siphash24(a, msg), siphash24(b, msg));
+}
+
+TEST(SipHash, LongInputStable) {
+  const siphash_key key = reference_key();
+  const bytes msg(1000, 0x5a);
+  EXPECT_EQ(siphash24(key, msg), siphash24(key, msg));
+}
+
+TEST(SipHash, EveryLengthMod8Covered) {
+  const siphash_key key = reference_key();
+  std::set<std::uint64_t> outputs;
+  for (std::size_t len = 0; len < 16; ++len) {
+    outputs.insert(siphash24(key, bytes(len, 0x33)));
+  }
+  EXPECT_EQ(outputs.size(), 16u);  // all distinct
+}
+
+}  // namespace
+}  // namespace interedge::crypto

@@ -1,0 +1,100 @@
+#include "crypto/x25519.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::crypto {
+namespace {
+
+x25519_key key_from_hex(std::string_view h) {
+  const bytes b = from_hex(h);
+  x25519_key k{};
+  std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+std::string key_hex(const x25519_key& k) { return hex(const_byte_span(k.data(), k.size())); }
+
+// RFC 7748 §5.2 test vector 1.
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = key_from_hex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = key_from_hex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(key_hex(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+// RFC 7748 §5.2 test vector 2.
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = key_from_hex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = key_from_hex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(key_hex(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 §5.2 iterated test, 1 and 1000 iterations.
+TEST(X25519, Rfc7748Iterated) {
+  x25519_key k = key_from_hex("0900000000000000000000000000000000000000000000000000000000000000");
+  x25519_key u = k;
+  for (int i = 0; i < 1; ++i) {
+    const x25519_key next = x25519(k, u);
+    u = k;
+    k = next;
+  }
+  EXPECT_EQ(key_hex(k), "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+
+  for (int i = 1; i < 1000; ++i) {
+    const x25519_key next = x25519(k, u);
+    u = k;
+    k = next;
+  }
+  EXPECT_EQ(key_hex(k), "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+// RFC 7748 §6.1 Diffie-Hellman test.
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_secret =
+      key_from_hex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_secret =
+      key_from_hex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_public = x25519_base(alice_secret);
+  const auto bob_public = x25519_base(bob_secret);
+  EXPECT_EQ(key_hex(alice_public),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(key_hex(bob_public),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto alice_shared = x25519(alice_secret, bob_public);
+  const auto bob_shared = x25519(bob_secret, alice_public);
+  EXPECT_EQ(alice_shared, bob_shared);
+  EXPECT_EQ(key_hex(alice_shared),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, KeypairFromSeedClampsScalar) {
+  x25519_key seed{};
+  for (std::size_t i = 0; i < seed.size(); ++i) seed[i] = static_cast<std::uint8_t>(i + 1);
+  const auto kp = x25519_keypair_from_seed(seed);
+  EXPECT_EQ(kp.secret[0] & 7, 0);
+  EXPECT_EQ(kp.secret[31] & 0x80, 0);
+  EXPECT_EQ(kp.secret[31] & 0x40, 0x40);
+  EXPECT_EQ(kp.public_key, x25519_base(kp.secret));
+}
+
+// Property: DH agreement holds for arbitrary seeds.
+class X25519Agreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(X25519Agreement, SharedSecretsMatch) {
+  x25519_key seed_a{}, seed_b{};
+  seed_a[0] = static_cast<std::uint8_t>(GetParam());
+  seed_a[5] = 0x7e;
+  seed_b[0] = static_cast<std::uint8_t>(GetParam() * 3 + 1);
+  seed_b[9] = 0x22;
+  const auto a = x25519_keypair_from_seed(seed_a);
+  const auto b = x25519_keypair_from_seed(seed_b);
+  EXPECT_EQ(x25519(a.secret, b.public_key), x25519(b.secret, a.public_key));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, X25519Agreement, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace interedge::crypto

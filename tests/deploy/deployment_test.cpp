@@ -1,0 +1,214 @@
+// Integration tests: full InterEdge deployments over the simulator.
+#include "deploy/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_modules.h"
+
+namespace interedge::deploy {
+namespace {
+
+using core::testing::forwarder_module;
+
+void deploy_forwarder(deployment& d) {
+  d.deploy_service_simple([] { return std::make_unique<forwarder_module>(); });
+}
+
+struct inbox {
+  std::vector<std::pair<ilp::ilp_header, bytes>> messages;
+  void attach(host::host_stack& h) {
+    h.set_default_handler([this](const ilp::ilp_header& hdr, bytes payload) {
+      messages.emplace_back(hdr, std::move(payload));
+    });
+  }
+};
+
+TEST(Deployment, IntraEdomainDelivery) {
+  deployment d;
+  const auto dom = d.add_edomain();
+  d.add_sn(dom);
+  auto& alice = d.add_host(dom);
+  auto& bob = d.add_host(dom);
+  d.interconnect();
+  deploy_forwarder(d);
+
+  inbox bob_inbox;
+  bob_inbox.attach(bob);
+  // Disable the direct path so the packet traverses the SN.
+  auto conn = alice.open(bob.addr(), ilp::svc::delivery, alice.first_hop_sn());
+  conn.send(to_bytes("hello"));
+  d.run();
+
+  ASSERT_EQ(bob_inbox.messages.size(), 1u);
+  EXPECT_EQ(to_string(bob_inbox.messages[0].second), "hello");
+}
+
+TEST(Deployment, DirectPathBetweenSameSnHosts) {
+  deployment d;
+  const auto dom = d.add_edomain();
+  const auto sn = d.add_sn(dom);
+  auto& alice = d.add_host(dom);
+  auto& bob = d.add_host(dom);
+  d.interconnect();
+  deploy_forwarder(d);
+
+  inbox bob_inbox;
+  bob_inbox.attach(bob);
+  alice.send_to(bob.addr(), ilp::svc::delivery, to_bytes("direct"));
+  d.run();
+
+  ASSERT_EQ(bob_inbox.messages.size(), 1u);
+  EXPECT_EQ(alice.direct_sends(), 1u);
+  // The SN never saw the packet.
+  EXPECT_EQ(d.sn(sn).datapath_stats().received, 0u);
+}
+
+TEST(Deployment, InterEdomainViaGateways) {
+  deployment d;
+  const auto west = d.add_edomain();
+  const auto east = d.add_edomain();
+  const auto gw_west = d.add_sn(west);   // first SN = gateway
+  const auto sn_west = d.add_sn(west);   // non-gateway SN
+  const auto gw_east = d.add_sn(east);
+  auto& alice = d.add_host(west, sn_west);
+  auto& bob = d.add_host(east, gw_east);
+  d.interconnect();
+  deploy_forwarder(d);
+
+  inbox bob_inbox;
+  bob_inbox.attach(bob);
+  alice.send_to(bob.addr(), ilp::svc::delivery, to_bytes("cross-domain"));
+  d.run();
+
+  ASSERT_EQ(bob_inbox.messages.size(), 1u);
+  EXPECT_EQ(to_string(bob_inbox.messages[0].second), "cross-domain");
+  // Path: alice -> sn_west -> gw_west -> gw_east -> bob.
+  EXPECT_EQ(d.sn(sn_west).datapath_stats().forwarded, 1u);
+  EXPECT_EQ(d.sn(gw_west).datapath_stats().forwarded, 1u);
+  EXPECT_EQ(d.sn(gw_east).datapath_stats().forwarded, 1u);
+}
+
+TEST(Deployment, DirectInterdomainSkipsGateways) {
+  deployment d(deployment_config{.direct_interdomain = true});
+  const auto west = d.add_edomain();
+  const auto east = d.add_edomain();
+  const auto gw_west = d.add_sn(west);
+  const auto sn_west = d.add_sn(west);
+  const auto sn_east = d.add_sn(east);  // gateway east (but unused as relay)
+  auto& alice = d.add_host(west, sn_west);
+  auto& bob = d.add_host(east, sn_east);
+  d.interconnect();
+  deploy_forwarder(d);
+
+  inbox bob_inbox;
+  bob_inbox.attach(bob);
+  alice.send_to(bob.addr(), ilp::svc::delivery, to_bytes("direct-interdomain"));
+  d.run();
+
+  ASSERT_EQ(bob_inbox.messages.size(), 1u);
+  // sn_west talks straight to sn_east; the west gateway is not on the path.
+  EXPECT_EQ(d.sn(gw_west).datapath_stats().received, 0u);
+}
+
+TEST(Deployment, SettlementLedgerRecordsCrossDomainTraffic) {
+  deployment d;
+  const auto west = d.add_edomain();
+  const auto east = d.add_edomain();
+  d.add_sn(west);
+  d.add_sn(east);
+  auto& alice = d.add_host(west);
+  auto& bob = d.add_host(east);
+  d.interconnect();
+  deploy_forwarder(d);
+
+  inbox bob_inbox;
+  bob_inbox.attach(bob);
+  for (int i = 0; i < 3; ++i) {
+    alice.send_to(bob.addr(), ilp::svc::delivery, bytes(100, 0xaa));
+  }
+  d.run();
+  EXPECT_EQ(bob_inbox.messages.size(), 3u);
+  EXPECT_GT(d.ledger().traffic(west, east), 300u);  // payload + overheads
+  // Settlement-free peering: zero due in both directions.
+  EXPECT_EQ(d.ledger().settlement_due(west, east), 0);
+  EXPECT_EQ(d.ledger().settlement_due(east, west), 0);
+}
+
+TEST(Deployment, FullMeshPeeringPipesExist) {
+  deployment d;
+  std::vector<edomain_id> domains;
+  std::vector<peer_id> gateways;
+  for (int i = 0; i < 4; ++i) {
+    const auto dom = d.add_edomain();
+    domains.push_back(dom);
+    gateways.push_back(d.add_sn(dom));
+  }
+  d.interconnect();
+
+  // "every edomain peers directly with all other edomains"
+  for (std::size_t i = 0; i < gateways.size(); ++i) {
+    for (std::size_t j = 0; j < gateways.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_TRUE(d.sn(gateways[i]).pipes().has_pipe(gateways[j]))
+          << i << " -> " << j;
+      EXPECT_TRUE(d.core_of(domains[i]).gateway_to(domains[j]).has_value());
+    }
+  }
+}
+
+TEST(Deployment, HostIdentityRegisteredInLookup) {
+  deployment d;
+  const auto dom = d.add_edomain();
+  d.add_sn(dom);
+  auto& h = d.add_host(dom);
+  const auto rec = d.directory().find_host(h.addr());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->edomain, dom);
+  EXPECT_EQ(rec->service_nodes.front(), h.first_hop_sn());
+  EXPECT_EQ(rec->owner_public, d.identity_of(h.addr()).keys.public_key);
+}
+
+TEST(Deployment, UnknownDestinationDropsAtSn) {
+  deployment d;
+  const auto dom = d.add_edomain();
+  const auto sn = d.add_sn(dom);
+  auto& alice = d.add_host(dom);
+  d.interconnect();
+  deploy_forwarder(d);
+
+  alice.send_to(999999, ilp::svc::delivery, to_bytes("to nowhere"));
+  d.run();
+  EXPECT_EQ(d.sn(sn).datapath_stats().dropped, 1u);
+}
+
+TEST(Deployment, ManyEdomainsScales) {
+  deployment d;
+  constexpr int kDomains = 8;
+  std::vector<edge_addr> hosts;
+  for (int i = 0; i < kDomains; ++i) {
+    const auto dom = d.add_edomain();
+    d.add_sn(dom);
+    hosts.push_back(d.add_host(dom).addr());
+  }
+  d.interconnect();
+  deploy_forwarder(d);
+
+  // Every host messages every other host.
+  std::map<edge_addr, int> received;
+  for (edge_addr addr : hosts) {
+    d.host_at(addr).set_default_handler(
+        [&received, addr](const ilp::ilp_header&, bytes) { ++received[addr]; });
+  }
+  for (edge_addr from : hosts) {
+    for (edge_addr to : hosts) {
+      if (from != to) d.host_at(from).send_to(to, ilp::svc::delivery, to_bytes("x"));
+    }
+  }
+  d.run();
+  for (edge_addr addr : hosts) {
+    EXPECT_EQ(received[addr], kDomains - 1) << "host " << addr;
+  }
+}
+
+}  // namespace
+}  // namespace interedge::deploy

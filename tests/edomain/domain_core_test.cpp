@@ -1,0 +1,121 @@
+#include "edomain/domain_core.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::edomain {
+namespace {
+
+crypto::x25519_key any_owner() {
+  crypto::x25519_key k;
+  k.fill(0x42);
+  return k;
+}
+
+class DomainCoreFixture : public ::testing::Test {
+ protected:
+  DomainCoreFixture() : core_a(1, global), core_b(2, global) {
+    global.create_group("g", any_owner());
+  }
+  lookup::lookup_service global;
+  domain_core core_a;
+  domain_core core_b;
+};
+
+TEST_F(DomainCoreFixture, SnRegistry) {
+  core_a.add_sn(10);
+  core_a.add_sn(11);
+  EXPECT_EQ(core_a.sns().size(), 2u);
+}
+
+TEST_F(DomainCoreFixture, FirstJoinNotifiesLookup) {
+  core_a.group_join("g", 10);
+  const auto rec = global.find_group("g");
+  EXPECT_EQ(rec->member_edomains, (std::set<edomain_id>{1}));
+}
+
+TEST_F(DomainCoreFixture, SecondLocalJoinDoesNotDuplicate) {
+  core_a.group_join("g", 10);
+  core_a.group_join("g", 11);
+  EXPECT_EQ(global.find_group("g")->member_edomains.size(), 1u);
+  EXPECT_EQ(core_a.member_sns("g").size(), 2u);
+}
+
+TEST_F(DomainCoreFixture, LastLeaveWithdrawsFromLookup) {
+  core_a.group_join("g", 10);
+  core_a.group_join("g", 10);  // two members behind the same SN
+  core_a.group_leave("g", 10);
+  EXPECT_TRUE(core_a.has_local_members("g"));
+  core_a.group_leave("g", 10);
+  EXPECT_FALSE(core_a.has_local_members("g"));
+  EXPECT_TRUE(global.find_group("g")->member_edomains.empty());
+}
+
+TEST_F(DomainCoreFixture, LeaveWithoutJoinIsSafe) {
+  EXPECT_NO_THROW(core_a.group_leave("g", 10));
+  EXPECT_NO_THROW(core_a.group_leave("missing", 10));
+}
+
+TEST_F(DomainCoreFixture, RegisterSenderSeesLocalAndRemote) {
+  core_a.group_join("g", 10);  // local member on SN 10
+  core_b.group_join("g", 20);  // remote member in edomain 2
+
+  const auto info = core_a.register_sender("g", 11);
+  EXPECT_EQ(info.local_member_sns, (std::vector<peer_id>{10}));
+  EXPECT_EQ(info.remote_member_edomains, (std::vector<edomain_id>{2}));
+}
+
+TEST_F(DomainCoreFixture, SenderViewTracksRemoteChanges) {
+  core_a.register_sender("g", 11);
+  EXPECT_TRUE(core_a.remote_member_edomains("g").empty());
+  core_b.group_join("g", 20);
+  EXPECT_EQ(core_a.remote_member_edomains("g"), (std::vector<edomain_id>{2}));
+  core_b.group_leave("g", 20);
+  EXPECT_TRUE(core_a.remote_member_edomains("g").empty());
+}
+
+TEST_F(DomainCoreFixture, OwnEdomainExcludedFromRemoteView) {
+  core_a.group_join("g", 10);
+  core_a.register_sender("g", 11);
+  EXPECT_TRUE(core_a.remote_member_edomains("g").empty());
+}
+
+TEST_F(DomainCoreFixture, MemberWatchFiresOnSnTransitions) {
+  std::vector<std::pair<peer_id, bool>> events;
+  core_a.watch_members("g", 99, [&](const std::string&, peer_id sn, bool added) {
+    events.emplace_back(sn, added);
+  });
+  core_a.group_join("g", 10);
+  core_a.group_join("g", 10);  // same SN: no new event
+  core_a.group_join("g", 11);
+  core_a.group_leave("g", 10);
+  core_a.group_leave("g", 10);  // SN 10 now empty: removal event
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], std::make_pair(peer_id{10}, true));
+  EXPECT_EQ(events[1], std::make_pair(peer_id{11}, true));
+  EXPECT_EQ(events[2], std::make_pair(peer_id{10}, false));
+
+  core_a.unwatch_members("g", 99);
+  core_a.group_leave("g", 11);
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST_F(DomainCoreFixture, GatewayMap) {
+  core_a.set_gateway(2, 10, 20);
+  const auto gw = core_a.gateway_to(2);
+  ASSERT_TRUE(gw.has_value());
+  EXPECT_EQ(gw->first, 10u);
+  EXPECT_EQ(gw->second, 20u);
+  EXPECT_FALSE(core_a.gateway_to(9).has_value());
+  EXPECT_EQ(core_a.peered_edomains(), (std::vector<edomain_id>{2}));
+}
+
+TEST_F(DomainCoreFixture, DeregisterLastSenderRemovesWatch) {
+  core_a.register_sender("g", 11);
+  core_a.deregister_sender("g", 11);
+  core_b.group_join("g", 20);
+  // No watch anymore: the cached remote view stays empty.
+  EXPECT_TRUE(core_a.remote_member_edomains("g").empty());
+}
+
+}  // namespace
+}  // namespace interedge::edomain

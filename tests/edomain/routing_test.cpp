@@ -1,0 +1,114 @@
+// Unit tests for the per-SN router (§3.2 forwarding rules), independent of
+// the full deployment machinery.
+#include "edomain/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::edomain {
+namespace {
+
+crypto::x25519_key no_key() { return crypto::x25519_key{}; }
+
+struct router_fixture {
+  router_fixture() : core_west(1, global), core_east(2, global) {
+    // West: SNs 10 (gateway) and 11; east: SN 20 (gateway).
+    core_west.add_sn(10);
+    core_west.add_sn(11);
+    core_east.add_sn(20);
+    core_west.set_gateway(2, 10, 20);
+    core_east.set_gateway(1, 20, 10);
+
+    register_host(100, 10, 1);  // host 100 behind SN 10, west
+    register_host(101, 11, 1);  // host 101 behind SN 11, west
+    register_host(200, 20, 2);  // host 200 behind SN 20, east
+  }
+
+  void register_host(lookup::edge_addr addr, peer_id sn, edomain_id dom) {
+    lookup::host_record rec;
+    rec.addr = addr;
+    rec.owner_public = no_key();
+    rec.service_nodes = {sn};
+    rec.edomain = dom;
+    global.register_host(rec);
+  }
+
+  lookup::lookup_service global;
+  domain_core core_west;
+  domain_core core_east;
+};
+
+TEST(SnRouter, DeliversToAttachedHost) {
+  router_fixture f;
+  sn_router at_sn10(10, f.core_west, f.global);
+  EXPECT_EQ(at_sn10.next_hop(100), 100u);  // host behind me: hand it over
+}
+
+TEST(SnRouter, IntraEdomainGoesToHostsSn) {
+  router_fixture f;
+  sn_router at_sn10(10, f.core_west, f.global);
+  EXPECT_EQ(at_sn10.next_hop(101), 11u);  // same edomain, other SN
+}
+
+TEST(SnRouter, InterEdomainViaLocalGateway) {
+  router_fixture f;
+  sn_router at_sn11(11, f.core_west, f.global);
+  EXPECT_EQ(at_sn11.next_hop(200), 10u);  // non-gateway relays to local gateway
+}
+
+TEST(SnRouter, GatewayCrossesToRemoteGateway) {
+  router_fixture f;
+  sn_router at_sn10(10, f.core_west, f.global);
+  EXPECT_EQ(at_sn10.next_hop(200), 20u);  // I am the gateway: take the pipe
+}
+
+TEST(SnRouter, DirectInterdomainGoesStraightToRemoteSn) {
+  router_fixture f;
+  sn_router at_sn11(11, f.core_west, f.global, /*direct_interdomain=*/true);
+  EXPECT_EQ(at_sn11.next_hop(200), 20u);
+}
+
+TEST(SnRouter, UnknownDestinationIsUnroutable) {
+  router_fixture f;
+  sn_router at_sn10(10, f.core_west, f.global);
+  EXPECT_FALSE(at_sn10.next_hop(999).has_value());
+}
+
+TEST(SnRouter, MissingGatewayIsUnroutable) {
+  router_fixture f;
+  // A third edomain nobody peered with.
+  domain_core core_far(3, f.global);
+  core_far.add_sn(30);
+  f.register_host(300, 30, 3);
+  sn_router at_sn11(11, f.core_west, f.global);
+  EXPECT_FALSE(at_sn11.next_hop(300).has_value());
+  // ...unless direct inter-domain pipes are allowed.
+  sn_router direct(11, f.core_west, f.global, true);
+  EXPECT_EQ(direct.next_hop(300), 30u);
+}
+
+TEST(SnRouter, HostWithEmptySnListUnroutable) {
+  router_fixture f;
+  lookup::host_record rec;
+  rec.addr = 500;
+  rec.edomain = 1;
+  f.global.register_host(rec);  // no service_nodes
+  sn_router at_sn10(10, f.core_west, f.global);
+  EXPECT_FALSE(at_sn10.next_hop(500).has_value());
+}
+
+TEST(SnRouter, FallbackSnsCountAsAttachment) {
+  router_fixture f;
+  lookup::host_record rec;
+  rec.addr = 600;
+  rec.service_nodes = {10, 11};  // primary 10, fallback 11
+  rec.edomain = 1;
+  f.global.register_host(rec);
+  sn_router at_sn11(11, f.core_west, f.global);
+  // The fallback SN can deliver directly too.
+  EXPECT_EQ(at_sn11.next_hop(600), 600u);
+  sn_router at_sn10(10, f.core_west, f.global);
+  EXPECT_EQ(at_sn10.next_hop(600), 600u);
+}
+
+}  // namespace
+}  // namespace interedge::edomain

@@ -1,0 +1,213 @@
+#include "enclave/enclave.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_modules.h"
+#include "enclave/attestation.h"
+
+namespace interedge::enclave {
+namespace {
+
+using core::testing::sink_module;
+
+// Minimal context for exercising the wrapper directly.
+class stub_context final : public core::service_context {
+ public:
+  core::peer_id node_id() const override { return 1; }
+  std::uint16_t edomain() const override { return 1; }
+  const clock& node_clock() const override { return clk_; }
+  core::kv_store& storage() override { return kv_; }
+  void send(core::peer_id, const ilp::ilp_header&, bytes) override {}
+  void schedule(nanoseconds, std::function<void()>) override {}
+  std::string config(const std::string&, const std::string& fallback) const override {
+    return fallback;
+  }
+  void invalidate_connection(ilp::service_id, ilp::connection_id) override {}
+  std::uint64_t cache_hit_count(const core::cache_key&) const override { return 0; }
+  std::optional<core::peer_id> next_hop(core::edge_addr dest) const override { return dest; }
+  metrics_registry& metrics() override { return metrics_; }
+
+ private:
+  manual_clock clk_;
+  core::kv_store kv_;
+  metrics_registry metrics_;
+};
+
+enclave_config test_config() {
+  enclave_config c;
+  c.sealing_secret = to_bytes("device-secret-123");
+  return c;
+}
+
+core::packet make_packet(std::size_t payload_size = 100) {
+  core::packet p;
+  p.l3_src = 5;
+  p.header.service = ilp::svc::null_service;
+  p.header.connection = 1;
+  p.payload = bytes(payload_size, 0x7a);
+  return p;
+}
+
+TEST(EnclaveRuntime, TransparentToModuleSemantics) {
+  auto inner = std::make_unique<sink_module>();
+  auto* raw = inner.get();
+  enclave_runtime enc(std::move(inner), test_config());
+  stub_context ctx;
+
+  const auto result = enc.on_packet(ctx, make_packet());
+  EXPECT_EQ(result.verdict.kind, core::decision::verdict::deliver_local);
+  EXPECT_EQ(raw->counter(), 1);
+  EXPECT_EQ(enc.id(), ilp::svc::null_service);
+  EXPECT_EQ(enc.name(), "test-sink");
+}
+
+TEST(EnclaveRuntime, CountsBoundaryCrossings) {
+  enclave_runtime enc(std::make_unique<sink_module>(), test_config());
+  stub_context ctx;
+  for (int i = 0; i < 3; ++i) enc.on_packet(ctx, make_packet(200));
+  EXPECT_EQ(enc.stats().transitions_in, 3u);
+  EXPECT_EQ(enc.stats().transitions_out, 3u);
+  EXPECT_EQ(enc.stats().bytes_copied, 3u * 2 * 200);
+}
+
+TEST(EnclaveRuntime, NoBounceBuffersMeansNoCopies) {
+  enclave_config c = test_config();
+  c.bounce_buffers = false;
+  enclave_runtime enc(std::make_unique<sink_module>(), c);
+  stub_context ctx;
+  enc.on_packet(ctx, make_packet(200));
+  EXPECT_EQ(enc.stats().bytes_copied, 0u);
+  EXPECT_EQ(enc.stats().transitions_in, 1u);
+}
+
+TEST(EnclaveRuntime, SealUnsealRoundTrip) {
+  enclave_runtime enc(std::make_unique<sink_module>(), test_config());
+  const bytes sealed = enc.seal(to_bytes("secret state"));
+  const auto opened = enc.unseal(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), "secret state");
+}
+
+TEST(EnclaveRuntime, SealedBlobsAreFresh) {
+  enclave_runtime enc(std::make_unique<sink_module>(), test_config());
+  EXPECT_NE(enc.seal(to_bytes("same")), enc.seal(to_bytes("same")));
+}
+
+TEST(EnclaveRuntime, TamperedSealRejected) {
+  enclave_runtime enc(std::make_unique<sink_module>(), test_config());
+  bytes sealed = enc.seal(to_bytes("secret"));
+  sealed.back() ^= 1;
+  EXPECT_FALSE(enc.unseal(sealed).has_value());
+}
+
+TEST(EnclaveRuntime, DifferentModuleCannotUnseal) {
+  // Sealing binds to the module measurement: a different (e.g. tampered)
+  // module must not read the checkpoint.
+  enclave_runtime enc_a(std::make_unique<sink_module>(), test_config());
+  enclave_runtime enc_b(std::make_unique<core::testing::forwarder_module>(), test_config());
+  const bytes sealed = enc_a.seal(to_bytes("secret"));
+  EXPECT_FALSE(enc_b.unseal(sealed).has_value());
+}
+
+TEST(EnclaveRuntime, DifferentDeviceCannotUnseal) {
+  enclave_config other = test_config();
+  other.sealing_secret = to_bytes("other-device");
+  enclave_runtime enc_a(std::make_unique<sink_module>(), test_config());
+  enclave_runtime enc_b(std::make_unique<sink_module>(), other);
+  EXPECT_FALSE(enc_b.unseal(enc_a.seal(to_bytes("x"))).has_value());
+}
+
+TEST(EnclaveRuntime, SealedCheckpointRestores) {
+  stub_context ctx;
+  auto inner = std::make_unique<sink_module>();
+  enclave_runtime enc(std::move(inner), test_config());
+  enc.on_packet(ctx, make_packet());
+  enc.on_packet(ctx, make_packet());
+  const bytes snap = enc.checkpoint(ctx);
+
+  auto inner2 = std::make_unique<sink_module>();
+  auto* raw2 = inner2.get();
+  enclave_runtime enc2(std::move(inner2), test_config());
+  stub_context ctx2;
+  enc2.restore(ctx2, snap);
+  EXPECT_EQ(raw2->counter(), 2);
+}
+
+TEST(EnclaveRuntime, RestoreRejectsGarbageSilently) {
+  auto inner = std::make_unique<sink_module>();
+  auto* raw = inner.get();
+  enclave_runtime enc(std::move(inner), test_config());
+  stub_context ctx;
+  EXPECT_NO_THROW(enc.restore(ctx, to_bytes("garbage")));
+  EXPECT_EQ(raw->counter(), 0);  // untouched
+}
+
+// ---- attestation -------------------------------------------------------
+
+TEST(Attestation, QuoteVerifies) {
+  attestation_authority authority(42);
+  const bytes device_key = authority.provision(7);
+
+  tpm device(device_key);
+  const measurement m = measure_module("pubsub", "v1", to_bytes("code"));
+  device.extend(m);
+  authority.expect("pubsub-sn", device.register_value());
+
+  const bytes nonce = to_bytes("fresh-nonce-1");
+  EXPECT_TRUE(authority.verify(7, "pubsub-sn", nonce, device.quote(nonce)));
+}
+
+TEST(Attestation, WrongNodeKeyFails) {
+  attestation_authority authority(42);
+  tpm device(authority.provision(7));
+  const measurement m = measure_module("pubsub", "v1", to_bytes("code"));
+  device.extend(m);
+  authority.expect("pubsub-sn", device.register_value());
+  const bytes nonce = to_bytes("n");
+  // Claiming to be node 8 with node 7's quote fails.
+  EXPECT_FALSE(authority.verify(8, "pubsub-sn", nonce, device.quote(nonce)));
+}
+
+TEST(Attestation, TamperedModuleChangesMeasurement) {
+  const measurement good = measure_module("pubsub", "v1", to_bytes("code"));
+  const measurement bad = measure_module("pubsub", "v1", to_bytes("code'"));
+  EXPECT_NE(good, bad);
+
+  attestation_authority authority(42);
+  tpm device(authority.provision(7));
+  device.extend(bad);
+  tpm golden(authority.provision(7));
+  golden.extend(good);
+  authority.expect("pubsub-sn", golden.register_value());
+  const bytes nonce = to_bytes("n");
+  EXPECT_FALSE(authority.verify(7, "pubsub-sn", nonce, device.quote(nonce)));
+}
+
+TEST(Attestation, ReplayWithDifferentNonceFails) {
+  attestation_authority authority(42);
+  tpm device(authority.provision(7));
+  device.extend(measure_module("m", "v1", to_bytes("c")));
+  authority.expect("label", device.register_value());
+  const bytes quote = device.quote(to_bytes("nonce-1"));
+  EXPECT_FALSE(authority.verify(7, "label", to_bytes("nonce-2"), quote));
+}
+
+TEST(Attestation, ExtendOrderMatters) {
+  tpm a(to_bytes("k")), b(to_bytes("k"));
+  const measurement m1 = measure_module("x", "1", {});
+  const measurement m2 = measure_module("y", "1", {});
+  a.extend(m1);
+  a.extend(m2);
+  b.extend(m2);
+  b.extend(m1);
+  EXPECT_NE(a.register_value(), b.register_value());
+}
+
+TEST(Attestation, UnknownLabelFails) {
+  attestation_authority authority(1);
+  tpm device(authority.provision(1));
+  EXPECT_FALSE(authority.verify(1, "never-registered", to_bytes("n"), device.quote(to_bytes("n"))));
+}
+
+}  // namespace
+}  // namespace interedge::enclave

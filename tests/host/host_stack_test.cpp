@@ -1,0 +1,157 @@
+#include "host/host_stack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/test_modules.h"
+#include "deploy/deployment.h"
+
+namespace interedge::host {
+namespace {
+
+using deploy::deployment;
+using deploy::deployment_config;
+
+struct fixture {
+  fixture(bool allow_direct = true)
+      : d(deployment_config{.hosts_allow_direct = allow_direct}) {
+    dom = d.add_edomain();
+    sn = d.add_sn(dom);
+    alice = &d.add_host(dom);
+    bob = &d.add_host(dom);
+    d.interconnect();
+    d.deploy_service_simple([] {
+      return std::make_unique<core::testing::forwarder_module>();
+    });
+    d.sn(sn).env().deploy(
+        std::make_unique<core::testing::echo_control_module>(ilp::svc::pubsub));
+  }
+  deployment d;
+  deploy::edomain_id dom{};
+  deploy::peer_id sn{};
+  host_stack* alice = nullptr;
+  host_stack* bob = nullptr;
+};
+
+TEST(HostStack, ConnectionCarriesServiceAndMetadata) {
+  fixture f(false);
+  std::vector<ilp::ilp_header> headers;
+  f.bob->set_service_handler(ilp::svc::delivery,
+                             [&](const ilp::ilp_header& h, bytes) { headers.push_back(h); });
+
+  auto conn = f.alice->open(f.bob->addr(), ilp::svc::delivery);
+  conn.set_option(ilp::meta_key::bundle_options, 0b101);
+  conn.set_option_str(ilp::meta_key::payer, "enterprise-42");
+  conn.send(to_bytes("x"));
+  conn.send(to_bytes("y"));
+  f.d.run();
+
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_EQ(headers[0].service, ilp::svc::delivery);
+  EXPECT_EQ(headers[0].connection, headers[1].connection);
+  EXPECT_EQ(headers[0].meta_u64(ilp::meta_key::bundle_options), 0b101u);
+  EXPECT_EQ(headers[0].meta_str(ilp::meta_key::payer), "enterprise-42");
+  EXPECT_EQ(headers[0].meta_u64(ilp::meta_key::src_addr), f.alice->addr());
+  EXPECT_EQ(headers[0].meta_u64(ilp::meta_key::dest_addr), f.bob->addr());
+  EXPECT_TRUE(headers[0].flags & ilp::kFlagFromHost);
+}
+
+TEST(HostStack, DistinctConnectionsGetDistinctIds) {
+  fixture f;
+  auto c1 = f.alice->open(f.bob->addr(), ilp::svc::delivery);
+  auto c2 = f.alice->open(f.bob->addr(), ilp::svc::delivery);
+  EXPECT_NE(c1.id(), c2.id());
+}
+
+TEST(HostStack, ControlReachesFirstHopSnAndReturns) {
+  fixture f;
+  std::vector<bytes> replies;
+  f.alice->set_control_handler(ilp::svc::pubsub,
+                               [&](const ilp::ilp_header&, bytes p) { replies.push_back(p); });
+  f.alice->send_control(ilp::svc::pubsub, "subscribe", to_bytes("topic=x"));
+  f.d.run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(to_string(replies[0]), "topic=x");
+}
+
+TEST(HostStack, DirectPathUsedWhenSharingSn) {
+  fixture f(true);
+  int got = 0;
+  f.bob->set_service_handler(ilp::svc::delivery,
+                             [&](const ilp::ilp_header&, bytes) { ++got; });
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("direct"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(f.alice->direct_sends(), 1u);
+}
+
+TEST(HostStack, DirectPathDisabledRoutesViaSn) {
+  fixture f(false);
+  int got = 0;
+  f.bob->set_service_handler(ilp::svc::delivery,
+                             [&](const ilp::ilp_header&, bytes) { ++got; });
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("via sn"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(f.alice->direct_sends(), 0u);
+  EXPECT_EQ(f.d.sn(f.sn).datapath_stats().received, 1u);
+}
+
+TEST(HostStack, ViaOverrideSelectsSpecificSn) {
+  // "The host will use whichever first-hop SN is appropriate for a given
+  // connection" — e.g. the SN run by whoever pays for the service.
+  fixture f(true);
+  const auto sn2 = f.d.add_sn(f.dom);
+  f.d.sn(sn2).env().deploy(std::make_unique<core::testing::forwarder_module>());
+  int got = 0;
+  f.bob->set_service_handler(ilp::svc::delivery,
+                             [&](const ilp::ilp_header&, bytes) { ++got; });
+
+  auto conn = f.alice->open(f.bob->addr(), ilp::svc::delivery, sn2);
+  conn.send(to_bytes("via sn2"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  // The chosen SN handles the packet first, then relays through bob's
+  // first-hop SN (§5: "the return path would be the reverse, with the
+  // cached content going from the SN paid for by the application provider
+  // to the SN paid for by the enterprise and then to the client").
+  EXPECT_EQ(f.d.sn(sn2).datapath_stats().received, 1u);
+  EXPECT_EQ(f.d.sn(f.sn).datapath_stats().received, 1u);
+}
+
+TEST(HostStack, DefaultHandlerCatchesUnregisteredServices) {
+  fixture f;
+  int fallback_hits = 0;
+  f.bob->set_default_handler([&](const ilp::ilp_header&, bytes) { ++fallback_hits; });
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("m"));
+  f.d.run();
+  EXPECT_EQ(fallback_hits, 1);
+}
+
+TEST(HostStack, FallbackSwitching) {
+  host_config cfg;
+  cfg.addr = 1;
+  cfg.first_hop_sn = 10;
+  cfg.fallback_sns = {11, 12};
+  manual_clock clk;
+  host_stack h(cfg, clk, [](ilp::peer_id, bytes) {}, [](nanoseconds, std::function<void()>) {},
+               nullptr);
+  EXPECT_EQ(h.first_hop_sn(), 10u);
+  EXPECT_TRUE(h.switch_to_fallback());
+  EXPECT_EQ(h.first_hop_sn(), 11u);
+  EXPECT_TRUE(h.switch_to_fallback());
+  EXPECT_EQ(h.first_hop_sn(), 12u);
+  EXPECT_FALSE(h.switch_to_fallback());
+}
+
+TEST(HostStack, CountersTrackTraffic) {
+  fixture f;
+  f.bob->set_default_handler([](const ilp::ilp_header&, bytes) {});
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("1"));
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("2"));
+  f.d.run();
+  EXPECT_EQ(f.alice->packets_sent(), 2u);
+  EXPECT_EQ(f.bob->packets_received(), 2u);
+}
+
+}  // namespace
+}  // namespace interedge::host

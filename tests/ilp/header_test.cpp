@@ -1,0 +1,104 @@
+#include "ilp/header.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serial.h"
+
+namespace interedge::ilp {
+namespace {
+
+TEST(IlpHeader, EncodeDecodeRoundTrip) {
+  ilp_header h;
+  h.service = svc::pubsub;
+  h.connection = 0xdeadbeefcafef00dull;
+  h.flags = kFlagFromHost;
+  h.set_meta_u64(meta_key::dest_addr, 42);
+  h.set_meta_str(meta_key::control_op, "subscribe");
+  h.set_meta(meta_key::service_data, to_bytes("topic=weather"));
+
+  const ilp_header decoded = ilp_header::decode(h.encode());
+  EXPECT_EQ(decoded, h);
+}
+
+TEST(IlpHeader, EmptyMetadata) {
+  ilp_header h;
+  h.service = svc::null_service;
+  h.connection = 1;
+  const ilp_header decoded = ilp_header::decode(h.encode());
+  EXPECT_EQ(decoded, h);
+  EXPECT_TRUE(decoded.metadata.empty());
+}
+
+TEST(IlpHeader, TypedAccessors) {
+  ilp_header h;
+  h.set_meta_u64(meta_key::dest_addr, 77);
+  h.set_meta_str(meta_key::control_op, "join");
+  EXPECT_EQ(h.meta_u64(meta_key::dest_addr), 77u);
+  EXPECT_EQ(h.meta_str(meta_key::control_op), "join");
+  EXPECT_FALSE(h.meta_u64(meta_key::src_addr).has_value());
+  EXPECT_FALSE(h.meta(meta_key::payer).has_value());
+}
+
+TEST(IlpHeader, MalformedU64MetaReturnsNullopt) {
+  ilp_header h;
+  h.set_meta(meta_key::dest_addr, to_bytes("abc"));  // wrong width
+  EXPECT_FALSE(h.meta_u64(meta_key::dest_addr).has_value());
+}
+
+TEST(IlpHeader, TruncatedInputThrows) {
+  ilp_header h;
+  h.service = 5;
+  h.set_meta_str(meta_key::service_data, "x");
+  bytes encoded = h.encode();
+  encoded.resize(encoded.size() - 1);
+  EXPECT_THROW(ilp_header::decode(encoded), serial_error);
+}
+
+TEST(IlpHeader, TrailingGarbageThrows) {
+  ilp_header h;
+  bytes encoded = h.encode();
+  encoded.push_back(0xff);
+  EXPECT_THROW(ilp_header::decode(encoded), serial_error);
+}
+
+TEST(IlpHeader, ArbitraryMetadataSizeSupported) {
+  // "we place no limits on the length ... of a packet's ILP header"
+  ilp_header h;
+  h.service = svc::delivery;
+  bytes big(60000);
+  rng r(3);
+  r.fill(big);
+  h.set_meta(meta_key::service_data, big);
+  const ilp_header decoded = ilp_header::decode(h.encode());
+  EXPECT_EQ(decoded.meta(meta_key::service_data)->size(), big.size());
+  EXPECT_EQ(decoded, h);
+}
+
+TEST(IlpHeader, ServicePrivateKeysPreserved) {
+  ilp_header h;
+  h.metadata[0x1234] = to_bytes("private");
+  const ilp_header decoded = ilp_header::decode(h.encode());
+  EXPECT_EQ(decoded.metadata.at(0x1234), to_bytes("private"));
+}
+
+// Property: random headers round-trip.
+TEST(IlpHeader, RandomizedRoundTrip) {
+  rng random(99);
+  for (int i = 0; i < 100; ++i) {
+    ilp_header h;
+    h.service = static_cast<service_id>(random.next());
+    h.connection = random.next();
+    h.flags = static_cast<std::uint16_t>(random.next());
+    const int n_meta = static_cast<int>(random.below(6));
+    for (int m = 0; m < n_meta; ++m) {
+      bytes v(random.below(64));
+      random.fill(v);
+      h.metadata[static_cast<std::uint16_t>(random.next())] = v;
+    }
+    EXPECT_EQ(ilp_header::decode(h.encode()), h);
+  }
+}
+
+}  // namespace
+}  // namespace interedge::ilp

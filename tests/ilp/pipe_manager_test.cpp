@@ -1,0 +1,199 @@
+// Pipe manager tests run two managers over the deterministic simulator.
+#include "ilp/pipe_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "simnet/simulation.h"
+
+namespace interedge::ilp {
+namespace {
+
+using sim::node_id;
+using sim::simulation;
+
+struct element {
+  node_id node = 0;
+  std::unique_ptr<pipe_manager> mgr;
+  std::vector<std::pair<ilp_header, bytes>> received;
+};
+
+// Wires a pipe_manager to a simulator node.
+std::unique_ptr<element> make_element(simulation& net) {
+  auto e = std::make_unique<element>();
+  e->node = net.add_node(nullptr);
+  e->mgr = std::make_unique<pipe_manager>(
+      e->node,
+      [&net, node = e->node](peer_id peer, bytes datagram) {
+        net.send(node, static_cast<node_id>(peer), std::move(datagram));
+      },
+      [raw = e.get()](peer_id, const ilp_header& h, bytes payload) {
+        raw->received.emplace_back(h, std::move(payload));
+      });
+  net.set_handler(e->node, [raw = e.get()](node_id from, const bytes& data) {
+    raw->mgr->on_datagram(from, data);
+  });
+  return e;
+}
+
+ilp_header header_for(connection_id conn) {
+  ilp_header h;
+  h.service = svc::null_service;
+  h.connection = conn;
+  return h;
+}
+
+TEST(PipeManager, EstablishesOnFirstSend) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+
+  a->mgr->send(b->node, header_for(1), to_bytes("hello"));
+  EXPECT_EQ(a->mgr->pending_handshakes(), 1u);
+  net.run();
+
+  EXPECT_TRUE(a->mgr->has_pipe(b->node));
+  EXPECT_TRUE(b->mgr->has_pipe(a->node));
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_EQ(to_string(b->received[0].second), "hello");
+  EXPECT_EQ(a->mgr->pending_handshakes(), 0u);
+}
+
+TEST(PipeManager, QueuedPacketsFlushInOrder) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+
+  for (int i = 0; i < 5; ++i) {
+    a->mgr->send(b->node, header_for(static_cast<connection_id>(i)), to_bytes("m"));
+  }
+  net.run();
+  ASSERT_EQ(b->received.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(b->received[i].first.connection, static_cast<connection_id>(i));
+  }
+}
+
+TEST(PipeManager, BidirectionalTraffic) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+
+  a->mgr->send(b->node, header_for(1), to_bytes("ping"));
+  net.run();
+  b->mgr->send(a->node, header_for(2), to_bytes("pong"));
+  net.run();
+
+  ASSERT_EQ(a->received.size(), 1u);
+  EXPECT_EQ(to_string(a->received[0].second), "pong");
+  // One handshake total (the reverse direction reuses the same pipe).
+  EXPECT_EQ(a->mgr->pipe_count(), 1u);
+  EXPECT_EQ(b->mgr->pipe_count(), 1u);
+}
+
+TEST(PipeManager, SimultaneousOpenConvergesToOnePipe) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+
+  // Both sides send before any handshake completes.
+  a->mgr->send(b->node, header_for(1), to_bytes("from-a"));
+  b->mgr->send(a->node, header_for(2), to_bytes("from-b"));
+  net.run();
+
+  EXPECT_EQ(a->mgr->pipe_count(), 1u);
+  EXPECT_EQ(b->mgr->pipe_count(), 1u);
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_EQ(to_string(b->received[0].second), "from-a");
+  ASSERT_EQ(a->received.size(), 1u);
+  EXPECT_EQ(to_string(a->received[0].second), "from-b");
+}
+
+TEST(PipeManager, ExplicitConnectEstablishesIdlePipe) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  a->mgr->connect(b->node);
+  net.run();
+  EXPECT_TRUE(a->mgr->has_pipe(b->node));
+  EXPECT_TRUE(b->mgr->has_pipe(a->node));
+  EXPECT_TRUE(b->received.empty());
+}
+
+TEST(PipeManager, ManyPeersManyPipes) {
+  simulation net;
+  auto hub = make_element(net);
+  std::vector<std::unique_ptr<element>> spokes;
+  for (int i = 0; i < 20; ++i) spokes.push_back(make_element(net));
+
+  for (auto& s : spokes) {
+    hub->mgr->send(s->node, header_for(9), to_bytes("fanout"));
+  }
+  net.run();
+  EXPECT_EQ(hub->mgr->pipe_count(), 20u);
+  for (auto& s : spokes) {
+    ASSERT_EQ(s->received.size(), 1u);
+  }
+}
+
+TEST(PipeManager, RotateAllKeepsTrafficFlowing) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  a->mgr->send(b->node, header_for(1), to_bytes("pre"));
+  net.run();
+
+  a->mgr->rotate_all();
+  b->mgr->rotate_all();
+  a->mgr->send(b->node, header_for(2), to_bytes("post"));
+  net.run();
+
+  ASSERT_EQ(b->received.size(), 2u);
+  EXPECT_EQ(to_string(b->received[1].second), "post");
+}
+
+TEST(PipeManager, DataBeforePipeIsDropped) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  // Craft a data message without a pipe: kind=3 plus garbage.
+  bytes fake{static_cast<std::uint8_t>(msg_kind::data), 1, 2, 3};
+  net.send(a->node, b->node, fake);
+  net.run();
+  EXPECT_TRUE(b->received.empty());
+}
+
+TEST(PipeManager, MalformedHandshakeIgnored) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  bytes bad_init{static_cast<std::uint8_t>(msg_kind::handshake_init), 0x01};
+  net.send(a->node, b->node, bad_init);
+  net.run();
+  EXPECT_EQ(b->mgr->pipe_count(), 0u);
+}
+
+TEST(PipeManager, LossyHandshakeRetriesViaResend) {
+  // Packets (including handshakes) can be lost; a later send retries the
+  // handshake because the first one never completed. This test drops ALL
+  // packets initially, then heals the link.
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  net.set_link(a->node, b->node, {.loss_rate = 1.0});
+
+  a->mgr->send(b->node, header_for(1), to_bytes("lost"));
+  net.run();
+  EXPECT_FALSE(a->mgr->has_pipe(b->node));
+
+  net.set_link(a->node, b->node, {.loss_rate = 0.0});
+  // The pending handshake is still outstanding; a fresh connect() is a
+  // no-op but sending again queues more data. Re-issue the handshake by
+  // simulating the host-level retry.
+  a->mgr->send(b->node, header_for(2), to_bytes("queued"));
+  EXPECT_EQ(a->mgr->pending_handshakes(), 1u);
+  // No response will ever come for the lost init; upper layers re-connect.
+  // (Timer-driven retry lives in the host stack, tested there.)
+}
+
+}  // namespace
+}  // namespace interedge::ilp

@@ -1,0 +1,144 @@
+#include "lookup/lookup_service.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::lookup {
+namespace {
+
+crypto::x25519_keypair keypair(std::uint8_t fill) {
+  crypto::x25519_key seed;
+  seed.fill(fill);
+  return crypto::x25519_keypair_from_seed(seed);
+}
+
+class LookupFixture : public ::testing::Test {
+ protected:
+  lookup_service svc;
+  crypto::x25519_keypair owner = keypair(0x11);
+
+  bytes owner_token(const std::string& statement) {
+    return make_auth_token(owner.secret, svc.public_key(), to_bytes(statement));
+  }
+};
+
+TEST_F(LookupFixture, HostRegistrationAndResolution) {
+  host_record rec;
+  rec.addr = 42;
+  rec.owner_public = owner.public_key;
+  rec.service_nodes = {100, 101};
+  rec.edomain = 3;
+  svc.register_host(rec);
+
+  const auto found = svc.find_host(42);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->service_nodes, (std::vector<ilp::peer_id>{100, 101}));
+  EXPECT_EQ(found->edomain, 3);
+  EXPECT_EQ(found->owner_public, owner.public_key);
+  EXPECT_FALSE(svc.find_host(43).has_value());
+}
+
+TEST_F(LookupFixture, DeregisterHost) {
+  host_record rec;
+  rec.addr = 42;
+  svc.register_host(rec);
+  EXPECT_TRUE(svc.deregister_host(42));
+  EXPECT_FALSE(svc.find_host(42).has_value());
+  EXPECT_FALSE(svc.deregister_host(42));
+}
+
+TEST_F(LookupFixture, GroupCreationIsExclusive) {
+  EXPECT_TRUE(svc.create_group("topic/weather", owner.public_key));
+  EXPECT_FALSE(svc.create_group("topic/weather", keypair(0x22).public_key));
+}
+
+TEST_F(LookupFixture, OpenGroupStatementVerified) {
+  svc.create_group("g", owner.public_key);
+  EXPECT_FALSE(svc.can_join("g", 7));
+  // Forged token (wrong principal) must be rejected.
+  const auto mallory = keypair(0x99);
+  const bytes forged = make_auth_token(mallory.secret, svc.public_key(), to_bytes("open:g"));
+  EXPECT_FALSE(svc.set_group_open("g", forged));
+  EXPECT_FALSE(svc.can_join("g", 7));
+  // Owner's token works; the group becomes open to all.
+  EXPECT_TRUE(svc.set_group_open("g", owner_token("open:g")));
+  EXPECT_TRUE(svc.can_join("g", 7));
+  EXPECT_TRUE(svc.can_join("g", 12345));
+}
+
+TEST_F(LookupFixture, PerMemberGrants) {
+  svc.create_group("g", owner.public_key);
+  EXPECT_TRUE(svc.grant_membership("g", 7, owner_token("grant:g:7")));
+  EXPECT_TRUE(svc.can_join("g", 7));
+  EXPECT_FALSE(svc.can_join("g", 8));
+  // A grant token for one member cannot authorize another.
+  EXPECT_FALSE(svc.grant_membership("g", 8, owner_token("grant:g:7")));
+}
+
+TEST_F(LookupFixture, UnknownGroupJoinDenied) {
+  EXPECT_FALSE(svc.can_join("nope", 7));
+  EXPECT_FALSE(svc.set_group_open("nope", owner_token("open:nope")));
+}
+
+TEST_F(LookupFixture, MemberEdomainTracking) {
+  svc.create_group("g", owner.public_key);
+  EXPECT_TRUE(svc.add_member_edomain("g", 1));
+  EXPECT_FALSE(svc.add_member_edomain("g", 1));  // already present
+  EXPECT_TRUE(svc.add_member_edomain("g", 2));
+  const auto rec = svc.find_group("g");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->member_edomains, (std::set<edomain_id>{1, 2}));
+  EXPECT_TRUE(svc.remove_member_edomain("g", 1));
+  EXPECT_FALSE(svc.remove_member_edomain("g", 1));
+}
+
+TEST_F(LookupFixture, SenderRegistrationReturnsMembersAndWatches) {
+  svc.create_group("g", owner.public_key);
+  svc.add_member_edomain("g", 5);
+  svc.add_member_edomain("g", 6);
+
+  std::vector<std::pair<edomain_id, group_event>> events;
+  const auto members = svc.register_sender("g", 1, [&](const std::string&, edomain_id d,
+                                                       group_event e) { events.emplace_back(d, e); });
+  EXPECT_EQ(members, (std::vector<edomain_id>{5, 6}));
+
+  // Watch fires on later membership changes.
+  svc.add_member_edomain("g", 7);
+  svc.remove_member_edomain("g", 5);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], std::make_pair(edomain_id{7}, group_event::member_edomain_added));
+  EXPECT_EQ(events[1], std::make_pair(edomain_id{5}, group_event::member_edomain_removed));
+
+  svc.deregister_sender("g", 1);
+  svc.add_member_edomain("g", 8);
+  EXPECT_EQ(events.size(), 2u);  // watch removed
+}
+
+TEST_F(LookupFixture, MultipleWatchersAllNotified) {
+  svc.create_group("g", owner.public_key);
+  int count_a = 0, count_b = 0;
+  svc.register_sender("g", 1, [&](const std::string&, edomain_id, group_event) { ++count_a; });
+  svc.register_sender("g", 2, [&](const std::string&, edomain_id, group_event) { ++count_b; });
+  svc.add_member_edomain("g", 9);
+  EXPECT_EQ(count_a, 1);
+  EXPECT_EQ(count_b, 1);
+}
+
+TEST(AuthToken, DesignatedVerifierSymmetry) {
+  const auto alice = keypair(1);
+  const auto verifier = keypair(2);
+  const bytes statement = to_bytes("statement");
+  const bytes token = make_auth_token(alice.secret, verifier.public_key, statement);
+  // The verifier recomputes the same MAC from its own secret.
+  const bytes expected = make_auth_token(verifier.secret, alice.public_key, statement);
+  EXPECT_EQ(token, expected);
+}
+
+TEST(AuthToken, DifferentStatementsDifferentTokens) {
+  const auto alice = keypair(1);
+  const auto verifier = keypair(2);
+  EXPECT_NE(make_auth_token(alice.secret, verifier.public_key, to_bytes("a")),
+            make_auth_token(alice.secret, verifier.public_key, to_bytes("b")));
+}
+
+}  // namespace
+}  // namespace interedge::lookup

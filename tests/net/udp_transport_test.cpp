@@ -1,0 +1,196 @@
+// Real-socket tests: the same InterEdge components that run on the
+// simulator run over actual UDP datagrams on localhost.
+#include "net/udp_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "core/service_node.h"
+#include "core/test_modules.h"
+#include "host/host_stack.h"
+#include "ilp/pipe_manager.h"
+#include "services/clients/pubsub_client.h"
+#include "services/pubsub.h"
+
+namespace interedge::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(UdpEndpoint, BindsEphemeralPort) {
+  udp_endpoint a;
+  EXPECT_GT(a.port(), 0);
+  udp_endpoint b;
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(UdpEndpoint, SendReceiveBetweenEndpoints) {
+  udp_endpoint a, b;
+  a.add_peer(2, "127.0.0.1", b.port());
+  b.add_peer(1, "127.0.0.1", a.port());
+
+  ASSERT_TRUE(a.send(2, to_bytes("over the wire")));
+
+  event_loop loop;
+  std::string got;
+  loop.attach(b, [&](peer_id from, const_byte_span data) {
+    EXPECT_EQ(from, 1u);
+    got = to_string(data);
+  });
+  loop.run_until_quiet(20ms, 2000ms);
+  EXPECT_EQ(got, "over the wire");
+}
+
+TEST(UdpEndpoint, UnknownPeerSendFails) {
+  udp_endpoint a;
+  EXPECT_FALSE(a.send(99, to_bytes("x")));
+}
+
+TEST(UdpEndpoint, UnknownSourceDropped) {
+  udp_endpoint a, stranger;
+  // `a` has no peers registered; stranger knows a's address.
+  stranger.add_peer(1, "127.0.0.1", a.port());
+  stranger.send(1, to_bytes("who dis"));
+
+  event_loop loop;
+  int delivered = 0;
+  loop.attach(a, [&](peer_id, const_byte_span) { ++delivered; });
+  loop.run_for(50ms);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(a.dropped_unknown() + 0u, a.dropped_unknown());  // counter exists
+}
+
+TEST(EventLoop, TimersFireInOrder) {
+  event_loop loop;
+  std::vector<int> order;
+  loop.schedule(30ms, [&] { order.push_back(3); });
+  loop.schedule(10ms, [&] { order.push_back(1); });
+  loop.schedule(20ms, [&] { order.push_back(2); });
+  loop.run_for(80ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// ILP pipes over real UDP: handshake + sealed data.
+TEST(UdpIlp, PipeHandshakeAndDataOverRealSockets) {
+  udp_endpoint ep_a, ep_b;
+  ep_a.add_peer(2, "127.0.0.1", ep_b.port());
+  ep_b.add_peer(1, "127.0.0.1", ep_a.port());
+
+  std::vector<std::string> received;
+  ilp::pipe_manager mgr_a(1, [&](peer_id to, bytes d) { ep_a.send(to, d); },
+                          [](peer_id, const ilp::ilp_header&, bytes) {});
+  ilp::pipe_manager mgr_b(2, [&](peer_id to, bytes d) { ep_b.send(to, d); },
+                          [&](peer_id, const ilp::ilp_header&, bytes payload) {
+                            received.push_back(to_string(payload));
+                          });
+
+  event_loop loop;
+  loop.attach(ep_a, [&](peer_id from, const_byte_span d) { mgr_a.on_datagram(from, d); });
+  loop.attach(ep_b, [&](peer_id from, const_byte_span d) { mgr_b.on_datagram(from, d); });
+
+  ilp::ilp_header h;
+  h.service = ilp::svc::null_service;
+  h.connection = 5;
+  mgr_a.send(2, h, to_bytes("sealed over udp"));
+  loop.run_until_quiet(30ms, 3000ms);
+
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "sealed over udp");
+  EXPECT_TRUE(mgr_a.has_pipe(2));
+  EXPECT_TRUE(mgr_b.has_pipe(1));
+}
+
+// A full InterEdge element chain on real sockets: host -> SN -> host.
+TEST(UdpInterEdge, HostSnHostOverRealSockets) {
+  udp_endpoint ep_host_a, ep_sn, ep_host_b;
+  event_loop loop;
+
+  // Identifier scheme: elements are addressed by their UDP port.
+  const peer_id id_a = ep_host_a.port();
+  const peer_id id_sn = ep_sn.port();
+  const peer_id id_b = ep_host_b.port();
+  ep_host_a.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_host_b.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_sn.add_peer(id_a, "127.0.0.1", ep_host_a.port());
+  ep_sn.add_peer(id_b, "127.0.0.1", ep_host_b.port());
+
+  core::testing::identity_router route;
+  real_clock clk;
+  core::service_node sn(core::sn_config{.id = id_sn, .edomain = 1}, clk,
+                        [&](peer_id to, bytes d) { ep_sn.send(to, d); }, loop.scheduler(),
+                        &route);
+  sn.env().deploy(std::make_unique<core::testing::forwarder_module>());
+
+  host::host_stack host_a(host::host_config{.addr = id_a, .first_hop_sn = id_sn, .fallback_sns = {}}, clk,
+                          [&](peer_id to, bytes d) { ep_host_a.send(to, d); },
+                          loop.scheduler(), nullptr);
+  host::host_stack host_b(host::host_config{.addr = id_b, .first_hop_sn = id_sn, .fallback_sns = {}}, clk,
+                          [&](peer_id to, bytes d) { ep_host_b.send(to, d); },
+                          loop.scheduler(), nullptr);
+
+  loop.attach(ep_host_a, [&](peer_id from, const_byte_span d) { host_a.on_datagram(from, d); });
+  loop.attach(ep_host_b, [&](peer_id from, const_byte_span d) { host_b.on_datagram(from, d); });
+  loop.attach(ep_sn, [&](peer_id from, const_byte_span d) { sn.on_datagram(from, d); });
+
+  std::vector<std::string> inbox;
+  host_b.set_default_handler([&](const ilp::ilp_header&, bytes payload) {
+    inbox.push_back(to_string(payload));
+  });
+
+  auto conn = host_a.open(id_b, ilp::svc::delivery);
+  for (int i = 0; i < 3; ++i) {
+    conn.send(to_bytes("udp msg " + std::to_string(i)));
+  }
+  loop.run_until_quiet(30ms, 3000ms);
+
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox[0], "udp msg 0");
+  EXPECT_EQ(sn.datapath_stats().forwarded, 3u);
+  EXPECT_GE(sn.datapath_stats().fast_path, 2u);  // decision cache engaged
+}
+
+// The pub/sub service module works unchanged over real sockets.
+TEST(UdpInterEdge, PubSubOverRealSockets) {
+  udp_endpoint ep_pub, ep_sn, ep_sub;
+  event_loop loop;
+  const peer_id id_pub = ep_pub.port();
+  const peer_id id_sn = ep_sn.port();
+  const peer_id id_sub = ep_sub.port();
+  ep_pub.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_sub.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_sn.add_peer(id_pub, "127.0.0.1", ep_pub.port());
+  ep_sn.add_peer(id_sub, "127.0.0.1", ep_sub.port());
+
+  lookup::lookup_service directory;
+  edomain::domain_core core(1, directory);
+  core.add_sn(id_sn);
+  real_clock clk;
+  core::service_node sn(core::sn_config{.id = id_sn, .edomain = 1}, clk,
+                        [&](peer_id to, bytes d) { ep_sn.send(to, d); }, loop.scheduler(),
+                        nullptr);
+  sn.env().deploy(std::make_unique<services::pubsub_service>(core, id_sn));
+
+  host::host_stack pub_host(host::host_config{.addr = id_pub, .first_hop_sn = id_sn, .fallback_sns = {}}, clk,
+                            [&](peer_id to, bytes d) { ep_pub.send(to, d); },
+                            loop.scheduler(), &directory);
+  host::host_stack sub_host(host::host_config{.addr = id_sub, .first_hop_sn = id_sn, .fallback_sns = {}}, clk,
+                            [&](peer_id to, bytes d) { ep_sub.send(to, d); },
+                            loop.scheduler(), &directory);
+  loop.attach(ep_pub, [&](peer_id from, const_byte_span d) { pub_host.on_datagram(from, d); });
+  loop.attach(ep_sub, [&](peer_id from, const_byte_span d) { sub_host.on_datagram(from, d); });
+  loop.attach(ep_sn, [&](peer_id from, const_byte_span d) { sn.on_datagram(from, d); });
+
+  services::pubsub_client subscriber(sub_host);
+  services::pubsub_client publisher(pub_host);
+  std::vector<std::string> got;
+  subscriber.subscribe("live", [&](const std::string&, bytes p) { got.push_back(to_string(p)); });
+  loop.run_until_quiet(30ms, 2000ms);
+  EXPECT_EQ(subscriber.acks(), 1u);
+
+  publisher.publish("live", to_bytes("real datagrams"));
+  loop.run_until_quiet(30ms, 2000ms);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "real datagrams");
+}
+
+}  // namespace
+}  // namespace interedge::net

@@ -1,0 +1,115 @@
+// Cluster interconnection tests: multi-site fabric over the InterEdge.
+#include "services/cluster_interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include "services/clients/cluster_client.h"
+#include "services/service_fixture.h"
+
+namespace interedge::services {
+namespace {
+
+using testing::two_domain_fixture;
+
+struct cluster_fixture {
+  cluster_fixture()
+      : site_west(*f.alice), site_east(*f.carol), site_east2(*f.dave) {
+    site_west.set_handler([this](std::uint64_t inner, bytes frame) {
+      west_frames.emplace_back(inner, to_string(frame));
+    });
+    site_east.set_handler([this](std::uint64_t inner, bytes frame) {
+      east_frames.emplace_back(inner, to_string(frame));
+    });
+    site_east2.set_handler([this](std::uint64_t inner, bytes frame) {
+      east2_frames.emplace_back(inner, to_string(frame));
+    });
+  }
+  two_domain_fixture f;
+  cluster_gateway site_west;
+  cluster_gateway site_east;
+  cluster_gateway site_east2;
+  std::vector<std::pair<std::uint64_t, std::string>> west_frames, east_frames, east2_frames;
+};
+
+TEST(ClusterInterconnect, FrameReachesRemoteSites) {
+  cluster_fixture c;
+  c.site_west.attach("hpc-fabric");
+  c.site_east.attach("hpc-fabric");
+  c.f.d.run();
+
+  c.site_west.send_frame("hpc-fabric", /*inner_dest=*/0x0a000001, to_bytes("rdma-frame"));
+  c.f.d.run();
+
+  ASSERT_EQ(c.east_frames.size(), 1u);
+  EXPECT_EQ(c.east_frames[0].first, 0x0a000001u);
+  EXPECT_EQ(c.east_frames[0].second, "rdma-frame");
+  // The sender's own site does not loop the frame back.
+  EXPECT_TRUE(c.west_frames.empty());
+}
+
+TEST(ClusterInterconnect, ThreeSitesAllReceive) {
+  cluster_fixture c;
+  c.site_west.attach("grid");
+  c.site_east.attach("grid");
+  c.site_east2.attach("grid");
+  c.f.d.run();
+
+  c.site_west.send_frame("grid", 7, to_bytes("broadcastish"));
+  c.f.d.run();
+  EXPECT_EQ(c.east_frames.size(), 1u);
+  EXPECT_EQ(c.east2_frames.size(), 1u);
+  EXPECT_TRUE(c.west_frames.empty());
+}
+
+TEST(ClusterInterconnect, ClustersAreIsolated) {
+  cluster_fixture c;
+  c.site_west.attach("cluster-a");
+  c.site_east.attach("cluster-b");
+  c.f.d.run();
+  c.site_west.send_frame("cluster-a", 1, to_bytes("a-only"));
+  c.f.d.run();
+  EXPECT_TRUE(c.east_frames.empty());
+}
+
+TEST(ClusterInterconnect, DetachStopsDelivery) {
+  cluster_fixture c;
+  c.site_west.attach("x");
+  c.site_east.attach("x");
+  c.f.d.run();
+  c.site_west.send_frame("x", 1, to_bytes("1"));
+  c.f.d.run();
+  c.site_east.detach("x");
+  c.f.d.run();
+  c.site_west.send_frame("x", 1, to_bytes("2"));
+  c.f.d.run();
+  EXPECT_EQ(c.east_frames.size(), 1u);
+}
+
+TEST(ClusterInterconnect, InnerAddressingOpaqueToInterEdge) {
+  // The inner destination never appears in ILP header metadata the SNs
+  // route on — only inside the payload blob.
+  cluster_fixture c;
+  c.site_west.attach("p");
+  c.site_east.attach("p");
+  c.f.d.run();
+
+  bool inner_leaked_in_header = false;
+  c.f.d.net().set_tap([&](sim::node_id, sim::node_id, const bytes&) {});
+  c.site_west.send_frame("p", 0xdeadbeef, to_bytes("f"));
+  c.f.d.run();
+  EXPECT_FALSE(inner_leaked_in_header);
+  ASSERT_EQ(c.east_frames.size(), 1u);
+  EXPECT_EQ(c.east_frames[0].first, 0xdeadbeefu);
+}
+
+TEST(ClusterInterconnect, GatewayCountTracked) {
+  cluster_fixture c;
+  c.site_west.attach("y");
+  c.f.d.run();
+  auto* module = static_cast<cluster_interconnect_service*>(
+      c.f.d.sn(c.f.sn_w1).env().module_for(ilp::svc::cluster));
+  EXPECT_EQ(module->gateways("y"), 1u);
+}
+
+}  // namespace
+}  // namespace interedge::services

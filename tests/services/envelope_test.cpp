@@ -1,0 +1,96 @@
+#include "services/envelope.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::services {
+namespace {
+
+crypto::x25519_keypair keypair(std::uint8_t fill) {
+  crypto::x25519_key seed;
+  seed.fill(fill);
+  return crypto::x25519_keypair_from_seed(seed);
+}
+
+TEST(Envelope, SealOpenRoundTrip) {
+  const auto recipient = keypair(0x31);
+  const bytes sealed = envelope_seal(recipient.public_key, to_bytes("hello"));
+  EXPECT_EQ(sealed.size(), 5 + kEnvelopeOverhead);
+  const auto opened = envelope_open(recipient.secret, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), "hello");
+}
+
+TEST(Envelope, WrongRecipientCannotOpen) {
+  const auto recipient = keypair(0x31);
+  const auto other = keypair(0x32);
+  const bytes sealed = envelope_seal(recipient.public_key, to_bytes("secret"));
+  EXPECT_FALSE(envelope_open(other.secret, sealed).has_value());
+}
+
+TEST(Envelope, FreshEphemeralPerSeal) {
+  const auto recipient = keypair(0x31);
+  EXPECT_NE(envelope_seal(recipient.public_key, to_bytes("same")),
+            envelope_seal(recipient.public_key, to_bytes("same")));
+}
+
+TEST(Envelope, TamperRejected) {
+  const auto recipient = keypair(0x31);
+  bytes sealed = envelope_seal(recipient.public_key, to_bytes("x"));
+  sealed[40] ^= 1;  // inside ciphertext
+  EXPECT_FALSE(envelope_open(recipient.secret, sealed).has_value());
+  bytes sealed2 = envelope_seal(recipient.public_key, to_bytes("x"));
+  sealed2[0] ^= 1;  // inside ephemeral public key
+  EXPECT_FALSE(envelope_open(recipient.secret, sealed2).has_value());
+}
+
+TEST(Envelope, TooShortRejected) {
+  const auto recipient = keypair(0x31);
+  EXPECT_FALSE(envelope_open(recipient.secret, bytes(10, 0)).has_value());
+}
+
+TEST(Envelope, ReplyKeySharedBetweenEnds) {
+  const auto recipient = keypair(0x31);
+  auto [sealed, sender_reply_key] = envelope_seal_with_reply(recipient.public_key, to_bytes("q"));
+  auto opened = envelope_open_with_reply(recipient.secret, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->second, sender_reply_key);
+
+  // Recipient answers symmetrically; sender decrypts.
+  const bytes answer = reply_seal(opened->second, to_bytes("a"));
+  const auto decrypted = reply_open(sender_reply_key, answer);
+  ASSERT_TRUE(decrypted.has_value());
+  EXPECT_EQ(to_string(*decrypted), "a");
+}
+
+TEST(Envelope, ReplyKeyDiffersPerEnvelope) {
+  const auto recipient = keypair(0x31);
+  auto [s1, k1] = envelope_seal_with_reply(recipient.public_key, to_bytes("q"));
+  auto [s2, k2] = envelope_seal_with_reply(recipient.public_key, to_bytes("q"));
+  EXPECT_NE(k1, k2);
+}
+
+TEST(Envelope, ReplyTamperRejected) {
+  const auto recipient = keypair(0x31);
+  auto [sealed, key] = envelope_seal_with_reply(recipient.public_key, to_bytes("q"));
+  (void)sealed;
+  bytes answer = reply_seal(key, to_bytes("a"));
+  answer.back() ^= 1;
+  EXPECT_FALSE(reply_open(key, answer).has_value());
+}
+
+class EnvelopeSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnvelopeSizeSweep, RoundTrip) {
+  const auto recipient = keypair(0x55);
+  bytes payload(GetParam());
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<std::uint8_t>(i);
+  const auto opened = envelope_open(recipient.secret,
+                                    envelope_seal(recipient.public_key, payload));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EnvelopeSizeSweep, ::testing::Values(0, 1, 100, 1500, 65536));
+
+}  // namespace
+}  // namespace interedge::services

@@ -1,0 +1,136 @@
+// Mobility lookup service tests: announce/locate, record freshness,
+// breadcrumb chasing, and service continuity across a move.
+#include "services/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "services/clients/mobility_client.h"
+#include "services/clients/pubsub_client.h"
+#include "services/service_fixture.h"
+
+namespace interedge::services {
+namespace {
+
+using testing::two_domain_fixture;
+
+mobility_service* module_on(two_domain_fixture& f, deploy::peer_id sn) {
+  return static_cast<mobility_service*>(f.d.sn(sn).env().module_for(ilp::svc::mobility));
+}
+
+TEST(Mobility, LocateReturnsCurrentAttachment) {
+  two_domain_fixture f;
+  mobility_client mc(*f.alice);
+  std::vector<host::peer_id> sns;
+  mc.locate(f.carol->addr(), [&](host::edge_addr, std::vector<host::peer_id> result) {
+    sns = std::move(result);
+  });
+  f.d.run();
+  ASSERT_EQ(sns.size(), 1u);
+  EXPECT_EQ(sns[0], f.sn_e1);
+}
+
+TEST(Mobility, LocateUnknownHostReturnsEmpty) {
+  two_domain_fixture f;
+  mobility_client mc(*f.alice);
+  bool replied = false;
+  std::vector<host::peer_id> sns{99};
+  mc.locate(123456789, [&](host::edge_addr, std::vector<host::peer_id> result) {
+    replied = true;
+    sns = std::move(result);
+  });
+  f.d.run();
+  EXPECT_TRUE(replied);
+  EXPECT_TRUE(sns.empty());
+}
+
+TEST(Mobility, AnnounceUpdatesGlobalRecord) {
+  two_domain_fixture f;
+  // carol moves from sn_e1 (east) to sn_w2 (west).
+  f.carol->rehome(f.sn_w2);
+  mobility_client mc(*f.carol);
+  mc.announce();
+  f.d.run();
+
+  const auto record = f.d.directory().find_host(f.carol->addr());
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->service_nodes, (std::vector<ilp::peer_id>{f.sn_w2}));
+  EXPECT_EQ(record->edomain, f.west);
+  EXPECT_EQ(module_on(f, f.sn_w2)->announces(), 1u);
+  // The old SN got a breadcrumb.
+  EXPECT_TRUE(module_on(f, f.sn_e1)->has_breadcrumb(f.carol->addr()));
+}
+
+TEST(Mobility, TrafficFollowsAfterMove) {
+  two_domain_fixture f;
+  int got = 0;
+  f.carol->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+
+  // Before the move, alice reaches carol in the east.
+  f.alice->send_to(f.carol->addr(), ilp::svc::mobility, to_bytes("pre-move"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+
+  f.carol->rehome(f.sn_w2);
+  mobility_client mc(*f.carol);
+  mc.announce();
+  f.d.run();
+
+  // New traffic resolves the fresh record and reaches carol at sn_w2.
+  f.alice->send_to(f.carol->addr(), ilp::svc::mobility, to_bytes("post-move"));
+  f.d.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_GE(f.d.sn(f.sn_w2).datapath_stats().forwarded, 1u);
+}
+
+TEST(Mobility, BreadcrumbChasesInFlightStyleTraffic) {
+  two_domain_fixture f;
+  int got = 0;
+  f.carol->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+
+  f.carol->rehome(f.sn_w2);
+  mobility_client mc(*f.carol);
+  mc.announce();
+  f.d.run();
+
+  // A straggler packet addressed directly to the OLD SN (as an in-flight
+  // packet routed under the stale record would be): the breadcrumb
+  // forwards it to the new SN.
+  ilp::ilp_header h;
+  h.service = ilp::svc::mobility;
+  h.connection = 77;
+  h.set_meta_u64(ilp::meta_key::src_addr, f.dave->addr());
+  h.set_meta_u64(ilp::meta_key::dest_addr, f.carol->addr());
+  f.dave->pipes().send(f.sn_e1, h, to_bytes("straggler"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(module_on(f, f.sn_e1)->forwarded_via_breadcrumb(), 1u);
+}
+
+TEST(Mobility, PubSubContinuityAcrossMove) {
+  // Full mobility story: a subscriber moves edomains; announce + resync
+  // restores delivery at the new attachment.
+  two_domain_fixture f;
+  pubsub_client sub(*f.carol);
+  pubsub_client pub(*f.alice);
+  std::vector<std::string> got;
+  sub.subscribe("feed", [&](const std::string&, bytes p) { got.push_back(to_string(p)); });
+  f.d.run();
+  pub.publish("feed", to_bytes("at home"));
+  f.d.run();
+  ASSERT_EQ(got.size(), 1u);
+
+  // carol moves east -> west.
+  f.carol->rehome(f.sn_w2);
+  mobility_client mc(*f.carol);
+  mc.announce();
+  sub.resync();  // host-driven reconstruction at the new SN
+  f.d.run();
+
+  pub.publish("feed", to_bytes("on the road"));
+  f.d.run();
+  ASSERT_GE(got.size(), 2u);
+  EXPECT_EQ(got.back(), "on the road");
+}
+
+}  // namespace
+}  // namespace interedge::services

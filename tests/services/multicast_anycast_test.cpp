@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "services/anycast.h"
+#include "services/clients/multicast_client.h"
+#include "services/multicast.h"
+#include "services/service_fixture.h"
+
+namespace interedge::services {
+namespace {
+
+using testing::two_domain_fixture;
+
+bytes grant_token(two_domain_fixture& f, const crypto::x25519_keypair& owner,
+                  const std::string& group, host::edge_addr member) {
+  return lookup::make_auth_token(owner.secret, f.d.directory().public_key(),
+                                 to_bytes("grant:" + group + ":" + std::to_string(member)));
+}
+
+struct mcast_setup {
+  explicit mcast_setup(two_domain_fixture& f, const std::string& group) {
+    // Owner = alice; grant everyone membership.
+    const auto& owner = f.d.identity_of(f.alice->addr()).keys;
+    f.d.directory().create_group(group, owner.public_key);
+    for (auto* h : {f.alice, f.bob, f.carol, f.dave}) {
+      EXPECT_TRUE(f.d.directory().grant_membership(group, h->addr(),
+                                                   grant_token(f, owner, group, h->addr())));
+    }
+  }
+};
+
+TEST(Multicast, UnregisteredSenderDropped) {
+  two_domain_fixture f;
+  mcast_setup setup(f, "g");
+  multicast_client receiver(*f.bob);
+  multicast_client sender(*f.alice);
+  std::vector<std::string> got;
+  receiver.set_handler([&](const std::string&, bytes p) { got.push_back(to_string(p)); });
+  receiver.join("g");
+  f.d.run();
+
+  sender.send("g", to_bytes("no registration"));
+  f.d.run();
+  EXPECT_TRUE(got.empty());
+
+  sender.register_sender("g");
+  f.d.run();
+  sender.send("g", to_bytes("registered now"));
+  f.d.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "registered now");
+}
+
+TEST(Multicast, DeliversToAllMembersAcrossEdomains) {
+  two_domain_fixture f;
+  mcast_setup setup(f, "g");
+  multicast_client a(*f.alice), b(*f.bob), c(*f.carol), d(*f.dave);
+  int got_b = 0, got_c = 0, got_d = 0;
+  b.set_handler([&](const std::string&, bytes) { ++got_b; });
+  c.set_handler([&](const std::string&, bytes) { ++got_c; });
+  d.set_handler([&](const std::string&, bytes) { ++got_d; });
+  b.join("g");
+  c.join("g");
+  d.join("g");
+  a.register_sender("g");
+  f.d.run();
+
+  a.send("g", to_bytes("datagram"));
+  f.d.run();
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 1);
+  EXPECT_EQ(got_d, 1);
+}
+
+TEST(Multicast, UnauthorizedJoinDenied) {
+  two_domain_fixture f;
+  const auto& owner = f.d.identity_of(f.alice->addr()).keys;
+  f.d.directory().create_group("private", owner.public_key);
+  // No grant for bob.
+  multicast_client b(*f.bob);
+  b.join("private");
+  f.d.run();
+  EXPECT_EQ(b.denials(), 1u);
+  EXPECT_EQ(b.acks(), 0u);
+}
+
+TEST(Multicast, LeaveStopsDelivery) {
+  two_domain_fixture f;
+  mcast_setup setup(f, "g");
+  multicast_client a(*f.alice), b(*f.bob);
+  int got = 0;
+  b.set_handler([&](const std::string&, bytes) { ++got; });
+  b.join("g");
+  a.register_sender("g");
+  f.d.run();
+  a.send("g", to_bytes("1"));
+  f.d.run();
+  b.leave("g");
+  f.d.run();
+  a.send("g", to_bytes("2"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Multicast, SenderRegistrationSurvivesCheckpoint) {
+  two_domain_fixture f;
+  mcast_setup setup(f, "g");
+  multicast_client a(*f.alice), b(*f.bob);
+  int got = 0;
+  b.set_handler([&](const std::string&, bytes) { ++got; });
+  b.join("g");
+  a.register_sender("g");
+  f.d.run();
+
+  const bytes snap = f.d.sn(f.sn_w1).checkpoint();
+  f.d.sn(f.sn_w1).restore(snap);
+
+  a.send("g", to_bytes("post-restore"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Anycast, PrefersLocalMember) {
+  two_domain_fixture f;
+  // Two members: one behind the sender's own SN, one remote.
+  auto& local_member = f.d.add_host(f.west, f.sn_w1);
+  anycast_client local(local_member), remote(*f.carol), sender(*f.alice);
+  int got_local = 0, got_remote = 0;
+  local.set_handler([&](const std::string&, bytes) { ++got_local; });
+  remote.set_handler([&](const std::string&, bytes) { ++got_remote; });
+  local.join("svc");
+  remote.join("svc");
+  f.d.run();
+
+  for (int i = 0; i < 5; ++i) sender.send("svc", to_bytes("req"));
+  f.d.run();
+  EXPECT_EQ(got_local, 5);  // nearest member takes everything
+  EXPECT_EQ(got_remote, 0);
+}
+
+TEST(Anycast, FallsBackToSameEdomainThenRemote) {
+  two_domain_fixture f;
+  anycast_client same_domain(*f.bob), remote(*f.carol), sender(*f.alice);
+  int got_same = 0, got_remote = 0;
+  same_domain.set_handler([&](const std::string&, bytes) { ++got_same; });
+  remote.set_handler([&](const std::string&, bytes) { ++got_remote; });
+  same_domain.join("svc");
+  remote.join("svc");
+  f.d.run();
+
+  sender.send("svc", to_bytes("req"));
+  f.d.run();
+  EXPECT_EQ(got_same, 1);
+  EXPECT_EQ(got_remote, 0);
+
+  same_domain.leave("svc");
+  f.d.run();
+  sender.send("svc", to_bytes("req2"));
+  f.d.run();
+  EXPECT_EQ(got_same, 1);
+  EXPECT_EQ(got_remote, 1);  // only the remote member remains
+}
+
+TEST(Anycast, ExactlyOneRecipient) {
+  two_domain_fixture f;
+  anycast_client b(*f.bob), c(*f.carol), d(*f.dave), sender(*f.alice);
+  int total = 0;
+  for (auto* client : {&b, &c, &d}) {
+    client->set_handler([&](const std::string&, bytes) { ++total; });
+    client->join("svc");
+  }
+  f.d.run();
+  for (int i = 0; i < 10; ++i) sender.send("svc", to_bytes("r"));
+  f.d.run();
+  EXPECT_EQ(total, 10);  // each request delivered exactly once
+}
+
+TEST(Anycast, NoMembersNoDelivery) {
+  two_domain_fixture f;
+  anycast_client sender(*f.alice);
+  sender.send("empty-group", to_bytes("r"));
+  EXPECT_NO_THROW(f.d.run());
+}
+
+}  // namespace
+}  // namespace interedge::services

@@ -1,0 +1,130 @@
+// NGFW payload inspection and deployment-level attestation tests.
+#include <gtest/gtest.h>
+
+#include "enclave/enclave.h"
+#include "services/ngfw.h"
+#include "services/pass_through.h"
+#include "services/service_fixture.h"
+
+namespace interedge::services {
+namespace {
+
+using testing::two_domain_fixture;
+
+TEST(Ngfw, BlocksMatchingPayloads) {
+  two_domain_fixture f;
+  auto inspector = std::make_unique<ngfw_service>();
+  auto* raw = inspector.get();
+  raw->add_rule("exploit-sig", "metasploit|shellcode|\\x90\\x90");
+  f.d.sn(f.sn_w1).env().set_interceptor(std::move(inspector));
+
+  int got = 0;
+  f.alice->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+
+  f.carol->send_to(f.alice->addr(), ilp::svc::delivery, to_bytes("ordinary mail"));
+  f.carol->send_to(f.alice->addr(), ilp::svc::delivery, to_bytes("try this shellcode now"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(raw->blocked(), 1u);
+  EXPECT_EQ(raw->rule_hits("exploit-sig"), 1u);
+}
+
+TEST(Ngfw, DestinationScopedRules) {
+  two_domain_fixture f;
+  auto inspector = std::make_unique<ngfw_service>();
+  auto* raw = inspector.get();
+  raw->add_rule("alice-only", "forbidden", f.alice->addr());
+  f.d.sn(f.sn_w1).env().set_interceptor(std::move(inspector));
+
+  auto& second = f.d.add_host(f.west, f.sn_w1);
+  int got_alice = 0, got_second = 0;
+  f.alice->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got_alice; });
+  second.set_default_handler([&](const ilp::ilp_header&, bytes) { ++got_second; });
+
+  f.carol->send_to(f.alice->addr(), ilp::svc::delivery, to_bytes("forbidden word"));
+  f.carol->send_to(second.addr(), ilp::svc::delivery, to_bytes("forbidden word"));
+  f.d.run();
+  EXPECT_EQ(got_alice, 0);   // scoped rule fired
+  EXPECT_EQ(got_second, 1);  // other destinations unaffected
+}
+
+TEST(Ngfw, EveryPacketInspectedNoFastPathBypass) {
+  // Unlike address firewalls, NGFW decisions are content-dependent and
+  // must not be cached: a clean packet must not open a cached fast path
+  // that a later dirty packet on the same connection slips through.
+  two_domain_fixture f;
+  auto inspector = std::make_unique<ngfw_service>();
+  auto* raw = inspector.get();
+  raw->add_rule("sig", "malware");
+  f.d.sn(f.sn_w1).env().set_interceptor(std::move(inspector));
+
+  int got = 0;
+  f.alice->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  auto conn = f.carol->open(f.alice->addr(), ilp::svc::delivery, f.carol->first_hop_sn());
+  conn.send(to_bytes("clean"));
+  f.d.run();
+  conn.send(to_bytes("carrying malware payload"));
+  f.d.run();
+  conn.send(to_bytes("clean again"));
+  f.d.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(raw->blocked(), 1u);
+}
+
+TEST(Ngfw, InsideEnclaveStillInspects) {
+  // §6: privacy-sensitive interposed processing runs in enclaves; the
+  // NGFW wrapped in enclave_runtime behaves identically.
+  two_domain_fixture f;
+  auto inspector = std::make_unique<ngfw_service>();
+  auto* raw = inspector.get();
+  raw->add_rule("sig", "blocked-content");
+  enclave::enclave_config ec;
+  ec.sealing_secret = to_bytes("boundary-device");
+  f.d.sn(f.sn_w1).env().set_interceptor(
+      std::make_unique<enclave::enclave_runtime>(std::move(inspector), ec));
+
+  int got = 0;
+  f.alice->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  f.carol->send_to(f.alice->addr(), ilp::svc::delivery, to_bytes("blocked-content here"));
+  f.carol->send_to(f.alice->addr(), ilp::svc::delivery, to_bytes("fine"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(raw->blocked(), 1u);
+}
+
+// ---- deployment attestation -------------------------------------------
+
+TEST(Attestation, AllSnsAttestAgainstGoldenMeasurement) {
+  two_domain_fixture f;
+  enclave::attestation_authority authority(7);
+  const auto golden = enclave::measure_module("standard-suite", "v1", to_bytes("image"));
+  f.d.provision_attestation(authority, golden, "suite-v1");
+
+  for (auto sn : {f.sn_w1, f.sn_w2, f.sn_e1, f.sn_e2}) {
+    EXPECT_TRUE(f.d.attest_sn(authority, sn, "suite-v1", to_bytes("nonce-1"))) << sn;
+  }
+}
+
+TEST(Attestation, TamperedSnFailsChallenge) {
+  two_domain_fixture f;
+  enclave::attestation_authority authority(7);
+  const auto golden = enclave::measure_module("standard-suite", "v1", to_bytes("image"));
+  f.d.provision_attestation(authority, golden, "suite-v1");
+
+  // sn_w2 loads an extra (unauthorized) module image -> register diverges.
+  f.d.tpm_of(f.sn_w2)->extend(
+      enclave::measure_module("backdoor", "v1", to_bytes("evil")));
+  EXPECT_FALSE(f.d.attest_sn(authority, f.sn_w2, "suite-v1", to_bytes("n")));
+  EXPECT_TRUE(f.d.attest_sn(authority, f.sn_w1, "suite-v1", to_bytes("n")));
+}
+
+TEST(Attestation, UnknownSnFailsChallenge) {
+  two_domain_fixture f;
+  enclave::attestation_authority authority(7);
+  const auto golden = enclave::measure_module("s", "v1", to_bytes("i"));
+  f.d.provision_attestation(authority, golden, "l");
+  EXPECT_FALSE(f.d.attest_sn(authority, 999999, "l", to_bytes("n")));
+}
+
+}  // namespace
+}  // namespace interedge::services

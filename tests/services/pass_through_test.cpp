@@ -1,0 +1,134 @@
+// Operator-imposed pass-through SN tests (paper §3.2, third invocation
+// mode): an enterprise boundary SN applies operator services to all
+// traffic and forwards to the next-hop SN where client-invoked services
+// run.
+#include "services/pass_through.h"
+
+#include <gtest/gtest.h>
+
+#include "deploy/deployment.h"
+#include "deploy/standard_services.h"
+#include "services/clients/pubsub_client.h"
+#include "services/pubsub.h"
+
+namespace interedge::services {
+namespace {
+
+struct enterprise_fixture {
+  enterprise_fixture() {
+    enterprise = d.add_edomain();
+    provider = d.add_edomain();
+    boundary_sn = d.add_sn(enterprise);   // the enterprise's pass-through SN
+    upstream_sn = d.add_sn(provider);     // the IESP SN running real services
+    employee = &d.add_host(enterprise, boundary_sn);
+    outsider = &d.add_host(provider, upstream_sn);
+    d.interconnect();
+    deploy::deploy_standard_services(d);
+
+    auto interceptor = std::make_unique<pass_through_service>(upstream_sn);
+    raw = interceptor.get();
+    raw->add_enterprise_host(employee->addr());
+    d.sn(boundary_sn).env().set_interceptor(std::move(interceptor));
+  }
+  deploy::deployment d;
+  deploy::edomain_id enterprise{}, provider{};
+  deploy::peer_id boundary_sn{}, upstream_sn{};
+  host::host_stack* employee = nullptr;
+  host::host_stack* outsider = nullptr;
+  pass_through_service* raw = nullptr;
+};
+
+TEST(PassThrough, OutboundTraversesBoundaryThenUpstream) {
+  enterprise_fixture f;
+  int got = 0;
+  f.outsider->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  f.employee->send_to(f.outsider->addr(), ilp::svc::delivery, to_bytes("report.pdf"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(f.raw->passed_out(), 1u);
+  // The client-invoked service (delivery) ran at the upstream SN, not at
+  // the boundary.
+  EXPECT_GE(f.d.sn(f.upstream_sn).datapath_stats().forwarded, 1u);
+}
+
+TEST(PassThrough, OperatorRuleBlocksOutbound) {
+  enterprise_fixture f;
+  f.raw->add_rule({.dest = f.outsider->addr(), .allow = false});
+  int got = 0;
+  f.outsider->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  f.employee->send_to(f.outsider->addr(), ilp::svc::delivery, to_bytes("exfil"));
+  f.d.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(f.raw->blocked(), 1u);
+}
+
+TEST(PassThrough, BlockedConnectionsShedOnFastPath) {
+  enterprise_fixture f;
+  f.raw->add_rule({.dest = f.outsider->addr(), .allow = false});
+  auto conn = f.employee->open(f.outsider->addr(), ilp::svc::delivery,
+                               f.employee->first_hop_sn());
+  for (int i = 0; i < 20; ++i) conn.send(to_bytes("x"));
+  f.d.run();
+  EXPECT_EQ(f.raw->blocked(), 1u);  // only the first packet hit the module
+  EXPECT_GE(f.d.sn(f.boundary_sn).cache().stats().hits, 19u);
+}
+
+TEST(PassThrough, InboundDeliveredThroughBoundary) {
+  enterprise_fixture f;
+  int got = 0;
+  f.employee->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  f.outsider->send_to(f.employee->addr(), ilp::svc::delivery, to_bytes("inbound"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(f.raw->passed_in(), 1u);
+}
+
+TEST(PassThrough, InboundRuleBlocks) {
+  enterprise_fixture f;
+  f.raw->add_rule({.src = f.outsider->addr(), .allow = false});
+  int got = 0;
+  f.employee->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  f.outsider->send_to(f.employee->addr(), ilp::svc::delivery, to_bytes("spam"));
+  f.d.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(PassThrough, ClientInvokedServiceWorksThroughBoundary) {
+  // The employee subscribes to a topic: the control packet crosses the
+  // boundary, and the pub/sub module at the UPSTREAM SN handles it (the
+  // paper's "the client's partial trust relationship ... is with that
+  // next-hop SN").
+  enterprise_fixture f;
+  pubsub_client sub(*f.employee);
+  pubsub_client pub(*f.outsider);
+  std::vector<std::string> got;
+  sub.subscribe("news", [&](const std::string&, bytes p) { got.push_back(to_string(p)); });
+  f.d.run();
+
+  auto* upstream_pubsub = static_cast<pubsub_service*>(
+      f.d.sn(f.upstream_sn).env().module_for(ilp::svc::pubsub));
+  EXPECT_EQ(upstream_pubsub->subscribers("news"), 1u);
+  auto* boundary_pubsub = static_cast<pubsub_service*>(
+      f.d.sn(f.boundary_sn).env().module_for(ilp::svc::pubsub));
+  EXPECT_EQ(boundary_pubsub->subscribers("news"), 0u);
+
+  pub.publish("news", to_bytes("headline"));
+  f.d.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "headline");
+}
+
+TEST(PassThrough, NonEnterpriseTrafficContinuesLocally) {
+  // Frames that are not enterprise traffic (e.g. another SN's relay
+  // traffic through this node) still reach the local service modules.
+  enterprise_fixture f;
+  auto& other = f.d.add_host(f.enterprise, f.boundary_sn);  // NOT registered as enterprise host
+  int got = 0;
+  other.set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  f.outsider->send_to(other.addr(), ilp::svc::delivery, to_bytes("normal"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace interedge::services

@@ -1,0 +1,190 @@
+#include "services/pubsub.h"
+
+#include <gtest/gtest.h>
+
+#include "services/clients/pubsub_client.h"
+#include "services/service_fixture.h"
+
+namespace interedge::services {
+namespace {
+
+using testing::two_domain_fixture;
+
+struct topic_log {
+  std::vector<std::string> messages;
+  pubsub_client::message_handler capture() {
+    return [this](const std::string&, bytes payload) {
+      messages.push_back(to_string(payload));
+    };
+  }
+};
+
+TEST(PubSub, SameSnDelivery) {
+  two_domain_fixture f;
+  auto& sub_host = f.d.add_host(f.west, f.sn_w1);
+  pubsub_client subscriber(sub_host);
+  pubsub_client publisher(*f.alice);  // alice is also on sn_w1
+
+  topic_log log;
+  subscriber.subscribe("news", log.capture());
+  f.d.run();
+  EXPECT_EQ(subscriber.acks(), 1u);
+
+  publisher.publish("news", to_bytes("breaking"));
+  f.d.run();
+  ASSERT_EQ(log.messages.size(), 1u);
+  EXPECT_EQ(log.messages[0], "breaking");
+}
+
+TEST(PubSub, CrossSnSameEdomain) {
+  two_domain_fixture f;
+  pubsub_client sub(*f.bob);     // SN w2
+  pubsub_client pub(*f.alice);   // SN w1
+  topic_log log;
+  sub.subscribe("t", log.capture());
+  f.d.run();
+  pub.publish("t", to_bytes("m1"));
+  f.d.run();
+  ASSERT_EQ(log.messages.size(), 1u);
+}
+
+TEST(PubSub, CrossEdomainDelivery) {
+  two_domain_fixture f;
+  pubsub_client sub_c(*f.carol);  // east, SN e1 (gateway)
+  pubsub_client sub_d(*f.dave);   // east, SN e2
+  pubsub_client pub(*f.alice);    // west
+  topic_log log_c, log_d;
+  sub_c.subscribe("global", log_c.capture());
+  sub_d.subscribe("global", log_d.capture());
+  f.d.run();
+
+  pub.publish("global", to_bytes("hello world"));
+  f.d.run();
+  ASSERT_EQ(log_c.messages.size(), 1u);
+  ASSERT_EQ(log_d.messages.size(), 1u);
+  EXPECT_EQ(log_c.messages[0], "hello world");
+}
+
+TEST(PubSub, EverySubscriberExactlyOnce) {
+  two_domain_fixture f;
+  std::vector<std::unique_ptr<pubsub_client>> subs;
+  std::vector<topic_log> logs(4);
+  host::host_stack* hosts[] = {f.alice, f.bob, f.carol, f.dave};
+  for (int i = 0; i < 4; ++i) {
+    subs.push_back(std::make_unique<pubsub_client>(*hosts[i]));
+    subs[i]->subscribe("all", logs[i].capture());
+  }
+  f.d.run();
+
+  pubsub_client& pub = *subs[0];  // alice both publishes and subscribes
+  for (int m = 0; m < 3; ++m) pub.publish("all", to_bytes("msg" + std::to_string(m)));
+  f.d.run();
+
+  // Subscribers other than the publisher get every message exactly once.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(logs[i].messages.size(), 3u) << "subscriber " << i;
+  }
+  // The publisher does not hear its own messages echoed.
+  EXPECT_EQ(logs[0].messages.size(), 0u);
+}
+
+TEST(PubSub, UnsubscribeStopsDelivery) {
+  two_domain_fixture f;
+  pubsub_client sub(*f.bob);
+  pubsub_client pub(*f.alice);
+  topic_log log;
+  sub.subscribe("t", log.capture());
+  f.d.run();
+  pub.publish("t", to_bytes("1"));
+  f.d.run();
+  sub.unsubscribe("t");
+  f.d.run();
+  pub.publish("t", to_bytes("2"));
+  f.d.run();
+  EXPECT_EQ(log.messages.size(), 1u);
+}
+
+TEST(PubSub, TopicsAreIsolated) {
+  two_domain_fixture f;
+  pubsub_client sub(*f.bob);
+  pubsub_client pub(*f.alice);
+  topic_log log;
+  sub.subscribe("cats", log.capture());
+  f.d.run();
+  pub.publish("dogs", to_bytes("woof"));
+  f.d.run();
+  EXPECT_TRUE(log.messages.empty());
+}
+
+TEST(PubSub, ClosedGroupJoinDenied) {
+  two_domain_fixture f;
+  // Create a governed, closed topic owned by alice.
+  const auto& alice_id = f.d.identity_of(f.alice->addr());
+  f.d.directory().create_group("vip", alice_id.keys.public_key);
+
+  pubsub_client sub(*f.bob);
+  topic_log log;
+  sub.subscribe("vip", log.capture());
+  f.d.run();
+  EXPECT_EQ(sub.denials(), 1u);
+  EXPECT_EQ(sub.acks(), 0u);
+
+  // Owner grants bob; re-subscribe succeeds.
+  const bytes token = lookup::make_auth_token(
+      alice_id.keys.secret, f.d.directory().public_key(),
+      to_bytes("grant:vip:" + std::to_string(f.bob->addr())));
+  ASSERT_TRUE(f.d.directory().grant_membership("vip", f.bob->addr(), token));
+  sub.subscribe("vip", log.capture());
+  f.d.run();
+  EXPECT_EQ(sub.acks(), 1u);
+}
+
+TEST(PubSub, HostDrivenStateReconstruction) {
+  // §3.3/§6: after the SN loses its state, the subscriber's resync()
+  // restores delivery without any SN-side persistence.
+  two_domain_fixture f;
+  // Checkpoint the SN while it has no pub/sub state.
+  const bytes pristine = f.d.sn(f.sn_w2).checkpoint();
+
+  pubsub_client sub(*f.bob);
+  pubsub_client pub(*f.alice);
+  topic_log log;
+  sub.subscribe("t", log.capture());
+  f.d.run();
+
+  // Simulate SN state loss: roll the module back to the pristine snapshot.
+  f.d.sn(f.sn_w2).restore(pristine);
+
+  pub.publish("t", to_bytes("lost"));
+  f.d.run();
+  EXPECT_TRUE(log.messages.empty());  // the SN forgot the subscription
+
+  // Host-driven reconstruction: the client re-issues its subscriptions.
+  sub.resync();
+  f.d.run();
+  pub.publish("t", to_bytes("recovered"));
+  f.d.run();
+  ASSERT_EQ(log.messages.size(), 1u);
+  EXPECT_EQ(log.messages.back(), "recovered");
+}
+
+TEST(PubSub, CheckpointRestorePreservesSubscriptions) {
+  two_domain_fixture f;
+  pubsub_client sub(*f.bob);
+  pubsub_client pub(*f.alice);
+  topic_log log;
+  sub.subscribe("t", log.capture());
+  f.d.run();
+
+  // Standby replication: checkpoint the SN, restore into it (round trip).
+  const bytes snap = f.d.sn(f.sn_w2).checkpoint();
+  f.d.sn(f.sn_w2).restore(snap);
+
+  pub.publish("t", to_bytes("after-restore"));
+  f.d.run();
+  ASSERT_EQ(log.messages.size(), 1u);
+  EXPECT_EQ(log.messages[0], "after-restore");
+}
+
+}  // namespace
+}  // namespace interedge::services

@@ -1,0 +1,145 @@
+#include "services/qos.h"
+
+#include <gtest/gtest.h>
+
+#include "services/clients/qos_client.h"
+#include "services/service_fixture.h"
+
+namespace interedge::services {
+namespace {
+
+using namespace std::chrono_literals;
+using testing::two_domain_fixture;
+
+TEST(QosProfile, EncodeDecodeRoundTrip) {
+  qos_profile p;
+  p.access_bps = 100000000;
+  p.rules.push_back({.src_prefix = 0xff00, .prefix_bits = 56, .priority = 0, .weight = 2.5});
+  p.rules.push_back({.src_prefix = 0, .prefix_bits = 0, .priority = 1, .weight = 1.0});
+  const qos_profile decoded = qos_profile::decode(p.encode());
+  EXPECT_EQ(decoded.access_bps, p.access_bps);
+  ASSERT_EQ(decoded.rules.size(), 2u);
+  EXPECT_EQ(decoded.rules[0].src_prefix, 0xff00u);
+  EXPECT_EQ(decoded.rules[0].prefix_bits, 56);
+  EXPECT_DOUBLE_EQ(decoded.rules[0].weight, 2.5);
+}
+
+TEST(QosRule, PrefixMatching) {
+  qos_stream_rule rule{.src_prefix = 0xab00000000000000ull, .prefix_bits = 8};
+  EXPECT_TRUE(rule.matches(0xab12345678ull << 24 | 1));
+  EXPECT_TRUE(rule.matches(0xabffffffffffffffull));
+  EXPECT_FALSE(rule.matches(0xac00000000000000ull));
+  qos_stream_rule wildcard{.prefix_bits = 0};
+  EXPECT_TRUE(wildcard.matches(12345));
+  qos_stream_rule exact{.src_prefix = 42, .prefix_bits = 64};
+  EXPECT_TRUE(exact.matches(42));
+  EXPECT_FALSE(exact.matches(43));
+}
+
+struct qos_fixture {
+  qos_fixture() {
+    receiver = &f.d.add_host(f.west, f.sn_w1);
+    receiver->set_default_handler([this](const ilp::ilp_header& h, bytes) {
+      arrival_order.push_back(h.meta_u64(ilp::meta_key::src_addr).value_or(0));
+      arrival_times.push_back(f.d.net().now());
+    });
+  }
+  void configure(std::uint64_t bps, std::vector<qos_stream_rule> rules) {
+    qos_client qc(*receiver);
+    qos_profile p;
+    p.access_bps = bps;
+    p.rules = std::move(rules);
+    qc.configure(p);
+    f.d.run();
+  }
+  two_domain_fixture f;
+  host::host_stack* receiver = nullptr;
+  std::vector<std::uint64_t> arrival_order;
+  std::vector<time_point> arrival_times;
+};
+
+TEST(Qos, UnconfiguredReceiverPlainForward) {
+  qos_fixture q;
+  q.f.alice->send_to(q.receiver->addr(), ilp::svc::last_hop_qos, to_bytes("x"));
+  q.f.d.run();
+  EXPECT_EQ(q.arrival_order.size(), 1u);
+}
+
+TEST(Qos, ShapedToAccessRate) {
+  qos_fixture q;
+  // 8 Mbps: a 1000-byte packet serializes in 1 ms.
+  q.configure(8000000, {{.prefix_bits = 0, .priority = 1, .weight = 1.0}});
+
+  for (int i = 0; i < 4; ++i) {
+    q.f.carol->send_to(q.receiver->addr(), ilp::svc::last_hop_qos, bytes(1000, 0x1));
+  }
+  q.f.d.run();
+  ASSERT_EQ(q.arrival_order.size(), 4u);
+  // Inter-arrival spacing ~1 ms (shaped), not back-to-back.
+  for (std::size_t i = 1; i < q.arrival_times.size(); ++i) {
+    const auto gap = q.arrival_times[i] - q.arrival_times[i - 1];
+    EXPECT_GE(gap, 900us) << "packet " << i;
+  }
+}
+
+TEST(Qos, PriorityTrafficJumpsQueue) {
+  qos_fixture q;
+  // carol's prefix gets priority 0 ("gaming"), everything else priority 1.
+  q.configure(8000000, {
+      {.src_prefix = q.f.carol->addr(), .prefix_bits = 64, .priority = 0, .weight = 1.0},
+      {.prefix_bits = 0, .priority = 1, .weight = 1.0},
+  });
+
+  // Queue a burst of bulk traffic from dave first, then one gaming packet.
+  for (int i = 0; i < 5; ++i) {
+    q.f.dave->send_to(q.receiver->addr(), ilp::svc::last_hop_qos, bytes(1000, 0x2));
+  }
+  q.f.carol->send_to(q.receiver->addr(), ilp::svc::last_hop_qos, bytes(100, 0x1));
+  q.f.d.run();
+
+  ASSERT_EQ(q.arrival_order.size(), 6u);
+  // The gaming packet must not arrive last; it overtakes queued bulk
+  // traffic (it can't beat packets already released/in flight).
+  const auto carol_pos =
+      std::find(q.arrival_order.begin(), q.arrival_order.end(), q.f.carol->addr());
+  ASSERT_NE(carol_pos, q.arrival_order.end());
+  EXPECT_LT(carol_pos - q.arrival_order.begin(), 3);
+}
+
+TEST(Qos, WeightsShareBandwidth) {
+  qos_fixture q;
+  // carol weight 3, dave weight 1, same priority.
+  q.configure(8000000, {
+      {.src_prefix = q.f.carol->addr(), .prefix_bits = 64, .priority = 1, .weight = 3.0},
+      {.src_prefix = q.f.dave->addr(), .prefix_bits = 64, .priority = 1, .weight = 1.0},
+  });
+
+  for (int i = 0; i < 40; ++i) {
+    q.f.carol->send_to(q.receiver->addr(), ilp::svc::last_hop_qos, bytes(1000, 0x1));
+    q.f.dave->send_to(q.receiver->addr(), ilp::svc::last_hop_qos, bytes(1000, 0x2));
+  }
+  q.f.d.run();
+  ASSERT_EQ(q.arrival_order.size(), 80u);
+  // In the first half of arrivals, carol should have ~3x dave's count.
+  int carol_early = 0, dave_early = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    if (q.arrival_order[i] == q.f.carol->addr()) ++carol_early;
+    if (q.arrival_order[i] == q.f.dave->addr()) ++dave_early;
+  }
+  EXPECT_GT(carol_early, dave_early * 2) << carol_early << " vs " << dave_early;
+}
+
+TEST(Qos, ModuleCountsShapedPackets) {
+  qos_fixture q;
+  q.configure(8000000, {{.prefix_bits = 0, .priority = 1, .weight = 1.0}});
+  q.f.carol->send_to(q.receiver->addr(), ilp::svc::last_hop_qos, bytes(100, 0));
+  q.f.d.run();
+  auto* module = static_cast<qos_service*>(
+      q.f.d.sn(q.f.sn_w1).env().module_for(ilp::svc::last_hop_qos));
+  ASSERT_NE(module, nullptr);
+  EXPECT_TRUE(module->has_profile(q.receiver->addr()));
+  EXPECT_EQ(module->shaped(q.receiver->addr()), 1u);
+}
+
+}  // namespace
+}  // namespace interedge::services

@@ -1,0 +1,204 @@
+// Resiliency tests (paper §3.3): stateless-service failover via first-hop
+// fallback, stateful recovery via host-driven reconstruction and via
+// standby replication of checkpoints.
+#include <gtest/gtest.h>
+
+#include "deploy/deployment.h"
+#include "deploy/standard_services.h"
+#include "services/clients/pubsub_client.h"
+#include "services/pubsub.h"
+
+namespace interedge::services {
+namespace {
+
+struct failover_fixture {
+  failover_fixture() {
+    dom = d.add_edomain();
+    other_dom = d.add_edomain();
+    // The standby is created first so it is the edomain's gateway: this
+    // test fails only the primary, not the inter-edomain gateway (gateway
+    // failover is a separate concern — the edomain would re-designate).
+    standby = d.add_sn(dom);
+    primary = d.add_sn(dom);
+    remote_sn = d.add_sn(other_dom);
+    // The client is associated with BOTH SNs (§3.1: "every host is
+    // associated with one or more first-hop SNs").
+    client = &d.add_host(dom, primary, {standby});
+    remote = &d.add_host(other_dom, remote_sn);
+    d.interconnect();
+    deploy::deploy_standard_services(d);
+  }
+
+  // Simulates a crashed primary: every datagram to it vanishes.
+  void fail_primary() {
+    for (auto node : {client->addr(), remote->addr()}) {
+      d.net().set_link(static_cast<sim::node_id>(node), static_cast<sim::node_id>(primary),
+                       {.loss_rate = 1.0});
+    }
+    for (auto sn : {standby, remote_sn}) {
+      d.net().set_link(static_cast<sim::node_id>(sn), static_cast<sim::node_id>(primary),
+                       {.loss_rate = 1.0});
+    }
+  }
+
+  deploy::deployment d;
+  deploy::edomain_id dom{}, other_dom{};
+  deploy::peer_id primary{}, standby{}, remote_sn{};
+  host::host_stack* client = nullptr;
+  host::host_stack* remote = nullptr;
+};
+
+TEST(Resilience, StatelessFailoverToFallbackSn) {
+  // "for stateless services, SN failures are like router failures and can
+  // be easily recovered from" — the host switches to its fallback SN.
+  failover_fixture f;
+  int got = 0;
+  f.remote->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+
+  f.client->send_to(f.remote->addr(), ilp::svc::delivery, to_bytes("via primary"));
+  f.d.run();
+  EXPECT_EQ(got, 1);
+
+  f.fail_primary();
+  f.client->send_to(f.remote->addr(), ilp::svc::delivery, to_bytes("black hole"));
+  f.d.run();
+  EXPECT_EQ(got, 1);  // lost
+
+  ASSERT_TRUE(f.client->switch_to_fallback());
+  EXPECT_EQ(f.client->first_hop_sn(), f.standby);
+  f.client->send_to(f.remote->addr(), ilp::svc::delivery, to_bytes("via standby"));
+  f.d.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Resilience, StatefulRecoveryHostDriven) {
+  // Pub/sub subscription state lives on the primary; after failover the
+  // client's resync() reconstructs it on the standby without any SN-to-SN
+  // state transfer.
+  failover_fixture f;
+  pubsub_client sub(*f.client);
+  pubsub_client pub(*f.remote);
+  std::vector<std::string> got;
+  sub.subscribe("alerts", [&](const std::string&, bytes p) { got.push_back(to_string(p)); });
+  f.d.run();
+
+  f.fail_primary();
+  ASSERT_TRUE(f.client->switch_to_fallback());
+  sub.resync();  // host-driven state reconstruction onto the standby
+  f.d.run();
+
+  auto* standby_module = static_cast<pubsub_service*>(
+      f.d.sn(f.standby).env().module_for(ilp::svc::pubsub));
+  EXPECT_EQ(standby_module->subscribers("alerts"), 1u);
+
+  pub.publish("alerts", to_bytes("after failover"));
+  f.d.run();
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_EQ(got.back(), "after failover");
+}
+
+TEST(Resilience, StandbyReplicationOfCheckpoints) {
+  // "standby-replication for performance": the standby restores the
+  // primary's checkpoint and serves identical pub/sub state immediately,
+  // without waiting for hosts to resync.
+  failover_fixture f;
+  pubsub_client sub(*f.client);
+  pubsub_client pub(*f.remote);
+  std::vector<std::string> got;
+  sub.subscribe("alerts", [&](const std::string&, bytes p) { got.push_back(to_string(p)); });
+  f.d.run();
+
+  // Periodic replication: primary checkpoint -> standby.
+  const bytes snapshot = f.d.sn(f.primary).checkpoint();
+  f.d.sn(f.standby).restore(snapshot);
+
+  f.fail_primary();
+  ASSERT_TRUE(f.client->switch_to_fallback());
+  // NO resync: the standby already has the subscription from the snapshot.
+  auto* standby_module = static_cast<pubsub_service*>(
+      f.d.sn(f.standby).env().module_for(ilp::svc::pubsub));
+  EXPECT_EQ(standby_module->subscribers("alerts"), 1u);
+
+  // The standby must also join the group at the edomain core so publisher
+  // SNs relay to it (part of bringing a standby into rotation).
+  f.d.core_of(f.dom).group_join("alerts", f.standby);
+
+  pub.publish("alerts", to_bytes("zero-loss failover"));
+  f.d.run();
+  ASSERT_GE(got.size(), 1u);
+  EXPECT_EQ(got.back(), "zero-loss failover");
+}
+
+TEST(Resilience, DecisionCacheLossIsHarmless) {
+  // The decision cache is soft state: clearing it mid-connection changes
+  // nothing observable (packets re-consult the service).
+  failover_fixture f;
+  int got = 0;
+  f.remote->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  auto conn = f.client->open(f.remote->addr(), ilp::svc::delivery, f.primary);
+  conn.send(to_bytes("1"));
+  f.d.run();
+  f.d.sn(f.primary).cache().clear();
+  conn.send(to_bytes("2"));
+  f.d.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(f.d.sn(f.primary).datapath_stats().slow_path, 2u);
+}
+
+TEST(Resilience, LostHandshakeRetriedAutomatically) {
+  // A black-holed first handshake (and the packets queued behind it) is
+  // recovered by the host's retry timer once the path heals.
+  failover_fixture f;
+  f.d.net().set_link(static_cast<sim::node_id>(f.client->addr()),
+                     static_cast<sim::node_id>(f.primary), {.loss_rate = 1.0});
+  int got = 0;
+  f.remote->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+
+  f.client->send_to(f.remote->addr(), ilp::svc::delivery, to_bytes("queued"));
+  f.d.net().run_until(f.d.net().now() + std::chrono::milliseconds(100));
+  EXPECT_EQ(got, 0);
+
+  // Path heals; the next scheduled retry completes the handshake and
+  // flushes the queued packet.
+  f.d.net().set_link(static_cast<sim::node_id>(f.client->addr()),
+                     static_cast<sim::node_id>(f.primary), {.loss_rate = 0.0});
+  f.d.net().run_until(f.d.net().now() + std::chrono::seconds(3));
+  EXPECT_EQ(got, 1);
+  EXPECT_GE(f.client->handshake_retries(), 1u);
+}
+
+TEST(Resilience, LossyHandshakeEventuallyConnects) {
+  // 70% loss on the host<->SN path: handshake retries keep going until a
+  // round trip survives; data stays best-effort (each packet still has a
+  // 30% survival chance on the lossy hop), so the app sends repeatedly.
+  failover_fixture f;
+  f.d.net().set_link_symmetric(static_cast<sim::node_id>(f.client->addr()),
+                               static_cast<sim::node_id>(f.primary), {.loss_rate = 0.7});
+  int got = 0;
+  f.remote->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  for (int i = 0; i < 30; ++i) {
+    f.client->send_to(f.remote->addr(), ilp::svc::delivery, to_bytes("persistent"));
+    f.d.net().run_until(f.d.net().now() + std::chrono::seconds(2));
+  }
+  EXPECT_GE(got, 1);
+  EXPECT_TRUE(f.client->pipes().has_pipe(f.primary));
+}
+
+TEST(Resilience, LossySnPathDegradesGracefully) {
+  failover_fixture f;
+  f.d.net().set_link(static_cast<sim::node_id>(f.client->addr()),
+                     static_cast<sim::node_id>(f.primary), {.loss_rate = 0.5});
+  int got = 0;
+  f.remote->set_default_handler([&](const ilp::ilp_header&, bytes) { ++got; });
+  // A loss-tolerant app keeps sending; roughly half arrive, none wedge
+  // the pipe (PSP is stateless per packet).
+  for (int i = 0; i < 100; ++i) {
+    f.client->send_to(f.remote->addr(), ilp::svc::delivery, to_bytes("d"));
+    f.d.run();
+  }
+  EXPECT_GT(got, 20);
+  EXPECT_LT(got, 80);
+}
+
+}  // namespace
+}  // namespace interedge::services

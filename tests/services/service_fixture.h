@@ -1,0 +1,39 @@
+// Shared deployment fixture for service tests: two edomains, two SNs each,
+// hosts attached to distinct SNs, full standard service suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "deploy/deployment.h"
+#include "deploy/standard_services.h"
+
+namespace interedge::services::testing {
+
+struct two_domain_fixture {
+  explicit two_domain_fixture(deploy::standard_services_config config = {},
+                              deploy::deployment_config dcfg = {})
+      : d(dcfg) {
+    west = d.add_edomain();
+    east = d.add_edomain();
+    sn_w1 = d.add_sn(west);
+    sn_w2 = d.add_sn(west);
+    sn_e1 = d.add_sn(east);
+    sn_e2 = d.add_sn(east);
+    alice = &d.add_host(west, sn_w1);
+    bob = &d.add_host(west, sn_w2);
+    carol = &d.add_host(east, sn_e1);
+    dave = &d.add_host(east, sn_e2);
+    d.interconnect();
+    deploy::deploy_standard_services(d, config);
+  }
+
+  deploy::deployment d;
+  deploy::edomain_id west{}, east{};
+  deploy::peer_id sn_w1{}, sn_w2{}, sn_e1{}, sn_e2{};
+  host::host_stack* alice = nullptr;  // west, SN w1
+  host::host_stack* bob = nullptr;    // west, SN w2
+  host::host_stack* carol = nullptr;  // east, SN e1
+  host::host_stack* dave = nullptr;   // east, SN e2
+};
+
+}  // namespace interedge::services::testing

@@ -1,0 +1,168 @@
+#include "services/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "services/service_fixture.h"
+
+namespace interedge::services {
+namespace {
+
+using testing::two_domain_fixture;
+
+media_frame make_frame(std::uint32_t id, std::uint32_t kbps, std::size_t samples = 1000) {
+  media_frame f;
+  f.frame_id = id;
+  f.bitrate_kbps = kbps;
+  f.samples.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) f.samples[i] = static_cast<std::uint8_t>(i);
+  return f;
+}
+
+TEST(MediaLibrary, FrameCodecRoundTrip) {
+  const media_frame f = make_frame(7, 2000, 100);
+  const media_frame decoded = media_frame::decode(f.encode());
+  EXPECT_EQ(decoded.frame_id, 7u);
+  EXPECT_EQ(decoded.bitrate_kbps, 2000u);
+  EXPECT_EQ(decoded.samples, f.samples);
+}
+
+TEST(MediaLibrary, TranscodeReducesProportionally) {
+  const media_frame f = make_frame(1, 2000, 1000);
+  const media_frame reduced = media_transcode(f, 500);
+  EXPECT_EQ(reduced.bitrate_kbps, 500u);
+  EXPECT_EQ(reduced.samples.size(), 250u);  // 500/2000 of the samples
+  EXPECT_EQ(reduced.frame_id, 1u);
+}
+
+TEST(MediaLibrary, TranscodeNoOpWithinTarget) {
+  const media_frame f = make_frame(1, 400, 100);
+  const media_frame out = media_transcode(f, 500);
+  EXPECT_EQ(out.bitrate_kbps, 400u);
+  EXPECT_EQ(out.samples.size(), 100u);
+}
+
+TEST(MediaLibrary, TranscodeNeverEmpty) {
+  const media_frame f = make_frame(1, 100000, 10);
+  const media_frame out = media_transcode(f, 1);
+  EXPECT_GE(out.samples.size(), 1u);
+}
+
+struct stream_fixture {
+  stream_fixture() {
+    viewer = &f.d.add_host(f.west, f.sn_w1);
+    viewer->set_service_handler(ilp::svc::streaming,
+                                [this](const ilp::ilp_header&, bytes payload) {
+                                  received.push_back(media_frame::decode(payload));
+                                });
+  }
+  void configure(std::uint64_t kbps) {
+    writer w;
+    w.u64(kbps);
+    ilp::ilp_header h;
+    h.service = ilp::svc::streaming;
+    h.connection = 1;
+    h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+    h.set_meta_str(ilp::meta_key::control_op, kStreamConfigure);
+    h.set_meta_u64(ilp::meta_key::src_addr, viewer->addr());
+    viewer->pipes().send(viewer->first_hop_sn(), h, w.take());
+    f.d.run();
+  }
+  void send_frame(std::uint32_t id, std::uint32_t kbps) {
+    f.carol->send_to(viewer->addr(), ilp::svc::streaming, make_frame(id, kbps).encode());
+    f.d.run();
+  }
+  streaming_service* module() {
+    return static_cast<streaming_service*>(
+        f.d.sn(f.sn_w1).env().module_for(ilp::svc::streaming));
+  }
+
+  two_domain_fixture f;
+  host::host_stack* viewer = nullptr;
+  std::vector<media_frame> received;
+};
+
+TEST(Streaming, HighBitrateTranscodedAtLastHop) {
+  stream_fixture s;
+  s.configure(500);
+  s.send_frame(1, 2000);
+  ASSERT_EQ(s.received.size(), 1u);
+  EXPECT_EQ(s.received[0].bitrate_kbps, 500u);
+  EXPECT_EQ(s.received[0].samples.size(), 250u);
+  EXPECT_EQ(s.module()->transcoded(), 1u);
+}
+
+TEST(Streaming, WithinBudgetPassesUntouched) {
+  stream_fixture s;
+  s.configure(5000);
+  s.send_frame(1, 2000);
+  ASSERT_EQ(s.received.size(), 1u);
+  EXPECT_EQ(s.received[0].bitrate_kbps, 2000u);
+  EXPECT_EQ(s.received[0].samples.size(), 1000u);
+  EXPECT_EQ(s.module()->transcoded(), 0u);
+  EXPECT_EQ(s.module()->passed_through(), 1u);
+}
+
+TEST(Streaming, NoProfileMeansFullRate) {
+  stream_fixture s;  // no configure()
+  s.send_frame(1, 8000);
+  ASSERT_EQ(s.received.size(), 1u);
+  EXPECT_EQ(s.received[0].bitrate_kbps, 8000u);
+}
+
+TEST(Streaming, TransitSnNeverTranscodes) {
+  // The viewer's profile exists only at its first-hop SN; the sender-side
+  // and gateway SNs must not touch the media even if they also run the
+  // module.
+  stream_fixture s;
+  s.configure(100);
+  s.send_frame(1, 4000);
+  ASSERT_EQ(s.received.size(), 1u);
+  EXPECT_EQ(s.received[0].bitrate_kbps, 100u);
+  auto* sender_side = static_cast<streaming_service*>(
+      s.f.d.sn(s.f.sn_e1).env().module_for(ilp::svc::streaming));
+  EXPECT_EQ(sender_side->transcoded(), 0u);
+}
+
+TEST(Streaming, AdaptivePerReceiver) {
+  // Two viewers, different budgets, same source frame rate.
+  stream_fixture s;
+  auto& viewer2 = s.f.d.add_host(s.f.west, s.f.sn_w1);
+  std::vector<media_frame> received2;
+  viewer2.set_service_handler(ilp::svc::streaming,
+                              [&](const ilp::ilp_header&, bytes payload) {
+                                received2.push_back(media_frame::decode(payload));
+                              });
+  s.configure(500);
+  // viewer2 declares a higher budget.
+  writer w;
+  w.u64(4000);
+  ilp::ilp_header h;
+  h.service = ilp::svc::streaming;
+  h.connection = 2;
+  h.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  h.set_meta_str(ilp::meta_key::control_op, kStreamConfigure);
+  h.set_meta_u64(ilp::meta_key::src_addr, viewer2.addr());
+  viewer2.pipes().send(viewer2.first_hop_sn(), h, w.take());
+  s.f.d.run();
+
+  s.f.carol->send_to(s.viewer->addr(), ilp::svc::streaming, make_frame(1, 2000).encode());
+  s.f.carol->send_to(viewer2.addr(), ilp::svc::streaming, make_frame(1, 2000).encode());
+  s.f.d.run();
+
+  ASSERT_EQ(s.received.size(), 1u);
+  ASSERT_EQ(received2.size(), 1u);
+  EXPECT_EQ(s.received[0].bitrate_kbps, 500u);   // constrained viewer
+  EXPECT_EQ(received2[0].bitrate_kbps, 2000u);   // unconstrained passes through
+}
+
+TEST(Streaming, MalformedFrameDropped) {
+  stream_fixture s;
+  s.configure(500);
+  s.f.carol->send_to(s.viewer->addr(), ilp::svc::streaming, to_bytes("not a frame"));
+  s.f.d.run();
+  EXPECT_TRUE(s.received.empty());
+}
+
+}  // namespace
+}  // namespace interedge::services

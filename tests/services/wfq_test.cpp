@@ -1,0 +1,148 @@
+#include "services/wfq.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace interedge::services {
+namespace {
+
+using sched = wfq_scheduler<int>;
+
+TEST(Wfq, EmptySchedulerDequeuesNothing) {
+  sched s;
+  EXPECT_FALSE(s.dequeue().has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Wfq, UnconfiguredClassRejectsEnqueue) {
+  sched s;
+  EXPECT_FALSE(s.enqueue(1, 0, 100));
+}
+
+TEST(Wfq, SingleClassFifo) {
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 1.0});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(s.enqueue(1, i, 100));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.dequeue().value(), i);
+}
+
+TEST(Wfq, StrictPriorityDominates) {
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 1.0});  // high
+  s.configure_class(2, {.priority = 1, .weight = 100.0});  // low (huge weight!)
+  s.enqueue(2, 200, 100);
+  s.enqueue(1, 100, 100);
+  // Priority 0 always beats priority 1 regardless of weights.
+  EXPECT_EQ(s.dequeue().value(), 100);
+  EXPECT_EQ(s.dequeue().value(), 200);
+}
+
+TEST(Wfq, WeightedSharesConvergeToWeights) {
+  // Property: with two backlogged classes at weights 3:1 and equal packet
+  // sizes, releases approach a 3:1 ratio.
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 3.0, .max_queue = 10000});
+  s.configure_class(2, {.priority = 0, .weight = 1.0, .max_queue = 10000});
+  for (int i = 0; i < 4000; ++i) {
+    s.enqueue(1, 1, 1000);
+    s.enqueue(2, 2, 1000);
+  }
+  std::map<int, int> released;
+  for (int i = 0; i < 4000; ++i) {
+    released[s.dequeue().value()]++;
+  }
+  const double ratio = static_cast<double>(released[1]) / released[2];
+  EXPECT_NEAR(ratio, 3.0, 0.1);
+}
+
+TEST(Wfq, ByteFairnessNotPacketFairness) {
+  // Class 1 sends big packets, class 2 small ones, equal weights: class 2
+  // must release ~4x more packets (same bytes).
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 1.0, .max_queue = 10000});
+  s.configure_class(2, {.priority = 0, .weight = 1.0, .max_queue = 10000});
+  for (int i = 0; i < 4000; ++i) {
+    s.enqueue(1, 1, 4000);
+    s.enqueue(2, 2, 1000);
+  }
+  std::map<int, int> released;
+  for (int i = 0; i < 2000; ++i) released[s.dequeue().value()]++;
+  const double ratio = static_cast<double>(released[2]) / released[1];
+  EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(Wfq, QueueBoundDrops) {
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 1.0, .max_queue = 3});
+  EXPECT_TRUE(s.enqueue(1, 0, 1));
+  EXPECT_TRUE(s.enqueue(1, 1, 1));
+  EXPECT_TRUE(s.enqueue(1, 2, 1));
+  EXPECT_FALSE(s.enqueue(1, 3, 1));
+  EXPECT_EQ(s.dropped(), 1u);
+}
+
+TEST(Wfq, PeekSizeMatchesNextDequeue) {
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 1.0});
+  s.configure_class(2, {.priority = 1, .weight = 1.0});
+  s.enqueue(2, 2, 500);
+  s.enqueue(1, 1, 300);
+  EXPECT_EQ(s.peek_size().value(), 300u);
+  s.dequeue();
+  EXPECT_EQ(s.peek_size().value(), 500u);
+}
+
+TEST(Wfq, IdleClassDoesNotAccumulateCredit) {
+  // A class that was idle must not burst ahead when it starts sending:
+  // virtual time catch-up (start = max(V, last_finish)).
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 1.0, .max_queue = 10000});
+  s.configure_class(2, {.priority = 0, .weight = 1.0, .max_queue = 10000});
+  // Class 1 runs alone for a while.
+  for (int i = 0; i < 100; ++i) s.enqueue(1, 1, 1000);
+  for (int i = 0; i < 100; ++i) s.dequeue();
+  // Now both are backlogged.
+  for (int i = 0; i < 1000; ++i) {
+    s.enqueue(1, 1, 1000);
+    s.enqueue(2, 2, 1000);
+  }
+  std::map<int, int> released;
+  for (int i = 0; i < 200; ++i) released[s.dequeue().value()]++;
+  // Class 2 must not monopolize: roughly even split from the start.
+  EXPECT_NEAR(released[1], released[2], 20);
+}
+
+TEST(Wfq, ParameterizedWeightRatios) {
+  struct case_t {
+    double w1, w2;
+  };
+  for (const auto& c : {case_t{1, 1}, case_t{2, 1}, case_t{5, 1}, case_t{10, 1}}) {
+    sched s;
+    s.configure_class(1, {.priority = 0, .weight = c.w1, .max_queue = 100000});
+    s.configure_class(2, {.priority = 0, .weight = c.w2, .max_queue = 100000});
+    for (int i = 0; i < 11000; ++i) {
+      s.enqueue(1, 1, 100);
+      s.enqueue(2, 2, 100);
+    }
+    std::map<int, int> released;
+    for (int i = 0; i < 11000; ++i) released[s.dequeue().value()]++;
+    const double expect = c.w1 / c.w2;
+    const double got = static_cast<double>(released[1]) / released[2];
+    EXPECT_NEAR(got, expect, expect * 0.1) << c.w1 << ":" << c.w2;
+  }
+}
+
+TEST(Wfq, ReleasedAndPendingCounters) {
+  sched s;
+  s.configure_class(1, {.priority = 0, .weight = 1.0});
+  s.enqueue(1, 1, 1);
+  s.enqueue(1, 2, 1);
+  EXPECT_EQ(s.pending(), 2u);
+  s.dequeue();
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.released(), 1u);
+}
+
+}  // namespace
+}  // namespace interedge::services

@@ -1,0 +1,160 @@
+#include "simnet/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace interedge::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Simulation, DeliversDatagramAfterLatency) {
+  simulation net;
+  bytes received;
+  time_point arrival{};
+  const node_id a = net.add_node(nullptr);
+  const node_id b = net.add_node([&](node_id from, const bytes& p) {
+    EXPECT_EQ(from, 0u);
+    received = p;
+    arrival = net.now();
+  });
+  net.set_link(a, b, {.latency = 1ms});
+
+  EXPECT_TRUE(net.send(a, b, to_bytes("hello")));
+  net.run();
+  EXPECT_EQ(to_string(received), "hello");
+  EXPECT_EQ(arrival.time_since_epoch(), 1ms);
+}
+
+TEST(Simulation, EventsExecuteInTimeOrder) {
+  simulation net;
+  std::vector<int> order;
+  net.after(3ms, [&] { order.push_back(3); });
+  net.after(1ms, [&] { order.push_back(1); });
+  net.after(2ms, [&] { order.push_back(2); });
+  net.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, SameTimeEventsExecuteInScheduleOrder) {
+  simulation net;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    net.after(1ms, [&order, i] { order.push_back(i); });
+  }
+  net.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, MtuDropsOversizedDatagram) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  const node_id b = net.add_node([](node_id, const bytes&) { FAIL() << "must not deliver"; });
+  net.set_link(a, b, {.mtu = 100});
+  EXPECT_FALSE(net.send(a, b, bytes(101, 0)));
+  net.run();
+  EXPECT_EQ(net.datagrams_dropped(), 1u);
+}
+
+TEST(Simulation, LossRateDropsDeterministically) {
+  simulation net_a(7), net_b(7);
+  auto run_one = [](simulation& net) {
+    const node_id a = net.add_node(nullptr);
+    int delivered = 0;
+    const node_id b = net.add_node([&delivered](node_id, const bytes&) { ++delivered; });
+    net.set_link(a, b, {.loss_rate = 0.5});
+    for (int i = 0; i < 1000; ++i) net.send(a, b, bytes{1});
+    net.run();
+    return delivered;
+  };
+  const int d1 = run_one(net_a);
+  const int d2 = run_one(net_b);
+  EXPECT_EQ(d1, d2);  // same seed, same outcome
+  EXPECT_GT(d1, 350);
+  EXPECT_LT(d1, 650);
+}
+
+TEST(Simulation, BandwidthSerializesBackToBack) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  std::vector<time_point> arrivals;
+  const node_id b = net.add_node([&](node_id, const bytes&) { arrivals.push_back(net.now()); });
+  // 8 Mbps -> a 1000-byte datagram takes 1 ms to serialize.
+  net.set_link(a, b, {.latency = 0ns, .bandwidth_bps = 8000000});
+  net.send(a, b, bytes(1000, 0));
+  net.send(a, b, bytes(1000, 0));
+  net.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].time_since_epoch(), 1ms);
+  EXPECT_EQ(arrivals[1].time_since_epoch(), 2ms);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  simulation net;
+  int fired = 0;
+  net.after(1ms, [&] { ++fired; });
+  net.after(10ms, [&] { ++fired; });
+  net.run_until(time_point(5ms));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(net.now().time_since_epoch(), 5ms);
+  net.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, TimersCanScheduleMoreWork) {
+  simulation net;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) net.after(1ms, recurse);
+  };
+  net.after(1ms, recurse);
+  net.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(net.now().time_since_epoch(), 5ms);
+}
+
+TEST(Simulation, TapObservesDeliveries) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  const node_id b = net.add_node([](node_id, const bytes&) {});
+  int tapped = 0;
+  net.set_tap([&](node_id from, node_id to, const bytes&) {
+    EXPECT_EQ(from, a);
+    EXPECT_EQ(to, b);
+    ++tapped;
+  });
+  net.send(a, b, bytes{1});
+  net.run();
+  EXPECT_EQ(tapped, 1);
+}
+
+TEST(Simulation, UnknownDestinationThrows) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  EXPECT_THROW(net.send(a, 99, bytes{1}), std::out_of_range);
+}
+
+TEST(Simulation, CountersTrackTraffic) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  const node_id b = net.add_node([](node_id, const bytes&) {});
+  net.send(a, b, bytes(10, 0));
+  net.send(a, b, bytes(20, 0));
+  net.run();
+  EXPECT_EQ(net.datagrams_sent(), 2u);
+  EXPECT_EQ(net.datagrams_delivered(), 2u);
+  EXPECT_EQ(net.bytes_sent(), 30u);
+}
+
+TEST(Simulation, DefaultLinkAppliesToUnconfiguredPairs) {
+  simulation net;
+  net.set_default_link({.latency = 7ms});
+  const node_id a = net.add_node(nullptr);
+  time_point arrival{};
+  const node_id b = net.add_node([&](node_id, const bytes&) { arrival = net.now(); });
+  net.send(a, b, bytes{1});
+  net.run();
+  EXPECT_EQ(arrival.time_since_epoch(), 7ms);
+}
+
+}  // namespace
+}  // namespace interedge::sim

@@ -1,0 +1,226 @@
+// Whole-system tests: many services running simultaneously on the same
+// InterEdge, exercising the claim that "different services need not
+// interfere with each other nor with traffic that does not need their
+// functionality" (§2.1), plus determinism and scale checks.
+#include <gtest/gtest.h>
+
+#include "deploy/deployment.h"
+#include "deploy/standard_services.h"
+#include "services/clients/content.h"
+#include "services/clients/multicast_client.h"
+#include "services/clients/pubsub_client.h"
+#include "services/clients/qos_client.h"
+#include "services/clients/queue_client.h"
+#include "services/ddos.h"
+
+namespace interedge {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(System, ConcurrentServicesDoNotInterfere) {
+  deploy::deployment d;
+  const auto west = d.add_edomain();
+  const auto east = d.add_edomain();
+  const auto sn_w = d.add_sn(west);
+  d.add_sn(west);
+  const auto sn_e = d.add_sn(east);
+  auto& a = d.add_host(west, sn_w);
+  auto& b = d.add_host(west);
+  auto& c = d.add_host(east, sn_e);
+  auto& e = d.add_host(east);
+  d.interconnect();
+  deploy::deploy_standard_services(d);
+
+  // 1. pub/sub conversation between a and c.
+  services::pubsub_client sub(*(&c)), pub(*(&a));
+  int chat = 0;
+  sub.subscribe("chat", [&](const std::string&, bytes) { ++chat; });
+
+  // 2. CDN fetches from b against an origin at e.
+  services::content_origin origin(e);
+  origin.put("asset", bytes(500, 1));
+  services::content_client cdn(b);
+  int fetched = 0;
+
+  // 3. Message queue between a (producer) and c (consumer).
+  services::queue_client mq_prod(a), mq_cons(c);
+  int jobs = 0;
+  mq_cons.set_message_handler([&](const std::string& q, std::uint64_t seq, bytes) {
+    ++jobs;
+    mq_cons.ack(q, seq);
+  });
+
+  // 4. Plain delivery traffic that uses none of the above, to a host
+  //    whose delivery service is otherwise unused (e runs the CDN origin,
+  //    whose handler owns svc::delivery there).
+  int plain = 0;
+  c.set_default_handler([&](const ilp::ilp_header&, bytes) { ++plain; });
+
+  d.run();
+  mq_prod.create("work");
+  d.run();
+
+  // Interleave everything.
+  for (int round = 0; round < 5; ++round) {
+    pub.publish("chat", to_bytes("m"));
+    cdn.fetch(e.addr(), "asset", [&](const std::string&, bytes) { ++fetched; });
+    mq_prod.push("work", to_bytes("job"));
+    a.send_to(c.addr(), ilp::svc::delivery, to_bytes("plain"));
+    d.run();
+    mq_cons.pop("work");
+    d.run();
+  }
+
+  EXPECT_EQ(chat, 5);
+  EXPECT_EQ(fetched, 5);
+  EXPECT_EQ(jobs, 5);
+  EXPECT_EQ(plain, 5);
+}
+
+TEST(System, DdosAttackDoesNotDegradeOtherTenants) {
+  // An attack on one protected host is shed at the edge; an unrelated
+  // pub/sub conversation through the same SN keeps flowing.
+  deploy::deployment d;
+  const auto west = d.add_edomain();
+  const auto east = d.add_edomain();
+  const auto sn_w = d.add_sn(west);
+  const auto sn_e = d.add_sn(east);
+  auto& victim = d.add_host(west, sn_w);
+  auto& bystander_pub = d.add_host(east, sn_e);
+  auto& bystander_sub = d.add_host(west, sn_w);
+  auto& attacker = d.add_host(east, sn_e);
+  d.interconnect();
+  deploy::deploy_standard_services(d);
+
+  // Victim opts into protection.
+  ilp::ilp_header protect;
+  protect.service = ilp::svc::ddos_protect;
+  protect.connection = 1;
+  protect.flags = ilp::kFlagControl | ilp::kFlagFromHost;
+  protect.set_meta_str(ilp::meta_key::control_op, services::ops::protect);
+  protect.set_meta_u64(ilp::meta_key::src_addr, victim.addr());
+  victim.pipes().send(victim.first_hop_sn(), protect, {});
+  d.run();
+
+  services::pubsub_client sub(bystander_sub), pub(bystander_pub);
+  int delivered = 0;
+  sub.subscribe("weather", [&](const std::string&, bytes) { ++delivered; });
+  d.run();
+
+  // 200 attack packets interleaved with 10 legitimate publishes.
+  int victim_hits = 0;
+  victim.set_default_handler([&](const ilp::ilp_header&, bytes) { ++victim_hits; });
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      ilp::ilp_header flood;
+      flood.service = ilp::svc::ddos_protect;
+      flood.connection = 77;  // one connection: shed on the fast path
+      flood.flags = ilp::kFlagFromHost;
+      flood.set_meta_u64(ilp::meta_key::src_addr, attacker.addr());
+      flood.set_meta_u64(ilp::meta_key::dest_addr, victim.addr());
+      attacker.pipes().send(attacker.first_hop_sn(), flood, bytes(1000, 0xff));
+    }
+    pub.publish("weather", to_bytes("sunny"));
+    d.run();
+  }
+
+  EXPECT_EQ(victim_hits, 0);
+  EXPECT_EQ(delivered, 10);  // bystanders unaffected
+  auto* ddos = static_cast<services::ddos_service*>(
+      d.sn(sn_w).env().module_for(ilp::svc::ddos_protect));
+  EXPECT_GE(ddos->denied(), 1u);
+  EXPECT_GE(d.sn(sn_w).cache().stats().hits, 150u);  // shed without service work
+}
+
+TEST(System, SimulationIsDeterministic) {
+  // Two identical deployments produce byte-identical delivery traces.
+  auto run_trace = [](std::uint64_t seed) {
+    deploy::deployment d(deploy::deployment_config{.seed = seed});
+    const auto west = d.add_edomain();
+    const auto east = d.add_edomain();
+    d.add_sn(west);
+    d.add_sn(east);
+    auto& a = d.add_host(west);
+    auto& b = d.add_host(east);
+    d.interconnect();
+    deploy::deploy_standard_services(d);
+
+    std::vector<std::tuple<std::uint64_t, std::uint64_t, std::size_t, std::int64_t>> trace;
+    d.net().set_tap([&](sim::node_id from, sim::node_id to, const bytes& data) {
+      trace.emplace_back(from, to, data.size(), d.net().now().time_since_epoch().count());
+    });
+    b.set_default_handler([](const ilp::ilp_header&, bytes) {});
+    for (int i = 0; i < 20; ++i) a.send_to(b.addr(), ilp::svc::delivery, bytes(100, 0x11));
+    d.run();
+    return trace;
+  };
+  // Note: packet *contents* differ run to run (fresh handshake keys), but
+  // the behavioral trace (who, to whom, how big, when) must be identical.
+  const auto t1 = run_trace(33);
+  const auto t2 = run_trace(33);
+  EXPECT_EQ(t1, t2);
+  EXPECT_GT(t1.size(), 20u);
+}
+
+TEST(System, TenEdomainFullMeshAtModestScale) {
+  deploy::deployment d;
+  std::vector<deploy::edomain_id> domains;
+  std::vector<host::edge_addr> hosts;
+  for (int i = 0; i < 10; ++i) {
+    domains.push_back(d.add_edomain());
+    d.add_sn(domains.back());
+    hosts.push_back(d.add_host(domains.back()).addr());
+  }
+  d.interconnect();
+  deploy::deploy_standard_services(d);
+
+  // 45 peering pipes (10 choose 2) must exist.
+  int pipes = 0;
+  for (auto dom : domains) {
+    pipes += static_cast<int>(d.core_of(dom).peered_edomains().size());
+  }
+  EXPECT_EQ(pipes, 10 * 9);
+
+  // A global pub/sub topic with one subscriber per edomain.
+  std::vector<std::unique_ptr<services::pubsub_client>> clients;
+  int delivered = 0;
+  for (auto addr : hosts) {
+    clients.push_back(std::make_unique<services::pubsub_client>(d.host_at(addr)));
+    clients.back()->subscribe("world", [&](const std::string&, bytes) { ++delivered; });
+  }
+  d.run();
+  clients[0]->publish("world", to_bytes("broadcast"));
+  d.run();
+  EXPECT_EQ(delivered, 9);  // everyone but the publisher
+
+  // Settlement stays zero across all pairs regardless of traffic volume.
+  for (auto a : domains) {
+    for (auto b : domains) {
+      EXPECT_EQ(d.ledger().settlement_due(a, b), 0);
+    }
+  }
+}
+
+TEST(System, MetricsReportSurfacesDatapathCounters) {
+  deploy::deployment d;
+  const auto dom = d.add_edomain();
+  const auto sn = d.add_sn(dom);
+  auto& a = d.add_host(dom);
+  auto& b = d.add_host(dom);
+  d.interconnect();
+  deploy::deploy_standard_services(d);
+
+  services::pubsub_client sub(b), pub(a);
+  sub.subscribe("t", [](const std::string&, bytes) {});
+  d.run();
+  pub.publish("t", to_bytes("m"));
+  d.run();
+
+  const std::string report = d.sn(sn).metrics().report();
+  EXPECT_NE(report.find("pubsub.published"), std::string::npos);
+  EXPECT_NE(report.find("fanout.origin_packets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace interedge

@@ -1,0 +1,112 @@
+// Parameterized topology sweeps: invariants that must hold for any
+// deployment shape (edomain count x SNs-per-edomain x hosts-per-edomain,
+// gateway vs direct inter-domain).
+#include <gtest/gtest.h>
+
+#include "deploy/deployment.h"
+#include "deploy/standard_services.h"
+#include "services/clients/pubsub_client.h"
+
+namespace interedge {
+namespace {
+
+struct shape {
+  int edomains;
+  int sns_per_domain;
+  int hosts_per_domain;
+  bool direct;
+};
+
+std::string shape_name(const ::testing::TestParamInfo<shape>& info) {
+  return std::to_string(info.param.edomains) + "d" +
+         std::to_string(info.param.sns_per_domain) + "s" +
+         std::to_string(info.param.hosts_per_domain) + "h" +
+         (info.param.direct ? "Direct" : "Gateway");
+}
+
+class TopologySweep : public ::testing::TestWithParam<shape> {
+ protected:
+  void build() {
+    const shape s = GetParam();
+    d = std::make_unique<deploy::deployment>(
+        deploy::deployment_config{.direct_interdomain = s.direct});
+    for (int e = 0; e < s.edomains; ++e) {
+      const auto dom = d->add_edomain();
+      domains.push_back(dom);
+      for (int n = 0; n < s.sns_per_domain; ++n) d->add_sn(dom);
+      for (int h = 0; h < s.hosts_per_domain; ++h) {
+        const auto sns = d->sns_in(dom);
+        hosts.push_back(d->add_host(dom, sns[h % sns.size()]).addr());
+      }
+    }
+    d->interconnect();
+    deploy::deploy_standard_services(*d);
+  }
+
+  std::unique_ptr<deploy::deployment> d;
+  std::vector<deploy::edomain_id> domains;
+  std::vector<host::edge_addr> hosts;
+};
+
+TEST_P(TopologySweep, AnyToAnyDelivery) {
+  build();
+  // "a neutral network that can support any-to-any communication" (§2.2).
+  std::map<host::edge_addr, int> received;
+  for (auto addr : hosts) {
+    d->host_at(addr).set_default_handler(
+        [&received, addr](const ilp::ilp_header&, bytes) { ++received[addr]; });
+  }
+  int expected_per_host = 0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    d->host_at(hosts[i]).send_to(hosts[(i + 1) % hosts.size()], ilp::svc::delivery,
+                                 to_bytes("ring"));
+  }
+  expected_per_host = 1;
+  d->run();
+  for (auto addr : hosts) {
+    EXPECT_EQ(received[addr], expected_per_host) << "host " << addr;
+  }
+}
+
+TEST_P(TopologySweep, GlobalPubSubExactlyOnce) {
+  build();
+  std::vector<std::unique_ptr<services::pubsub_client>> clients;
+  std::map<host::edge_addr, int> delivered;
+  for (auto addr : hosts) {
+    clients.push_back(std::make_unique<services::pubsub_client>(d->host_at(addr)));
+    clients.back()->subscribe("sweep", [&delivered, addr](const std::string&, bytes) {
+      ++delivered[addr];
+    });
+  }
+  d->run();
+  clients[0]->publish("sweep", to_bytes("once"));
+  d->run();
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    EXPECT_EQ(delivered[hosts[i]], 1) << "host " << hosts[i];
+  }
+  EXPECT_EQ(delivered[hosts[0]], 0);  // no self-echo
+}
+
+TEST_P(TopologySweep, SettlementAlwaysZero) {
+  build();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    d->host_at(hosts[i]).send_to(hosts[(i * 7 + 1) % hosts.size()], ilp::svc::delivery,
+                                 bytes(200, 1));
+  }
+  d->run();
+  for (auto a : domains) {
+    for (auto b : domains) {
+      EXPECT_EQ(d->ledger().settlement_due(a, b), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologySweep,
+    ::testing::Values(shape{2, 1, 2, false}, shape{2, 1, 2, true}, shape{3, 2, 2, false},
+                      shape{3, 2, 2, true}, shape{5, 1, 1, false}, shape{4, 3, 3, false},
+                      shape{6, 2, 1, true}),
+    shape_name);
+
+}  // namespace
+}  // namespace interedge
