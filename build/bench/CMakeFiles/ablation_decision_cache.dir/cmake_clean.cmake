@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decision_cache.dir/ablation_decision_cache.cpp.o"
+  "CMakeFiles/ablation_decision_cache.dir/ablation_decision_cache.cpp.o.d"
+  "ablation_decision_cache"
+  "ablation_decision_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decision_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

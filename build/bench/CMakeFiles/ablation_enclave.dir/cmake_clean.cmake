@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enclave.dir/ablation_enclave.cpp.o"
+  "CMakeFiles/ablation_enclave.dir/ablation_enclave.cpp.o.d"
+  "ablation_enclave"
+  "ablation_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

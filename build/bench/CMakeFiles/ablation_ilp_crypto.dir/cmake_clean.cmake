@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ilp_crypto.dir/ablation_ilp_crypto.cpp.o"
+  "CMakeFiles/ablation_ilp_crypto.dir/ablation_ilp_crypto.cpp.o.d"
+  "ablation_ilp_crypto"
+  "ablation_ilp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ilp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_services.dir/ablation_services.cpp.o"
+  "CMakeFiles/ablation_services.dir/ablation_services.cpp.o.d"
+  "ablation_services"
+  "ablation_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peering_scale.dir/peering_scale.cpp.o"
+  "CMakeFiles/peering_scale.dir/peering_scale.cpp.o.d"
+  "peering_scale"
+  "peering_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peering_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_enclave.dir/table1_enclave.cpp.o"
+  "CMakeFiles/table1_enclave.dir/table1_enclave.cpp.o.d"
+  "table1_enclave"
+  "table1_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

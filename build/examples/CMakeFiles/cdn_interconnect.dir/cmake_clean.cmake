@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_interconnect.dir/cdn_interconnect.cpp.o"
+  "CMakeFiles/cdn_interconnect.dir/cdn_interconnect.cpp.o.d"
+  "cdn_interconnect"
+  "cdn_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

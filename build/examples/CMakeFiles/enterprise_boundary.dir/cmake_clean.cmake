@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_boundary.dir/enterprise_boundary.cpp.o"
+  "CMakeFiles/enterprise_boundary.dir/enterprise_boundary.cpp.o.d"
+  "enterprise_boundary"
+  "enterprise_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

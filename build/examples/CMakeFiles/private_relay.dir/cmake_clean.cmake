@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_relay.dir/private_relay.cpp.o"
+  "CMakeFiles/private_relay.dir/private_relay.cpp.o.d"
+  "private_relay"
+  "private_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_chat.dir/pubsub_chat.cpp.o"
+  "CMakeFiles/pubsub_chat.dir/pubsub_chat.cpp.o.d"
+  "pubsub_chat"
+  "pubsub_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_household.dir/qos_household.cpp.o"
+  "CMakeFiles/qos_household.dir/qos_household.cpp.o.d"
+  "qos_household"
+  "qos_household.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_household.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_live.dir/udp_live.cpp.o"
+  "CMakeFiles/udp_live.dir/udp_live.cpp.o.d"
+  "udp_live"
+  "udp_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("simnet")
+subdirs("net")
+subdirs("ilp")
+subdirs("enclave")
+subdirs("core")
+subdirs("lookup")
+subdirs("edomain")
+subdirs("host")
+subdirs("deploy")
+subdirs("services")
+subdirs("tunnel")

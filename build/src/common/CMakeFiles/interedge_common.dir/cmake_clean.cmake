@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_common.dir/clock.cpp.o"
+  "CMakeFiles/interedge_common.dir/clock.cpp.o.d"
+  "CMakeFiles/interedge_common.dir/flags.cpp.o"
+  "CMakeFiles/interedge_common.dir/flags.cpp.o.d"
+  "CMakeFiles/interedge_common.dir/logging.cpp.o"
+  "CMakeFiles/interedge_common.dir/logging.cpp.o.d"
+  "CMakeFiles/interedge_common.dir/metrics.cpp.o"
+  "CMakeFiles/interedge_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/interedge_common.dir/rng.cpp.o"
+  "CMakeFiles/interedge_common.dir/rng.cpp.o.d"
+  "CMakeFiles/interedge_common.dir/serial.cpp.o"
+  "CMakeFiles/interedge_common.dir/serial.cpp.o.d"
+  "libinteredge_common.a"
+  "libinteredge_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/interedge_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/interedge_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/decision_cache.cpp" "src/core/CMakeFiles/interedge_core.dir/decision_cache.cpp.o" "gcc" "src/core/CMakeFiles/interedge_core.dir/decision_cache.cpp.o.d"
+  "/root/repo/src/core/exec_env.cpp" "src/core/CMakeFiles/interedge_core.dir/exec_env.cpp.o" "gcc" "src/core/CMakeFiles/interedge_core.dir/exec_env.cpp.o.d"
+  "/root/repo/src/core/offpath.cpp" "src/core/CMakeFiles/interedge_core.dir/offpath.cpp.o" "gcc" "src/core/CMakeFiles/interedge_core.dir/offpath.cpp.o.d"
+  "/root/repo/src/core/pipe_terminus.cpp" "src/core/CMakeFiles/interedge_core.dir/pipe_terminus.cpp.o" "gcc" "src/core/CMakeFiles/interedge_core.dir/pipe_terminus.cpp.o.d"
+  "/root/repo/src/core/service_node.cpp" "src/core/CMakeFiles/interedge_core.dir/service_node.cpp.o" "gcc" "src/core/CMakeFiles/interedge_core.dir/service_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/interedge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/interedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/interedge_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_core.dir/channel.cpp.o"
+  "CMakeFiles/interedge_core.dir/channel.cpp.o.d"
+  "CMakeFiles/interedge_core.dir/decision_cache.cpp.o"
+  "CMakeFiles/interedge_core.dir/decision_cache.cpp.o.d"
+  "CMakeFiles/interedge_core.dir/exec_env.cpp.o"
+  "CMakeFiles/interedge_core.dir/exec_env.cpp.o.d"
+  "CMakeFiles/interedge_core.dir/offpath.cpp.o"
+  "CMakeFiles/interedge_core.dir/offpath.cpp.o.d"
+  "CMakeFiles/interedge_core.dir/pipe_terminus.cpp.o"
+  "CMakeFiles/interedge_core.dir/pipe_terminus.cpp.o.d"
+  "CMakeFiles/interedge_core.dir/service_node.cpp.o"
+  "CMakeFiles/interedge_core.dir/service_node.cpp.o.d"
+  "libinteredge_core.a"
+  "libinteredge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/aead.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/aead.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/kdf.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/kdf.cpp.o.d"
+  "/root/repo/src/crypto/poly1305.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/poly1305.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/poly1305.cpp.o.d"
+  "/root/repo/src/crypto/psp.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/psp.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/psp.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/random.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/random.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/siphash.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/siphash.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/siphash.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/crypto/CMakeFiles/interedge_crypto.dir/x25519.cpp.o" "gcc" "src/crypto/CMakeFiles/interedge_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/interedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_crypto.dir/aead.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/psp.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/psp.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/random.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/random.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/siphash.cpp.o.d"
+  "CMakeFiles/interedge_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/interedge_crypto.dir/x25519.cpp.o.d"
+  "libinteredge_crypto.a"
+  "libinteredge_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_deploy.dir/deployment.cpp.o"
+  "CMakeFiles/interedge_deploy.dir/deployment.cpp.o.d"
+  "CMakeFiles/interedge_deploy.dir/standard_services.cpp.o"
+  "CMakeFiles/interedge_deploy.dir/standard_services.cpp.o.d"
+  "libinteredge_deploy.a"
+  "libinteredge_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edomain/domain_core.cpp" "src/edomain/CMakeFiles/interedge_edomain.dir/domain_core.cpp.o" "gcc" "src/edomain/CMakeFiles/interedge_edomain.dir/domain_core.cpp.o.d"
+  "/root/repo/src/edomain/peering.cpp" "src/edomain/CMakeFiles/interedge_edomain.dir/peering.cpp.o" "gcc" "src/edomain/CMakeFiles/interedge_edomain.dir/peering.cpp.o.d"
+  "/root/repo/src/edomain/pricing.cpp" "src/edomain/CMakeFiles/interedge_edomain.dir/pricing.cpp.o" "gcc" "src/edomain/CMakeFiles/interedge_edomain.dir/pricing.cpp.o.d"
+  "/root/repo/src/edomain/routing.cpp" "src/edomain/CMakeFiles/interedge_edomain.dir/routing.cpp.o" "gcc" "src/edomain/CMakeFiles/interedge_edomain.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/interedge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/interedge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lookup/CMakeFiles/interedge_lookup.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/interedge_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/interedge_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_edomain.dir/domain_core.cpp.o"
+  "CMakeFiles/interedge_edomain.dir/domain_core.cpp.o.d"
+  "CMakeFiles/interedge_edomain.dir/peering.cpp.o"
+  "CMakeFiles/interedge_edomain.dir/peering.cpp.o.d"
+  "CMakeFiles/interedge_edomain.dir/pricing.cpp.o"
+  "CMakeFiles/interedge_edomain.dir/pricing.cpp.o.d"
+  "CMakeFiles/interedge_edomain.dir/routing.cpp.o"
+  "CMakeFiles/interedge_edomain.dir/routing.cpp.o.d"
+  "libinteredge_edomain.a"
+  "libinteredge_edomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_edomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for interedge_edomain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_enclave.dir/attestation.cpp.o"
+  "CMakeFiles/interedge_enclave.dir/attestation.cpp.o.d"
+  "CMakeFiles/interedge_enclave.dir/enclave.cpp.o"
+  "CMakeFiles/interedge_enclave.dir/enclave.cpp.o.d"
+  "libinteredge_enclave.a"
+  "libinteredge_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

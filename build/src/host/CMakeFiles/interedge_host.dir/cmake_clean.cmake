@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_host.dir/host_stack.cpp.o"
+  "CMakeFiles/interedge_host.dir/host_stack.cpp.o.d"
+  "libinteredge_host.a"
+  "libinteredge_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ilp/header.cpp" "src/ilp/CMakeFiles/interedge_ilp.dir/header.cpp.o" "gcc" "src/ilp/CMakeFiles/interedge_ilp.dir/header.cpp.o.d"
+  "/root/repo/src/ilp/pipe.cpp" "src/ilp/CMakeFiles/interedge_ilp.dir/pipe.cpp.o" "gcc" "src/ilp/CMakeFiles/interedge_ilp.dir/pipe.cpp.o.d"
+  "/root/repo/src/ilp/pipe_manager.cpp" "src/ilp/CMakeFiles/interedge_ilp.dir/pipe_manager.cpp.o" "gcc" "src/ilp/CMakeFiles/interedge_ilp.dir/pipe_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/interedge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/interedge_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_ilp.dir/header.cpp.o"
+  "CMakeFiles/interedge_ilp.dir/header.cpp.o.d"
+  "CMakeFiles/interedge_ilp.dir/pipe.cpp.o"
+  "CMakeFiles/interedge_ilp.dir/pipe.cpp.o.d"
+  "CMakeFiles/interedge_ilp.dir/pipe_manager.cpp.o"
+  "CMakeFiles/interedge_ilp.dir/pipe_manager.cpp.o.d"
+  "libinteredge_ilp.a"
+  "libinteredge_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

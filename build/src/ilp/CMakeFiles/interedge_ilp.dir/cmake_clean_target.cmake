@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinteredge_ilp.a"
+)

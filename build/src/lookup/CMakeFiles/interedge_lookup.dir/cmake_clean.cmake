@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_lookup.dir/lookup_service.cpp.o"
+  "CMakeFiles/interedge_lookup.dir/lookup_service.cpp.o.d"
+  "libinteredge_lookup.a"
+  "libinteredge_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_net.dir/udp_transport.cpp.o"
+  "CMakeFiles/interedge_net.dir/udp_transport.cpp.o.d"
+  "libinteredge_net.a"
+  "libinteredge_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/anycast.cpp" "src/services/CMakeFiles/interedge_services.dir/anycast.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/anycast.cpp.o.d"
+  "/root/repo/src/services/bulk_delivery.cpp" "src/services/CMakeFiles/interedge_services.dir/bulk_delivery.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/bulk_delivery.cpp.o.d"
+  "/root/repo/src/services/clients/bulk_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/bulk_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/bulk_client.cpp.o.d"
+  "/root/repo/src/services/clients/cluster_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/cluster_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/cluster_client.cpp.o.d"
+  "/root/repo/src/services/clients/content.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/content.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/content.cpp.o.d"
+  "/root/repo/src/services/clients/mixnet_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/mixnet_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/mixnet_client.cpp.o.d"
+  "/root/repo/src/services/clients/mobility_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/mobility_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/mobility_client.cpp.o.d"
+  "/root/repo/src/services/clients/multicast_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/multicast_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/multicast_client.cpp.o.d"
+  "/root/repo/src/services/clients/odns_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/odns_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/odns_client.cpp.o.d"
+  "/root/repo/src/services/clients/pubsub_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/pubsub_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/pubsub_client.cpp.o.d"
+  "/root/repo/src/services/clients/queue_client.cpp" "src/services/CMakeFiles/interedge_services.dir/clients/queue_client.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/clients/queue_client.cpp.o.d"
+  "/root/repo/src/services/cluster_interconnect.cpp" "src/services/CMakeFiles/interedge_services.dir/cluster_interconnect.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/cluster_interconnect.cpp.o.d"
+  "/root/repo/src/services/ddos.cpp" "src/services/CMakeFiles/interedge_services.dir/ddos.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/ddos.cpp.o.d"
+  "/root/repo/src/services/delivery.cpp" "src/services/CMakeFiles/interedge_services.dir/delivery.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/delivery.cpp.o.d"
+  "/root/repo/src/services/envelope.cpp" "src/services/CMakeFiles/interedge_services.dir/envelope.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/envelope.cpp.o.d"
+  "/root/repo/src/services/fanout.cpp" "src/services/CMakeFiles/interedge_services.dir/fanout.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/fanout.cpp.o.d"
+  "/root/repo/src/services/message_queue.cpp" "src/services/CMakeFiles/interedge_services.dir/message_queue.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/message_queue.cpp.o.d"
+  "/root/repo/src/services/mixnet.cpp" "src/services/CMakeFiles/interedge_services.dir/mixnet.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/mixnet.cpp.o.d"
+  "/root/repo/src/services/mobility.cpp" "src/services/CMakeFiles/interedge_services.dir/mobility.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/mobility.cpp.o.d"
+  "/root/repo/src/services/multicast.cpp" "src/services/CMakeFiles/interedge_services.dir/multicast.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/multicast.cpp.o.d"
+  "/root/repo/src/services/odns.cpp" "src/services/CMakeFiles/interedge_services.dir/odns.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/odns.cpp.o.d"
+  "/root/repo/src/services/ordered_delivery.cpp" "src/services/CMakeFiles/interedge_services.dir/ordered_delivery.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/ordered_delivery.cpp.o.d"
+  "/root/repo/src/services/pubsub.cpp" "src/services/CMakeFiles/interedge_services.dir/pubsub.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/pubsub.cpp.o.d"
+  "/root/repo/src/services/qos.cpp" "src/services/CMakeFiles/interedge_services.dir/qos.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/qos.cpp.o.d"
+  "/root/repo/src/services/streaming.cpp" "src/services/CMakeFiles/interedge_services.dir/streaming.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/streaming.cpp.o.d"
+  "/root/repo/src/services/vpn.cpp" "src/services/CMakeFiles/interedge_services.dir/vpn.cpp.o" "gcc" "src/services/CMakeFiles/interedge_services.dir/vpn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/interedge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/edomain/CMakeFiles/interedge_edomain.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/interedge_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/lookup/CMakeFiles/interedge_lookup.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/interedge_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/interedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/interedge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

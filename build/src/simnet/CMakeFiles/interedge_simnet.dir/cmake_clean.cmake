@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_simnet.dir/simulation.cpp.o"
+  "CMakeFiles/interedge_simnet.dir/simulation.cpp.o.d"
+  "libinteredge_simnet.a"
+  "libinteredge_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interedge_tunnel.dir/tunnel.cpp.o"
+  "CMakeFiles/interedge_tunnel.dir/tunnel.cpp.o.d"
+  "libinteredge_tunnel.a"
+  "libinteredge_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interedge_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/channel_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/channel_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/decision_cache_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/decision_cache_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/exec_env_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/exec_env_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/offpath_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/offpath_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pipe_terminus_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pipe_terminus_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/service_node_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/service_node_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/aead_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/chacha20_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/chacha20_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/kdf_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/kdf_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/poly1305_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/poly1305_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/psp_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/psp_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/sha256_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/siphash_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/siphash_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

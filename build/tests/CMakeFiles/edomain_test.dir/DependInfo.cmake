@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edomain/domain_core_test.cpp" "tests/CMakeFiles/edomain_test.dir/edomain/domain_core_test.cpp.o" "gcc" "tests/CMakeFiles/edomain_test.dir/edomain/domain_core_test.cpp.o.d"
+  "/root/repo/tests/edomain/pricing_test.cpp" "tests/CMakeFiles/edomain_test.dir/edomain/pricing_test.cpp.o" "gcc" "tests/CMakeFiles/edomain_test.dir/edomain/pricing_test.cpp.o.d"
+  "/root/repo/tests/edomain/routing_test.cpp" "tests/CMakeFiles/edomain_test.dir/edomain/routing_test.cpp.o" "gcc" "tests/CMakeFiles/edomain_test.dir/edomain/routing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/interedge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/edomain/CMakeFiles/interedge_edomain.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/interedge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lookup/CMakeFiles/interedge_lookup.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/interedge_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/interedge_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

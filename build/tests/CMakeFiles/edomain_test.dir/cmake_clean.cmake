@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edomain_test.dir/edomain/domain_core_test.cpp.o"
+  "CMakeFiles/edomain_test.dir/edomain/domain_core_test.cpp.o.d"
+  "CMakeFiles/edomain_test.dir/edomain/pricing_test.cpp.o"
+  "CMakeFiles/edomain_test.dir/edomain/pricing_test.cpp.o.d"
+  "CMakeFiles/edomain_test.dir/edomain/routing_test.cpp.o"
+  "CMakeFiles/edomain_test.dir/edomain/routing_test.cpp.o.d"
+  "edomain_test"
+  "edomain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edomain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/services/cluster_test.cpp" "tests/CMakeFiles/services_test.dir/services/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/cluster_test.cpp.o.d"
+  "/root/repo/tests/services/delivery_test.cpp" "tests/CMakeFiles/services_test.dir/services/delivery_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/delivery_test.cpp.o.d"
+  "/root/repo/tests/services/envelope_test.cpp" "tests/CMakeFiles/services_test.dir/services/envelope_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/envelope_test.cpp.o.d"
+  "/root/repo/tests/services/mobility_test.cpp" "tests/CMakeFiles/services_test.dir/services/mobility_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/mobility_test.cpp.o.d"
+  "/root/repo/tests/services/multicast_anycast_test.cpp" "tests/CMakeFiles/services_test.dir/services/multicast_anycast_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/multicast_anycast_test.cpp.o.d"
+  "/root/repo/tests/services/ngfw_attest_test.cpp" "tests/CMakeFiles/services_test.dir/services/ngfw_attest_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/ngfw_attest_test.cpp.o.d"
+  "/root/repo/tests/services/pass_through_test.cpp" "tests/CMakeFiles/services_test.dir/services/pass_through_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/pass_through_test.cpp.o.d"
+  "/root/repo/tests/services/privacy_test.cpp" "tests/CMakeFiles/services_test.dir/services/privacy_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/privacy_test.cpp.o.d"
+  "/root/repo/tests/services/pubsub_test.cpp" "tests/CMakeFiles/services_test.dir/services/pubsub_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/pubsub_test.cpp.o.d"
+  "/root/repo/tests/services/qos_test.cpp" "tests/CMakeFiles/services_test.dir/services/qos_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/qos_test.cpp.o.d"
+  "/root/repo/tests/services/resilience_test.cpp" "tests/CMakeFiles/services_test.dir/services/resilience_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/resilience_test.cpp.o.d"
+  "/root/repo/tests/services/security_test.cpp" "tests/CMakeFiles/services_test.dir/services/security_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/security_test.cpp.o.d"
+  "/root/repo/tests/services/specialty_test.cpp" "tests/CMakeFiles/services_test.dir/services/specialty_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/specialty_test.cpp.o.d"
+  "/root/repo/tests/services/streaming_test.cpp" "tests/CMakeFiles/services_test.dir/services/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/streaming_test.cpp.o.d"
+  "/root/repo/tests/services/wfq_test.cpp" "tests/CMakeFiles/services_test.dir/services/wfq_test.cpp.o" "gcc" "tests/CMakeFiles/services_test.dir/services/wfq_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/interedge_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/interedge_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/interedge_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/enclave/CMakeFiles/interedge_enclave.dir/DependInfo.cmake"
+  "/root/repo/build/src/edomain/CMakeFiles/interedge_edomain.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/interedge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/interedge_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/lookup/CMakeFiles/interedge_lookup.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/interedge_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/interedge_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/interedge_simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services_test.dir/services/cluster_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/cluster_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/delivery_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/delivery_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/envelope_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/envelope_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/mobility_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/mobility_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/multicast_anycast_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/multicast_anycast_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/ngfw_attest_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/ngfw_attest_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/pass_through_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/pass_through_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/privacy_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/privacy_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/pubsub_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/pubsub_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/qos_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/qos_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/resilience_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/resilience_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/security_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/security_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/specialty_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/specialty_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/streaming_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/streaming_test.cpp.o.d"
+  "CMakeFiles/services_test.dir/services/wfq_test.cpp.o"
+  "CMakeFiles/services_test.dir/services/wfq_test.cpp.o.d"
+  "services_test"
+  "services_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_test.dir/simnet/simulation_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/simnet/simulation_test.cpp.o.d"
+  "simnet_test"
+  "simnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunnel_test.dir/tunnel/tunnel_test.cpp.o"
+  "CMakeFiles/tunnel_test.dir/tunnel/tunnel_test.cpp.o.d"
+  "tunnel_test"
+  "tunnel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunnel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
