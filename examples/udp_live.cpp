@@ -67,7 +67,10 @@ int main(int argc, char** argv) {
 
   loop.attach(ep_alice, [&](net::peer_id f, const_byte_span d) { alice.on_datagram(f, d); });
   loop.attach(ep_bob, [&](net::peer_id f, const_byte_span d) { bob.on_datagram(f, d); });
-  loop.attach(ep_sn, [&](net::peer_id f, const_byte_span d) { sn.on_datagram(f, d); });
+  // The SN drains its socket a batch at a time (recvmmsg) and pumps the
+  // batched ingress datapath; the hosts stay on the per-packet path.
+  loop.attach_batch(ep_sn,
+                    [&](std::span<std::pair<net::peer_id, bytes>> ds) { sn.on_datagrams(ds); });
 
   int delivered = 0;
   bob.set_default_handler([&](const ilp::ilp_header& h, bytes payload) {

@@ -40,6 +40,9 @@ class writer {
   const bytes& data() const { return buf_; }
   bytes take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
+  // Drops the contents but keeps the capacity — lets hot paths reuse one
+  // writer as scratch without reallocating per packet.
+  void clear() { buf_.clear(); }
 
  private:
   bytes buf_;

@@ -23,7 +23,11 @@ std::size_t decision_cache::key_hash::operator()(const cache_key& k) const {
 }
 
 decision_cache::decision_cache(std::size_t capacity, std::uint64_t hash_seed)
-    : index_(16, key_hash{seed_to_key(hash_seed)}), capacity_(capacity == 0 ? 1 : capacity) {}
+    : index_(16, key_hash{seed_to_key(hash_seed)}), capacity_(capacity == 0 ? 1 : capacity) {
+  // Size the index for the full working set up front so steady-state
+  // lookups and inserts never trigger a rehash on the fast path.
+  index_.reserve(capacity_);
+}
 
 std::optional<decision> decision_cache::lookup(const cache_key& key) {
   auto it = index_.find(key);
@@ -48,10 +52,18 @@ void decision_cache::insert(const cache_key& key, decision d) {
     return;
   }
   if (entries_.size() >= capacity_) {
-    const entry& victim = entries_.back();
-    index_.erase(victim.key);
-    entries_.pop_back();
+    // Recycle the LRU node in place instead of pop+push: an insert at
+    // capacity (the steady state) performs no list-node allocation.
+    auto victim = std::prev(entries_.end());
+    index_.erase(victim->key);
+    victim->key = key;
+    victim->value = std::move(d);
+    victim->hits = 0;
+    entries_.splice(entries_.begin(), entries_, victim);
+    index_[key] = entries_.begin();
     ++stats_.evictions;
+    ++stats_.inserts;
+    return;
   }
   entries_.push_front(entry{key, std::move(d), 0});
   index_[key] = entries_.begin();

@@ -37,6 +37,53 @@ void pipe_terminus::handle(packet pkt) {
   pump();
 }
 
+void pipe_terminus::handle_batch(std::span<packet> pkts) {
+  // Same-key run memo: bursts from one flow pay for one cache lookup.
+  bool have_memo = false;
+  cache_key memo_key{};
+  decision memo_decision;
+  bool submitted = false;
+
+  for (packet& pkt : pkts) {
+    ++stats_.received;
+    const bool is_control = (pkt.header.flags & ilp::kFlagControl) != 0;
+    if (!is_control) {
+      const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
+      if (have_memo && key == memo_key) {
+        ++stats_.fast_path;
+        apply(memo_decision, pkt.header, pkt.payload);
+        continue;
+      }
+      if (auto d = cache_.lookup(key)) {
+        ++stats_.fast_path;
+        apply(*d, pkt.header, pkt.payload);
+        memo_key = key;
+        memo_decision = std::move(*d);
+        have_memo = true;
+        continue;
+      }
+    }
+
+    ++stats_.slow_path;
+    slowpath_request req;
+    req.token = next_token_++;
+    req.l3_src = pkt.l3_src;
+    req.header_bytes = pkt.header.encode();
+    req.payload = pkt.payload;
+
+    const std::uint64_t token = req.token;
+    while (!channel_.submit(req)) {
+      ++stats_.backpressure;
+      pump();
+    }
+    in_flight_.emplace(token, std::move(pkt));
+    submitted = true;
+  }
+
+  // Drain the slow-path channel once per batch, not once per packet.
+  if (submitted) pump();
+}
+
 std::size_t pipe_terminus::pump() {
   std::size_t applied = 0;
   while (auto resp = channel_.poll()) {

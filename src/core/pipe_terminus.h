@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 
 #include "core/channel.h"
@@ -43,6 +44,13 @@ class pipe_terminus {
 
   // Processes one decrypted ingress packet.
   void handle(packet pkt);
+
+  // Processes a whole ingress batch. Consecutive packets sharing a cache
+  // key reuse one decision-cache lookup (one recency bump per run — the
+  // cache is soft state, so batched accounting is within its contract),
+  // and the slow-path channel is drained once at the end of the batch
+  // instead of once per packet. Packets are consumed (moved from).
+  void handle_batch(std::span<packet> pkts);
 
   // Drains completed slow-path responses; returns how many were applied.
   std::size_t pump();

@@ -36,10 +36,41 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
       [this](peer_id to, const ilp::ilp_header& header, const bytes& payload) {
         pipes_.send(to, header, payload);
       });
+  pipes_.set_batch_deliver([this](peer_id from, std::span<ilp::opened_packet> pkts) {
+    batch_scratch_.clear();
+    batch_scratch_.reserve(pkts.size());
+    for (ilp::opened_packet& p : pkts) {
+      batch_scratch_.push_back(
+          packet{from, std::move(p.header), bytes(p.payload.begin(), p.payload.end())});
+    }
+    terminus_->handle_batch(batch_scratch_);
+  });
 }
 
 void service_node::on_datagram(peer_id from, const_byte_span datagram) {
   pipes_.on_datagram(from, datagram);
+}
+
+void service_node::on_datagram_batch(peer_id from,
+                                     std::span<const const_byte_span> datagrams) {
+  pipes_.on_datagram_batch(from, datagrams);
+}
+
+void service_node::on_datagrams(std::span<const std::pair<peer_id, bytes>> datagrams) {
+  // Feed maximal same-peer runs through the batched path; order across
+  // peers is preserved because runs are flushed in arrival order.
+  std::size_t i = 0;
+  while (i < datagrams.size()) {
+    const peer_id from = datagrams[i].first;
+    std::size_t j = i;
+    span_scratch_.clear();
+    while (j < datagrams.size() && datagrams[j].first == from) {
+      span_scratch_.emplace_back(datagrams[j].second.data(), datagrams[j].second.size());
+      ++j;
+    }
+    pipes_.on_datagram_batch(from, span_scratch_);
+    i = j;
+  }
 }
 
 void service_node::send(peer_id to, const ilp::ilp_header& header, bytes payload) {

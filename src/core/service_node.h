@@ -13,6 +13,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/metrics.h"
@@ -42,6 +45,15 @@ class service_node final : public node_services {
 
   // Wire this to the underlying network (simulator node handler / socket).
   void on_datagram(peer_id from, const_byte_span datagram);
+
+  // Batched ingress from one peer: pipe decryption, terminus dispatch and
+  // the slow-path drain all run once per batch instead of once per packet.
+  void on_datagram_batch(peer_id from, std::span<const const_byte_span> datagrams);
+
+  // Batched ingress from mixed sources (what a udp recv_batch or an event
+  // loop hands over): consecutive runs from the same peer are fed through
+  // the batched path together, preserving arrival order.
+  void on_datagrams(std::span<const std::pair<peer_id, bytes>> datagrams);
 
   // node_services (what the execution environment sees).
   peer_id node_id() const override { return config_.id; }
@@ -85,6 +97,9 @@ class service_node final : public node_services {
   std::unique_ptr<inline_channel> channel_;
   std::unique_ptr<pipe_terminus> terminus_;
   ilp::pipe_manager pipes_;
+  // Batch-path scratch, reused across calls.
+  std::vector<packet> batch_scratch_;
+  std::vector<const_byte_span> span_scratch_;
 };
 
 // Bridges a module_result into the channel response format. Shared with the

@@ -1,0 +1,48 @@
+#include "crypto/cpu_features.h"
+
+#include <atomic>
+
+namespace interedge::crypto {
+namespace {
+
+simd_level probe() {
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return simd_level::avx2;
+  if (__builtin_cpu_supports("sse2")) return simd_level::sse2;
+#endif
+  return simd_level::scalar;
+}
+
+std::atomic<simd_level>& active_slot() {
+  static std::atomic<simd_level> level{probe()};
+  return level;
+}
+
+}  // namespace
+
+simd_level detect_simd_level() {
+  static const simd_level detected = probe();
+  return detected;
+}
+
+simd_level active_simd_level() { return active_slot().load(std::memory_order_relaxed); }
+
+void set_simd_level(simd_level level) {
+  if (level > detect_simd_level()) level = detect_simd_level();
+  active_slot().store(level, std::memory_order_relaxed);
+}
+
+const char* simd_level_name(simd_level level) {
+  switch (level) {
+    case simd_level::avx2:
+      return "avx2";
+    case simd_level::sse2:
+      return "sse2";
+    case simd_level::scalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+}  // namespace interedge::crypto

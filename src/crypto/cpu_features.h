@@ -1,0 +1,30 @@
+// Runtime CPU feature probe for the vectorized crypto paths.
+//
+// The datapath picks its ChaCha20 backend once at startup: AVX2 when the
+// CPU has it, else SSE2, else the portable scalar core. The probe is
+// runtime (not compile-time only) so one binary runs correctly on any
+// x86-64 machine, and non-x86 builds fall back to scalar automatically.
+#pragma once
+
+namespace interedge::crypto {
+
+enum class simd_level {
+  scalar = 0,
+  sse2 = 1,
+  avx2 = 2,
+};
+
+// Highest SIMD level the running CPU supports (scalar on non-x86).
+simd_level detect_simd_level();
+
+// The level the crypto dispatch actually uses. Defaults to
+// detect_simd_level(); tests may force it lower via set_simd_level() to
+// exercise every backend on one machine. Forcing a level above what the
+// CPU supports is clamped to the detected level.
+simd_level active_simd_level();
+void set_simd_level(simd_level level);
+
+// Human-readable backend name ("avx2", "sse2", "scalar") for logs/benches.
+const char* simd_level_name(simd_level level);
+
+}  // namespace interedge::crypto

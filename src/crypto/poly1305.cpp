@@ -22,55 +22,60 @@ poly1305::poly1305(const std::uint8_t key[kPolyKeySize]) {
   for (int i = 0; i < 4; ++i) pad_[i] = load32(key + 16 + 4 * i);
 }
 
-void poly1305::block(const std::uint8_t* m, std::uint32_t hibit) {
+void poly1305::blocks(const std::uint8_t* m, std::size_t count, std::uint32_t hibit) {
   const std::uint32_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3], r4 = r_[4];
   const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
 
   std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
 
-  // h += m
-  h0 += load32(m + 0) & 0x3ffffff;
-  h1 += (load32(m + 3) >> 2) & 0x3ffffff;
-  h2 += (load32(m + 6) >> 4) & 0x3ffffff;
-  h3 += (load32(m + 9) >> 6) & 0x3ffffff;
-  h4 += (load32(m + 12) >> 8) | hibit;
+  while (count-- > 0) {
+    // h += m
+    h0 += load32(m + 0) & 0x3ffffff;
+    h1 += (load32(m + 3) >> 2) & 0x3ffffff;
+    h2 += (load32(m + 6) >> 4) & 0x3ffffff;
+    h3 += (load32(m + 9) >> 6) & 0x3ffffff;
+    h4 += (load32(m + 12) >> 8) | hibit;
+    m += 16;
 
-  // h *= r mod 2^130 - 5
-  const std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r0 + static_cast<std::uint64_t>(h1) * s4 +
-                           static_cast<std::uint64_t>(h2) * s3 + static_cast<std::uint64_t>(h3) * s2 +
-                           static_cast<std::uint64_t>(h4) * s1;
-  std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r1 + static_cast<std::uint64_t>(h1) * r0 +
-                     static_cast<std::uint64_t>(h2) * s4 + static_cast<std::uint64_t>(h3) * s3 +
-                     static_cast<std::uint64_t>(h4) * s2;
-  std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r2 + static_cast<std::uint64_t>(h1) * r1 +
-                     static_cast<std::uint64_t>(h2) * r0 + static_cast<std::uint64_t>(h3) * s4 +
-                     static_cast<std::uint64_t>(h4) * s3;
-  std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r3 + static_cast<std::uint64_t>(h1) * r2 +
-                     static_cast<std::uint64_t>(h2) * r1 + static_cast<std::uint64_t>(h3) * r0 +
-                     static_cast<std::uint64_t>(h4) * s4;
-  std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r4 + static_cast<std::uint64_t>(h1) * r3 +
-                     static_cast<std::uint64_t>(h2) * r2 + static_cast<std::uint64_t>(h3) * r1 +
-                     static_cast<std::uint64_t>(h4) * r0;
+    // h *= r mod 2^130 - 5
+    const std::uint64_t d0 = static_cast<std::uint64_t>(h0) * r0 +
+                             static_cast<std::uint64_t>(h1) * s4 +
+                             static_cast<std::uint64_t>(h2) * s3 +
+                             static_cast<std::uint64_t>(h3) * s2 +
+                             static_cast<std::uint64_t>(h4) * s1;
+    std::uint64_t d1 = static_cast<std::uint64_t>(h0) * r1 + static_cast<std::uint64_t>(h1) * r0 +
+                       static_cast<std::uint64_t>(h2) * s4 + static_cast<std::uint64_t>(h3) * s3 +
+                       static_cast<std::uint64_t>(h4) * s2;
+    std::uint64_t d2 = static_cast<std::uint64_t>(h0) * r2 + static_cast<std::uint64_t>(h1) * r1 +
+                       static_cast<std::uint64_t>(h2) * r0 + static_cast<std::uint64_t>(h3) * s4 +
+                       static_cast<std::uint64_t>(h4) * s3;
+    std::uint64_t d3 = static_cast<std::uint64_t>(h0) * r3 + static_cast<std::uint64_t>(h1) * r2 +
+                       static_cast<std::uint64_t>(h2) * r1 + static_cast<std::uint64_t>(h3) * r0 +
+                       static_cast<std::uint64_t>(h4) * s4;
+    std::uint64_t d4 = static_cast<std::uint64_t>(h0) * r4 + static_cast<std::uint64_t>(h1) * r3 +
+                       static_cast<std::uint64_t>(h2) * r2 + static_cast<std::uint64_t>(h3) * r1 +
+                       static_cast<std::uint64_t>(h4) * r0;
 
-  // Partial carry propagation.
-  std::uint32_t c = static_cast<std::uint32_t>(d0 >> 26);
-  h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
-  d1 += c;
-  c = static_cast<std::uint32_t>(d1 >> 26);
-  h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
-  d2 += c;
-  c = static_cast<std::uint32_t>(d2 >> 26);
-  h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
-  d3 += c;
-  c = static_cast<std::uint32_t>(d3 >> 26);
-  h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
-  d4 += c;
-  c = static_cast<std::uint32_t>(d4 >> 26);
-  h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
-  h0 += c * 5;
-  c = h0 >> 26;
-  h0 &= 0x3ffffff;
-  h1 += c;
+    // Partial carry propagation.
+    std::uint32_t c = static_cast<std::uint32_t>(d0 >> 26);
+    h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    d1 += c;
+    c = static_cast<std::uint32_t>(d1 >> 26);
+    h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+    d2 += c;
+    c = static_cast<std::uint32_t>(d2 >> 26);
+    h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+    d3 += c;
+    c = static_cast<std::uint32_t>(d3 >> 26);
+    h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+    d4 += c;
+    c = static_cast<std::uint32_t>(d4 >> 26);
+    h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += c;
+  }
 
   h_[0] = h0;
   h_[1] = h1;
@@ -91,9 +96,12 @@ void poly1305::update(const_byte_span data) {
       buffered_ = 0;
     }
   }
-  while (data.size() - offset >= 16) {
-    block(data.data() + offset, 1u << 24);
-    offset += 16;
+  // One blocks() run for the whole full-block span: r, s and h stay in
+  // registers instead of round-tripping through the object per block.
+  const std::size_t full = (data.size() - offset) / 16;
+  if (full > 0) {
+    blocks(data.data() + offset, full, 1u << 24);
+    offset += full * 16;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);

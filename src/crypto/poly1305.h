@@ -26,7 +26,10 @@ class poly1305 {
   }
 
  private:
-  void block(const std::uint8_t* m, std::uint32_t hibit);
+  void block(const std::uint8_t* m, std::uint32_t hibit) { blocks(m, 1, hibit); }
+  // Accumulates `count` consecutive 16-byte blocks with r, s and h held in
+  // locals across the whole run (the hot loop of the AEAD tag).
+  void blocks(const std::uint8_t* m, std::size_t count, std::uint32_t hibit);
   std::uint32_t r_[5];
   std::uint32_t h_[5];
   std::uint32_t pad_[4];

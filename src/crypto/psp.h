@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "common/bytes.h"
 
@@ -39,6 +40,36 @@ class psp_context {
   // Opens a sealed packet; nullopt on unknown SPI or authentication failure.
   std::optional<bytes> open(const_byte_span wire, const_byte_span aad) const;
 
+  // Scratch-buffer variant of seal(): writes spi || iv || ciphertext || tag
+  // into `out`, which must hold plaintext.size() + kPspOverhead bytes. No
+  // heap allocation. Returns the number of bytes written.
+  std::size_t seal_into(const_byte_span plaintext, const_byte_span aad, byte_span out);
+
+  // Scratch-buffer variant of open(): decrypts into `out`, which must hold
+  // wire.size() - kPspOverhead bytes. Returns the plaintext length, or
+  // nullopt on unknown SPI / authentication failure (out untouched).
+  std::optional<std::size_t> open_into(const_byte_span wire, const_byte_span aad,
+                                       byte_span out) const;
+
+  // Batch variants: process many packets in one call. The burst's ChaCha20
+  // blocks (Poly1305 key block + cipher stream, per packet) are generated
+  // by the multi-stream SIMD kernels in one pass, and scratch buffers are
+  // reused across calls — zero per-packet heap allocation. outs[i] must be
+  // sized as for the *_into variants (plaintexts[i].size() + kPspOverhead
+  // for seal; wires[i].size() - kPspOverhead for open). The aads[i]
+  // overloads bind per-packet context; the single-aad overloads bind the
+  // same context to every packet. open_batch records per-packet success in
+  // ok[i]; both return the number of successful packets.
+  std::size_t seal_batch(std::span<const const_byte_span> plaintexts, const_byte_span aad,
+                         std::span<const byte_span> outs);
+  std::size_t seal_batch(std::span<const const_byte_span> plaintexts,
+                         std::span<const const_byte_span> aads, std::span<const byte_span> outs);
+  std::size_t open_batch(std::span<const const_byte_span> wires, const_byte_span aad,
+                         std::span<const byte_span> outs, std::span<bool> ok) const;
+  std::size_t open_batch(std::span<const const_byte_span> wires,
+                         std::span<const const_byte_span> aads, std::span<const byte_span> outs,
+                         std::span<bool> ok) const;
+
   // Advances to the next key epoch (flips the SPI epoch bit, re-derives the
   // packet key). The previous epoch stays valid on the receive side.
   void rotate();
@@ -60,6 +91,12 @@ class psp_context {
   epoch_key current_;
   epoch_key previous_;
   std::uint64_t iv_counter_ = 0;
+  // Batch scratch, reused across calls so a steady-state batch performs no
+  // per-packet allocation (mutable: open_batch is logically const).
+  mutable bytes ks_scratch_;
+  mutable bytes nonce_scratch_;
+  mutable std::vector<std::uint32_t> counter_scratch_;
+  mutable std::vector<const_byte_span> aad_scratch_;
 };
 
 }  // namespace interedge::crypto

@@ -6,6 +6,11 @@ namespace interedge::ilp {
 
 bytes ilp_header::encode() const {
   writer w(32);
+  encode_into(w);
+  return w.take();
+}
+
+void ilp_header::encode_into(writer& w) const {
   w.u32(service);
   w.u64(connection);
   w.u16(flags);
@@ -14,7 +19,6 @@ bytes ilp_header::encode() const {
     w.u16(key);
     w.blob(value);
   }
-  return w.take();
 }
 
 ilp_header ilp_header::decode(const_byte_span data) {

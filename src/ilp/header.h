@@ -13,6 +13,10 @@
 
 #include "common/bytes.h"
 
+namespace interedge {
+class writer;
+}
+
 namespace interedge::ilp {
 
 using service_id = std::uint32_t;
@@ -72,6 +76,8 @@ struct ilp_header {
   std::map<std::uint16_t, bytes> metadata;
 
   bytes encode() const;
+  // Appends the encoding to `w` (scratch-reuse variant for the datapath).
+  void encode_into(writer& w) const;
   // Throws interedge::serial_error on malformed input.
   static ilp_header decode(const_byte_span data);
 

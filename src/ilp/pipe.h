@@ -12,10 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.h"
+#include "common/serial.h"
 #include "crypto/psp.h"
 #include "ilp/header.h"
 
@@ -35,6 +39,13 @@ struct pipe_stats {
   std::uint64_t rekeys = 0;
 };
 
+// One decrypted ingress packet from a batch. The payload is a view into
+// the caller's datagram buffer — valid only until those buffers change.
+struct opened_packet {
+  ilp_header header;
+  const_byte_span payload;
+};
+
 class pipe {
  public:
   // `secret` is the X25519 shared secret; `initiator` selects the key
@@ -44,9 +55,22 @@ class pipe {
   // Builds a full data message (kind byte included).
   bytes seal(const ilp_header& header, const_byte_span payload);
 
+  // Scratch-reuse variant: clears `out` and writes the full data message
+  // into it. With a reused `out` the only steady-state heap traffic is the
+  // header metadata map — the seal itself allocates nothing.
+  void seal_into(const ilp_header& header, const_byte_span payload, bytes& out);
+
   // Parses a data message body (kind byte already consumed).
   // nullopt if the header fails to authenticate or the message is malformed.
   std::optional<std::pair<ilp_header, bytes>> open(const_byte_span body);
+
+  // Batch ingress: opens every data-message body in one call, reusing one
+  // scratch buffer for the decrypted headers. `out` is resized to
+  // bodies.size(); out[i] is nullopt where authentication or parsing
+  // failed, and payload spans alias the caller's buffers. Returns the
+  // number of packets opened.
+  std::size_t decrypt_batch(std::span<const const_byte_span> bodies,
+                            std::vector<std::optional<opened_packet>>& out);
 
   // Unilateral sender-side rekey; the peer keeps accepting the previous
   // epoch, so no coordination round-trip is needed.
@@ -65,6 +89,16 @@ class pipe {
   crypto::psp_context tx_;
   crypto::psp_context rx_;
   pipe_stats stats_;
+  writer header_scratch_;  // encoded-header reuse across seals
+  bytes open_scratch_;     // decrypted-header arena, reused across opens
+  // decrypt_batch scratch, reused across calls.
+  std::vector<const_byte_span> sealed_scratch_;
+  std::vector<const_byte_span> payload_scratch_;
+  std::vector<const_byte_span> aad_scratch_;
+  std::vector<byte_span> dst_scratch_;
+  bytes aad_bytes_scratch_;
+  std::unique_ptr<bool[]> ok_scratch_;
+  std::size_t ok_capacity_ = 0;
 };
 
 }  // namespace interedge::ilp

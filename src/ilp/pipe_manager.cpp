@@ -163,6 +163,48 @@ void pipe_manager::establish(peer_id peer, const crypto::x25519_key& secret_scal
   }
 }
 
+void pipe_manager::on_datagram_batch(peer_id peer, std::span<const const_byte_span> datagrams) {
+  // Without a batch deliver path there is nothing to amortize — reuse the
+  // single-datagram path for simplicity.
+  if (!deliver_batch_) {
+    for (const const_byte_span& d : datagrams) on_datagram(peer, d);
+    return;
+  }
+  run_scratch_.clear();
+  auto flush = [&] {
+    if (!run_scratch_.empty()) {
+      flush_data_run(peer, run_scratch_);
+      run_scratch_.clear();
+    }
+  };
+  for (const const_byte_span& datagram : datagrams) {
+    if (datagram.empty()) continue;
+    if (static_cast<msg_kind>(datagram[0]) == msg_kind::data) {
+      run_scratch_.push_back(datagram.subspan(1));
+      continue;
+    }
+    // Handshake (or unknown) message: preserve arrival order relative to
+    // the data packets around it, then handle inline.
+    flush();
+    on_datagram(peer, datagram);
+  }
+  flush();
+}
+
+void pipe_manager::flush_data_run(peer_id peer, std::span<const const_byte_span> bodies) {
+  auto it = pipes_.find(peer);
+  if (it == pipes_.end()) {
+    IE_LOG(debug) << "pipe_manager " << self_ << ": data before pipe from " << peer;
+    return;
+  }
+  it->second->decrypt_batch(bodies, opened_scratch_);
+  batch_scratch_.clear();
+  for (auto& opened : opened_scratch_) {
+    if (opened) batch_scratch_.push_back(std::move(*opened));
+  }
+  if (!batch_scratch_.empty()) deliver_batch_(peer, batch_scratch_);
+}
+
 void pipe_manager::handle_data(peer_id peer, const_byte_span body) {
   auto it = pipes_.find(peer);
   if (it == pipes_.end()) {

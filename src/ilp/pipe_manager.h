@@ -16,6 +16,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -28,6 +30,10 @@ class pipe_manager {
  public:
   using send_fn = std::function<void(peer_id peer, bytes datagram)>;
   using deliver_fn = std::function<void(peer_id peer, const ilp_header&, bytes payload)>;
+  // Batch delivery: every data packet of one ingress batch in one call.
+  // Packets are mutable so the receiver can move the headers out; payload
+  // spans alias the datagram buffers passed to on_datagram_batch.
+  using deliver_batch_fn = std::function<void(peer_id peer, std::span<opened_packet> packets)>;
 
   pipe_manager(peer_id self, send_fn send, deliver_fn deliver);
 
@@ -37,6 +43,17 @@ class pipe_manager {
 
   // Feeds a received datagram (handshake or data) into the manager.
   void on_datagram(peer_id peer, const_byte_span datagram);
+
+  // Batch ingress: feeds a burst of datagrams from one peer. Runs of data
+  // messages are decrypted via pipe::decrypt_batch and handed to the batch
+  // deliver callback in one call (falling back to per-packet deliver when
+  // none is set); handshake messages are handled inline in arrival order.
+  void on_datagram_batch(peer_id peer, std::span<const const_byte_span> datagrams);
+
+  // Installs the batch delivery path used by on_datagram_batch.
+  void set_batch_deliver(deliver_batch_fn deliver_batch) {
+    deliver_batch_ = std::move(deliver_batch);
+  }
 
   // Proactively establishes a pipe (used for the long-lived inter-edomain
   // peering pipes of §3.2).
@@ -72,6 +89,7 @@ class pipe_manager {
   };
 
   void start_handshake(peer_id peer);
+  void flush_data_run(peer_id peer, std::span<const const_byte_span> bodies);
   void handle_init(peer_id peer, const_byte_span body);
   void handle_resp(peer_id peer, const_byte_span body);
   void handle_data(peer_id peer, const_byte_span body);
@@ -84,6 +102,11 @@ class pipe_manager {
   peer_id self_;
   send_fn send_;
   deliver_fn deliver_;
+  deliver_batch_fn deliver_batch_;
+  // Batch-path scratch, reused across on_datagram_batch calls.
+  std::vector<const_byte_span> run_scratch_;
+  std::vector<std::optional<opened_packet>> opened_scratch_;
+  std::vector<opened_packet> batch_scratch_;
   std::map<peer_id, std::unique_ptr<pipe>> pipes_;
   std::map<peer_id, pending_state> pending_;
   std::map<peer_id, responder_memo> responder_memos_;

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -79,10 +80,89 @@ std::optional<std::pair<peer_id, bytes>> udp_endpoint::poll() {
   return std::make_pair(it->second, bytes(buffer, buffer + n));
 }
 
+std::size_t udp_endpoint::recv_batch(std::size_t max, std::vector<std::pair<peer_id, bytes>>& out) {
+  constexpr std::size_t kBufSize = 65536;
+  max = std::min(max, kBatchMax);
+  if (max == 0) return 0;
+  std::size_t appended = 0;
+#ifdef __linux__
+  recv_scratch_.resize(kBatchMax * kBufSize);
+  mmsghdr msgs[kBatchMax]{};
+  iovec iovs[kBatchMax];
+  sockaddr_in sources[kBatchMax];
+  for (std::size_t i = 0; i < max; ++i) {
+    iovs[i] = {recv_scratch_.data() + i * kBufSize, kBufSize};
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_name = &sources[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(sources[i]);
+  }
+  const int n = ::recvmmsg(fd_, msgs, static_cast<unsigned>(max), 0, nullptr);
+  if (n <= 0) return 0;  // EAGAIN / transient
+  for (int i = 0; i < n; ++i) {
+    auto it = by_source_.find(pack_source(sources[i]));
+    if (it == by_source_.end()) {
+      ++dropped_unknown_;
+      continue;
+    }
+    const std::uint8_t* buf = recv_scratch_.data() + static_cast<std::size_t>(i) * kBufSize;
+    ++received_;
+    out.emplace_back(it->second, bytes(buf, buf + msgs[i].msg_len));
+    ++appended;
+  }
+#else
+  for (std::size_t i = 0; i < max; ++i) {
+    auto datagram = poll();
+    if (!datagram) break;
+    out.push_back(std::move(*datagram));
+    ++appended;
+  }
+#endif
+  return appended;
+}
+
+std::size_t udp_endpoint::send_batch(peer_id to, std::span<const bytes> datagrams) {
+  auto it = peers_.find(to);
+  if (it == peers_.end()) return 0;
+  std::size_t accepted = 0;
+#ifdef __linux__
+  std::size_t offset = 0;
+  while (offset < datagrams.size()) {
+    const std::size_t chunk = std::min(datagrams.size() - offset, kBatchMax);
+    mmsghdr msgs[kBatchMax]{};
+    iovec iovs[kBatchMax];
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const bytes& d = datagrams[offset + i];
+      iovs[i] = {const_cast<std::uint8_t*>(d.data()), d.size()};
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &it->second;
+      msgs[i].msg_hdr.msg_namelen = sizeof(it->second);
+    }
+    const int n = ::sendmmsg(fd_, msgs, static_cast<unsigned>(chunk), 0);
+    if (n <= 0) break;  // transient (e.g. buffer full): UDP is lossy anyway
+    accepted += static_cast<std::size_t>(n);
+    sent_ += static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < chunk) break;
+    offset += chunk;
+  }
+#else
+  for (const bytes& d : datagrams) {
+    if (!send(to, d)) break;
+    ++accepted;
+  }
+#endif
+  return accepted;
+}
+
 // ---- event_loop --------------------------------------------------------
 
 void event_loop::attach(udp_endpoint& endpoint, datagram_handler handler) {
-  endpoints_.push_back(attached{&endpoint, std::move(handler)});
+  endpoints_.push_back(attached{&endpoint, std::move(handler), nullptr});
+}
+
+void event_loop::attach_batch(udp_endpoint& endpoint, batch_handler handler) {
+  endpoints_.push_back(attached{&endpoint, nullptr, std::move(handler)});
 }
 
 void event_loop::schedule(nanoseconds delay, std::function<void()> fn) {
@@ -122,6 +202,16 @@ std::size_t event_loop::pass(std::chrono::milliseconds max_wait) {
   // Drain everything readable.
   std::size_t dispatched = 0;
   for (const attached& a : endpoints_) {
+    if (a.batch) {
+      batch_scratch_.clear();
+      while (a.endpoint->recv_batch(udp_endpoint::kBatchMax, batch_scratch_) > 0) {
+      }
+      if (!batch_scratch_.empty()) {
+        a.batch(batch_scratch_);
+        dispatched += batch_scratch_.size();
+      }
+      continue;
+    }
     while (auto datagram = a.endpoint->poll()) {
       a.handler(datagram->first, datagram->second);
       ++dispatched;

@@ -22,7 +22,9 @@
 #include <map>
 #include <optional>
 #include <queue>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -56,6 +58,20 @@ class udp_endpoint {
   // Non-blocking receive of one datagram from a registered peer.
   std::optional<std::pair<peer_id, bytes>> poll();
 
+  // Batch receive: drains up to `max` datagrams with one recvmmsg(2) call
+  // (single-recv loop where unavailable), appending (peer, payload) pairs
+  // to `out`. Datagrams from unregistered sources are counted and skipped.
+  // Returns the number of pairs appended.
+  std::size_t recv_batch(std::size_t max, std::vector<std::pair<peer_id, bytes>>& out);
+
+  // Batch send: transmits every datagram to `to` with one sendmmsg(2)
+  // call per chunk (loop fallback). Returns how many the kernel accepted;
+  // 0 if the peer is unknown.
+  std::size_t send_batch(peer_id to, std::span<const bytes> datagrams);
+
+  // Largest number of datagrams one recv_batch/send_batch syscall covers.
+  static constexpr std::size_t kBatchMax = 32;
+
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
   std::uint64_t dropped_unknown() const { return dropped_unknown_; }
@@ -65,6 +81,7 @@ class udp_endpoint {
   std::uint16_t port_ = 0;
   std::map<peer_id, sockaddr_in> peers_;
   std::map<std::uint64_t, peer_id> by_source_;  // packed ip:port -> peer
+  bytes recv_scratch_;  // kBatchMax receive buffers, allocated on first use
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_unknown_ = 0;
@@ -74,9 +91,16 @@ class udp_endpoint {
 class event_loop {
  public:
   using datagram_handler = std::function<void(peer_id from, const_byte_span data)>;
+  // Batch handler: one call per drained burst, in arrival order.
+  using batch_handler = std::function<void(std::span<std::pair<peer_id, bytes>> datagrams)>;
 
   // Attaches an endpoint: arriving datagrams go to `handler`.
   void attach(udp_endpoint& endpoint, datagram_handler handler);
+
+  // Batch attach: readable bursts are drained via recv_batch and handed to
+  // `handler` as one span per pass (the SN feeds these straight into its
+  // batched datapath).
+  void attach_batch(udp_endpoint& endpoint, batch_handler handler);
 
   // Timer facility, signature-compatible with service_node/host_stack's
   // scheduler_fn.
@@ -99,7 +123,8 @@ class event_loop {
  private:
   struct attached {
     udp_endpoint* endpoint;
-    datagram_handler handler;
+    datagram_handler handler;       // per-datagram path
+    batch_handler batch;            // batch path (used when set)
   };
   struct timer {
     std::chrono::steady_clock::time_point due;
@@ -115,6 +140,7 @@ class event_loop {
   std::size_t pass(std::chrono::milliseconds max_wait);
 
   std::vector<attached> endpoints_;
+  std::vector<std::pair<peer_id, bytes>> batch_scratch_;  // reused per pass
   std::priority_queue<timer, std::vector<timer>, std::greater<>> timers_;
   std::uint64_t next_seq_ = 0;
 };

@@ -154,5 +154,76 @@ TEST_F(terminus_fixture, StatsReceivedCountsAll) {
   EXPECT_EQ(terminus_.stats().received, 5u);
 }
 
+TEST_F(terminus_fixture, BatchSameFlowPaysOneCacheLookup) {
+  terminus_.handle(make_packet());  // install the cache entry
+  const auto hits_before = cache_.stats().hits;
+
+  std::vector<packet> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(make_packet());
+  terminus_.handle_batch(batch);
+
+  // One lookup for the run; the other 7 packets ride the memo.
+  EXPECT_EQ(cache_.stats().hits, hits_before + 1);
+  EXPECT_EQ(terminus_.stats().fast_path, 8u);
+  EXPECT_EQ(forwarded_.size(), 9u);  // every packet still forwarded
+}
+
+TEST_F(terminus_fixture, BatchColdFlowStillResolvedViaSlowPath) {
+  // A cold batch defers the slow-path drain to the end, so every packet of
+  // the burst goes to the service module — and every one is still forwarded.
+  std::vector<packet> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(make_packet());
+  terminus_.handle_batch(batch);
+  EXPECT_EQ(terminus_.stats().slow_path, 4u);
+  EXPECT_EQ(forwarded_.size(), 4u);
+  // The drain installed the decision: the next batch is pure fast path.
+  std::vector<packet> batch2;
+  for (int i = 0; i < 4; ++i) batch2.push_back(make_packet());
+  terminus_.handle_batch(batch2);
+  EXPECT_EQ(terminus_.stats().slow_path, 4u);
+  EXPECT_EQ(terminus_.stats().fast_path, 4u);
+}
+
+TEST_F(terminus_fixture, BatchMixedWarmFlowsAllFastPath) {
+  terminus_.handle(make_packet(1));
+  terminus_.handle(make_packet(2));
+  std::vector<packet> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(make_packet(static_cast<ilp::connection_id>(1 + i % 2)));
+  }
+  terminus_.handle_batch(batch);
+  EXPECT_EQ(terminus_.stats().fast_path, 6u);
+  EXPECT_EQ(forwarded_.size(), 2u + 6u);
+}
+
+TEST_F(terminus_fixture, BatchControlPacketsBypassMemo) {
+  terminus_.handle(make_packet(1));  // warm the flow
+  std::vector<packet> batch;
+  batch.push_back(make_packet(1));                      // cache hit, memo set
+  batch.push_back(make_packet(1));                      // memo hit
+  batch.push_back(make_packet(1, ilp::kFlagControl));   // must not use memo
+  terminus_.handle_batch(batch);
+  EXPECT_EQ(terminus_.stats().slow_path, 2u);  // initial cold packet + control
+  EXPECT_EQ(terminus_.stats().fast_path, 2u);
+}
+
+TEST_F(terminus_fixture, BatchMatchesPerPacketBehavior) {
+  // The batched path must produce the same forwards in the same order as
+  // handling each packet individually.
+  std::vector<packet> batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(make_packet(static_cast<ilp::connection_id>(i)));
+  terminus_.handle_batch(batch);
+  const auto batched = forwarded_;
+  forwarded_.clear();
+
+  for (int i = 0; i < 5; ++i) terminus_.handle(make_packet(static_cast<ilp::connection_id>(i)));
+  ASSERT_EQ(forwarded_.size(), batched.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(forwarded_[i].to, batched[i].to);
+    EXPECT_EQ(forwarded_[i].header.connection, batched[i].header.connection);
+    EXPECT_EQ(forwarded_[i].payload, batched[i].payload);
+  }
+}
+
 }  // namespace
 }  // namespace interedge::core

@@ -116,6 +116,92 @@ TEST(Psp, DistinctPacketsDistinctCiphertext) {
   EXPECT_NE(w1, w2);  // IV advances
 }
 
+TEST(Psp, SealIntoMatchesSeal) {
+  psp_context tx_a(test_master(), 7);
+  psp_context tx_b(test_master(), 7);
+  const bytes plaintext = to_bytes("scratch-buffer seal");
+  const bytes aad = to_bytes("aad");
+  const bytes wire = tx_a.seal(plaintext, aad);
+  bytes scratch(plaintext.size() + kPspOverhead);
+  const std::size_t n = tx_b.seal_into(plaintext, aad, scratch);
+  EXPECT_EQ(n, wire.size());
+  EXPECT_EQ(scratch, wire);  // same spi/iv sequence → identical wire bytes
+}
+
+TEST(Psp, OpenIntoRoundTripAndReject) {
+  psp_context tx(test_master(), 7);
+  const psp_context rx(test_master(), 7);
+  const bytes aad = to_bytes("aad");
+  bytes wire = tx.seal(to_bytes("payload"), aad);
+  bytes out(wire.size() - kPspOverhead);
+  const auto n = rx.open_into(wire, aad, out);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, out.size());
+  EXPECT_EQ(to_string(out), "payload");
+  wire[wire.size() - 1] ^= 1;  // corrupt the tag
+  EXPECT_FALSE(rx.open_into(wire, aad, out).has_value());
+}
+
+TEST(Psp, SealBatchOpenBatchRoundTrip) {
+  psp_context tx(test_master(), 5);
+  const psp_context rx(test_master(), 5);
+  const bytes aad = to_bytes("batch-aad");
+
+  constexpr std::size_t kCount = 8;
+  std::vector<bytes> plaintexts(kCount);
+  std::vector<const_byte_span> pt_spans(kCount);
+  std::vector<bytes> wires(kCount);
+  std::vector<byte_span> wire_spans(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    plaintexts[i].assign(32 + i * 11, static_cast<std::uint8_t>(i + 1));
+    pt_spans[i] = plaintexts[i];
+    wires[i].resize(plaintexts[i].size() + kPspOverhead);
+    wire_spans[i] = wires[i];
+  }
+  EXPECT_EQ(tx.seal_batch(pt_spans, aad, wire_spans), kCount);
+
+  std::vector<const_byte_span> wire_views(wires.begin(), wires.end());
+  std::vector<bytes> opened(kCount);
+  std::vector<byte_span> opened_spans(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    opened[i].resize(wires[i].size() - kPspOverhead);
+    opened_spans[i] = opened[i];
+  }
+  // std::vector<bool> is bit-packed and cannot back a span<bool>.
+  bool ok_flags[kCount] = {};
+  EXPECT_EQ(rx.open_batch(wire_views, aad, opened_spans, ok_flags), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_TRUE(ok_flags[i]) << i;
+    EXPECT_EQ(opened[i], plaintexts[i]) << i;
+  }
+}
+
+TEST(Psp, OpenBatchRejectsTamperedPacketOnly) {
+  psp_context tx(test_master(), 5);
+  const psp_context rx(test_master(), 5);
+  constexpr std::size_t kCount = 4;
+  std::vector<bytes> wires(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    wires[i] = tx.seal(bytes(24, static_cast<std::uint8_t>(i)), {});
+  }
+  wires[2][wires[2].size() / 2] ^= 0x40;  // tamper with one packet
+
+  std::vector<const_byte_span> wire_views(wires.begin(), wires.end());
+  std::vector<bytes> opened(kCount);
+  std::vector<byte_span> opened_spans(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    opened[i].resize(wires[i].size() - kPspOverhead);
+    opened_spans[i] = opened[i];
+  }
+  bool ok_flags[kCount] = {};
+  EXPECT_EQ(rx.open_batch(wire_views, const_byte_span{}, opened_spans, ok_flags), kCount - 1);
+  EXPECT_TRUE(ok_flags[0]);
+  EXPECT_TRUE(ok_flags[1]);
+  EXPECT_FALSE(ok_flags[2]);
+  EXPECT_TRUE(ok_flags[3]);
+  EXPECT_EQ(opened[3], bytes(24, 3));  // packets after the bad one still open
+}
+
 class PspPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(PspPayloadSweep, RoundTrip) {

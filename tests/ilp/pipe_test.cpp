@@ -121,6 +121,57 @@ TEST(Pipe, GarbageInputRejectedNotThrown) {
   EXPECT_FALSE(b.open({}).has_value());
 }
 
+TEST(Pipe, SealIntoMatchesSeal) {
+  auto [a, a2] = make_pair();
+  pipe b(bytes(32, 0x5a), 100, 200, true);  // same keys/sequence as `a`
+  (void)a2;
+  const bytes wire = a.seal(sample_header(), to_bytes("payload"));
+  bytes wire2;
+  b.seal_into(sample_header(), to_bytes("payload"), wire2);
+  EXPECT_EQ(wire2, wire);
+}
+
+TEST(Pipe, DecryptBatchRoundTrip) {
+  auto [a, b] = make_pair();
+  std::vector<bytes> wires;
+  std::vector<const_byte_span> bodies;
+  for (int i = 0; i < 6; ++i) {
+    ilp_header h = sample_header();
+    h.connection = static_cast<connection_id>(i);
+    wires.push_back(a.seal(h, to_bytes("m" + std::to_string(i))));
+  }
+  for (const bytes& w : wires) bodies.push_back(const_byte_span(w).subspan(1));
+
+  std::vector<std::optional<opened_packet>> out;
+  EXPECT_EQ(b.decrypt_batch(bodies, out), 6u);
+  ASSERT_EQ(out.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(out[i].has_value()) << i;
+    EXPECT_EQ(out[i]->header.connection, static_cast<connection_id>(i));
+    EXPECT_EQ(to_string(out[i]->payload), "m" + std::to_string(i));
+  }
+  EXPECT_EQ(b.stats().opened, 6u);
+}
+
+TEST(Pipe, DecryptBatchSkipsBadPacket) {
+  auto [a, b] = make_pair();
+  std::vector<bytes> wires;
+  for (int i = 0; i < 3; ++i) {
+    wires.push_back(a.seal(sample_header(), to_bytes("ok")));
+  }
+  wires[1][4] ^= 0x01;  // corrupt the middle packet's sealed header
+  std::vector<const_byte_span> bodies;
+  for (const bytes& w : wires) bodies.push_back(const_byte_span(w).subspan(1));
+
+  std::vector<std::optional<opened_packet>> out;
+  EXPECT_EQ(b.decrypt_batch(bodies, out), 2u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].has_value());
+  EXPECT_FALSE(out[1].has_value());
+  EXPECT_TRUE(out[2].has_value());
+  EXPECT_EQ(b.stats().rejected, 1u);
+}
+
 TEST(Pipe, StatsCountSealedAndOpened) {
   auto [a, b] = make_pair();
   for (int i = 0; i < 3; ++i) {
