@@ -1,0 +1,151 @@
+// Ablation A7: telemetry primitives (ISSUE 2). Quantifies why the hot
+// paths hold metric handles instead of names:
+//   * string lookup (mutex + map per event) vs a cached counter& — the
+//     migration the service modules went through; expected ≥10x;
+//   * plain counter vs sharded_counter under multi-threaded contention;
+//   * histogram record and tracer sampler costs, the per-event prices the
+//     <2% datapath overhead budget (DESIGN.md §8) is built from;
+//   * exposition cost for a registry of realistic size.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+using namespace interedge;
+
+namespace {
+
+// A live SN interns dozens of series (datapath counters, per-service rx
+// families, stage histograms, per-module dispatch counters); lookups pay
+// a map walk of that size, so the before/after arms measure against a
+// realistically populated registry, not a one-entry toy.
+void populate_sn_sized(metrics_registry& reg) {
+  for (int i = 0; i < 24; ++i) {
+    reg.get_counter("sn.family." + std::to_string(i));
+  }
+  for (const char* svc : {"delivery", "pubsub", "multicast", "anycast", "qos", "odns", "mixnet",
+                          "ddos", "vpn", "mq", "ordered", "bulk", "firewall", "streaming",
+                          "mobility", "cluster"}) {
+    reg.get_counter("sn.rx.pkts", {{"service", svc}});
+    reg.get_counter("sn.slowpath.dispatch", {{"service", svc}});
+  }
+  for (int i = 0; i < 8; ++i) {
+    reg.get_histogram("sn.stage." + std::to_string(i));
+  }
+}
+
+// The "before" of the service migration: every event pays the registry
+// mutex and the name-map lookup.
+void BM_CounterStringLookup(benchmark::State& state) {
+  metrics_registry reg;
+  populate_sn_sized(reg);
+  reg.get_counter("vpn.redirected");
+  for (auto _ : state) {
+    reg.get_counter("vpn.redirected").add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The "after": handle resolved once, hot path is one relaxed fetch_add.
+void BM_CounterHandle(benchmark::State& state) {
+  metrics_registry reg;
+  populate_sn_sized(reg);
+  counter& c = reg.get_counter("vpn.redirected");
+  for (auto _ : state) {
+    c.add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Labeled lookup is costlier still (label rendering per call) — the case
+// for resolving per-service families like sn.rx.pkts{service=...} once.
+void BM_CounterLabeledLookup(benchmark::State& state) {
+  metrics_registry reg;
+  populate_sn_sized(reg);
+  for (auto _ : state) {
+    reg.get_counter("sn.rx.pkts", {{"service", "odns"}}).add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void contended_adds(benchmark::State& state, bool sharded) {
+  static metrics_registry reg;
+  if (sharded) {
+    sharded_counter& c = reg.get_sharded_counter("bench.sharded");
+    for (auto _ : state) c.add();
+  } else {
+    counter& c = reg.get_counter("bench.plain");
+    for (auto _ : state) c.add();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CounterContended(benchmark::State& state) { contended_adds(state, false); }
+void BM_ShardedCounterContended(benchmark::State& state) { contended_adds(state, true); }
+
+void BM_HistogramRecord(benchmark::State& state) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("bench.latency");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap LCG spread
+    v &= 0xffffff;                                   // keep in the ns range
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Per-packet sampler cost: one relaxed fetch_add + mask compare.
+void BM_TracerSampleTick(benchmark::State& state) {
+  metrics_registry reg;
+  trace::tracer tr(reg, trace::tracer::config{.sample_shift = 8});
+  bool hit = false;
+  for (auto _ : state) {
+    hit ^= tr.sample_tick();
+  }
+  benchmark::DoNotOptimize(hit);
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Span over the current tracer: two clock reads + a histogram record.
+void BM_TracerSpan(benchmark::State& state) {
+  metrics_registry reg;
+  trace::tracer tr(reg);
+  trace::scoped_tracer st(&tr);
+  for (auto _ : state) {
+    trace::span s(trace::stage::cache);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Exposition over a registry of realistic size (the SN interns a few
+// dozen families): the cost an operator pays per scrape, off the hot path.
+void BM_ExportPrometheus(benchmark::State& state) {
+  metrics_registry reg;
+  for (int i = 0; i < 32; ++i) {
+    reg.get_counter("sn.family." + std::to_string(i)).add(i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    reg.get_histogram("sn.stage." + std::to_string(i)).record(100 + i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.export_prometheus());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CounterStringLookup);
+BENCHMARK(BM_CounterHandle);
+BENCHMARK(BM_CounterLabeledLookup);
+BENCHMARK(BM_CounterContended)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_ShardedCounterContended)->Threads(1)->Threads(4)->Threads(8);
+BENCHMARK(BM_HistogramRecord);
+BENCHMARK(BM_TracerSampleTick);
+BENCHMARK(BM_TracerSpan);
+BENCHMARK(BM_ExportPrometheus);
+
+BENCHMARK_MAIN();

@@ -48,9 +48,11 @@ int main(int argc, char** argv) {
 
   port_router route;
   real_clock clk;
-  core::service_node sn(core::sn_config{.id = id_sn, .edomain = 1}, clk,
-                        [&](net::peer_id to, bytes d) { ep_sn.send(to, d); },
-                        loop.scheduler(), &route);
+  // trace_sample_shift = 0: sample every packet, so a handful of demo
+  // datagrams still populate the per-stage histograms and the trace ring.
+  core::service_node sn(
+      core::sn_config{.id = id_sn, .edomain = 1, .trace_sample_shift = 0}, clk,
+      [&](net::peer_id to, bytes d) { ep_sn.send(to, d); }, loop.scheduler(), &route);
   sn.env().deploy(std::make_unique<services::delivery_service>());
 
   lookup::lookup_service directory;
@@ -107,5 +109,26 @@ int main(int argc, char** argv) {
   std::printf("UDP: alice sent %llu datagrams, SN received %llu\n",
               static_cast<unsigned long long>(ep_alice.sent()),
               static_cast<unsigned long long>(ep_sn.received()));
+
+  // The exposition surface (ISSUE 2): per-stage latency quantiles from the
+  // packet tracer, then the full registry in Prometheus text format —
+  // per-service rx counters (sn_rx_pkts{service=...}) included.
+  std::printf("\nper-stage latency (ns), every packet sampled:\n");
+  for (trace::stage s : {trace::stage::parse, trace::stage::decrypt, trace::stage::cache,
+                         trace::stage::emit}) {
+    const histogram& h = sn.packet_tracer().stage_hist(s);
+    std::printf("  %-8s count=%-5llu p50=%-7llu p99=%llu\n", trace::stage_name(s),
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.quantile(0.5)),
+                static_cast<unsigned long long>(h.quantile(0.99)));
+  }
+
+  std::printf("\nrecent sampled packet traces:\n%s", sn.packet_tracer().dump(8).c_str());
+
+  std::printf("\nPrometheus exposition:\n%s", sn.metrics().export_prometheus().c_str());
+
+  std::printf("\nstats snapshot (rates vs. previous snapshot):\n%s",
+              sn.stats_snapshot().c_str());
+
   return (delivered == n_messages && headlines == 1) ? 0 : 1;
 }

@@ -45,4 +45,6 @@ run_gbench ablation_enclave --benchmark_min_time=0.05
 echo
 run_gbench ablation_batch_datapath --benchmark_min_time=0.05
 echo
+run_gbench ablation_observability --benchmark_min_time=0.05
+echo
 ./build/bench/ablation_services --max_subscribers=64

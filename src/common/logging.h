@@ -1,9 +1,14 @@
 // Minimal leveled logger. Defaults to warnings-and-above so tests and
 // benchmarks stay quiet; examples raise the level for narration.
+//
+// Structured key=value support: stream kv("service", name) items and the
+// line renders `... service=odns ...` — greppable fields without a
+// structured backend. Values containing spaces are quoted.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace interedge {
 
@@ -14,6 +19,29 @@ void set_global_log_level(log_level level);
 void log_write(log_level level, const std::string& message);
 
 namespace detail {
+struct kv_item {
+  std::string text;  // rendered "key=value"
+};
+}  // namespace detail
+
+template <typename T>
+detail::kv_item kv(std::string_view key, const T& value) {
+  std::ostringstream os;
+  os << value;
+  std::string v = os.str();
+  std::string text(key);
+  text += '=';
+  if (v.find(' ') != std::string::npos) {
+    text += '"';
+    text += v;
+    text += '"';
+  } else {
+    text += v;
+  }
+  return detail::kv_item{std::move(text)};
+}
+
+namespace detail {
 class log_line {
  public:
   explicit log_line(log_level level) : level_(level) {}
@@ -21,6 +49,12 @@ class log_line {
   template <typename T>
   log_line& operator<<(const T& v) {
     os_ << v;
+    return *this;
+  }
+  // kv fields are space-separated from whatever precedes them.
+  log_line& operator<<(const kv_item& item) {
+    if (os_.tellp() > 0) os_ << ' ';
+    os_ << item.text;
     return *this;
   }
 

@@ -1,10 +1,28 @@
 #include "common/metrics.h"
 
 #include <bit>
-#include <memory>
+#include <algorithm>
 #include <sstream>
 
 namespace interedge {
+
+std::uint64_t sharded_counter::value() const {
+  std::uint64_t total = 0;
+  for (const shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void sharded_counter::reset() {
+  for (shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+std::size_t sharded_counter::shard_index() {
+  // Each thread claims a stripe on first use; stripes recycle modulo
+  // kShards, which keeps adds contention-free up to kShards threads.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
 
 std::size_t histogram::bucket_of(std::uint64_t v) {
   if (v < kSub) return static_cast<std::size_t>(v);
@@ -47,11 +65,20 @@ std::uint64_t histogram::quantile(double q) const {
   std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total));
   if (target >= total) target = total - 1;
   std::uint64_t seen = 0;
+  std::size_t last_populated = 0;
+  bool any = false;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    last_populated = i;
+    any = true;
+    seen += c;
     if (seen > target) return bucket_mid(i);
   }
-  return max();
+  // count_ raced ahead of the bucket stores (record() increments them
+  // independently): answer with the highest populated bucket instead of
+  // max(), which may belong to a record not yet visible in any bucket.
+  return any ? bucket_mid(last_populated) : 0;
 }
 
 void histogram::reset() {
@@ -61,30 +88,300 @@ void histogram::reset() {
   max_.store(0, std::memory_order_relaxed);
 }
 
-counter& metrics_registry::get_counter(const std::string& name) {
-  std::lock_guard lock(mu_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<counter>();
-  return *slot;
+const char* metric_kind_name(metric_kind k) {
+  switch (k) {
+    case metric_kind::counter: return "counter";
+    case metric_kind::gauge: return "gauge";
+    case metric_kind::histogram: return "histogram";
+    case metric_kind::sharded_counter: return "sharded_counter";
+  }
+  return "?";
 }
 
-histogram& metrics_registry::get_histogram(const std::string& name) {
+std::string render_metric_key(const std::string& name, const label_list& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+double metrics_registry::entry::scalar_value() const {
+  switch (kind) {
+    case metric_kind::counter: return static_cast<double>(c->value());
+    case metric_kind::gauge: return static_cast<double>(g->value());
+    case metric_kind::histogram: return static_cast<double>(h->count());
+    case metric_kind::sharded_counter: return static_cast<double>(s->value());
+  }
+  return 0;
+}
+
+metric_id metrics_registry::intern(metric_kind kind, const std::string& name,
+                                   const label_list& labels) {
+  // Kind participates in the index key so one name cannot silently alias
+  // two metric types.
+  std::string key = render_metric_key(name, labels);
+  std::string index_key = key;
+  index_key += '\x01';
+  index_key += static_cast<char>('0' + static_cast<int>(kind));
+
   std::lock_guard lock(mu_);
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<histogram>();
-  return *slot;
+  auto it = index_.find(index_key);
+  if (it != index_.end()) return it->second;
+
+  entry e;
+  e.kind = kind;
+  e.name = name;
+  e.labels = labels;
+  e.key = std::move(key);
+  switch (kind) {
+    case metric_kind::counter: e.c = std::make_unique<counter>(); break;
+    case metric_kind::gauge: e.g = std::make_unique<gauge>(); break;
+    case metric_kind::histogram: e.h = std::make_unique<histogram>(); break;
+    case metric_kind::sharded_counter: e.s = std::make_unique<sharded_counter>(); break;
+  }
+  const metric_id id = static_cast<metric_id>(entries_.size());
+  entries_.push_back(std::move(e));
+  index_.emplace(std::move(index_key), id);
+  return id;
+}
+
+const metrics_registry::entry& metrics_registry::at(metric_id id) const {
+  std::lock_guard lock(mu_);
+  return entries_.at(id);
+}
+
+counter& metrics_registry::get_counter(const std::string& name, const label_list& labels) {
+  return counter_at(intern(metric_kind::counter, name, labels));
+}
+
+gauge& metrics_registry::get_gauge(const std::string& name, const label_list& labels) {
+  return gauge_at(intern(metric_kind::gauge, name, labels));
+}
+
+histogram& metrics_registry::get_histogram(const std::string& name, const label_list& labels) {
+  return histogram_at(intern(metric_kind::histogram, name, labels));
+}
+
+sharded_counter& metrics_registry::get_sharded_counter(const std::string& name,
+                                                       const label_list& labels) {
+  return sharded_counter_at(intern(metric_kind::sharded_counter, name, labels));
+}
+
+counter& metrics_registry::counter_at(metric_id id) { return *at(id).c; }
+gauge& metrics_registry::gauge_at(metric_id id) { return *at(id).g; }
+histogram& metrics_registry::histogram_at(metric_id id) { return *at(id).h; }
+sharded_counter& metrics_registry::sharded_counter_at(metric_id id) { return *at(id).s; }
+
+std::size_t metrics_registry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+std::vector<const metrics_registry::entry*> metrics_registry::sorted_entries_locked() const {
+  std::vector<const entry*> out;
+  out.reserve(entries_.size());
+  for (const entry& e : entries_) out.push_back(&e);
+  std::sort(out.begin(), out.end(), [](const entry* a, const entry* b) {
+    if (a->key != b->key) return a->key < b->key;
+    return a->kind < b->kind;
+  });
+  return out;
+}
+
+std::vector<std::string> metrics_registry::family_names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const entry& e : entries_) names.push_back(e.name);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<metric_sample> metrics_registry::samples() const {
+  std::lock_guard lock(mu_);
+  std::vector<metric_sample> out;
+  out.reserve(entries_.size());
+  for (const entry* e : sorted_entries_locked()) {
+    out.push_back(metric_sample{e->key, e->name, e->kind, e->scalar_value()});
+  }
+  return out;
 }
 
 std::string metrics_registry::report() const {
   std::lock_guard lock(mu_);
   std::ostringstream os;
-  for (const auto& [name, c] : counters_) {
-    os << name << " = " << c->value() << "\n";
+  const auto sorted = sorted_entries_locked();
+  for (const entry* e : sorted) {
+    switch (e->kind) {
+      case metric_kind::counter: os << e->key << " = " << e->c->value() << "\n"; break;
+      case metric_kind::sharded_counter: os << e->key << " = " << e->s->value() << "\n"; break;
+      case metric_kind::gauge: os << e->key << " = " << e->g->value() << " (gauge)\n"; break;
+      case metric_kind::histogram: break;
+    }
   }
-  for (const auto& [name, h] : histograms_) {
-    os << name << ": count=" << h->count() << " mean=" << h->mean()
-       << "ns p50=" << h->quantile(0.5) << "ns p99=" << h->quantile(0.99)
-       << "ns max=" << h->max() << "ns\n";
+  for (const entry* e : sorted) {
+    if (e->kind != metric_kind::histogram) continue;
+    const histogram& h = *e->h;
+    os << e->key << ": count=" << h.count() << " mean=" << h.mean()
+       << "ns p50=" << h.quantile(0.5) << "ns p99=" << h.quantile(0.99)
+       << "ns max=" << h.max() << "ns\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted scheme maps onto
+// it by substitution.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prom_labels(const label_list& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += prom_name(labels[i].first);
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string prom_labels_with(const label_list& labels, const char* extra_key,
+                             const char* extra_value) {
+  label_list all = labels;
+  all.emplace_back(extra_key, extra_value);
+  return prom_labels(all);
+}
+
+void json_escape_into(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+std::string metrics_registry::export_prometheus() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  std::string last_typed;  // one # TYPE line per family
+  for (const entry* e : sorted_entries_locked()) {
+    const std::string n = prom_name(e->name);
+    const char* type = nullptr;
+    switch (e->kind) {
+      case metric_kind::counter:
+      case metric_kind::sharded_counter: type = "counter"; break;
+      case metric_kind::gauge: type = "gauge"; break;
+      case metric_kind::histogram: type = "summary"; break;
+    }
+    if (n != last_typed) {
+      os << "# TYPE " << n << " " << type << "\n";
+      last_typed = n;
+    }
+    switch (e->kind) {
+      case metric_kind::counter:
+        os << n << prom_labels(e->labels) << " " << e->c->value() << "\n";
+        break;
+      case metric_kind::sharded_counter:
+        os << n << prom_labels(e->labels) << " " << e->s->value() << "\n";
+        break;
+      case metric_kind::gauge:
+        os << n << prom_labels(e->labels) << " " << e->g->value() << "\n";
+        break;
+      case metric_kind::histogram: {
+        const histogram& h = *e->h;
+        os << n << prom_labels_with(e->labels, "quantile", "0.5") << " " << h.quantile(0.5)
+           << "\n";
+        os << n << prom_labels_with(e->labels, "quantile", "0.9") << " " << h.quantile(0.9)
+           << "\n";
+        os << n << prom_labels_with(e->labels, "quantile", "0.99") << " " << h.quantile(0.99)
+           << "\n";
+        os << n << "_sum" << prom_labels(e->labels) << " " << h.sum() << "\n";
+        os << n << "_count" << prom_labels(e->labels) << " " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string metrics_registry::export_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const entry* e : sorted_entries_locked()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    json_escape_into(os, e->name);
+    os << "\",\"kind\":\"" << metric_kind_name(e->kind) << "\"";
+    if (!e->labels.empty()) {
+      os << ",\"labels\":{";
+      for (std::size_t i = 0; i < e->labels.size(); ++i) {
+        if (i) os << ",";
+        os << "\"";
+        json_escape_into(os, e->labels[i].first);
+        os << "\":\"";
+        json_escape_into(os, e->labels[i].second);
+        os << "\"";
+      }
+      os << "}";
+    }
+    switch (e->kind) {
+      case metric_kind::counter: os << ",\"value\":" << e->c->value(); break;
+      case metric_kind::sharded_counter: os << ",\"value\":" << e->s->value(); break;
+      case metric_kind::gauge: os << ",\"value\":" << e->g->value(); break;
+      case metric_kind::histogram: {
+        const histogram& h = *e->h;
+        os << ",\"count\":" << h.count() << ",\"sum\":" << h.sum() << ",\"mean\":" << h.mean()
+           << ",\"p50\":" << h.quantile(0.5) << ",\"p90\":" << h.quantile(0.9)
+           << ",\"p99\":" << h.quantile(0.99) << ",\"max\":" << h.max();
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string stats_reporter::delta_report(const metrics_registry& reg, double elapsed_seconds) {
+  std::ostringstream os;
+  for (const metric_sample& s : reg.samples()) {
+    os << s.key << " = " << s.value;
+    const bool monotone = s.kind != metric_kind::gauge;
+    if (monotone) {
+      auto it = prev_.find(s.key);
+      const double before = it == prev_.end() ? 0.0 : it->second;
+      const double rate = elapsed_seconds > 0 ? (s.value - before) / elapsed_seconds : 0.0;
+      os << " (" << rate << "/s)";
+    } else {
+      os << " (gauge)";
+    }
+    os << "\n";
+    prev_[s.key] = s.value;
   }
   return os.str();
 }

@@ -1,0 +1,156 @@
+// Per-hop packet tracing (ISSUE 2; Hermes-style per-hop latency
+// accounting). A tracer owns one histogram per datapath stage plus a ring
+// buffer of recent sampled per-packet records. Instrumentation sites bind
+// to the *current* tracer through a thread-local (scoped_tracer), so the
+// ilp/core layers need no plumbed-through telemetry parameters and pay a
+// single TLS load + null check when tracing is off.
+//
+// Cost model (overhead budget in DESIGN.md §8):
+//   * batch-granularity stage spans — a handful of clock reads per batch;
+//   * one relaxed fetch_add per packet for the deterministic sampler;
+//   * full per-packet stage timestamps and ring captures only for sampled
+//     packets (1 in 2^sample_shift, default 1/256).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace interedge::trace {
+
+enum class stage : std::uint8_t {
+  ingress = 0,  // terminus receive batch: cache consults, verdicts, drain
+  parse,        // wire-format parse + header decode
+  decrypt,      // PSP open of the sealed ILP headers
+  cache,        // decision-cache lookup
+  emit,         // fast-path verdict apply (forward/deliver/drop)
+  slowpath,     // slow-path channel drain
+  service,      // service-module on_packet dispatch
+};
+inline constexpr std::size_t kStageCount = 7;
+const char* stage_name(stage s);
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// Verdict tags for sampled records.
+inline constexpr char kVerdictForward = 'F';
+inline constexpr char kVerdictDeliver = 'D';
+inline constexpr char kVerdictDrop = 'X';
+inline constexpr char kVerdictNone = '-';
+
+// One sampled measurement: stage `st` on hop `hop` took `duration_ns`,
+// nested `depth` spans deep, for sampled packet number `seq`.
+struct trace_record {
+  std::uint64_t seq = 0;
+  std::uint64_t hop = 0;
+  stage st = stage::ingress;
+  std::uint8_t depth = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  char verdict = kVerdictNone;
+};
+
+class tracer {
+ public:
+  struct config {
+    std::uint64_t hop = 0;            // node id stamped into records
+    std::uint32_t sample_shift = 8;   // sample 1 in 2^shift packets
+    std::size_t ring_capacity = 512;  // rounded up to a power of two
+  };
+
+  // Stage histograms are interned into `reg` as sn.stage.<name> so the
+  // exposition surface covers them automatically.
+  explicit tracer(metrics_registry& reg);
+  tracer(metrics_registry& reg, config cfg);
+
+  // Deterministic sampler: advances the packet sequence and reports
+  // whether this packet is traced (every 2^sample_shift-th, starting at 0).
+  bool sample_tick() {
+    return (seq_.fetch_add(1, std::memory_order_relaxed) & sample_mask_) == 0;
+  }
+
+  // Batch form: claims `n` consecutive sequence numbers with one atomic
+  // and returns the first; test each packet with sample_hit(base + i).
+  std::uint64_t sample_tick_batch(std::uint64_t n) {
+    return seq_.fetch_add(n, std::memory_order_relaxed);
+  }
+  bool sample_hit(std::uint64_t seq) const { return (seq & sample_mask_) == 0; }
+
+  histogram& stage_hist(stage s) { return *stage_hists_[static_cast<std::size_t>(s)]; }
+  void record_stage(stage s, std::uint64_t duration_ns) { stage_hist(s).record(duration_ns); }
+
+  // Pushes a sampled per-packet record into the ring (lock-free, may
+  // overwrite the oldest record under wrap).
+  void capture(stage s, std::uint64_t start_ns, std::uint64_t duration_ns,
+               char verdict = kVerdictNone);
+
+  // Most-recent-first copy of the ring (bounded by capacity).
+  std::vector<trace_record> recent(std::size_t limit = 0) const;
+  // Human-readable dump of recent records, one per line.
+  std::string dump(std::size_t limit = 32) const;
+
+  std::uint64_t packets_seen() const { return seq_.load(std::memory_order_relaxed); }
+  std::uint64_t sampled() const { return captures_.load(std::memory_order_relaxed); }
+  std::uint64_t hop() const { return hop_; }
+
+ private:
+  std::uint64_t hop_;
+  std::uint64_t sample_mask_;
+  std::array<histogram*, kStageCount> stage_hists_{};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> captures_{0};  // ring sequence
+  std::vector<trace_record> ring_;
+  std::size_t ring_mask_;
+};
+
+// Thread-local current tracer. Instrumentation in lower layers (pipe
+// decrypt, exec_env dispatch) reads this instead of taking a tracer
+// parameter through every call signature.
+tracer* current();
+
+// Installs `t` as the current tracer for the enclosing scope.
+class scoped_tracer {
+ public:
+  explicit scoped_tracer(tracer* t);
+  ~scoped_tracer();
+  scoped_tracer(const scoped_tracer&) = delete;
+  scoped_tracer& operator=(const scoped_tracer&) = delete;
+
+ private:
+  tracer* prev_;
+};
+
+// Current span-stack depth on this thread (0 outside any span).
+int span_depth();
+
+// RAII stage span over the current tracer: records elapsed nanoseconds
+// into the stage histogram; with `capture`, also pushes a per-packet ring
+// record at the depth the span opened at. No-op when no tracer is current.
+class span {
+ public:
+  explicit span(stage s, bool capture = false);
+  ~span();
+  span(const span&) = delete;
+  span& operator=(const span&) = delete;
+
+  // Tags the ring record (fast-path verdicts); ignored without `capture`.
+  void set_verdict(char v) { verdict_ = v; }
+
+ private:
+  tracer* t_;
+  stage stage_;
+  bool capture_;
+  char verdict_ = kVerdictNone;
+  std::uint8_t depth_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace interedge::trace

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/serial.h"
+#include "common/trace.h"
 
 namespace interedge::core {
 
@@ -53,7 +54,9 @@ class exec_env::context_impl final : public service_context {
   std::map<std::string, std::string> config_;
 };
 
-exec_env::exec_env(node_services& node) : node_(node) {}
+exec_env::exec_env(node_services& node) : node_(node) {
+  unknown_drop_counter_ = &node_.metrics().get_counter("sn.drop.unknown_service");
+}
 exec_env::~exec_env() = default;
 
 void exec_env::deploy(std::unique_ptr<service_module> module) {
@@ -61,6 +64,8 @@ void exec_env::deploy(std::unique_ptr<service_module> module) {
   deployed_module dm;
   dm.context = std::make_unique<context_impl>(node_, id);
   dm.module = std::move(module);
+  dm.dispatch_counter = &node_.metrics().get_counter(
+      "sn.slowpath.dispatch", {{"service", std::string(dm.module->name())}});
   dm.module->start(*dm.context);
   modules_[id] = std::move(dm);
 }
@@ -100,9 +105,13 @@ module_result exec_env::dispatch(const packet& pkt) {
   auto it = modules_.find(pkt.header.service);
   if (it == modules_.end()) {
     ++unknown_drops_;
-    IE_LOG(debug) << "exec_env: no module for service " << pkt.header.service;
+    unknown_drop_counter_->add();
+    IE_LOG(debug) << "exec_env" << kv("drop", "unknown-service")
+                  << kv("service", pkt.header.service) << kv("node", node_.node_id());
     return module_result::drop();
   }
+  it->second.dispatch_counter->add();
+  trace::span service_span(trace::stage::service);
   module_result result = it->second.module->on_packet(*it->second.context, pkt);
   if (interceptor_.module && interceptor_.module->content_dependent()) {
     // A payload-inspecting interceptor must see every packet: no module may

@@ -76,6 +76,8 @@ class exec_env {
   struct deployed_module {
     std::unique_ptr<service_module> module;
     std::unique_ptr<context_impl> context;
+    // Handle resolved at deploy: sn.slowpath.dispatch{service=<name>}.
+    counter* dispatch_counter = nullptr;
   };
 
   node_services& node_;
@@ -84,6 +86,7 @@ class exec_env {
   std::uint64_t dispatches_ = 0;
   std::uint64_t unknown_drops_ = 0;
   std::uint64_t intercepted_ = 0;
+  counter* unknown_drop_counter_ = nullptr;
 };
 
 }  // namespace interedge::core

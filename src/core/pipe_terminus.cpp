@@ -1,12 +1,60 @@
 #include "core/pipe_terminus.h"
 
+#include "common/logging.h"
+
 namespace interedge::core {
+
+namespace {
+
+char verdict_char(decision::verdict v) {
+  switch (v) {
+    case decision::verdict::forward: return trace::kVerdictForward;
+    case decision::verdict::deliver_local: return trace::kVerdictDeliver;
+    case decision::verdict::drop: return trace::kVerdictDrop;
+  }
+  return trace::kVerdictNone;
+}
+
+}  // namespace
 
 pipe_terminus::pipe_terminus(decision_cache& cache, slowpath_channel& channel, forward_fn forward)
     : cache_(cache), channel_(channel), forward_(std::move(forward)) {}
 
+void pipe_terminus::enable_telemetry(metrics_registry& reg, trace::tracer* tracer) {
+  reg_ = &reg;
+  tracer_ = tracer;
+  m_fast_ = &reg.get_counter("sn.fastpath.pkts");
+  m_slow_ = &reg.get_counter("sn.slowpath.pkts");
+  m_forwarded_ = &reg.get_counter("sn.tx.forwarded");
+  m_delivered_ = &reg.get_counter("sn.rx.delivered");
+  m_dropped_ = &reg.get_counter("sn.drop.pkts");
+  m_backpressure_ = &reg.get_counter("sn.slowpath.backpressure");
+  m_inflight_ = &reg.get_gauge("sn.slowpath.in_flight");
+}
+
+counter& pipe_terminus::service_rx_counter(ilp::service_id service) {
+  const std::size_t slot = service < kServiceSlots ? service : 0;
+  counter*& c = rx_by_service_[slot];
+  if (c == nullptr) {
+    c = &reg_->get_counter("sn.rx.pkts", {{"service", ilp::svc::name(service)}});
+  }
+  return *c;
+}
+
+void pipe_terminus::flush_deltas(const terminus_stats& before) {
+  m_fast_->add(stats_.fast_path - before.fast_path);
+  m_slow_->add(stats_.slow_path - before.slow_path);
+  m_forwarded_->add(stats_.forwarded - before.forwarded);
+  m_delivered_->add(stats_.delivered - before.delivered);
+  m_dropped_->add(stats_.dropped - before.dropped);
+  m_backpressure_->add(stats_.backpressure - before.backpressure);
+  m_inflight_->set(static_cast<std::int64_t>(in_flight_.size()));
+}
+
 void pipe_terminus::handle(packet pkt) {
+  const terminus_stats before = stats_;
   ++stats_.received;
+  const bool sampled = tracer_ != nullptr && tracer_->sample_tick();
 
   // Control-plane packets always reach the service module: they mutate
   // service state and must not be short-circuited by a stale decision.
@@ -15,7 +63,11 @@ void pipe_terminus::handle(packet pkt) {
     const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
     if (auto d = cache_.lookup(key)) {
       ++stats_.fast_path;
-      apply(*d, pkt.header, pkt.payload);
+      apply_traced(*d, pkt.header, pkt.payload, sampled);
+      if (reg_ != nullptr) {
+        service_rx_counter(pkt.header.service).add();
+        flush_deltas(before);
+      }
       return;
     }
   }
@@ -35,28 +87,67 @@ void pipe_terminus::handle(packet pkt) {
   }
   in_flight_.emplace(token, std::move(pkt));
   pump();
+  if (reg_ != nullptr) {
+    service_rx_counter(pkt.header.service).add();
+    flush_deltas(before);
+  }
 }
 
 void pipe_terminus::handle_batch(std::span<packet> pkts) {
+  trace::span batch_span(trace::stage::ingress);
+  const terminus_stats before = stats_;
+  // One atomic claims the whole batch's sampler sequence range; per packet
+  // the sampling decision is then a mask compare on a register.
+  std::uint64_t sample_base = 0;
+  if (tracer_ != nullptr) sample_base = tracer_->sample_tick_batch(pkts.size());
+
   // Same-key run memo: bursts from one flow pay for one cache lookup.
   bool have_memo = false;
   cache_key memo_key{};
   decision memo_decision;
   bool submitted = false;
 
+  // Per-service rx tally: same-service runs (the common case) fold into
+  // one handle add at flush.
+  ilp::service_id tally_service = 0;
+  std::uint64_t tally_count = 0;
+  auto tally_rx = [&](ilp::service_id service) {
+    if (reg_ == nullptr) return;
+    if (tally_count > 0 && service == tally_service) {
+      ++tally_count;
+      return;
+    }
+    if (tally_count > 0) service_rx_counter(tally_service).add(tally_count);
+    tally_service = service;
+    tally_count = 1;
+  };
+
+  std::uint64_t pkt_index = 0;
   for (packet& pkt : pkts) {
     ++stats_.received;
+    tally_rx(pkt.header.service);
+    const bool sampled =
+        tracer_ != nullptr && tracer_->sample_hit(sample_base + pkt_index);
+    ++pkt_index;
     const bool is_control = (pkt.header.flags & ilp::kFlagControl) != 0;
     if (!is_control) {
       const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
       if (have_memo && key == memo_key) {
         ++stats_.fast_path;
-        apply(memo_decision, pkt.header, pkt.payload);
+        apply_traced(memo_decision, pkt.header, pkt.payload, sampled);
         continue;
       }
-      if (auto d = cache_.lookup(key)) {
+      std::uint64_t lookup_start = 0;
+      if (sampled) lookup_start = trace::now_ns();
+      auto d = cache_.lookup(key);
+      if (sampled) {
+        const std::uint64_t dur = trace::now_ns() - lookup_start;
+        tracer_->record_stage(trace::stage::cache, dur);
+        tracer_->capture(trace::stage::cache, lookup_start, dur);
+      }
+      if (d) {
         ++stats_.fast_path;
-        apply(*d, pkt.header, pkt.payload);
+        apply_traced(*d, pkt.header, pkt.payload, sampled);
         memo_key = key;
         memo_decision = std::move(*d);
         have_memo = true;
@@ -81,7 +172,15 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
   }
 
   // Drain the slow-path channel once per batch, not once per packet.
-  if (submitted) pump();
+  if (submitted) {
+    trace::span drain_span(trace::stage::slowpath);
+    pump();
+  }
+
+  if (reg_ != nullptr) {
+    if (tally_count > 0) service_rx_counter(tally_service).add(tally_count);
+    flush_deltas(before);
+  }
 }
 
 std::size_t pipe_terminus::pump() {
@@ -109,6 +208,19 @@ void pipe_terminus::complete(slowpath_response resp) {
   apply(resp.verdict, pkt.header, pkt.payload);
 }
 
+void pipe_terminus::apply_traced(const decision& d, const ilp::ilp_header& header,
+                                 const bytes& payload, bool sampled) {
+  if (!sampled) {
+    apply(d, header, payload);
+    return;
+  }
+  const std::uint64_t start = trace::now_ns();
+  apply(d, header, payload);
+  const std::uint64_t dur = trace::now_ns() - start;
+  tracer_->record_stage(trace::stage::emit, dur);
+  tracer_->capture(trace::stage::emit, start, dur, verdict_char(d.kind));
+}
+
 void pipe_terminus::apply(const decision& d, const ilp::ilp_header& header, const bytes& payload) {
   switch (d.kind) {
     case decision::verdict::forward:
@@ -122,6 +234,11 @@ void pipe_terminus::apply(const decision& d, const ilp::ilp_header& header, cons
       break;
     case decision::verdict::drop:
       ++stats_.dropped;
+      // The counter (sn.drop.pkts, via flush_deltas) and the log line move
+      // together so no drop is ever silent.
+      IE_LOG(debug) << "terminus" << kv("drop", "verdict")
+                    << kv("service", ilp::svc::name(header.service))
+                    << kv("conn", header.connection);
       break;
   }
 }

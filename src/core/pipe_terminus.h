@@ -14,11 +14,14 @@
 // handle() drains it before returning.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <unordered_map>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/channel.h"
 #include "core/decision_cache.h"
 #include "core/packet.h"
@@ -55,6 +58,14 @@ class pipe_terminus {
   // Drains completed slow-path responses; returns how many were applied.
   std::size_t pump();
 
+  // Observability (ISSUE 2): resolves lock-free metric handles in `reg`
+  // (per-service rx families, path counters, drop counters, an in-flight
+  // gauge) and installs the tracer used for sampled per-packet stage
+  // captures. Without this call the terminus maintains only its plain
+  // stats struct. Handle increments are batched per handle_batch call, so
+  // the per-packet telemetry cost is a couple of register increments.
+  void enable_telemetry(metrics_registry& reg, trace::tracer* tracer);
+
   // True while slow-path responses are outstanding.
   bool busy() const { return !in_flight_.empty(); }
   std::size_t in_flight() const { return in_flight_.size(); }
@@ -63,7 +74,13 @@ class pipe_terminus {
 
  private:
   void apply(const decision& d, const ilp::ilp_header& header, const bytes& payload);
+  // apply() plus sampled emit-stage timing and a ring capture.
+  void apply_traced(const decision& d, const ilp::ilp_header& header, const bytes& payload,
+                    bool sampled);
   void complete(slowpath_response resp);
+  counter& service_rx_counter(ilp::service_id service);
+  // Adds the stats_ movement since `before` to the metric handles.
+  void flush_deltas(const terminus_stats& before);
 
   decision_cache& cache_;
   slowpath_channel& channel_;
@@ -71,6 +88,20 @@ class pipe_terminus {
   std::unordered_map<std::uint64_t, packet> in_flight_;
   std::uint64_t next_token_ = 1;
   terminus_stats stats_;
+
+  // Telemetry (null until enable_telemetry). Slot 0 of the per-service
+  // table aggregates ids outside the well-known range.
+  static constexpr std::size_t kServiceSlots = 32;
+  metrics_registry* reg_ = nullptr;
+  trace::tracer* tracer_ = nullptr;
+  counter* m_fast_ = nullptr;
+  counter* m_slow_ = nullptr;
+  counter* m_forwarded_ = nullptr;
+  counter* m_delivered_ = nullptr;
+  counter* m_dropped_ = nullptr;
+  counter* m_backpressure_ = nullptr;
+  gauge* m_inflight_ = nullptr;
+  std::array<counter*, kServiceSlots> rx_by_service_{};
 };
 
 }  // namespace interedge::core

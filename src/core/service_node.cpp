@@ -22,6 +22,9 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
       scheduler_(std::move(scheduler)),
       router_(route),
       cache_(config.cache_capacity, config.cache_hash_seed),
+      tracer_(metrics_, trace::tracer::config{.hop = config.id,
+                                              .sample_shift = config.trace_sample_shift,
+                                              .ring_capacity = config.trace_ring_capacity}),
       pipes_(
           config.id,
           [this](peer_id to, bytes datagram) { send_datagram_(to, std::move(datagram)); },
@@ -36,6 +39,8 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
       [this](peer_id to, const ilp::ilp_header& header, const bytes& payload) {
         pipes_.send(to, header, payload);
       });
+  terminus_->enable_telemetry(metrics_, &tracer_);
+  pipes_.set_metrics(metrics_);
   pipes_.set_batch_deliver([this](peer_id from, std::span<ilp::opened_packet> pkts) {
     batch_scratch_.clear();
     batch_scratch_.reserve(pkts.size());
@@ -48,15 +53,18 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
 }
 
 void service_node::on_datagram(peer_id from, const_byte_span datagram) {
+  trace::scoped_tracer st(&tracer_);
   pipes_.on_datagram(from, datagram);
 }
 
 void service_node::on_datagram_batch(peer_id from,
                                      std::span<const const_byte_span> datagrams) {
+  trace::scoped_tracer st(&tracer_);
   pipes_.on_datagram_batch(from, datagrams);
 }
 
 void service_node::on_datagrams(std::span<const std::pair<peer_id, bytes>> datagrams) {
+  trace::scoped_tracer st(&tracer_);
   // Feed maximal same-peer runs through the batched path; order across
   // peers is preserved because runs are flushed in arrival order.
   std::size_t i = 0;
@@ -84,6 +92,40 @@ void service_node::schedule(nanoseconds delay, std::function<void()> fn) {
 std::optional<peer_id> service_node::next_hop(edge_addr dest) const {
   if (!router_) return std::nullopt;
   return router_->next_hop(dest);
+}
+
+std::string service_node::stats_snapshot() {
+  const time_point now = clock_.now();
+  double elapsed = 0;
+  if (have_snapshot_) {
+    elapsed = static_cast<double>((now - last_snapshot_).count()) / 1e9;
+  }
+  last_snapshot_ = now;
+  have_snapshot_ = true;
+  return stats_reporter_.delta_report(metrics_, elapsed);
+}
+
+void service_node::start_stats_reporting(nanoseconds interval,
+                                         std::function<void(const std::string&)> sink,
+                                         std::uint64_t max_reports) {
+  stats_running_ = true;
+  schedule_stats_tick(
+      interval, std::make_shared<std::function<void(const std::string&)>>(std::move(sink)),
+      max_reports);
+}
+
+void service_node::schedule_stats_tick(
+    nanoseconds interval, std::shared_ptr<std::function<void(const std::string&)>> sink,
+    std::uint64_t remaining) {
+  scheduler_(interval, [this, interval, sink, remaining] {
+    if (!stats_running_) return;
+    (*sink)(stats_snapshot());
+    if (remaining == 1) {
+      stats_running_ = false;
+      return;
+    }
+    schedule_stats_tick(interval, sink, remaining == 0 ? 0 : remaining - 1);
+  });
 }
 
 slowpath_response service_node::handle_slowpath(slowpath_request req) {

@@ -19,6 +19,7 @@
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/channel.h"
 #include "core/decision_cache.h"
 #include "core/exec_env.h"
@@ -33,6 +34,10 @@ struct sn_config {
   std::uint16_t edomain = 0;
   std::size_t cache_capacity = 4096;
   std::uint64_t cache_hash_seed = 0;
+  // Packet tracing: sample 1 in 2^trace_sample_shift packets into the
+  // per-packet trace ring (stage histograms are always on; see DESIGN §8).
+  std::uint32_t trace_sample_shift = 8;
+  std::size_t trace_ring_capacity = 512;
 };
 
 class service_node final : public node_services {
@@ -69,6 +74,19 @@ class service_node final : public node_services {
   ilp::pipe_manager& pipes() { return pipes_; }
   pipe_terminus& terminus() { return *terminus_; }
   const terminus_stats& datapath_stats() const { return terminus_->stats(); }
+  trace::tracer& packet_tracer() { return tracer_; }
+
+  // Stats snapshot: every registered metric with per-second rates for the
+  // monotone kinds, computed against the previous snapshot (the paper's
+  // "operable at scale" requirement — ISSUE 2).
+  std::string stats_snapshot();
+
+  // Periodic exposition over the node's scheduler. max_reports == 0 runs
+  // until stop_stats_reporting(); a bound makes it usable under the
+  // run-until-quiet simulator loop.
+  void start_stats_reporting(nanoseconds interval, std::function<void(const std::string&)> sink,
+                             std::uint64_t max_reports = 0);
+  void stop_stats_reporting() { stats_running_ = false; }
 
   // Establishes a long-lived pipe (inter-edomain peering, §3.2).
   void peer_with(peer_id other) { pipes_.connect(other); }
@@ -84,6 +102,9 @@ class service_node final : public node_services {
 
  private:
   slowpath_response handle_slowpath(slowpath_request req);
+  void schedule_stats_tick(nanoseconds interval,
+                           std::shared_ptr<std::function<void(const std::string&)>> sink,
+                           std::uint64_t remaining);
 
   sn_config config_;
   const clock& clock_;
@@ -93,6 +114,11 @@ class service_node final : public node_services {
 
   decision_cache cache_;
   metrics_registry metrics_;
+  trace::tracer tracer_;
+  stats_reporter stats_reporter_;
+  bool stats_running_ = false;
+  bool have_snapshot_ = false;
+  time_point last_snapshot_{};
   std::unique_ptr<exec_env> env_;
   std::unique_ptr<inline_channel> channel_;
   std::unique_ptr<pipe_terminus> terminus_;

@@ -4,6 +4,31 @@
 
 namespace interedge::ilp {
 
+namespace svc {
+const char* name(service_id id) {
+  switch (id) {
+    case null_service: return "null";
+    case delivery: return "delivery";
+    case pubsub: return "pubsub";
+    case multicast: return "multicast";
+    case anycast: return "anycast";
+    case last_hop_qos: return "qos";
+    case odns: return "odns";
+    case mixnet: return "mixnet";
+    case ddos_protect: return "ddos";
+    case vpn: return "vpn";
+    case message_queue: return "mq";
+    case ordered_delivery: return "ordered";
+    case bulk_delivery: return "bulk";
+    case firewall: return "firewall";
+    case streaming: return "streaming";
+    case mobility: return "mobility";
+    case cluster: return "cluster";
+    default: return "other";
+  }
+}
+}  // namespace svc
+
 bytes ilp_header::encode() const {
   writer w(32);
   encode_into(w);

@@ -51,6 +51,10 @@ inline constexpr service_id firewall = 14;      // operator-imposed pass-through
 inline constexpr service_id streaming = 15;     // bitrate-adaptive media delivery
 inline constexpr service_id mobility = 16;      // mobility lookup service
 inline constexpr service_id cluster = 17;       // cluster interconnection
+
+// Human-readable name for metric labels and logs; "other" for ids outside
+// the standardized range (experimental services, malformed headers).
+const char* name(service_id id);
 }  // namespace svc
 
 // Header flags.

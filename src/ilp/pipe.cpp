@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/serial.h"
+#include "common/trace.h"
 #include "crypto/kdf.h"
 
 namespace interedge::ilp {
@@ -97,6 +98,12 @@ std::size_t pipe::decrypt_batch(std::span<const const_byte_span> bodies,
   out.clear();
   out.resize(n);
 
+  // Stage timing is batch-granular — four clock reads per batch, so the
+  // telemetry cost amortizes to ~nothing per packet (DESIGN.md §8).
+  trace::tracer* tr = trace::current();
+  std::uint64_t t0 = 0, t1 = 0, t2 = 0;
+  if (tr) t0 = trace::now_ns();
+
   // Pass 1: parse every body, recording the sealed-header span, the
   // payload span and the per-packet length AAD. A parse failure leaves the
   // sealed span empty, which open_batch skips.
@@ -124,6 +131,8 @@ std::size_t pipe::decrypt_batch(std::span<const const_byte_span> bodies,
     }
   }
 
+  if (tr) t1 = trace::now_ns();
+
   // Pass 2: decrypt every header in one multi-stream batch, each into its
   // slice of the shared arena.
   open_scratch_.resize(arena_size);
@@ -141,6 +150,7 @@ std::size_t pipe::decrypt_batch(std::span<const const_byte_span> bodies,
   }
   rx_.open_batch(sealed_scratch_, aad_scratch_, dst_scratch_,
                  std::span<bool>(ok_scratch_.get(), n));
+  if (tr) t2 = trace::now_ns();
 
   // Pass 3: decode the authenticated headers.
   std::size_t opened = 0;
@@ -157,6 +167,12 @@ std::size_t pipe::decrypt_batch(std::span<const const_byte_span> bodies,
     } catch (const serial_error&) {
       ++stats_.rejected;
     }
+  }
+  if (tr) {
+    const std::uint64_t t3 = trace::now_ns();
+    // Parse = wire parse (pass 1) + header decode (pass 3).
+    tr->record_stage(trace::stage::parse, (t1 - t0) + (t3 - t2));
+    tr->record_stage(trace::stage::decrypt, t2 - t1);
   }
   return opened;
 }

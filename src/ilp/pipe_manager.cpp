@@ -26,6 +26,11 @@ bytes handshake_message(msg_kind kind, std::uint32_t spi, const crypto::x25519_k
 pipe_manager::pipe_manager(peer_id self, send_fn send, deliver_fn deliver)
     : self_(self), send_(std::move(send)), deliver_(std::move(deliver)) {}
 
+void pipe_manager::set_metrics(metrics_registry& reg) {
+  rejected_pkts_ = &reg.get_counter("ilp.rx.rejected");
+  no_pipe_drops_ = &reg.get_counter("ilp.rx.no_pipe");
+}
+
 std::uint32_t pipe_manager::fresh_spi() {
   // SPI bases are 31-bit (the top bit is the PSP epoch bit). Mix in the
   // element id so SPIs from different elements rarely collide in logs.
@@ -194,10 +199,18 @@ void pipe_manager::on_datagram_batch(peer_id peer, std::span<const const_byte_sp
 void pipe_manager::flush_data_run(peer_id peer, std::span<const const_byte_span> bodies) {
   auto it = pipes_.find(peer);
   if (it == pipes_.end()) {
-    IE_LOG(debug) << "pipe_manager " << self_ << ": data before pipe from " << peer;
+    if (no_pipe_drops_) no_pipe_drops_->add(bodies.size());
+    IE_LOG(debug) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                  << kv("drop", "data-before-pipe") << kv("pkts", bodies.size());
     return;
   }
-  it->second->decrypt_batch(bodies, opened_scratch_);
+  const std::size_t opened = it->second->decrypt_batch(bodies, opened_scratch_);
+  if (opened < bodies.size()) {
+    const std::size_t rejected = bodies.size() - opened;
+    if (rejected_pkts_) rejected_pkts_->add(rejected);
+    IE_LOG(warn) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                 << kv("drop", "auth-reject") << kv("pkts", rejected);
+  }
   batch_scratch_.clear();
   for (auto& opened : opened_scratch_) {
     if (opened) batch_scratch_.push_back(std::move(*opened));
@@ -208,11 +221,18 @@ void pipe_manager::flush_data_run(peer_id peer, std::span<const const_byte_span>
 void pipe_manager::handle_data(peer_id peer, const_byte_span body) {
   auto it = pipes_.find(peer);
   if (it == pipes_.end()) {
-    IE_LOG(debug) << "pipe_manager " << self_ << ": data before pipe from " << peer;
+    if (no_pipe_drops_) no_pipe_drops_->add();
+    IE_LOG(debug) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                  << kv("drop", "data-before-pipe");
     return;
   }
   auto opened = it->second->open(body);
-  if (!opened) return;
+  if (!opened) {
+    if (rejected_pkts_) rejected_pkts_->add();
+    IE_LOG(warn) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                 << kv("drop", "auth-reject");
+    return;
+  }
   deliver_(peer, opened->first, std::move(opened->second));
 }
 

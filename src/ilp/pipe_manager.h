@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "crypto/x25519.h"
 #include "ilp/pipe.h"
 
@@ -54,6 +55,10 @@ class pipe_manager {
   void set_batch_deliver(deliver_batch_fn deliver_batch) {
     deliver_batch_ = std::move(deliver_batch);
   }
+
+  // Resolves drop/error counters once so rejected datagrams are counted
+  // and logged in the same place — ingress drops are never silent.
+  void set_metrics(metrics_registry& reg);
 
   // Proactively establishes a pipe (used for the long-lived inter-edomain
   // peering pipes of §3.2).
@@ -103,6 +108,8 @@ class pipe_manager {
   send_fn send_;
   deliver_fn deliver_;
   deliver_batch_fn deliver_batch_;
+  counter* rejected_pkts_ = nullptr;  // auth/parse failures (see set_metrics)
+  counter* no_pipe_drops_ = nullptr;  // data before any pipe exists
   // Batch-path scratch, reused across on_datagram_batch calls.
   std::vector<const_byte_span> run_scratch_;
   std::vector<std::optional<opened_packet>> opened_scratch_;

@@ -12,7 +12,7 @@ core::module_result anycast_service::handle_control(core::service_context& ctx,
   const bool auto_open = ctx.config("auto_open_groups", "true") == "true";
   if (*op == ops::join) {
     if (!fanout_.may_join(*group, *src, auto_open)) {
-      ctx.metrics().get_counter("anycast.denied_joins").add();
+      denied_joins_metric_.add(ctx);
       return core::module_result::deliver();
     }
     fanout_.local_join(*group, *src);

@@ -16,6 +16,7 @@ class anycast_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::anycast; }
   std::string_view name() const override { return "anycast"; }
 
+  void start(core::service_context& ctx) override { denied_joins_metric_.bind(ctx); }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
@@ -31,6 +32,7 @@ class anycast_service final : public core::service_module {
   core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
 
   group_fanout fanout_;
+  counter_handle denied_joins_metric_{"anycast.denied_joins"};
 };
 
 }  // namespace interedge::services

@@ -47,7 +47,7 @@ core::module_result bulk_delivery_service::handle_control(core::service_context&
     const auto cached = ctx.storage().get(chunk_key(*object, *index));
     if (!cached) return core::module_result::deliver();  // miss: nothing to send
     ++refetch_hits_;
-    ctx.metrics().get_counter("bulk.refetch_hits").add();
+    refetch_hits_metric_.add(ctx);
     ilp::ilp_header h;
     h.service = ilp::svc::bulk_delivery;
     h.connection = pkt.header.connection;

@@ -28,6 +28,7 @@ class bulk_delivery_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::bulk_delivery; }
   std::string_view name() const override { return "bulk-delivery"; }
 
+  void start(core::service_context& ctx) override { refetch_hits_metric_.bind(ctx); }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
@@ -47,6 +48,7 @@ class bulk_delivery_service final : public core::service_module {
   std::size_t max_cached_;
   std::deque<std::string> cached_keys_;
   std::uint64_t refetch_hits_ = 0;
+  counter_handle refetch_hits_metric_{"bulk.refetch_hits"};
 };
 
 }  // namespace interedge::services

@@ -14,11 +14,11 @@ core::module_result cluster_interconnect_service::on_packet(core::service_contex
       // cluster owner opened it (auto-open off, like multicast).
       const bool auto_open = ctx.config("auto_open_clusters", "true") == "true";
       if (!fanout_.may_join(*cluster, *src, auto_open)) {
-        ctx.metrics().get_counter("cluster.denied").add();
+        denied_metric_.add(ctx);
         return core::module_result::deliver();
       }
       fanout_.local_join(*cluster, *src);
-      ctx.metrics().get_counter("cluster.gateways").add();
+      gateways_metric_.add(ctx);
       return core::module_result::deliver();
     }
     if (*op == cluster_ops::detach) {
@@ -31,7 +31,7 @@ core::module_result cluster_interconnect_service::on_packet(core::service_contex
   // Encapsulated cluster frame: fan out to every other site gateway. The
   // inner (private) destination rides in the payload, opaque to us.
   if (!cluster) return core::module_result::drop();
-  ctx.metrics().get_counter("cluster.frames").add();
+  frames_metric_.add(ctx);
   return fanout_.fan_out(ctx, pkt, *cluster);
 }
 

@@ -28,6 +28,11 @@ class cluster_interconnect_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::cluster; }
   std::string_view name() const override { return "cluster-interconnect"; }
 
+  void start(core::service_context& ctx) override {
+    denied_metric_.bind(ctx);
+    gateways_metric_.bind(ctx);
+    frames_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
@@ -41,6 +46,9 @@ class cluster_interconnect_service final : public core::service_module {
 
  private:
   group_fanout fanout_;
+  counter_handle denied_metric_{"cluster.denied"};
+  counter_handle gateways_metric_{"cluster.gateways"};
+  counter_handle frames_metric_{"cluster.frames"};
 };
 
 }  // namespace interedge::services

@@ -7,9 +7,32 @@
 
 #include <cstdint>
 
+#include "core/service_module.h"
 #include "ilp/header.h"
 
 namespace interedge::services {
+
+// Cached metric handle (ISSUE 2): service modules resolve their counters
+// once — in start(), or lazily on the first add for modules driven outside
+// exec_env (bench harnesses call on_packet directly) — so the packet path
+// never takes the registry mutex or the name-map lookup.
+class counter_handle {
+ public:
+  explicit counter_handle(const char* name) : name_(name) {}
+
+  void bind(core::service_context& ctx) { c_ = &ctx.metrics().get_counter(name_); }
+
+  void add(core::service_context& ctx, std::uint64_t n = 1) {
+    if (c_ == nullptr) bind(ctx);
+    c_->add(n);
+  }
+
+  bool bound() const { return c_ != nullptr; }
+
+ private:
+  const char* name_;
+  counter* c_ = nullptr;
+};
 
 // Service-private ILP metadata keys.
 enum class skey : std::uint16_t {

@@ -7,7 +7,9 @@
 namespace interedge::services {
 
 void ddos_service::start(core::service_context& ctx) {
-  (void)ctx;
+  protected_metric_.bind(ctx);
+  denied_metric_.bind(ctx);
+  rate_limited_metric_.bind(ctx);
   secret_.resize(32);
   crypto::random_bytes(secret_);
 }
@@ -28,7 +30,7 @@ core::module_result ddos_service::handle_control(core::service_context& ctx,
 
   if (*op == ops::protect) {
     protected_.insert(*src);
-    ctx.metrics().get_counter("ddos.protected_hosts").add();
+    protected_metric_.add(ctx);
     return core::module_result::deliver();
   }
   if (*op == ops::allow) {
@@ -90,7 +92,7 @@ core::module_result ddos_service::on_packet(core::service_context& ctx,
     }
     if (!admitted) {
       ++denied_;
-      ctx.metrics().get_counter("ddos.denied").add();
+      denied_metric_.add(ctx);
       // Shed this connection on the fast path from now on.
       core::module_result r = core::module_result::drop();
       r.cache_inserts.emplace_back(
@@ -100,7 +102,7 @@ core::module_result ddos_service::on_packet(core::service_context& ctx,
     }
     if (!admit_rate(ctx, *dest, sender)) {
       ++rate_limited_;
-      ctx.metrics().get_counter("ddos.rate_limited").add();
+      rate_limited_metric_.add(ctx);
       return core::module_result::drop();
     }
   }

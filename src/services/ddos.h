@@ -60,6 +60,9 @@ class ddos_service final : public core::service_module {
   std::map<std::pair<core::edge_addr, core::edge_addr>, bucket> buckets_;
   std::uint64_t denied_ = 0;
   std::uint64_t rate_limited_ = 0;
+  counter_handle protected_metric_{"ddos.protected_hosts"};
+  counter_handle denied_metric_{"ddos.denied"};
+  counter_handle rate_limited_metric_{"ddos.rate_limited"};
 };
 
 }  // namespace interedge::services

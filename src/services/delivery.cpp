@@ -95,7 +95,7 @@ core::module_result delivery_service::on_packet(core::service_context& ctx,
   const auto requester = pkt.header.meta_u64(ilp::meta_key::src_addr);
   if (cached && requester) {
     ++cache_hits_;
-    ctx.metrics().get_counter("delivery.cache_hits").add();
+    cache_hits_metric_.add(ctx);
     ilp::ilp_header response;
     response.service = ilp::svc::delivery;
     response.connection = pkt.header.connection;
@@ -115,7 +115,7 @@ core::module_result delivery_service::on_packet(core::service_context& ctx,
   }
 
   ++cache_misses_;
-  ctx.metrics().get_counter("delivery.cache_misses").add();
+  cache_misses_metric_.add(ctx);
   return plain_forward(ctx, pkt, /*cacheable=*/false);
 }
 

@@ -34,6 +34,10 @@ class delivery_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::delivery; }
   std::string_view name() const override { return "delivery"; }
 
+  void start(core::service_context& ctx) override {
+    cache_hits_metric_.bind(ctx);
+    cache_misses_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   std::uint64_t cache_hits() const { return cache_hits_; }
@@ -54,6 +58,8 @@ class delivery_service final : public core::service_module {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_expiries_ = 0;
+  counter_handle cache_hits_metric_{"delivery.cache_hits"};
+  counter_handle cache_misses_metric_{"delivery.cache_misses"};
 };
 
 }  // namespace interedge::services

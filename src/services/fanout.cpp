@@ -108,7 +108,7 @@ core::module_result group_fanout::fan_out(core::service_context& ctx, const core
         if (hop) result.sends.push_back(relay_copy(pkt, *hop, domain));
       }
       deliver_local(result, pkt, group);
-      ctx.metrics().get_counter("fanout.origin_packets").add();
+      origin_metric_.add(ctx);
       break;
     }
     case role::gateway_transit: {
@@ -155,7 +155,7 @@ core::module_result group_fanout::deliver_one(core::service_context& ctx, const 
     o.header.flags = ilp::kFlagToHost;
     o.payload = pkt.payload;
     result.sends.push_back(std::move(o));
-    ctx.metrics().get_counter("anycast.local_hits").add();
+    local_hits_metric_.add(ctx);
     return result;
   }
 

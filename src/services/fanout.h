@@ -74,6 +74,10 @@ class group_fanout {
   core::peer_id self_;
   ilp::service_id service_;
   std::map<std::string, std::set<core::edge_addr>> local_members_;
+  // Lazily bound: group_fanout is a shared helper, not a module, so it has
+  // no start() hook; the first data packet resolves the handles.
+  counter_handle origin_metric_{"fanout.origin_packets"};
+  counter_handle local_hits_metric_{"anycast.local_hits"};
 };
 
 }  // namespace interedge::services

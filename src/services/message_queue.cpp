@@ -61,7 +61,7 @@ void queue_service::deliver(core::service_context& ctx, const std::string& queue
     qit->second.ready.push_front(std::move(mit->second));
     qit->second.unacked.erase(mit);
   });
-  ctx.metrics().get_counter("mq.delivered").add();
+  delivered_metric_.add(ctx);
 }
 
 core::module_result queue_service::on_packet(core::service_context& ctx,
@@ -81,7 +81,7 @@ core::module_result queue_service::on_packet(core::service_context& ctx,
       return core::module_result::deliver();  // exists elsewhere; idempotent
     }
     queues_.try_emplace(*queue);
-    ctx.metrics().get_counter("mq.queues").add();
+    queues_metric_.add(ctx);
     return core::module_result::deliver();
   }
 
@@ -95,7 +95,7 @@ core::module_result queue_service::on_packet(core::service_context& ctx,
     m.seq = state.next_seq++;
     m.body = pkt.payload;
     state.ready.push_back(std::move(m));
-    ctx.metrics().get_counter("mq.pushed").add();
+    pushed_metric_.add(ctx);
     return core::module_result::deliver();
   }
   if (*op == ops::queue_pop) {

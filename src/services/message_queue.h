@@ -31,6 +31,11 @@ class queue_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::message_queue; }
   std::string_view name() const override { return "message-queue"; }
 
+  void start(core::service_context& ctx) override {
+    delivered_metric_.bind(ctx);
+    queues_metric_.bind(ctx);
+    pushed_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bytes checkpoint(core::service_context&) override;
@@ -61,6 +66,9 @@ class queue_service final : public core::service_module {
   edomain::domain_core& core_;
   core::peer_id self_;
   std::map<std::string, queue_state> queues_;
+  counter_handle delivered_metric_{"mq.delivered"};
+  counter_handle queues_metric_{"mq.queues"};
+  counter_handle pushed_metric_{"mq.pushed"};
 };
 
 }  // namespace interedge::services

@@ -26,7 +26,7 @@ core::module_result mixnet_service::on_packet(core::service_context& ctx,
       const std::uint64_t next = r.u64();
       const const_byte_span inner = r.blob();
       ++peeled_;
-      ctx.metrics().get_counter("mixnet.peeled").add();
+      peeled_metric_.add(ctx);
 
       const auto hop = ctx.next_hop(next);
       if (!hop) return core::module_result::drop();

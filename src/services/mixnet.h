@@ -31,6 +31,7 @@ class mixnet_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::mixnet; }
   std::string_view name() const override { return "mixnet"; }
 
+  void start(core::service_context& ctx) override { peeled_metric_.bind(ctx); }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   // Published in the mix directory the clients use.
@@ -43,6 +44,7 @@ class mixnet_service final : public core::service_module {
   crypto::x25519_keypair keypair_;
   std::uint64_t peeled_ = 0;
   std::uint64_t exited_ = 0;
+  counter_handle peeled_metric_{"mixnet.peeled"};
 };
 
 }  // namespace interedge::services

@@ -22,7 +22,7 @@ core::module_result mobility_service::handle_control(core::service_context& ctx,
     updated.edomain = core_.id();
     global.register_host(updated);
     ++announces_;
-    ctx.metrics().get_counter("mobility.announces").add();
+    announces_metric_.add(ctx);
 
     // Leave breadcrumbs at the previous SNs so in-flight traffic chases
     // the host to its new attachment.
@@ -88,7 +88,7 @@ core::module_result mobility_service::on_packet(core::service_context& ctx,
   auto crumb = breadcrumbs_.find(*dest);
   if (crumb != breadcrumbs_.end()) {
     ++breadcrumbed_;
-    ctx.metrics().get_counter("mobility.breadcrumbed").add();
+    breadcrumbed_metric_.add(ctx);
     // NOT cached: the lookup record is already fresh, so new connections
     // route correctly; only stragglers take this path.
     return core::module_result::forward(crumb->second);

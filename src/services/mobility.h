@@ -39,6 +39,10 @@ class mobility_service final : public core::service_module {
   ilp::service_id id() const override { return kId; }
   std::string_view name() const override { return "mobility"; }
 
+  void start(core::service_context& ctx) override {
+    announces_metric_.bind(ctx);
+    breadcrumbed_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   std::uint64_t announces() const { return announces_; }
@@ -54,6 +58,8 @@ class mobility_service final : public core::service_module {
   std::map<core::edge_addr, core::peer_id> breadcrumbs_;
   std::uint64_t announces_ = 0;
   std::uint64_t breadcrumbed_ = 0;
+  counter_handle announces_metric_{"mobility.announces"};
+  counter_handle breadcrumbed_metric_{"mobility.breadcrumbed"};
 };
 
 }  // namespace interedge::services

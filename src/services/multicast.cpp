@@ -33,7 +33,7 @@ core::module_result multicast_service::handle_control(core::service_context& ctx
   if (*op == ops::join) {
     if (!fanout_.may_join(*group, *src, auto_open)) {
       reply(ctx, pkt, ops::deny, *group);
-      ctx.metrics().get_counter("multicast.denied_joins").add();
+      denied_joins_metric_.add(ctx);
       return core::module_result::deliver();
     }
     fanout_.local_join(*group, *src);
@@ -68,7 +68,7 @@ core::module_result multicast_service::on_packet(core::service_context& ctx,
   const bool from_host = src && pkt.l3_src == *src &&
                          !get_skey_u64(pkt.header, skey::origin_addr).has_value();
   if (from_host && !is_registered_sender(*group, *src)) {
-    ctx.metrics().get_counter("multicast.unregistered_drops").add();
+    unregistered_drops_metric_.add(ctx);
     return core::module_result::drop();
   }
   return fanout_.fan_out(ctx, pkt, *group);

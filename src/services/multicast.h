@@ -23,6 +23,10 @@ class multicast_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::multicast; }
   std::string_view name() const override { return "multicast"; }
 
+  void start(core::service_context& ctx) override {
+    denied_joins_metric_.bind(ctx);
+    unregistered_drops_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bytes checkpoint(core::service_context&) override;
@@ -40,6 +44,8 @@ class multicast_service final : public core::service_module {
 
   group_fanout fanout_;
   std::map<std::string, std::set<core::edge_addr>> senders_;  // group -> local senders
+  counter_handle denied_joins_metric_{"multicast.denied_joins"};
+  counter_handle unregistered_drops_metric_{"multicast.unregistered_drops"};
 };
 
 }  // namespace interedge::services

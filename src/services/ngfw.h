@@ -44,6 +44,8 @@ class ngfw_service final : public core::service_module {
     rules_.push_back(rule{name, std::regex(pattern), dest, 0});
   }
 
+  void start(core::service_context& ctx) override { blocked_metric_.bind(ctx); }
+
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override {
     const core::edge_addr dest = pkt.header.meta_u64(ilp::meta_key::dest_addr).value_or(0);
     // Control traffic is not inspected (it never carries app payloads).
@@ -54,7 +56,7 @@ class ngfw_service final : public core::service_module {
         if (std::regex_search(payload, r.pattern)) {
           ++r.hits;
           ++blocked_;
-          ctx.metrics().get_counter("ngfw.blocked").add();
+          blocked_metric_.add(ctx);
           // Deliberately NOT fast-path cached: inspection must see every
           // packet of the connection (later packets may be clean).
           return core::module_result::drop();
@@ -80,6 +82,7 @@ class ngfw_service final : public core::service_module {
   std::vector<rule> rules_;
   std::uint64_t blocked_ = 0;
   std::uint64_t inspected_ = 0;
+  counter_handle blocked_metric_{"ngfw.blocked"};
 };
 
 }  // namespace interedge::services

@@ -49,7 +49,7 @@ core::module_result odns_service::on_packet(core::service_context& ctx,
     const ilp::connection_id proxy_conn = next_proxy_conn_++;
     pending_[proxy_conn] = pending_query{*src, pkt.header.connection};
     ++proxied_;
-    ctx.metrics().get_counter("odns.proxied").add();
+    proxied_metric_.add(ctx);
 
     ilp::ilp_header to_resolver;
     to_resolver.service = ilp::svc::odns;

@@ -28,6 +28,7 @@ class odns_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::odns; }
   std::string_view name() const override { return "odns"; }
 
+  void start(core::service_context& ctx) override { proxied_metric_.bind(ctx); }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   std::uint64_t proxied_queries() const { return proxied_; }
@@ -42,6 +43,7 @@ class odns_service final : public core::service_module {
   std::map<ilp::connection_id, pending_query> pending_;  // proxy conn -> client
   ilp::connection_id next_proxy_conn_ = 1;
   std::uint64_t proxied_ = 0;
+  counter_handle proxied_metric_{"odns.proxied"};
 };
 
 }  // namespace interedge::services

@@ -62,7 +62,7 @@ core::module_result ordered_delivery_service::on_packet(core::service_context& c
     set_skey_u64(header, skey::timestamp_ns, gps_now(ctx));
     set_skey_u64(header, skey::msg_seq, ++seq_[*src]);
     ++stamped_;
-    ctx.metrics().get_counter("ordered.stamped").add();
+    stamped_metric_.add(ctx);
   }
 
   const auto hop = ctx.next_hop(*dest);
@@ -86,7 +86,7 @@ core::module_result ordered_delivery_service::on_packet(core::service_context& c
     // Arrived after its slot was already passed: deliver immediately but
     // count the ordering violation (non-atomicity, as the paper allows).
     ++late_;
-    ctx.metrics().get_counter("ordered.late").add();
+    late_metric_.add(ctx);
     core::module_result r;
     r.verdict = core::decision::deliver();
     header.flags = ilp::kFlagToHost;

@@ -28,6 +28,10 @@ class ordered_delivery_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::ordered_delivery; }
   std::string_view name() const override { return "ordered-delivery"; }
 
+  void start(core::service_context& ctx) override {
+    stamped_metric_.bind(ctx);
+    late_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   std::uint64_t stamped() const { return stamped_; }
@@ -56,6 +60,8 @@ class ordered_delivery_service final : public core::service_module {
   std::uint64_t stamped_ = 0;
   std::uint64_t released_ = 0;
   std::uint64_t late_ = 0;
+  counter_handle stamped_metric_{"ordered.stamped"};
+  counter_handle late_metric_{"ordered.late"};
 };
 
 }  // namespace interedge::services

@@ -19,6 +19,7 @@
 #include <set>
 
 #include "core/service_module.h"
+#include "services/common.h"
 #include "services/firewall.h"
 
 namespace interedge::services {
@@ -42,6 +43,8 @@ class pass_through_service final : public core::service_module {
     service_exits_[service] = upstream;
   }
 
+  void start(core::service_context& ctx) override { blocked_metric_.bind(ctx); }
+
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override {
     const std::uint64_t src = pkt.header.meta_u64(ilp::meta_key::src_addr).value_or(pkt.l3_src);
     const std::uint64_t dest = pkt.header.meta_u64(ilp::meta_key::dest_addr).value_or(0);
@@ -51,7 +54,7 @@ class pass_through_service final : public core::service_module {
       if (!rule.matches(src, dest, inner)) continue;
       if (!rule.allow) {
         ++blocked_;
-        ctx.metrics().get_counter("pass_through.blocked").add();
+        blocked_metric_.add(ctx);
         core::module_result r = core::module_result::drop();
         // Control packets are never fast-path cached by the terminus, so
         // this insert only affects data connections.
@@ -105,6 +108,7 @@ class pass_through_service final : public core::service_module {
   std::uint64_t blocked_ = 0;
   std::uint64_t passed_out_ = 0;
   std::uint64_t passed_in_ = 0;
+  counter_handle blocked_metric_{"pass_through.blocked"};
 };
 
 }  // namespace interedge::services

@@ -25,7 +25,7 @@ core::module_result pubsub_service::handle_control(core::service_context& ctx,
   if (*op == ops::subscribe) {
     if (!fanout_.may_join(*topic, *src, auto_open)) {
       reply(ctx, pkt, ops::deny, *topic);
-      ctx.metrics().get_counter("pubsub.denied_joins").add();
+      denied_joins_metric_.add(ctx);
       return core::module_result::deliver();
     }
     fanout_.local_join(*topic, *src);
@@ -45,7 +45,7 @@ core::module_result pubsub_service::on_packet(core::service_context& ctx,
   if (pkt.header.flags & ilp::kFlagControl) return handle_control(ctx, pkt);
   const auto topic = get_skey_str(pkt.header, skey::group);
   if (!topic) return core::module_result::drop();
-  ctx.metrics().get_counter("pubsub.published").add();
+  published_metric_.add(ctx);
   return fanout_.fan_out(ctx, pkt, *topic);
 }
 

@@ -27,6 +27,10 @@ class pubsub_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::pubsub; }
   std::string_view name() const override { return "pubsub"; }
 
+  void start(core::service_context& ctx) override {
+    denied_joins_metric_.bind(ctx);
+    published_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bytes checkpoint(core::service_context&) override { return fanout_.checkpoint(); }
@@ -44,6 +48,8 @@ class pubsub_service final : public core::service_module {
              const std::string& detail);
 
   group_fanout fanout_;
+  counter_handle denied_joins_metric_{"pubsub.denied_joins"};
+  counter_handle published_metric_{"pubsub.published"};
 };
 
 }  // namespace interedge::services

@@ -59,7 +59,7 @@ core::module_result qos_service::handle_control(core::service_context& ctx,
     state.scheduler.configure_class(state.profile.rules.size(),
                                     {.priority = 0xffffffff, .weight = 1.0, .max_queue = 1024});
     receivers_[*src] = std::move(state);
-    ctx.metrics().get_counter("qos.profiles").add();
+    profiles_metric_.add(ctx);
   } catch (const serial_error&) {
     return core::module_result::drop();
   }

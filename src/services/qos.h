@@ -49,6 +49,7 @@ class qos_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::last_hop_qos; }
   std::string_view name() const override { return "last-hop-qos"; }
 
+  void start(core::service_context& ctx) override { profiles_metric_.bind(ctx); }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bool has_profile(core::edge_addr receiver) const { return receivers_.count(receiver) > 0; }
@@ -73,6 +74,7 @@ class qos_service final : public core::service_module {
   static std::size_t classify(const qos_profile& profile, std::uint64_t src);
 
   std::map<core::edge_addr, receiver_state> receivers_;
+  counter_handle profiles_metric_{"qos.profiles"};
 };
 
 }  // namespace interedge::services

@@ -47,7 +47,7 @@ core::module_result streaming_service::on_packet(core::service_context& ctx,
     try {
       reader r(pkt.payload);
       max_kbps_[*src] = static_cast<std::uint32_t>(r.u64());
-      ctx.metrics().get_counter("streaming.profiles").add();
+      profiles_metric_.add(ctx);
     } catch (const serial_error&) {
       return core::module_result::drop();
     }
@@ -80,7 +80,7 @@ core::module_result streaming_service::on_packet(core::service_context& ctx,
     }
     const media_frame reduced = media_transcode(frame, profile->second);
     ++transcoded_;
-    ctx.metrics().get_counter("streaming.transcoded").add();
+    transcoded_metric_.add(ctx);
     core::module_result r;
     r.verdict = core::decision::deliver();
     ilp::ilp_header header = pkt.header;

@@ -41,6 +41,10 @@ class streaming_service final : public core::service_module {
   ilp::service_id id() const override { return ilp::svc::streaming; }
   std::string_view name() const override { return "streaming"; }
 
+  void start(core::service_context& ctx) override {
+    profiles_metric_.bind(ctx);
+    transcoded_metric_.bind(ctx);
+  }
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   bool has_profile(core::edge_addr receiver) const { return max_kbps_.count(receiver) > 0; }
@@ -51,6 +55,8 @@ class streaming_service final : public core::service_module {
   std::map<core::edge_addr, std::uint32_t> max_kbps_;
   std::uint64_t transcoded_ = 0;
   std::uint64_t passed_ = 0;
+  counter_handle profiles_metric_{"streaming.profiles"};
+  counter_handle transcoded_metric_{"streaming.transcoded"};
 };
 
 }  // namespace interedge::services

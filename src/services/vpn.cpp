@@ -7,7 +7,8 @@
 namespace interedge::services {
 
 void vpn_service::start(core::service_context& ctx) {
-  (void)ctx;
+  customers_metric_.bind(ctx);
+  redirected_metric_.bind(ctx);
   secret_.resize(32);
   crypto::random_bytes(secret_);
 }
@@ -30,7 +31,7 @@ core::module_result vpn_service::handle_control(core::service_context& ctx,
     try {
       reader r(pkt.payload);
       customers_[*src] = r.u64();  // auth-service address
-      ctx.metrics().get_counter("vpn.customers").add();
+      customers_metric_.add(ctx);
     } catch (const serial_error&) {
       return core::module_result::drop();
     }
@@ -93,7 +94,7 @@ core::module_result vpn_service::on_packet(core::service_context& ctx, const cor
   // Unauthenticated: redirect to the customer's authentication service,
   // preserving the intended destination.
   ++redirected_;
-  ctx.metrics().get_counter("vpn.redirected").add();
+  redirected_metric_.add(ctx);
   const core::edge_addr auth_service = it->second;
   const auto hop = ctx.next_hop(auth_service);
   if (!hop) return core::module_result::drop();

@@ -41,6 +41,8 @@ class vpn_service final : public core::service_module {
   std::map<core::edge_addr, core::edge_addr> customers_;  // customer -> auth service
   std::uint64_t redirected_ = 0;
   std::uint64_t admitted_ = 0;
+  counter_handle customers_metric_{"vpn.customers"};
+  counter_handle redirected_metric_{"vpn.redirected"};
 };
 
 }  // namespace interedge::services

@@ -1,0 +1,159 @@
+// Per-hop packet tracing (ISSUE 2): sampler determinism, span nesting
+// through the thread-local current tracer, and the sampled-record ring.
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace interedge::trace {
+namespace {
+
+TEST(Tracer, SamplerIsDeterministic) {
+  metrics_registry reg;
+  tracer t(reg, tracer::config{.sample_shift = 2});  // 1 in 4
+  std::vector<bool> hits;
+  for (int i = 0; i < 12; ++i) hits.push_back(t.sample_tick());
+  const std::vector<bool> expected = {true, false, false, false, true, false,
+                                      false, false, true, false, false, false};
+  EXPECT_EQ(hits, expected);
+  EXPECT_EQ(t.packets_seen(), 12u);
+}
+
+TEST(Tracer, BatchSamplerMatchesPerPacketSampler) {
+  metrics_registry reg;
+  tracer batched(reg, tracer::config{.sample_shift = 3});
+  tracer scalar(reg, tracer::config{.sample_shift = 3});
+  // Two batches of 5 and 11 must sample exactly the packets the scalar
+  // tick would, at the same sequence positions.
+  std::vector<bool> from_batch, from_scalar;
+  for (const std::uint64_t n : {5u, 11u}) {
+    const std::uint64_t base = batched.sample_tick_batch(n);
+    for (std::uint64_t i = 0; i < n; ++i) from_batch.push_back(batched.sample_hit(base + i));
+    for (std::uint64_t i = 0; i < n; ++i) from_scalar.push_back(scalar.sample_tick());
+  }
+  EXPECT_EQ(from_batch, from_scalar);
+  EXPECT_EQ(batched.packets_seen(), 16u);
+}
+
+TEST(Tracer, SampleShiftZeroSamplesEveryPacket) {
+  metrics_registry reg;
+  tracer t(reg, tracer::config{.sample_shift = 0});
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(t.sample_tick());
+}
+
+TEST(Tracer, StageHistogramsAreInternedIntoRegistry) {
+  metrics_registry reg;
+  tracer t(reg);
+  const auto families = reg.family_names();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::string name = std::string("sn.stage.") + stage_name(static_cast<stage>(i));
+    EXPECT_NE(std::find(families.begin(), families.end(), name), families.end())
+        << "missing " << name;
+  }
+  t.record_stage(stage::decrypt, 1500);
+  EXPECT_EQ(reg.get_histogram("sn.stage.decrypt").count(), 1u);
+  EXPECT_EQ(&t.stage_hist(stage::decrypt), &reg.get_histogram("sn.stage.decrypt"));
+}
+
+TEST(Span, NoOpWithoutCurrentTracer) {
+  ASSERT_EQ(current(), nullptr);
+  {
+    span s(stage::cache);
+    EXPECT_EQ(span_depth(), 0);  // untraced spans don't touch the depth stack
+  }
+  EXPECT_EQ(span_depth(), 0);
+}
+
+TEST(Span, NestingTracksDepthAndRecordsEachStage) {
+  metrics_registry reg;
+  tracer t(reg);
+  scoped_tracer install(&t);
+  EXPECT_EQ(span_depth(), 0);
+  {
+    span outer(stage::ingress);
+    EXPECT_EQ(span_depth(), 1);
+    {
+      span inner(stage::decrypt);
+      EXPECT_EQ(span_depth(), 2);
+    }
+    EXPECT_EQ(span_depth(), 1);
+    EXPECT_EQ(t.stage_hist(stage::decrypt).count(), 1u);  // inner closed already
+    EXPECT_EQ(t.stage_hist(stage::ingress).count(), 0u);  // outer still open
+  }
+  EXPECT_EQ(span_depth(), 0);
+  EXPECT_EQ(t.stage_hist(stage::ingress).count(), 1u);
+}
+
+TEST(Span, CaptureRecordsDepthAndVerdict) {
+  metrics_registry reg;
+  tracer t(reg, tracer::config{.hop = 42});
+  scoped_tracer install(&t);
+  {
+    span outer(stage::ingress, /*capture=*/true);
+    span inner(stage::emit, /*capture=*/true);
+    inner.set_verdict(kVerdictForward);
+  }
+  const auto records = t.recent();
+  ASSERT_EQ(records.size(), 2u);
+  // Most-recent-first: outer closes after inner.
+  EXPECT_EQ(records[0].st, stage::ingress);
+  EXPECT_EQ(records[0].depth, 0);
+  EXPECT_EQ(records[0].verdict, kVerdictNone);
+  EXPECT_EQ(records[1].st, stage::emit);
+  EXPECT_EQ(records[1].depth, 1);
+  EXPECT_EQ(records[1].verdict, kVerdictForward);
+  EXPECT_EQ(records[0].hop, 42u);
+  EXPECT_EQ(t.sampled(), 2u);
+}
+
+TEST(Tracer, RingWrapKeepsMostRecentRecords) {
+  metrics_registry reg;
+  tracer t(reg, tracer::config{.ring_capacity = 4});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.capture(stage::cache, /*start_ns=*/i, /*duration_ns=*/i * 10);
+  }
+  const auto all = t.recent();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].seq, 9u);
+  EXPECT_EQ(all[3].seq, 6u);
+  EXPECT_EQ(all[0].duration_ns, 90u);
+  const auto limited = t.recent(2);
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[1].seq, 8u);
+  EXPECT_EQ(t.sampled(), 10u);
+}
+
+TEST(Tracer, DumpIsHumanReadable) {
+  metrics_registry reg;
+  tracer t(reg, tracer::config{.hop = 7});
+  t.capture(stage::slowpath, 100, 2500, kVerdictDrop);
+  const std::string out = t.dump();
+  EXPECT_NE(out.find("hop=7"), std::string::npos);
+  EXPECT_NE(out.find("stage=slowpath"), std::string::npos);
+  EXPECT_NE(out.find("dur=2500ns"), std::string::npos);
+  EXPECT_NE(out.find("verdict=X"), std::string::npos);
+}
+
+TEST(ScopedTracer, RestoresPreviousTracer) {
+  metrics_registry reg;
+  tracer a(reg), b(reg);
+  EXPECT_EQ(current(), nullptr);
+  {
+    scoped_tracer sa(&a);
+    EXPECT_EQ(current(), &a);
+    {
+      scoped_tracer sb(&b);
+      EXPECT_EQ(current(), &b);
+    }
+    EXPECT_EQ(current(), &a);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+}  // namespace
+}  // namespace interedge::trace

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Sanitizer CI job: builds and runs the test suite under ASan+UBSan and
+# TSan (presets in CMakePresets.json). TSan is what keeps the lock-free
+# telemetry paths honest — sharded_counter stripes, concurrent histogram
+# records and the trace ring are all hammered by the common_test suite.
+#
+#   tools/ci_sanitizers.sh [asan|tsan]    # default: both
+set -e
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  preset="$1"
+  echo "== $preset: configure =="
+  cmake --preset "$preset"
+  echo "== $preset: build =="
+  cmake --build --preset "$preset" -j
+  echo "== $preset: test =="
+  ctest --preset "$preset" -j
+}
+
+case "${1:-all}" in
+  asan) run_preset asan ;;
+  tsan) run_preset tsan ;;
+  all)
+    run_preset asan
+    run_preset tsan
+    ;;
+  *) echo "usage: $0 [asan|tsan]" >&2; exit 2 ;;
+esac
