@@ -81,6 +81,19 @@ std::uint64_t histogram::quantile(double q) const {
   return any ? bucket_mid(last_populated) : 0;
 }
 
+void histogram::merge_from(const histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  const std::uint64_t om = other.max_.load(std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (om > prev && !max_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+  }
+}
+
 void histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -179,6 +192,28 @@ counter& metrics_registry::counter_at(metric_id id) { return *at(id).c; }
 gauge& metrics_registry::gauge_at(metric_id id) { return *at(id).g; }
 histogram& metrics_registry::histogram_at(metric_id id) { return *at(id).h; }
 sharded_counter& metrics_registry::sharded_counter_at(metric_id id) { return *at(id).s; }
+
+void metrics_registry::merge_from(const metrics_registry& other) {
+  if (&other == this) return;
+  // Snapshot entry pointers under the source lock; the deque gives stable
+  // addresses and the values are atomics, so the reads below need no lock.
+  std::vector<const entry*> src;
+  {
+    std::lock_guard lock(other.mu_);
+    src.reserve(other.entries_.size());
+    for (const entry& e : other.entries_) src.push_back(&e);
+  }
+  for (const entry* e : src) {
+    switch (e->kind) {
+      case metric_kind::counter: get_counter(e->name, e->labels).add(e->c->value()); break;
+      case metric_kind::gauge: get_gauge(e->name, e->labels).add(e->g->value()); break;
+      case metric_kind::histogram: get_histogram(e->name, e->labels).merge_from(*e->h); break;
+      case metric_kind::sharded_counter:
+        get_sharded_counter(e->name, e->labels).add(e->s->value());
+        break;
+    }
+  }
+}
 
 std::size_t metrics_registry::size() const {
   std::lock_guard lock(mu_);

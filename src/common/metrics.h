@@ -85,6 +85,11 @@ class histogram {
   std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   void reset();
 
+  // Bucketwise accumulation of another histogram's contents (per-shard
+  // exposition merging). Safe against concurrent record() on either side;
+  // the merged view is a consistent-enough snapshot for reporting.
+  void merge_from(const histogram& other);
+
  private:
   static std::size_t bucket_of(std::uint64_t v);
   static std::uint64_t bucket_mid(std::size_t idx);
@@ -137,6 +142,14 @@ class metrics_registry {
   std::vector<std::string> family_names() const;
   // Every registered metric as a point sample, sorted by key.
   std::vector<metric_sample> samples() const;
+
+  // Accumulates every metric of `other` into this registry, interning
+  // families on demand: counters/gauges/sharded counters add their values,
+  // histograms merge bucketwise. Merging N per-shard registries into a
+  // fresh one yields the global exposition view (stats_snapshot,
+  // export_prometheus) without ever sharing hot-path metric objects
+  // across threads.
+  void merge_from(const metrics_registry& other);
 
   // Deterministic human-readable dump: counters, gauges and sharded
   // counters first (sorted by key), then histograms with quantiles.

@@ -6,9 +6,11 @@
 // thread consumes, with no syscalls on the hot path.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -45,8 +47,41 @@ class spsc_ring {
     return value;
   }
 
+  // Batch producer: moves as many of `values` in as fit, front first, with
+  // one release store for the whole run. Returns the number consumed —
+  // callers treat a short count as ring-full backpressure.
+  std::size_t try_push_batch(std::span<T> values) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free = mask_ - ((head - tail) & mask_);
+    const std::size_t n = std::min(free, values.size());
+    for (std::size_t i = 0; i < n; ++i) slots_[(head + i) & mask_] = std::move(values[i]);
+    if (n > 0) head_.store((head + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
+  // Batch consumer: pops up to `max` items into `out`, one acquire load and
+  // one release store for the whole run. Returns the number appended.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t avail = (head - tail) & mask_;
+    const std::size_t n = std::min(avail, max);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(std::move(slots_[(tail + i) & mask_]));
+    if (n > 0) tail_.store((tail + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
   bool empty() const {
     return tail_.load(std::memory_order_acquire) == head_.load(std::memory_order_acquire);
+  }
+
+  // Approximate occupancy: exact from the consumer's thread, a safe
+  // snapshot from anywhere else (both indices are loaded acquire).
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
   }
 
   std::size_t capacity() const { return mask_; }

@@ -194,6 +194,56 @@ std::optional<slowpath_response> ring_channel::poll_wait() {
   return responses_.try_pop();
 }
 
+// ---- slowpath_hub ----------------------------------------------------
+
+slowpath_hub::slowpath_hub(slowpath_handler handler, std::size_t shards, std::size_t depth,
+                           wake_fn wake)
+    : handler_(std::move(handler)), wake_(std::move(wake)) {
+  endpoints_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    endpoints_.push_back(std::make_unique<endpoint_impl>(depth));
+  }
+}
+
+std::size_t slowpath_hub::pump() {
+  std::size_t served = 0;
+  std::vector<bool> touched(endpoints_.size(), false);
+  for (std::size_t src = 0; src < endpoints_.size(); ++src) {
+    while (auto req = endpoints_[src]->requests.try_pop()) {
+      slowpath_response resp = handler_(std::move(*req));
+      // The terminus seeds its tokens with token_seed(shard), so the
+      // response routes itself; fall back to the requesting shard for
+      // tokenless (synthetic) traffic.
+      std::size_t dst = src;
+      if (resp.token >= (std::uint64_t{1} << kShardTokenShift)) {
+        const std::size_t by_token = shard_of_token(resp.token);
+        if (by_token < endpoints_.size()) dst = by_token;
+      }
+      while (!endpoints_[dst]->responses.try_push(std::move(resp))) {
+        // Ring momentarily full: the owning worker drains responses every
+        // loop iteration, so ring its doorbell and wait it out.
+        if (wake_) wake_(dst);
+        spin_pause();
+      }
+      touched[dst] = true;
+      ++served;
+    }
+  }
+  if (wake_) {
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      if (touched[i]) wake_(i);
+    }
+  }
+  return served;
+}
+
+bool slowpath_hub::idle() const {
+  for (const auto& ep : endpoints_) {
+    if (!ep->requests.empty() || !ep->responses.empty()) return false;
+  }
+  return true;
+}
+
 // ---- ipc_channel -----------------------------------------------------
 
 namespace {

@@ -1,9 +1,8 @@
 #include "core/decision_cache.h"
 
 namespace interedge::core {
-namespace {
 
-crypto::siphash_key seed_to_key(std::uint64_t seed) {
+crypto::siphash_key cache_hash_key(std::uint64_t seed) {
   crypto::siphash_key k{};
   for (int i = 0; i < 8; ++i) {
     k[i] = static_cast<std::uint8_t>(seed >> (8 * i));
@@ -12,21 +11,33 @@ crypto::siphash_key seed_to_key(std::uint64_t seed) {
   return k;
 }
 
-}  // namespace
-
-std::size_t decision_cache::key_hash::operator()(const cache_key& k) const {
+std::uint64_t cache_key_hash(const crypto::siphash_key& k, const cache_key& key) {
   std::uint8_t packed[8 + 4 + 8];
-  for (int i = 0; i < 8; ++i) packed[i] = static_cast<std::uint8_t>(k.l3_src >> (8 * i));
-  for (int i = 0; i < 4; ++i) packed[8 + i] = static_cast<std::uint8_t>(k.service >> (8 * i));
-  for (int i = 0; i < 8; ++i) packed[12 + i] = static_cast<std::uint8_t>(k.connection >> (8 * i));
-  return static_cast<std::size_t>(crypto::siphash24(seed, const_byte_span(packed, sizeof(packed))));
+  for (int i = 0; i < 8; ++i) packed[i] = static_cast<std::uint8_t>(key.l3_src >> (8 * i));
+  for (int i = 0; i < 4; ++i) packed[8 + i] = static_cast<std::uint8_t>(key.service >> (8 * i));
+  for (int i = 0; i < 8; ++i) {
+    packed[12 + i] = static_cast<std::uint8_t>(key.connection >> (8 * i));
+  }
+  return crypto::siphash24(k, const_byte_span(packed, sizeof(packed)));
 }
 
 decision_cache::decision_cache(std::size_t capacity, std::uint64_t hash_seed)
-    : index_(16, key_hash{seed_to_key(hash_seed)}), capacity_(capacity == 0 ? 1 : capacity) {
+    : index_(16, key_hash{cache_hash_key(hash_seed)}), capacity_(capacity == 0 ? 1 : capacity) {
   // Size the index for the full working set up front so steady-state
   // lookups and inserts never trigger a rehash on the fast path.
   index_.reserve(capacity_);
+}
+
+void decision_cache::svc_index_add(lru_list::iterator it) {
+  svc_bucket& bucket = by_service_[it->key.service];
+  bucket.push_front(it);
+  it->svc_it = bucket.begin();
+}
+
+void decision_cache::svc_index_remove(lru_list::iterator it) {
+  auto bit = by_service_.find(it->key.service);
+  bit->second.erase(it->svc_it);
+  if (bit->second.empty()) by_service_.erase(bit);
 }
 
 std::optional<decision> decision_cache::lookup(const cache_key& key) {
@@ -53,26 +64,32 @@ void decision_cache::insert(const cache_key& key, decision d) {
   }
   if (entries_.size() >= capacity_) {
     // Recycle the LRU node in place instead of pop+push: an insert at
-    // capacity (the steady state) performs no list-node allocation.
+    // capacity (the steady state) performs no list-node allocation. The
+    // victim may belong to a different service, so its secondary-index
+    // slot moves too.
     auto victim = std::prev(entries_.end());
+    svc_index_remove(victim);
     index_.erase(victim->key);
     victim->key = key;
     victim->value = std::move(d);
     victim->hits = 0;
     entries_.splice(entries_.begin(), entries_, victim);
     index_[key] = entries_.begin();
+    svc_index_add(entries_.begin());
     ++stats_.evictions;
     ++stats_.inserts;
     return;
   }
-  entries_.push_front(entry{key, std::move(d), 0});
+  entries_.push_front(entry{key, std::move(d), 0, {}});
   index_[key] = entries_.begin();
+  svc_index_add(entries_.begin());
   ++stats_.inserts;
 }
 
 bool decision_cache::erase(const cache_key& key) {
   auto it = index_.find(key);
   if (it == index_.end()) return false;
+  svc_index_remove(it->second);
   entries_.erase(it->second);
   index_.erase(it);
   ++stats_.invalidations;
@@ -81,31 +98,36 @@ bool decision_cache::erase(const cache_key& key) {
 
 std::size_t decision_cache::erase_connection(ilp::service_id service,
                                              ilp::connection_id connection) {
+  auto bit = by_service_.find(service);
+  if (bit == by_service_.end()) return 0;
   std::size_t erased = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->key.service == service && it->key.connection == connection) {
-      index_.erase(it->key);
-      it = entries_.erase(it);
+  svc_bucket& bucket = bit->second;
+  for (auto sit = bucket.begin(); sit != bucket.end();) {
+    const lru_list::iterator lit = *sit;
+    if (lit->key.connection == connection) {
+      index_.erase(lit->key);
+      entries_.erase(lit);
+      sit = bucket.erase(sit);
       ++erased;
     } else {
-      ++it;
+      ++sit;
     }
   }
+  if (bucket.empty()) by_service_.erase(bit);
   stats_.invalidations += erased;
   return erased;
 }
 
 std::size_t decision_cache::erase_service(ilp::service_id service) {
+  auto bit = by_service_.find(service);
+  if (bit == by_service_.end()) return 0;
   std::size_t erased = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->key.service == service) {
-      index_.erase(it->key);
-      it = entries_.erase(it);
-      ++erased;
-    } else {
-      ++it;
-    }
+  for (const lru_list::iterator lit : bit->second) {
+    index_.erase(lit->key);
+    entries_.erase(lit);
+    ++erased;
   }
+  by_service_.erase(bit);
   stats_.invalidations += erased;
   return erased;
 }
@@ -114,11 +136,67 @@ void decision_cache::clear() {
   stats_.invalidations += entries_.size();
   entries_.clear();
   index_.clear();
+  by_service_.clear();
 }
 
 std::uint64_t decision_cache::hit_count(const cache_key& key) const {
   auto it = index_.find(key);
   return it == index_.end() ? 0 : it->second->hits;
+}
+
+// ---- cache_invalidation_bus -------------------------------------------
+
+namespace {
+inline void bus_spin_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  asm volatile("pause");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+}  // namespace
+
+cache_invalidation_bus::cache_invalidation_bus(std::size_t shards, std::size_t depth) {
+  lanes_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) lanes_.push_back(std::make_unique<lane>(depth));
+}
+
+void cache_invalidation_bus::publish(cache_command cmd) {
+  cmd.seq = published_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (auto& l : lanes_) {
+    while (!l->ring.try_push(cmd)) bus_spin_pause();
+  }
+}
+
+std::size_t cache_invalidation_bus::drain(std::size_t shard, decision_cache& cache) {
+  lane& l = *lanes_[shard];
+  std::size_t applied = 0;
+  std::uint64_t last_seq = 0;
+  while (auto cmd = l.ring.try_pop()) {
+    switch (cmd->op) {
+      case cache_op::erase_connection:
+        cache.erase_connection(cmd->service, cmd->connection);
+        break;
+      case cache_op::erase_service:
+        cache.erase_service(cmd->service);
+        break;
+      case cache_op::clear:
+        cache.clear();
+        break;
+    }
+    last_seq = cmd->seq;
+    ++applied;
+  }
+  if (applied > 0) l.applied.store(last_seq, std::memory_order_release);
+  return applied;
+}
+
+bool cache_invalidation_bus::quiesced() const {
+  const std::uint64_t p = published_.load(std::memory_order_acquire);
+  for (const auto& l : lanes_) {
+    if (l->applied.load(std::memory_order_acquire) < p) return false;
+  }
+  return true;
 }
 
 }  // namespace interedge::core

@@ -31,7 +31,7 @@ class exec_env::context_impl final : public service_context {
   }
 
   void invalidate_connection(ilp::service_id service, ilp::connection_id conn) override {
-    node_.cache().erase_connection(service, conn);
+    node_.invalidate_connection(service, conn);
   }
 
   std::uint64_t cache_hit_count(const cache_key& key) const override {

@@ -29,6 +29,15 @@ class node_services {
   virtual std::optional<peer_id> next_hop(edge_addr dest) const = 0;
   virtual decision_cache& cache() = 0;
   virtual metrics_registry& metrics() = 0;
+
+  // Decision-cache invalidation entry points. The defaults act on the
+  // node's own cache; the sharded service_node overrides them to fan the
+  // invalidation out to every worker shard's private cache (DESIGN.md §9),
+  // so service modules stay oblivious to how many caches exist.
+  virtual void invalidate_connection(ilp::service_id service, ilp::connection_id conn) {
+    cache().erase_connection(service, conn);
+  }
+  virtual void invalidate_service(ilp::service_id service) { cache().erase_service(service); }
 };
 
 class exec_env {

@@ -83,6 +83,7 @@ void pipe_terminus::handle(packet pkt) {
   while (!channel_.submit(req)) {
     // Bounded channel full: drain completions to make room.
     ++stats_.backpressure;
+    if (backpressure_hook_) backpressure_hook_();
     pump();
   }
   in_flight_.emplace(token, std::move(pkt));
@@ -165,6 +166,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
     const std::uint64_t token = req.token;
     while (!channel_.submit(req)) {
       ++stats_.backpressure;
+      if (backpressure_hook_) backpressure_hook_();
       pump();
     }
     in_flight_.emplace(token, std::move(pkt));

@@ -66,6 +66,20 @@ class pipe_terminus {
   // the per-packet telemetry cost is a couple of register increments.
   void enable_telemetry(metrics_registry& reg, trace::tracer* tracer);
 
+  // Seeds the slow-path token counter. The sharded datapath gives each
+  // shard's terminus a disjoint token range (slowpath_hub::token_seed) so
+  // the hub can route a response back to the terminus that issued it.
+  void set_token_seed(std::uint64_t seed) { next_token_ = seed; }
+
+  // Invoked on every submit retry while the slow-path channel is full, in
+  // addition to pump(). A worker shard uses it to keep servicing its other
+  // obligations (invalidation bus, egress spill) so the control thread —
+  // whose progress the full channel is waiting on — can never deadlock
+  // against a worker stuck in this loop.
+  void set_backpressure_hook(std::function<void()> hook) {
+    backpressure_hook_ = std::move(hook);
+  }
+
   // True while slow-path responses are outstanding.
   bool busy() const { return !in_flight_.empty(); }
   std::size_t in_flight() const { return in_flight_.size(); }
@@ -85,6 +99,7 @@ class pipe_terminus {
   decision_cache& cache_;
   slowpath_channel& channel_;
   forward_fn forward_;
+  std::function<void()> backpressure_hook_;
   std::unordered_map<std::uint64_t, packet> in_flight_;
   std::uint64_t next_token_ = 1;
   terminus_stats stats_;

@@ -1,9 +1,26 @@
 #include "core/service_node.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/logging.h"
 #include "common/serial.h"
+#include "ilp/pipe.h"
 
 namespace interedge::core {
+namespace {
+
+constexpr std::size_t kWorkerBatch = 32;
+
+inline void spin_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  asm volatile("pause");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace
 
 slowpath_response to_response(std::uint64_t token, module_result result) {
   slowpath_response resp;
@@ -12,6 +29,24 @@ slowpath_response to_response(std::uint64_t token, module_result result) {
   resp.cache_inserts = std::move(result.cache_inserts);
   resp.sends = std::move(result.sends);
   return resp;
+}
+
+service_node::worker_shard::worker_shard(std::size_t idx, const sn_config& cfg,
+                                         std::size_t cache_cap)
+    : index(idx),
+      cache(cache_cap, cfg.cache_hash_seed),
+      tracer(reg, trace::tracer::config{.hop = cfg.id,
+                                        .sample_shift = cfg.trace_sample_shift,
+                                        .ring_capacity = cfg.trace_ring_capacity}),
+      ingress(cfg.shard_ring_depth),
+      egress(cfg.shard_ring_depth) {
+  m_rejected = &reg.get_counter("ilp.rx.rejected");
+  m_no_replica = &reg.get_counter("sn.shard.no_replica");
+  m_hits = &reg.get_counter("sn.cache.hits");
+  m_misses = &reg.get_counter("sn.cache.misses");
+  m_inserts = &reg.get_counter("sn.cache.inserts");
+  m_evictions = &reg.get_counter("sn.cache.evictions");
+  m_invalidations = &reg.get_counter("sn.cache.invalidations");
 }
 
 service_node::service_node(sn_config config, const clock& clk, send_datagram_fn send_datagram,
@@ -50,20 +85,403 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
     }
     terminus_->handle_batch(batch_scratch_);
   });
+  if (config_.workers > 0) start_workers();
 }
 
+service_node::~service_node() {
+  for (auto& sh : shards_) sh->stop.store(true, std::memory_order_release);
+  for (auto& sh : shards_) {
+    {
+      std::lock_guard lk(sh->doorbell_mu);
+      sh->doorbell.notify_one();
+    }
+    if (sh->thread.joinable()) sh->thread.join();
+  }
+}
+
+// ---- multi-core datapath (DESIGN.md §9) ------------------------------
+
+void service_node::start_workers() {
+  const std::size_t n = config_.workers;
+  const std::size_t cache_cap =
+      config_.shard_cache_capacity != 0
+          ? config_.shard_cache_capacity
+          : std::max<std::size_t>(std::size_t{64}, config_.cache_capacity / n);
+  steerer_ = std::make_unique<flow_steerer>(config_.cache_hash_seed, n);
+  bus_ = std::make_unique<cache_invalidation_bus>(n);
+  hub_ = std::make_unique<slowpath_hub>(
+      [this](slowpath_request req) { return handle_slowpath(std::move(req)); }, n, 1024,
+      [this](std::size_t s) { wake_shard(s); });
+  shards_.reserve(n);
+  m_steered_.reserve(n);
+  m_ingress_drops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<worker_shard>(i, config_, cache_cap));
+    worker_shard& sh = *shards_[i];
+    sh.terminus = std::make_unique<pipe_terminus>(
+        sh.cache, hub_->endpoint(i),
+        [&sh](peer_id to, const ilp::ilp_header& header, const bytes& payload) {
+          outbound o;
+          o.to = to;
+          o.header = header;
+          o.payload = payload;
+          // Never block the worker: a momentarily full egress ring spills
+          // into the worker-private overflow, drained next iteration.
+          if (sh.egress_overflow.empty() &&
+              sh.egress.size_approx() < sh.egress.capacity()) {
+            sh.egress.try_push(std::move(o));
+          } else {
+            sh.egress_overflow.push_back(std::move(o));
+            sh.spill.store(sh.egress_overflow.size(), std::memory_order_release);
+          }
+        });
+    sh.terminus->set_token_seed(slowpath_hub::token_seed(i));
+    sh.terminus->enable_telemetry(sh.reg, &sh.tracer);
+    // While the shard waits on a full slow-path ring it keeps applying
+    // invalidations and flushing egress spill — the control thread's
+    // progress (which empties that ring) can depend on both.
+    sh.terminus->set_backpressure_hook([this, i] { worker_drain_aux(*shards_[i]); });
+    m_steered_.push_back(&metrics_.get_counter("sn.steer.pkts", {{"shard", std::to_string(i)}}));
+    m_ingress_drops_.push_back(
+        &metrics_.get_counter("sn.shard.ingress_drops", {{"shard", std::to_string(i)}}));
+  }
+  // Receive-key replicas ride the FIFO ingress rings, so a replica is
+  // always installed before any data sealed under those keys reaches the
+  // shard (establish() fires the hook before flushing queued sends).
+  pipes_.set_rx_keys_hook([this](peer_id peer, const ilp::pipe& p) { push_rx_update(peer, p); });
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i]->thread = std::thread([this, i] { worker_main(i); });
+  }
+}
+
+void service_node::wake_shard(std::size_t shard) {
+  worker_shard& sh = *shards_[shard];
+  if (sh.parked.load(std::memory_order_acquire)) {
+    std::lock_guard lk(sh.doorbell_mu);
+    sh.doorbell.notify_one();
+  }
+}
+
+void service_node::push_rx_update(peer_id peer, const ilp::pipe& p) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    worker_shard& sh = *shards_[i];
+    shard_msg msg;
+    msg.from = peer;
+    msg.rx_update = std::make_unique<ilp::pipe_rx>(p.rx_replica());
+    // Key updates are never dropped: wait out a full ring, servicing the
+    // hub and egress meanwhile so the worker can always make progress.
+    while (sh.ingress.size_approx() >= sh.ingress.capacity()) {
+      wake_shard(i);
+      poll();
+      spin_pause();
+    }
+    sh.ingress.try_push(std::move(msg));
+    sh.pushed.fetch_add(1, std::memory_order_release);
+    wake_shard(i);
+  }
+}
+
+void service_node::steer(std::span<std::pair<peer_id, bytes>> datagrams) {
+  trace::scoped_tracer st(&tracer_);
+  std::size_t i = 0;
+  while (i < datagrams.size()) {
+    const peer_id from = datagrams[i].first;
+    // Maximal same-peer run of data messages; anything else (handshakes,
+    // unknown kinds, empties) flushes the run and is handled inline.
+    std::size_t j = i;
+    while (j < datagrams.size() && datagrams[j].first == from &&
+           !datagrams[j].second.empty() &&
+           static_cast<ilp::msg_kind>(datagrams[j].second[0]) == ilp::msg_kind::data) {
+      ++j;
+    }
+    if (j > i) {
+      steer_data_run(from, datagrams.subspan(i, j - i));
+      i = j;
+      continue;
+    }
+    pipes_.on_datagram(from, datagrams[i].second);
+    ++i;
+  }
+  poll();
+}
+
+void service_node::steer_data_run(peer_id from, std::span<std::pair<peer_id, bytes>> run) {
+  ilp::pipe* p = pipes_.pipe_for(from);
+  if (p == nullptr) {
+    // Data before any pipe: the inline path counts and logs the drop.
+    for (auto& [peer, datagram] : run) pipes_.on_datagram(peer, datagram);
+    return;
+  }
+  span_scratch_.clear();
+  for (auto& [peer, datagram] : run) {
+    span_scratch_.emplace_back(datagram.data() + 1, datagram.size() - 1);
+  }
+  p->peek_flow_batch(span_scratch_, peek_scratch_);
+  for (std::size_t k = 0; k < run.size(); ++k) {
+    if (!peek_scratch_[k].ok) {
+      // Malformed framing or unknown SPI: the inline open makes — and
+      // counts — the reject decision, exactly as the single-threaded path
+      // would. (A tampered packet that peeks fine merely mis-steers; the
+      // shard's authenticated open still rejects it.)
+      pipes_.on_datagram(from, run[k].second);
+      continue;
+    }
+    const cache_key key{from, peek_scratch_[k].service, peek_scratch_[k].connection};
+    const std::size_t s = steerer_->shard_of(key);
+    worker_shard& sh = *shards_[s];
+    if (sh.ingress.size_approx() >= sh.ingress.capacity()) {
+      // Ring-full backpressure: drop, counted per shard, never silent.
+      m_ingress_drops_[s]->add();
+      continue;
+    }
+    shard_msg msg;
+    msg.from = from;
+    msg.datagram = std::move(run[k].second);
+    sh.ingress.try_push(std::move(msg));
+    sh.pushed.fetch_add(1, std::memory_order_release);
+    m_steered_[s]->add();
+    wake_shard(s);
+  }
+}
+
+std::size_t service_node::drain_egress() {
+  std::size_t n = 0;
+  for (auto& shp : shards_) {
+    worker_shard& sh = *shp;
+    while (auto o = sh.egress.try_pop()) {
+      pipes_.send(o->to, o->header, std::move(o->payload));
+      ++n;
+    }
+    if (sh.spill.load(std::memory_order_acquire) > 0) wake_shard(sh.index);
+  }
+  return n;
+}
+
+std::size_t service_node::poll() {
+  if (shards_.empty()) return terminus_->pump();
+  std::size_t n = hub_->pump();
+  n += drain_egress();
+  return n;
+}
+
+bool service_node::wait_idle(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  if (shards_.empty()) {
+    for (;;) {
+      terminus_->pump();
+      if (!terminus_->busy()) return true;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+    }
+  }
+  int settled = 0;
+  for (;;) {
+    poll();
+    bool idle = hub_->idle() && bus_->quiesced();
+    if (idle) {
+      for (auto& shp : shards_) {
+        worker_shard& sh = *shp;
+        // Read order matters: consumed (acquire) first — its release pairs
+        // with everything the worker published before it, so the inflight /
+        // spill / ring reads that follow cannot miss derived work.
+        if (sh.consumed.load(std::memory_order_acquire) !=
+                sh.pushed.load(std::memory_order_acquire) ||
+            sh.inflight.load(std::memory_order_acquire) != 0 ||
+            sh.spill.load(std::memory_order_acquire) != 0 || !sh.ingress.empty() ||
+            !sh.egress.empty()) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) {
+      // Two consecutive clean sweeps guard the remaining in-transition
+      // windows (e.g. a worker between popping a response and publishing).
+      if (++settled >= 2) return true;
+    } else {
+      settled = 0;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::yield();
+  }
+}
+
+std::size_t service_node::worker_drain_aux(worker_shard& sh) {
+  std::size_t n = bus_ ? bus_->drain(sh.index, sh.cache) : 0;
+  while (!sh.egress_overflow.empty() && sh.egress.size_approx() < sh.egress.capacity()) {
+    sh.egress.try_push(std::move(sh.egress_overflow.front()));
+    sh.egress_overflow.pop_front();
+    ++n;
+  }
+  sh.spill.store(sh.egress_overflow.size(), std::memory_order_release);
+  return n;
+}
+
+void service_node::worker_flush_telemetry(worker_shard& sh) {
+  const cache_stats& cs = sh.cache.stats();
+  if (cs.hits != sh.last_cache.hits) sh.m_hits->add(cs.hits - sh.last_cache.hits);
+  if (cs.misses != sh.last_cache.misses) sh.m_misses->add(cs.misses - sh.last_cache.misses);
+  if (cs.inserts != sh.last_cache.inserts) sh.m_inserts->add(cs.inserts - sh.last_cache.inserts);
+  if (cs.evictions != sh.last_cache.evictions) {
+    sh.m_evictions->add(cs.evictions - sh.last_cache.evictions);
+  }
+  if (cs.invalidations != sh.last_cache.invalidations) {
+    sh.m_invalidations->add(cs.invalidations - sh.last_cache.invalidations);
+  }
+  sh.last_cache = cs;
+}
+
+void service_node::worker_main(std::size_t shard) {
+  worker_shard& sh = *shards_[shard];
+  trace::scoped_tracer st(&sh.tracer);
+  std::uint32_t idle_spins = 0;
+  while (!sh.stop.load(std::memory_order_acquire)) {
+    bool busy = worker_drain_aux(sh) > 0;
+
+    sh.batch_scratch.clear();
+    const std::size_t n = sh.ingress.try_pop_batch(sh.batch_scratch, kWorkerBatch);
+    if (n > 0) {
+      busy = true;
+      auto& batch = sh.batch_scratch;
+      std::size_t i = 0;
+      while (i < batch.size()) {
+        shard_msg& m = batch[i];
+        if (m.rx_update) {
+          sh.replicas.insert_or_assign(m.from, std::move(*m.rx_update));
+          ++i;
+          continue;
+        }
+        // Same-peer run (no interleaved key update): one batched decrypt,
+        // one terminus batch.
+        const peer_id from = m.from;
+        std::size_t j = i;
+        sh.body_scratch.clear();
+        while (j < batch.size() && batch[j].from == from && !batch[j].rx_update) {
+          sh.body_scratch.emplace_back(batch[j].datagram.data() + 1,
+                                       batch[j].datagram.size() - 1);
+          ++j;
+        }
+        auto rit = sh.replicas.find(from);
+        if (rit == sh.replicas.end()) {
+          // Cannot happen via the steering path (the replica rides the
+          // same FIFO ring, ahead of the data) — counted, not asserted.
+          sh.m_no_replica->add(j - i);
+          i = j;
+          continue;
+        }
+        const std::size_t opened = rit->second.decrypt_batch(sh.body_scratch, sh.opened_scratch);
+        if (opened < sh.body_scratch.size()) {
+          sh.m_rejected->add(sh.body_scratch.size() - opened);
+        }
+        sh.pkt_scratch.clear();
+        for (auto& op : sh.opened_scratch) {
+          if (op) {
+            sh.pkt_scratch.push_back(packet{from, std::move(op->header),
+                                            bytes(op->payload.begin(), op->payload.end())});
+          }
+        }
+        if (!sh.pkt_scratch.empty()) sh.terminus->handle_batch(sh.pkt_scratch);
+        i = j;
+      }
+    }
+
+    if (sh.terminus->pump() > 0) busy = true;
+    worker_drain_aux(sh);
+    worker_flush_telemetry(sh);
+    // inflight before consumed: wait_idle's consumed acquire then sees the
+    // in-flight count covering everything this iteration submitted.
+    sh.inflight.store(sh.terminus->in_flight(), std::memory_order_release);
+    if (n > 0) sh.consumed.fetch_add(n, std::memory_order_release);
+
+    if (busy) {
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins < 1024) {
+      spin_pause();
+      continue;
+    }
+    std::unique_lock lk(sh.doorbell_mu);
+    sh.parked.store(true, std::memory_order_release);
+    sh.doorbell.wait_for(lk, std::chrono::milliseconds(1), [&] {
+      return sh.stop.load(std::memory_order_acquire) || !sh.ingress.empty();
+    });
+    sh.parked.store(false, std::memory_order_release);
+    idle_spins = 0;
+  }
+}
+
+void service_node::invalidate_connection(ilp::service_id service, ilp::connection_id conn) {
+  if (shards_.empty()) {
+    cache_.erase_connection(service, conn);
+    return;
+  }
+  bus_->publish(cache_command{cache_op::erase_connection, service, conn, 0});
+  for (std::size_t i = 0; i < shards_.size(); ++i) wake_shard(i);
+}
+
+void service_node::invalidate_service(ilp::service_id service) {
+  if (shards_.empty()) {
+    cache_.erase_service(service);
+    return;
+  }
+  bus_->publish(cache_command{cache_op::erase_service, service, 0, 0});
+  for (std::size_t i = 0; i < shards_.size(); ++i) wake_shard(i);
+}
+
+const cache_stats& service_node::shard_cache_stats(std::size_t shard) const {
+  return shards_[shard]->cache.stats();
+}
+
+const terminus_stats& service_node::shard_terminus_stats(std::size_t shard) const {
+  return shards_[shard]->terminus->stats();
+}
+
+decision_cache& service_node::shard_cache(std::size_t shard) { return shards_[shard]->cache; }
+
+metrics_registry& service_node::shard_metrics(std::size_t shard) { return shards_[shard]->reg; }
+
+// ---- ingress entry points --------------------------------------------
+
 void service_node::on_datagram(peer_id from, const_byte_span datagram) {
+  if (!shards_.empty()) {
+    copy_scratch_.clear();
+    copy_scratch_.emplace_back(from, bytes(datagram.begin(), datagram.end()));
+    steer(copy_scratch_);
+    return;
+  }
   trace::scoped_tracer st(&tracer_);
   pipes_.on_datagram(from, datagram);
 }
 
 void service_node::on_datagram_batch(peer_id from,
                                      std::span<const const_byte_span> datagrams) {
+  if (!shards_.empty()) {
+    copy_scratch_.clear();
+    copy_scratch_.reserve(datagrams.size());
+    for (const const_byte_span& d : datagrams) {
+      copy_scratch_.emplace_back(from, bytes(d.begin(), d.end()));
+    }
+    steer(copy_scratch_);
+    return;
+  }
   trace::scoped_tracer st(&tracer_);
   pipes_.on_datagram_batch(from, datagrams);
 }
 
+void service_node::on_datagrams(std::span<std::pair<peer_id, bytes>> datagrams) {
+  if (!shards_.empty()) {
+    steer(datagrams);
+    return;
+  }
+  on_datagrams(std::span<const std::pair<peer_id, bytes>>(datagrams.data(), datagrams.size()));
+}
+
 void service_node::on_datagrams(std::span<const std::pair<peer_id, bytes>> datagrams) {
+  if (!shards_.empty()) {
+    copy_scratch_.assign(datagrams.begin(), datagrams.end());
+    steer(copy_scratch_);
+    return;
+  }
   trace::scoped_tracer st(&tracer_);
   // Feed maximal same-peer runs through the batched path; order across
   // peers is preserved because runs are flushed in arrival order.
@@ -81,6 +499,8 @@ void service_node::on_datagrams(std::span<const std::pair<peer_id, bytes>> datag
   }
 }
 
+// ---- node services / stats -------------------------------------------
+
 void service_node::send(peer_id to, const ilp::ilp_header& header, bytes payload) {
   pipes_.send(to, header, std::move(payload));
 }
@@ -94,6 +514,11 @@ std::optional<peer_id> service_node::next_hop(edge_addr dest) const {
   return router_->next_hop(dest);
 }
 
+void service_node::merge_metrics_into(metrics_registry& out) const {
+  out.merge_from(metrics_);
+  for (const auto& sh : shards_) out.merge_from(sh->reg);
+}
+
 std::string service_node::stats_snapshot() {
   const time_point now = clock_.now();
   double elapsed = 0;
@@ -102,7 +527,19 @@ std::string service_node::stats_snapshot() {
   }
   last_snapshot_ = now;
   have_snapshot_ = true;
-  return stats_reporter_.delta_report(metrics_, elapsed);
+  if (shards_.empty()) return stats_reporter_.delta_report(metrics_, elapsed);
+  // Merge control + shard registries into a fresh view; the reporter keys
+  // deltas on metric identity, so the temporary registry is fine.
+  metrics_registry merged;
+  merge_metrics_into(merged);
+  return stats_reporter_.delta_report(merged, elapsed);
+}
+
+std::string service_node::export_prometheus() {
+  if (shards_.empty()) return metrics_.export_prometheus();
+  metrics_registry merged;
+  merge_metrics_into(merged);
+  return merged.export_prometheus();
 }
 
 void service_node::start_stats_reporting(nanoseconds interval,

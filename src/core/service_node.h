@@ -5,20 +5,46 @@
 //
 // Transport-agnostic like pipe_manager: the owner supplies datagram send
 // and timer callbacks, so the same SN runs over the simulator or a real
-// UDP socket. Inside the simulator an SN is single-threaded, so the
-// slow path uses the inline channel; the benchmark harness builds the
-// threaded channels around the same terminus and exec_env types.
+// UDP socket.
+//
+// Two datapath modes (sn_config::workers):
+//   workers == 0  — the inline single-threaded SN: pipe decrypt, terminus
+//                   dispatch and service modules all run on the caller's
+//                   thread over the inline channel. Byte-for-byte the
+//                   behavior the simulator and the earlier benchmarks
+//                   measure.
+//   workers == N  — the multi-core datapath (DESIGN.md §9): the caller's
+//                   thread becomes the control thread. It steers each data
+//                   packet to one of N worker shards by SipHashing the
+//                   packet's (L3 src, service, connection) cache key — the
+//                   same keyed hash the decision cache uses — read via an
+//                   unauthenticated batched header peek. Each shard owns a
+//                   private decision cache, PSP decrypt replicas, terminus,
+//                   tracer and metrics registry, so the packet fast path is
+//                   lock-free by construction; SPSC rings carry packets in
+//                   (ingress), forwarded packets out (egress), slow-path
+//                   traffic (slowpath_hub) and cache invalidations
+//                   (cache_invalidation_bus). Service modules, timers and
+//                   the slow path still run on the control thread.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/ring.h"
 #include "common/trace.h"
 #include "core/channel.h"
 #include "core/decision_cache.h"
@@ -38,6 +64,17 @@ struct sn_config {
   // per-packet trace ring (stage histograms are always on; see DESIGN §8).
   std::uint32_t trace_sample_shift = 8;
   std::size_t trace_ring_capacity = 512;
+  // Multi-core datapath. 0 = inline single-threaded SN (unchanged);
+  // N > 0 spawns N worker shards fed by flow steering.
+  std::size_t workers = 0;
+  // Slots per shard for the ingress and egress rings. A full ingress ring
+  // is backpressure: the packet is dropped and counted
+  // (sn.shard.ingress_drops{shard=k}), never silently lost.
+  std::size_t shard_ring_depth = 1024;
+  // Per-shard decision-cache capacity; 0 derives cache_capacity / workers
+  // (floor 64), keeping the aggregate working set comparable to the
+  // single-threaded cache.
+  std::size_t shard_cache_capacity = 0;
 };
 
 class service_node final : public node_services {
@@ -47,6 +84,7 @@ class service_node final : public node_services {
 
   service_node(sn_config config, const clock& clk, send_datagram_fn send_datagram,
                scheduler_fn scheduler, const router* route);
+  ~service_node() override;
 
   // Wire this to the underlying network (simulator node handler / socket).
   void on_datagram(peer_id from, const_byte_span datagram);
@@ -60,6 +98,25 @@ class service_node final : public node_services {
   // the batched path together, preserving arrival order.
   void on_datagrams(std::span<const std::pair<peer_id, bytes>> datagrams);
 
+  // Mutable-buffer variant: in parallel mode the datagram bytes are moved
+  // into the shard rings instead of copied (the event loop's batch handler
+  // hands over exactly this shape). Identical to the const overload when
+  // workers == 0.
+  void on_datagrams(std::span<std::pair<peer_id, bytes>> datagrams);
+
+  // Parallel-mode service: dispatches pending slow-path requests on this
+  // (the control) thread and drains shard egress into the pipes. Safe and
+  // a near no-op when workers == 0 (drains the inline terminus). Returns
+  // the number of items serviced. Called automatically at the end of every
+  // ingress batch; owners with idle periods call it from a timer.
+  std::size_t poll();
+
+  // Blocks (spinning + polling) until every steered packet has been
+  // consumed, every slow-path exchange completed, every invalidation
+  // applied and every forwarded packet sent — or until `timeout`. After a
+  // true return, shard caches/stats may be inspected race-free.
+  bool wait_idle(std::chrono::milliseconds timeout = std::chrono::milliseconds(1000));
+
   // node_services (what the execution environment sees).
   peer_id node_id() const override { return config_.id; }
   std::uint16_t edomain() const override { return config_.edomain; }
@@ -69,6 +126,11 @@ class service_node final : public node_services {
   std::optional<peer_id> next_hop(edge_addr dest) const override;
   decision_cache& cache() override { return cache_; }
   metrics_registry& metrics() override { return metrics_; }
+  // Shard-aware invalidation: with workers, publishes on the invalidation
+  // bus so every shard's private cache drops the entries; inline mode hits
+  // the node cache directly (the node_services default).
+  void invalidate_connection(ilp::service_id service, ilp::connection_id conn) override;
+  void invalidate_service(ilp::service_id service) override;
 
   exec_env& env() { return *env_; }
   ilp::pipe_manager& pipes() { return pipes_; }
@@ -76,10 +138,27 @@ class service_node final : public node_services {
   const terminus_stats& datapath_stats() const { return terminus_->stats(); }
   trace::tracer& packet_tracer() { return tracer_; }
 
+  // Multi-core introspection (parallel mode; see wait_idle for when the
+  // worker-owned state is safe to read).
+  std::size_t worker_count() const { return shards_.size(); }
+  const flow_steerer* steerer() const { return steerer_.get(); }
+  const cache_stats& shard_cache_stats(std::size_t shard) const;
+  const terminus_stats& shard_terminus_stats(std::size_t shard) const;
+  decision_cache& shard_cache(std::size_t shard);
+  metrics_registry& shard_metrics(std::size_t shard);
+
   // Stats snapshot: every registered metric with per-second rates for the
   // monotone kinds, computed against the previous snapshot (the paper's
-  // "operable at scale" requirement — ISSUE 2).
+  // "operable at scale" requirement — ISSUE 2). In parallel mode the
+  // control registry and every shard registry are merged into one view.
   std::string stats_snapshot();
+
+  // Prometheus exposition of the same merged view.
+  std::string export_prometheus();
+
+  // Merges the control registry plus every shard registry into `out`
+  // (call with a fresh registry; merging is additive).
+  void merge_metrics_into(metrics_registry& out) const;
 
   // Periodic exposition over the node's scheduler. max_reports == 0 runs
   // until stop_stats_reporting(); a bound makes it usable under the
@@ -91,7 +170,9 @@ class service_node final : public node_services {
   // Establishes a long-lived pipe (inter-edomain peering, §3.2).
   void peer_with(peer_id other) { pipes_.connect(other); }
 
-  // Rekey schedule hook.
+  // Rekey schedule hook. In parallel mode the fresh receive contexts are
+  // replicated to every shard before any packet sealed under them can be
+  // steered (the replicas ride the FIFO ingress rings).
   void rotate_keys() { pipes_.rotate_all(); }
 
   // Fault-tolerance: checkpoint covers service-module state and off-path
@@ -101,10 +182,78 @@ class service_node final : public node_services {
   void restore(const_byte_span snapshot) { env_->restore(snapshot); }
 
  private:
+  // One unit over a shard's ingress ring: either a steered data datagram
+  // (full wire bytes, kind byte included) or a receive-key update for one
+  // peer. Updates ride the same FIFO ring as data, so a replica is always
+  // installed before any packet that needs it is decrypted.
+  struct shard_msg {
+    peer_id from = 0;
+    bytes datagram;
+    std::unique_ptr<ilp::pipe_rx> rx_update;
+  };
+
+  struct worker_shard {
+    worker_shard(std::size_t index, const sn_config& cfg, std::size_t cache_cap);
+
+    std::size_t index;
+    decision_cache cache;     // private: only this shard's thread touches it
+    metrics_registry reg;     // merged into the global view on exposition
+    trace::tracer tracer;
+    spsc_ring<shard_msg> ingress;  // control -> worker
+    spsc_ring<outbound> egress;    // worker -> control (forwards)
+    // Worker-private spill for a momentarily full egress ring: the worker
+    // never blocks, so the control thread can never deadlock against it.
+    std::deque<outbound> egress_overflow;
+    std::unique_ptr<pipe_terminus> terminus;
+    std::map<peer_id, ilp::pipe_rx> replicas;
+
+    // Shard-registry handles + delta baselines, worker-thread only.
+    counter* m_rejected = nullptr;    // ilp.rx.rejected (replica auth failures)
+    counter* m_no_replica = nullptr;  // data raced ahead of its key update
+    counter* m_hits = nullptr;
+    counter* m_misses = nullptr;
+    counter* m_inserts = nullptr;
+    counter* m_evictions = nullptr;
+    counter* m_invalidations = nullptr;
+    cache_stats last_cache{};
+
+    // Cross-thread accounting for wait_idle: pushed is written by the
+    // control thread, the rest by the worker (release), read by control
+    // (acquire) — the acquire reads are also the happens-before edges that
+    // make post-idle inspection of worker-owned state race-free.
+    alignas(64) std::atomic<std::uint64_t> pushed{0};
+    alignas(64) std::atomic<std::uint64_t> consumed{0};
+    alignas(64) std::atomic<std::uint64_t> inflight{0};
+    alignas(64) std::atomic<std::uint64_t> spill{0};
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> parked{false};
+    std::mutex doorbell_mu;
+    std::condition_variable doorbell;
+    std::thread thread;
+
+    // Worker-loop scratch, reused across iterations.
+    std::vector<shard_msg> batch_scratch;
+    std::vector<const_byte_span> body_scratch;
+    std::vector<std::optional<ilp::opened_packet>> opened_scratch;
+    std::vector<packet> pkt_scratch;
+  };
+
   slowpath_response handle_slowpath(slowpath_request req);
   void schedule_stats_tick(nanoseconds interval,
                            std::shared_ptr<std::function<void(const std::string&)>> sink,
                            std::uint64_t remaining);
+
+  // Parallel-mode plumbing.
+  void start_workers();
+  void worker_main(std::size_t shard);
+  std::size_t worker_drain_aux(worker_shard& sh);  // bus + egress spill (backpressure-safe)
+  void worker_flush_telemetry(worker_shard& sh);
+  void wake_shard(std::size_t shard);
+  void steer(std::span<std::pair<peer_id, bytes>> datagrams);
+  void steer_data_run(peer_id from, std::span<std::pair<peer_id, bytes>> run);
+  void push_rx_update(peer_id peer, const ilp::pipe& p);
+  std::size_t drain_egress();
 
   sn_config config_;
   const clock& clock_;
@@ -123,9 +272,21 @@ class service_node final : public node_services {
   std::unique_ptr<inline_channel> channel_;
   std::unique_ptr<pipe_terminus> terminus_;
   ilp::pipe_manager pipes_;
+
+  // Multi-core datapath state (unset when config_.workers == 0; none of it
+  // is touched on the inline path).
+  std::unique_ptr<flow_steerer> steerer_;
+  std::unique_ptr<cache_invalidation_bus> bus_;
+  std::unique_ptr<slowpath_hub> hub_;
+  std::vector<std::unique_ptr<worker_shard>> shards_;
+  std::vector<counter*> m_steered_;        // sn.steer.pkts{shard=k}
+  std::vector<counter*> m_ingress_drops_;  // sn.shard.ingress_drops{shard=k}
+
   // Batch-path scratch, reused across calls.
   std::vector<packet> batch_scratch_;
   std::vector<const_byte_span> span_scratch_;
+  std::vector<ilp::flow_peek> peek_scratch_;
+  std::vector<std::pair<peer_id, bytes>> copy_scratch_;
 };
 
 // Bridges a module_result into the channel response format. Shared with the

@@ -163,6 +163,9 @@ void pipe_manager::establish(peer_id peer, const crypto::x25519_key& secret_scal
   // the old keys.
   auto& slot = pipes_[peer];
   slot = std::move(p);
+  // New receive keys exist before any data sealed with them can arrive;
+  // the observer propagates them (e.g. to worker-shard replicas) first.
+  if (rx_keys_) rx_keys_(peer, *slot);
   for (auto& [header, payload] : queued) {
     send_(peer, slot->seal(header, payload));
   }
@@ -249,7 +252,13 @@ void pipe_manager::rotate_all() {
   for (auto& [peer, p] : pipes_) {
     p->rotate_tx();
     p->rotate_rx();
+    if (rx_keys_) rx_keys_(peer, *p);
   }
+}
+
+ilp::pipe* pipe_manager::pipe_for(peer_id peer) {
+  auto it = pipes_.find(peer);
+  return it == pipes_.end() ? nullptr : it->second.get();
 }
 
 const pipe_stats* pipe_manager::stats_for(peer_id peer) const {

@@ -20,9 +20,17 @@ std::uint64_t pack_source(const sockaddr_in& addr) {
 
 }  // namespace
 
-udp_endpoint::udp_endpoint(std::uint16_t port) {
+udp_endpoint::udp_endpoint(std::uint16_t port, bool reuse_port) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) throw std::runtime_error("udp socket failed");
+
+  if (reuse_port) {
+    const int one = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd_);
+      throw std::runtime_error(std::string("udp SO_REUSEPORT failed: ") + std::strerror(errno));
+    }
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -98,7 +106,21 @@ std::size_t udp_endpoint::recv_batch(std::size_t max, std::vector<std::pair<peer
     msgs[i].msg_hdr.msg_namelen = sizeof(sources[i]);
   }
   const int n = ::recvmmsg(fd_, msgs, static_cast<unsigned>(max), 0, nullptr);
-  if (n <= 0) return 0;  // EAGAIN / transient
+  if (n <= 0) {
+    // recvmmsg's error report is coarse: one EAGAIN return covers both
+    // "socket empty" and genuine failures, and the kernel surfaces an
+    // error only for the FIRST datagram — so the conditions must be
+    // counted here or they vanish.
+    if (n == 0 || errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      ++rx_empty_;
+    } else {
+      ++rx_errors_;
+    }
+    return 0;
+  }
+  // A short batch means the socket ran dry mid-drain (the EAGAIN happened
+  // inside the batch, which recvmmsg reports only as a smaller count).
+  if (static_cast<std::size_t>(n) < max) ++rx_partial_batches_;
   for (int i = 0; i < n; ++i) {
     auto it = by_source_.find(pack_source(sources[i]));
     if (it == by_source_.end()) {
@@ -116,6 +138,11 @@ std::size_t udp_endpoint::recv_batch(std::size_t max, std::vector<std::pair<peer
     if (!datagram) break;
     out.push_back(std::move(*datagram));
     ++appended;
+  }
+  if (appended == 0) {
+    ++rx_empty_;
+  } else if (appended < max) {
+    ++rx_partial_batches_;
   }
 #endif
   return appended;

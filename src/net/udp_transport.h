@@ -38,8 +38,10 @@ using ilp::peer_id;
 class udp_endpoint {
  public:
   // Binds 127.0.0.1:port (port 0 = ephemeral). Throws std::runtime_error
-  // on socket failures.
-  explicit udp_endpoint(std::uint16_t port = 0);
+  // on socket failures. With reuse_port, SO_REUSEPORT is set before bind so
+  // several endpoints (one per datapath worker) can share one port and let
+  // the kernel spread flows across them.
+  explicit udp_endpoint(std::uint16_t port = 0, bool reuse_port = false);
   ~udp_endpoint();
 
   udp_endpoint(const udp_endpoint&) = delete;
@@ -75,6 +77,17 @@ class udp_endpoint {
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
   std::uint64_t dropped_unknown() const { return dropped_unknown_; }
+  // recv_batch attempts that found the socket empty (recvmmsg EAGAIN, or
+  // a poll-loop that appended nothing). Distinguishes "nothing arrived"
+  // from a batch the kernel cut short.
+  std::uint64_t rx_empty() const { return rx_empty_; }
+  // recv_batch calls that drained the socket mid-batch: recvmmsg returned
+  // fewer datagrams than asked (the EAGAIN happened inside the batch).
+  // Previously this condition was indistinguishable from a full batch;
+  // callers sizing rings/batches off recv_batch need to see it.
+  std::uint64_t rx_partial_batches() const { return rx_partial_batches_; }
+  // recv_batch failures that were NOT EAGAIN/EINTR (real socket errors).
+  std::uint64_t rx_errors() const { return rx_errors_; }
 
  private:
   int fd_ = -1;
@@ -85,6 +98,9 @@ class udp_endpoint {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_unknown_ = 0;
+  std::uint64_t rx_empty_ = 0;
+  std::uint64_t rx_partial_batches_ = 0;
+  std::uint64_t rx_errors_ = 0;
 };
 
 // Single-threaded real-time driver for one or more endpoints.

@@ -95,6 +95,66 @@ TEST(DecisionCache, EraseService) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(DecisionCache, EraseServiceAfterLruRecycling) {
+  // The secondary index must follow entries recycled through the LRU at
+  // capacity: the victim's slot moves to the incoming entry's service.
+  decision_cache cache(4);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    cache.insert({i, static_cast<ilp::service_id>(i % 2 ? 7 : 8), i}, decision::deliver());
+  }
+  // Residents are the last four inserts: 96, 98 (svc 8) and 97, 99 (svc 7).
+  EXPECT_EQ(cache.erase_service(7), 2u);
+  EXPECT_EQ(cache.erase_service(7), 0u);
+  EXPECT_EQ(cache.erase_service(8), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 4u);
+}
+
+// Property: erase_service removes exactly the resident entries of that
+// service, under arbitrary interleavings with insert/lookup/erase and LRU
+// recycling (the secondary index and the LRU list must never diverge).
+TEST(DecisionCache, ServiceIndexConsistentUnderChurn) {
+  rng random(11);
+  decision_cache cache(32);
+  for (int op = 0; op < 3000; ++op) {
+    const cache_key k = key_of(random.below(100));
+    switch (random.below(4)) {
+      case 0:
+        cache.insert(k, decision::deliver());
+        break;
+      case 1:
+        cache.lookup(k);
+        break;
+      case 2:
+        cache.erase(k);
+        break;
+      case 3: {
+        const auto svc = static_cast<ilp::service_id>(random.below(7));
+        std::size_t resident = 0;
+        for (std::uint64_t n = 0; n < 100; ++n) {
+          const cache_key c = key_of(n);
+          if (c.service == svc && cache.contains(c)) ++resident;
+        }
+        EXPECT_EQ(cache.erase_service(svc), resident);
+        for (std::uint64_t n = 0; n < 100; ++n) {
+          const cache_key c = key_of(n);
+          if (c.service == svc) EXPECT_FALSE(cache.contains(c));
+        }
+        break;
+      }
+    }
+    ASSERT_LE(cache.size(), 32u);
+  }
+}
+
+TEST(DecisionCache, EraseConnectionLeavesOtherServicesAlone) {
+  decision_cache cache(16);
+  cache.insert({1, 7, 100}, decision::deliver());
+  cache.insert({1, 8, 100}, decision::deliver());  // same connection, other service
+  EXPECT_EQ(cache.erase_connection(7, 100), 1u);
+  EXPECT_TRUE(cache.contains({1, 8, 100}));
+}
+
 TEST(DecisionCache, StatsTrackHitsAndMisses) {
   decision_cache cache(16);
   cache.lookup({1, 1, 1});

@@ -1,0 +1,440 @@
+// Multi-core SN datapath tests (DESIGN.md §9): flow steering, shard
+// affinity, invalidation fan-out, ring-full backpressure and the inline
+// (workers == 0) equivalence, all over the simulator.
+//
+// The simulator is single-threaded but the parallel SN is not: net.run()
+// delivers and steers, sn.wait_idle() lets the worker shards finish and
+// queues their forwards, and the next net.run() delivers those. settle()
+// alternates the two until the exchange quiesces.
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/decision_cache.h"
+#include "core/service_node.h"
+#include "core/test_modules.h"
+#include "simnet/simulation.h"
+
+namespace interedge::core {
+namespace {
+
+using sim::node_id;
+using sim::simulation;
+
+struct sim_host {
+  node_id node = 0;
+  std::unique_ptr<ilp::pipe_manager> mgr;
+  std::vector<std::pair<ilp::ilp_header, bytes>> received;
+};
+
+std::unique_ptr<sim_host> make_host(simulation& net) {
+  auto h = std::make_unique<sim_host>();
+  h->node = net.add_node(nullptr);
+  h->mgr = std::make_unique<ilp::pipe_manager>(
+      h->node,
+      [&net, node = h->node](peer_id peer, bytes d) {
+        net.send(node, static_cast<node_id>(peer), std::move(d));
+      },
+      [raw = h.get()](peer_id, const ilp::ilp_header& hdr, bytes payload) {
+        raw->received.emplace_back(hdr, std::move(payload));
+      });
+  net.set_handler(h->node, [raw = h.get()](node_id from, const bytes& data) {
+    raw->mgr->on_datagram(from, data);
+  });
+  return h;
+}
+
+std::unique_ptr<service_node> make_sn(simulation& net, const router* route, std::size_t workers,
+                                      std::size_t ring_depth = 1024) {
+  const node_id node = net.add_node(nullptr);
+  sn_config cfg;
+  cfg.id = node;
+  cfg.edomain = 1;
+  cfg.workers = workers;
+  cfg.shard_ring_depth = ring_depth;
+  auto sn = std::make_unique<service_node>(
+      cfg, net.sim_clock(),
+      [&net, node](peer_id to, bytes d) { net.send(node, static_cast<node_id>(to), std::move(d)); },
+      [&net](nanoseconds delay, std::function<void()> fn) { net.after(delay, std::move(fn)); },
+      route);
+  net.set_handler(node, [raw = sn.get()](node_id from, const bytes& data) {
+    raw->on_datagram(from, data);
+  });
+  return sn;
+}
+
+ilp::ilp_header delivery_header(edge_addr dest, ilp::connection_id conn = 1) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::delivery;
+  h.connection = conn;
+  h.flags = ilp::kFlagFromHost;
+  h.set_meta_u64(ilp::meta_key::dest_addr, dest);
+  return h;
+}
+
+void settle(simulation& net, service_node& sn) {
+  for (int round = 0; round < 8; ++round) {
+    net.run();
+    EXPECT_TRUE(sn.wait_idle(std::chrono::milliseconds(10000)));
+  }
+  net.run();
+}
+
+std::uint64_t steered_total(service_node& sn) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sn.worker_count(); ++i) {
+    total += sn.metrics().get_counter("sn.steer.pkts", {{"shard", std::to_string(i)}}).value();
+  }
+  return total;
+}
+
+std::uint64_t ingress_drops_total(service_node& sn) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sn.worker_count(); ++i) {
+    total +=
+        sn.metrics().get_counter("sn.shard.ingress_drops", {{"shard", std::to_string(i)}}).value();
+  }
+  return total;
+}
+
+// Parallel mode delivers exactly the packets the inline SN would — no
+// losses, no duplicates — and every data packet flows through a shard.
+TEST(ShardedDatapath, ParallelDeliversSameSetAsInline) {
+  constexpr int kFlows = 8;
+  constexpr int kPerFlow = 25;
+
+  auto run_mode = [&](std::size_t workers) {
+    simulation net;
+    testing::identity_router route;
+    auto alice = make_host(net);
+    auto bob = make_host(net);
+    auto sn = make_sn(net, &route, workers);
+    sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+    for (int c = 1; c <= kFlows; ++c) {
+      for (int p = 0; p < kPerFlow; ++p) {
+        alice->mgr->send(sn->node_id(), delivery_header(bob->node, c),
+                         to_bytes("c" + std::to_string(c) + "p" + std::to_string(p)));
+      }
+    }
+    settle(net, *sn);
+
+    std::multiset<std::string> payloads;
+    for (auto& [hdr, payload] : bob->received) payloads.insert(to_string(payload));
+
+    if (workers > 0) {
+      std::uint64_t received = 0, forwarded = 0, slow = 0, fast = 0;
+      for (std::size_t i = 0; i < sn->worker_count(); ++i) {
+        received += sn->shard_terminus_stats(i).received;
+        forwarded += sn->shard_terminus_stats(i).forwarded;
+        slow += sn->shard_terminus_stats(i).slow_path;
+        fast += sn->shard_terminus_stats(i).fast_path;
+      }
+      EXPECT_EQ(received, static_cast<std::uint64_t>(kFlows * kPerFlow));
+      EXPECT_EQ(forwarded, static_cast<std::uint64_t>(kFlows * kPerFlow));
+      EXPECT_EQ(fast + slow, static_cast<std::uint64_t>(kFlows * kPerFlow));
+      EXPECT_GE(slow, static_cast<std::uint64_t>(kFlows));  // one miss per flow minimum
+      EXPECT_EQ(steered_total(*sn), static_cast<std::uint64_t>(kFlows * kPerFlow));
+      EXPECT_EQ(ingress_drops_total(*sn), 0u);
+    }
+    return payloads;
+  };
+
+  const auto inline_set = run_mode(0);
+  const auto parallel_set = run_mode(4);
+  EXPECT_EQ(inline_set.size(), static_cast<std::size_t>(kFlows * kPerFlow));
+  EXPECT_EQ(parallel_set, inline_set);
+}
+
+// Every packet of one flow lands on the shard the steerer names — private
+// caches stay consistent because a flow never splits across shards.
+TEST(ShardedDatapath, FlowAffinityPinsFlowToOneShard) {
+  simulation net;
+  testing::identity_router route;
+  auto alice = make_host(net);
+  auto bob = make_host(net);
+  auto sn = make_sn(net, &route, 4);
+  sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+  constexpr int kPackets = 40;
+  for (int p = 0; p < kPackets; ++p) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node, 9), to_bytes("x"));
+  }
+  settle(net, *sn);
+
+  ASSERT_EQ(bob->received.size(), static_cast<std::size_t>(kPackets));
+  ASSERT_NE(sn->steerer(), nullptr);
+  const std::size_t expected =
+      sn->steerer()->shard_of(cache_key{alice->node, ilp::svc::delivery, 9});
+  for (std::size_t i = 0; i < sn->worker_count(); ++i) {
+    if (i == expected) {
+      EXPECT_EQ(sn->shard_terminus_stats(i).received, static_cast<std::uint64_t>(kPackets));
+      EXPECT_EQ(sn->shard_cache(i).size(), 1u);
+    } else {
+      EXPECT_EQ(sn->shard_terminus_stats(i).received, 0u);
+      EXPECT_EQ(sn->shard_cache(i).size(), 0u);
+    }
+  }
+}
+
+// Steering is a pure function of (seed, key): a restarted SN with the same
+// cache_hash_seed maps every flow to the same shard, and distinct flows
+// spread across all shards.
+TEST(ShardedDatapath, SteeringDeterministicAcrossRestarts) {
+  flow_steerer first(0xfeedbeef, 4);
+  flow_steerer restarted(0xfeedbeef, 4);
+  std::set<std::size_t> used;
+  bool reseeded_differs = false;
+  flow_steerer reseeded(0x5eed, 4);
+  for (std::uint64_t n = 0; n < 256; ++n) {
+    const cache_key k{n * 7919 + 1, static_cast<ilp::service_id>(n % 5), n};
+    const std::size_t s = first.shard_of(k);
+    EXPECT_EQ(s, restarted.shard_of(k));
+    EXPECT_LT(s, 4u);
+    used.insert(s);
+    if (reseeded.shard_of(k) != s) reseeded_differs = true;
+  }
+  EXPECT_EQ(used.size(), 4u);      // 256 flows reach every shard
+  EXPECT_TRUE(reseeded_differs);   // the mapping is keyed, not positional
+}
+
+// A service invalidation published on the control thread empties every
+// shard's private cache, and traffic repopulates them afterwards.
+TEST(ShardedDatapath, ServiceInvalidationReachesEveryShard) {
+  simulation net;
+  testing::identity_router route;
+  auto alice = make_host(net);
+  auto bob = make_host(net);
+  auto sn = make_sn(net, &route, 4);
+  sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+  constexpr int kFlows = 8;
+  for (int c = 1; c <= kFlows; ++c) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node, c), to_bytes("warm"));
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node, c), to_bytes("warm"));
+  }
+  settle(net, *sn);
+
+  std::size_t resident = 0;
+  for (std::size_t i = 0; i < sn->worker_count(); ++i) resident += sn->shard_cache(i).size();
+  ASSERT_EQ(resident, static_cast<std::size_t>(kFlows));
+
+  sn->invalidate_service(ilp::svc::delivery);
+  ASSERT_TRUE(sn->wait_idle(std::chrono::milliseconds(10000)));
+
+  std::uint64_t invalidated = 0;
+  for (std::size_t i = 0; i < sn->worker_count(); ++i) {
+    EXPECT_EQ(sn->shard_cache(i).size(), 0u);
+    invalidated += sn->shard_cache_stats(i).invalidations;
+  }
+  EXPECT_EQ(invalidated, static_cast<std::uint64_t>(kFlows));
+
+  // The fast path re-forms: the next packet misses, redecides, reinstalls.
+  alice->mgr->send(sn->node_id(), delivery_header(bob->node, 3), to_bytes("again"));
+  settle(net, *sn);
+  EXPECT_EQ(bob->received.size(), static_cast<std::size_t>(2 * kFlows + 1));
+  resident = 0;
+  for (std::size_t i = 0; i < sn->worker_count(); ++i) resident += sn->shard_cache(i).size();
+  EXPECT_EQ(resident, 1u);
+}
+
+// Targeted connection invalidation only drops that flow's entry.
+TEST(ShardedDatapath, ConnectionInvalidationIsTargeted) {
+  simulation net;
+  testing::identity_router route;
+  auto alice = make_host(net);
+  auto bob = make_host(net);
+  auto sn = make_sn(net, &route, 2);
+  sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+  alice->mgr->send(sn->node_id(), delivery_header(bob->node, 1), to_bytes("a"));
+  alice->mgr->send(sn->node_id(), delivery_header(bob->node, 2), to_bytes("b"));
+  settle(net, *sn);
+
+  sn->invalidate_connection(ilp::svc::delivery, 1);
+  ASSERT_TRUE(sn->wait_idle(std::chrono::milliseconds(10000)));
+
+  std::size_t resident = 0;
+  for (std::size_t i = 0; i < sn->worker_count(); ++i) resident += sn->shard_cache(i).size();
+  EXPECT_EQ(resident, 1u);
+  const std::size_t survivor =
+      sn->steerer()->shard_of(cache_key{alice->node, ilp::svc::delivery, 2});
+  EXPECT_TRUE(sn->shard_cache(survivor).contains(cache_key{alice->node, ilp::svc::delivery, 2}));
+}
+
+// A full ingress ring is counted backpressure, never corruption: every
+// packet is either steered (and forwarded) or counted as dropped.
+TEST(ShardedDatapath, IngressRingFullDropsAreCounted) {
+  simulation net;
+  testing::identity_router route;
+  auto alice = make_host(net);
+  auto bob = make_host(net);
+  auto sn = make_sn(net, &route, 1, /*ring_depth=*/2);
+  sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+  constexpr int kPackets = 300;
+  const std::string big(1024, 'x');  // slow worker-side open vs the cheap peek
+  for (int p = 0; p < kPackets; ++p) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node), to_bytes(big));
+  }
+  settle(net, *sn);
+
+  const std::uint64_t steered = steered_total(*sn);
+  const std::uint64_t drops = ingress_drops_total(*sn);
+  EXPECT_EQ(steered + drops, static_cast<std::uint64_t>(kPackets));
+  EXPECT_EQ(bob->received.size(), static_cast<std::size_t>(steered));
+  EXPECT_GT(steered, 0u);
+  EXPECT_GT(drops, 0u);  // capacity-2 ring against a 300-packet burst
+}
+
+// Key rotation replicates the fresh receive contexts to every shard over
+// the FIFO ingress rings: no packet races ahead of its keys.
+TEST(ShardedDatapath, KeyRotationKeepsParallelDatapathAlive) {
+  simulation net;
+  testing::identity_router route;
+  auto alice = make_host(net);
+  auto bob = make_host(net);
+  auto sn = make_sn(net, &route, 2);
+  sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+  for (int p = 0; p < 5; ++p) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node), to_bytes("before"));
+  }
+  settle(net, *sn);
+  // Rotation is a local ratchet on each end: the hosts rotate alongside
+  // the SN, and the SN's fresh receive contexts fan out to the shards.
+  sn->rotate_keys();
+  alice->mgr->rotate_all();
+  bob->mgr->rotate_all();
+  settle(net, *sn);
+  for (int p = 0; p < 5; ++p) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node), to_bytes("after"));
+  }
+  settle(net, *sn);
+
+  EXPECT_EQ(bob->received.size(), 10u);
+  for (std::size_t i = 0; i < sn->worker_count(); ++i) {
+    EXPECT_EQ(sn->shard_metrics(i).get_counter("ilp.rx.rejected").value(), 0u);
+    EXPECT_EQ(sn->shard_metrics(i).get_counter("sn.shard.no_replica").value(), 0u);
+  }
+}
+
+// The merged metrics view covers the control registry plus every shard
+// registry, so one exposition shows the whole node.
+TEST(ShardedDatapath, MergedMetricsCoverShardRegistries) {
+  simulation net;
+  testing::identity_router route;
+  auto alice = make_host(net);
+  auto bob = make_host(net);
+  auto sn = make_sn(net, &route, 2);
+  sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+  // Two waves with a settle between: the first wave installs the cache
+  // entries, the second hits them (a single burst can be entirely steered
+  // before any slow-path response lands, making every packet a miss).
+  constexpr int kPackets = 20;
+  for (int p = 0; p < kPackets / 2; ++p) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node, 1 + p % 4), to_bytes("m"));
+  }
+  settle(net, *sn);
+  for (int p = 0; p < kPackets / 2; ++p) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node, 1 + p % 4), to_bytes("m"));
+  }
+  settle(net, *sn);
+
+  metrics_registry merged;
+  sn->merge_metrics_into(merged);
+  EXPECT_GT(merged.get_counter("sn.cache.inserts").value(), 0u);
+  EXPECT_GT(merged.get_counter("sn.cache.hits").value(), 0u);
+  EXPECT_EQ(steered_total(*sn), static_cast<std::uint64_t>(kPackets));
+
+  const std::string prom = sn->export_prometheus();
+  EXPECT_NE(prom.find("steer"), std::string::npos);
+  // Snapshot twice: the second call produces rate deltas without throwing
+  // and without double-counting the merged registries.
+  sn->stats_snapshot();
+  const std::string snap = sn->stats_snapshot();
+  EXPECT_FALSE(snap.empty());
+}
+
+// workers == 0 is the unchanged inline SN: no threads, no steerer, and the
+// parallel-mode service entry points are safe no-ops.
+TEST(ShardedDatapath, WorkersZeroStaysInline) {
+  simulation net;
+  testing::identity_router route;
+  auto alice = make_host(net);
+  auto bob = make_host(net);
+  auto sn = make_sn(net, &route, 0);
+  sn->env().deploy(std::make_unique<testing::forwarder_module>());
+
+  EXPECT_EQ(sn->worker_count(), 0u);
+  EXPECT_EQ(sn->steerer(), nullptr);
+
+  for (int p = 0; p < 3; ++p) {
+    alice->mgr->send(sn->node_id(), delivery_header(bob->node), to_bytes("inline"));
+  }
+  net.run();
+  EXPECT_EQ(sn->poll(), 0u);
+  EXPECT_TRUE(sn->wait_idle(std::chrono::milliseconds(100)));
+
+  EXPECT_EQ(bob->received.size(), 3u);
+  EXPECT_EQ(sn->datapath_stats().slow_path, 1u);
+  EXPECT_EQ(sn->datapath_stats().fast_path, 2u);
+  EXPECT_EQ(sn->cache().stats().hits, 2u);
+}
+
+// The invalidation bus against live worker threads: lookups and inserts on
+// shard-private caches race erase_service/erase_connection publishes. Run
+// under tsan (ci_sanitizers.sh) this must be clean — the caches are never
+// shared, only the SPSC command rings cross threads.
+TEST(ShardedDatapath, ConcurrentInvalidationIsRaceFree) {
+  constexpr std::size_t kShards = 2;
+  cache_invalidation_bus bus(kShards, 64);
+  std::vector<std::unique_ptr<decision_cache>> caches;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    caches.push_back(std::make_unique<decision_cache>(256, 42));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    workers.emplace_back([&, i] {
+      decision_cache& cache = *caches[i];
+      std::uint64_t conn = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        bus.drain(i, cache);
+        const cache_key k{i + 1, static_cast<ilp::service_id>(conn % 3), conn % 128};
+        if (!cache.lookup(k)) cache.insert(k, decision::forward_to(9));
+        ++conn;
+      }
+      bus.drain(i, cache);
+    });
+  }
+
+  for (int round = 0; round < 2000; ++round) {
+    bus.publish(cache_command{cache_op::erase_service,
+                              static_cast<ilp::service_id>(round % 3), 0, 0});
+    if (round % 5 == 0) {
+      bus.publish(cache_command{cache_op::erase_connection,
+                                static_cast<ilp::service_id>(round % 3),
+                                static_cast<ilp::connection_id>(round % 128), 0});
+    }
+  }
+  while (!bus.quiesced()) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+
+  EXPECT_TRUE(bus.quiesced());
+  EXPECT_EQ(bus.published(), 2000u + 400u);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(bus.applied(i), bus.published());
+    // Post-join the caches are plain single-threaded objects again.
+    EXPECT_LE(caches[i]->size(), caches[i]->capacity());
+  }
+}
+
+}  // namespace
+}  // namespace interedge::core

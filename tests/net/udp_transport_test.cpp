@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <thread>
+
 #include "core/service_node.h"
 #include "core/test_modules.h"
 #include "host/host_stack.h"
@@ -38,6 +41,43 @@ TEST(UdpEndpoint, SendReceiveBetweenEndpoints) {
   });
   loop.run_until_quiet(20ms, 2000ms);
   EXPECT_EQ(got, "over the wire");
+}
+
+// Regression: a recvmmsg that drains the socket mid-batch (the EAGAIN
+// happens inside the batch, reported only as a short count) must be
+// visible as a counter, and an empty-socket attempt counted separately.
+TEST(UdpEndpoint, RecvBatchCountsPartialDrains) {
+  udp_endpoint a, b;
+  a.add_peer(2, "127.0.0.1", b.port());
+  b.add_peer(1, "127.0.0.1", a.port());
+
+  std::vector<std::pair<peer_id, bytes>> got;
+  EXPECT_EQ(b.recv_batch(udp_endpoint::kBatchMax, got), 0u);
+  EXPECT_EQ(b.rx_empty(), 1u);
+  EXPECT_EQ(b.rx_partial_batches(), 0u);
+
+  constexpr std::size_t kSent = 5;
+  for (std::size_t i = 0; i < kSent; ++i) {
+    ASSERT_TRUE(a.send(2, to_bytes("p" + std::to_string(i))));
+  }
+  for (int attempt = 0; attempt < 2000 && got.size() < kSent; ++attempt) {
+    if (b.recv_batch(udp_endpoint::kBatchMax, got) == 0) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  ASSERT_EQ(got.size(), kSent);
+  // 5 < kBatchMax: at least one call came up short against a dry socket.
+  EXPECT_GE(b.rx_partial_batches(), 1u);
+  EXPECT_EQ(b.rx_errors(), 0u);
+  EXPECT_EQ(b.received(), kSent);
+}
+
+TEST(UdpEndpoint, ReusePortSharesOneBinding) {
+  udp_endpoint first(0, /*reuse_port=*/true);
+  udp_endpoint second(first.port(), /*reuse_port=*/true);
+  EXPECT_EQ(second.port(), first.port());
+  // Without SO_REUSEPORT the same bind must fail loudly, not silently.
+  EXPECT_THROW(udp_endpoint third(first.port()), std::runtime_error);
 }
 
 TEST(UdpEndpoint, UnknownPeerSendFails) {

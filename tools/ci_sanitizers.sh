@@ -1,8 +1,9 @@
 #!/bin/sh
 # Sanitizer CI job: builds and runs the test suite under ASan+UBSan and
 # TSan (presets in CMakePresets.json). TSan is what keeps the lock-free
-# telemetry paths honest — sharded_counter stripes, concurrent histogram
-# records and the trace ring are all hammered by the common_test suite.
+# paths honest — sharded_counter stripes, concurrent histogram records,
+# the trace ring, and the multi-core SN datapath (worker shards, SPSC
+# rings, the invalidation bus) hammered by parallel_test.
 #
 #   tools/ci_sanitizers.sh [asan|tsan]    # default: both
 set -e
@@ -16,6 +17,11 @@ run_preset() {
   cmake --build --preset "$preset" -j
   echo "== $preset: test =="
   ctest --preset "$preset" -j
+  # Second, focused pass over the multi-core datapath tests: these spawn
+  # real worker threads (steering, shard caches, invalidation bus), which
+  # is exactly what the sanitizers — tsan above all — exist to check.
+  echo "== $preset: parallel datapath (focused) =="
+  ctest --preset "$preset" -R parallel_test --output-on-failure
 }
 
 case "${1:-all}" in
