@@ -2,6 +2,7 @@
 // and the network simulator can drive virtual time deterministically.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -24,15 +25,22 @@ class real_clock final : public clock {
   static real_clock& instance();
 };
 
-// Manually advanced clock for unit tests.
+// Manually advanced clock for unit tests and the simulator. The tick is
+// stored in a relaxed atomic: worker-shard threads read the clock (e.g.
+// decision-cache TTL checks) while the owning thread advances it, and a
+// torn read of virtual time must not be a data race.
 class manual_clock final : public clock {
  public:
-  time_point now() const override { return now_; }
-  void advance(nanoseconds d) { now_ += d; }
-  void set(time_point t) { now_ = t; }
+  time_point now() const override {
+    return time_point(nanoseconds(ns_.load(std::memory_order_relaxed)));
+  }
+  void advance(nanoseconds d) { ns_.fetch_add(d.count(), std::memory_order_relaxed); }
+  void set(time_point t) {
+    ns_.store(t.time_since_epoch().count(), std::memory_order_relaxed);
+  }
 
  private:
-  time_point now_{};
+  std::atomic<std::int64_t> ns_{0};
 };
 
 }  // namespace interedge

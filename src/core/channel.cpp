@@ -15,6 +15,7 @@ namespace {
 
 void encode_decision(writer& w, const decision& d) {
   w.u8(static_cast<std::uint8_t>(d.kind));
+  w.varint(static_cast<std::uint64_t>(d.ttl.count()));
   w.varint(d.next_hops.size());
   for (peer_id hop : d.next_hops) w.u64(hop);
 }
@@ -22,6 +23,7 @@ void encode_decision(writer& w, const decision& d) {
 decision decode_decision(reader& r) {
   decision d;
   d.kind = static_cast<decision::verdict>(r.u8());
+  d.ttl = nanoseconds(static_cast<std::int64_t>(r.varint()));
   const std::uint64_t n = r.varint();
   // n is attacker-influenced: validate against the bytes actually present
   // before any allocation (8 bytes per hop).
@@ -48,9 +50,10 @@ cache_key decode_key(reader& r) {
 }  // namespace
 
 bytes slowpath_request::encode() const {
-  writer w(32 + header_bytes.size() + payload.size());
+  writer w(40 + header_bytes.size() + payload.size());
   w.u64(token);
   w.u64(l3_src);
+  w.u64(deadline_ns);
   w.blob(header_bytes);
   w.blob(payload);
   return w.take();
@@ -61,6 +64,7 @@ slowpath_request slowpath_request::decode(const_byte_span data) {
   slowpath_request req;
   req.token = r.u64();
   req.l3_src = r.u64();
+  req.deadline_ns = r.u64();
   const const_byte_span h = r.blob();
   req.header_bytes.assign(h.begin(), h.end());
   const const_byte_span p = r.blob();
@@ -210,7 +214,19 @@ std::size_t slowpath_hub::pump() {
   std::vector<bool> touched(endpoints_.size(), false);
   for (std::size_t src = 0; src < endpoints_.size(); ++src) {
     while (auto req = endpoints_[src]->requests.try_pop()) {
-      slowpath_response resp = handler_(std::move(*req));
+      slowpath_response resp;
+      if (deadline_clock_ && req->deadline_ns != 0 &&
+          static_cast<std::uint64_t>(
+              deadline_clock_->now().time_since_epoch().count()) > req->deadline_ns) {
+        // Dead on arrival: the request aged out in the ring. Synthesize a
+        // drop so the shard's in-flight window drains without stale work.
+        resp.token = req->token;
+        resp.verdict = decision::drop_packet();
+        ++expired_;
+        if (expired_counter_) expired_counter_->add();
+      } else {
+        resp = handler_(std::move(*req));
+      }
       // The terminus seeds its tokens with token_seed(shard), so the
       // response routes itself; fall back to the requesting shard for
       // tokenless (synthetic) traffic.

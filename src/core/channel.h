@@ -30,6 +30,8 @@
 #include <thread>
 
 #include "common/bytes.h"
+#include "common/clock.h"
+#include "common/metrics.h"
 #include "common/ring.h"
 #include "core/service_module.h"
 
@@ -41,6 +43,10 @@ namespace interedge::core {
 struct slowpath_request {
   std::uint64_t token = 0;  // correlates the async response
   peer_id l3_src = 0;
+  // Absolute expiry (clock ns since epoch); 0 = no deadline. A request
+  // still queued past its deadline is expired by whoever dequeues it
+  // (slowpath_hub::pump or the SN handler) instead of doing stale work.
+  std::uint64_t deadline_ns = 0;
   bytes header_bytes;  // encoded ILP header
   bytes payload;
 
@@ -151,6 +157,16 @@ class slowpath_hub {
   // Returns the number of requests served.
   std::size_t pump();
 
+  // Arms deadline enforcement: a request dequeued after its deadline_ns
+  // is answered with a synthesized drop (the shard's in-flight accounting
+  // still drains) instead of invoking the handler. Expiry can only happen
+  // while a request sits in the ring, which is exactly the overload case
+  // deadlines exist for.
+  void set_deadline_clock(const clock* clk) { deadline_clock_ = clk; }
+  // Optional counter bumped per expired request (sn.slowpath.expired).
+  void set_expired_counter(counter* c) { expired_counter_ = c; }
+  std::uint64_t expired() const { return expired_; }
+
   // True when no request or response is in flight in any ring.
   bool idle() const;
 
@@ -169,6 +185,9 @@ class slowpath_hub {
 
   slowpath_handler handler_;
   wake_fn wake_;
+  const clock* deadline_clock_ = nullptr;
+  counter* expired_counter_ = nullptr;
+  std::uint64_t expired_ = 0;
   std::vector<std::unique_ptr<endpoint_impl>> endpoints_;
 };
 

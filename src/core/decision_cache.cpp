@@ -1,5 +1,7 @@
 #include "core/decision_cache.h"
 
+#include "common/serial.h"
+
 namespace interedge::core {
 
 crypto::siphash_key cache_hash_key(std::uint64_t seed) {
@@ -46,18 +48,33 @@ std::optional<decision> decision_cache::lookup(const cache_key& key) {
     ++stats_.misses;
     return std::nullopt;
   }
+  if (clock_ && expired_at(*it->second, clock_->now())) {
+    svc_index_remove(it->second);
+    entries_.erase(it->second);
+    index_.erase(it);
+    ++stats_.expired;
+    ++stats_.misses;
+    return std::nullopt;
+  }
   ++stats_.hits;
   ++it->second->hits;
   entries_.splice(entries_.begin(), entries_, it->second);  // bump recency
   return it->second->value;
 }
 
-bool decision_cache::contains(const cache_key& key) const { return index_.count(key) > 0; }
+bool decision_cache::contains(const cache_key& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  return !(clock_ && expired_at(*it->second, clock_->now()));
+}
 
 void decision_cache::insert(const cache_key& key, decision d) {
+  const time_point expires =
+      (clock_ && d.ttl.count() > 0) ? clock_->now() + d.ttl : time_point::max();
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->value = std::move(d);
+    it->second->expires = expires;
     entries_.splice(entries_.begin(), entries_, it->second);
     ++stats_.inserts;
     return;
@@ -73,6 +90,7 @@ void decision_cache::insert(const cache_key& key, decision d) {
     victim->key = key;
     victim->value = std::move(d);
     victim->hits = 0;
+    victim->expires = expires;
     entries_.splice(entries_.begin(), entries_, victim);
     index_[key] = entries_.begin();
     svc_index_add(entries_.begin());
@@ -80,7 +98,7 @@ void decision_cache::insert(const cache_key& key, decision d) {
     ++stats_.inserts;
     return;
   }
-  entries_.push_front(entry{key, std::move(d), 0, {}});
+  entries_.push_front(entry{key, std::move(d), 0, expires, {}});
   index_[key] = entries_.begin();
   svc_index_add(entries_.begin());
   ++stats_.inserts;
@@ -141,7 +159,88 @@ void decision_cache::clear() {
 
 std::uint64_t decision_cache::hit_count(const cache_key& key) const {
   auto it = index_.find(key);
-  return it == index_.end() ? 0 : it->second->hits;
+  if (it == index_.end()) return 0;
+  if (clock_ && expired_at(*it->second, clock_->now())) return 0;
+  return it->second->hits;
+}
+
+std::size_t decision_cache::purge_expired() {
+  if (!clock_) return 0;
+  const time_point now = clock_->now();
+  std::size_t purged = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (expired_at(*it, now)) {
+      svc_index_remove(it);
+      index_.erase(it->key);
+      it = entries_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  stats_.expired += purged;
+  return purged;
+}
+
+bytes decision_cache::snapshot(time_point now) const {
+  writer w;
+  w.u8(1);  // snapshot format version
+  // Count live entries first (expired ones are omitted).
+  std::uint64_t live = 0;
+  for (const entry& e : entries_) {
+    if (!expired_at(e, now)) ++live;
+  }
+  w.varint(live);
+  // LRU-first so restore's inserts replay recency in order and the MRU
+  // entry lands at the front again.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const entry& e = *it;
+    if (expired_at(e, now)) continue;
+    w.u64(e.key.l3_src);
+    w.u32(e.key.service);
+    w.u64(e.key.connection);
+    w.u64(e.hits);
+    const std::uint64_t remaining_ns =
+        e.expires == time_point::max()
+            ? 0
+            : static_cast<std::uint64_t>((e.expires - now).count());
+    w.u64(remaining_ns);
+    w.u8(static_cast<std::uint8_t>(e.value.kind));
+    w.varint(e.value.next_hops.size());
+    for (const peer_id hop : e.value.next_hops) w.u64(hop);
+  }
+  return w.take();
+}
+
+std::size_t decision_cache::restore_warm(const_byte_span data, time_point now) {
+  reader r(data);
+  const std::uint8_t version = r.u8();
+  if (version != 1) throw serial_error("decision_cache snapshot: unknown version");
+  const std::uint64_t count = r.varint();
+  std::size_t restored = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    cache_key key;
+    key.l3_src = r.u64();
+    key.service = r.u32();
+    key.connection = r.u64();
+    const std::uint64_t hits = r.u64();
+    const std::uint64_t remaining_ns = r.u64();
+    decision d;
+    d.kind = static_cast<decision::verdict>(r.u8());
+    const std::uint64_t hop_count = r.varint();
+    d.next_hops.reserve(hop_count);
+    for (std::uint64_t h = 0; h < hop_count; ++h) d.next_hops.push_back(r.u64());
+    d.ttl = nanoseconds(static_cast<std::int64_t>(remaining_ns));
+    insert(key, std::move(d));
+    // insert() computes expires = now + remaining and zeroes the hit
+    // count; re-apply the snapshot's count so Appendix B queries see the
+    // pre-failover value.
+    auto it = index_.find(key);
+    if (it != index_.end()) it->second->hits = hits;
+    ++restored;
+  }
+  (void)now;
+  return restored;
 }
 
 // ---- cache_invalidation_bus -------------------------------------------

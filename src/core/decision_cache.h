@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/ring.h"
 #include "core/packet.h"
 #include "crypto/siphash.h"
@@ -43,13 +44,22 @@ struct cache_stats {
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
   std::uint64_t invalidations = 0;
+  std::uint64_t expired = 0;  // TTL lapses (counted as misses too on lookup)
 };
 
 class decision_cache {
  public:
   explicit decision_cache(std::size_t capacity, std::uint64_t hash_seed = 0);
 
-  // Looks up a decision; bumps recency and the entry's hit count.
+  // Arms per-entry TTLs: inserts whose decision carries ttl > 0 expire
+  // that long after insertion. Without a clock TTLs are ignored and
+  // entries live until LRU eviction/invalidation, as before. The clock
+  // must outlive the cache; a worker shard may read it while another
+  // thread advances it (manual_clock is atomic).
+  void set_clock(const clock* clk) { clock_ = clk; }
+
+  // Looks up a decision; bumps recency and the entry's hit count. An
+  // expired entry is erased and reported as a miss (stats().expired).
   std::optional<decision> lookup(const cache_key& key);
   // Read-only probe: no recency/hit-count side effects.
   bool contains(const cache_key& key) const;
@@ -66,6 +76,21 @@ class decision_cache {
   // Drops every entry installed by a service (service reconfiguration).
   std::size_t erase_service(ilp::service_id service);
   void clear();
+
+  // Sweeps all expired entries now (checkpoint hygiene); returns the
+  // number removed. No-op without a clock.
+  std::size_t purge_expired();
+
+  // Warm-state snapshot for checkpointed failover: entries serialized
+  // LRU-first so a restore replays them as inserts and reproduces the
+  // same recency order; TTLs are stored as remaining time relative to
+  // `now`, hit counts ride along (Appendix B queries survive failover).
+  // Entries already expired at `now` are omitted.
+  bytes snapshot(time_point now) const;
+  // Replays a snapshot into this cache (keeping this cache's capacity —
+  // overflow evicts LRU as usual). Returns entries restored. Throws
+  // interedge::serial_error on malformed input.
+  std::size_t restore_warm(const_byte_span data, time_point now);
 
   // Appendix B hit-count API. 0 if the entry is not resident.
   std::uint64_t hit_count(const cache_key& key) const;
@@ -86,6 +111,7 @@ class decision_cache {
     cache_key key;
     decision value;
     std::uint64_t hits = 0;
+    time_point expires = time_point::max();  // max() = no TTL
     svc_bucket::iterator svc_it{};  // back-pointer into by_service_[key.service]
   };
   struct key_hash {
@@ -97,11 +123,15 @@ class decision_cache {
 
   void svc_index_add(lru_list::iterator it);
   void svc_index_remove(lru_list::iterator it);
+  bool expired_at(const entry& e, time_point now) const {
+    return e.expires != time_point::max() && now >= e.expires;
+  }
 
   lru_list entries_;  // front = most recent
   std::unordered_map<cache_key, lru_list::iterator, key_hash> index_;
   std::unordered_map<ilp::service_id, svc_bucket> by_service_;
   std::size_t capacity_;
+  const clock* clock_ = nullptr;
   cache_stats stats_;
 };
 

@@ -56,6 +56,9 @@ class exec_env::context_impl final : public service_context {
 
 exec_env::exec_env(node_services& node) : node_(node) {
   unknown_drop_counter_ = &node_.metrics().get_counter("sn.drop.unknown_service");
+  retry_counter_ = &node_.metrics().get_counter("sn.slowpath.retries");
+  retry_exhausted_counter_ = &node_.metrics().get_counter("sn.slowpath.retry_exhausted");
+  module_error_counter_ = &node_.metrics().get_counter("sn.slowpath.module_errors");
 }
 exec_env::~exec_env() = default;
 
@@ -90,10 +93,41 @@ void exec_env::set_interceptor(std::unique_ptr<service_module> interceptor) {
   interceptor_.module->start(*interceptor_.context);
 }
 
+// Invokes a module with failure containment: transient_error buys the
+// packet up to transient_retries_ immediate re-attempts (the slow-path
+// handler is synchronous, so the "backoff" is a capped attempt budget);
+// anything else a module throws is swallowed into a drop — a buggy or
+// degraded module costs its own packets, never the SN.
+module_result exec_env::invoke(deployed_module& dm, const packet& pkt) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      return dm.module->on_packet(*dm.context, pkt);
+    } catch (const transient_error& e) {
+      if (attempt >= transient_retries_) {
+        ++retries_exhausted_;
+        retry_exhausted_counter_->add();
+        IE_LOG(warn) << "exec_env" << kv("drop", "retry-exhausted")
+                     << kv("service", pkt.header.service) << kv("node", node_.node_id())
+                     << kv("what", e.what());
+        return module_result::drop();
+      }
+      ++retries_attempted_;
+      retry_counter_->add();
+    } catch (const std::exception& e) {
+      ++module_errors_;
+      module_error_counter_->add();
+      IE_LOG(warn) << "exec_env" << kv("drop", "module-error")
+                   << kv("service", pkt.header.service) << kv("node", node_.node_id())
+                   << kv("what", e.what());
+      return module_result::drop();
+    }
+  }
+}
+
 module_result exec_env::dispatch(const packet& pkt) {
   ++dispatches_;
   if (interceptor_.module) {
-    module_result imposed = interceptor_.module->on_packet(*interceptor_.context, pkt);
+    module_result imposed = invoke(interceptor_, pkt);
     if (imposed.verdict.kind != decision::verdict::deliver_local) {
       ++intercepted_;
       return imposed;  // blocked, or forwarded past this SN's services
@@ -112,7 +146,7 @@ module_result exec_env::dispatch(const packet& pkt) {
   }
   it->second.dispatch_counter->add();
   trace::span service_span(trace::stage::service);
-  module_result result = it->second.module->on_packet(*it->second.context, pkt);
+  module_result result = invoke(it->second, pkt);
   if (interceptor_.module && interceptor_.module->content_dependent()) {
     // A payload-inspecting interceptor must see every packet: no module may
     // install a fast-path entry that would route around it.

@@ -77,6 +77,16 @@ class exec_env {
   bytes checkpoint();
   void restore(const_byte_span snapshot);
 
+  // Retry budget for dispatches that throw transient_error: the packet is
+  // re-offered to the module up to `retries` more times (inline — the
+  // slow path is synchronous, so this is the capped backoff) and dropped
+  // when the budget runs out. Any other exception drops immediately; a
+  // throwing module never takes the SN down.
+  void set_transient_retry_limit(std::uint32_t retries) { transient_retries_ = retries; }
+  std::uint64_t retries_attempted() const { return retries_attempted_; }
+  std::uint64_t retries_exhausted() const { return retries_exhausted_; }
+  std::uint64_t module_errors() const { return module_errors_; }
+
   std::uint64_t dispatches() const { return dispatches_; }
   std::uint64_t unknown_service_drops() const { return unknown_drops_; }
 
@@ -89,13 +99,22 @@ class exec_env {
     counter* dispatch_counter = nullptr;
   };
 
+  module_result invoke(deployed_module& dm, const packet& pkt);
+
   node_services& node_;
   std::map<ilp::service_id, deployed_module> modules_;
   deployed_module interceptor_;
   std::uint64_t dispatches_ = 0;
   std::uint64_t unknown_drops_ = 0;
   std::uint64_t intercepted_ = 0;
+  std::uint32_t transient_retries_ = 2;
+  std::uint64_t retries_attempted_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  std::uint64_t module_errors_ = 0;
   counter* unknown_drop_counter_ = nullptr;
+  counter* retry_counter_ = nullptr;
+  counter* retry_exhausted_counter_ = nullptr;
+  counter* module_error_counter_ = nullptr;
 };
 
 }  // namespace interedge::core

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "ilp/header.h"
 #include "ilp/pipe_manager.h"
 
@@ -42,6 +43,11 @@ struct decision {
   };
   verdict kind = verdict::drop;
   std::vector<peer_id> next_hops;
+  // Optional lifetime: 0 = live until LRU eviction / invalidation; > 0 =
+  // the cache expires the entry `ttl` after insertion (requires the cache
+  // to have a clock — see decision_cache::set_clock). Shed/default
+  // verdicts and verdicts for degraded services set this so they age out.
+  nanoseconds ttl{0};
 
   static decision forward_to(peer_id hop) { return {verdict::forward, {hop}}; }
   static decision forward_all(std::vector<peer_id> hops) {

@@ -29,6 +29,7 @@ void pipe_terminus::enable_telemetry(metrics_registry& reg, trace::tracer* trace
   m_delivered_ = &reg.get_counter("sn.rx.delivered");
   m_dropped_ = &reg.get_counter("sn.drop.pkts");
   m_backpressure_ = &reg.get_counter("sn.slowpath.backpressure");
+  m_shed_ = &reg.get_counter("sn.slowpath.shed");
   m_inflight_ = &reg.get_gauge("sn.slowpath.in_flight");
 }
 
@@ -41,18 +42,51 @@ counter& pipe_terminus::service_rx_counter(ilp::service_id service) {
   return *c;
 }
 
-void pipe_terminus::flush_deltas(const terminus_stats& before) {
-  m_fast_->add(stats_.fast_path - before.fast_path);
-  m_slow_->add(stats_.slow_path - before.slow_path);
-  m_forwarded_->add(stats_.forwarded - before.forwarded);
-  m_delivered_->add(stats_.delivered - before.delivered);
-  m_dropped_->add(stats_.dropped - before.dropped);
-  m_backpressure_->add(stats_.backpressure - before.backpressure);
+void pipe_terminus::flush_telemetry() {
+  if (reg_ == nullptr) return;
+  // Watermark deltas rather than a caller-captured `before`: verdicts a
+  // bare pump() applies between handle() calls land above the watermark
+  // and get picked up by whichever flush runs next.
+  m_fast_->add(stats_.fast_path - flushed_.fast_path);
+  m_slow_->add(stats_.slow_path - flushed_.slow_path);
+  m_forwarded_->add(stats_.forwarded - flushed_.forwarded);
+  m_delivered_->add(stats_.delivered - flushed_.delivered);
+  m_dropped_->add(stats_.dropped - flushed_.dropped);
+  m_backpressure_->add(stats_.backpressure - flushed_.backpressure);
+  m_shed_->add(stats_.shed - flushed_.shed);
   m_inflight_->set(static_cast<std::int64_t>(in_flight_.size()));
+  flushed_ = stats_;
+}
+
+void pipe_terminus::shed_packet(const packet& pkt, bool sampled) {
+  decision d = decision::drop_packet();  // fail closed unless policy says pass
+  auto it = shed_verdicts_.find(pkt.header.service);
+  if (it != shed_verdicts_.end()) d = it->second;
+  d.ttl = policy_.shed_ttl;
+  // The TTL'd entry absorbs the rest of the burst on the fast path; when
+  // it expires the flow falls back to the (hopefully recovered) slow path.
+  cache_.insert(cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection}, d);
+  ++stats_.shed;
+  IE_LOG(debug) << "terminus" << kv("shed", ilp::svc::name(pkt.header.service))
+                << kv("conn", pkt.header.connection)
+                << kv("in_flight", in_flight_.size());
+  apply_traced(d, pkt.header, pkt.payload, sampled);
+}
+
+bool pipe_terminus::submit_bounded(const slowpath_request& req, bool is_control) {
+  std::size_t attempts = 0;
+  while (!channel_.submit(req)) {
+    ++stats_.backpressure;
+    if (backpressure_hook_) backpressure_hook_();
+    pump();
+    if (!is_control && policy_.high_water > 0 && ++attempts >= policy_.submit_retries) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void pipe_terminus::handle(packet pkt) {
-  const terminus_stats before = stats_;
   ++stats_.received;
   const bool sampled = tracer_ != nullptr && tracer_->sample_tick();
 
@@ -66,37 +100,50 @@ void pipe_terminus::handle(packet pkt) {
       apply_traced(*d, pkt.header, pkt.payload, sampled);
       if (reg_ != nullptr) {
         service_rx_counter(pkt.header.service).add();
-        flush_deltas(before);
+        flush_telemetry();
       }
       return;
     }
+  }
+
+  if (!is_control && should_shed()) {
+    shed_packet(pkt, sampled);
+    if (reg_ != nullptr) {
+      service_rx_counter(pkt.header.service).add();
+      flush_telemetry();
+    }
+    return;
   }
 
   ++stats_.slow_path;
   slowpath_request req;
   req.token = next_token_++;
   req.l3_src = pkt.l3_src;
+  req.deadline_ns = deadline_for_now();
   req.header_bytes = pkt.header.encode();
   req.payload = pkt.payload;  // services like caching need it; §4 fidelity note in DESIGN.md
 
   const std::uint64_t token = req.token;
-  while (!channel_.submit(req)) {
-    // Bounded channel full: drain completions to make room.
-    ++stats_.backpressure;
-    if (backpressure_hook_) backpressure_hook_();
-    pump();
+  if (!submit_bounded(req, is_control)) {
+    // Channel stayed full through the retry budget: shed instead of
+    // blocking the fast path behind a wedged slow path.
+    shed_packet(pkt, sampled);
+    if (reg_ != nullptr) {
+      service_rx_counter(pkt.header.service).add();
+      flush_telemetry();
+    }
+    return;
   }
   in_flight_.emplace(token, std::move(pkt));
   pump();
   if (reg_ != nullptr) {
     service_rx_counter(pkt.header.service).add();
-    flush_deltas(before);
+    flush_telemetry();
   }
 }
 
 void pipe_terminus::handle_batch(std::span<packet> pkts) {
   trace::span batch_span(trace::stage::ingress);
-  const terminus_stats before = stats_;
   // One atomic claims the whole batch's sampler sequence range; per packet
   // the sampling decision is then a mask compare on a register.
   std::uint64_t sample_base = 0;
@@ -156,18 +203,29 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
       }
     }
 
+    if (!is_control && should_shed()) {
+      shed_packet(pkt, sampled);
+      // The shed verdict just became a cache entry; let same-flow
+      // packets later in this batch hit it via the memo.
+      memo_key = cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection};
+      memo_decision = decision::drop_packet();
+      if (auto d = cache_.lookup(memo_key)) memo_decision = std::move(*d);
+      have_memo = true;
+      continue;
+    }
+
     ++stats_.slow_path;
     slowpath_request req;
     req.token = next_token_++;
     req.l3_src = pkt.l3_src;
+    req.deadline_ns = deadline_for_now();
     req.header_bytes = pkt.header.encode();
     req.payload = pkt.payload;
 
     const std::uint64_t token = req.token;
-    while (!channel_.submit(req)) {
-      ++stats_.backpressure;
-      if (backpressure_hook_) backpressure_hook_();
-      pump();
+    if (!submit_bounded(req, is_control)) {
+      shed_packet(pkt, sampled);
+      continue;
     }
     in_flight_.emplace(token, std::move(pkt));
     submitted = true;
@@ -181,7 +239,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
 
   if (reg_ != nullptr) {
     if (tally_count > 0) service_rx_counter(tally_service).add(tally_count);
-    flush_deltas(before);
+    flush_telemetry();
   }
 }
 
@@ -236,7 +294,7 @@ void pipe_terminus::apply(const decision& d, const ilp::ilp_header& header, cons
       break;
     case decision::verdict::drop:
       ++stats_.dropped;
-      // The counter (sn.drop.pkts, via flush_deltas) and the log line move
+      // The counter (sn.drop.pkts, via flush_telemetry) and the log line move
       // together so no drop is ever silent.
       IE_LOG(debug) << "terminus" << kv("drop", "verdict")
                     << kv("service", ilp::svc::name(header.service))

@@ -36,6 +36,28 @@ struct terminus_stats {
   std::uint64_t delivered = 0;   // consumed locally by a service
   std::uint64_t dropped = 0;
   std::uint64_t backpressure = 0;  // submit retries due to a full channel
+  std::uint64_t shed = 0;  // packets given a temporary default verdict
+};
+
+// Degradation policy for a saturated or wedged slow path (DESIGN.md §10).
+// With high_water configured the terminus never blocks on the channel:
+// past the mark (or after submit_retries failed submits) it sheds load by
+// installing a short-TTL default verdict in the decision cache and
+// applying it, so the fast path keeps flowing while the slow path drains.
+// Control packets are exempt — they mutate service state and always wait.
+struct slowpath_policy {
+  const clock* clk = nullptr;  // time source for deadlines and shed TTLs
+  // Per-request deadline stamped into slowpath_request.deadline_ns;
+  // 0 = no deadline.
+  nanoseconds deadline{0};
+  // In-flight slow-path packets that trigger shedding; 0 = legacy
+  // behavior (block until the channel accepts).
+  std::size_t high_water = 0;
+  // Failed submit attempts (channel full) before the packet sheds.
+  std::size_t submit_retries = 64;
+  // Lifetime of shed verdicts; they age out so recovered services regain
+  // their flows without explicit invalidation.
+  nanoseconds shed_ttl = std::chrono::milliseconds(50);
 };
 
 class pipe_terminus {
@@ -66,6 +88,17 @@ class pipe_terminus {
   // the per-packet telemetry cost is a couple of register increments.
   void enable_telemetry(metrics_registry& reg, trace::tracer* tracer);
 
+  // Installs the degradation policy (see slowpath_policy).
+  void set_slowpath_policy(slowpath_policy policy) { policy_ = policy; }
+  const slowpath_policy& policy() const { return policy_; }
+
+  // Per-service shed verdict ("pass or drop, per service policy"): the
+  // temporary decision installed when this service's slow-path work is
+  // shed. Unset services shed to drop (fail closed).
+  void set_shed_verdict(ilp::service_id service, decision d) {
+    shed_verdicts_[service] = std::move(d);
+  }
+
   // Seeds the slow-path token counter. The sharded datapath gives each
   // shard's terminus a disjoint token range (slowpath_hub::token_seed) so
   // the hub can route a response back to the terminus that issued it.
@@ -86,15 +119,33 @@ class pipe_terminus {
 
   const terminus_stats& stats() const { return stats_; }
 
+  // Pushes any stats movement not yet reflected in the metric handles.
+  // handle()/handle_batch() flush on exit, but verdicts applied by a bare
+  // pump() between packets (the worker loop, the control thread's poll)
+  // would otherwise slip under the next flush's watermark and vanish from
+  // the metrics view.
+  void flush_telemetry();
+
  private:
   void apply(const decision& d, const ilp::ilp_header& header, const bytes& payload);
   // apply() plus sampled emit-stage timing and a ring capture.
   void apply_traced(const decision& d, const ilp::ilp_header& header, const bytes& payload,
                     bool sampled);
   void complete(slowpath_response resp);
+  bool should_shed() const {
+    return policy_.high_water > 0 && in_flight_.size() >= policy_.high_water;
+  }
+  // Installs the service's default verdict (TTL'd) and applies it now.
+  void shed_packet(const packet& pkt, bool sampled);
+  // Submits with the policy's retry bound; false = caller sheds. Control
+  // packets (and the legacy no-policy mode) retry until accepted.
+  bool submit_bounded(const slowpath_request& req, bool is_control);
+  std::uint64_t deadline_for_now() const {
+    if (policy_.clk == nullptr || policy_.deadline.count() <= 0) return 0;
+    return static_cast<std::uint64_t>(
+        (policy_.clk->now() + policy_.deadline).time_since_epoch().count());
+  }
   counter& service_rx_counter(ilp::service_id service);
-  // Adds the stats_ movement since `before` to the metric handles.
-  void flush_deltas(const terminus_stats& before);
 
   decision_cache& cache_;
   slowpath_channel& channel_;
@@ -103,6 +154,9 @@ class pipe_terminus {
   std::unordered_map<std::uint64_t, packet> in_flight_;
   std::uint64_t next_token_ = 1;
   terminus_stats stats_;
+  terminus_stats flushed_;  // watermark of stats already in the metric handles
+  slowpath_policy policy_;
+  std::unordered_map<ilp::service_id, decision> shed_verdicts_;
 
   // Telemetry (null until enable_telemetry). Slot 0 of the per-service
   // table aggregates ids outside the well-known range.
@@ -115,6 +169,7 @@ class pipe_terminus {
   counter* m_delivered_ = nullptr;
   counter* m_dropped_ = nullptr;
   counter* m_backpressure_ = nullptr;
+  counter* m_shed_ = nullptr;
   gauge* m_inflight_ = nullptr;
   std::array<counter*, kServiceSlots> rx_by_service_{};
 };

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,16 @@
 #include "core/packet.h"
 
 namespace interedge::core {
+
+// A module failure worth retrying: transient resource exhaustion, a
+// dependency momentarily unavailable. The execution environment re-invokes
+// the module a capped number of times (inline — the slow-path handler is
+// synchronous) before dropping the packet; any other exception from a
+// module is contained and drops the packet immediately.
+class transient_error : public std::runtime_error {
+ public:
+  explicit transient_error(const std::string& what) : std::runtime_error(what) {}
+};
 
 // An additional packet a module wants sent (control replies, fan-out
 // copies with rewritten headers, service-to-service traffic).

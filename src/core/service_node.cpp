@@ -47,6 +47,7 @@ service_node::worker_shard::worker_shard(std::size_t idx, const sn_config& cfg,
   m_inserts = &reg.get_counter("sn.cache.inserts");
   m_evictions = &reg.get_counter("sn.cache.evictions");
   m_invalidations = &reg.get_counter("sn.cache.invalidations");
+  m_expired = &reg.get_counter("sn.cache.expired");
 }
 
 service_node::service_node(sn_config config, const clock& clk, send_datagram_fn send_datagram,
@@ -76,6 +77,32 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
       });
   terminus_->enable_telemetry(metrics_, &tracer_);
   pipes_.set_metrics(metrics_);
+  m_slowpath_expired_ = &metrics_.get_counter("sn.slowpath.expired");
+  m_checkpoint_taken_ = &metrics_.get_counter("sn.checkpoint.taken");
+  m_checkpoint_bytes_ = &metrics_.get_counter("sn.checkpoint.bytes");
+  // TTL'd entries (shed verdicts, degraded-service defaults) age out
+  // against the node clock.
+  cache_.set_clock(&clock_);
+  {
+    slowpath_policy pol;
+    pol.clk = &clock_;
+    pol.deadline = config_.slowpath_deadline;
+    pol.high_water = config_.slowpath_high_water;
+    pol.shed_ttl = config_.shed_ttl;
+    terminus_->set_slowpath_policy(pol);
+  }
+  if (config_.keepalive_interval.count() > 0) {
+    ilp::liveness_config lcfg;
+    lcfg.keepalive_interval = config_.keepalive_interval;
+    lcfg.miss_budget = config_.keepalive_miss_budget;
+    lcfg.reconnect_backoff = config_.reconnect_backoff;
+    lcfg.reconnect_backoff_max = config_.reconnect_backoff_max;
+    // Node-unique jitter seed: peers of one recovered SN desynchronize.
+    lcfg.jitter_seed = config_.id * 0x9e3779b97f4a7c15ull + 1;
+    pipes_.enable_liveness(clock_, lcfg);
+    liveness_running_ = true;
+    schedule_liveness_tick();
+  }
   pipes_.set_batch_deliver([this](peer_id from, std::span<ilp::opened_packet> pkts) {
     batch_scratch_.clear();
     batch_scratch_.reserve(pkts.size());
@@ -112,6 +139,10 @@ void service_node::start_workers() {
   hub_ = std::make_unique<slowpath_hub>(
       [this](slowpath_request req) { return handle_slowpath(std::move(req)); }, n, 1024,
       [this](std::size_t s) { wake_shard(s); });
+  // Requests that age out while queued in the hub rings expire there (the
+  // handler-side check in handle_slowpath covers the inline mode).
+  hub_->set_deadline_clock(&clock_);
+  hub_->set_expired_counter(m_slowpath_expired_);
   shards_.reserve(n);
   m_steered_.reserve(n);
   m_ingress_drops_.reserve(n);
@@ -137,6 +168,15 @@ void service_node::start_workers() {
         });
     sh.terminus->set_token_seed(slowpath_hub::token_seed(i));
     sh.terminus->enable_telemetry(sh.reg, &sh.tracer);
+    sh.cache.set_clock(&clock_);
+    {
+      slowpath_policy pol;
+      pol.clk = &clock_;
+      pol.deadline = config_.slowpath_deadline;
+      pol.high_water = config_.slowpath_high_water;
+      pol.shed_ttl = config_.shed_ttl;
+      sh.terminus->set_slowpath_policy(pol);
+    }
     // While the shard waits on a full slow-path ring it keeps applying
     // invalidations and flushing egress spill — the control thread's
     // progress (which empties that ring) can depend on both.
@@ -258,7 +298,11 @@ std::size_t service_node::drain_egress() {
 }
 
 std::size_t service_node::poll() {
-  if (shards_.empty()) return terminus_->pump();
+  if (shards_.empty()) {
+    const std::size_t n = terminus_->pump();
+    if (n > 0) terminus_->flush_telemetry();
+    return n;
+  }
   std::size_t n = hub_->pump();
   n += drain_egress();
   return n;
@@ -268,7 +312,7 @@ bool service_node::wait_idle(std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   if (shards_.empty()) {
     for (;;) {
-      terminus_->pump();
+      if (terminus_->pump() > 0) terminus_->flush_telemetry();
       if (!terminus_->busy()) return true;
       if (std::chrono::steady_clock::now() >= deadline) return false;
     }
@@ -317,6 +361,9 @@ std::size_t service_node::worker_drain_aux(worker_shard& sh) {
 }
 
 void service_node::worker_flush_telemetry(worker_shard& sh) {
+  // Verdicts the loop's bare pump() applied since the last handle_batch
+  // (slow-path completions) carry their own stats movement.
+  sh.terminus->flush_telemetry();
   const cache_stats& cs = sh.cache.stats();
   if (cs.hits != sh.last_cache.hits) sh.m_hits->add(cs.hits - sh.last_cache.hits);
   if (cs.misses != sh.last_cache.misses) sh.m_misses->add(cs.misses - sh.last_cache.misses);
@@ -327,6 +374,7 @@ void service_node::worker_flush_telemetry(worker_shard& sh) {
   if (cs.invalidations != sh.last_cache.invalidations) {
     sh.m_invalidations->add(cs.invalidations - sh.last_cache.invalidations);
   }
+  if (cs.expired != sh.last_cache.expired) sh.m_expired->add(cs.expired - sh.last_cache.expired);
   sh.last_cache = cs;
 }
 
@@ -566,6 +614,16 @@ void service_node::schedule_stats_tick(
 }
 
 slowpath_response service_node::handle_slowpath(slowpath_request req) {
+  // Deadline gate: a request that aged past its budget (e.g. behind a
+  // slow module) is dropped rather than dispatched — its sender has long
+  // since shed or moved on, and stale verdicts must not be installed.
+  if (req.deadline_ns != 0 &&
+      static_cast<std::uint64_t>(clock_.now().time_since_epoch().count()) > req.deadline_ns) {
+    ++slowpath_expired_;
+    m_slowpath_expired_->add();
+    IE_LOG(debug) << "service_node" << kv("node", config_.id) << kv("drop", "deadline-expired");
+    return to_response(req.token, module_result::drop());
+  }
   packet pkt;
   pkt.l3_src = req.l3_src;
   try {
@@ -576,6 +634,62 @@ slowpath_response service_node::handle_slowpath(slowpath_request req) {
   }
   pkt.payload = std::move(req.payload);
   return to_response(req.token, env_->dispatch(pkt));
+}
+
+// ---- fault-tolerant lifecycle (DESIGN.md §10) -------------------------
+
+void service_node::schedule_liveness_tick() {
+  scheduler_(config_.keepalive_interval, [this] {
+    if (!liveness_running_) return;
+    pipes_.liveness_tick();
+    poll();
+    schedule_liveness_tick();
+  });
+}
+
+void service_node::set_shed_verdict(ilp::service_id service, const decision& d) {
+  terminus_->set_shed_verdict(service, d);
+  for (auto& sh : shards_) sh->terminus->set_shed_verdict(service, d);
+}
+
+bytes service_node::checkpoint_full() {
+  writer w;
+  w.u8(1);  // full-checkpoint format version
+  w.blob(env_->checkpoint());
+  w.blob(cache_.snapshot(clock_.now()));
+  return w.take();
+}
+
+void service_node::restore_full(const_byte_span snapshot) {
+  reader r(snapshot);
+  const std::uint8_t version = r.u8();
+  if (version != 1) throw serial_error("service_node checkpoint: unknown version");
+  env_->restore(r.blob());
+  cache_.restore_warm(r.blob(), clock_.now());
+}
+
+void service_node::start_checkpointing(nanoseconds interval, std::function<void(bytes)> sink,
+                                       std::uint64_t max_checkpoints) {
+  checkpoint_running_ = true;
+  schedule_checkpoint_tick(
+      interval, std::make_shared<std::function<void(bytes)>>(std::move(sink)), max_checkpoints);
+}
+
+void service_node::schedule_checkpoint_tick(nanoseconds interval,
+                                            std::shared_ptr<std::function<void(bytes)>> sink,
+                                            std::uint64_t remaining) {
+  scheduler_(interval, [this, interval, sink, remaining] {
+    if (!checkpoint_running_) return;
+    bytes snap = checkpoint_full();
+    m_checkpoint_taken_->add();
+    m_checkpoint_bytes_->add(snap.size());
+    (*sink)(std::move(snap));
+    if (remaining == 1) {
+      checkpoint_running_ = false;
+      return;
+    }
+    schedule_checkpoint_tick(interval, sink, remaining == 0 ? 0 : remaining - 1);
+  });
 }
 
 }  // namespace interedge::core

@@ -75,6 +75,21 @@ struct sn_config {
   // (floor 64), keeping the aggregate working set comparable to the
   // single-threaded cache.
   std::size_t shard_cache_capacity = 0;
+
+  // ---- robustness (DESIGN.md §10) ----
+  // Pipe keepalives: 0 disables. When set, the SN arms pipe_manager
+  // liveness at construction and drives liveness_tick() off its scheduler
+  // every interval until stop_liveness().
+  nanoseconds keepalive_interval{0};
+  std::uint32_t keepalive_miss_budget = 3;
+  nanoseconds reconnect_backoff = std::chrono::milliseconds(50);
+  nanoseconds reconnect_backoff_max = std::chrono::seconds(2);
+  // Slow-path degradation: deadline stamped on every slow-path request
+  // (0 = none) and the in-flight high-water mark past which the terminus
+  // sheds with a TTL'd default verdict (0 = legacy blocking behavior).
+  nanoseconds slowpath_deadline{0};
+  std::size_t slowpath_high_water = 0;
+  nanoseconds shed_ttl = std::chrono::milliseconds(50);
 };
 
 class service_node final : public node_services {
@@ -181,6 +196,37 @@ class service_node final : public node_services {
   bytes checkpoint() { return env_->checkpoint(); }
   void restore(const_byte_span snapshot) { env_->restore(snapshot); }
 
+  // ---- fault-tolerant lifecycle (DESIGN.md §10) ----
+
+  // Stops the recurring keepalive tick armed by keepalive_interval > 0
+  // (lets deterministic tests drain the simulator event queue).
+  void stop_liveness() { liveness_running_ = false; }
+
+  // Per-service shed verdict (pass or drop) applied when the slow path
+  // saturates; propagated to the inline terminus and every worker shard's.
+  // Call before traffic flows (shard termini are worker-owned afterward).
+  void set_shed_verdict(ilp::service_id service, const decision& d);
+
+  std::uint64_t slowpath_expired() const { return slowpath_expired_; }
+
+  // Full warm-state checkpoint: the exec_env envelope (module state +
+  // off-path storage) plus the decision cache's warm entries (soft state,
+  // but restoring it lets a standby take over without a cold-start miss
+  // storm). In parallel mode the snapshot covers the control cache; shard
+  // caches refill from traffic.
+  bytes checkpoint_full();
+  // Restores a checkpoint_full() snapshot into this (standby) SN. Throws
+  // interedge::serial_error on malformed input.
+  void restore_full(const_byte_span snapshot);
+
+  // Checkpoint scheduler: every `interval`, takes checkpoint_full() and
+  // hands it to `sink` (the failover store). max_checkpoints == 0 runs
+  // until stop_checkpointing(); a bound keeps the simulator's event queue
+  // drainable. Metrics: sn.checkpoint.taken / sn.checkpoint.bytes.
+  void start_checkpointing(nanoseconds interval, std::function<void(bytes)> sink,
+                           std::uint64_t max_checkpoints = 0);
+  void stop_checkpointing() { checkpoint_running_ = false; }
+
  private:
   // One unit over a shard's ingress ring: either a steered data datagram
   // (full wire bytes, kind byte included) or a receive-key update for one
@@ -215,6 +261,7 @@ class service_node final : public node_services {
     counter* m_inserts = nullptr;
     counter* m_evictions = nullptr;
     counter* m_invalidations = nullptr;
+    counter* m_expired = nullptr;  // sn.cache.expired (TTL lapses)
     cache_stats last_cache{};
 
     // Cross-thread accounting for wait_idle: pushed is written by the
@@ -243,6 +290,10 @@ class service_node final : public node_services {
   void schedule_stats_tick(nanoseconds interval,
                            std::shared_ptr<std::function<void(const std::string&)>> sink,
                            std::uint64_t remaining);
+  void schedule_liveness_tick();
+  void schedule_checkpoint_tick(nanoseconds interval,
+                                std::shared_ptr<std::function<void(bytes)>> sink,
+                                std::uint64_t remaining);
 
   // Parallel-mode plumbing.
   void start_workers();
@@ -267,6 +318,12 @@ class service_node final : public node_services {
   stats_reporter stats_reporter_;
   bool stats_running_ = false;
   bool have_snapshot_ = false;
+  bool liveness_running_ = false;
+  bool checkpoint_running_ = false;
+  std::uint64_t slowpath_expired_ = 0;
+  counter* m_slowpath_expired_ = nullptr;
+  counter* m_checkpoint_taken_ = nullptr;
+  counter* m_checkpoint_bytes_ = nullptr;
   time_point last_snapshot_{};
   std::unique_ptr<exec_env> env_;
   std::unique_ptr<inline_channel> channel_;

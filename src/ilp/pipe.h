@@ -30,6 +30,11 @@ enum class msg_kind : std::uint8_t {
   handshake_init = 1,
   handshake_resp = 2,
   data = 3,
+  // Liveness probes (pipe_manager): a sealed ILP header authenticated with
+  // the pipe's hop key, distinguished from data only by the kind byte so an
+  // off-path attacker can neither forge nor replay them across pipes.
+  keepalive = 4,
+  keepalive_ack = 5,
 };
 
 struct pipe_stats {

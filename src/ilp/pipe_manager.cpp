@@ -29,6 +29,10 @@ pipe_manager::pipe_manager(peer_id self, send_fn send, deliver_fn deliver)
 void pipe_manager::set_metrics(metrics_registry& reg) {
   rejected_pkts_ = &reg.get_counter("ilp.rx.rejected");
   no_pipe_drops_ = &reg.get_counter("ilp.rx.no_pipe");
+  peer_down_ = &reg.get_counter("sn.pipe.peer_down");
+  keepalive_sent_ = &reg.get_counter("sn.pipe.keepalive_sent");
+  keepalive_acked_ = &reg.get_counter("sn.pipe.keepalive_acked");
+  reconnects_ = &reg.get_counter("sn.pipe.reconnects");
 }
 
 std::uint32_t pipe_manager::fresh_spi() {
@@ -79,6 +83,12 @@ void pipe_manager::on_datagram(peer_id peer, const_byte_span datagram) {
       break;
     case msg_kind::data:
       handle_data(peer, body);
+      break;
+    case msg_kind::keepalive:
+      handle_keepalive(peer, body);
+      break;
+    case msg_kind::keepalive_ack:
+      handle_keepalive_ack(peer, body);
       break;
     default:
       IE_LOG(warn) << "pipe_manager " << self_ << ": unknown message kind from " << peer;
@@ -166,6 +176,23 @@ void pipe_manager::establish(peer_id peer, const crypto::x25519_key& secret_scal
   // New receive keys exist before any data sealed with them can arrive;
   // the observer propagates them (e.g. to worker-shard replicas) first.
   if (rx_keys_) rx_keys_(peer, *slot);
+  // A (re)established pipe resets the peer's liveness state: probing
+  // resumes from a clean slate and any reconnect backoff is cancelled.
+  // The handshake we just completed used fresh X25519 ephemerals, so a
+  // re-establishment is by construction a full rekey.
+  if (liveness_clock_) {
+    liveness_state& st = liveness_[peer];
+    const bool was_down = st.stats.down;
+    st.stats.down = false;
+    st.awaiting_ack = false;
+    st.consecutive_misses = 0;
+    st.backoff = nanoseconds{0};
+    if (was_down) {
+      IE_LOG(info) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                   << kv("liveness", "recovered");
+    }
+    if (peer_status_) peer_status_(peer, true);
+  }
   for (auto& [header, payload] : queued) {
     send_(peer, slot->seal(header, payload));
   }
@@ -218,7 +245,10 @@ void pipe_manager::flush_data_run(peer_id peer, std::span<const const_byte_span>
   for (auto& opened : opened_scratch_) {
     if (opened) batch_scratch_.push_back(std::move(*opened));
   }
-  if (!batch_scratch_.empty()) deliver_batch_(peer, batch_scratch_);
+  if (!batch_scratch_.empty()) {
+    note_peer_alive(peer);  // authenticated traffic counts as liveness
+    deliver_batch_(peer, batch_scratch_);
+  }
 }
 
 void pipe_manager::handle_data(peer_id peer, const_byte_span body) {
@@ -236,7 +266,166 @@ void pipe_manager::handle_data(peer_id peer, const_byte_span body) {
                  << kv("drop", "auth-reject");
     return;
   }
+  note_peer_alive(peer);  // authenticated traffic counts as liveness
   deliver_(peer, opened->first, std::move(opened->second));
+}
+
+// ---- liveness ----------------------------------------------------------
+
+void pipe_manager::enable_liveness(const clock& clk, liveness_config cfg) {
+  liveness_clock_ = &clk;
+  liveness_cfg_ = cfg;
+  jitter_rng_.emplace(cfg.jitter_seed);
+  // Pipes established before liveness was armed get tracked from now on;
+  // establish() only creates entries once liveness_clock_ is set.
+  for (const auto& [peer, p] : pipes_) liveness_.try_emplace(peer);
+}
+
+const liveness_stats* pipe_manager::liveness_for(peer_id peer) const {
+  auto it = liveness_.find(peer);
+  return it == liveness_.end() ? nullptr : &it->second.stats;
+}
+
+void pipe_manager::note_peer_alive(peer_id peer) {
+  if (!liveness_clock_) return;
+  auto it = liveness_.find(peer);
+  if (it == liveness_.end()) return;
+  it->second.awaiting_ack = false;
+  it->second.consecutive_misses = 0;
+}
+
+void pipe_manager::send_probe(peer_id peer, pipe& p, liveness_state& st) {
+  // A probe is a normal sealed data message with the kind byte rewritten:
+  // the receiver authenticates it with pipe::open(), so probes inherit the
+  // pipe's anti-forgery and epoch handling with zero new crypto surface.
+  ilp_header h;
+  h.service = 0;  // below the standardized range: never a service packet
+  h.connection = ++st.probe_seq;
+  h.set_meta_u64(meta_key::service_data,
+                 static_cast<std::uint64_t>(
+                     liveness_clock_->now().time_since_epoch().count()));
+  bytes msg = p.seal(h, {});
+  msg[0] = static_cast<std::uint8_t>(msg_kind::keepalive);
+  st.awaiting_ack = true;
+  ++st.stats.probes_sent;
+  if (keepalive_sent_) keepalive_sent_->add();
+  send_(peer, std::move(msg));
+}
+
+void pipe_manager::handle_keepalive(peer_id peer, const_byte_span body) {
+  auto it = pipes_.find(peer);
+  if (it == pipes_.end()) {
+    if (no_pipe_drops_) no_pipe_drops_->add();
+    return;
+  }
+  auto opened = it->second->open(body);
+  if (!opened) {
+    if (rejected_pkts_) rejected_pkts_->add();
+    IE_LOG(warn) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                 << kv("drop", "keepalive-auth-reject");
+    return;
+  }
+  note_peer_alive(peer);
+  // Echo the probe header (sequence + sender timestamp) back under our own
+  // tx key so the prober can authenticate the ack and compute RTT.
+  bytes ack = it->second->seal(opened->first, {});
+  ack[0] = static_cast<std::uint8_t>(msg_kind::keepalive_ack);
+  send_(peer, std::move(ack));
+}
+
+void pipe_manager::handle_keepalive_ack(peer_id peer, const_byte_span body) {
+  auto it = pipes_.find(peer);
+  if (it == pipes_.end()) {
+    if (no_pipe_drops_) no_pipe_drops_->add();
+    return;
+  }
+  auto opened = it->second->open(body);
+  if (!opened) {
+    if (rejected_pkts_) rejected_pkts_->add();
+    IE_LOG(warn) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                 << kv("drop", "keepalive-ack-auth-reject");
+    return;
+  }
+  note_peer_alive(peer);
+  auto lv = liveness_.find(peer);
+  if (lv == liveness_.end()) return;
+  ++lv->second.stats.acks_received;
+  if (keepalive_acked_) keepalive_acked_->add();
+  if (liveness_clock_) {
+    if (auto sent_ns = opened->first.meta_u64(meta_key::service_data)) {
+      const std::int64_t now_ns = liveness_clock_->now().time_since_epoch().count();
+      const std::int64_t rtt = now_ns - static_cast<std::int64_t>(*sent_ns);
+      if (rtt >= 0) {
+        std::uint64_t& ewma = lv->second.stats.rtt_ns;
+        ewma = ewma == 0 ? static_cast<std::uint64_t>(rtt)
+                         : (ewma * 7 + static_cast<std::uint64_t>(rtt)) / 8;
+      }
+    }
+  }
+}
+
+void pipe_manager::declare_down(peer_id peer, liveness_state& st, time_point now) {
+  st.stats.down = true;
+  ++st.stats.times_down;
+  st.awaiting_ack = false;
+  st.consecutive_misses = 0;
+  // Tear the pipe (and the responder memo) down: stale keys must not
+  // accept traffic from whatever comes back claiming to be this peer, and
+  // the reconnect handshake below rekeys from scratch.
+  pipes_.erase(peer);
+  responder_memos_.erase(peer);
+  pending_.erase(peer);
+  if (peer_down_) peer_down_->add();
+  IE_LOG(warn) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+               << kv("liveness", "peer-down") << kv("missed", st.stats.missed);
+  if (peer_status_) peer_status_(peer, false);
+  st.backoff = liveness_cfg_.reconnect_backoff;
+  attempt_reconnect(peer, st, now);
+}
+
+void pipe_manager::attempt_reconnect(peer_id peer, liveness_state& st, time_point now) {
+  ++st.stats.reconnect_attempts;
+  if (reconnects_) reconnects_->add();
+  auto pending_it = pending_.find(peer);
+  if (pending_it != pending_.end()) {
+    // Re-send the outstanding init (responders are stateless until they
+    // answer, so duplicates are harmless).
+    send_(peer, handshake_message(msg_kind::handshake_init, pending_it->second.local_spi,
+                                  pending_it->second.keypair.public_key));
+  } else {
+    start_handshake(peer);
+  }
+  // Exponential backoff with additive jitter so a fleet of peers probing a
+  // recovered node doesn't synchronize its retries.
+  nanoseconds jitter{0};
+  if (jitter_rng_ && st.backoff.count() > 0) {
+    jitter = nanoseconds(static_cast<std::int64_t>(
+        jitter_rng_->below(static_cast<std::uint64_t>(st.backoff.count() / 4) + 1)));
+  }
+  st.next_attempt = now + st.backoff + jitter;
+  st.backoff = std::min(st.backoff * 2, liveness_cfg_.reconnect_backoff_max);
+}
+
+void pipe_manager::liveness_tick() {
+  if (!liveness_clock_) return;
+  const time_point now = liveness_clock_->now();
+  for (auto& [peer, st] : liveness_) {
+    if (st.stats.down) {
+      if (now >= st.next_attempt) attempt_reconnect(peer, st, now);
+      continue;
+    }
+    auto it = pipes_.find(peer);
+    if (it == pipes_.end()) continue;  // handshake in flight; not probed yet
+    if (st.awaiting_ack) {
+      ++st.stats.missed;
+      ++st.consecutive_misses;
+      if (st.consecutive_misses >= liveness_cfg_.miss_budget) {
+        declare_down(peer, st, now);
+        continue;
+      }
+    }
+    send_probe(peer, *it->second, st);
+  }
 }
 
 bool pipe_manager::has_pipe(peer_id peer) const { return pipes_.count(peer) > 0; }

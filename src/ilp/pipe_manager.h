@@ -21,11 +21,38 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/clock.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "crypto/x25519.h"
 #include "ilp/pipe.h"
 
 namespace interedge::ilp {
+
+// Liveness policy for established pipes (see DESIGN.md §10): the owner
+// calls liveness_tick() every keepalive_interval; a peer that misses
+// `miss_budget` consecutive probes is declared down, its pipe torn down,
+// and reconnection attempted with exponential backoff + jitter. The fresh
+// handshake on re-establishment is the forced rekey — a revived peer never
+// resumes the old keys.
+struct liveness_config {
+  nanoseconds keepalive_interval = std::chrono::milliseconds(100);
+  std::uint32_t miss_budget = 3;
+  nanoseconds reconnect_backoff = std::chrono::milliseconds(50);
+  nanoseconds reconnect_backoff_max = std::chrono::seconds(2);
+  // Jitter is deterministic given the seed (simulator-friendly).
+  std::uint64_t jitter_seed = 0x11fe11fe;
+};
+
+struct liveness_stats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t missed = 0;  // total probe intervals with no ack
+  std::uint64_t rtt_ns = 0;  // EWMA over acked probes
+  std::uint64_t times_down = 0;
+  std::uint64_t reconnect_attempts = 0;
+  bool down = false;
+};
 
 class pipe_manager {
  public:
@@ -80,6 +107,29 @@ class pipe_manager {
   std::size_t pipe_count() const { return pipes_.size(); }
   std::size_t pending_handshakes() const { return pending_.size(); }
 
+  // ---- liveness ----
+  // Arms keepalive probing. The manager does not own a timer; the owner
+  // calls liveness_tick() every cfg.keepalive_interval (the clock is only
+  // read, so any clock& — simulated or real — works).
+  void enable_liveness(const clock& clk, liveness_config cfg = {});
+  bool liveness_enabled() const { return liveness_clock_ != nullptr; }
+  const liveness_config& liveness_cfg() const { return liveness_cfg_; }
+
+  // One probe interval: counts outstanding probes as misses, declares
+  // peers past the miss budget down (pipe torn down, status hook fired,
+  // reconnect scheduled), sends the next round of probes, and drives
+  // pending reconnects whose backoff has elapsed.
+  void liveness_tick();
+
+  // Observer fired on peer transitions: up=true when a pipe (re)establishes
+  // while liveness is enabled, up=false when the miss budget declares the
+  // peer dead. Runs on the owner's thread.
+  using peer_status_fn = std::function<void(peer_id peer, bool up)>;
+  void set_peer_status_hook(peer_status_fn hook) { peer_status_ = std::move(hook); }
+
+  // Liveness stats for `peer`; nullptr if no probe state exists yet.
+  const liveness_stats* liveness_for(peer_id peer) const;
+
   // Rotates the tx key of every established pipe (rekey schedule).
   void rotate_all();
 
@@ -105,11 +155,28 @@ class pipe_manager {
     bytes response;
   };
 
+  // Per-peer probe/reconnect state. `stats.down` flips the entry from
+  // probing mode into reconnect mode until the next establish().
+  struct liveness_state {
+    liveness_stats stats;
+    bool awaiting_ack = false;
+    std::uint32_t consecutive_misses = 0;
+    std::uint64_t probe_seq = 0;
+    nanoseconds backoff{0};
+    time_point next_attempt{};
+  };
+
   void start_handshake(peer_id peer);
   void flush_data_run(peer_id peer, std::span<const const_byte_span> bodies);
   void handle_init(peer_id peer, const_byte_span body);
   void handle_resp(peer_id peer, const_byte_span body);
   void handle_data(peer_id peer, const_byte_span body);
+  void handle_keepalive(peer_id peer, const_byte_span body);
+  void handle_keepalive_ack(peer_id peer, const_byte_span body);
+  void send_probe(peer_id peer, pipe& p, liveness_state& st);
+  void note_peer_alive(peer_id peer);
+  void declare_down(peer_id peer, liveness_state& st, time_point now);
+  void attempt_reconnect(peer_id peer, liveness_state& st, time_point now);
   void establish(peer_id peer, const crypto::x25519_key& secret_scalar,
                  const crypto::x25519_key& peer_public, std::uint32_t local_spi,
                  std::uint32_t remote_spi, bool initiator,
@@ -121,8 +188,17 @@ class pipe_manager {
   deliver_fn deliver_;
   deliver_batch_fn deliver_batch_;
   rx_keys_fn rx_keys_;
+  peer_status_fn peer_status_;
   counter* rejected_pkts_ = nullptr;  // auth/parse failures (see set_metrics)
   counter* no_pipe_drops_ = nullptr;  // data before any pipe exists
+  counter* peer_down_ = nullptr;
+  counter* keepalive_sent_ = nullptr;
+  counter* keepalive_acked_ = nullptr;
+  counter* reconnects_ = nullptr;
+  const clock* liveness_clock_ = nullptr;
+  liveness_config liveness_cfg_;
+  std::optional<rng> jitter_rng_;
+  std::map<peer_id, liveness_state> liveness_;
   // Batch-path scratch, reused across on_datagram_batch calls.
   std::vector<const_byte_span> run_scratch_;
   std::vector<std::optional<opened_packet>> opened_scratch_;

@@ -64,12 +64,19 @@ void udp_endpoint::add_peer(peer_id peer, const std::string& ip, std::uint16_t p
 bool udp_endpoint::send(peer_id to, const bytes& datagram) {
   auto it = peers_.find(to);
   if (it == peers_.end()) return false;
-  const ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
-                             reinterpret_cast<const sockaddr*>(&it->second),
-                             sizeof(it->second));
-  if (n < 0) return false;  // transient (e.g. buffer full): UDP is lossy anyway
-  ++sent_;
-  return true;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                               reinterpret_cast<const sockaddr*>(&it->second),
+                               sizeof(it->second));
+    if (n >= 0) {
+      ++sent_;
+      return true;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) return false;
+    ++send_again_;
+    if (m_send_again_ != nullptr) m_send_again_->add();
+    if (attempt >= kSendRetries) return false;  // UDP is lossy anyway
+  }
 }
 
 std::optional<std::pair<peer_id, bytes>> udp_endpoint::poll() {
@@ -154,6 +161,7 @@ std::size_t udp_endpoint::send_batch(peer_id to, std::span<const bytes> datagram
   std::size_t accepted = 0;
 #ifdef __linux__
   std::size_t offset = 0;
+  std::size_t retries = 0;
   while (offset < datagrams.size()) {
     const std::size_t chunk = std::min(datagrams.size() - offset, kBatchMax);
     mmsghdr msgs[kBatchMax]{};
@@ -167,11 +175,27 @@ std::size_t udp_endpoint::send_batch(peer_id to, std::span<const bytes> datagram
       msgs[i].msg_hdr.msg_namelen = sizeof(it->second);
     }
     const int n = ::sendmmsg(fd_, msgs, static_cast<unsigned>(chunk), 0);
-    if (n <= 0) break;  // transient (e.g. buffer full): UDP is lossy anyway
+    if (n <= 0) {
+      // A full socket buffer (EAGAIN) usually clears within the batch;
+      // retry a bounded number of times, then give up on the remainder
+      // (UDP is lossy; upper layers own reliability).
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+      ++send_again_;
+      if (m_send_again_ != nullptr) m_send_again_->add();
+      if (++retries > kSendRetries) break;
+      continue;
+    }
     accepted += static_cast<std::size_t>(n);
     sent_ += static_cast<std::size_t>(n);
-    if (static_cast<std::size_t>(n) < chunk) break;
-    offset += chunk;
+    // Partial acceptance: the kernel stopped mid-batch (buffer filled).
+    // Advance past what it took and retry the rest instead of silently
+    // dropping the tail of the batch.
+    if (static_cast<std::size_t>(n) < chunk) {
+      ++send_again_;
+      if (m_send_again_ != nullptr) m_send_again_->add();
+      if (++retries > kSendRetries) break;
+    }
+    offset += static_cast<std::size_t>(n);
   }
 #else
   for (const bytes& d : datagrams) {

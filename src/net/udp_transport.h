@@ -29,6 +29,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "ilp/header.h"
 
 namespace interedge::net {
@@ -88,6 +89,17 @@ class udp_endpoint {
   std::uint64_t rx_partial_batches() const { return rx_partial_batches_; }
   // recv_batch failures that were NOT EAGAIN/EINTR (real socket errors).
   std::uint64_t rx_errors() const { return rx_errors_; }
+  // Transient send failures (EAGAIN/EWOULDBLOCK/EINTR — a full socket
+  // buffer) absorbed by the bounded retry loop in send/send_batch. A
+  // climbing value under load means the kernel buffer is the bottleneck,
+  // not the wire; exposed as net.udp.send_again.
+  std::uint64_t send_again() const { return send_again_; }
+
+  // Optional: mirrors the send_again counter into `reg` as
+  // net.udp.send_again so it rides the SN's stats exposition.
+  void enable_telemetry(metrics_registry& reg) {
+    m_send_again_ = &reg.get_counter("net.udp.send_again");
+  }
 
  private:
   int fd_ = -1;
@@ -101,6 +113,12 @@ class udp_endpoint {
   std::uint64_t rx_empty_ = 0;
   std::uint64_t rx_partial_batches_ = 0;
   std::uint64_t rx_errors_ = 0;
+  std::uint64_t send_again_ = 0;
+  counter* m_send_again_ = nullptr;
+
+  // Transient send failures retry this many times before the datagram is
+  // given up on (UDP is lossy; upper layers own reliability).
+  static constexpr std::size_t kSendRetries = 4;
 };
 
 // Single-threaded real-time driver for one or more endpoints.

@@ -1,5 +1,6 @@
 #include "simnet/simulation.h"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace interedge::sim {
@@ -8,6 +9,7 @@ simulation::simulation(std::uint64_t seed) : rng_(seed) {}
 
 node_id simulation::add_node(datagram_handler handler) {
   nodes_.push_back(std::move(handler));
+  node_up_.push_back(true);
   return static_cast<node_id>(nodes_.size() - 1);
 }
 
@@ -29,12 +31,129 @@ const link_properties& simulation::link_between(node_id from, node_id to) const 
   return it == links_.end() ? default_link_ : it->second;
 }
 
+// ---- fault injection ---------------------------------------------------
+
+void simulation::crash_node(node_id node) {
+  node_up_.at(node) = false;
+  ++faults_applied_;
+}
+
+void simulation::restart_node(node_id node) {
+  node_up_.at(node) = true;
+  ++faults_applied_;
+}
+
+bool simulation::node_up(node_id node) const { return node_up_.at(node); }
+
+void simulation::partition(node_id a, node_id b) {
+  partitions_.insert(pair_key(a, b));
+  ++faults_applied_;
+}
+
+void simulation::heal(node_id a, node_id b) {
+  partitions_.erase(pair_key(a, b));
+  ++faults_applied_;
+}
+
+bool simulation::partitioned(node_id a, node_id b) const {
+  return partitions_.count(pair_key(a, b)) > 0;
+}
+
+void simulation::apply_fault(const fault_event& ev) {
+  switch (ev.kind) {
+    case fault_kind::crash:
+      crash_node(ev.a);
+      break;
+    case fault_kind::restart:
+      restart_node(ev.a);
+      break;
+    case fault_kind::partition:
+      partition(ev.a, ev.b);
+      break;
+    case fault_kind::heal:
+      heal(ev.a, ev.b);
+      break;
+    case fault_kind::loss: {
+      link_properties forward = link_between(ev.a, ev.b);
+      forward.loss_rate = ev.value;
+      set_link(ev.a, ev.b, forward);
+      link_properties back = link_between(ev.b, ev.a);
+      back.loss_rate = ev.value;
+      set_link(ev.b, ev.a, back);
+      ++faults_applied_;
+      break;
+    }
+  }
+}
+
+void simulation::schedule_faults(std::span<const fault_event> schedule) {
+  for (const fault_event& ev : schedule) {
+    at(time_point(ev.at), [this, ev] { apply_fault(ev); });
+  }
+}
+
+std::vector<fault_event> simulation::parse_fault_schedule(const std::string& text) {
+  std::vector<fault_event> out;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    double at_ms = 0.0;
+    std::string verb;
+    if (!(fields >> at_ms >> verb)) {
+      throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
+                                  ": expected '<time_ms> <verb> ...'");
+    }
+    fault_event ev;
+    ev.at = std::chrono::duration_cast<nanoseconds>(std::chrono::duration<double, std::milli>(at_ms));
+    auto need = [&](auto&... vals) {
+      if (!((fields >> vals) && ...)) {
+        throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
+                                    ": missing operand for '" + verb + "'");
+      }
+    };
+    if (verb == "crash") {
+      ev.kind = fault_kind::crash;
+      need(ev.a);
+    } else if (verb == "restart") {
+      ev.kind = fault_kind::restart;
+      need(ev.a);
+    } else if (verb == "partition") {
+      ev.kind = fault_kind::partition;
+      need(ev.a, ev.b);
+    } else if (verb == "heal") {
+      ev.kind = fault_kind::heal;
+      need(ev.a, ev.b);
+    } else if (verb == "loss") {
+      ev.kind = fault_kind::loss;
+      need(ev.a, ev.b, ev.value);
+    } else {
+      throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
+                                  ": unknown verb '" + verb + "'");
+    }
+    out.push_back(ev);
+  }
+  return out;
+}
+
+// ---- datagram transport ------------------------------------------------
+
 bool simulation::send(node_id from, node_id to, bytes payload) {
   if (to >= nodes_.size()) throw std::out_of_range("simulation::send: unknown destination");
   ++sent_;
   bytes_sent_ += payload.size();
   const link_properties& link = link_between(from, to);
 
+  if (!node_up_[from] || !node_up_[to] || partitioned(from, to)) {
+    ++dropped_;
+    ++dropped_faults_;
+    return false;
+  }
   if (payload.size() > link.mtu) {
     ++dropped_;
     return false;
@@ -55,12 +174,34 @@ bool simulation::send(node_id from, node_id to, bytes payload) {
     free_at = depart;
   }
 
-  const time_point arrival = depart + link.latency;
-  push(arrival, [this, from, to, p = std::move(payload)]() {
+  time_point arrival = depart + link.latency;
+  // Reordering: hold this datagram back so later sends overtake it. The
+  // draw happens only when the knob is on, so existing seeds replay
+  // byte-identically with the default properties.
+  if (link.reorder_rate > 0.0 && rng_.chance(link.reorder_rate)) {
+    arrival += link.reorder_delay;
+    ++reordered_;
+  }
+  const bool duplicate = link.duplicate_rate > 0.0 && rng_.chance(link.duplicate_rate);
+
+  auto deliver = [this, from, to](const bytes& p) {
+    // A partition raised — or a crash injected — while the datagram was in
+    // flight still swallows it.
+    if (!node_up_[to] || partitioned(from, to)) {
+      ++dropped_;
+      ++dropped_faults_;
+      return;
+    }
     ++delivered_;
     if (tap_) tap_(from, to, p);
     if (nodes_[to]) nodes_[to](from, p);
-  });
+  };
+  if (duplicate) {
+    ++duplicated_;
+    push(arrival + std::chrono::microseconds(1),
+         [deliver, p = payload]() { deliver(p); });
+  }
+  push(arrival, [deliver, p = std::move(payload)]() { deliver(p); });
   return true;
 }
 

@@ -7,7 +7,10 @@
 // MTU. Everything above (ILP, SNs, edomains) runs unmodified on top.
 //
 // Determinism: all events (deliveries, timers) execute in (time, seq) order
-// from a single priority queue; loss decisions come from a seeded PRNG.
+// from a single priority queue; loss, duplication and reordering decisions
+// come from a seeded PRNG, and fault injection (node crashes, partitions)
+// rides the same event queue — a fixed seed plus a fixed fault schedule
+// replays the identical run.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +18,9 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <set>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
@@ -33,7 +39,33 @@ struct link_properties {
   // 0 = infinite bandwidth (no serialization delay).
   std::uint64_t bandwidth_bps = 0;
   double loss_rate = 0.0;
+  // Probability a datagram is delivered twice (second copy arrives just
+  // after the first) — best-effort underlays duplicate under rerouting.
+  double duplicate_rate = 0.0;
+  // Probability a datagram is held back by `reorder_delay`, letting later
+  // sends overtake it.
+  double reorder_rate = 0.0;
+  nanoseconds reorder_delay = std::chrono::microseconds(200);
   std::size_t mtu = 1500;
+};
+
+// A scripted fault: one state change applied to the simulation at `at`.
+// Schedules are plain data so tests can build them in code or parse them
+// from the text format (see parse_fault_schedule / DESIGN.md §10).
+enum class fault_kind : std::uint8_t {
+  crash,      // node a stops sending and receiving
+  restart,    // node a comes back (handler state is the owner's problem)
+  partition,  // links a<->b blocked both directions
+  heal,       // undo partition a<->b
+  loss,       // set loss_rate=value on links a<->b (both directions)
+};
+
+struct fault_event {
+  nanoseconds at{0};
+  fault_kind kind = fault_kind::crash;
+  node_id a = kInvalidNode;
+  node_id b = kInvalidNode;
+  double value = 0.0;  // loss rate for fault_kind::loss
 };
 
 // A node's receive hook: (source node, datagram payload).
@@ -68,6 +100,35 @@ class simulation {
   void at(time_point when, std::function<void()> fn);
   void after(nanoseconds delay, std::function<void()> fn);
 
+  // ---- fault injection ----
+  // A crashed node neither sends nor receives: sends from it fail, and
+  // datagrams in flight toward it are dropped at delivery time. Restart
+  // re-enables the node; whoever owns the node object decides what state
+  // (checkpoint restore, handler swap) the revived node runs with.
+  void crash_node(node_id node);
+  void restart_node(node_id node);
+  bool node_up(node_id node) const;
+
+  // Blocks the a<->b path in both directions until heal(). Datagrams sent
+  // into a partition are dropped (counted); in-flight datagrams are also
+  // dropped if the partition is still up when they would arrive.
+  void partition(node_id a, node_id b);
+  void heal(node_id a, node_id b);
+  bool partitioned(node_id a, node_id b) const;
+
+  // Schedules every event of a fault script on the simulation timeline.
+  void schedule_faults(std::span<const fault_event> schedule);
+
+  // Parses the text schedule format: one event per line,
+  //   <time_ms> crash <node>
+  //   <time_ms> restart <node>
+  //   <time_ms> partition <a> <b>
+  //   <time_ms> heal <a> <b>
+  //   <time_ms> loss <a> <b> <rate>
+  // Blank lines and lines starting with '#' are ignored. Throws
+  // std::invalid_argument on malformed input.
+  static std::vector<fault_event> parse_fault_schedule(const std::string& text);
+
   // Runs events until the queue is empty or `limit` events have executed.
   // Returns the number of events executed.
   std::size_t run(std::size_t limit = 1000000);
@@ -82,6 +143,12 @@ class simulation {
   std::uint64_t datagrams_delivered() const { return delivered_; }
   std::uint64_t datagrams_dropped() const { return dropped_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  // Fault-attributable drops (crashed node / partition), a subset of
+  // datagrams_dropped().
+  std::uint64_t datagrams_dropped_faults() const { return dropped_faults_; }
+  std::uint64_t datagrams_duplicated() const { return duplicated_; }
+  std::uint64_t datagrams_reordered() const { return reordered_; }
+  std::uint64_t faults_applied() const { return faults_applied_; }
 
   // Optional tap observing every delivered datagram (for tests/traces).
   void set_tap(std::function<void(node_id from, node_id to, const bytes&)> tap) {
@@ -101,10 +168,16 @@ class simulation {
   };
 
   void push(time_point when, std::function<void()> fn);
+  void apply_fault(const fault_event& ev);
+  static std::pair<node_id, node_id> pair_key(node_id a, node_id b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
 
   manual_clock clock_;
   rng rng_;
   std::vector<datagram_handler> nodes_;
+  std::vector<bool> node_up_;
+  std::set<std::pair<node_id, node_id>> partitions_;  // pair_key-normalized
   std::map<std::pair<node_id, node_id>, link_properties> links_;
   // Earliest time each directed pair's "wire" is free (bandwidth modeling).
   std::map<std::pair<node_id, node_id>, time_point> wire_free_;
@@ -114,6 +187,10 @@ class simulation {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_faults_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t faults_applied_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::function<void(node_id, node_id, const bytes&)> tap_;
 };

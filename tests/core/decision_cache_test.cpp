@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/serial.h"
 
 namespace interedge::core {
 namespace {
@@ -238,6 +239,185 @@ TEST(DecisionCache, EvictionNeverCorrupts) {
       EXPECT_EQ(d->next_hops, std::vector<peer_id>{i});
     }
   }
+}
+
+// ---- per-entry TTL (DESIGN.md §10) ------------------------------------
+
+TEST(DecisionCache, TtlEntryExpiresOnLookup) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  decision d = decision::deliver();
+  d.ttl = 10ms;
+  cache.insert({1, 2, 3}, d);
+  clk.advance(9ms);
+  EXPECT_TRUE(cache.lookup({1, 2, 3}).has_value());
+  clk.advance(2ms);
+  EXPECT_FALSE(cache.lookup({1, 2, 3}).has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.size(), 0u);  // expired entry is erased, not just hidden
+}
+
+TEST(DecisionCache, ZeroTtlMeansNoExpiry) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  cache.insert({1, 2, 3}, decision::deliver());  // ttl = 0
+  clk.advance(std::chrono::hours(24));
+  EXPECT_TRUE(cache.lookup({1, 2, 3}).has_value());
+  EXPECT_EQ(cache.stats().expired, 0u);
+}
+
+TEST(DecisionCache, TtlIgnoredWithoutClock) {
+  using namespace std::chrono_literals;
+  decision_cache cache(16);
+  decision d = decision::deliver();
+  d.ttl = 1ns;
+  cache.insert({1, 2, 3}, d);
+  EXPECT_TRUE(cache.lookup({1, 2, 3}).has_value());
+}
+
+TEST(DecisionCache, ContainsAndHitCountTreatExpiredAsAbsent) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  decision d = decision::deliver();
+  d.ttl = 5ms;
+  cache.insert({1, 2, 3}, d);
+  cache.lookup({1, 2, 3});
+  clk.advance(6ms);
+  EXPECT_FALSE(cache.contains({1, 2, 3}));
+  EXPECT_EQ(cache.hit_count({1, 2, 3}), 0u);
+}
+
+TEST(DecisionCache, PurgeExpiredSweeps) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  decision short_lived = decision::deliver();
+  short_lived.ttl = 5ms;
+  decision long_lived = decision::deliver();
+  long_lived.ttl = 50ms;
+  cache.insert({1, 1, 1}, short_lived);
+  cache.insert({2, 2, 2}, short_lived);
+  cache.insert({3, 3, 3}, long_lived);
+  cache.insert({4, 4, 4}, decision::deliver());
+  clk.advance(10ms);
+  EXPECT_EQ(cache.purge_expired(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().expired, 2u);
+  EXPECT_TRUE(cache.contains({3, 3, 3}));
+  EXPECT_TRUE(cache.contains({4, 4, 4}));
+}
+
+TEST(DecisionCache, ReinsertRefreshesTtl) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  decision d = decision::deliver();
+  d.ttl = 10ms;
+  cache.insert({1, 2, 3}, d);
+  clk.advance(8ms);
+  cache.insert({1, 2, 3}, d);  // refresh
+  clk.advance(8ms);
+  EXPECT_TRUE(cache.lookup({1, 2, 3}).has_value());  // 16ms total, 8ms since refresh
+}
+
+// ---- snapshot / restore_warm (checkpointed failover) -------------------
+
+TEST(DecisionCache, SnapshotRestoreRoundTrip) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  cache.insert({1, 2, 3}, decision::forward_to(42));
+  cache.insert({4, 5, 6}, decision::forward_all({7, 8}));
+  cache.insert({7, 8, 9}, decision::drop_packet());
+  cache.lookup({1, 2, 3});
+  cache.lookup({1, 2, 3});
+
+  const bytes snap = cache.snapshot(clk.now());
+
+  decision_cache standby(16);
+  standby.set_clock(&clk);
+  EXPECT_EQ(standby.restore_warm(snap, clk.now()), 3u);
+  EXPECT_EQ(standby.size(), 3u);
+  EXPECT_EQ(standby.hit_count({1, 2, 3}), 2u);
+  const auto d = standby.lookup({4, 5, 6});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->kind, decision::verdict::forward);
+  EXPECT_EQ(d->next_hops, (std::vector<peer_id>{7, 8}));
+  EXPECT_EQ(standby.lookup({7, 8, 9})->kind, decision::verdict::drop);
+}
+
+TEST(DecisionCache, SnapshotCarriesRemainingTtl) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  decision d = decision::deliver();
+  d.ttl = 20ms;
+  cache.insert({1, 2, 3}, d);
+  clk.advance(15ms);  // 5ms of life left
+
+  const bytes snap = cache.snapshot(clk.now());
+  decision_cache standby(16);
+  standby.set_clock(&clk);
+  standby.restore_warm(snap, clk.now());
+  EXPECT_TRUE(standby.lookup({1, 2, 3}).has_value());
+  clk.advance(6ms);  // past the remaining 5ms
+  EXPECT_FALSE(standby.lookup({1, 2, 3}).has_value());
+}
+
+TEST(DecisionCache, SnapshotSkipsExpiredEntries) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  decision d = decision::deliver();
+  d.ttl = 5ms;
+  cache.insert({1, 1, 1}, d);
+  cache.insert({2, 2, 2}, decision::deliver());
+  clk.advance(10ms);
+
+  const bytes snap = cache.snapshot(clk.now());
+  decision_cache standby(16);
+  standby.set_clock(&clk);
+  EXPECT_EQ(standby.restore_warm(snap, clk.now()), 1u);
+  EXPECT_TRUE(standby.contains({2, 2, 2}));
+  EXPECT_FALSE(standby.contains({1, 1, 1}));
+}
+
+TEST(DecisionCache, RestoreIntoSmallerCacheKeepsHotEntries) {
+  using namespace std::chrono_literals;
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  for (std::uint64_t i = 0; i < 8; ++i) cache.insert(key_of(i), decision::deliver());
+  const bytes snap = cache.snapshot(clk.now());
+
+  // Restored cache enforces its own (smaller) capacity; the warm entries
+  // arrive LRU-first so the hottest survive.
+  decision_cache standby(4);
+  standby.set_clock(&clk);
+  standby.restore_warm(snap, clk.now());
+  EXPECT_EQ(standby.size(), 4u);
+  // The most recently used originals (highest i) are the residents.
+  EXPECT_TRUE(standby.contains(key_of(7)));
+  EXPECT_TRUE(standby.contains(key_of(4)));
+  EXPECT_FALSE(standby.contains(key_of(0)));
+}
+
+TEST(DecisionCache, RestoreRejectsGarbage) {
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  EXPECT_THROW(cache.restore_warm(to_bytes("not a snapshot"), clk.now()), serial_error);
 }
 
 }  // namespace

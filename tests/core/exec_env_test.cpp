@@ -147,6 +147,83 @@ TEST(ExecEnv, ConfigReachesModuleContext) {
   EXPECT_EQ(raw->seen, "strict");
 }
 
+// ---- failure containment and transient retry (DESIGN.md §10) -----------
+
+// Fails with transient_error the first `failures` calls, then succeeds.
+class flaky_module final : public service_module {
+ public:
+  explicit flaky_module(int failures) : failures_(failures) {}
+  ilp::service_id id() const override { return 70; }
+  std::string_view name() const override { return "test-flaky"; }
+
+  module_result on_packet(service_context&, const packet&) override {
+    ++calls;
+    if (calls <= failures_) throw transient_error("backend warming up");
+    return module_result::deliver();
+  }
+
+  int calls = 0;
+
+ private:
+  int failures_;
+};
+
+// Always throws a non-transient error.
+class broken_module final : public service_module {
+ public:
+  ilp::service_id id() const override { return 71; }
+  std::string_view name() const override { return "test-broken"; }
+  module_result on_packet(service_context&, const packet&) override {
+    throw std::runtime_error("unrecoverable");
+  }
+};
+
+TEST(ExecEnv, TransientErrorRetriedToSuccess) {
+  fake_node node;
+  exec_env env(node);
+  auto flaky = std::make_unique<flaky_module>(2);
+  auto* raw = flaky.get();
+  env.deploy(std::move(flaky));
+
+  const module_result r = env.dispatch(make_packet(70));
+  EXPECT_EQ(r.verdict.kind, decision::verdict::deliver_local);
+  EXPECT_EQ(raw->calls, 3);  // 2 failures + the success
+  EXPECT_EQ(env.retries_attempted(), 2u);
+  EXPECT_EQ(env.retries_exhausted(), 0u);
+}
+
+TEST(ExecEnv, TransientRetriesExhaustedDrops) {
+  fake_node node;
+  exec_env env(node);
+  auto flaky = std::make_unique<flaky_module>(100);  // never recovers
+  auto* raw = flaky.get();
+  env.deploy(std::move(flaky));
+  env.set_transient_retry_limit(3);
+
+  const module_result r = env.dispatch(make_packet(70));
+  EXPECT_EQ(r.verdict.kind, decision::verdict::drop);
+  EXPECT_EQ(raw->calls, 4);  // initial attempt + 3 retries
+  EXPECT_EQ(env.retries_attempted(), 3u);
+  EXPECT_EQ(env.retries_exhausted(), 1u);
+}
+
+TEST(ExecEnv, NonTransientErrorContainedAsDrop) {
+  fake_node node;
+  exec_env env(node);
+  env.deploy(std::make_unique<broken_module>());
+
+  // A throwing module must not take the node down — the packet drops and
+  // the environment keeps dispatching.
+  const module_result r = env.dispatch(make_packet(71));
+  EXPECT_EQ(r.verdict.kind, decision::verdict::drop);
+  EXPECT_EQ(env.module_errors(), 1u);
+  EXPECT_EQ(env.retries_attempted(), 0u);  // no retry for non-transient
+
+  env.deploy(std::make_unique<testing::sink_module>());
+  const module_result ok = env.dispatch(make_packet(ilp::svc::null_service));
+  EXPECT_EQ(ok.verdict.kind, decision::verdict::deliver_local);
+}
+
 TEST(ExecEnv, ModuleSendsGoThroughNode) {
   fake_node node;
   exec_env env(node);

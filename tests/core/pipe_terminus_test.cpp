@@ -225,5 +225,148 @@ TEST_F(terminus_fixture, BatchMatchesPerPacketBehavior) {
   }
 }
 
+// ---- load shedding and deadlines (DESIGN.md §10) ------------------------
+
+using namespace std::chrono_literals;
+
+// Accepts every request but never responds — a wedged slow path.
+class black_hole_channel final : public slowpath_channel {
+ public:
+  bool submit(slowpath_request req) override {
+    accepted.push_back(std::move(req));
+    return true;
+  }
+  std::optional<slowpath_response> poll() override { return std::nullopt; }
+  std::vector<slowpath_request> accepted;
+};
+
+// Rejects every submit — a permanently full channel.
+class full_channel final : public slowpath_channel {
+ public:
+  bool submit(slowpath_request) override {
+    ++attempts;
+    return false;
+  }
+  std::optional<slowpath_response> poll() override { return std::nullopt; }
+  std::size_t attempts = 0;
+};
+
+class shed_fixture : public ::testing::Test {
+ protected:
+  shed_fixture()
+      : cache_(64), terminus_(cache_, channel_, [this](peer_id, const ilp::ilp_header&,
+                                                       const bytes&) { ++forwards_; }) {}
+
+  packet make_packet(ilp::connection_id conn, std::uint16_t flags = 0) {
+    packet p;
+    p.l3_src = 7;
+    p.header.service = ilp::svc::delivery;
+    p.header.connection = conn;
+    p.header.flags = flags;
+    p.payload = to_bytes("x");
+    return p;
+  }
+
+  manual_clock clk_;
+  decision_cache cache_;
+  black_hole_channel channel_;
+  pipe_terminus terminus_;
+  int forwards_ = 0;
+};
+
+TEST_F(shed_fixture, ShedsPastHighWaterInsteadOfBlocking) {
+  terminus_.set_slowpath_policy({.clk = &clk_, .high_water = 4, .shed_ttl = 50ms});
+  cache_.set_clock(&clk_);
+  for (ilp::connection_id c = 0; c < 10; ++c) terminus_.handle(make_packet(c));
+  // 4 in flight; the other 6 shed to the default (drop) verdict.
+  EXPECT_EQ(terminus_.in_flight(), 4u);
+  EXPECT_EQ(terminus_.stats().shed, 6u);
+  EXPECT_EQ(terminus_.stats().dropped, 6u);  // fail closed
+  EXPECT_EQ(channel_.accepted.size(), 4u);
+}
+
+TEST_F(shed_fixture, ShedVerdictIsTemporaryCacheEntry) {
+  terminus_.set_slowpath_policy({.clk = &clk_, .high_water = 1, .shed_ttl = 50ms});
+  cache_.set_clock(&clk_);
+  terminus_.handle(make_packet(1));  // occupies the slow path
+  terminus_.handle(make_packet(2));  // shed, installs TTL'd drop
+  terminus_.handle(make_packet(2));  // fast-path hit on the shed entry
+  EXPECT_EQ(terminus_.stats().shed, 1u);
+  EXPECT_EQ(terminus_.stats().fast_path, 1u);
+
+  // After the TTL the flow returns to the slow path (which has recovered
+  // here only in the sense that the entry is gone — it sheds again).
+  clk_.advance(60ms);
+  terminus_.handle(make_packet(2));
+  EXPECT_EQ(terminus_.stats().shed, 2u);
+}
+
+TEST_F(shed_fixture, ShedVerdictPerServicePolicyCanPass) {
+  terminus_.set_slowpath_policy({.clk = &clk_, .high_water = 1, .shed_ttl = 50ms});
+  cache_.set_clock(&clk_);
+  terminus_.set_shed_verdict(ilp::svc::delivery, decision::forward_to(50));
+  terminus_.handle(make_packet(1));  // in flight
+  terminus_.handle(make_packet(2));  // shed — but delivery sheds to pass
+  EXPECT_EQ(terminus_.stats().shed, 1u);
+  EXPECT_EQ(forwards_, 1);
+  EXPECT_EQ(terminus_.stats().dropped, 0u);
+}
+
+TEST_F(shed_fixture, ControlPacketsNeverShed) {
+  terminus_.set_slowpath_policy({.clk = &clk_, .high_water = 1, .shed_ttl = 50ms});
+  terminus_.handle(make_packet(1));
+  terminus_.handle(make_packet(2, ilp::kFlagControl));
+  EXPECT_EQ(terminus_.stats().shed, 0u);
+  EXPECT_EQ(channel_.accepted.size(), 2u);
+}
+
+TEST_F(shed_fixture, BatchShedsAndMemoAbsorbsBurst) {
+  terminus_.set_slowpath_policy({.clk = &clk_, .high_water = 1, .shed_ttl = 50ms});
+  cache_.set_clock(&clk_);
+  std::vector<packet> batch;
+  batch.push_back(make_packet(1));                       // takes the slow-path slot
+  for (int i = 0; i < 5; ++i) batch.push_back(make_packet(2));  // one shed + memo hits
+  terminus_.handle_batch(batch);
+  EXPECT_EQ(terminus_.stats().shed, 1u);
+  EXPECT_EQ(terminus_.stats().fast_path, 4u);  // rest of the burst rides the memo
+}
+
+TEST_F(shed_fixture, DeadlineStampedIntoRequests) {
+  terminus_.set_slowpath_policy({.clk = &clk_, .deadline = 5ms});
+  clk_.advance(100ms);
+  terminus_.handle(make_packet(1));
+  ASSERT_EQ(channel_.accepted.size(), 1u);
+  EXPECT_EQ(channel_.accepted[0].deadline_ns,
+            static_cast<std::uint64_t>((clk_.now() + 5ms).time_since_epoch().count()));
+}
+
+TEST_F(shed_fixture, NoPolicyMeansNoDeadlineNoShedding) {
+  for (ilp::connection_id c = 0; c < 100; ++c) terminus_.handle(make_packet(c));
+  EXPECT_EQ(terminus_.stats().shed, 0u);
+  EXPECT_EQ(terminus_.in_flight(), 100u);
+  EXPECT_EQ(channel_.accepted[0].deadline_ns, 0u);
+}
+
+TEST(ShedBoundedSubmit, FullChannelShedsAfterRetryBudget) {
+  manual_clock clk;
+  decision_cache cache(16);
+  cache.set_clock(&clk);
+  full_channel channel;
+  int forwards = 0;
+  pipe_terminus terminus(cache, channel,
+                         [&](peer_id, const ilp::ilp_header&, const bytes&) { ++forwards; });
+  terminus.set_slowpath_policy({.clk = &clk, .high_water = 8, .submit_retries = 5});
+
+  packet p;
+  p.l3_src = 7;
+  p.header.service = ilp::svc::delivery;
+  p.header.connection = 1;
+  terminus.handle(p);  // channel never accepts: retries then sheds
+  EXPECT_EQ(channel.attempts, 5u);
+  EXPECT_EQ(terminus.stats().shed, 1u);
+  EXPECT_EQ(terminus.stats().backpressure, 5u);
+  EXPECT_EQ(terminus.in_flight(), 0u);
+}
+
 }  // namespace
 }  // namespace interedge::core

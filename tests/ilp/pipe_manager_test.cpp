@@ -195,5 +195,185 @@ TEST(PipeManager, LossyHandshakeRetriesViaResend) {
   // (Timer-driven retry lives in the host stack, tested there.)
 }
 
+// ---- pipe liveness (DESIGN.md §10) --------------------------------------
+
+using namespace std::chrono_literals;
+
+// Drives the managers' liveness off the simulator clock: pre-schedules a
+// tick per interval up to `until`, then runs to that point. Pre-scheduling
+// (rather than self-rescheduling events) keeps the queue drainable, so
+// tests can keep using net.run() afterwards.
+void drive_liveness(simulation& net, std::initializer_list<element*> elems,
+                    nanoseconds interval, nanoseconds until) {
+  for (element* e : elems) {
+    e->mgr->enable_liveness(net.sim_clock(), {.keepalive_interval = interval});
+  }
+  for (auto t = net.now() + interval; t <= time_point(until); t += interval) {
+    for (element* e : elems) {
+      net.at(t, [e] { e->mgr->liveness_tick(); });
+    }
+  }
+  net.run_until(time_point(until));
+}
+
+TEST(PipeLiveness, ProbesAckedAndRttTracked) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  net.set_link_symmetric(a->node, b->node, {.latency = 1ms});
+  a->mgr->connect(b->node);
+  net.run();
+
+  drive_liveness(net, {a.get(), b.get()}, 10ms, 100ms);
+
+  const liveness_stats* st = a->mgr->liveness_for(b->node);
+  ASSERT_NE(st, nullptr);
+  EXPECT_GE(st->probes_sent, 5u);
+  EXPECT_GE(st->acks_received, 4u);
+  EXPECT_EQ(st->missed, 0u);
+  EXPECT_FALSE(st->down);
+  // RTT EWMA converges to the 2ms round trip.
+  EXPECT_NEAR(static_cast<double>(st->rtt_ns), 2e6, 5e5);
+  // Keepalives are invisible to the data plane.
+  EXPECT_TRUE(a->received.empty());
+  EXPECT_TRUE(b->received.empty());
+}
+
+TEST(PipeLiveness, MissBudgetDeclaresPartitionedPeerDown) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  a->mgr->connect(b->node);
+  net.run();
+
+  std::vector<std::pair<peer_id, bool>> transitions;
+  a->mgr->set_peer_status_hook(
+      [&](peer_id peer, bool up) { transitions.emplace_back(peer, up); });
+
+  net.partition(a->node, b->node);
+  drive_liveness(net, {a.get()}, 10ms, 60ms);
+
+  const liveness_stats* st = a->mgr->liveness_for(b->node);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->down);
+  EXPECT_EQ(st->times_down, 1u);
+  EXPECT_GE(st->missed, 3u);  // the default miss budget
+  EXPECT_FALSE(a->mgr->has_pipe(b->node));
+  ASSERT_GE(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0], std::make_pair(peer_id{b->node}, false));
+  // Detection within the budget: 3 missed 10ms probes ≈ 40ms of partition.
+  EXPECT_LE(net.now().time_since_epoch(), 60ms);
+}
+
+TEST(PipeLiveness, ReconnectsAfterHealWithFreshKeys) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  a->mgr->connect(b->node);
+  net.run();
+  const std::uint64_t handshakes_before = a->mgr->handshakes_completed();
+
+  std::vector<bool> transitions;
+  a->mgr->set_peer_status_hook([&](peer_id, bool up) { transitions.push_back(up); });
+
+  net.partition(a->node, b->node);
+  net.after(200ms, [&] { net.heal(a->node, b->node); });
+  drive_liveness(net, {a.get(), b.get()}, 10ms, 1000ms);
+
+  const liveness_stats* st = a->mgr->liveness_for(b->node);
+  ASSERT_NE(st, nullptr);
+  EXPECT_FALSE(st->down);
+  EXPECT_GE(st->reconnect_attempts, 1u);
+  EXPECT_TRUE(a->mgr->has_pipe(b->node));
+  // The recovery ran a fresh handshake — the forced rekey.
+  EXPECT_GT(a->mgr->handshakes_completed(), handshakes_before);
+  // down, then up again.
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_FALSE(transitions.front());
+  EXPECT_TRUE(transitions.back());
+
+  // Traffic flows on the re-established pipe.
+  a->mgr->send(b->node, header_for(5), to_bytes("post-heal"));
+  net.run();
+  ASSERT_EQ(b->received.size(), 1u);
+  EXPECT_EQ(to_string(b->received[0].second), "post-heal");
+}
+
+TEST(PipeLiveness, BackoffGrowsWhilePeerStaysDown) {
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  a->mgr->connect(b->node);
+  net.run();
+
+  net.partition(a->node, b->node);
+  drive_liveness(net, {a.get()}, 10ms, 2000ms);
+
+  const liveness_stats* st = a->mgr->liveness_for(b->node);
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->down);
+  EXPECT_GE(st->reconnect_attempts, 2u);
+  // Exponential backoff: attempts over 2s are far fewer than the ~196
+  // tick opportunities after detection.
+  EXPECT_LE(st->reconnect_attempts, 16u);
+}
+
+TEST(PipeLiveness, DataTrafficSuppressesFalsePositives) {
+  // A peer that answers data (so its rx path works) must not be declared
+  // down just because ticks outpace acks: authenticated data resets the
+  // miss count. Model an asymmetric delay where acks straggle.
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  net.set_link(a->node, b->node, {.latency = 1ms});
+  net.set_link(b->node, a->node, {.latency = 25ms});  // acks straggle
+  a->mgr->connect(b->node);
+  net.run();
+
+  a->mgr->enable_liveness(net.sim_clock(), {.keepalive_interval = 10ms, .miss_budget = 3});
+  // b sends data to a every 5 ms, keeping the pipe visibly alive at a.
+  std::function<void()> chatter = [&] {
+    b->mgr->send(a->node, header_for(1), to_bytes("d"));
+    net.after(5ms, chatter);
+  };
+  net.after(5ms, chatter);
+  std::function<void()> tick = [&] {
+    a->mgr->liveness_tick();
+    net.after(10ms, tick);
+  };
+  net.after(10ms, tick);
+  net.run_until(time_point(200ms));
+
+  const liveness_stats* st = a->mgr->liveness_for(b->node);
+  ASSERT_NE(st, nullptr);
+  EXPECT_FALSE(st->down);
+  EXPECT_EQ(st->times_down, 0u);
+}
+
+TEST(PipeLiveness, ProbeOnWireIsOpaque) {
+  // Keepalives are sealed like data: a tap must never see plaintext probe
+  // metadata (the sequence number lives in an encrypted header).
+  simulation net;
+  auto a = make_element(net);
+  auto b = make_element(net);
+  a->mgr->connect(b->node);
+  net.run();
+
+  std::vector<bytes> wire;
+  net.set_tap([&](node_id, node_id, const bytes& d) { wire.push_back(d); });
+  a->mgr->enable_liveness(net.sim_clock(), {.keepalive_interval = 10ms});
+  a->mgr->liveness_tick();
+  net.run();
+
+  ASSERT_GE(wire.size(), 2u);  // probe + ack
+  EXPECT_EQ(wire[0][0], static_cast<std::uint8_t>(msg_kind::keepalive));
+  EXPECT_EQ(wire[1][0], static_cast<std::uint8_t>(msg_kind::keepalive_ack));
+  // Beyond the kind byte the messages are ciphertext — no fixed plaintext
+  // marker survives on the wire (PSP-encrypted header + empty payload).
+  const liveness_stats* st = a->mgr->liveness_for(b->node);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->acks_received, 1u);
+}
+
 }  // namespace
 }  // namespace interedge::ilp

@@ -3,6 +3,7 @@
 #include "net/udp_transport.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <stdexcept>
 #include <thread>
@@ -70,6 +71,42 @@ TEST(UdpEndpoint, RecvBatchCountsPartialDrains) {
   EXPECT_GE(b.rx_partial_batches(), 1u);
   EXPECT_EQ(b.rx_errors(), 0u);
   EXPECT_EQ(b.received(), kSent);
+}
+
+// The transient-send retry loop (EAGAIN/EWOULDBLOCK absorbed, bounded at
+// kSendRetries) and its accounting: send_again() moves in lockstep with
+// the mirrored net.udp.send_again counter, and a burst against a squeezed
+// socket buffer returns instead of wedging. Loopback usually drains too
+// fast to force a specific EAGAIN count, so the assertions pin the
+// accounting invariants rather than an exact number.
+TEST(UdpEndpoint, SendAgainBoundedRetryAndTelemetry) {
+  udp_endpoint a, b;
+  a.add_peer(2, "127.0.0.1", b.port());
+
+  metrics_registry reg;
+  a.enable_telemetry(reg);
+  EXPECT_EQ(a.send_again(), 0u);
+  EXPECT_EQ(reg.get_counter("net.udp.send_again").value(), 0u);
+
+  // Squeeze the send buffer to its kernel floor so big bursts can hit a
+  // full buffer mid-batch.
+  const int tiny = 1;
+  ASSERT_EQ(::setsockopt(a.fd(), SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)), 0);
+
+  const std::vector<bytes> burst(2 * udp_endpoint::kBatchMax, bytes(1400, 0xab));
+  std::uint64_t accepted = 0;
+  for (int round = 0; round < 8; ++round) {
+    accepted += a.send_batch(2, burst);  // bounded retry: must return
+  }
+  EXPECT_LE(accepted, 8 * burst.size());
+  EXPECT_EQ(a.sent(), accepted);  // only kernel-accepted datagrams count
+  // Every transient the retry loop absorbed is mirrored to the metric.
+  EXPECT_EQ(reg.get_counter("net.udp.send_again").value(), a.send_again());
+
+  // The single-datagram path shares the loop and the counters.
+  ASSERT_TRUE(a.send(2, to_bytes("one more")));
+  EXPECT_EQ(a.sent(), accepted + 1);
+  EXPECT_EQ(reg.get_counter("net.udp.send_again").value(), a.send_again());
 }
 
 TEST(UdpEndpoint, ReusePortSharesOneBinding) {

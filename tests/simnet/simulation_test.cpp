@@ -145,6 +145,177 @@ TEST(Simulation, CountersTrackTraffic) {
   EXPECT_EQ(net.bytes_sent(), 30u);
 }
 
+TEST(Simulation, DuplicateRateDeliversTwiceDeterministically) {
+  auto run_one = [](std::uint64_t seed) {
+    simulation net(seed);
+    const node_id a = net.add_node(nullptr);
+    int delivered = 0;
+    const node_id b = net.add_node([&delivered](node_id, const bytes&) { ++delivered; });
+    net.set_link(a, b, {.duplicate_rate = 0.5});
+    for (int i = 0; i < 1000; ++i) net.send(a, b, bytes{1});
+    net.run();
+    return std::make_pair(delivered, net.datagrams_duplicated());
+  };
+  const auto [d1, dup1] = run_one(7);
+  const auto [d2, dup2] = run_one(7);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(dup1, dup2);
+  EXPECT_EQ(static_cast<std::uint64_t>(d1), 1000u + dup1);
+  EXPECT_GT(dup1, 350u);
+  EXPECT_LT(dup1, 650u);
+}
+
+TEST(Simulation, ReorderRateLetsLaterSendsOvertake) {
+  simulation net(3);
+  const node_id a = net.add_node(nullptr);
+  std::vector<std::uint8_t> order;
+  const node_id b =
+      net.add_node([&](node_id, const bytes& p) { order.push_back(p[0]); });
+  net.set_link(a, b, {.latency = 1ms, .reorder_rate = 1.0, .reorder_delay = 500us});
+  // First datagram is always held back 500us; the second (sent 100us later,
+  // also held back) still arrives after it — but a third sent 400us later
+  // with reorder_rate off would overtake. Simplest check: everything still
+  // arrives, reordered counter reflects the draws.
+  net.send(a, b, bytes{1});
+  net.after(100us, [&] { net.send(a, b, bytes{2}); });
+  net.run();
+  EXPECT_EQ(order.size(), 2u);
+  EXPECT_EQ(net.datagrams_reordered(), 2u);
+}
+
+TEST(Simulation, ReorderingIsObservableAcrossMixedTraffic) {
+  // Held-back datagram vs. a later clean send: the later one overtakes.
+  simulation net(11);
+  const node_id a = net.add_node(nullptr);
+  std::vector<std::uint8_t> order;
+  const node_id b =
+      net.add_node([&](node_id, const bytes& p) { order.push_back(p[0]); });
+  net.set_link(a, b, {.latency = 1ms, .reorder_rate = 1.0, .reorder_delay = 500us});
+  net.send(a, b, bytes{1});  // arrives at 1.5ms
+  net.after(200us, [&] {
+    net.set_link(a, b, {.latency = 1ms});  // reordering off for the second
+    net.send(a, b, bytes{2});              // arrives at 1.2ms
+  });
+  net.run();
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{2, 1}));
+}
+
+TEST(Simulation, CrashedNodeDropsSendsAndInFlight) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  int delivered = 0;
+  const node_id b = net.add_node([&](node_id, const bytes&) { ++delivered; });
+  net.set_link(a, b, {.latency = 1ms});
+
+  // In-flight toward a node that crashes before arrival: dropped at delivery.
+  net.send(a, b, bytes{1});
+  net.after(500us, [&] { net.crash_node(b); });
+  // Send from a crashed node: dropped at send time.
+  net.after(600us, [&] { EXPECT_FALSE(net.send(b, a, bytes{2})); });
+  // Send toward a crashed node: dropped at send time.
+  net.after(700us, [&] { EXPECT_FALSE(net.send(a, b, bytes{3})); });
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.datagrams_dropped_faults(), 3u);
+
+  net.restart_node(b);
+  EXPECT_TRUE(net.node_up(b));
+  EXPECT_TRUE(net.send(a, b, bytes{4}));
+  net.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Simulation, PartitionBlocksBothDirectionsUntilHeal) {
+  simulation net;
+  int delivered = 0;
+  const node_id a = net.add_node([&](node_id, const bytes&) { ++delivered; });
+  const node_id b = net.add_node([&](node_id, const bytes&) { ++delivered; });
+  net.partition(a, b);
+  EXPECT_TRUE(net.partitioned(a, b));
+  EXPECT_TRUE(net.partitioned(b, a));  // normalized pair
+  EXPECT_FALSE(net.send(a, b, bytes{1}));
+  EXPECT_FALSE(net.send(b, a, bytes{2}));
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.datagrams_dropped_faults(), 2u);
+
+  net.heal(a, b);
+  EXPECT_FALSE(net.partitioned(a, b));
+  EXPECT_TRUE(net.send(a, b, bytes{3}));
+  net.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Simulation, PartitionDropsInFlightAtDeliveryTime) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  int delivered = 0;
+  const node_id b = net.add_node([&](node_id, const bytes&) { ++delivered; });
+  net.set_link(a, b, {.latency = 1ms});
+  net.send(a, b, bytes{1});
+  net.after(500us, [&] { net.partition(a, b); });
+  net.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.datagrams_dropped_faults(), 1u);
+}
+
+TEST(Simulation, ScheduledFaultsFireOnTheTimeline) {
+  simulation net;
+  const node_id a = net.add_node(nullptr);
+  int delivered = 0;
+  const node_id b = net.add_node([&](node_id, const bytes&) { ++delivered; });
+  const fault_event schedule[] = {
+      {2ms, fault_kind::crash, b, kInvalidNode, 0.0},
+      {4ms, fault_kind::restart, b, kInvalidNode, 0.0},
+  };
+  net.schedule_faults(schedule);
+  net.after(1ms, [&] { EXPECT_TRUE(net.send(a, b, bytes{1})); });
+  net.after(3ms, [&] { EXPECT_FALSE(net.send(a, b, bytes{2})); });
+  net.after(5ms, [&] { EXPECT_TRUE(net.send(a, b, bytes{3})); });
+  net.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.faults_applied(), 2u);
+}
+
+TEST(Simulation, ParsesFaultScheduleText) {
+  const auto schedule = simulation::parse_fault_schedule(
+      "# warm-up, then chaos\n"
+      "\n"
+      "10 crash 2\n"
+      "20 restart 2\n"
+      "30 partition 0 1\n"
+      "40 heal 0 1\n"
+      "50 loss 0 2 0.25\n");
+  ASSERT_EQ(schedule.size(), 5u);
+  EXPECT_EQ(schedule[0].at, 10ms);
+  EXPECT_EQ(schedule[0].kind, fault_kind::crash);
+  EXPECT_EQ(schedule[0].a, 2u);
+  EXPECT_EQ(schedule[2].kind, fault_kind::partition);
+  EXPECT_EQ(schedule[2].a, 0u);
+  EXPECT_EQ(schedule[2].b, 1u);
+  EXPECT_EQ(schedule[4].kind, fault_kind::loss);
+  EXPECT_DOUBLE_EQ(schedule[4].value, 0.25);
+}
+
+TEST(Simulation, FaultScheduleParserRejectsMalformedLines) {
+  EXPECT_THROW(simulation::parse_fault_schedule("10 explode 1\n"), std::invalid_argument);
+  EXPECT_THROW(simulation::parse_fault_schedule("10 crash\n"), std::invalid_argument);
+  EXPECT_THROW(simulation::parse_fault_schedule("banana crash 1\n"), std::invalid_argument);
+  EXPECT_THROW(simulation::parse_fault_schedule("10 partition 1\n"), std::invalid_argument);
+  EXPECT_THROW(simulation::parse_fault_schedule("10 loss 0 1\n"), std::invalid_argument);
+}
+
+TEST(Simulation, LossFaultAdjustsLinkBothWays) {
+  simulation net(5);
+  const node_id a = net.add_node([](node_id, const bytes&) {});
+  const node_id b = net.add_node([](node_id, const bytes&) {});
+  const fault_event schedule[] = {{0ms, fault_kind::loss, a, b, 1.0}};
+  net.schedule_faults(schedule);
+  net.run();  // apply the fault
+  EXPECT_FALSE(net.send(a, b, bytes{1}));
+  EXPECT_FALSE(net.send(b, a, bytes{2}));
+}
+
 TEST(Simulation, DefaultLinkAppliesToUnconfiguredPairs) {
   simulation net;
   net.set_default_link({.latency = 7ms});

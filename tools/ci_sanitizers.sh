@@ -22,6 +22,12 @@ run_preset() {
   # is exactly what the sanitizers — tsan above all — exist to check.
   echo "== $preset: parallel datapath (focused) =="
   ctest --preset "$preset" -R parallel_test --output-on-failure
+  # Fault matrix: the failover/liveness/shedding scenarios re-run focused.
+  # Crash-restart, partition-heal, and slow-path saturation exercise the
+  # teardown/retry edges (pipe erasure while probes are in flight, shed
+  # verdicts racing worker pumps) where lifetime and ordering bugs hide.
+  echo "== $preset: fault matrix (focused) =="
+  ctest --preset "$preset" -R 'failover_test|simnet_test' --output-on-failure
 }
 
 case "${1:-all}" in
