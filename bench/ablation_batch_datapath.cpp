@@ -216,6 +216,81 @@ void BM_IngressDatapath_Robustness(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 
+// Cross-hop path tracing (ISSUE 5) layered on the robustness arm, the way
+// a live SN runs it: recorder installed on the terminus, liveness + slow-
+// path policy armed. The `sampled` flag selects whether the presealed
+// packets carry a sampled trace context in their sealed headers:
+//   false — the common case; every packet pays exactly one failed
+//           metadata-map lookup. Acceptance: <2% off
+//           BM_IngressDatapath_Robustness at batch 32.
+//   true  — worst case (sample shift 0): every packet emits a hop span
+//           and re-seals a bumped context — the cost an operator opts
+//           into per sampled packet, not per packet.
+void ingress_path_tracing(benchmark::State& state, bool sampled) {
+  datapath dp;
+  manual_clock clk;
+  dp.receiver->enable_liveness(clk, {.keepalive_interval = std::chrono::milliseconds(10)});
+  dp.terminus->set_slowpath_policy({.clk = &clk,
+                                    .deadline = std::chrono::milliseconds(5),
+                                    .high_water = 1024});
+  trace::path_recorder rec(trace::path_recorder::config{.node = 2, .capacity = 4096});
+  dp.terminus->enable_path_tracing(&rec);
+
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<bytes> wires;
+  if (sampled) {
+    // Preseal by hand: same flow, but every header carries a sampled
+    // context, as if an upstream hop at sample shift 0 forwarded it.
+    dp.sender_out.clear();
+    for (std::size_t i = 0; i < batch; ++i) {
+      ilp::ilp_header h = flow_header();
+      trace::trace_context ctx;
+      ctx.trace_id = 0x1234 + i;
+      ctx.parent_span = 1;
+      ctx.hop_count = 1;
+      ctx.flags = trace::kTraceCtxSampled;
+      h.set_trace(ctx);
+      dp.sender->send(2, h, bytes(256, 0x77));
+    }
+    wires.swap(dp.sender_out);
+  } else {
+    wires = dp.preseal(batch, 256);
+  }
+  std::vector<const_byte_span> spans(wires.begin(), wires.end());
+
+  std::vector<trace::path_span> drained;
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    if (batch == 1) {
+      dp.receiver->on_datagram(1, wires[0]);
+    } else {
+      dp.receiver->on_datagram_batch(1, spans);
+    }
+    if (sampled) {
+      drained.clear();
+      rec.drain(drained, batch);  // the control thread's drain, amortized
+    }
+    if ((++iter & 0xfff) == 0) {
+      clk.advance(std::chrono::milliseconds(10));
+      dp.receiver->liveness_tick();
+      dp.shuttle();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+  state.counters["pkts/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * batch),
+                         benchmark::Counter::kIsRate);
+  state.counters["spans_emitted"] = static_cast<double>(rec.emitted());
+  state.counters["spans_dropped"] = static_cast<double>(rec.dropped());
+}
+
+void BM_IngressDatapath_PathTracing(benchmark::State& state) {
+  ingress_path_tracing(state, /*sampled=*/false);
+}
+void BM_IngressDatapath_PathTracingSampled(benchmark::State& state) {
+  ingress_path_tracing(state, /*sampled=*/true);
+}
+
 // UDP syscall batching in isolation: B datagrams over loopback, one
 // sendto+recvfrom pair per packet versus one sendmmsg+recvmmsg per burst.
 void udp_loopback(benchmark::State& state, bool batched) {
@@ -258,6 +333,8 @@ void BM_UdpLoopback_Batched(benchmark::State& state) { udp_loopback(state, true)
 BENCHMARK(BM_IngressDatapath)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 BENCHMARK(BM_IngressDatapath_Telemetry)->Arg(1)->Arg(32)->Arg(128);
 BENCHMARK(BM_IngressDatapath_Robustness)->Arg(1)->Arg(32)->Arg(128);
+BENCHMARK(BM_IngressDatapath_PathTracing)->Arg(1)->Arg(32)->Arg(128);
+BENCHMARK(BM_IngressDatapath_PathTracingSampled)->Arg(1)->Arg(32)->Arg(128);
 BENCHMARK(BM_UdpLoopback_PerPacket)->Arg(32);
 BENCHMARK(BM_UdpLoopback_Batched)->Arg(32);
 

@@ -6,12 +6,18 @@
 //   * histogram record and tracer sampler costs, the per-event prices the
 //     <2% datapath overhead budget (DESIGN.md §8) is built from;
 //   * exposition cost for a registry of realistic size.
+// The cross-hop arms (ISSUE 5) price the path-tracing building blocks the
+// same way: context codec, the per-packet header-metadata miss every
+// unsampled packet pays, span emit + drain, and collector reassembly.
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "common/trace_collector.h"
+#include "ilp/header.h"
 
 using namespace interedge;
 
@@ -136,6 +142,94 @@ void BM_ExportPrometheus(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// ---- cross-hop path tracing (ISSUE 5) ----------------------------------
+
+// The 19-byte wire context round-trip: encode into a stack buffer, decode
+// back. Paid once per hop on the sampled path only.
+void BM_TraceCtxCodec(benchmark::State& state) {
+  trace::trace_context ctx;
+  ctx.trace_id = 0xabcdef0123456789ull;
+  ctx.parent_span = 0x1122334455667788ull;
+  ctx.hop_count = 3;
+  ctx.flags = trace::kTraceCtxSampled;
+  for (auto _ : state) {
+    const bytes wire = ctx.encode();
+    auto back = trace::trace_context::decode(wire);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// What every UNSAMPLED packet pays at a tracing-enabled hop: one failed
+// metadata lookup on the decoded header. This is the number the <2%
+// datapath budget (DESIGN.md §11) rides on.
+void BM_HeaderCtxLookupMiss(benchmark::State& state) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::delivery;
+  h.connection = 777;
+  for (auto _ : state) {
+    auto ctx = h.trace_ctx();
+    benchmark::DoNotOptimize(ctx);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The sampled-path counterpart: lookup + decode of a present context.
+void BM_HeaderCtxLookupHit(benchmark::State& state) {
+  ilp::ilp_header h;
+  h.service = ilp::svc::delivery;
+  h.connection = 777;
+  trace::trace_context ctx;
+  ctx.trace_id = 42;
+  ctx.flags = trace::kTraceCtxSampled;
+  h.set_trace(ctx);
+  for (auto _ : state) {
+    auto back = h.trace_ctx();
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Per-sampled-packet span emit into the SPSC ring, with the consumer-side
+// drain amortized the way the SN control loop runs it.
+void BM_PathRecorderEmitDrain(benchmark::State& state) {
+  trace::path_recorder rec(trace::path_recorder::config{.node = 7, .capacity = 4096});
+  trace::path_span s;
+  s.trace_id = 1;
+  s.node = 7;
+  s.kind = trace::span_kind::hop_fast;
+  std::vector<trace::path_span> drained;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    s.span_id = ++i;
+    rec.emit(s);
+    if ((i & 0xff) == 0) {
+      drained.clear();
+      rec.drain(drained, 256);
+    }
+  }
+  benchmark::DoNotOptimize(drained);
+  state.SetItemsProcessed(state.iterations());
+}
+
+// Collector-side cost per ingested span: dedup check, trace-table upkeep.
+// Off the datapath (control thread / edomain plane), but bounds how many
+// spans a plane can fold per push.
+void BM_CollectorIngest(benchmark::State& state) {
+  trace::trace_collector col(1024);
+  trace::path_span s;
+  s.node = 7;
+  s.kind = trace::span_kind::hop_fast;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    s.trace_id = i & 0x3ff;  // cycle the trace table
+    s.span_id = i;
+    col.ingest(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 }  // namespace
 
 BENCHMARK(BM_CounterStringLookup);
@@ -147,5 +241,10 @@ BENCHMARK(BM_HistogramRecord);
 BENCHMARK(BM_TracerSampleTick);
 BENCHMARK(BM_TracerSpan);
 BENCHMARK(BM_ExportPrometheus);
+BENCHMARK(BM_TraceCtxCodec);
+BENCHMARK(BM_HeaderCtxLookupMiss);
+BENCHMARK(BM_HeaderCtxLookupHit);
+BENCHMARK(BM_PathRecorderEmitDrain);
+BENCHMARK(BM_CollectorIngest);
 
 BENCHMARK_MAIN();

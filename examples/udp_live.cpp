@@ -60,8 +60,13 @@ int main(int argc, char** argv) {
   core.add_sn(id_sn);
   sn.env().deploy(std::make_unique<services::pubsub_service>(core, id_sn));
 
-  host::host_config cfg_a{.addr = id_alice, .first_hop_sn = id_sn, .fallback_sns = {}};
-  host::host_config cfg_b{.addr = id_bob, .first_hop_sn = id_sn, .fallback_sns = {}};
+  // Path tracing over the real wire (ISSUE 5): alice originates a trace
+  // context on every send (sample shift 0), the SN emits hop spans, bob
+  // closes the trace with a deliver span.
+  host::host_config cfg_a{.addr = id_alice, .first_hop_sn = id_sn, .fallback_sns = {},
+                          .path_span_capacity = 256, .trace_sample_shift = 0};
+  host::host_config cfg_b{.addr = id_bob, .first_hop_sn = id_sn, .fallback_sns = {},
+                          .path_span_capacity = 256, .trace_sample_shift = 0};
   host::host_stack alice(cfg_a, clk, [&](net::peer_id to, bytes d) { ep_alice.send(to, d); },
                          loop.scheduler(), nullptr);
   host::host_stack bob(cfg_b, clk, [&](net::peer_id to, bytes d) { ep_bob.send(to, d); },
@@ -124,6 +129,18 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\nrecent sampled packet traces:\n%s", sn.packet_tracer().dump(8).c_str());
+
+  // Cross-hop path traces (ISSUE 5): fold the host-side origin/deliver
+  // spans into the SN's collector, then dump reassembled alice->SN->bob
+  // paths — per-hop stage breakdown included — as JSON.
+  {
+    std::vector<trace::path_span> host_spans;
+    alice.drain_path_spans(host_spans);
+    bob.drain_path_spans(host_spans);
+    sn.traces().ingest(std::span<const trace::path_span>(host_spans));
+    std::printf("\npath traces (host->SN->host), JSON dump:\n%s\n",
+                sn.export_trace_json(4).c_str());
+  }
 
   std::printf("\nPrometheus exposition:\n%s", sn.metrics().export_prometheus().c_str());
 

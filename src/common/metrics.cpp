@@ -287,6 +287,23 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+// Label VALUES are free-form UTF-8 in the exposition format, but
+// backslash, double-quote and newline must be escaped (as \\, \" and \n)
+// or a value containing them emits malformed exposition text.
+std::string prom_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prom_labels(const label_list& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -294,7 +311,7 @@ std::string prom_labels(const label_list& labels) {
     if (i) out += ',';
     out += prom_name(labels[i].first);
     out += "=\"";
-    out += labels[i].second;
+    out += prom_escape(labels[i].second);
     out += '"';
   }
   out += '}';
@@ -310,6 +327,10 @@ std::string prom_labels_with(const label_list& labels, const char* extra_key,
 
 void json_escape_into(std::ostringstream& os, const std::string& s) {
   for (char c : s) {
+    if (c == '\n') {
+      os << "\\n";
+      continue;
+    }
     if (c == '"' || c == '\\') os << '\\';
     os << c;
   }

@@ -19,7 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
+#include "common/ring.h"
+#include "common/trace_context.h"
 
 namespace interedge::trace {
 
@@ -92,13 +95,21 @@ class tracer {
   void capture(stage s, std::uint64_t start_ns, std::uint64_t duration_ns,
                char verdict = kVerdictNone);
 
-  // Most-recent-first copy of the ring (bounded by capacity).
+  // Most-recent-first copy of the ring (bounded by capacity). Records that
+  // wrapped out of the ring between reads are accounted in
+  // dropped_records() and warned about (once per wrap burst) rather than
+  // vanishing silently.
   std::vector<trace_record> recent(std::size_t limit = 0) const;
   // Human-readable dump of recent records, one per line.
   std::string dump(std::size_t limit = 32) const;
 
   std::uint64_t packets_seen() const { return seq_.load(std::memory_order_relaxed); }
   std::uint64_t sampled() const { return captures_.load(std::memory_order_relaxed); }
+  // Captures that wrapped past a reader without ever appearing in a
+  // recent() export (cumulative; see recent()).
+  std::uint64_t dropped_records() const {
+    return dropped_records_.load(std::memory_order_relaxed);
+  }
   std::uint64_t hop() const { return hop_; }
 
  private:
@@ -109,6 +120,12 @@ class tracer {
   std::atomic<std::uint64_t> captures_{0};  // ring sequence
   std::vector<trace_record> ring_;
   std::size_t ring_mask_;
+  // Export-side accounting (mutable: recent() is logically const). The
+  // read mark is the capture sequence the last export reached; captures
+  // beyond ring capacity since then were overwritten unread.
+  mutable std::atomic<std::uint64_t> read_mark_{0};
+  mutable std::atomic<std::uint64_t> dropped_records_{0};
+  mutable std::atomic<bool> wrap_warned_{false};
 };
 
 // Thread-local current tracer. Instrumentation in lower layers (pipe
@@ -151,6 +168,105 @@ class span {
   char verdict_ = kVerdictNone;
   std::uint8_t depth_ = 0;
   std::uint64_t start_ = 0;
+};
+
+// ---- cross-hop path tracing (ISSUE 5) ---------------------------------
+
+// Where on the host→SN→…→SN→host path a span was emitted.
+enum class span_kind : std::uint8_t {
+  origin = 0,  // host stack / tunnel ingress: the trace begins here
+  hop_fast,    // SN fast-path verdict (decision-cache hit or shed)
+  hop_slow,    // SN slow-path round trip (submit → completed verdict)
+  service,     // service-module dispatch on the control thread
+  forward,     // one egress copy sent toward the next hop
+  deliver,     // terminal delivery at the destination host
+  event,       // node lifecycle event (trace_id == 0): correlated by time
+};
+const char* span_kind_name(span_kind k);
+
+// Annotation bits: what the datapath did to (or around) the packet.
+inline constexpr std::uint16_t kAnnoShed = 1 << 0;             // TTL'd default verdict
+inline constexpr std::uint16_t kAnnoDrop = 1 << 1;             // drop verdict applied
+inline constexpr std::uint16_t kAnnoDeadlineExpired = 1 << 2;  // slow path aged out
+inline constexpr std::uint16_t kAnnoPeerDown = 1 << 3;         // liveness declared a peer down
+inline constexpr std::uint16_t kAnnoFailover = 1 << 4;         // standby restored a checkpoint
+inline constexpr std::uint16_t kAnnoRekey = 1 << 5;            // tunnel handshake / rekey
+std::string annotation_names(std::uint16_t annotations);
+
+// One span: something that happened to one traced packet at one hop (or,
+// with trace_id == 0, a node event the collector correlates by time).
+struct path_span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t node = 0;
+  std::uint64_t connection = 0;
+  std::uint32_t service = 0;
+  std::uint8_t hop_count = 0;
+  span_kind kind = span_kind::origin;
+  char verdict = kVerdictNone;
+  std::uint16_t annotations = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+// Per-thread span sink: the emitting thread (a worker shard, the control
+// thread, a host stack) is the single producer; the draining thread (the
+// control thread / the collector's owner) is the single consumer. Emission
+// into a full ring is a counted drop, never a block — tracing must not
+// create backpressure.
+//
+// Timestamps come from the injected clock so simnet runs produce
+// deterministic virtual-time spans; a null clock falls back to now_ns()
+// (steady_clock) for real deployments.
+class path_recorder {
+ public:
+  struct config {
+    std::uint64_t node = 0;           // stamped into spans and id allocation
+    std::uint32_t sample_shift = 8;   // origin sampling: 1 in 2^shift
+    std::size_t capacity = 1024;      // span ring slots (rounded to pow2)
+    const clock* clk = nullptr;       // span timestamps; null = steady_clock
+  };
+  explicit path_recorder(config cfg);
+
+  // Origin-side sampling decision (deterministic 1/2^k, same scheme as
+  // tracer::sample_tick). Mid-path hops never call this: they honor the
+  // sampled bit the origin stamped into the context.
+  bool sample_tick() {
+    return (seq_.fetch_add(1, std::memory_order_relaxed) & sample_mask_) == 0;
+  }
+
+  std::uint64_t now() const {
+    if (cfg_.clk != nullptr) {
+      return static_cast<std::uint64_t>(cfg_.clk->now().time_since_epoch().count());
+    }
+    return now_ns();
+  }
+
+  // Node-scoped unique ids (never 0). Trace ids mix the node id so
+  // concurrent origins across a deployment cannot collide; both are
+  // deterministic for a fixed call sequence (simnet replay).
+  std::uint64_t new_trace_id();
+  std::uint64_t next_span_id();
+
+  // Producer side (single thread). A full ring counts a drop.
+  void emit(path_span s);
+
+  // Consumer side (single thread): moves up to `max` spans into `out`.
+  std::size_t drain(std::vector<path_span>& out, std::size_t max = 256);
+
+  std::uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  std::uint64_t node() const { return cfg_.node; }
+
+ private:
+  config cfg_;
+  std::uint64_t sample_mask_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> span_seq_{0};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  spsc_ring<path_span> ring_;
 };
 
 }  // namespace interedge::trace

@@ -1,0 +1,251 @@
+#include "common/trace_collector.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace interedge::trace {
+namespace {
+
+// Events correlate into a trace if they fall inside its span window
+// extended by this slack: liveness declares a peer down only after the
+// miss budget elapses, well after the last span the dying hop emitted.
+constexpr std::uint64_t kEventSlackNs = 1'000'000'000ull;
+
+bool span_order(const path_span& a, const path_span& b) {
+  if (a.hop_count != b.hop_count) return a.hop_count < b.hop_count;
+  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+  return static_cast<std::uint8_t>(a.kind) < static_cast<std::uint8_t>(b.kind);
+}
+
+}  // namespace
+
+trace_collector::trace_collector(std::size_t max_traces) : max_traces_(max_traces) {}
+
+void trace_collector::ingest(const path_span& s) {
+  std::lock_guard lock(mu_);
+  ingest_locked(s);
+}
+
+void trace_collector::ingest(std::span<const path_span> spans) {
+  std::lock_guard lock(mu_);
+  for (const path_span& s : spans) ingest_locked(s);
+}
+
+void trace_collector::ingest_locked(const path_span& s) {
+  ++spans_seen_;
+  if (s.trace_id == 0) {
+    // Node event: bounded like the trace table, oldest evicted first.
+    if (events_.size() >= max_traces_) events_.erase(events_.begin());
+    events_.push_back(s);
+    return;
+  }
+  auto it = traces_.find(s.trace_id);
+  if (it == traces_.end()) {
+    if (traces_.size() >= max_traces_) {
+      traces_.erase(order_.front());
+      order_.pop_front();
+      ++evicted_;
+    }
+    it = traces_.emplace(s.trace_id, std::vector<path_span>{}).first;
+    order_.push_back(s.trace_id);
+  } else {
+    // Idempotent intake: a span batch replayed (or a duplicated datagram's
+    // identical emission) must not double-count.
+    for (const path_span& have : it->second) {
+      if (have.span_id == s.span_id) {
+        ++duplicates_;
+        return;
+      }
+    }
+  }
+  it->second.push_back(s);
+}
+
+std::size_t trace_collector::trace_count() const {
+  std::lock_guard lock(mu_);
+  return traces_.size();
+}
+
+std::uint64_t trace_collector::spans_seen() const {
+  std::lock_guard lock(mu_);
+  return spans_seen_;
+}
+
+std::uint64_t trace_collector::duplicates_ignored() const {
+  std::lock_guard lock(mu_);
+  return duplicates_;
+}
+
+std::uint64_t trace_collector::evicted_traces() const {
+  std::lock_guard lock(mu_);
+  return evicted_;
+}
+
+std::vector<std::uint64_t> trace_collector::trace_ids() const {
+  std::lock_guard lock(mu_);
+  return std::vector<std::uint64_t>(order_.begin(), order_.end());
+}
+
+std::vector<path_span> trace_collector::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+std::optional<path_trace> trace_collector::assemble(std::uint64_t trace_id) const {
+  std::lock_guard lock(mu_);
+  return assemble_locked(trace_id);
+}
+
+std::optional<path_trace> trace_collector::assemble_locked(std::uint64_t trace_id) const {
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end() || it->second.empty()) return std::nullopt;
+  std::vector<path_span> spans = it->second;
+  std::sort(spans.begin(), spans.end(), span_order);
+
+  path_trace out;
+  out.trace_id = trace_id;
+  // Group into hops by (hop_count, node): a multicast fan-out places two
+  // nodes at the same hop count as separate breakdown rows.
+  for (const path_span& s : spans) {
+    if (out.hops.empty() || out.hops.back().hop_count != s.hop_count ||
+        out.hops.back().node != s.node) {
+      hop_breakdown hb;
+      hb.node = s.node;
+      hb.hop_count = s.hop_count;
+      out.hops.push_back(std::move(hb));
+    }
+    out.hops.back().spans.push_back(s);
+    out.hops.back().annotations |= s.annotations;
+    out.annotations |= s.annotations;
+    if (s.service != 0) out.service = s.service;
+    if (s.connection != 0) out.connection = s.connection;
+  }
+
+  bool has_origin = false, has_deliver = false;
+  std::uint64_t origin_start = 0, deliver_end = 0, prev_end = 0;
+  for (hop_breakdown& hb : out.hops) {
+    std::uint64_t first = hb.spans.front().start_ns, last = 0;
+    for (const path_span& s : hb.spans) {
+      first = std::min(first, s.start_ns);
+      last = std::max(last, s.start_ns + s.duration_ns);
+      if (s.kind == span_kind::origin) {
+        has_origin = true;
+        origin_start = s.start_ns;
+      }
+      if (s.kind == span_kind::deliver) {
+        has_deliver = true;
+        deliver_end = std::max(deliver_end, s.start_ns + s.duration_ns);
+      }
+    }
+    hb.hop_ns = last - first;
+    hb.wire_gap_ns = (prev_end != 0 && first > prev_end) ? first - prev_end : 0;
+    prev_end = last;
+  }
+  out.complete = has_origin && has_deliver;
+  if (out.complete && deliver_end > origin_start) out.total_ns = deliver_end - origin_start;
+
+  // Fold in node events overlapping the trace window at on-path nodes: a
+  // peer-down declaration or a failover restore annotates every trace it
+  // interrupted, so an incomplete trace is explained, never dangling.
+  const std::uint64_t window_lo = spans.front().start_ns;
+  const std::uint64_t window_hi = prev_end + kEventSlackNs;
+  for (const path_span& e : events_) {
+    if (e.start_ns < window_lo || e.start_ns > window_hi) continue;
+    for (const hop_breakdown& hb : out.hops) {
+      if (hb.node == e.node) {
+        out.annotations |= e.annotations;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<path_trace> trace_collector::assemble_all() const {
+  std::lock_guard lock(mu_);
+  std::vector<path_trace> out;
+  out.reserve(order_.size());
+  for (std::uint64_t id : order_) {
+    if (auto t = assemble_locked(id)) out.push_back(std::move(*t));
+  }
+  return out;
+}
+
+std::string trace_collector::export_json(std::size_t limit) const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"traces\":[";
+  std::size_t n = 0;
+  bool first = true;
+  // Newest first: recent traces are what an operator is debugging.
+  for (auto rit = order_.rbegin(); rit != order_.rend(); ++rit) {
+    if (limit != 0 && n >= limit) break;
+    auto t = assemble_locked(*rit);
+    if (!t) continue;
+    ++n;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"trace_id\":" << t->trace_id << ",\"service\":" << t->service
+       << ",\"connection\":" << t->connection
+       << ",\"complete\":" << (t->complete ? "true" : "false")
+       << ",\"total_ns\":" << t->total_ns << ",\"annotations\":\""
+       << annotation_names(t->annotations) << "\",\"hops\":[";
+    for (std::size_t h = 0; h < t->hops.size(); ++h) {
+      const hop_breakdown& hb = t->hops[h];
+      if (h) os << ",";
+      os << "{\"node\":" << hb.node << ",\"hop\":" << static_cast<int>(hb.hop_count)
+         << ",\"hop_ns\":" << hb.hop_ns << ",\"wire_gap_ns\":" << hb.wire_gap_ns
+         << ",\"spans\":[";
+      for (std::size_t i = 0; i < hb.spans.size(); ++i) {
+        const path_span& s = hb.spans[i];
+        if (i) os << ",";
+        os << "{\"kind\":\"" << span_kind_name(s.kind) << "\",\"span_id\":" << s.span_id
+           << ",\"parent_span\":" << s.parent_span << ",\"start_ns\":" << s.start_ns
+           << ",\"duration_ns\":" << s.duration_ns << ",\"verdict\":\"" << s.verdict
+           << "\",\"annotations\":\"" << annotation_names(s.annotations) << "\"}";
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "],\"events\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const path_span& e = events_[i];
+    if (i) os << ",";
+    os << "{\"node\":" << e.node << ",\"start_ns\":" << e.start_ns << ",\"annotations\":\""
+       << annotation_names(e.annotations) << "\"}";
+  }
+  os << "],\"spans_seen\":" << spans_seen_ << ",\"duplicates_ignored\":" << duplicates_
+     << ",\"evicted_traces\":" << evicted_ << "}";
+  return os.str();
+}
+
+std::string trace_collector::render_text(std::size_t limit) const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  std::size_t n = 0;
+  for (auto rit = order_.rbegin(); rit != order_.rend(); ++rit) {
+    if (limit != 0 && n >= limit) break;
+    auto t = assemble_locked(*rit);
+    if (!t) continue;
+    ++n;
+    os << "trace " << std::hex << t->trace_id << std::dec << " svc=" << t->service
+       << " conn=" << t->connection << (t->complete ? " complete" : " INCOMPLETE")
+       << " total=" << t->total_ns << "ns";
+    if (t->annotations != 0) os << " [" << annotation_names(t->annotations) << "]";
+    os << "\n";
+    for (const hop_breakdown& hb : t->hops) {
+      os << "  hop " << static_cast<int>(hb.hop_count) << " node=" << hb.node
+         << " wire+queue=" << hb.wire_gap_ns << "ns hop=" << hb.hop_ns << "ns";
+      for (const path_span& s : hb.spans) {
+        os << " " << span_kind_name(s.kind) << "=" << s.duration_ns << "ns";
+        if (s.verdict != kVerdictNone) os << "(" << s.verdict << ")";
+      }
+      if (hb.annotations != 0) os << " [" << annotation_names(hb.annotations) << "]";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace interedge::trace

@@ -1,0 +1,95 @@
+// Path-trace reassembly (ISSUE 5): ingests path_spans drained from host
+// and SN recorders and reassembles complete host→SN→…→SN→host traces with
+// per-hop stage breakdowns, queue/wire-time attribution, and annotations
+// correlated with node lifecycle events (peer down, failover, shed).
+//
+// Span time within a hop is datapath time; the gap between the previous
+// hop's last span end and this hop's first span start is queue + wire
+// time — the attribution the node-local tracer (ISSUE 2) cannot see.
+//
+// Ingest is idempotent on (trace_id, span_id): a duplicated datagram that
+// somehow reaches two emissions, or a span batch delivered twice, never
+// double-counts. The collector is mutex-guarded — it lives on the
+// aggregation path (scheduler-tick pushes, test assertions), not the
+// packet path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace interedge::trace {
+
+// One hop of an assembled trace: every span emitted at one node for one
+// hop count, plus the queue/wire gap separating it from the previous hop.
+struct hop_breakdown {
+  std::uint64_t node = 0;
+  std::uint8_t hop_count = 0;
+  std::vector<path_span> spans;        // sorted by (kind, start)
+  std::uint64_t hop_ns = 0;            // first span start -> last span end
+  std::uint64_t wire_gap_ns = 0;       // gap from the previous hop (0 at origin)
+  std::uint16_t annotations = 0;       // union of this hop's span annotations
+};
+
+struct path_trace {
+  std::uint64_t trace_id = 0;
+  std::uint32_t service = 0;
+  std::uint64_t connection = 0;
+  // Origin seen AND terminal delivery seen: the whole path reported in.
+  bool complete = false;
+  std::uint64_t total_ns = 0;          // origin start -> deliver end (0 if incomplete)
+  std::uint16_t annotations = 0;       // union over spans + correlated events
+  std::vector<hop_breakdown> hops;     // ordered by (hop_count, first start)
+};
+
+class trace_collector {
+ public:
+  explicit trace_collector(std::size_t max_traces = 1024);
+
+  // Span intake (thread-safe; duplicate span ids are ignored). Spans with
+  // trace_id == 0 are node events, kept separately for time correlation.
+  void ingest(const path_span& s);
+  void ingest(std::span<const path_span> spans);
+
+  std::size_t trace_count() const;
+  std::uint64_t spans_seen() const;
+  std::uint64_t duplicates_ignored() const;
+  std::uint64_t evicted_traces() const;
+  std::vector<std::uint64_t> trace_ids() const;
+  std::vector<path_span> events() const;
+
+  // Reassembles one trace (nullopt if unknown). Event spans whose time
+  // falls inside the trace's window and whose node is on (or adjacent to)
+  // the path fold their annotations in — a mid-path failover annotates the
+  // trace instead of leaving it dangling.
+  std::optional<path_trace> assemble(std::uint64_t trace_id) const;
+  std::vector<path_trace> assemble_all() const;
+
+  // JSON dump of up to `limit` traces (0 = all), newest first, plus the
+  // event list — the service_node introspection payload.
+  std::string export_json(std::size_t limit = 0) const;
+  // ie_top-style text rendering: one line per hop per trace.
+  std::string render_text(std::size_t limit = 16) const;
+
+ private:
+  void ingest_locked(const path_span& s);
+  std::optional<path_trace> assemble_locked(std::uint64_t trace_id) const;
+
+  mutable std::mutex mu_;
+  std::size_t max_traces_;
+  std::map<std::uint64_t, std::vector<path_span>> traces_;
+  std::deque<std::uint64_t> order_;    // insertion order for eviction
+  std::vector<path_span> events_;      // trace_id == 0 (bounded by max_traces_)
+  std::uint64_t spans_seen_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace interedge::trace

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "common/serial.h"
+#include "common/trace.h"
 
 namespace interedge::core {
 namespace {
@@ -75,6 +76,7 @@ slowpath_request slowpath_request::decode(const_byte_span data) {
 bytes slowpath_response::encode() const {
   writer w(64);
   w.u64(token);
+  w.u16(annotations);
   encode_decision(w, verdict);
   w.varint(cache_inserts.size());
   for (const auto& [key, value] : cache_inserts) {
@@ -94,6 +96,7 @@ slowpath_response slowpath_response::decode(const_byte_span data) {
   reader r(data);
   slowpath_response resp;
   resp.token = r.u64();
+  resp.annotations = r.u16();
   resp.verdict = decode_decision(r);
   const std::uint64_t n_inserts = r.varint();
   for (std::uint64_t i = 0; i < n_inserts; ++i) {
@@ -222,6 +225,7 @@ std::size_t slowpath_hub::pump() {
         // drop so the shard's in-flight window drains without stale work.
         resp.token = req->token;
         resp.verdict = decision::drop_packet();
+        resp.annotations |= trace::kAnnoDeadlineExpired;
         ++expired_;
         if (expired_counter_) expired_counter_->add();
       } else {

@@ -57,6 +57,10 @@ struct slowpath_request {
 struct slowpath_response {
   std::uint64_t token = 0;
   decision verdict;
+  // trace::kAnno* bits describing how the verdict came about (e.g.
+  // kAnnoDeadlineExpired for a hub-synthesized drop); the terminus folds
+  // them into the packet's path span.
+  std::uint16_t annotations = 0;
   std::vector<std::pair<cache_key, decision>> cache_inserts;
   std::vector<outbound> sends;
 

@@ -70,7 +70,68 @@ void pipe_terminus::shed_packet(const packet& pkt, bool sampled) {
   IE_LOG(debug) << "terminus" << kv("shed", ilp::svc::name(pkt.header.service))
                 << kv("conn", pkt.header.connection)
                 << kv("in_flight", in_flight_.size());
+  apply_or_trace(d, pkt, sampled, trace::kAnnoShed);
+}
+
+void pipe_terminus::apply_or_trace(const decision& d, const packet& pkt, bool sampled,
+                                   std::uint16_t anno) {
+  if (auto tc = sampled_ctx(pkt.header)) {
+    apply_with_path(d, pkt.header, pkt.payload, *tc, anno, trace::span_kind::hop_fast,
+                    path_rec_->now(), path_rec_->next_span_id());
+    return;
+  }
   apply_traced(d, pkt.header, pkt.payload, sampled);
+}
+
+void pipe_terminus::apply_with_path(const decision& d, const ilp::ilp_header& header,
+                                    const bytes& payload, const trace::trace_context& tc,
+                                    std::uint16_t anno, trace::span_kind kind,
+                                    std::uint64_t start_ns, std::uint64_t span_id) {
+  if (d.kind == decision::verdict::forward) {
+    // Forwarded copies carry the context on: next hop's spans parent to
+    // this hop's span, one level deeper on the path.
+    ilp::ilp_header fwd = header;
+    trace::trace_context next = tc;
+    next.hop_count = static_cast<std::uint8_t>(tc.hop_count + 1);
+    next.parent_span = span_id;
+    fwd.set_trace(next);
+    for (peer_id hop : d.next_hops) {
+      const std::uint64_t fstart = path_rec_->now();
+      forward_(hop, fwd, payload);
+      ++stats_.forwarded;
+      path_rec_->emit(trace::path_span{
+          .trace_id = tc.trace_id,
+          .span_id = path_rec_->next_span_id(),
+          .parent_span = span_id,
+          .node = path_rec_->node(),
+          .connection = header.connection,
+          .service = header.service,
+          .hop_count = tc.hop_count,
+          .kind = trace::span_kind::forward,
+          .verdict = trace::kVerdictForward,
+          .annotations = 0,
+          .start_ns = fstart,
+          .duration_ns = path_rec_->now() - fstart,
+      });
+    }
+  } else {
+    apply(d, header, payload);
+  }
+  if (d.kind == decision::verdict::drop) anno |= trace::kAnnoDrop;
+  path_rec_->emit(trace::path_span{
+      .trace_id = tc.trace_id,
+      .span_id = span_id,
+      .parent_span = tc.parent_span,
+      .node = path_rec_->node(),
+      .connection = header.connection,
+      .service = header.service,
+      .hop_count = tc.hop_count,
+      .kind = kind,
+      .verdict = verdict_char(d.kind),
+      .annotations = anno,
+      .start_ns = start_ns,
+      .duration_ns = path_rec_->now() - start_ns,
+  });
 }
 
 bool pipe_terminus::submit_bounded(const slowpath_request& req, bool is_control) {
@@ -97,7 +158,7 @@ void pipe_terminus::handle(packet pkt) {
     const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
     if (auto d = cache_.lookup(key)) {
       ++stats_.fast_path;
-      apply_traced(*d, pkt.header, pkt.payload, sampled);
+      apply_or_trace(*d, pkt, sampled, 0);
       if (reg_ != nullptr) {
         service_rx_counter(pkt.header.service).add();
         flush_telemetry();
@@ -134,7 +195,9 @@ void pipe_terminus::handle(packet pkt) {
     }
     return;
   }
-  in_flight_.emplace(token, std::move(pkt));
+  auto ptc = sampled_ctx(pkt.header);
+  in_flight_.emplace(token, pending{std::move(pkt), ptc.value_or(trace::trace_context{}),
+                                    ptc ? path_rec_->now() : 0});
   pump();
   if (reg_ != nullptr) {
     service_rx_counter(pkt.header.service).add();
@@ -182,7 +245,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
       const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
       if (have_memo && key == memo_key) {
         ++stats_.fast_path;
-        apply_traced(memo_decision, pkt.header, pkt.payload, sampled);
+        apply_or_trace(memo_decision, pkt, sampled, 0);
         continue;
       }
       std::uint64_t lookup_start = 0;
@@ -195,7 +258,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
       }
       if (d) {
         ++stats_.fast_path;
-        apply_traced(*d, pkt.header, pkt.payload, sampled);
+        apply_or_trace(*d, pkt, sampled, 0);
         memo_key = key;
         memo_decision = std::move(*d);
         have_memo = true;
@@ -227,7 +290,9 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
       shed_packet(pkt, sampled);
       continue;
     }
-    in_flight_.emplace(token, std::move(pkt));
+    auto ptc = sampled_ctx(pkt.header);
+    in_flight_.emplace(token, pending{std::move(pkt), ptc.value_or(trace::trace_context{}),
+                                      ptc ? path_rec_->now() : 0});
     submitted = true;
   }
 
@@ -255,17 +320,50 @@ std::size_t pipe_terminus::pump() {
 void pipe_terminus::complete(slowpath_response resp) {
   auto it = in_flight_.find(resp.token);
   if (it == in_flight_.end()) return;  // spurious / duplicate token
-  packet pkt = std::move(it->second);
+  pending p = std::move(it->second);
   in_flight_.erase(it);
 
   for (auto& [key, value] : resp.cache_inserts) {
     cache_.insert(key, std::move(value));
   }
+
+  if (p.trace_start_ns != 0 && path_rec_ != nullptr) {
+    // The hop_slow span id is allocated up front so the service-generated
+    // sends (cached-content responses) can parent to it.
+    const std::uint64_t span_id = path_rec_->next_span_id();
+    trace::trace_context child = p.tc;
+    child.hop_count = static_cast<std::uint8_t>(p.tc.hop_count + 1);
+    child.parent_span = span_id;
+    for (outbound& o : resp.sends) {
+      if (!o.header.trace_ctx()) o.header.set_trace(child);
+      const std::uint64_t fstart = path_rec_->now();
+      forward_(o.to, o.header, o.payload);
+      ++stats_.forwarded;
+      path_rec_->emit(trace::path_span{
+          .trace_id = p.tc.trace_id,
+          .span_id = path_rec_->next_span_id(),
+          .parent_span = span_id,
+          .node = path_rec_->node(),
+          .connection = o.header.connection,
+          .service = o.header.service,
+          .hop_count = p.tc.hop_count,
+          .kind = trace::span_kind::forward,
+          .verdict = trace::kVerdictForward,
+          .annotations = 0,
+          .start_ns = fstart,
+          .duration_ns = path_rec_->now() - fstart,
+      });
+    }
+    apply_with_path(resp.verdict, p.pkt.header, p.pkt.payload, p.tc, resp.annotations,
+                    trace::span_kind::hop_slow, p.trace_start_ns, span_id);
+    return;
+  }
+
   for (const outbound& o : resp.sends) {
     forward_(o.to, o.header, o.payload);
     ++stats_.forwarded;
   }
-  apply(resp.verdict, pkt.header, pkt.payload);
+  apply(resp.verdict, p.pkt.header, p.pkt.payload);
 }
 
 void pipe_terminus::apply_traced(const decision& d, const ilp::ilp_header& header,

@@ -88,6 +88,13 @@ class pipe_terminus {
   // the per-packet telemetry cost is a couple of register increments.
   void enable_telemetry(metrics_registry& reg, trace::tracer* tracer);
 
+  // Cross-hop path tracing (ISSUE 5): packets whose sealed header carries
+  // a sampled trace context emit hop spans (fast path, slow path, shed,
+  // egress forward) into `rec`, and forwarded copies carry the context on
+  // with hop_count bumped and this hop's span as parent. Packets without a
+  // context — the overwhelming majority — pay one failed metadata lookup.
+  void enable_path_tracing(trace::path_recorder* rec) { path_rec_ = rec; }
+
   // Installs the degradation policy (see slowpath_policy).
   void set_slowpath_policy(slowpath_policy policy) { policy_ = policy; }
   const slowpath_policy& policy() const { return policy_; }
@@ -127,10 +134,36 @@ class pipe_terminus {
   void flush_telemetry();
 
  private:
+  // A slow-path packet parked until its response arrives; trace_start_ns
+  // is 0 unless the packet carries a sampled trace context, in which case
+  // the eventual hop_slow span covers submit → completed verdict.
+  struct pending {
+    packet pkt;
+    trace::trace_context tc{};
+    std::uint64_t trace_start_ns = 0;
+  };
+
   void apply(const decision& d, const ilp::ilp_header& header, const bytes& payload);
   // apply() plus sampled emit-stage timing and a ring capture.
   void apply_traced(const decision& d, const ilp::ilp_header& header, const bytes& payload,
                     bool sampled);
+  // Decodes a sampled trace context, if the packet carries one and path
+  // tracing is enabled.
+  std::optional<trace::trace_context> sampled_ctx(const ilp::ilp_header& header) const {
+    if (path_rec_ == nullptr) return std::nullopt;
+    auto tc = header.trace_ctx();
+    if (!tc || !tc->sampled()) return std::nullopt;
+    return tc;
+  }
+  // Fast-path verdict application: routes through the path-span emitter
+  // when the packet is traced, plain apply_traced otherwise.
+  void apply_or_trace(const decision& d, const packet& pkt, bool sampled, std::uint16_t anno);
+  // Applies `d` emitting one `kind` span (id `span_id`, covering
+  // start_ns → now) plus one forward span per egress copy; forwarded
+  // headers carry the context on with hop_count + 1.
+  void apply_with_path(const decision& d, const ilp::ilp_header& header, const bytes& payload,
+                       const trace::trace_context& tc, std::uint16_t anno,
+                       trace::span_kind kind, std::uint64_t start_ns, std::uint64_t span_id);
   void complete(slowpath_response resp);
   bool should_shed() const {
     return policy_.high_water > 0 && in_flight_.size() >= policy_.high_water;
@@ -151,7 +184,7 @@ class pipe_terminus {
   slowpath_channel& channel_;
   forward_fn forward_;
   std::function<void()> backpressure_hook_;
-  std::unordered_map<std::uint64_t, packet> in_flight_;
+  std::unordered_map<std::uint64_t, pending> in_flight_;
   std::uint64_t next_token_ = 1;
   terminus_stats stats_;
   terminus_stats flushed_;  // watermark of stats already in the metric handles
@@ -163,6 +196,7 @@ class pipe_terminus {
   static constexpr std::size_t kServiceSlots = 32;
   metrics_registry* reg_ = nullptr;
   trace::tracer* tracer_ = nullptr;
+  trace::path_recorder* path_rec_ = nullptr;
   counter* m_fast_ = nullptr;
   counter* m_slow_ = nullptr;
   counter* m_forwarded_ = nullptr;

@@ -32,12 +32,16 @@ slowpath_response to_response(std::uint64_t token, module_result result) {
 }
 
 service_node::worker_shard::worker_shard(std::size_t idx, const sn_config& cfg,
-                                         std::size_t cache_cap)
+                                         std::size_t cache_cap, const clock* clk)
     : index(idx),
       cache(cache_cap, cfg.cache_hash_seed),
       tracer(reg, trace::tracer::config{.hop = cfg.id,
                                         .sample_shift = cfg.trace_sample_shift,
                                         .ring_capacity = cfg.trace_ring_capacity}),
+      path_rec(trace::path_recorder::config{.node = cfg.id,
+                                            .sample_shift = cfg.trace_sample_shift,
+                                            .capacity = cfg.path_span_capacity,
+                                            .clk = clk}),
       ingress(cfg.shard_ring_depth),
       egress(cfg.shard_ring_depth) {
   m_rejected = &reg.get_counter("ilp.rx.rejected");
@@ -61,6 +65,10 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
       tracer_(metrics_, trace::tracer::config{.hop = config.id,
                                               .sample_shift = config.trace_sample_shift,
                                               .ring_capacity = config.trace_ring_capacity}),
+      path_rec_(trace::path_recorder::config{.node = config.id,
+                                             .sample_shift = config.trace_sample_shift,
+                                             .capacity = config.path_span_capacity,
+                                             .clk = &clk}),
       pipes_(
           config.id,
           [this](peer_id to, bytes datagram) { send_datagram_(to, std::move(datagram)); },
@@ -76,7 +84,14 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
         pipes_.send(to, header, payload);
       });
   terminus_->enable_telemetry(metrics_, &tracer_);
+  if (config_.path_span_capacity > 0) terminus_->enable_path_tracing(&path_rec_);
   pipes_.set_metrics(metrics_);
+  // Liveness transitions become node event spans the collector correlates
+  // with in-flight traces (a failover mid-trace shows up annotated, not as
+  // a dangling path).
+  pipes_.set_peer_status_hook([this](peer_id peer, bool up) {
+    if (!up) emit_node_event(trace::kAnnoPeerDown, peer);
+  });
   m_slowpath_expired_ = &metrics_.get_counter("sn.slowpath.expired");
   m_checkpoint_taken_ = &metrics_.get_counter("sn.checkpoint.taken");
   m_checkpoint_bytes_ = &metrics_.get_counter("sn.checkpoint.bytes");
@@ -147,7 +162,7 @@ void service_node::start_workers() {
   m_steered_.reserve(n);
   m_ingress_drops_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<worker_shard>(i, config_, cache_cap));
+    shards_.push_back(std::make_unique<worker_shard>(i, config_, cache_cap, &clock_));
     worker_shard& sh = *shards_[i];
     sh.terminus = std::make_unique<pipe_terminus>(
         sh.cache, hub_->endpoint(i),
@@ -168,6 +183,7 @@ void service_node::start_workers() {
         });
     sh.terminus->set_token_seed(slowpath_hub::token_seed(i));
     sh.terminus->enable_telemetry(sh.reg, &sh.tracer);
+    if (config_.path_span_capacity > 0) sh.terminus->enable_path_tracing(&sh.path_rec);
     sh.cache.set_clock(&clock_);
     {
       slowpath_policy pol;
@@ -622,7 +638,9 @@ slowpath_response service_node::handle_slowpath(slowpath_request req) {
     ++slowpath_expired_;
     m_slowpath_expired_->add();
     IE_LOG(debug) << "service_node" << kv("node", config_.id) << kv("drop", "deadline-expired");
-    return to_response(req.token, module_result::drop());
+    slowpath_response resp = to_response(req.token, module_result::drop());
+    resp.annotations |= trace::kAnnoDeadlineExpired;
+    return resp;
   }
   packet pkt;
   pkt.l3_src = req.l3_src;
@@ -633,7 +651,98 @@ slowpath_response service_node::handle_slowpath(slowpath_request req) {
     return to_response(req.token, module_result::drop());
   }
   pkt.payload = std::move(req.payload);
-  return to_response(req.token, env_->dispatch(pkt));
+  // Service-dispatch span for traced packets: the time a module spent on
+  // this request, distinct from the hop_slow span (which also covers ring
+  // queueing). Parented on the upstream span — the hop_slow span id is not
+  // allocated until the terminus completes the response.
+  std::uint64_t svc_start = 0;
+  trace::trace_context tc{};
+  if (config_.path_span_capacity > 0) {
+    if (auto t = pkt.header.trace_ctx(); t && t->sampled()) {
+      tc = *t;
+      svc_start = path_rec_.now();
+    }
+  }
+  slowpath_response resp = to_response(req.token, env_->dispatch(pkt));
+  if (svc_start != 0) {
+    path_rec_.emit(trace::path_span{
+        .trace_id = tc.trace_id,
+        .span_id = path_rec_.next_span_id(),
+        .parent_span = tc.parent_span,
+        .node = config_.id,
+        .connection = pkt.header.connection,
+        .service = pkt.header.service,
+        .hop_count = tc.hop_count,
+        .kind = trace::span_kind::service,
+        .verdict = resp.verdict.kind == decision::verdict::forward    ? trace::kVerdictForward
+                   : resp.verdict.kind == decision::verdict::drop     ? trace::kVerdictDrop
+                                                                      : trace::kVerdictDeliver,
+        .annotations = resp.annotations,
+        .start_ns = svc_start,
+        .duration_ns = path_rec_.now() - svc_start,
+    });
+  }
+  return resp;
+}
+
+void service_node::emit_node_event(std::uint16_t annotations, std::uint64_t correlate) {
+  if (config_.path_span_capacity == 0) return;
+  const std::uint64_t now = path_rec_.now();
+  path_rec_.emit(trace::path_span{
+      .trace_id = 0,  // node event: correlated by time, not trace id
+      .span_id = path_rec_.next_span_id(),
+      .parent_span = 0,
+      .node = config_.id,
+      .connection = correlate,
+      .service = 0,
+      .hop_count = 0,
+      .kind = trace::span_kind::event,
+      .verdict = trace::kVerdictNone,
+      .annotations = annotations,
+      .start_ns = now,
+      .duration_ns = 0,
+  });
+}
+
+std::size_t service_node::drain_path_spans(std::vector<trace::path_span>& out) {
+  std::size_t total = 0;
+  for (std::size_t n = path_rec_.drain(out); n > 0; n = path_rec_.drain(out)) total += n;
+  for (auto& sh : shards_) {
+    for (std::size_t n = sh->path_rec.drain(out); n > 0; n = sh->path_rec.drain(out)) total += n;
+  }
+  return total;
+}
+
+std::string service_node::export_trace_json(std::size_t limit) {
+  span_drain_scratch_.clear();
+  drain_path_spans(span_drain_scratch_);
+  collector_.ingest(std::span<const trace::path_span>(span_drain_scratch_));
+  return collector_.export_json(limit);
+}
+
+void service_node::start_observability_push(nanoseconds interval, observe_sink sink,
+                                            std::uint64_t max_pushes) {
+  observe_running_ = true;
+  schedule_observe_tick(interval, std::make_shared<observe_sink>(std::move(sink)), max_pushes);
+}
+
+void service_node::schedule_observe_tick(nanoseconds interval, std::shared_ptr<observe_sink> sink,
+                                         std::uint64_t remaining) {
+  scheduler_(interval, [this, interval, sink, remaining] {
+    if (!observe_running_) return;
+    metrics_registry merged;
+    merge_metrics_into(merged);
+    span_drain_scratch_.clear();
+    drain_path_spans(span_drain_scratch_);
+    const std::span<const trace::path_span> spans(span_drain_scratch_);
+    collector_.ingest(spans);  // the local dump stays current too
+    (*sink)(merged, spans);
+    if (remaining == 1) {
+      observe_running_ = false;
+      return;
+    }
+    schedule_observe_tick(interval, sink, remaining == 0 ? 0 : remaining - 1);
+  });
 }
 
 // ---- fault-tolerant lifecycle (DESIGN.md §10) -------------------------
@@ -666,6 +775,9 @@ void service_node::restore_full(const_byte_span snapshot) {
   if (version != 1) throw serial_error("service_node checkpoint: unknown version");
   env_->restore(r.blob());
   cache_.restore_warm(r.blob(), clock_.now());
+  // A standby restoring a peer's state is a takeover: traces that cross
+  // this node around now get the failover annotation folded in.
+  emit_node_event(trace::kAnnoFailover, config_.id);
 }
 
 void service_node::start_checkpointing(nanoseconds interval, std::function<void(bytes)> sink,

@@ -46,6 +46,7 @@
 #include "common/metrics.h"
 #include "common/ring.h"
 #include "common/trace.h"
+#include "common/trace_collector.h"
 #include "core/channel.h"
 #include "core/decision_cache.h"
 #include "core/exec_env.h"
@@ -64,6 +65,10 @@ struct sn_config {
   // per-packet trace ring (stage histograms are always on; see DESIGN §8).
   std::uint32_t trace_sample_shift = 8;
   std::size_t trace_ring_capacity = 512;
+  // Cross-hop path tracing (ISSUE 5): ring slots for the per-shard path
+  // span recorders. 0 disables span emission entirely (packets still carry
+  // any trace context they arrived with — it is ordinary sealed metadata).
+  std::size_t path_span_capacity = 1024;
   // Multi-core datapath. 0 = inline single-threaded SN (unchanged);
   // N > 0 spawns N worker shards fed by flow steering.
   std::size_t workers = 0;
@@ -153,6 +158,35 @@ class service_node final : public node_services {
   const terminus_stats& datapath_stats() const { return terminus_->stats(); }
   trace::tracer& packet_tracer() { return tracer_; }
 
+  // ---- cross-hop path tracing (ISSUE 5) ----
+
+  // The control-thread recorder (inline terminus, service dispatch, node
+  // events). Shard termini own private recorders drained alongside it.
+  trace::path_recorder& path_recorder() { return path_rec_; }
+
+  // Appends every span buffered in the control and shard recorders to
+  // `out`; returns how many were drained. Control-thread only (each ring
+  // is SPSC with this thread as the consumer).
+  std::size_t drain_path_spans(std::vector<trace::path_span>& out);
+
+  // The node-local collector fed by export_trace_json() and the
+  // observability push; mostly useful to tests and introspection tooling.
+  trace::trace_collector& traces() { return collector_; }
+
+  // Drains pending spans into the local collector and returns its JSON
+  // path-trace dump (newest first, `limit` 0 = all retained traces).
+  std::string export_trace_json(std::size_t limit = 0);
+
+  // Observability push (edomain plane): every `interval` the node merges
+  // its metric registries and drains its span recorders, handing both to
+  // `sink` (domain_core's observability plane, a test, a file writer).
+  // max_pushes == 0 runs until stop_observability_push().
+  using observe_sink =
+      std::function<void(const metrics_registry& merged, std::span<const trace::path_span> spans)>;
+  void start_observability_push(nanoseconds interval, observe_sink sink,
+                                std::uint64_t max_pushes = 0);
+  void stop_observability_push() { observe_running_ = false; }
+
   // Multi-core introspection (parallel mode; see wait_idle for when the
   // worker-owned state is safe to read).
   std::size_t worker_count() const { return shards_.size(); }
@@ -188,7 +222,10 @@ class service_node final : public node_services {
   // Rekey schedule hook. In parallel mode the fresh receive contexts are
   // replicated to every shard before any packet sealed under them can be
   // steered (the replicas ride the FIFO ingress rings).
-  void rotate_keys() { pipes_.rotate_all(); }
+  void rotate_keys() {
+    pipes_.rotate_all();
+    emit_node_event(trace::kAnnoRekey, config_.id);
+  }
 
   // Fault-tolerance: checkpoint covers service-module state and off-path
   // storage. The decision cache is deliberately NOT checkpointed — it is
@@ -239,12 +276,14 @@ class service_node final : public node_services {
   };
 
   struct worker_shard {
-    worker_shard(std::size_t index, const sn_config& cfg, std::size_t cache_cap);
+    worker_shard(std::size_t index, const sn_config& cfg, std::size_t cache_cap,
+                 const clock* clk);
 
     std::size_t index;
     decision_cache cache;     // private: only this shard's thread touches it
     metrics_registry reg;     // merged into the global view on exposition
     trace::tracer tracer;
+    trace::path_recorder path_rec;  // worker produces, control drains (SPSC)
     spsc_ring<shard_msg> ingress;  // control -> worker
     spsc_ring<outbound> egress;    // worker -> control (forwards)
     // Worker-private spill for a momentarily full egress ring: the worker
@@ -287,6 +326,12 @@ class service_node final : public node_services {
   };
 
   slowpath_response handle_slowpath(slowpath_request req);
+  // Emits a trace_id == 0 node event span (peer-down, failover, rekey) the
+  // collector time-correlates with traces crossing this node. No-op with
+  // path tracing disabled.
+  void emit_node_event(std::uint16_t annotations, std::uint64_t correlate);
+  void schedule_observe_tick(nanoseconds interval, std::shared_ptr<observe_sink> sink,
+                             std::uint64_t remaining);
   void schedule_stats_tick(nanoseconds interval,
                            std::shared_ptr<std::function<void(const std::string&)>> sink,
                            std::uint64_t remaining);
@@ -315,11 +360,14 @@ class service_node final : public node_services {
   decision_cache cache_;
   metrics_registry metrics_;
   trace::tracer tracer_;
+  trace::path_recorder path_rec_;
+  trace::trace_collector collector_;
   stats_reporter stats_reporter_;
   bool stats_running_ = false;
   bool have_snapshot_ = false;
   bool liveness_running_ = false;
   bool checkpoint_running_ = false;
+  bool observe_running_ = false;
   std::uint64_t slowpath_expired_ = 0;
   counter* m_slowpath_expired_ = nullptr;
   counter* m_checkpoint_taken_ = nullptr;
@@ -340,6 +388,7 @@ class service_node final : public node_services {
   std::vector<counter*> m_ingress_drops_;  // sn.shard.ingress_drops{shard=k}
 
   // Batch-path scratch, reused across calls.
+  std::vector<trace::path_span> span_drain_scratch_;
   std::vector<packet> batch_scratch_;
   std::vector<const_byte_span> span_scratch_;
   std::vector<ilp::flow_peek> peek_scratch_;

@@ -26,7 +26,9 @@ peer_id deployment::add_sn(edomain_id domain) {
       core::sn_config{.id = node,
                       .edomain = domain,
                       .cache_capacity = config_.cache_capacity,
-                      .cache_hash_seed = id_rng_.next()},
+                      .cache_hash_seed = id_rng_.next(),
+                      .path_span_capacity = config_.sn_path_span_capacity,
+                      .keepalive_interval = config_.sn_keepalive_interval},
       net_.sim_clock(),
       [this, node](peer_id to, bytes datagram) {
         net_.send(node, static_cast<sim::node_id>(to), std::move(datagram));
@@ -67,6 +69,8 @@ host::host_stack& deployment::add_host(edomain_id domain, peer_id sn,
   cfg.first_hop_sn = sn;
   cfg.fallback_sns = fallback_sns;
   cfg.allow_direct = config_.hosts_allow_direct;
+  cfg.path_span_capacity = config_.host_path_span_capacity;
+  cfg.trace_sample_shift = config_.trace_sample_shift;
   auto stack = std::make_unique<host::host_stack>(
       cfg, net_.sim_clock(),
       [this, node](peer_id to, bytes datagram) {
@@ -131,7 +135,15 @@ void deployment::interconnect() {
   });
 
   interconnected_ = true;
-  net_.run();  // let the peering handshakes complete
+  if (config_.sn_keepalive_interval.count() > 0) {
+    // Recurring keepalive ticks keep the event queue non-empty forever, so
+    // an unbounded run() would spin the clock deep into simulated time and
+    // strand everything the caller schedules afterwards. A few link RTTs
+    // is enough for the peering handshakes to settle.
+    net_.run_until(net_.now() + std::chrono::milliseconds(5));
+  } else {
+    net_.run();  // let the peering handshakes complete
+  }
 }
 
 void deployment::deploy_service(const module_factory& factory) {

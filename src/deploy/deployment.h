@@ -35,6 +35,16 @@ struct deployment_config {
   bool direct_interdomain = false;
   std::size_t cache_capacity = 4096;
   bool hosts_allow_direct = true;
+
+  // ---- cross-hop path tracing (ISSUE 5) ----
+  // Origin sampling at the hosts: 1 in 2^shift sends. 0 traces every send
+  // (deterministic tests); host_path_span_capacity 0 disables origination.
+  std::uint32_t trace_sample_shift = 8;
+  std::size_t host_path_span_capacity = 0;
+  std::size_t sn_path_span_capacity = 1024;
+  // Pipe keepalives for the SNs (0 = liveness off, the default): needed by
+  // topologies that want peer-down / failover events in their traces.
+  nanoseconds sn_keepalive_interval{0};
 };
 
 struct host_identity {

@@ -5,6 +5,14 @@ namespace interedge::edomain {
 domain_core::domain_core(edomain_id id, lookup::lookup_service& global)
     : id_(id), global_(global) {}
 
+observability_plane& domain_core::observability() {
+  if (!observability_) {
+    observability_ =
+        std::make_unique<observability_plane>(observability_plane::config{.domain = id_});
+  }
+  return *observability_;
+}
+
 void domain_core::set_gateway(edomain_id remote, peer_id local_gateway, peer_id remote_gateway) {
   gateways_[remote] = {local_gateway, remote_gateway};
 }

@@ -17,11 +17,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "edomain/observability.h"
 #include "ilp/header.h"
 #include "lookup/lookup_service.h"
 
@@ -37,6 +39,13 @@ class domain_core {
   edomain_id id() const { return id_; }
   lookup::lookup_service& global() { return global_; }
   const lookup::lookup_service& global() const { return global_; }
+
+  // ---- observability plane (ISSUE 5) ----
+  // Per-SN metric snapshots and path spans land here via each SN's
+  // observability push (service_node::start_observability_push wired to
+  // observability().ingest). Lazily constructed, so edomains that never
+  // push pay nothing.
+  observability_plane& observability();
 
   // ---- SN registry ----
   void add_sn(peer_id sn) { sns_.insert(sn); }
@@ -89,6 +98,7 @@ class domain_core {
   std::map<std::string, std::set<edomain_id>> remote_members_;
   std::map<std::string, std::set<peer_id>> senders_;
   std::map<std::string, std::map<peer_id, member_watch>> watches_;
+  std::unique_ptr<observability_plane> observability_;
 };
 
 }  // namespace interedge::edomain

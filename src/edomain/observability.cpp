@@ -1,0 +1,99 @@
+#include "edomain/observability.h"
+
+#include <sstream>
+
+namespace interedge::edomain {
+
+namespace {
+
+constexpr std::uint16_t kErrorMask =
+    trace::kAnnoShed | trace::kAnnoDrop | trace::kAnnoDeadlineExpired;
+
+}  // namespace
+
+observability_plane::observability_plane(config cfg)
+    : cfg_(cfg), collector_(cfg.max_traces) {}
+
+observability_plane::rollup_entry& observability_plane::entry_for(ilp::service_id service,
+                                                                  ilp::peer_id node) {
+  auto it = rollups_.find({service, node});
+  if (it != rollups_.end()) return it->second;
+  const label_list labels{{"node", std::to_string(node)},
+                          {"service", ilp::svc::name(service)}};
+  rollup_entry e;
+  e.hop_ns = &rollup_reg_.get_histogram("edomain.hop.ns", labels);
+  e.spans = &rollup_reg_.get_counter("edomain.hop.spans", labels);
+  e.errors = &rollup_reg_.get_counter("edomain.hop.errors", labels);
+  return rollups_.emplace(std::make_pair(service, node), e).first->second;
+}
+
+void observability_plane::ingest(ilp::peer_id node, const metrics_registry& snapshot,
+                                 std::span<const trace::path_span> spans) {
+  std::lock_guard lk(mu_);
+  ++pushes_;
+  // Replace-on-push: the snapshot is cumulative (counters are monotone),
+  // so the latest one is the node's whole story.
+  auto fresh = std::make_unique<metrics_registry>();
+  fresh->merge_from(snapshot);
+  node_metrics_[node] = std::move(fresh);
+  for (const trace::path_span& s : spans) {
+    if (s.trace_id == 0) continue;  // node events roll up via the collector
+    if (s.kind == trace::span_kind::forward) continue;  // sub-span of its hop
+    rollup_entry& e = entry_for(s.service, s.node);
+    e.hop_ns->record(s.duration_ns);
+    e.spans->add();
+    if ((s.annotations & kErrorMask) != 0) e.errors->add();
+  }
+  collector_.ingest(spans);
+}
+
+observability_plane::hop_rollup observability_plane::rollup(ilp::service_id service,
+                                                            ilp::peer_id node) const {
+  std::lock_guard lk(mu_);
+  hop_rollup r;
+  auto it = rollups_.find({service, node});
+  if (it == rollups_.end()) return r;
+  r.spans = it->second.spans->value();
+  r.errors = it->second.errors->value();
+  r.p50_ns = it->second.hop_ns->quantile(0.5);
+  r.p99_ns = it->second.hop_ns->quantile(0.99);
+  return r;
+}
+
+std::string observability_plane::export_prometheus() {
+  std::lock_guard lk(mu_);
+  metrics_registry merged;
+  merged.merge_from(rollup_reg_);
+  for (const auto& [node, reg] : node_metrics_) merged.merge_from(*reg);
+  return merged.export_prometheus();
+}
+
+std::string observability_plane::export_json(std::size_t limit) {
+  return collector_.export_json(limit);
+}
+
+std::string observability_plane::render_top(std::size_t limit) {
+  std::ostringstream os;
+  {
+    std::lock_guard lk(mu_);
+    os << "edomain " << cfg_.domain << " observability: " << node_metrics_.size()
+       << " nodes, " << pushes_ << " pushes\n";
+    os << "  service        node        spans   errors   p50(us)   p99(us)\n";
+    for (const auto& [key, e] : rollups_) {
+      const auto& [service, node] = key;
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-14s %-11llu %-7llu %-8llu %-9.1f %-9.1f\n",
+                    ilp::svc::name(service),
+                    static_cast<unsigned long long>(node),
+                    static_cast<unsigned long long>(e.spans->value()),
+                    static_cast<unsigned long long>(e.errors->value()),
+                    static_cast<double>(e.hop_ns->quantile(0.5)) / 1e3,
+                    static_cast<double>(e.hop_ns->quantile(0.99)) / 1e3);
+      os << line;
+    }
+  }
+  os << collector_.render_text(limit);
+  return os.str();
+}
+
+}  // namespace interedge::edomain

@@ -1,0 +1,88 @@
+// Edomain observability plane (ISSUE 5).
+//
+// The paper's edomain core already hosts the SDN-like management plane
+// (§6); this extends it with the observability half: every SN in the
+// edomain periodically pushes (a) a merged snapshot of its metric
+// registries and (b) the path spans it buffered since the last push
+// (service_node::start_observability_push). The plane keeps the latest
+// snapshot per SN, reassembles cross-hop path traces in an edomain-wide
+// collector, and folds span durations into per-(service, node) rollups —
+// p50/p99 hop latency and an error budget (the fraction of traced hops
+// that shed, dropped or aged out).
+//
+// Exposition mirrors the SN's own: Prometheus text (rollups plus every
+// node's counters, node-labelled), a JSON path-trace dump, and an
+// ie_top-style text renderer for humans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "common/trace_collector.h"
+#include "ilp/header.h"
+#include "lookup/lookup_service.h"
+
+namespace interedge::edomain {
+
+class observability_plane {
+ public:
+  struct config {
+    lookup::edomain_id domain = 0;
+    // Bound on retained traces (and, transitively, correlated events) in
+    // the edomain collector.
+    std::size_t max_traces = 1024;
+  };
+  explicit observability_plane(config cfg);
+
+  // One SN push: replaces `node`'s metric snapshot and ingests its spans
+  // into the collector and the rollups. Runs on the pushing SN's control
+  // thread; the plane serializes internally.
+  void ingest(ilp::peer_id node, const metrics_registry& snapshot,
+              std::span<const trace::path_span> spans);
+
+  // The edomain-wide trace collector (tests and tooling read it directly).
+  trace::trace_collector& traces() { return collector_; }
+
+  std::uint64_t pushes() const { return pushes_; }
+  std::size_t nodes() const { return node_metrics_.size(); }
+
+  // Rollup readout for one (service, node) pair; zeros if never seen.
+  struct hop_rollup {
+    std::uint64_t spans = 0;
+    std::uint64_t errors = 0;  // shed / drop / deadline-expired hops
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p99_ns = 0;
+  };
+  hop_rollup rollup(ilp::service_id service, ilp::peer_id node) const;
+
+  // Merged Prometheus exposition: rollup families (edomain.hop.*) plus
+  // every node's latest snapshot, all additively merged.
+  std::string export_prometheus();
+  // JSON path-trace dump (trace_collector::export_json).
+  std::string export_json(std::size_t limit = 0);
+  // Human-readable summary: rollup table + recent traces.
+  std::string render_top(std::size_t limit = 8);
+
+ private:
+  struct rollup_entry {
+    histogram* hop_ns = nullptr;
+    counter* spans = nullptr;
+    counter* errors = nullptr;
+  };
+  rollup_entry& entry_for(ilp::service_id service, ilp::peer_id node);
+
+  config cfg_;
+  mutable std::mutex mu_;
+  std::uint64_t pushes_ = 0;
+  std::map<ilp::peer_id, std::unique_ptr<metrics_registry>> node_metrics_;
+  metrics_registry rollup_reg_;
+  std::map<std::pair<ilp::service_id, ilp::peer_id>, rollup_entry> rollups_;
+  trace::trace_collector collector_;
+};
+
+}  // namespace interedge::edomain

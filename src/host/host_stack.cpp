@@ -36,6 +36,15 @@ host_stack::host_stack(host_config config, const clock& clk, send_datagram_fn se
           config.addr, [s = std::move(send)](peer_id to, bytes d) { s(to, std::move(d)); },
           [this](peer_id from, const ilp::ilp_header& header, bytes payload) {
             ++received_;
+            // Terminal deliver span: closes the trace the origin opened.
+            std::uint64_t trace_start = 0;
+            trace::trace_context tc{};
+            if (path_rec_ != nullptr) {
+              if (auto t = header.trace_ctx(); t && t->sampled()) {
+                tc = *t;
+                trace_start = path_rec_->now();
+              }
+            }
             const bool is_control = (header.flags & ilp::kFlagControl) != 0;
             auto& handlers = is_control ? control_handlers_ : service_handlers_;
             auto it = handlers.find(header.service);
@@ -47,8 +56,32 @@ host_stack::host_stack(host_config config, const clock& clk, send_datagram_fn se
               IE_LOG(debug) << "host " << config_.addr << ": unhandled packet from " << from
                             << " service " << header.service;
             }
+            if (trace_start != 0) {
+              path_rec_->emit(trace::path_span{
+                  .trace_id = tc.trace_id,
+                  .span_id = path_rec_->next_span_id(),
+                  .parent_span = tc.parent_span,
+                  .node = config_.addr,
+                  .connection = header.connection,
+                  .service = header.service,
+                  .hop_count = tc.hop_count,
+                  .kind = trace::span_kind::deliver,
+                  .verdict = trace::kVerdictDeliver,
+                  .annotations = 0,
+                  .start_ns = trace_start,
+                  .duration_ns = path_rec_->now() - trace_start,
+              });
+            }
           }),
-      conn_rng_(config.connection_seed != 0 ? config.connection_seed : config.addr * 0x9e3779b9ull + 1) {}
+      conn_rng_(config.connection_seed != 0 ? config.connection_seed : config.addr * 0x9e3779b9ull + 1) {
+  if (config_.path_span_capacity > 0) {
+    path_rec_ = std::make_unique<trace::path_recorder>(
+        trace::path_recorder::config{.node = config_.addr,
+                                     .sample_shift = config_.trace_sample_shift,
+                                     .capacity = config_.path_span_capacity,
+                                     .clk = &clk});
+  }
+}
 
 void host_stack::on_datagram(peer_id from, const_byte_span datagram) {
   pipes_.on_datagram(from, datagram);
@@ -120,10 +153,49 @@ bool host_stack::switch_to_fallback() {
   return true;
 }
 
-void host_stack::send_packet(peer_id via, const ilp::ilp_header& header, bytes payload) {
+void host_stack::send_packet(peer_id via, ilp::ilp_header header, bytes payload) {
   ++sent_;
+  // Origin of a path trace: the sampling decision is made exactly once,
+  // here; the sampled bit rides the sealed context to every hop. A header
+  // that already carries a context (a client relaying a traced packet) is
+  // left alone — traces have one origin.
+  if (path_rec_ != nullptr && !header.trace_ctx() && path_rec_->sample_tick()) {
+    const std::uint64_t trace_id = path_rec_->new_trace_id();
+    const std::uint64_t span_id = path_rec_->next_span_id();
+    const std::uint64_t start = path_rec_->now();
+    trace::trace_context ctx;
+    ctx.trace_id = trace_id;
+    ctx.parent_span = span_id;
+    ctx.hop_count = 1;  // the first SN emits at hop 1; origin is hop 0
+    ctx.flags = trace::kTraceCtxSampled;
+    header.set_trace(ctx);
+    pipes_.send(via, header, std::move(payload));
+    arm_handshake_retry();
+    path_rec_->emit(trace::path_span{
+        .trace_id = trace_id,
+        .span_id = span_id,
+        .parent_span = 0,
+        .node = config_.addr,
+        .connection = header.connection,
+        .service = header.service,
+        .hop_count = 0,
+        .kind = trace::span_kind::origin,
+        .verdict = trace::kVerdictForward,
+        .annotations = 0,
+        .start_ns = start,
+        .duration_ns = path_rec_->now() - start,
+    });
+    return;
+  }
   pipes_.send(via, header, std::move(payload));
   arm_handshake_retry();
+}
+
+std::size_t host_stack::drain_path_spans(std::vector<trace::path_span>& out) {
+  if (path_rec_ == nullptr) return 0;
+  std::size_t total = 0;
+  for (std::size_t n = path_rec_->drain(out); n > 0; n = path_rec_->drain(out)) total += n;
+  return total;
 }
 
 void host_stack::arm_handshake_retry() {

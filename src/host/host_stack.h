@@ -25,6 +25,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "ilp/pipe_manager.h"
 #include "lookup/lookup_service.h"
 
@@ -41,6 +42,13 @@ struct host_config {
   // same first-hop SN exchange packets directly over ILP.
   bool allow_direct = true;
   std::uint64_t connection_seed = 0;  // 0 = derived from addr
+
+  // Cross-hop path tracing (ISSUE 5). The host is where the sampling
+  // decision is made — once, at the origin; every SN on the path honors
+  // the sampled bit it finds in the sealed context. path_span_capacity 0
+  // (the default) disables origination entirely.
+  std::size_t path_span_capacity = 0;
+  std::uint32_t trace_sample_shift = 8;  // sample 1 in 2^shift sends
 };
 
 // A point-to-point conversation using one InterEdge service. "There is no
@@ -127,12 +135,17 @@ class host_stack {
   std::uint64_t direct_sends() const { return direct_sends_; }
   std::uint64_t handshake_retries() const { return handshake_retries_; }
 
+  // Path tracing: null unless host_config::path_span_capacity > 0.
+  trace::path_recorder* path_recorder() { return path_rec_.get(); }
+  // Appends buffered origin/deliver spans to `out`; returns the count.
+  std::size_t drain_path_spans(std::vector<trace::path_span>& out);
+
  private:
   friend class connection;
   // Lost handshakes (and the packets queued behind them) are recovered by
   // a periodic retry while any handshake is outstanding.
   static constexpr int kHandshakeRetryMs = 500;
-  void send_packet(peer_id via, const ilp::ilp_header& header, bytes payload);
+  void send_packet(peer_id via, ilp::ilp_header header, bytes payload);
   void arm_handshake_retry();
   // Picks the first hop for a destination, applying the direct-path rule.
   peer_id route_first_hop(edge_addr dest, peer_id override_sn);
@@ -143,6 +156,7 @@ class host_stack {
   const lookup::lookup_service* directory_;
   ilp::pipe_manager pipes_;
   rng conn_rng_;
+  std::unique_ptr<trace::path_recorder> path_rec_;
   receive_handler default_handler_;
   std::map<ilp::service_id, receive_handler> service_handlers_;
   std::map<ilp::service_id, receive_handler> control_handlers_;

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/trace_context.h"
 
 namespace interedge {
 class writer;
@@ -71,6 +72,10 @@ enum class meta_key : std::uint16_t {
   service_data = 5,    // opaque service-specific blob
   control_op = 6,      // control-plane operation name
   reply_to = 7,        // u64: address control replies should target
+  trace_ctx = 8,       // cross-hop trace context (common/trace_context.h);
+                       // versioned — un-upgraded peers ignore it like any
+                       // unknown TLV key, upgraded peers ignore unknown
+                       // versions
 };
 
 struct ilp_header {
@@ -92,6 +97,17 @@ struct ilp_header {
   std::optional<const_byte_span> meta(meta_key key) const;
   std::optional<std::uint64_t> meta_u64(meta_key key) const;
   std::optional<std::string> meta_str(meta_key key) const;
+
+  // Trace-context carriage (ISSUE 5). Only sampled packets carry one, so
+  // trace_ctx() on the common path is a single failed map lookup.
+  void set_trace(const trace::trace_context& ctx) {
+    metadata[static_cast<std::uint16_t>(meta_key::trace_ctx)] = ctx.encode();
+  }
+  std::optional<trace::trace_context> trace_ctx() const {
+    const auto raw = meta(meta_key::trace_ctx);
+    if (!raw) return std::nullopt;
+    return trace::trace_context::decode(*raw);
+  }
 
   bool operator==(const ilp_header&) const = default;
 };

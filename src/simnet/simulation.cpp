@@ -143,23 +143,33 @@ std::vector<fault_event> simulation::parse_fault_schedule(const std::string& tex
 
 // ---- datagram transport ------------------------------------------------
 
+simulation::link_stats simulation::stats_between(node_id from, node_id to) const {
+  auto it = link_stats_.find({from, to});
+  return it != link_stats_.end() ? it->second : link_stats{};
+}
+
 bool simulation::send(node_id from, node_id to, bytes payload) {
   if (to >= nodes_.size()) throw std::out_of_range("simulation::send: unknown destination");
   ++sent_;
   bytes_sent_ += payload.size();
+  link_stats& ls = link_stats_[{from, to}];
+  ++ls.sent;
   const link_properties& link = link_between(from, to);
 
   if (!node_up_[from] || !node_up_[to] || partitioned(from, to)) {
     ++dropped_;
     ++dropped_faults_;
+    ++ls.dropped;
     return false;
   }
   if (payload.size() > link.mtu) {
     ++dropped_;
+    ++ls.dropped;
     return false;
   }
   if (link.loss_rate > 0.0 && rng_.chance(link.loss_rate)) {
     ++dropped_;
+    ++ls.dropped;
     return false;
   }
 
@@ -187,12 +197,15 @@ bool simulation::send(node_id from, node_id to, bytes payload) {
   auto deliver = [this, from, to](const bytes& p) {
     // A partition raised — or a crash injected — while the datagram was in
     // flight still swallows it.
+    link_stats& stats = link_stats_[{from, to}];
     if (!node_up_[to] || partitioned(from, to)) {
       ++dropped_;
       ++dropped_faults_;
+      ++stats.dropped;
       return;
     }
     ++delivered_;
+    ++stats.delivered;
     if (tap_) tap_(from, to, p);
     if (nodes_[to]) nodes_[to](from, p);
   };

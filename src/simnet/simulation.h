@@ -138,6 +138,16 @@ class simulation {
   bool step();
   bool idle() const { return queue_.empty(); }
 
+  // Per-directed-pair accounting (ISSUE 5): lets observability tests
+  // attribute a trace's wire gaps to the link that actually carried — or
+  // swallowed — the packet. Zeros for pairs that never exchanged one.
+  struct link_stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+  };
+  link_stats stats_between(node_id from, node_id to) const;
+
   // Counters for assertions.
   std::uint64_t datagrams_sent() const { return sent_; }
   std::uint64_t datagrams_delivered() const { return delivered_; }
@@ -192,6 +202,7 @@ class simulation {
   std::uint64_t reordered_ = 0;
   std::uint64_t faults_applied_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::map<std::pair<node_id, node_id>, link_stats> link_stats_;  // directed
   std::function<void(node_id, node_id, const bytes&)> tap_;
 };
 

@@ -185,6 +185,25 @@ void tunnel_endpoint::derive_transport(const crypto::x25519_key& chain, bool ini
   }
   send_counter_ = 0;
   established_ = true;
+  if (path_rec_ != nullptr) {
+    // Rekey window marker: the collector folds this into traces crossing
+    // the peering link around now.
+    const std::uint64_t now = path_rec_->now();
+    path_rec_->emit(trace::path_span{
+        .trace_id = 0,
+        .span_id = path_rec_->next_span_id(),
+        .parent_span = 0,
+        .node = path_rec_->node(),
+        .connection = stats_.handshakes,
+        .service = 0,
+        .hop_count = 0,
+        .kind = trace::span_kind::event,
+        .verdict = trace::kVerdictNone,
+        .annotations = trace::kAnnoRekey,
+        .start_ns = now,
+        .duration_ns = 0,
+    });
+  }
 }
 
 bytes tunnel_endpoint::seal(const_byte_span plaintext) {
@@ -256,6 +275,13 @@ tunnel_fleet::tunnel_fleet(std::size_t count, nanoseconds rotation_interval, std
     s.next_rekey = time_point(nanoseconds(
         static_cast<std::int64_t>(r.below(static_cast<std::uint64_t>(interval_.count())))));
     tunnels_.push_back(std::move(s));
+  }
+}
+
+void tunnel_fleet::enable_tracing(trace::path_recorder* rec) {
+  for (slot& s : tunnels_) {
+    s.pair->a().enable_tracing(rec);
+    s.pair->b().enable_tracing(rec);
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/trace.h"
 #include "crypto/aead.h"
 #include "crypto/x25519.h"
 
@@ -54,6 +55,11 @@ class tunnel_endpoint {
 
   bool established() const { return established_; }
 
+  // Path-trace correlation (ISSUE 5): with a recorder installed, every
+  // completed handshake emits a kAnnoRekey node event span, so traces
+  // crossing a peering link during a rekey window carry the annotation.
+  void enable_tracing(trace::path_recorder* rec) { path_rec_ = rec; }
+
   // ---- transport ----
   // counter-nonce AEAD; 16-byte tag + 8-byte counter overhead.
   bytes seal(const_byte_span plaintext);
@@ -72,6 +78,7 @@ class tunnel_endpoint {
   std::uint64_t send_counter_ = 0;
   bool established_ = false;
   tunnel_stats stats_;
+  trace::path_recorder* path_rec_ = nullptr;
 };
 
 // A tunnel pair driven in-process (both ends on this machine), as the
@@ -107,6 +114,9 @@ class tunnel_fleet {
   std::size_t size() const { return tunnels_.size(); }
   std::uint64_t total_rekeys() const { return total_rekeys_; }
   std::uint64_t total_handshake_bytes() const { return total_bytes_; }
+
+  // Installs `rec` on every endpoint (see tunnel_endpoint::enable_tracing).
+  void enable_tracing(trace::path_recorder* rec);
 
  private:
   struct slot {

@@ -244,6 +244,22 @@ TEST(MetricsRegistry, ExportPrometheusShape) {
   EXPECT_EQ(out.find("sn.stage.decrypt"), std::string::npos);
 }
 
+TEST(MetricsRegistry, ExportPrometheusEscapesLabelValues) {
+  // Regression (ISSUE 5 satellite): backslash, double-quote and newline in
+  // a label VALUE must escape as \\, \" and \n — previously they leaked
+  // through raw and produced malformed exposition text.
+  metrics_registry reg;
+  reg.get_counter("sn.rx.pkts", {{"service", "a\\b\"c\nd"}}).add(1);
+  const std::string out = reg.export_prometheus();
+  EXPECT_NE(out.find("sn_rx_pkts{service=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos);
+  // No raw newline may survive inside the braces: every '\n' in the output
+  // must terminate a complete exposition line, not split a label value.
+  for (std::size_t pos = out.find('\n'); pos != std::string::npos && pos + 1 < out.size();
+       pos = out.find('\n', pos + 1)) {
+    EXPECT_TRUE(out[pos + 1] == '#' || out[pos + 1] == 's') << "line split at " << pos;
+  }
+}
+
 TEST(MetricsRegistry, ExportJsonShape) {
   metrics_registry reg;
   reg.get_counter("sn.rx.pkts", {{"service", "odns"}}).add(4);

@@ -139,6 +139,118 @@ TEST(Tracer, DumpIsHumanReadable) {
   EXPECT_NE(out.find("verdict=X"), std::string::npos);
 }
 
+TEST(Tracer, WrapBetweenExportsCountsDroppedRecords) {
+  metrics_registry reg;
+  tracer t(reg, tracer::config{.ring_capacity = 4});
+  for (std::uint64_t i = 0; i < 4; ++i) t.capture(stage::cache, i, 10);
+  t.recent();
+  EXPECT_EQ(t.dropped_records(), 0u);
+  // 10 captures since the last export against 4 slots: 6 records wrapped
+  // out unread, and the export must say so instead of truncating silently.
+  for (std::uint64_t i = 0; i < 10; ++i) t.capture(stage::cache, i, 10);
+  t.recent();
+  EXPECT_EQ(t.dropped_records(), 6u);
+  // An in-capacity burst accrues nothing further (cumulative counter).
+  t.capture(stage::cache, 0, 10);
+  t.recent();
+  EXPECT_EQ(t.dropped_records(), 6u);
+}
+
+// ---- cross-hop trace context (ISSUE 5) --------------------------------
+
+TEST(TraceContext, EncodeDecodeRoundTrip) {
+  trace_context ctx;
+  ctx.trace_id = 0xabcdef0123456789ull;
+  ctx.parent_span = 0x1122334455667788ull;
+  ctx.hop_count = 3;
+  ctx.flags = kTraceCtxSampled;
+  const bytes wire = ctx.encode();
+  ASSERT_EQ(wire.size(), kTraceCtxSize);
+  EXPECT_EQ(wire[0], kTraceCtxVersion);
+  const auto back = trace_context::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ctx);
+  EXPECT_TRUE(back->sampled());
+}
+
+TEST(TraceContext, ShortBufferAndUnknownVersionRejected) {
+  trace_context ctx;
+  ctx.trace_id = 7;
+  bytes wire = ctx.encode();
+  // Short input: a truncated TLV must read as "untraced", not garbage.
+  EXPECT_FALSE(trace_context::decode(const_byte_span(wire.data(), wire.size() - 1)).has_value());
+  // Unknown version: an un-upgraded peer's view of a future layout.
+  wire[0] = kTraceCtxVersion + 1;
+  EXPECT_FALSE(trace_context::decode(wire).has_value());
+}
+
+TEST(TraceContext, TrailingBytesTolerated) {
+  trace_context ctx;
+  ctx.trace_id = 42;
+  ctx.hop_count = 2;
+  bytes wire = ctx.encode();
+  wire.push_back(0xaa);  // future minor revision appends a field
+  const auto back = trace_context::decode(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, 42u);
+  EXPECT_EQ(back->hop_count, 2);
+}
+
+// ---- path_recorder ----------------------------------------------------
+
+TEST(PathRecorder, OriginSamplerIsDeterministic) {
+  path_recorder rec({.node = 1, .sample_shift = 2});
+  std::vector<bool> hits;
+  for (int i = 0; i < 8; ++i) hits.push_back(rec.sample_tick());
+  const std::vector<bool> expected = {true, false, false, false, true, false, false, false};
+  EXPECT_EQ(hits, expected);
+
+  path_recorder every({.node = 1, .sample_shift = 0});
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(every.sample_tick());
+}
+
+TEST(PathRecorder, IdsAreDeterministicPerNodeAndDistinctAcrossNodes) {
+  path_recorder a1({.node = 5}), a2({.node = 5}), b({.node = 6});
+  // Same node, same call sequence: identical ids (simnet replay).
+  EXPECT_EQ(a1.new_trace_id(), a2.new_trace_id());
+  EXPECT_EQ(a1.next_span_id(), a2.next_span_id());
+  // Different nodes never collide at the same sequence position.
+  path_recorder c({.node = 5});
+  EXPECT_NE(c.new_trace_id(), b.new_trace_id());
+  EXPECT_NE(c.next_span_id(), b.next_span_id());
+  // Ids are never 0 (0 means "node event" / "no parent").
+  EXPECT_NE(a1.new_trace_id(), 0u);
+  EXPECT_NE(a1.next_span_id(), 0u);
+}
+
+TEST(PathRecorder, EmitDrainPreservesOrderAndCountsFullRingDrops) {
+  path_recorder rec({.node = 3, .capacity = 4});
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    path_span s;
+    s.trace_id = 9;
+    s.span_id = i;
+    rec.emit(s);
+  }
+  EXPECT_EQ(rec.emitted() + rec.dropped(), 20u);
+  EXPECT_GT(rec.dropped(), 0u);  // tracing never blocks: full ring = drop
+  std::vector<path_span> out;
+  while (rec.drain(out) > 0) {
+  }
+  ASSERT_EQ(out.size(), rec.emitted());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].span_id, i + 1);  // FIFO
+  }
+}
+
+TEST(PathRecorder, InjectedClockDrivesTimestamps) {
+  manual_clock clk;
+  clk.advance(std::chrono::nanoseconds(12345));
+  path_recorder rec({.node = 2, .clk = &clk});
+  EXPECT_EQ(rec.now(), 12345u);
+  clk.advance(std::chrono::nanoseconds(55));
+  EXPECT_EQ(rec.now(), 12400u);
+}
+
 TEST(ScopedTracer, RestoresPreviousTracer) {
   metrics_registry reg;
   tracer a(reg), b(reg);

@@ -82,6 +82,37 @@ TEST(IlpHeader, ServicePrivateKeysPreserved) {
   EXPECT_EQ(decoded.metadata.at(0x1234), to_bytes("private"));
 }
 
+// Trace-context carriage (ISSUE 5): the context is ordinary sealed
+// metadata — it round-trips through encode/decode, absent means untraced,
+// and an unknown context version reads as untraced rather than erroring.
+TEST(IlpHeader, TraceContextRoundTripsThroughSealedMetadata) {
+  ilp_header h;
+  h.service = svc::delivery;
+  EXPECT_FALSE(h.trace_ctx().has_value());  // common path: no ctx at all
+
+  trace::trace_context ctx;
+  ctx.trace_id = 0xfeedbeef;
+  ctx.parent_span = 0x1234;
+  ctx.hop_count = 2;
+  ctx.flags = trace::kTraceCtxSampled;
+  h.set_trace(ctx);
+  const ilp_header decoded = ilp_header::decode(h.encode());
+  const auto back = decoded.trace_ctx();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ctx);
+}
+
+TEST(IlpHeader, UnknownTraceContextVersionReadsAsUntraced) {
+  ilp_header h;
+  bytes wire = trace::trace_context{}.encode();
+  wire[0] = trace::kTraceCtxVersion + 1;  // future layout
+  h.set_meta(meta_key::trace_ctx, wire);
+  const ilp_header decoded = ilp_header::decode(h.encode());
+  // The header itself still round-trips — only the context is ignored.
+  EXPECT_FALSE(decoded.trace_ctx().has_value());
+  EXPECT_TRUE(decoded.meta(meta_key::trace_ctx).has_value());
+}
+
 // Property: random headers round-trip.
 TEST(IlpHeader, RandomizedRoundTrip) {
   rng random(99);

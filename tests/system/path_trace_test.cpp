@@ -1,0 +1,396 @@
+// End-to-end ILP path tracing (ISSUE 5) over the deterministic simulator:
+// a 3-hop, 2-edomain topology (alice -> sn_a -> gw1 -> gw2 -> bob) whose
+// traces must reassemble complete with per-hop stage breakdowns and
+// queue/wire-time attribution; the edomain observability plane's rollups
+// and exposition; mid-path failover annotating (not dangling) traces; and
+// trace integrity under duplication, reordering and partition-heal fault
+// schedules. This binary is also a sanitizer CI target
+// (tools/ci_sanitizers.sh, ctest -R path_trace_test).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "common/trace_collector.h"
+#include "core/service_node.h"
+#include "deploy/deployment.h"
+#include "deploy/standard_services.h"
+#include "edomain/observability.h"
+
+namespace interedge {
+namespace {
+
+using namespace std::chrono_literals;
+using core::peer_id;
+using edomain::edomain_id;
+
+deploy::deployment_config tracing_config() {
+  deploy::deployment_config cfg;
+  // Sample every send: a handful of deterministic packets must all trace.
+  cfg.trace_sample_shift = 0;
+  cfg.host_path_span_capacity = 512;
+  cfg.sn_path_span_capacity = 4096;
+  // Force the SN path — host-direct pipes would bypass the hops under test.
+  cfg.hosts_allow_direct = false;
+  return cfg;
+}
+
+// dom1 {gw1 (gateway), sn_a (alice's first hop)} + dom2 {gw2 (gateway,
+// bob's first hop)}: cross-domain traffic relays alice -> sn_a -> gw1 ->
+// gw2 -> bob — three SN hops between the two host ends.
+struct three_hop_fixture {
+  deploy::deployment net;
+  edomain_id dom1, dom2;
+  peer_id gw1, sn_a, gw2;
+  host::host_stack* alice;
+  host::host_stack* bob;
+  int delivered = 0;
+
+  explicit three_hop_fixture(deploy::deployment_config cfg = tracing_config()) : net(cfg) {
+    dom1 = net.add_edomain();
+    gw1 = net.add_sn(dom1);  // first SN = the edomain's gateway
+    sn_a = net.add_sn(dom1);
+    dom2 = net.add_edomain();
+    gw2 = net.add_sn(dom2);
+    alice = &net.add_host(dom1, sn_a);
+    bob = &net.add_host(dom2, gw2);
+    net.interconnect();
+    deploy::deploy_standard_services(net);
+    bob->set_default_handler([this](const ilp::ilp_header&, bytes) { ++delivered; });
+  }
+
+  // Drains every recorder (three SNs, both host stacks) into `out`.
+  std::size_t collect_spans(std::vector<trace::path_span>& out) {
+    const std::size_t before = out.size();
+    for (const peer_id id : {gw1, sn_a, gw2}) net.sn(id).drain_path_spans(out);
+    alice->drain_path_spans(out);
+    bob->drain_path_spans(out);
+    return out.size() - before;
+  }
+};
+
+TEST(PathTrace, ThreeHopTwoEdomainTraceReassemblesComplete) {
+  three_hop_fixture f;
+  constexpr int kSends = 4;
+  for (int i = 0; i < kSends; ++i) {
+    f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("trace me"));
+  }
+  f.net.run();
+  ASSERT_EQ(f.delivered, kSends);
+
+  std::vector<trace::path_span> spans;
+  f.collect_spans(spans);
+  trace::trace_collector col;
+  col.ingest(std::span<const trace::path_span>(spans));
+
+  // Every send produced a complete 5-row path: host origin, three SN hops,
+  // host delivery.
+  std::vector<trace::path_trace> full_paths;
+  for (const trace::path_trace& t : col.assemble_all()) {
+    if (t.complete && t.hops.size() == 5) full_paths.push_back(t);
+  }
+  ASSERT_EQ(full_paths.size(), static_cast<std::size_t>(kSends));
+
+  const std::vector<std::uint64_t> expected_nodes = {f.alice->addr(), f.sn_a, f.gw1, f.gw2,
+                                                     f.bob->addr()};
+  for (const trace::path_trace& t : full_paths) {
+    EXPECT_EQ(t.service, ilp::svc::delivery);
+    for (std::size_t h = 0; h < 5; ++h) {
+      EXPECT_EQ(t.hops[h].node, expected_nodes[h]);
+      EXPECT_EQ(t.hops[h].hop_count, h);
+    }
+    // Stage breakdown: origin at the first row, terminal delivery at the
+    // last, and each SN hop shows its datapath span plus the forward copy
+    // it emitted toward the next hop.
+    EXPECT_EQ(t.hops[0].spans.front().kind, trace::span_kind::origin);
+    EXPECT_EQ(t.hops[4].spans.front().kind, trace::span_kind::deliver);
+    for (std::size_t h = 1; h <= 3; ++h) {
+      bool has_hop = false, has_forward = false;
+      for (const trace::path_span& s : t.hops[h].spans) {
+        has_hop |= s.kind == trace::span_kind::hop_fast ||
+                   s.kind == trace::span_kind::hop_slow;
+        has_forward |= s.kind == trace::span_kind::forward;
+      }
+      EXPECT_TRUE(has_hop) << "hop " << h;
+      EXPECT_TRUE(has_forward) << "hop " << h;
+      // Queue + wire attribution: each inter-node gap carries at least the
+      // simulated link latency (500us per hop by default).
+      EXPECT_GE(t.hops[h].wire_gap_ns, 400'000u) << "hop " << h;
+    }
+    EXPECT_GE(t.hops[4].wire_gap_ns, 400'000u);
+    // Four links end to end.
+    EXPECT_GE(t.total_ns, 1'600'000u);
+  }
+
+  // The wire gaps attribute to links the simulator really carried: the
+  // inter-gateway link saw every cross-domain packet.
+  EXPECT_GE(f.net.net()
+                .stats_between(static_cast<sim::node_id>(f.gw1), static_cast<sim::node_id>(f.gw2))
+                .delivered,
+            static_cast<std::uint64_t>(kSends));
+}
+
+TEST(PathTrace, FirstPacketTakesSlowPathWithServiceSpan) {
+  three_hop_fixture f;
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("cold"));
+  f.net.run();
+  ASSERT_EQ(f.delivered, 1);
+
+  std::vector<trace::path_span> spans;
+  f.collect_spans(spans);
+  // A cold decision cache at sn_a sends the first packet through the slow
+  // path: the hop span is hop_slow and the service-module dispatch emitted
+  // its own child span on the control thread.
+  bool saw_slow = false, saw_service = false;
+  for (const trace::path_span& s : spans) {
+    if (s.node != f.sn_a) continue;
+    saw_slow |= s.kind == trace::span_kind::hop_slow;
+    saw_service |= s.kind == trace::span_kind::service;
+  }
+  EXPECT_TRUE(saw_slow);
+  EXPECT_TRUE(saw_service);
+}
+
+TEST(PathTrace, ObservabilityPlaneAggregatesPushesIntoRollups) {
+  three_hop_fixture f;
+  for (int i = 0; i < 6; ++i) {
+    f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("rollup"));
+  }
+  f.net.run();
+  ASSERT_EQ(f.delivered, 6);
+
+  // Each SN pushes its merged registry + drained spans to its edomain's
+  // plane on the node's own scheduler tick (bounded so the sim drains).
+  edomain::observability_plane& plane1 = f.net.core_of(f.dom1).observability();
+  edomain::observability_plane& plane2 = f.net.core_of(f.dom2).observability();
+  for (const peer_id id : {f.gw1, f.sn_a}) {
+    f.net.sn(id).start_observability_push(
+        1ms,
+        [&plane1, id](const metrics_registry& merged, std::span<const trace::path_span> spans) {
+          plane1.ingest(id, merged, spans);
+        },
+        /*max_pushes=*/3);
+  }
+  f.net.sn(f.gw2).start_observability_push(
+      1ms,
+      [&plane2, gw2 = f.gw2](const metrics_registry& merged,
+                             std::span<const trace::path_span> spans) {
+        plane2.ingest(gw2, merged, spans);
+      },
+      /*max_pushes=*/3);
+  f.net.run();
+
+  EXPECT_EQ(plane1.nodes(), 2u);
+  EXPECT_EQ(plane2.nodes(), 1u);
+  EXPECT_GE(plane1.pushes(), 6u);
+
+  // Per-(service, node) rollups: every traced hop folded its duration in.
+  for (const peer_id id : {f.gw1, f.sn_a}) {
+    const auto r = plane1.rollup(ilp::svc::delivery, id);
+    EXPECT_GE(r.spans, 6u) << "node " << id;
+    EXPECT_EQ(r.errors, 0u);
+    EXPECT_GE(r.p99_ns, r.p50_ns);
+  }
+  EXPECT_GE(plane2.rollup(ilp::svc::delivery, f.gw2).spans, 6u);
+
+  // Exposition: rollup families plus the nodes' own counters, node-labelled.
+  const std::string prom = plane1.export_prometheus();
+  EXPECT_NE(prom.find("# TYPE edomain_hop_ns summary"), std::string::npos);
+  EXPECT_NE(prom.find("edomain_hop_spans{"), std::string::npos);
+  EXPECT_NE(prom.find("node=\"" + std::to_string(f.sn_a) + "\""), std::string::npos);
+  EXPECT_NE(prom.find("sn_rx_pkts"), std::string::npos);
+
+  // Fold the host-side ends into dom2's collector: the plane's JSON dump
+  // then shows complete traces.
+  std::vector<trace::path_span> host_spans;
+  f.alice->drain_path_spans(host_spans);
+  f.bob->drain_path_spans(host_spans);
+  plane2.traces().ingest(std::span<const trace::path_span>(host_spans));
+  const std::string json = plane2.export_json();
+  EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"deliver\""), std::string::npos);
+
+  const std::string top = plane1.render_top();
+  EXPECT_NE(top.find(std::to_string(f.sn_a)), std::string::npos);
+  EXPECT_NE(top.find("p99"), std::string::npos);
+}
+
+TEST(PathTrace, MidPathFailoverAnnotatesTracesInsteadOfDangling) {
+  deploy::deployment_config cfg = tracing_config();
+  // Liveness on: gw1's keepalives must notice gw2's crash and declare the
+  // peer down, and the declaration must show up in affected traces.
+  cfg.sn_keepalive_interval = 10ms;
+  three_hop_fixture f(cfg);
+
+  // Standby snapshot of gw2 taken while healthy.
+  const bytes snapshot = f.net.sn(f.gw2).checkpoint_full();
+
+  // Phase A: healthy traffic. (The clock starts a few ms in: interconnect's
+  // bounded settle window for the peering handshakes.)
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("healthy"));
+  f.net.net().run_until(time_point(20ms));
+  ASSERT_EQ(f.delivered, 1);
+
+  // Phase B: gw2 crashes; packets sent now die on the gateway link, and
+  // gw1's liveness declares the peer down after the miss budget.
+  f.net.net().crash_node(static_cast<sim::node_id>(f.gw2));
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("lost"));
+  f.net.net().run_until(time_point(100ms));
+  ASSERT_EQ(f.delivered, 1);
+
+  // Phase C: node restarts and the standby state is restored from the
+  // checkpoint (emitting the failover event); traffic resumes.
+  f.net.net().restart_node(static_cast<sim::node_id>(f.gw2));
+  f.net.net().run_until(time_point(180ms));  // reconnect settles
+  f.net.sn(f.gw2).restore_full(snapshot);
+  f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("recovered"));
+  f.net.net().run_until(time_point(240ms));
+  ASSERT_EQ(f.delivered, 2);
+
+  std::vector<trace::path_span> spans;
+  f.collect_spans(spans);
+  trace::trace_collector col;
+  col.ingest(std::span<const trace::path_span>(spans));
+
+  bool saw_lost_annotated = false, saw_recovered_failover = false;
+  for (const trace::path_trace& t : col.assemble_all()) {
+    if (t.hops.empty() || t.hops[0].spans.empty()) continue;
+    const std::uint64_t origin_start = t.hops[0].spans.front().start_ns;
+    if (!t.complete) {
+      // The mid-crash trace: it died at gw1's forward toward the dead
+      // gateway. It must carry the peer-down explanation, not dangle.
+      EXPECT_GE(t.hops.size(), 3u);
+      EXPECT_EQ(t.hops.back().node, f.gw1);
+      if ((t.annotations & trace::kAnnoPeerDown) != 0) saw_lost_annotated = true;
+    } else if (origin_start >= 180'000'000ull) {
+      // The post-restore trace passes through the restored gw2 while the
+      // failover event sits inside its window: annotated AND complete.
+      EXPECT_EQ(t.hops.size(), 5u);
+      if ((t.annotations & trace::kAnnoFailover) != 0) saw_recovered_failover = true;
+    }
+  }
+  EXPECT_TRUE(saw_lost_annotated);
+  EXPECT_TRUE(saw_recovered_failover);
+
+  // The raw events also surfaced: gw1's peer-down and gw2's failover.
+  bool peer_down_event = false, failover_event = false;
+  for (const trace::path_span& e : col.events()) {
+    peer_down_event |= e.node == f.gw1 && (e.annotations & trace::kAnnoPeerDown) != 0;
+    failover_event |= e.node == f.gw2 && (e.annotations & trace::kAnnoFailover) != 0;
+  }
+  EXPECT_TRUE(peer_down_event);
+  EXPECT_TRUE(failover_event);
+}
+
+// One full faulted run: duplication + reordering on the host-side SN link,
+// a partition across the gateway link mid-run, healed later. Returns a
+// digest of every span emitted plus delivery/ingest accounting.
+struct faulted_run {
+  std::string digest;
+  std::size_t span_count = 0;
+  std::size_t complete = 0;
+  std::size_t incomplete = 0;
+  std::uint64_t duplicates_ignored = 0;
+  int delivered = 0;
+};
+
+faulted_run run_faulted(std::uint64_t seed) {
+  deploy::deployment_config cfg = tracing_config();
+  cfg.seed = seed;
+  three_hop_fixture f(cfg);
+
+  sim::link_properties flaky;
+  flaky.duplicate_rate = 0.3;
+  flaky.reorder_rate = 0.3;
+  f.net.net().set_link_symmetric(static_cast<sim::node_id>(f.sn_a),
+                                 static_cast<sim::node_id>(f.gw1), flaky);
+  const std::vector<sim::fault_event> schedule = {
+      {.at = 5ms, .kind = sim::fault_kind::partition, .a = static_cast<sim::node_id>(f.gw1),
+       .b = static_cast<sim::node_id>(f.gw2)},
+      {.at = 15ms, .kind = sim::fault_kind::heal, .a = static_cast<sim::node_id>(f.gw1),
+       .b = static_cast<sim::node_id>(f.gw2)},
+  };
+  f.net.net().schedule_faults(schedule);
+
+  for (int i = 0; i < 6; ++i) {
+    f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("pre"));
+  }
+  f.net.net().at(time_point(6ms), [&f] {
+    for (int i = 0; i < 4; ++i) {
+      f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("partitioned"));
+    }
+  });
+  f.net.net().at(time_point(20ms), [&f] {
+    for (int i = 0; i < 4; ++i) {
+      f.alice->send_to(f.bob->addr(), ilp::svc::delivery, to_bytes("healed"));
+    }
+  });
+  f.net.net().run_until(time_point(60ms));
+
+  std::vector<trace::path_span> spans;
+  f.collect_spans(spans);
+
+  faulted_run out;
+  out.span_count = spans.size();
+  out.delivered = f.delivered;
+
+  // Canonical digest over every emitted span: any nondeterminism or span
+  // corruption under faults shows up as a digest mismatch between runs.
+  std::sort(spans.begin(), spans.end(),
+            [](const trace::path_span& a, const trace::path_span& b) {
+              return std::tie(a.trace_id, a.span_id) < std::tie(b.trace_id, b.span_id);
+            });
+  std::ostringstream os;
+  for (const trace::path_span& s : spans) {
+    os << s.trace_id << ':' << s.span_id << ':' << s.node << ':'
+       << static_cast<int>(s.kind) << ':' << static_cast<int>(s.hop_count) << ':'
+       << s.start_ns << ':' << s.annotations << '\n';
+  }
+  out.digest = os.str();
+
+  // Idempotent intake: the same drained batch ingested twice must not
+  // double-count a single span.
+  trace::trace_collector col(4096);
+  col.ingest(std::span<const trace::path_span>(spans));
+  col.ingest(std::span<const trace::path_span>(spans));
+  const std::size_t trace_spans =
+      spans.size() - static_cast<std::size_t>(std::count_if(
+                         spans.begin(), spans.end(),
+                         [](const trace::path_span& s) { return s.trace_id == 0; }));
+  out.duplicates_ignored = col.duplicates_ignored();
+  EXPECT_EQ(out.duplicates_ignored, trace_spans);
+
+  for (const trace::path_trace& t : col.assemble_all()) {
+    if (t.complete) {
+      ++out.complete;
+    } else {
+      ++out.incomplete;
+    }
+  }
+  return out;
+}
+
+TEST(PathTrace, FaultScheduleNeverCorruptsSpansAndReplaysDeterministically) {
+  const faulted_run a = run_faulted(1234);
+  const faulted_run b = run_faulted(1234);
+  // Byte-identical replay: same seed, same schedule, same spans.
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.span_count, b.span_count);
+  EXPECT_EQ(a.delivered, b.delivered);
+
+  EXPECT_GT(a.span_count, 0u);
+  // Traffic before the partition and after the heal completes; the
+  // partition window leaves incomplete (never corrupt) traces.
+  EXPECT_GT(a.complete, 0u);
+  EXPECT_GT(a.incomplete, 0u);
+  // A different seed re-rolls the duplicate/reorder draws but the path
+  // still reassembles.
+  const faulted_run c = run_faulted(99);
+  EXPECT_GT(c.complete, 0u);
+}
+
+}  // namespace
+}  // namespace interedge

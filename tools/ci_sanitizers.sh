@@ -28,6 +28,12 @@ run_preset() {
   # verdicts racing worker pumps) where lifetime and ordering bugs hide.
   echo "== $preset: fault matrix (focused) =="
   ctest --preset "$preset" -R 'failover_test|simnet_test' --output-on-failure
+  # Path tracing (ISSUE 5): the span recorders are SPSC rings drained by
+  # the control thread while worker shards emit, and the collector is hit
+  # from the observability push tick — tsan's bread and butter. The
+  # trace_test unit pass plus the end-to-end path_trace scenarios.
+  echo "== $preset: path tracing (focused) =="
+  ctest --preset "$preset" -R 'trace_collector_test|path_trace_test' --output-on-failure
 }
 
 case "${1:-all}" in
