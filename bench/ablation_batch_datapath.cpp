@@ -11,10 +11,15 @@
 // datagram over loopback.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
+#include "common/buf_pool.h"
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -25,6 +30,28 @@
 
 using namespace interedge;
 using namespace interedge::core;
+
+// TU-wide heap instrumentation (ISSUE 6): replacing global operator new in
+// this binary lets the zero-copy arms audit — not estimate — steady-state
+// allocation counts across the whole ingress chain. Counting is gated so
+// setup/teardown churn stays out of the audit.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::atomic<bool> g_count_allocs{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -58,7 +85,7 @@ struct datapath {
       return resp;
     });
     terminus = std::make_unique<pipe_terminus>(
-        cache, *channel, [](peer_id, const ilp::ilp_header&, const bytes&) {});
+        cache, *channel, [](peer_id, const ilp::ilp_header&, const_byte_span) {});
     sender = std::make_unique<ilp::pipe_manager>(
         1, [this](peer_id, bytes d) { sender_out.push_back(std::move(d)); },
         [](peer_id, const ilp::ilp_header&, bytes) {});
@@ -94,6 +121,21 @@ struct datapath {
       moving.swap(receiver_out);
       for (const bytes& d : moving) sender->on_datagram(2, d);
     }
+  }
+
+  // Switches delivery to the zero-copy shape service_node uses since
+  // ISSUE 6: the terminus consumes packet_views aliasing the decrypted
+  // buffers instead of per-packet owned copies.
+  std::vector<packet_view> view_scratch;
+  void use_view_deliver() {
+    receiver->set_batch_deliver([this](peer_id from, std::span<ilp::opened_packet> pkts) {
+      view_scratch.clear();
+      view_scratch.reserve(pkts.size());
+      for (ilp::opened_packet& p : pkts) {
+        view_scratch.push_back(packet_view{from, std::move(p.header), p.payload});
+      }
+      terminus->handle_batch(std::span<packet_view>(view_scratch));
+    });
   }
 
   // Seals `count` same-flow data datagrams of `payload_size` bytes. PSP is
@@ -291,6 +333,121 @@ void BM_IngressDatapath_PathTracingSampled(benchmark::State& state) {
   ingress_path_tracing(state, /*sampled=*/true);
 }
 
+// ---- ISSUE 6: the copying baseline vs the zero-copy slab datapath ----
+//
+// Both arms run the identical chain (framing parse, batched PSP open,
+// decision-cache consult, terminus verdict) on the same presealed burst;
+// they differ only in buffer handling. Copying: arena decrypt + every
+// delivered payload copied into an owned packet (the pre-ISSUE-6 shape).
+// Zero-copy: datagrams live in pool slabs, headers decrypt in place over
+// their own ciphertext, and the terminus consumes views — no payload copy
+// anywhere. Each arm also audits its steady-state heap allocations with
+// the TU's instrumented operator new; the zero-copy arm fails the bench
+// if the audit finds any.
+
+// Allocation audit: run `rounds` untimed repetitions of `fn` with heap
+// counting on; returns allocations per round.
+template <typename Fn>
+double audit_allocs(std::size_t rounds, Fn&& fn) {
+  g_heap_allocs.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (std::size_t r = 0; r < rounds; ++r) fn();
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  return static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed)) /
+         static_cast<double>(rounds);
+}
+
+// MTU-representative payload for the copy-tax arms: PSP seals only the
+// ILP header, so decrypt cost is size-invariant while the copying
+// baseline's tax scales per byte. 1 KiB is the regime the zero-copy
+// refactor targets; the 256-byte story is BM_IngressDatapath above.
+constexpr std::size_t kZeroCopyPayload = 1024;
+
+void BM_IngressDatapathCopying(benchmark::State& state) {
+  datapath dp;
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const std::vector<bytes> wires = dp.preseal(batch, kZeroCopyPayload);
+
+  // Faithful pre-ISSUE-6 shape: the transport handed every datagram out as
+  // a freshly allocated `bytes` (udp_endpoint::recv_batch copied out of
+  // its receive scratch), then the arena decrypt + owned-packet deliver
+  // copied the payload again. Both copies are in this arm.
+  std::vector<bytes> owned;
+  std::vector<const_byte_span> spans;
+  auto ingest = [&] {
+    owned.clear();
+    spans.clear();
+    for (const bytes& w : wires) {
+      owned.emplace_back(w.begin(), w.end());  // the rx handout copy
+      spans.emplace_back(owned.back().data(), owned.back().size());
+    }
+    dp.receiver->on_datagram_batch(1, spans);
+  };
+
+  ingest();  // warm-up: scratch reaches capacity
+  for (auto _ : state) {
+    ingest();
+  }
+  const double allocs_per_round = audit_allocs(64, ingest);
+
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+  state.counters["pkts/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * batch), benchmark::Counter::kIsRate);
+  state.counters["heap_allocs_per_pkt"] = allocs_per_round / static_cast<double>(batch);
+}
+
+void BM_IngressDatapathZeroCopy(benchmark::State& state) {
+  datapath dp;
+  dp.use_view_deliver();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const std::vector<bytes> wires = dp.preseal(batch, kZeroCopyPayload);
+
+  buf::pool_config pcfg;
+  pcfg.slab_size = 2048;
+  pcfg.slab_count = std::max<std::size_t>(std::size_t{64}, batch);
+  buf::buf_pool pool(pcfg);
+  std::vector<buf::pkt_view> views;  // destroyed before the pool: refs drop first
+  std::vector<byte_span> muts;
+  // The in-place open destroys the wire's sealed region (the decrypted
+  // header lands over its own ciphertext). PSP has no replay protection,
+  // so restoring just that header region — never the payload — re-arms the
+  // identical packet for the next iteration.
+  std::vector<bytes> saved_hdr;
+  {
+    buf::buf_pool::cache cache(pool);
+    for (const bytes& w : wires) {
+      buf::slab_ref ref = cache.try_alloc();
+      std::memcpy(ref.data(), w.data(), w.size());
+      views.emplace_back(std::move(ref), 0, w.size());
+      muts.push_back(views.back().mutable_span());
+      saved_hdr.emplace_back(w.begin(), w.end() - kZeroCopyPayload);
+    }
+  }
+  auto restore = [&] {
+    for (std::size_t i = 0; i < muts.size(); ++i) {
+      std::memcpy(muts[i].data(), saved_hdr[i].data(), saved_hdr[i].size());
+    }
+  };
+
+  dp.receiver->on_datagram_batch_mut(1, muts);  // warm-up
+  for (auto _ : state) {
+    restore();
+    dp.receiver->on_datagram_batch_mut(1, muts);
+  }
+  const double allocs_per_round = audit_allocs(64, [&] {
+    restore();
+    dp.receiver->on_datagram_batch_mut(1, muts);
+  });
+
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+  state.counters["pkts/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * batch), benchmark::Counter::kIsRate);
+  state.counters["heap_allocs_per_pkt"] = allocs_per_round / static_cast<double>(batch);
+  if (allocs_per_round != 0.0) {
+    state.SkipWithError("steady-state heap allocations on the zero-copy path");
+  }
+}
+
 // UDP syscall batching in isolation: B datagrams over loopback, one
 // sendto+recvfrom pair per packet versus one sendmmsg+recvmmsg per burst.
 void udp_loopback(benchmark::State& state, bool batched) {
@@ -331,6 +488,8 @@ void BM_UdpLoopback_Batched(benchmark::State& state) { udp_loopback(state, true)
 }  // namespace
 
 BENCHMARK(BM_IngressDatapath)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_IngressDatapathCopying)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_IngressDatapathZeroCopy)->Arg(1)->Arg(8)->Arg(32);
 BENCHMARK(BM_IngressDatapath_Telemetry)->Arg(1)->Arg(32)->Arg(128);
 BENCHMARK(BM_IngressDatapath_Robustness)->Arg(1)->Arg(32)->Arg(128);
 BENCHMARK(BM_IngressDatapath_PathTracing)->Arg(1)->Arg(32)->Arg(128);

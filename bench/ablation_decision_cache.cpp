@@ -55,7 +55,7 @@ void BM_Terminus_HitRateSweep(benchmark::State& state) {
   });
   std::uint64_t forwarded = 0;
   pipe_terminus terminus(cache, channel,
-                         [&forwarded](peer_id, const ilp::ilp_header&, const bytes&) {
+                         [&forwarded](peer_id, const ilp::ilp_header&, const_byte_span) {
                            ++forwarded;
                          });
 

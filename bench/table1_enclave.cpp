@@ -206,7 +206,7 @@ bench_result run_null_service(bool enclave, std::chrono::milliseconds duration,
 
   core::pipe_terminus terminus(
       cache, channel,
-      [&](core::peer_id, const ilp::ilp_header& h, const bytes& payload) {
+      [&](core::peer_id, const ilp::ilp_header& h, const_byte_span payload) {
         bytes egress_wire = pipes.sn_egress.seal(h, payload);
         boundary.cross(egress_wire);  // VM egress I/O
         std::uint64_t t0 = 0;

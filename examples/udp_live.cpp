@@ -3,7 +3,13 @@
 // two hosts, one service node, ILP pipes with PSP-sealed headers on the
 // actual wire.
 //
-//   ./examples/udp_live [--messages=5]
+//   ./examples/udp_live [--messages=5] [--backend=auto|mmsg|uring]
+//
+// The SN's socket drains through the zero-copy slab path
+// (recv_batch_views -> on_datagram_views): datagrams land in pool slabs,
+// ILP headers are decrypted in place, and the terminus consumes views —
+// no per-packet payload copy. --backend selects the receive backend
+// (io_uring when the kernel supports it; mmsg otherwise).
 #include <cstdio>
 
 #include "common/flags.h"
@@ -33,7 +39,17 @@ int main(int argc, char** argv) {
 
   std::printf("== InterEdge over real UDP sockets ==\n\n");
 
-  net::udp_endpoint ep_alice, ep_sn, ep_bob;
+  net::udp_config sn_sock_cfg;
+  const std::string backend_flag = flags.get("backend", "auto");
+  if (backend_flag == "mmsg") {
+    sn_sock_cfg.backend = net::udp_backend::mmsg;
+  } else if (backend_flag == "uring") {
+    sn_sock_cfg.backend = net::udp_backend::uring;
+  }  // "auto" keeps auto_detect
+  net::udp_endpoint ep_alice, ep_bob;
+  net::udp_endpoint ep_sn(sn_sock_cfg);
+  std::printf("SN receive backend: %s\n",
+              ep_sn.backend() == net::udp_backend::uring ? "io_uring" : "recvmmsg");
   net::event_loop loop;
   const net::peer_id id_alice = ep_alice.port();
   const net::peer_id id_sn = ep_sn.port();
@@ -74,10 +90,16 @@ int main(int argc, char** argv) {
 
   loop.attach(ep_alice, [&](net::peer_id f, const_byte_span d) { alice.on_datagram(f, d); });
   loop.attach(ep_bob, [&](net::peer_id f, const_byte_span d) { bob.on_datagram(f, d); });
-  // The SN drains its socket a batch at a time (recvmmsg) and pumps the
-  // batched ingress datapath; the hosts stay on the per-packet path.
-  loop.attach_batch(ep_sn,
-                    [&](std::span<std::pair<net::peer_id, bytes>> ds) { sn.on_datagrams(ds); });
+  // The SN drains its socket a burst at a time straight into pool slabs
+  // and pumps the zero-copy ingress datapath; the hosts stay on the
+  // per-packet path.
+  loop.attach_views(ep_sn, [&](std::span<std::pair<net::peer_id, buf::pkt_view>> ds) {
+    sn.on_datagram_views(ds);
+  });
+  // Zero-copy egress: forwarded packets seal into the pipe manager's
+  // scratch and go out as a span — no owned datagram built per send.
+  sn.pipes().set_send_raw(
+      [&](net::peer_id to, const_byte_span d) { ep_sn.send(to, d); });
 
   int delivered = 0;
   bob.set_default_handler([&](const ilp::ilp_header& h, bytes payload) {

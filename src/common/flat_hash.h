@@ -1,0 +1,102 @@
+// Open-addressed hash map for the transport hot path.
+//
+// udp_endpoint resolves every received datagram's source (packed ip:port)
+// to a peer_id, and every send's peer_id to a sockaddr. std::map put a
+// pointer-chasing red-black tree walk on that per-datagram path; peer
+// tables are tiny (tens of entries) and insert-only, so a linear-probe
+// flat table with the key/value inline is both simpler and an order of
+// magnitude fewer cache misses.
+//
+// Deliberately minimal: u64 keys, insert-or-assign and find only, no
+// erase (peers are never removed), grows by doubling at 70% load. A
+// per-slot occupied flag rather than a sentinel key — peer_id 0 and
+// source 0 are both representable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace interedge {
+
+template <typename V>
+class flat_hash64 {
+ public:
+  flat_hash64() { rehash(16); }
+
+  // Inserts or overwrites. Returns a reference valid until the next insert.
+  V& insert(std::uint64_t key, V value) {
+    if ((size_ + 1) * 10 >= slots_.size() * 7) rehash(slots_.size() * 2);
+    slot& s = probe(key);
+    if (!s.occupied) {
+      s.occupied = true;
+      s.key = key;
+      ++size_;
+    }
+    s.value = std::move(value);
+    return s.value;
+  }
+
+  V* find(std::uint64_t key) {
+    slot& s = probe(key);
+    return s.occupied ? &s.value : nullptr;
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<flat_hash64*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Iteration (stats/tests): visits every occupied slot.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const slot& s : slots_) {
+      if (s.occupied) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct slot {
+    std::uint64_t key = 0;
+    V value{};
+    bool occupied = false;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    // splitmix64 finalizer: packed ip:port keys share high bytes, so the
+    // raw value would cluster; this spreads them over the table.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  // First matching-or-empty slot for `key`. The table never fills (grown
+  // at 70% load), so the probe always terminates.
+  slot& probe(std::uint64_t key) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (slots_[i].occupied && slots_[i].key != key) i = (i + 1) & mask;
+    return slots_[i];
+  }
+
+  void rehash(std::size_t capacity) {
+    std::vector<slot> old = std::move(slots_);
+    slots_.assign(capacity, slot{});
+    for (slot& s : old) {
+      if (!s.occupied) continue;
+      slot& dst = probe(s.key);
+      dst.occupied = true;
+      dst.key = s.key;
+      dst.value = std::move(s.value);
+    }
+  }
+
+  std::vector<slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace interedge

@@ -23,6 +23,17 @@ struct packet {
   bytes payload;
 };
 
+// Zero-copy variant: the payload is a view into the ingress buffer (a
+// pool slab) rather than an owned copy. Valid only while that buffer is
+// live and unmoved — the fast path processes a batch of these and is done
+// with them before the buffers recycle; anything that must outlive the
+// batch (the slow-path pending table) copies into an owned `packet`.
+struct packet_view {
+  peer_id l3_src = 0;
+  ilp::ilp_header header;
+  const_byte_span payload;
+};
+
 // The decision-cache key (§4: "the pipe-terminus uses the packet's L3
 // header, service ID, and connection ID to query the decision cache").
 struct cache_key {

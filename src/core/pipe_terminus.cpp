@@ -15,6 +15,14 @@ char verdict_char(decision::verdict v) {
   return trace::kVerdictNone;
 }
 
+// The slow-path pending table outlives the batch that filled it, so a
+// packet_view detouring there is copied into an owned packet; an owned
+// packet just moves.
+packet to_owned(packet&& p) { return std::move(p); }
+packet to_owned(packet_view&& p) {
+  return packet{p.l3_src, std::move(p.header), bytes(p.payload.begin(), p.payload.end())};
+}
+
 }  // namespace
 
 pipe_terminus::pipe_terminus(decision_cache& cache, slowpath_channel& channel, forward_fn forward)
@@ -58,33 +66,34 @@ void pipe_terminus::flush_telemetry() {
   flushed_ = stats_;
 }
 
-void pipe_terminus::shed_packet(const packet& pkt, bool sampled) {
+void pipe_terminus::shed_packet(peer_id l3_src, const ilp::ilp_header& header,
+                                const_byte_span payload, bool sampled) {
   decision d = decision::drop_packet();  // fail closed unless policy says pass
-  auto it = shed_verdicts_.find(pkt.header.service);
+  auto it = shed_verdicts_.find(header.service);
   if (it != shed_verdicts_.end()) d = it->second;
   d.ttl = policy_.shed_ttl;
   // The TTL'd entry absorbs the rest of the burst on the fast path; when
   // it expires the flow falls back to the (hopefully recovered) slow path.
-  cache_.insert(cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection}, d);
+  cache_.insert(cache_key{l3_src, header.service, header.connection}, d);
   ++stats_.shed;
-  IE_LOG(debug) << "terminus" << kv("shed", ilp::svc::name(pkt.header.service))
-                << kv("conn", pkt.header.connection)
+  IE_LOG(debug) << "terminus" << kv("shed", ilp::svc::name(header.service))
+                << kv("conn", header.connection)
                 << kv("in_flight", in_flight_.size());
-  apply_or_trace(d, pkt, sampled, trace::kAnnoShed);
+  apply_or_trace(d, header, payload, sampled, trace::kAnnoShed);
 }
 
-void pipe_terminus::apply_or_trace(const decision& d, const packet& pkt, bool sampled,
-                                   std::uint16_t anno) {
-  if (auto tc = sampled_ctx(pkt.header)) {
-    apply_with_path(d, pkt.header, pkt.payload, *tc, anno, trace::span_kind::hop_fast,
+void pipe_terminus::apply_or_trace(const decision& d, const ilp::ilp_header& header,
+                                   const_byte_span payload, bool sampled, std::uint16_t anno) {
+  if (auto tc = sampled_ctx(header)) {
+    apply_with_path(d, header, payload, *tc, anno, trace::span_kind::hop_fast,
                     path_rec_->now(), path_rec_->next_span_id());
     return;
   }
-  apply_traced(d, pkt.header, pkt.payload, sampled);
+  apply_traced(d, header, payload, sampled);
 }
 
 void pipe_terminus::apply_with_path(const decision& d, const ilp::ilp_header& header,
-                                    const bytes& payload, const trace::trace_context& tc,
+                                    const_byte_span payload, const trace::trace_context& tc,
                                     std::uint16_t anno, trace::span_kind kind,
                                     std::uint64_t start_ns, std::uint64_t span_id) {
   if (d.kind == decision::verdict::forward) {
@@ -158,7 +167,7 @@ void pipe_terminus::handle(packet pkt) {
     const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
     if (auto d = cache_.lookup(key)) {
       ++stats_.fast_path;
-      apply_or_trace(*d, pkt, sampled, 0);
+      apply_or_trace(*d, pkt.header, pkt.payload, sampled, 0);
       if (reg_ != nullptr) {
         service_rx_counter(pkt.header.service).add();
         flush_telemetry();
@@ -168,7 +177,7 @@ void pipe_terminus::handle(packet pkt) {
   }
 
   if (!is_control && should_shed()) {
-    shed_packet(pkt, sampled);
+    shed_packet(pkt.l3_src, pkt.header, pkt.payload, sampled);
     if (reg_ != nullptr) {
       service_rx_counter(pkt.header.service).add();
       flush_telemetry();
@@ -188,7 +197,7 @@ void pipe_terminus::handle(packet pkt) {
   if (!submit_bounded(req, is_control)) {
     // Channel stayed full through the retry budget: shed instead of
     // blocking the fast path behind a wedged slow path.
-    shed_packet(pkt, sampled);
+    shed_packet(pkt.l3_src, pkt.header, pkt.payload, sampled);
     if (reg_ != nullptr) {
       service_rx_counter(pkt.header.service).add();
       flush_telemetry();
@@ -205,7 +214,12 @@ void pipe_terminus::handle(packet pkt) {
   }
 }
 
-void pipe_terminus::handle_batch(std::span<packet> pkts) {
+void pipe_terminus::handle_batch(std::span<packet> pkts) { handle_batch_impl(pkts); }
+
+void pipe_terminus::handle_batch(std::span<packet_view> pkts) { handle_batch_impl(pkts); }
+
+template <typename P>
+void pipe_terminus::handle_batch_impl(std::span<P> pkts) {
   trace::span batch_span(trace::stage::ingress);
   // One atomic claims the whole batch's sampler sequence range; per packet
   // the sampling decision is then a mask compare on a register.
@@ -234,7 +248,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
   };
 
   std::uint64_t pkt_index = 0;
-  for (packet& pkt : pkts) {
+  for (P& pkt : pkts) {
     ++stats_.received;
     tally_rx(pkt.header.service);
     const bool sampled =
@@ -245,7 +259,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
       const cache_key key{pkt.l3_src, pkt.header.service, pkt.header.connection};
       if (have_memo && key == memo_key) {
         ++stats_.fast_path;
-        apply_or_trace(memo_decision, pkt, sampled, 0);
+        apply_or_trace(memo_decision, pkt.header, pkt.payload, sampled, 0);
         continue;
       }
       std::uint64_t lookup_start = 0;
@@ -258,7 +272,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
       }
       if (d) {
         ++stats_.fast_path;
-        apply_or_trace(*d, pkt, sampled, 0);
+        apply_or_trace(*d, pkt.header, pkt.payload, sampled, 0);
         memo_key = key;
         memo_decision = std::move(*d);
         have_memo = true;
@@ -267,7 +281,7 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
     }
 
     if (!is_control && should_shed()) {
-      shed_packet(pkt, sampled);
+      shed_packet(pkt.l3_src, pkt.header, pkt.payload, sampled);
       // The shed verdict just became a cache entry; let same-flow
       // packets later in this batch hit it via the memo.
       memo_key = cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection};
@@ -283,16 +297,17 @@ void pipe_terminus::handle_batch(std::span<packet> pkts) {
     req.l3_src = pkt.l3_src;
     req.deadline_ns = deadline_for_now();
     req.header_bytes = pkt.header.encode();
-    req.payload = pkt.payload;
+    req.payload.assign(pkt.payload.begin(), pkt.payload.end());
 
     const std::uint64_t token = req.token;
     if (!submit_bounded(req, is_control)) {
-      shed_packet(pkt, sampled);
+      shed_packet(pkt.l3_src, pkt.header, pkt.payload, sampled);
       continue;
     }
     auto ptc = sampled_ctx(pkt.header);
-    in_flight_.emplace(token, pending{std::move(pkt), ptc.value_or(trace::trace_context{}),
-                                      ptc ? path_rec_->now() : 0});
+    in_flight_.emplace(token,
+                       pending{to_owned(std::move(pkt)), ptc.value_or(trace::trace_context{}),
+                               ptc ? path_rec_->now() : 0});
     submitted = true;
   }
 
@@ -367,7 +382,7 @@ void pipe_terminus::complete(slowpath_response resp) {
 }
 
 void pipe_terminus::apply_traced(const decision& d, const ilp::ilp_header& header,
-                                 const bytes& payload, bool sampled) {
+                                 const_byte_span payload, bool sampled) {
   if (!sampled) {
     apply(d, header, payload);
     return;
@@ -379,7 +394,8 @@ void pipe_terminus::apply_traced(const decision& d, const ilp::ilp_header& heade
   tracer_->capture(trace::stage::emit, start, dur, verdict_char(d.kind));
 }
 
-void pipe_terminus::apply(const decision& d, const ilp::ilp_header& header, const bytes& payload) {
+void pipe_terminus::apply(const decision& d, const ilp::ilp_header& header,
+                          const_byte_span payload) {
   switch (d.kind) {
     case decision::verdict::forward:
       for (peer_id hop : d.next_hops) {

@@ -63,7 +63,11 @@ struct slowpath_policy {
 class pipe_terminus {
  public:
   // `forward` sends a packet to an adjacent element over the node's pipes.
-  using forward_fn = std::function<void(peer_id to, const ilp::ilp_header&, const bytes& payload)>;
+  // The payload span is readable only for the duration of the call — on the
+  // zero-copy path it aliases an ingress slab; implementations that defer
+  // the send (egress rings) must copy or take a slab reference.
+  using forward_fn =
+      std::function<void(peer_id to, const ilp::ilp_header&, const_byte_span payload)>;
 
   pipe_terminus(decision_cache& cache, slowpath_channel& channel, forward_fn forward);
 
@@ -76,6 +80,12 @@ class pipe_terminus {
   // and the slow-path channel is drained once at the end of the batch
   // instead of once per packet. Packets are consumed (moved from).
   void handle_batch(std::span<packet> pkts);
+
+  // Zero-copy batch: payload spans alias ingress buffers owned by the
+  // caller, valid for the duration of the call. The fast path never copies
+  // a byte; only packets detouring to the slow path (the in-flight pending
+  // table outlives the batch) are copied into owned packets.
+  void handle_batch(std::span<packet_view> pkts);
 
   // Drains completed slow-path responses; returns how many were applied.
   std::size_t pump();
@@ -143,9 +153,14 @@ class pipe_terminus {
     std::uint64_t trace_start_ns = 0;
   };
 
-  void apply(const decision& d, const ilp::ilp_header& header, const bytes& payload);
+  // Shared implementation behind the two handle_batch overloads (P is
+  // packet or packet_view; instantiated in the .cpp).
+  template <typename P>
+  void handle_batch_impl(std::span<P> pkts);
+
+  void apply(const decision& d, const ilp::ilp_header& header, const_byte_span payload);
   // apply() plus sampled emit-stage timing and a ring capture.
-  void apply_traced(const decision& d, const ilp::ilp_header& header, const bytes& payload,
+  void apply_traced(const decision& d, const ilp::ilp_header& header, const_byte_span payload,
                     bool sampled);
   // Decodes a sampled trace context, if the packet carries one and path
   // tracing is enabled.
@@ -157,11 +172,12 @@ class pipe_terminus {
   }
   // Fast-path verdict application: routes through the path-span emitter
   // when the packet is traced, plain apply_traced otherwise.
-  void apply_or_trace(const decision& d, const packet& pkt, bool sampled, std::uint16_t anno);
+  void apply_or_trace(const decision& d, const ilp::ilp_header& header,
+                      const_byte_span payload, bool sampled, std::uint16_t anno);
   // Applies `d` emitting one `kind` span (id `span_id`, covering
   // start_ns → now) plus one forward span per egress copy; forwarded
   // headers carry the context on with hop_count + 1.
-  void apply_with_path(const decision& d, const ilp::ilp_header& header, const bytes& payload,
+  void apply_with_path(const decision& d, const ilp::ilp_header& header, const_byte_span payload,
                        const trace::trace_context& tc, std::uint16_t anno,
                        trace::span_kind kind, std::uint64_t start_ns, std::uint64_t span_id);
   void complete(slowpath_response resp);
@@ -169,7 +185,8 @@ class pipe_terminus {
     return policy_.high_water > 0 && in_flight_.size() >= policy_.high_water;
   }
   // Installs the service's default verdict (TTL'd) and applies it now.
-  void shed_packet(const packet& pkt, bool sampled);
+  void shed_packet(peer_id l3_src, const ilp::ilp_header& header, const_byte_span payload,
+                   bool sampled);
   // Submits with the policy's retry bound; false = caller sheds. Control
   // packets (and the legacy no-policy mode) retry until accepted.
   bool submit_bounded(const slowpath_request& req, bool is_control);

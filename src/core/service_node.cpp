@@ -80,8 +80,10 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
       [this](slowpath_request req) { return handle_slowpath(std::move(req)); });
   terminus_ = std::make_unique<pipe_terminus>(
       cache_, *channel_,
-      [this](peer_id to, const ilp::ilp_header& header, const bytes& payload) {
-        pipes_.send(to, header, payload);
+      [this](peer_id to, const ilp::ilp_header& header, const_byte_span payload) {
+        // send_span seals straight out of the terminus' payload view (which
+        // may alias an ingress slab) — no owned copy on the forward path.
+        pipes_.send_span(to, header, payload);
       });
   terminus_->enable_telemetry(metrics_, &tracer_);
   if (config_.path_span_capacity > 0) terminus_->enable_path_tracing(&path_rec_);
@@ -119,13 +121,15 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
     schedule_liveness_tick();
   }
   pipes_.set_batch_deliver([this](peer_id from, std::span<ilp::opened_packet> pkts) {
-    batch_scratch_.clear();
-    batch_scratch_.reserve(pkts.size());
+    // Zero-copy dispatch: the terminus consumes views aliasing the opened
+    // payloads (decrypt arena or ingress slab). Only slow-path detours copy
+    // into owned packets; the fast path never duplicates a payload byte.
+    view_batch_scratch_.clear();
+    view_batch_scratch_.reserve(pkts.size());
     for (ilp::opened_packet& p : pkts) {
-      batch_scratch_.push_back(
-          packet{from, std::move(p.header), bytes(p.payload.begin(), p.payload.end())});
+      view_batch_scratch_.push_back(packet_view{from, std::move(p.header), p.payload});
     }
-    terminus_->handle_batch(batch_scratch_);
+    terminus_->handle_batch(std::span<packet_view>(view_batch_scratch_));
   });
   if (config_.workers > 0) start_workers();
 }
@@ -166,11 +170,14 @@ void service_node::start_workers() {
     worker_shard& sh = *shards_[i];
     sh.terminus = std::make_unique<pipe_terminus>(
         sh.cache, hub_->endpoint(i),
-        [&sh](peer_id to, const ilp::ilp_header& header, const bytes& payload) {
+        [&sh](peer_id to, const ilp::ilp_header& header, const_byte_span payload) {
           outbound o;
           o.to = to;
           o.header = header;
-          o.payload = payload;
+          // The egress ring outlives the batch (and the slab the span may
+          // alias), so the deferred send takes an owned copy here — the one
+          // copy the sharded forward path still pays (DESIGN.md §12).
+          o.payload.assign(payload.begin(), payload.end());
           // Never block the worker: a momentarily full egress ring spills
           // into the worker-private overflow, drained next iteration.
           if (sh.egress_overflow.empty() &&
@@ -300,12 +307,76 @@ void service_node::steer_data_run(peer_id from, std::span<std::pair<peer_id, byt
   }
 }
 
+void service_node::steer_views(std::span<std::pair<peer_id, buf::pkt_view>> datagrams) {
+  trace::scoped_tracer st(&tracer_);
+  std::size_t i = 0;
+  while (i < datagrams.size()) {
+    const peer_id from = datagrams[i].first;
+    std::size_t j = i;
+    while (j < datagrams.size() && datagrams[j].first == from &&
+           !datagrams[j].second.empty() &&
+           static_cast<ilp::msg_kind>(datagrams[j].second.span()[0]) == ilp::msg_kind::data) {
+      ++j;
+    }
+    if (j > i) {
+      steer_data_run_views(from, datagrams.subspan(i, j - i));
+      i = j;
+      continue;
+    }
+    // Handshakes / unknown kinds / empties run inline off the slab view;
+    // the slab recycles when the caller clears its batch.
+    pipes_.on_datagram(from, datagrams[i].second.span());
+    ++i;
+  }
+  poll();
+}
+
+void service_node::steer_data_run_views(peer_id from,
+                                        std::span<std::pair<peer_id, buf::pkt_view>> run) {
+  ilp::pipe* p = pipes_.pipe_for(from);
+  if (p == nullptr) {
+    for (auto& [peer, view] : run) pipes_.on_datagram(peer, view.span());
+    return;
+  }
+  span_scratch_.clear();
+  for (auto& [peer, view] : run) {
+    span_scratch_.push_back(view.span().subspan(1));
+  }
+  p->peek_flow_batch(span_scratch_, peek_scratch_);
+  for (std::size_t k = 0; k < run.size(); ++k) {
+    if (!peek_scratch_[k].ok) {
+      pipes_.on_datagram(from, run[k].second.span());
+      continue;
+    }
+    const cache_key key{from, peek_scratch_[k].service, peek_scratch_[k].connection};
+    const std::size_t s = steerer_->shard_of(key);
+    worker_shard& sh = *shards_[s];
+    if (sh.ingress.size_approx() >= sh.ingress.capacity()) {
+      m_ingress_drops_[s]->add();
+      run[k].second.reset();  // drop the slab reference now, not at batch end
+      continue;
+    }
+    // The slab reference itself crosses the ring: the slab stays pinned
+    // until the worker finishes the batch and drops the view.
+    shard_msg msg;
+    msg.from = from;
+    msg.view = std::move(run[k].second);
+    sh.ingress.try_push(std::move(msg));
+    sh.pushed.fetch_add(1, std::memory_order_release);
+    m_steered_[s]->add();
+    wake_shard(s);
+  }
+}
+
 std::size_t service_node::drain_egress() {
   std::size_t n = 0;
   for (auto& shp : shards_) {
     worker_shard& sh = *shp;
     while (auto o = sh.egress.try_pop()) {
-      pipes_.send(o->to, o->header, std::move(o->payload));
+      // send_span seals into the manager's reused scratch and, when the
+      // owner installed a raw/gather hook, goes out without building an
+      // owned datagram at all.
+      pipes_.send_span(o->to, o->header, o->payload);
       ++n;
     }
     if (sh.spill.load(std::memory_order_acquire) > 0) wake_shard(sh.index);
@@ -414,38 +485,65 @@ void service_node::worker_main(std::size_t shard) {
           ++i;
           continue;
         }
-        // Same-peer run (no interleaved key update): one batched decrypt,
-        // one terminus batch.
+        // Same-peer, same-storage run (no interleaved key update): one
+        // batched decrypt, one terminus batch. Slab-view runs decrypt in
+        // place inside the slabs and the terminus consumes packet_views
+        // aliasing them; owned-bytes runs keep the copying decrypt.
         const peer_id from = m.from;
+        const bool is_view = static_cast<bool>(m.view);
         std::size_t j = i;
         sh.body_scratch.clear();
-        while (j < batch.size() && batch[j].from == from && !batch[j].rx_update) {
-          sh.body_scratch.emplace_back(batch[j].datagram.data() + 1,
-                                       batch[j].datagram.size() - 1);
+        sh.mut_body_scratch.clear();
+        while (j < batch.size() && batch[j].from == from && !batch[j].rx_update &&
+               static_cast<bool>(batch[j].view) == is_view) {
+          if (is_view) {
+            sh.mut_body_scratch.push_back(batch[j].view.mutable_span().subspan(1));
+          } else {
+            sh.body_scratch.emplace_back(batch[j].datagram.data() + 1,
+                                         batch[j].datagram.size() - 1);
+          }
           ++j;
         }
+        const std::size_t run_len = j - i;
         auto rit = sh.replicas.find(from);
         if (rit == sh.replicas.end()) {
           // Cannot happen via the steering path (the replica rides the
           // same FIFO ring, ahead of the data) — counted, not asserted.
-          sh.m_no_replica->add(j - i);
+          sh.m_no_replica->add(run_len);
           i = j;
           continue;
         }
-        const std::size_t opened = rit->second.decrypt_batch(sh.body_scratch, sh.opened_scratch);
-        if (opened < sh.body_scratch.size()) {
-          sh.m_rejected->add(sh.body_scratch.size() - opened);
+        const std::size_t opened =
+            is_view ? rit->second.decrypt_batch_mut(sh.mut_body_scratch, sh.opened_scratch)
+                    : rit->second.decrypt_batch(sh.body_scratch, sh.opened_scratch);
+        if (opened < run_len) {
+          sh.m_rejected->add(run_len - opened);
         }
-        sh.pkt_scratch.clear();
-        for (auto& op : sh.opened_scratch) {
-          if (op) {
-            sh.pkt_scratch.push_back(packet{from, std::move(op->header),
-                                            bytes(op->payload.begin(), op->payload.end())});
+        if (is_view) {
+          sh.view_pkt_scratch.clear();
+          for (auto& op : sh.opened_scratch) {
+            if (op) {
+              sh.view_pkt_scratch.push_back(packet_view{from, std::move(op->header), op->payload});
+            }
           }
+          if (!sh.view_pkt_scratch.empty()) {
+            sh.terminus->handle_batch(std::span<packet_view>(sh.view_pkt_scratch));
+          }
+        } else {
+          sh.pkt_scratch.clear();
+          for (auto& op : sh.opened_scratch) {
+            if (op) {
+              sh.pkt_scratch.push_back(packet{from, std::move(op->header),
+                                              bytes(op->payload.begin(), op->payload.end())});
+            }
+          }
+          if (!sh.pkt_scratch.empty()) sh.terminus->handle_batch(sh.pkt_scratch);
         }
-        if (!sh.pkt_scratch.empty()) sh.terminus->handle_batch(sh.pkt_scratch);
         i = j;
       }
+      // Drop the batch now (not at the top of the next iteration) so any
+      // slab references it pinned recycle immediately.
+      batch.clear();
     }
 
     if (sh.terminus->pump() > 0) busy = true;
@@ -559,6 +657,29 @@ void service_node::on_datagrams(std::span<const std::pair<peer_id, bytes>> datag
       ++j;
     }
     pipes_.on_datagram_batch(from, span_scratch_);
+    i = j;
+  }
+}
+
+void service_node::on_datagram_views(std::span<std::pair<peer_id, buf::pkt_view>> datagrams) {
+  if (!shards_.empty()) {
+    steer_views(datagrams);
+    return;
+  }
+  trace::scoped_tracer st(&tracer_);
+  // Same-peer runs through the mutable batched path: data messages are
+  // decrypted in place inside their slabs, so the whole inline fast path
+  // (decrypt → terminus → forward) runs without copying a payload.
+  std::size_t i = 0;
+  while (i < datagrams.size()) {
+    const peer_id from = datagrams[i].first;
+    std::size_t j = i;
+    mut_span_scratch_.clear();
+    while (j < datagrams.size() && datagrams[j].first == from) {
+      mut_span_scratch_.push_back(datagrams[j].second.mutable_span());
+      ++j;
+    }
+    pipes_.on_datagram_batch_mut(from, mut_span_scratch_);
     i = j;
   }
 }

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/buf_pool.h"
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/ring.h"
@@ -123,6 +124,16 @@ class service_node final : public node_services {
   // hands over exactly this shape). Identical to the const overload when
   // workers == 0.
   void on_datagrams(std::span<std::pair<peer_id, bytes>> datagrams);
+
+  // Zero-copy ingress (ISSUE 6): datagrams arrive as refcounted slab views
+  // straight from udp_endpoint::recv_batch_views. Data messages are
+  // decrypted in place inside the slab (pipe_manager::on_datagram_batch_mut
+  // inline; decrypt_batch_mut on the shards) and the terminus consumes
+  // packet_views aliasing the slab — no per-packet payload copy anywhere on
+  // the fast path. In parallel mode the slab reference itself rides the
+  // shard ring, so the slab stays alive (and unrecycled) until the worker
+  // is done with it. The views are consumed (moved from).
+  void on_datagram_views(std::span<std::pair<peer_id, buf::pkt_view>> datagrams);
 
   // Parallel-mode service: dispatches pending slow-path requests on this
   // (the control) thread and drains shard egress into the pipes. Safe and
@@ -265,13 +276,17 @@ class service_node final : public node_services {
   void stop_checkpointing() { checkpoint_running_ = false; }
 
  private:
-  // One unit over a shard's ingress ring: either a steered data datagram
-  // (full wire bytes, kind byte included) or a receive-key update for one
-  // peer. Updates ride the same FIFO ring as data, so a replica is always
-  // installed before any packet that needs it is decrypted.
+  // One unit over a shard's ingress ring: a steered data datagram (full
+  // wire bytes, kind byte included) as either an owned copy (`datagram`) or
+  // a refcounted slab view (`view` — the zero-copy ingress path; the slab
+  // recycles when the worker drops the last reference), or a receive-key
+  // update for one peer. Updates ride the same FIFO ring as data, so a
+  // replica is always installed before any packet that needs it is
+  // decrypted.
   struct shard_msg {
     peer_id from = 0;
     bytes datagram;
+    buf::pkt_view view;
     std::unique_ptr<ilp::pipe_rx> rx_update;
   };
 
@@ -321,8 +336,10 @@ class service_node final : public node_services {
     // Worker-loop scratch, reused across iterations.
     std::vector<shard_msg> batch_scratch;
     std::vector<const_byte_span> body_scratch;
+    std::vector<byte_span> mut_body_scratch;  // zero-copy runs (in-place decrypt)
     std::vector<std::optional<ilp::opened_packet>> opened_scratch;
     std::vector<packet> pkt_scratch;
+    std::vector<packet_view> view_pkt_scratch;
   };
 
   slowpath_response handle_slowpath(slowpath_request req);
@@ -348,6 +365,8 @@ class service_node final : public node_services {
   void wake_shard(std::size_t shard);
   void steer(std::span<std::pair<peer_id, bytes>> datagrams);
   void steer_data_run(peer_id from, std::span<std::pair<peer_id, bytes>> run);
+  void steer_views(std::span<std::pair<peer_id, buf::pkt_view>> datagrams);
+  void steer_data_run_views(peer_id from, std::span<std::pair<peer_id, buf::pkt_view>> run);
   void push_rx_update(peer_id peer, const ilp::pipe& p);
   std::size_t drain_egress();
 
@@ -390,7 +409,9 @@ class service_node final : public node_services {
   // Batch-path scratch, reused across calls.
   std::vector<trace::path_span> span_drain_scratch_;
   std::vector<packet> batch_scratch_;
+  std::vector<packet_view> view_batch_scratch_;
   std::vector<const_byte_span> span_scratch_;
+  std::vector<byte_span> mut_span_scratch_;
   std::vector<ilp::flow_peek> peek_scratch_;
   std::vector<std::pair<peer_id, bytes>> copy_scratch_;
 };

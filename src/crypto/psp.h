@@ -48,6 +48,15 @@ class psp_context {
   // Scratch-buffer variant of open(): decrypts into `out`, which must hold
   // wire.size() - kPspOverhead bytes. Returns the plaintext length, or
   // nullopt on unknown SPI / authentication failure (out untouched).
+  //
+  // Aliasing guarantee (the zero-copy ingress path depends on it, here and
+  // in open_batch): `out` MAY overlap the wire's ciphertext region
+  // (wire.subspan(12, wire.size() - kPspOverhead)) — in particular it may
+  // be exactly that region, decrypting the packet in place. The Poly1305
+  // tag is verified over the ciphertext BEFORE any plaintext byte is
+  // written, and the keystream xor tolerates dst == src (memmove
+  // semantics), so a failed open leaves the wire intact and a successful
+  // one never reads a byte it already overwrote.
   std::optional<std::size_t> open_into(const_byte_span wire, const_byte_span aad,
                                        byte_span out) const;
 
@@ -59,7 +68,9 @@ class psp_context {
   // for seal; wires[i].size() - kPspOverhead for open). The aads[i]
   // overloads bind per-packet context; the single-aad overloads bind the
   // same context to every packet. open_batch records per-packet success in
-  // ok[i]; both return the number of successful packets.
+  // ok[i]; both return the number of successful packets. open_batch's
+  // outs[i] may alias wires[i]'s ciphertext region (in-place decrypt) —
+  // see the aliasing guarantee on open_into.
   std::size_t seal_batch(std::span<const const_byte_span> plaintexts, const_byte_span aad,
                          std::span<const byte_span> outs);
   std::size_t seal_batch(std::span<const const_byte_span> plaintexts,

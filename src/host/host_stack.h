@@ -21,8 +21,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 
+#include "common/buf_pool.h"
 #include "common/clock.h"
 #include "common/rng.h"
 #include "common/trace.h"
@@ -90,6 +93,15 @@ class host_stack {
 
   // Wire to the network.
   void on_datagram(peer_id from, const_byte_span datagram);
+
+  // Zero-copy ingress convenience (ISSUE 6): accepts the slab views a
+  // udp_endpoint::recv_batch_views / event_loop::attach_views hands over
+  // and feeds each through on_datagram. Host traffic volume doesn't call
+  // for a dedicated in-place datapath — the views simply skip the
+  // transport-layer copy into owned bytes.
+  void on_datagram_views(std::span<std::pair<peer_id, buf::pkt_view>> datagrams) {
+    for (auto& [from, view] : datagrams) on_datagram(from, view.span());
+  }
 
   edge_addr addr() const { return config_.addr; }
   peer_id first_hop_sn() const { return config_.first_hop_sn; }

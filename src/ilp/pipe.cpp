@@ -163,6 +163,85 @@ std::size_t rx_core::decrypt_batch(std::span<const const_byte_span> bodies,
   return opened;
 }
 
+std::size_t rx_core::decrypt_batch_mut(std::span<const byte_span> bodies,
+                                       std::vector<std::optional<opened_packet>>& out,
+                                       pipe_stats& stats) {
+  const std::size_t n = bodies.size();
+  out.clear();
+  out.resize(n);
+
+  trace::tracer* tr = trace::current();
+  std::uint64_t t0 = 0, t1 = 0, t2 = 0;
+  if (tr) t0 = trace::now_ns();
+
+  // Pass 1: parse framing. Identical to decrypt_batch, except the decrypt
+  // destination is computed inside the body itself: the plaintext header
+  // (sealed_len - kPspOverhead bytes) lands over its own ciphertext, which
+  // starts 12 bytes (spi + iv) into the sealed region. No arena.
+  sealed_scratch_.assign(n, {});
+  payload_scratch_.assign(n, {});
+  aad_bytes_scratch_.resize(8 * n);
+  aad_scratch_.assign(n, {});
+  dst_scratch_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      reader r(bodies[i]);
+      const const_byte_span sealed = r.blob();
+      const const_byte_span payload = r.raw(r.remaining());
+      if (sealed.size() < crypto::kPspOverhead) {
+        ++stats.rejected;
+        continue;
+      }
+      length_aad(&aad_bytes_scratch_[8 * i], payload.size());
+      aad_scratch_[i] = const_byte_span(&aad_bytes_scratch_[8 * i], 8);
+      sealed_scratch_[i] = sealed;
+      payload_scratch_[i] = payload;
+      const std::size_t sealed_off =
+          static_cast<std::size_t>(sealed.data() - bodies[i].data());
+      dst_scratch_[i] =
+          bodies[i].subspan(sealed_off + 12, sealed.size() - crypto::kPspOverhead);
+    } catch (const serial_error&) {
+      ++stats.rejected;
+    }
+  }
+
+  if (tr) t1 = trace::now_ns();
+
+  // Pass 2: one multi-stream batch decrypt, in place. psp::open_batch
+  // permits dst aliasing the wire's ciphertext (tag is verified before any
+  // plaintext byte is written).
+  if (ok_capacity_ < n) {
+    ok_scratch_ = std::make_unique<bool[]>(n);
+    ok_capacity_ = n;
+  }
+  ctx_.open_batch(sealed_scratch_, aad_scratch_, dst_scratch_,
+                  std::span<bool>(ok_scratch_.get(), n));
+  if (tr) t2 = trace::now_ns();
+
+  // Pass 3: decode the authenticated headers out of the bodies.
+  std::size_t opened = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sealed_scratch_[i].empty()) continue;  // already counted rejected
+    if (!ok_scratch_[i]) {
+      ++stats.rejected;
+      continue;
+    }
+    try {
+      out[i] = opened_packet{ilp_header::decode(dst_scratch_[i]), payload_scratch_[i]};
+      ++stats.opened;
+      ++opened;
+    } catch (const serial_error&) {
+      ++stats.rejected;
+    }
+  }
+  if (tr) {
+    const std::uint64_t t3 = trace::now_ns();
+    tr->record_stage(trace::stage::parse, (t1 - t0) + (t3 - t2));
+    tr->record_stage(trace::stage::decrypt, t2 - t1);
+  }
+  return opened;
+}
+
 }  // namespace detail
 
 pipe::pipe(const_byte_span secret, std::uint32_t local_spi, std::uint32_t remote_spi,
@@ -192,6 +271,26 @@ void pipe::seal_into(const ilp_header& header, const_byte_span payload, bytes& o
   ++stats_.sealed;
 }
 
+void pipe::seal_head_into(const ilp_header& header, std::size_t payload_len, bytes& head) {
+  header_scratch_.clear();
+  header.encode_into(header_scratch_);
+  const const_byte_span header_bytes = header_scratch_.data();
+  const std::size_t sealed_len = header_bytes.size() + crypto::kPspOverhead;
+
+  std::uint8_t aad[8];
+  length_aad(aad, payload_len);
+
+  head.clear();
+  head.reserve(1 + 10 + sealed_len);
+  head.push_back(static_cast<std::uint8_t>(msg_kind::data));
+  append_varint(head, sealed_len);
+  const std::size_t seal_offset = head.size();
+  head.resize(seal_offset + sealed_len);
+  tx_.seal_into(header_bytes, const_byte_span(aad, 8),
+                byte_span(head).subspan(seal_offset, sealed_len));
+  ++stats_.sealed;
+}
+
 bytes pipe::seal(const ilp_header& header, const_byte_span payload) {
   bytes out;
   seal_into(header, payload, out);
@@ -205,6 +304,11 @@ std::optional<std::pair<ilp_header, bytes>> pipe::open(const_byte_span body) {
 std::size_t pipe::decrypt_batch(std::span<const const_byte_span> bodies,
                                 std::vector<std::optional<opened_packet>>& out) {
   return rx_.decrypt_batch(bodies, out, stats_);
+}
+
+std::size_t pipe::decrypt_batch_mut(std::span<const byte_span> bodies,
+                                    std::vector<std::optional<opened_packet>>& out) {
+  return rx_.decrypt_batch_mut(bodies, out, stats_);
 }
 
 std::size_t pipe::peek_flow_batch(std::span<const const_byte_span> bodies,

@@ -72,6 +72,16 @@ class rx_core {
   std::optional<std::pair<ilp_header, bytes>> open(const_byte_span body, pipe_stats& stats);
   std::size_t decrypt_batch(std::span<const const_byte_span> bodies,
                             std::vector<std::optional<opened_packet>>& out, pipe_stats& stats);
+  // In-place variant for the zero-copy path: bodies are MUTABLE buffers
+  // (pool slabs) and each authenticated header is decrypted over its own
+  // ciphertext inside the buffer — no plaintext arena, no allocation.
+  // out[i]'s payload span aliases the body; the body's sealed region is
+  // destroyed (overwritten with plaintext) for every packet that passed
+  // authentication, so a body cannot be re-opened. Safe because psp's
+  // open verifies the tag before any byte is written (see psp.h).
+  std::size_t decrypt_batch_mut(std::span<const byte_span> bodies,
+                                std::vector<std::optional<opened_packet>>& out,
+                                pipe_stats& stats);
   void rotate() { ctx_.rotate(); }
   const crypto::psp_context& ctx() const { return ctx_; }
 
@@ -105,6 +115,12 @@ class pipe_rx {
                             std::vector<std::optional<opened_packet>>& out) {
     return core_.decrypt_batch(bodies, out, stats_);
   }
+  // Zero-copy ingress: decrypts headers in place inside the (mutable)
+  // bodies — see rx_core::decrypt_batch_mut.
+  std::size_t decrypt_batch_mut(std::span<const byte_span> bodies,
+                                std::vector<std::optional<opened_packet>>& out) {
+    return core_.decrypt_batch_mut(bodies, out, stats_);
+  }
   void rotate() { core_.rotate(); }
   const pipe_stats& stats() const { return stats_; }
 
@@ -127,6 +143,13 @@ class pipe {
   // header metadata map — the seal itself allocates nothing.
   void seal_into(const ilp_header& header, const_byte_span payload, bytes& out);
 
+  // Gather-send variant: writes only the message head (kind byte, varint
+  // framing, sealed header — with the AAD binding `payload_len`) into
+  // `head`, leaving the payload to be supplied as a second iovec at send
+  // time (udp_endpoint::send_gather). The egress path never concatenates
+  // head and payload into one buffer.
+  void seal_head_into(const ilp_header& header, std::size_t payload_len, bytes& head);
+
   // Parses a data message body (kind byte already consumed).
   // nullopt if the header fails to authenticate or the message is malformed.
   std::optional<std::pair<ilp_header, bytes>> open(const_byte_span body);
@@ -138,6 +161,12 @@ class pipe {
   // number of packets opened.
   std::size_t decrypt_batch(std::span<const const_byte_span> bodies,
                             std::vector<std::optional<opened_packet>>& out);
+
+  // In-place batch ingress over mutable buffers (pool slabs): plaintext
+  // headers overwrite their ciphertext, payload spans alias the bodies,
+  // nothing is copied. See detail::rx_core::decrypt_batch_mut.
+  std::size_t decrypt_batch_mut(std::span<const byte_span> bodies,
+                                std::vector<std::optional<opened_packet>>& out);
 
   // Flow-steering peek over a batch of data-message bodies: reads each
   // packet's leading (service, connection) header fields with one

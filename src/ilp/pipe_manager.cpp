@@ -70,6 +70,32 @@ void pipe_manager::send(peer_id peer, const ilp_header& header, bytes payload) {
   pending_it->second.queued.emplace_back(header, std::move(payload));
 }
 
+void pipe_manager::send_span(peer_id peer, const ilp_header& header, const_byte_span payload) {
+  auto it = pipes_.find(peer);
+  if (it != pipes_.end()) {
+    if (send_gather_) {
+      it->second->seal_head_into(header, payload.size(), seal_scratch_);
+      send_gather_(peer, seal_scratch_, payload);
+      return;
+    }
+    it->second->seal_into(header, payload, seal_scratch_);
+    if (send_raw_) {
+      send_raw_(peer, seal_scratch_);
+      return;
+    }
+    send_(peer, seal_scratch_);  // no zero-copy hook: compat copy
+    return;
+  }
+  // Cold path: the packet queues behind the handshake, so it needs to own
+  // its payload.
+  auto pending_it = pending_.find(peer);
+  if (pending_it == pending_.end()) {
+    start_handshake(peer);
+    pending_it = pending_.find(peer);
+  }
+  pending_it->second.queued.emplace_back(header, bytes(payload.begin(), payload.end()));
+}
+
 void pipe_manager::on_datagram(peer_id peer, const_byte_span datagram) {
   if (datagram.empty()) return;
   const auto kind = static_cast<msg_kind>(datagram[0]);
@@ -226,6 +252,32 @@ void pipe_manager::on_datagram_batch(peer_id peer, std::span<const const_byte_sp
   flush();
 }
 
+void pipe_manager::on_datagram_batch_mut(peer_id peer, std::span<const byte_span> datagrams) {
+  // Same run-splitting as on_datagram_batch, but data runs decrypt in
+  // place inside the caller's (mutable) buffers.
+  if (!deliver_batch_) {
+    for (const byte_span& d : datagrams) on_datagram(peer, d);
+    return;
+  }
+  run_mut_scratch_.clear();
+  auto flush = [&] {
+    if (!run_mut_scratch_.empty()) {
+      flush_data_run_mut(peer, run_mut_scratch_);
+      run_mut_scratch_.clear();
+    }
+  };
+  for (const byte_span& datagram : datagrams) {
+    if (datagram.empty()) continue;
+    if (static_cast<msg_kind>(datagram[0]) == msg_kind::data) {
+      run_mut_scratch_.push_back(datagram.subspan(1));
+      continue;
+    }
+    flush();
+    on_datagram(peer, datagram);
+  }
+  flush();
+}
+
 void pipe_manager::flush_data_run(peer_id peer, std::span<const const_byte_span> bodies) {
   auto it = pipes_.find(peer);
   if (it == pipes_.end()) {
@@ -235,8 +287,25 @@ void pipe_manager::flush_data_run(peer_id peer, std::span<const const_byte_span>
     return;
   }
   const std::size_t opened = it->second->decrypt_batch(bodies, opened_scratch_);
-  if (opened < bodies.size()) {
-    const std::size_t rejected = bodies.size() - opened;
+  deliver_opened_batch(peer, opened == bodies.size() ? 0 : bodies.size() - opened);
+}
+
+void pipe_manager::flush_data_run_mut(peer_id peer, std::span<const byte_span> bodies) {
+  auto it = pipes_.find(peer);
+  if (it == pipes_.end()) {
+    if (no_pipe_drops_) no_pipe_drops_->add(bodies.size());
+    IE_LOG(debug) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
+                  << kv("drop", "data-before-pipe") << kv("pkts", bodies.size());
+    return;
+  }
+  const std::size_t opened = it->second->decrypt_batch_mut(bodies, opened_scratch_);
+  deliver_opened_batch(peer, opened == bodies.size() ? 0 : bodies.size() - opened);
+}
+
+// Common tail of the two flush paths: count rejects, compact the opened
+// packets out of opened_scratch_ and hand them to the batch deliverer.
+void pipe_manager::deliver_opened_batch(peer_id peer, std::size_t rejected) {
+  if (rejected > 0) {
     if (rejected_pkts_) rejected_pkts_->add(rejected);
     IE_LOG(warn) << "pipe_manager" << kv("self", self_) << kv("peer", peer)
                  << kv("drop", "auth-reject") << kv("pkts", rejected);

@@ -63,11 +63,31 @@ class pipe_manager {
   // spans alias the datagram buffers passed to on_datagram_batch.
   using deliver_batch_fn = std::function<void(peer_id peer, std::span<opened_packet> packets)>;
 
+  // Zero-copy egress hooks (optional). send_raw passes the sealed datagram
+  // as a span into the manager's reused seal scratch — valid only for the
+  // duration of the call (a socket send copies into the kernel before
+  // returning, so udp_endpoint::send qualifies). send_gather goes further:
+  // the sealed message head and the payload stay separate buffers, to be
+  // glued by scatter-gather I/O (udp_endpoint::send_gather). Resolution
+  // order in send_span: gather, then raw, then the owning send_fn.
+  using send_raw_fn = std::function<void(peer_id peer, const_byte_span datagram)>;
+  using send_gather_fn =
+      std::function<void(peer_id peer, const_byte_span head, const_byte_span payload)>;
+
   pipe_manager(peer_id self, send_fn send, deliver_fn deliver);
 
   // Sends over the pipe to `peer`, establishing it first if needed
   // (packets queue behind the handshake).
   void send(peer_id peer, const ilp_header& header, bytes payload);
+
+  // Zero-copy send: seals into reused scratch and hands the result to the
+  // gather/raw hook (falling back to an owned copy through send_fn when
+  // neither is set). The payload is only read during the call. Queues an
+  // owned copy behind a pending handshake — the cold path still copies.
+  void send_span(peer_id peer, const ilp_header& header, const_byte_span payload);
+
+  void set_send_raw(send_raw_fn f) { send_raw_ = std::move(f); }
+  void set_send_gather(send_gather_fn f) { send_gather_ = std::move(f); }
 
   // Feeds a received datagram (handshake or data) into the manager.
   void on_datagram(peer_id peer, const_byte_span datagram);
@@ -77,6 +97,14 @@ class pipe_manager {
   // deliver callback in one call (falling back to per-packet deliver when
   // none is set); handshake messages are handled inline in arrival order.
   void on_datagram_batch(peer_id peer, std::span<const const_byte_span> datagrams);
+
+  // Zero-copy batch ingress over MUTABLE datagram buffers (pool slabs):
+  // data runs are decrypted in place via pipe::decrypt_batch_mut — the
+  // delivered packets' headers were decrypted over their own ciphertext
+  // and payload spans alias the slabs, which must stay live (and unmoved)
+  // until the deliver callback returns. Handshake messages are handled
+  // inline in arrival order, exactly like on_datagram_batch.
+  void on_datagram_batch_mut(peer_id peer, std::span<const byte_span> datagrams);
 
   // Installs the batch delivery path used by on_datagram_batch.
   void set_batch_deliver(deliver_batch_fn deliver_batch) {
@@ -168,6 +196,8 @@ class pipe_manager {
 
   void start_handshake(peer_id peer);
   void flush_data_run(peer_id peer, std::span<const const_byte_span> bodies);
+  void flush_data_run_mut(peer_id peer, std::span<const byte_span> bodies);
+  void deliver_opened_batch(peer_id peer, std::size_t rejected);
   void handle_init(peer_id peer, const_byte_span body);
   void handle_resp(peer_id peer, const_byte_span body);
   void handle_data(peer_id peer, const_byte_span body);
@@ -185,6 +215,8 @@ class pipe_manager {
 
   peer_id self_;
   send_fn send_;
+  send_raw_fn send_raw_;
+  send_gather_fn send_gather_;
   deliver_fn deliver_;
   deliver_batch_fn deliver_batch_;
   rx_keys_fn rx_keys_;
@@ -201,8 +233,10 @@ class pipe_manager {
   std::map<peer_id, liveness_state> liveness_;
   // Batch-path scratch, reused across on_datagram_batch calls.
   std::vector<const_byte_span> run_scratch_;
+  std::vector<byte_span> run_mut_scratch_;
   std::vector<std::optional<opened_packet>> opened_scratch_;
   std::vector<opened_packet> batch_scratch_;
+  bytes seal_scratch_;  // send_span's sealed-message reuse
   std::map<peer_id, std::unique_ptr<pipe>> pipes_;
   std::map<peer_id, pending_state> pending_;
   std::map<peer_id, responder_memo> responder_memos_;

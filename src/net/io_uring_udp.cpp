@@ -1,0 +1,250 @@
+#include "net/io_uring_udp.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if INTEREDGE_HAS_IO_URING
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace interedge::net {
+
+namespace {
+std::atomic<bool> g_force_unavailable{false};
+}  // namespace
+
+void io_uring_force_unavailable(bool on) {
+  g_force_unavailable.store(on, std::memory_order_relaxed);
+}
+
+#if !INTEREDGE_HAS_IO_URING
+
+bool io_uring_runtime_available() { return false; }
+
+#else  // INTEREDGE_HAS_IO_URING
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+// The SQ/CQ indices are shared with the kernel; loads/stores need the same
+// acquire/release pairing liburing uses.
+unsigned load_acquire(const unsigned* p) {
+  return std::atomic_ref<const unsigned>(*p).load(std::memory_order_acquire);
+}
+void store_release(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+bool uring_rx::available() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) return false;
+  static const bool probed = [] {
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(1, &params);
+    if (fd < 0) return false;  // ENOSYS (old kernel) or EPERM (seccomp)
+    ::close(fd);
+    return true;
+  }();
+  return probed;
+}
+
+uring_rx::uring_rx(int socket_fd, buf::buf_pool& pool, config cfg)
+    : pool_(&pool), cache_(pool) {
+  if (cfg.slots == 0) cfg.slots = 1;
+
+  io_uring_params params{};
+  if (cfg.sqpoll) {
+    params.flags = IORING_SETUP_SQPOLL;
+    params.sq_thread_idle = cfg.sqpoll_idle_ms;
+    ring_fd_ = sys_io_uring_setup(cfg.slots, &params);
+    sqpoll_active_ = ring_fd_ >= 0;
+  }
+  if (ring_fd_ < 0) {
+    // SQPOLL needs privileges on older kernels; retry plain.
+    params = io_uring_params{};
+    ring_fd_ = sys_io_uring_setup(cfg.slots, &params);
+  }
+  if (ring_fd_ < 0) {
+    throw std::runtime_error(std::string("io_uring_setup failed: ") + std::strerror(errno));
+  }
+
+  // Map the rings. With IORING_FEAT_SINGLE_MMAP (5.4+) the SQ and CQ live
+  // in one region; otherwise they are two mappings.
+  sq_ring_size_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_size_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && cq_ring_size_ > sq_ring_size_) sq_ring_size_ = cq_ring_size_;
+
+  sq_ring_ = ::mmap(nullptr, sq_ring_size_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    ::close(ring_fd_);
+    throw std::runtime_error("io_uring sq mmap failed");
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_size_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_size_);
+      ::close(ring_fd_);
+      throw std::runtime_error("io_uring cq mmap failed");
+    }
+  }
+  sqes_size_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(::mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+                                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                            IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    if (cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_size_);
+    ::munmap(sq_ring_, sq_ring_size_);
+    ::close(ring_fd_);
+    throw std::runtime_error("io_uring sqes mmap failed");
+  }
+
+  auto* sq_base = static_cast<std::uint8_t*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+  sq_flags_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.flags);
+  auto* cq_base = static_cast<std::uint8_t*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+
+  // One slot per SQ entry the kernel actually granted (it rounds up).
+  slots_.resize(std::min<unsigned>(cfg.slots, params.sq_entries));
+  for (auto& slot : slots_) {
+    slot.hdr.msg_name = &slot.source;
+    slot.hdr.msg_iov = &slot.iov;
+    slot.hdr.msg_iovlen = 1;
+  }
+  socket_fd_ = socket_fd;
+  for (unsigned i = 0; i < slots_.size(); ++i) arm(i);
+  submit_pending();
+}
+
+uring_rx::~uring_rx() {
+  // Closing the ring fd cancels in-flight SQEs and drops the kernel's hold
+  // on the mappings; slot views release their slabs on vector destruction.
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_size_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_size_);
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_size_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+void uring_rx::arm(unsigned idx) {
+  rx_slot& slot = slots_[idx];
+  if (slot.armed) return;
+  if (!slot.view) {
+    auto ref = cache_.try_alloc();
+    if (!ref) {
+      ++parked_;  // pool dry: slot sits out until replenish()
+      return;
+    }
+    const std::size_t size = ref.size();
+    slot.view = buf::pkt_view(std::move(ref), 0, size);
+  }
+  slot.iov.iov_base = slot.view.mutable_span().data();
+  slot.iov.iov_len = slot.view.size();
+  slot.hdr.msg_namelen = sizeof(slot.source);
+  slot.hdr.msg_flags = 0;
+  if (push_sqe(idx)) slot.armed = true;
+}
+
+bool uring_rx::push_sqe(unsigned idx) {
+  const unsigned head = load_acquire(sq_head_);
+  const unsigned tail = *sq_tail_;
+  if (tail - head > sq_mask_) return false;  // SQ full (can't happen: slots <= entries)
+  io_uring_sqe& sqe = sqes_[tail & sq_mask_];
+  std::memset(&sqe, 0, sizeof(sqe));
+  sqe.opcode = IORING_OP_RECVMSG;
+  sqe.fd = socket_fd_;
+  sqe.addr = reinterpret_cast<std::uint64_t>(&slots_[idx].hdr);
+  sqe.user_data = idx;
+  sq_array_[tail & sq_mask_] = tail & sq_mask_;
+  store_release(sq_tail_, tail + 1);
+  ++to_submit_;
+  return true;
+}
+
+void uring_rx::submit_pending() {
+  if (to_submit_ == 0) return;
+  if (sqpoll_active_) {
+    // The kernel thread consumes the SQ on its own; only kick it if it
+    // went to sleep.
+    if ((load_acquire(sq_flags_) & IORING_SQ_NEED_WAKEUP) != 0) {
+      sys_io_uring_enter(ring_fd_, 0, 0, IORING_ENTER_SQ_WAKEUP);
+    }
+    to_submit_ = 0;
+    return;
+  }
+  const int n = sys_io_uring_enter(ring_fd_, to_submit_, 0, 0);
+  if (n > 0) to_submit_ -= static_cast<unsigned>(std::min<unsigned>(to_submit_, n));
+}
+
+std::size_t uring_rx::reap(std::size_t max, std::vector<uring_completion>& out) {
+  std::size_t appended = 0;
+  unsigned head = load_acquire(cq_head_);
+  const unsigned tail = load_acquire(cq_tail_);
+  while (head != tail && appended < max) {
+    const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+    const unsigned idx = static_cast<unsigned>(cqe.user_data);
+    ++head;
+    store_release(cq_head_, head);
+    if (idx >= slots_.size()) continue;  // never expected; defensive
+    rx_slot& slot = slots_[idx];
+    slot.armed = false;
+    if (cqe.res >= 0 && slot.view) {
+      uring_completion c;
+      c.source = slot.source;
+      c.truncated = (slot.hdr.msg_flags & MSG_TRUNC) != 0;
+      if (c.truncated) ++truncated_;
+      // Surrender the slot's slab, windowed to the datagram; the slot
+      // re-arms with a fresh one below.
+      c.view = std::move(slot.view);
+      c.view.truncate(static_cast<std::size_t>(cqe.res));
+      out.push_back(std::move(c));
+      ++appended;
+      ++completions_;
+    }
+    // cqe.res < 0: transient receive error (or cancel at teardown); the
+    // slot still owns its slab and just re-arms.
+    arm(idx);
+  }
+  submit_pending();
+  return appended;
+}
+
+void uring_rx::replenish() {
+  for (unsigned i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].armed) arm(i);
+  }
+  submit_pending();
+}
+
+bool io_uring_runtime_available() { return uring_rx::available(); }
+
+void uring_rx::force_unavailable(bool on) { io_uring_force_unavailable(on); }
+
+#endif  // INTEREDGE_HAS_IO_URING
+
+}  // namespace interedge::net

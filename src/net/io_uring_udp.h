@@ -1,0 +1,162 @@
+// io_uring receive backend for udp_endpoint.
+//
+// The recvmmsg path pays one syscall per batch; io_uring amortizes further:
+// the kernel completes receives into pool slabs while userspace is busy
+// elsewhere, and a drain is just reading the completion queue from shared
+// memory (no syscall at all when completions are already posted). We talk
+// to the kernel directly — setup/enter/register raw syscalls plus the
+// <linux/io_uring.h> ABI header — because the toolchain image carries no
+// liburing, and the subset we need (one socket, RECVMSG, optional SQPOLL)
+// is small.
+//
+// Shape: a fixed set of rx slots, each owning one pool slab with its
+// msghdr/iovec/sockaddr scratch, each kept armed with a RECVMSG SQE
+// (user_data = slot index). A completion surrenders the slot's slab to the
+// caller as a pkt_view and immediately re-arms the slot with a fresh slab.
+// This is "multishot by re-arm": a true IORING_RECV_MULTISHOT +
+// provided-buffer-ring setup would shave the per-completion SQE write, but
+// multishot recv doesn't exist for RECVMSG-with-source-address on all
+// kernels we target and provided buffers can't express our refcounted
+// slabs, so we trade one shared-memory SQE write per packet for a scheme
+// where the pool stays the single owner of buffer lifetime. For the same
+// reason we skip IORING_REGISTER_BUFFERS: fixed buffers only apply to
+// READ_FIXED/WRITE_FIXED-style ops, not RECVMSG, and RECV (which could)
+// loses the source address on an unconnected socket.
+//
+// If the pool runs dry a slot parks unarmed (counted), and replenish()
+// re-arms it once slabs return — backpressure degrades throughput, never
+// correctness. Setup failure (ENOSYS, seccomp EPERM, EPERM under
+// container policy) is reported by available()/the constructor so
+// udp_endpoint can fall back to recvmmsg at runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/buf_pool.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define INTEREDGE_HAS_IO_URING 1
+#else
+#define INTEREDGE_HAS_IO_URING 0
+#endif
+
+#if INTEREDGE_HAS_IO_URING
+#include <linux/io_uring.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#endif
+
+namespace interedge::net {
+
+#if INTEREDGE_HAS_IO_URING
+
+// One received datagram, surrendered by the ring. `view` windows exactly
+// the datagram's bytes inside its slab.
+struct uring_completion {
+  sockaddr_in source;
+  buf::pkt_view view;
+  bool truncated = false;  // datagram exceeded the slab (MSG_TRUNC)
+};
+
+class uring_rx {
+ public:
+  struct config {
+    unsigned slots = 64;     // rx slots kept armed (rounded up to pow2 ring)
+    bool sqpoll = false;     // request a kernel SQ poll thread (best effort)
+    unsigned sqpoll_idle_ms = 50;
+  };
+
+  // Builds the ring over `socket_fd` and arms every slot with a slab from
+  // `pool`. Throws std::runtime_error if the kernel refuses (callers probe
+  // available() first, but TOCTOU-safe either way).
+  uring_rx(int socket_fd, buf::buf_pool& pool, config cfg);
+  ~uring_rx();
+
+  uring_rx(const uring_rx&) = delete;
+  uring_rx& operator=(const uring_rx&) = delete;
+
+  // Does this kernel/process give us a usable io_uring? Probes once with a
+  // throwaway setup call and caches the answer.
+  static bool available();
+  // Test hook: force available() to report false (simulating an old kernel
+  // or a seccomp policy) so the fallback path is exercised determinis-
+  // tically. Affects subsequently constructed endpoints only.
+  static void force_unavailable(bool on);
+
+  // Drains up to `max` posted completions into `out` (no syscall if the CQ
+  // already holds them), re-arming each slot behind them. Returns the
+  // number appended.
+  std::size_t reap(std::size_t max, std::vector<uring_completion>& out);
+
+  // Tries to re-arm slots parked by pool exhaustion. Called by reap();
+  // exposed so owners can pump after releasing views.
+  void replenish();
+
+  // The ring fd polls readable when the CQ is non-empty — this, not the
+  // socket fd, is what a readiness loop must watch (the kernel consumes
+  // the socket asynchronously).
+  int ring_fd() const { return ring_fd_; }
+
+  bool sqpoll_active() const { return sqpoll_active_; }
+  std::uint64_t completions() const { return completions_; }
+  std::uint64_t truncated() const { return truncated_; }
+  // Completions that could not immediately re-arm (pool dry at that
+  // moment). Steady growth means the pool is undersized for the rx rate.
+  std::uint64_t parked() const { return parked_; }
+
+ private:
+  struct rx_slot {
+    buf::pkt_view view;  // slab the kernel writes into (full-slab window)
+    ::iovec iov{};
+    ::msghdr hdr{};
+    sockaddr_in source{};
+    bool armed = false;
+  };
+
+  void arm(unsigned idx);
+  bool push_sqe(unsigned idx);
+  void submit_pending();
+
+  int ring_fd_ = -1;
+  int socket_fd_ = -1;
+  buf::buf_pool* pool_;
+  buf::buf_pool::cache cache_;
+  std::vector<rx_slot> slots_;
+  bool sqpoll_active_ = false;
+  unsigned to_submit_ = 0;
+
+  // Mapped ring state (SQ and CQ share one mapping on modern kernels).
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_size_ = 0;
+  void* cq_ring_ = nullptr;  // == sq_ring_ under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_ring_size_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_size_ = 0;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* sq_flags_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  std::uint64_t completions_ = 0;
+  std::uint64_t truncated_ = 0;
+  std::uint64_t parked_ = 0;
+};
+
+#endif  // INTEREDGE_HAS_IO_URING
+
+// Compiled-or-probed availability, honoring the test force-unavailable
+// hook. False on non-Linux builds and kernels without io_uring.
+bool io_uring_runtime_available();
+void io_uring_force_unavailable(bool on);
+
+}  // namespace interedge::net

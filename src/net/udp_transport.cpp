@@ -20,7 +20,7 @@ std::uint64_t pack_source(const sockaddr_in& addr) {
 
 }  // namespace
 
-udp_endpoint::udp_endpoint(std::uint16_t port, bool reuse_port) {
+void udp_endpoint::open_socket(std::uint16_t port, bool reuse_port) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) throw std::runtime_error("udp socket failed");
 
@@ -48,8 +48,64 @@ udp_endpoint::udp_endpoint(std::uint16_t port, bool reuse_port) {
   ::fcntl(fd_, F_SETFL, fl | O_NONBLOCK);
 }
 
+udp_endpoint::udp_endpoint(std::uint16_t port, bool reuse_port) {
+  cfg_.port = port;
+  cfg_.reuse_port = reuse_port;
+  cfg_.backend = udp_backend::mmsg;
+  backend_ = udp_backend::mmsg;
+  open_socket(port, reuse_port);
+}
+
+udp_endpoint::udp_endpoint(const udp_config& cfg) : cfg_(cfg) {
+  open_socket(cfg.port, cfg.reuse_port);
+  backend_ = cfg.backend;
+  if (backend_ == udp_backend::auto_detect) {
+    backend_ = io_uring_runtime_available() ? udp_backend::uring : udp_backend::mmsg;
+  }
+#if INTEREDGE_HAS_IO_URING
+  if (backend_ == udp_backend::uring) {
+    if (!io_uring_runtime_available()) {
+      backend_ = udp_backend::mmsg;  // explicit request, kernel says no
+    } else {
+      ensure_pool();
+      uring_rx::config rcfg;
+      rcfg.slots = cfg.uring_slots;
+      rcfg.sqpoll = cfg.sqpoll;
+      try {
+        uring_ = std::make_unique<uring_rx>(fd_, *pool_, rcfg);
+      } catch (const std::runtime_error&) {
+        // Probe said yes but setup failed (resource limits, policy): the
+        // whole point of runtime selection is that this degrades, not dies.
+        backend_ = udp_backend::mmsg;
+      }
+    }
+  }
+#else
+  if (backend_ == udp_backend::uring) backend_ = udp_backend::mmsg;
+#endif
+}
+
 udp_endpoint::~udp_endpoint() {
+#if INTEREDGE_HAS_IO_URING
+  uring_.reset();  // cancel in-flight SQEs before the pool dies
+#endif
+  rx_slabs_.clear();
+  view_scratch_.clear();
+  cache_.reset();
   if (fd_ >= 0) ::close(fd_);
+}
+
+int udp_endpoint::wait_fd() const {
+#if INTEREDGE_HAS_IO_URING
+  if (uring_) return uring_->ring_fd();
+#endif
+  return fd_;
+}
+
+void udp_endpoint::ensure_pool() {
+  if (pool_) return;
+  pool_ = std::make_unique<buf::buf_pool>(cfg_.pool);
+  cache_.emplace(*pool_);
 }
 
 void udp_endpoint::add_peer(peer_id peer, const std::string& ip, std::uint16_t port) {
@@ -57,17 +113,16 @@ void udp_endpoint::add_peer(peer_id peer, const std::string& ip, std::uint16_t p
   addr.sin_family = AF_INET;
   ::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr);
   addr.sin_port = htons(port);
-  peers_[peer] = addr;
-  by_source_[pack_source(addr)] = peer;
+  peers_.insert(peer, addr);
+  by_source_.insert(pack_source(addr), peer);
 }
 
-bool udp_endpoint::send(peer_id to, const bytes& datagram) {
-  auto it = peers_.find(to);
-  if (it == peers_.end()) return false;
+bool udp_endpoint::send(peer_id to, const_byte_span datagram) {
+  const sockaddr_in* addr = peers_.find(to);
+  if (addr == nullptr) return false;
   for (std::size_t attempt = 0;; ++attempt) {
     const ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
-                               reinterpret_cast<const sockaddr*>(&it->second),
-                               sizeof(it->second));
+                               reinterpret_cast<const sockaddr*>(addr), sizeof(*addr));
     if (n >= 0) {
       ++sent_;
       return true;
@@ -79,40 +134,96 @@ bool udp_endpoint::send(peer_id to, const bytes& datagram) {
   }
 }
 
+bool udp_endpoint::send_gather(peer_id to, const_byte_span head, const_byte_span payload) {
+  const sockaddr_in* addr = peers_.find(to);
+  if (addr == nullptr) return false;
+  iovec iovs[2] = {
+      {const_cast<std::uint8_t*>(head.data()), head.size()},
+      {const_cast<std::uint8_t*>(payload.data()), payload.size()},
+  };
+  msghdr msg{};
+  msg.msg_name = const_cast<sockaddr_in*>(addr);
+  msg.msg_namelen = sizeof(*addr);
+  msg.msg_iov = iovs;
+  msg.msg_iovlen = payload.empty() ? 1 : 2;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const ssize_t n = ::sendmsg(fd_, &msg, 0);
+    if (n >= 0) {
+      ++sent_;
+      return true;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) return false;
+    ++send_again_;
+    if (m_send_again_ != nullptr) m_send_again_->add();
+    if (attempt >= kSendRetries) return false;
+  }
+}
+
 std::optional<std::pair<peer_id, bytes>> udp_endpoint::poll() {
+#if INTEREDGE_HAS_IO_URING
+  if (uring_) {
+    // The kernel drains the socket into the ring; serve from completions.
+    // poll() historically doesn't touch the rx batch counters, so reap
+    // directly rather than through recv_batch_views.
+    reap_scratch_.clear();
+    while (uring_->reap(1, reap_scratch_) > 0) {
+      uring_completion& c = reap_scratch_.back();
+      if (c.truncated) ++rx_truncated_;
+      const peer_id* peer = by_source_.find(pack_source(c.source));
+      if (peer == nullptr) {
+        ++dropped_unknown_;
+        reap_scratch_.clear();
+        continue;
+      }
+      ++received_;
+      const const_byte_span data = c.view.span();
+      return std::make_pair(*peer, bytes(data.begin(), data.end()));
+    }
+    return std::nullopt;
+  }
+#endif
   std::uint8_t buffer[65536];
   sockaddr_in source{};
   socklen_t len = sizeof(source);
   const ssize_t n = ::recvfrom(fd_, buffer, sizeof(buffer), 0,
                                reinterpret_cast<sockaddr*>(&source), &len);
   if (n < 0) return std::nullopt;  // EAGAIN / transient
-  auto it = by_source_.find(pack_source(source));
-  if (it == by_source_.end()) {
+  const peer_id* peer = by_source_.find(pack_source(source));
+  if (peer == nullptr) {
     ++dropped_unknown_;
     return std::nullopt;
   }
   ++received_;
-  return std::make_pair(it->second, bytes(buffer, buffer + n));
+  return std::make_pair(*peer, bytes(buffer, buffer + n));
 }
 
-std::size_t udp_endpoint::recv_batch(std::size_t max, std::vector<std::pair<peer_id, bytes>>& out) {
-  constexpr std::size_t kBufSize = 65536;
-  max = std::min(max, kBatchMax);
-  if (max == 0) return 0;
+std::size_t udp_endpoint::recv_batch_views_mmsg(
+    std::size_t max, std::vector<std::pair<peer_id, buf::pkt_view>>& out) {
   std::size_t appended = 0;
 #ifdef __linux__
-  recv_scratch_.resize(kBatchMax * kBufSize);
+  ensure_pool();
+  // Keep up to `max` slabs armed; unused ones stay for the next call.
+  while (rx_slabs_.size() < max) {
+    auto ref = cache_->try_alloc();
+    if (!ref) break;  // pool dry: recv what we can (exhaustion is counted)
+    rx_slabs_.push_back(std::move(ref));
+  }
+  if (rx_slabs_.empty()) {
+    ++rx_empty_;
+    return 0;
+  }
+  const std::size_t want = std::min(max, rx_slabs_.size());
   mmsghdr msgs[kBatchMax]{};
   iovec iovs[kBatchMax];
   sockaddr_in sources[kBatchMax];
-  for (std::size_t i = 0; i < max; ++i) {
-    iovs[i] = {recv_scratch_.data() + i * kBufSize, kBufSize};
+  for (std::size_t i = 0; i < want; ++i) {
+    iovs[i] = {rx_slabs_[i].data(), rx_slabs_[i].size()};
     msgs[i].msg_hdr.msg_iov = &iovs[i];
     msgs[i].msg_hdr.msg_iovlen = 1;
     msgs[i].msg_hdr.msg_name = &sources[i];
     msgs[i].msg_hdr.msg_namelen = sizeof(sources[i]);
   }
-  const int n = ::recvmmsg(fd_, msgs, static_cast<unsigned>(max), 0, nullptr);
+  const int n = ::recvmmsg(fd_, msgs, static_cast<unsigned>(want), 0, nullptr);
   if (n <= 0) {
     // recvmmsg's error report is coarse: one EAGAIN return covers both
     // "socket empty" and genuine failures, and the kernel surfaces an
@@ -127,23 +238,34 @@ std::size_t udp_endpoint::recv_batch(std::size_t max, std::vector<std::pair<peer
   }
   // A short batch means the socket ran dry mid-drain (the EAGAIN happened
   // inside the batch, which recvmmsg reports only as a smaller count).
-  if (static_cast<std::size_t>(n) < max) ++rx_partial_batches_;
+  if (static_cast<std::size_t>(n) < want) ++rx_partial_batches_;
+  // Consume the first n slabs (the kernel filled them in order); survivors
+  // shift down and stay armed.
   for (int i = 0; i < n; ++i) {
-    auto it = by_source_.find(pack_source(sources[i]));
-    if (it == by_source_.end()) {
+    if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) ++rx_truncated_;
+    const peer_id* peer = by_source_.find(pack_source(sources[i]));
+    if (peer == nullptr) {
       ++dropped_unknown_;
+      rx_slabs_[i].reset();  // slab back to the pool
       continue;
     }
-    const std::uint8_t* buf = recv_scratch_.data() + static_cast<std::size_t>(i) * kBufSize;
+    const std::size_t len =
+        std::min<std::size_t>(msgs[i].msg_len, rx_slabs_[i].size());
     ++received_;
-    out.emplace_back(it->second, bytes(buf, buf + msgs[i].msg_len));
+    out.emplace_back(*peer, buf::pkt_view(std::move(rx_slabs_[i]), 0, len));
     ++appended;
   }
+  rx_slabs_.erase(rx_slabs_.begin(), rx_slabs_.begin() + n);
 #else
   for (std::size_t i = 0; i < max; ++i) {
     auto datagram = poll();
     if (!datagram) break;
-    out.push_back(std::move(*datagram));
+    ensure_pool();
+    auto ref = cache_->try_alloc();
+    if (!ref) break;
+    const std::size_t len = std::min(datagram->second.size(), ref.size());
+    std::memcpy(ref.data(), datagram->second.data(), len);
+    out.emplace_back(datagram->first, buf::pkt_view(std::move(ref), 0, len));
     ++appended;
   }
   if (appended == 0) {
@@ -155,9 +277,60 @@ std::size_t udp_endpoint::recv_batch(std::size_t max, std::vector<std::pair<peer
   return appended;
 }
 
+#if INTEREDGE_HAS_IO_URING
+std::size_t udp_endpoint::recv_batch_views_uring(
+    std::size_t max, std::vector<std::pair<peer_id, buf::pkt_view>>& out) {
+  reap_scratch_.clear();
+  const std::size_t n = uring_->reap(max, reap_scratch_);
+  if (n == 0) {
+    uring_->replenish();  // re-arm any slots parked on pool exhaustion
+    ++rx_empty_;
+    return 0;
+  }
+  if (n < max) ++rx_partial_batches_;
+  std::size_t appended = 0;
+  for (uring_completion& c : reap_scratch_) {
+    if (c.truncated) ++rx_truncated_;
+    const peer_id* peer = by_source_.find(pack_source(c.source));
+    if (peer == nullptr) {
+      ++dropped_unknown_;
+      continue;
+    }
+    ++received_;
+    out.emplace_back(*peer, std::move(c.view));
+    ++appended;
+  }
+  reap_scratch_.clear();
+  uring_->replenish();
+  return appended;
+}
+#endif
+
+std::size_t udp_endpoint::recv_batch_views(
+    std::size_t max, std::vector<std::pair<peer_id, buf::pkt_view>>& out) {
+  max = std::min(max, kBatchMax);
+  if (max == 0) return 0;
+#if INTEREDGE_HAS_IO_URING
+  if (uring_) return recv_batch_views_uring(max, out);
+#endif
+  return recv_batch_views_mmsg(max, out);
+}
+
+std::size_t udp_endpoint::recv_batch(std::size_t max,
+                                     std::vector<std::pair<peer_id, bytes>>& out) {
+  view_scratch_.clear();
+  const std::size_t n = recv_batch_views(max, view_scratch_);
+  for (auto& [peer, view] : view_scratch_) {
+    const const_byte_span data = view.span();
+    out.emplace_back(peer, bytes(data.begin(), data.end()));
+  }
+  view_scratch_.clear();  // release slabs promptly
+  return n;
+}
+
 std::size_t udp_endpoint::send_batch(peer_id to, std::span<const bytes> datagrams) {
-  auto it = peers_.find(to);
-  if (it == peers_.end()) return 0;
+  const sockaddr_in* addr = peers_.find(to);
+  if (addr == nullptr) return 0;
   std::size_t accepted = 0;
 #ifdef __linux__
   std::size_t offset = 0;
@@ -171,8 +344,8 @@ std::size_t udp_endpoint::send_batch(peer_id to, std::span<const bytes> datagram
       iovs[i] = {const_cast<std::uint8_t*>(d.data()), d.size()};
       msgs[i].msg_hdr.msg_iov = &iovs[i];
       msgs[i].msg_hdr.msg_iovlen = 1;
-      msgs[i].msg_hdr.msg_name = &it->second;
-      msgs[i].msg_hdr.msg_namelen = sizeof(it->second);
+      msgs[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(addr);
+      msgs[i].msg_hdr.msg_namelen = sizeof(*addr);
     }
     const int n = ::sendmmsg(fd_, msgs, static_cast<unsigned>(chunk), 0);
     if (n <= 0) {
@@ -209,11 +382,15 @@ std::size_t udp_endpoint::send_batch(peer_id to, std::span<const bytes> datagram
 // ---- event_loop --------------------------------------------------------
 
 void event_loop::attach(udp_endpoint& endpoint, datagram_handler handler) {
-  endpoints_.push_back(attached{&endpoint, std::move(handler), nullptr});
+  endpoints_.push_back(attached{&endpoint, std::move(handler), nullptr, nullptr});
 }
 
 void event_loop::attach_batch(udp_endpoint& endpoint, batch_handler handler) {
-  endpoints_.push_back(attached{&endpoint, nullptr, std::move(handler)});
+  endpoints_.push_back(attached{&endpoint, nullptr, std::move(handler), nullptr});
+}
+
+void event_loop::attach_views(udp_endpoint& endpoint, views_handler handler) {
+  endpoints_.push_back(attached{&endpoint, nullptr, nullptr, std::move(handler)});
 }
 
 void event_loop::schedule(nanoseconds delay, std::function<void()> fn) {
@@ -233,12 +410,14 @@ std::size_t event_loop::pass(std::chrono::milliseconds max_wait) {
   }
 
   // Wait for readability across all endpoints (bounded by the next timer).
+  // wait_fd() is the backend-agnostic readiness handle: the socket fd for
+  // mmsg, the ring fd (readable when completions are posted) for uring.
   fd_set readable;
   FD_ZERO(&readable);
   int max_fd = -1;
   for (const attached& a : endpoints_) {
-    FD_SET(a.endpoint->fd(), &readable);
-    max_fd = std::max(max_fd, a.endpoint->fd());
+    FD_SET(a.endpoint->wait_fd(), &readable);
+    max_fd = std::max(max_fd, a.endpoint->wait_fd());
   }
   auto wait = max_wait;
   if (!timers_.empty()) {
@@ -253,6 +432,17 @@ std::size_t event_loop::pass(std::chrono::milliseconds max_wait) {
   // Drain everything readable.
   std::size_t dispatched = 0;
   for (const attached& a : endpoints_) {
+    if (a.views) {
+      views_scratch_.clear();
+      while (a.endpoint->recv_batch_views(udp_endpoint::kBatchMax, views_scratch_) > 0) {
+      }
+      if (!views_scratch_.empty()) {
+        a.views(views_scratch_);
+        dispatched += views_scratch_.size();
+        views_scratch_.clear();  // release slabs before the next pass
+      }
+      continue;
+    }
     if (a.batch) {
       batch_scratch_.clear();
       while (a.endpoint->recv_batch(udp_endpoint::kBatchMax, batch_scratch_) > 0) {

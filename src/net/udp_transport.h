@@ -12,6 +12,25 @@
 //   event_loop    — single-threaded driver: pumps any number of endpoints
 //                   into their handlers and runs timers (the scheduler_fn
 //                   service_node/host_stack need)
+//
+// Receive is zero-copy: datagrams land directly in slabs from the
+// endpoint's buf_pool and are handed out as pkt_views (recv_batch_views).
+// Two rx backends sit under the same interface, chosen per endpoint at
+// construction:
+//
+//   mmsg   — recvmmsg(2) into pool slabs, one syscall per batch. The
+//            default for the legacy (port, reuse_port) constructor.
+//   uring  — io_uring with persistently re-armed RECVMSG slots over pool
+//            slabs (see io_uring_udp.h); draining posted completions costs
+//            no syscall. udp_config defaults to auto: uring when the
+//            kernel supports it, mmsg otherwise — the fallback is a
+//            runtime decision, never a build-time one.
+//
+// Under uring the kernel consumes the socket asynchronously, so readiness
+// loops must watch wait_fd() (the ring fd, readable when completions are
+// posted) rather than the socket fd; event_loop does. The legacy
+// bytes-returning recv_batch/poll are preserved on both backends (one copy
+// out of the slab) so existing callers run unchanged.
 #pragma once
 
 #include <netinet/in.h>
@@ -19,7 +38,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <span>
@@ -27,22 +46,43 @@
 #include <utility>
 #include <vector>
 
+#include "common/buf_pool.h"
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/flat_hash.h"
 #include "common/metrics.h"
 #include "ilp/header.h"
+#include "net/io_uring_udp.h"
 
 namespace interedge::net {
 
 using ilp::peer_id;
+
+enum class udp_backend {
+  auto_detect,  // uring if the kernel supports it, else mmsg
+  mmsg,
+  uring,
+};
+
+struct udp_config {
+  std::uint16_t port = 0;
+  bool reuse_port = false;
+  udp_backend backend = udp_backend::auto_detect;
+  bool sqpoll = false;        // uring only: request a kernel SQ poll thread
+  unsigned uring_slots = 64;  // uring only: rx slots kept armed
+  buf::pool_config pool;      // slab size/count for the rx pool
+};
 
 class udp_endpoint {
  public:
   // Binds 127.0.0.1:port (port 0 = ephemeral). Throws std::runtime_error
   // on socket failures. With reuse_port, SO_REUSEPORT is set before bind so
   // several endpoints (one per datapath worker) can share one port and let
-  // the kernel spread flows across them.
+  // the kernel spread flows across them. This constructor keeps the mmsg
+  // backend — existing callers see byte-identical behavior.
   explicit udp_endpoint(std::uint16_t port = 0, bool reuse_port = false);
+  // Full-configuration constructor; backend auto-detect resolves here.
+  explicit udp_endpoint(const udp_config& cfg);
   ~udp_endpoint();
 
   udp_endpoint(const udp_endpoint&) = delete;
@@ -50,21 +90,39 @@ class udp_endpoint {
 
   std::uint16_t port() const { return port_; }
   int fd() const { return fd_; }
+  // The fd a readiness loop should watch: the io_uring ring fd under the
+  // uring backend (readable ⇔ completions posted), the socket otherwise.
+  int wait_fd() const;
+  // The backend actually in use (auto_detect resolved at construction).
+  udp_backend backend() const { return backend_; }
 
   // Registers a peer's network address. Datagrams from unregistered
   // sources are dropped (and counted).
   void add_peer(peer_id peer, const std::string& ip, std::uint16_t port);
 
   // Sends a datagram to a registered peer; false if the peer is unknown.
-  bool send(peer_id to, const bytes& datagram);
+  // Accepts any contiguous byte range — including a view into a pool slab
+  // (the kernel copies into the skb before sendto returns).
+  bool send(peer_id to, const_byte_span datagram);
+
+  // Gather send: head + payload in one sendmsg(2) with two iovecs, so an
+  // egress path holding a sealed header and a payload view never glues
+  // them into one buffer.
+  bool send_gather(peer_id to, const_byte_span head, const_byte_span payload);
 
   // Non-blocking receive of one datagram from a registered peer.
   std::optional<std::pair<peer_id, bytes>> poll();
 
-  // Batch receive: drains up to `max` datagrams with one recvmmsg(2) call
-  // (single-recv loop where unavailable), appending (peer, payload) pairs
-  // to `out`. Datagrams from unregistered sources are counted and skipped.
-  // Returns the number of pairs appended.
+  // Batch receive, zero-copy: drains up to `max` datagrams into pool-slab
+  // views, appending (peer, view) pairs to `out`. Datagrams from
+  // unregistered sources are counted and skipped. Views hold slab
+  // references — the slab returns to the pool when the last view drops —
+  // and must not outlive this endpoint. Returns the number appended.
+  std::size_t recv_batch_views(std::size_t max,
+                               std::vector<std::pair<peer_id, buf::pkt_view>>& out);
+
+  // Legacy batch receive: same drain, each datagram copied out of its slab
+  // into owned bytes. Counter semantics identical to recv_batch_views.
   std::size_t recv_batch(std::size_t max, std::vector<std::pair<peer_id, bytes>>& out);
 
   // Batch send: transmits every datagram to `to` with one sendmmsg(2)
@@ -78,22 +136,32 @@ class udp_endpoint {
   std::uint64_t sent() const { return sent_; }
   std::uint64_t received() const { return received_; }
   std::uint64_t dropped_unknown() const { return dropped_unknown_; }
-  // recv_batch attempts that found the socket empty (recvmmsg EAGAIN, or
-  // a poll-loop that appended nothing). Distinguishes "nothing arrived"
-  // from a batch the kernel cut short.
+  // recv_batch attempts that found nothing to deliver (socket empty / no
+  // completions posted). Distinguishes "nothing arrived" from a batch the
+  // kernel cut short.
   std::uint64_t rx_empty() const { return rx_empty_; }
-  // recv_batch calls that drained the socket mid-batch: recvmmsg returned
-  // fewer datagrams than asked (the EAGAIN happened inside the batch).
-  // Previously this condition was indistinguishable from a full batch;
-  // callers sizing rings/batches off recv_batch need to see it.
+  // recv_batch calls that drained fewer datagrams than asked (the EAGAIN
+  // happened inside the batch). Callers sizing rings/batches off
+  // recv_batch need to see it.
   std::uint64_t rx_partial_batches() const { return rx_partial_batches_; }
   // recv_batch failures that were NOT EAGAIN/EINTR (real socket errors).
   std::uint64_t rx_errors() const { return rx_errors_; }
+  // Datagrams larger than a pool slab: delivered truncated and counted.
+  // The slab default (9216) covers every MTU we bind; growth here means
+  // the pool's slab_size knob is mis-sized for the deployment.
+  std::uint64_t rx_truncated() const { return rx_truncated_; }
   // Transient send failures (EAGAIN/EWOULDBLOCK/EINTR — a full socket
   // buffer) absorbed by the bounded retry loop in send/send_batch. A
   // climbing value under load means the kernel buffer is the bottleneck,
   // not the wire; exposed as net.udp.send_again.
   std::uint64_t send_again() const { return send_again_; }
+
+  // The rx slab pool (sizing/exhaustion stats; shared with the uring
+  // backend's armed slots).
+  const buf::buf_pool* pool() const { return pool_.get(); }
+  buf::pool_stats pool_stats() const {
+    return pool_ ? pool_->stats() : buf::pool_stats{};
+  }
 
   // Optional: mirrors the send_again counter into `reg` as
   // net.udp.send_again so it rides the SN's stats exposition.
@@ -102,17 +170,38 @@ class udp_endpoint {
   }
 
  private:
+  void open_socket(std::uint16_t port, bool reuse_port);
+  void ensure_pool();
+  std::size_t recv_batch_views_mmsg(std::size_t max,
+                                    std::vector<std::pair<peer_id, buf::pkt_view>>& out);
+#if INTEREDGE_HAS_IO_URING
+  std::size_t recv_batch_views_uring(std::size_t max,
+                                     std::vector<std::pair<peer_id, buf::pkt_view>>& out);
+#endif
+
   int fd_ = -1;
   std::uint16_t port_ = 0;
-  std::map<peer_id, sockaddr_in> peers_;
-  std::map<std::uint64_t, peer_id> by_source_;  // packed ip:port -> peer
-  bytes recv_scratch_;  // kBatchMax receive buffers, allocated on first use
+  udp_backend backend_ = udp_backend::mmsg;
+  udp_config cfg_;
+  flat_hash64<sockaddr_in> peers_;     // peer_id -> addr
+  flat_hash64<peer_id> by_source_;     // packed ip:port -> peer
+  // Declaration order is lifetime order: slabs (pool_) outlive the cache
+  // and the uring slots that reference them.
+  std::unique_ptr<buf::buf_pool> pool_;
+  std::optional<buf::buf_pool::cache> cache_;
+#if INTEREDGE_HAS_IO_URING
+  std::unique_ptr<uring_rx> uring_;
+  std::vector<uring_completion> reap_scratch_;
+#endif
+  std::vector<buf::slab_ref> rx_slabs_;  // armed recvmmsg buffers, reused
+  std::vector<std::pair<peer_id, buf::pkt_view>> view_scratch_;  // legacy recv_batch/poll
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_unknown_ = 0;
   std::uint64_t rx_empty_ = 0;
   std::uint64_t rx_partial_batches_ = 0;
   std::uint64_t rx_errors_ = 0;
+  std::uint64_t rx_truncated_ = 0;
   std::uint64_t send_again_ = 0;
   counter* m_send_again_ = nullptr;
 
@@ -127,6 +216,10 @@ class event_loop {
   using datagram_handler = std::function<void(peer_id from, const_byte_span data)>;
   // Batch handler: one call per drained burst, in arrival order.
   using batch_handler = std::function<void(std::span<std::pair<peer_id, bytes>> datagrams)>;
+  // Zero-copy batch handler: slab views, valid for the duration of the
+  // call (hold a clone to keep one longer).
+  using views_handler =
+      std::function<void(std::span<std::pair<peer_id, buf::pkt_view>> datagrams)>;
 
   // Attaches an endpoint: arriving datagrams go to `handler`.
   void attach(udp_endpoint& endpoint, datagram_handler handler);
@@ -135,6 +228,10 @@ class event_loop {
   // `handler` as one span per pass (the SN feeds these straight into its
   // batched datapath).
   void attach_batch(udp_endpoint& endpoint, batch_handler handler);
+
+  // Zero-copy attach: bursts drained via recv_batch_views — no per-packet
+  // copy between socket and handler.
+  void attach_views(udp_endpoint& endpoint, views_handler handler);
 
   // Timer facility, signature-compatible with service_node/host_stack's
   // scheduler_fn.
@@ -159,6 +256,7 @@ class event_loop {
     udp_endpoint* endpoint;
     datagram_handler handler;       // per-datagram path
     batch_handler batch;            // batch path (used when set)
+    views_handler views;            // zero-copy path (used when set)
   };
   struct timer {
     std::chrono::steady_clock::time_point due;
@@ -175,6 +273,7 @@ class event_loop {
 
   std::vector<attached> endpoints_;
   std::vector<std::pair<peer_id, bytes>> batch_scratch_;  // reused per pass
+  std::vector<std::pair<peer_id, buf::pkt_view>> views_scratch_;  // reused per pass
   std::priority_queue<timer, std::vector<timer>, std::greater<>> timers_;
   std::uint64_t next_seq_ = 0;
 };

@@ -16,8 +16,9 @@ class terminus_fixture : public ::testing::Test {
   terminus_fixture()
       : cache_(16),
         channel_([this](slowpath_request req) { return handler_(std::move(req)); }),
-        terminus_(cache_, channel_, [this](peer_id to, const ilp::ilp_header& h, const bytes& p) {
-          forwarded_.push_back({to, h, p});
+        terminus_(cache_, channel_, [this](peer_id to, const ilp::ilp_header& h,
+                                           const_byte_span p) {
+          forwarded_.push_back({to, h, bytes(p.begin(), p.end())});
         }) {
     // Default handler: forward to hop 50 and install a cache entry.
     handler_ = [](slowpath_request req) {
@@ -255,7 +256,7 @@ class shed_fixture : public ::testing::Test {
  protected:
   shed_fixture()
       : cache_(64), terminus_(cache_, channel_, [this](peer_id, const ilp::ilp_header&,
-                                                       const bytes&) { ++forwards_; }) {}
+                                                       const_byte_span) { ++forwards_; }) {}
 
   packet make_packet(ilp::connection_id conn, std::uint16_t flags = 0) {
     packet p;
@@ -354,7 +355,7 @@ TEST(ShedBoundedSubmit, FullChannelShedsAfterRetryBudget) {
   full_channel channel;
   int forwards = 0;
   pipe_terminus terminus(cache, channel,
-                         [&](peer_id, const ilp::ilp_header&, const bytes&) { ++forwards; });
+                         [&](peer_id, const ilp::ilp_header&, const_byte_span) { ++forwards; });
   terminus.set_slowpath_policy({.clk = &clk, .high_water = 8, .submit_retries = 5});
 
   packet p;

@@ -26,6 +26,36 @@ TEST(Psp, WireOverheadIsFixed) {
   EXPECT_EQ(wire.size(), 1 + kPspOverhead);
 }
 
+// The zero-copy ingress path decrypts in place: open_into's destination is
+// exactly the wire's ciphertext region. Pin the aliasing guarantee the
+// datapath depends on (tag verified before any write, memmove-safe xor).
+TEST(Psp, OpenIntoAliasingCiphertextRegion) {
+  psp_context tx(test_master(), 9);
+  const psp_context rx(test_master(), 9);
+  const bytes plain = to_bytes("ilp header that decrypts in place");
+  bytes wire = tx.seal(plain, to_bytes("aad"));
+
+  byte_span dst = byte_span(wire).subspan(12, wire.size() - kPspOverhead);
+  const auto n = rx.open_into(wire, to_bytes("aad"), dst);
+  ASSERT_TRUE(n.has_value());
+  ASSERT_EQ(*n, plain.size());
+  EXPECT_EQ(to_string(const_byte_span(dst.data(), *n)), to_string(plain));
+}
+
+TEST(Psp, OpenIntoAliasedFailureLeavesWireIntact) {
+  psp_context tx(test_master(), 9);
+  const psp_context rx(test_master(), 9);
+  bytes wire = tx.seal(to_bytes("do not touch on failure"), {});
+  wire[wire.size() - 1] ^= 0x01;  // break the tag
+  const bytes before = wire;
+
+  byte_span dst = byte_span(wire).subspan(12, wire.size() - kPspOverhead);
+  EXPECT_FALSE(rx.open_into(wire, {}, dst).has_value());
+  // Authentication failed before any plaintext byte was written: the wire
+  // (including the region dst aliases) is byte-identical.
+  EXPECT_EQ(wire, before);
+}
+
 TEST(Psp, OutOfOrderPacketsOpen) {
   psp_context tx(test_master(), 3);
   psp_context rx(test_master(), 3);

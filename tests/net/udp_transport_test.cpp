@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 
+#include <memory>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "core/service_node.h"
 #include "core/test_modules.h"
@@ -134,6 +136,263 @@ TEST(UdpEndpoint, UnknownSourceDropped) {
   loop.run_for(50ms);
   EXPECT_EQ(delivered, 0);
   EXPECT_EQ(a.dropped_unknown() + 0u, a.dropped_unknown());  // counter exists
+}
+
+// ---- ISSUE 6: zero-copy receive + backend selection ------------------
+
+// Drains `rx` until `want` datagrams arrive (or the attempt budget runs
+// out), appending views. Copies nothing out of the slabs.
+std::size_t drain_views(udp_endpoint& rx, std::size_t want,
+                        std::vector<std::pair<peer_id, buf::pkt_view>>& out) {
+  for (int attempt = 0; attempt < 2000 && out.size() < want; ++attempt) {
+    if (rx.recv_batch_views(udp_endpoint::kBatchMax, out) == 0) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  return out.size();
+}
+
+TEST(UdpBackend, LegacyConstructorKeepsMmsg) {
+  // The (port, reuse_port) constructor must never auto-upgrade: existing
+  // callers' counter semantics (rx_empty et al.) depend on recvmmsg.
+  udp_endpoint a;
+  EXPECT_EQ(a.backend(), udp_backend::mmsg);
+  EXPECT_EQ(a.wait_fd(), a.fd());
+}
+
+TEST(UdpBackend, AutoDetectResolvesToARealBackend) {
+  udp_config cfg;  // backend = auto_detect
+  udp_endpoint a(cfg);
+  if (io_uring_runtime_available()) {
+    EXPECT_EQ(a.backend(), udp_backend::uring);
+    EXPECT_NE(a.wait_fd(), a.fd());  // readiness watches the ring fd
+  } else {
+    EXPECT_EQ(a.backend(), udp_backend::mmsg);
+    EXPECT_EQ(a.wait_fd(), a.fd());
+  }
+}
+
+TEST(UdpBackend, UringFallbackWhenForcedUnavailable) {
+  io_uring_force_unavailable(true);
+  // Explicitly requesting uring on a kernel without it is a clean runtime
+  // fallback to mmsg, not a construction failure.
+  udp_config cfg;
+  cfg.backend = udp_backend::uring;
+  udp_endpoint forced(cfg);
+  EXPECT_EQ(forced.backend(), udp_backend::mmsg);
+
+  udp_config auto_cfg;
+  udp_endpoint detected(auto_cfg);
+  EXPECT_EQ(detected.backend(), udp_backend::mmsg);
+  io_uring_force_unavailable(false);
+
+  // The fallen-back endpoint still moves datagrams.
+  udp_endpoint tx;
+  tx.add_peer(2, "127.0.0.1", forced.port());
+  forced.add_peer(1, "127.0.0.1", tx.port());
+  ASSERT_TRUE(tx.send(2, to_bytes("fallback path")));
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(forced, 1, got), 1u);
+  EXPECT_EQ(to_string(got[0].second.span()), "fallback path");
+}
+
+TEST(UdpBackend, RecvBatchViewsAliasesPoolSlabs) {
+  // Zero-copy means the view's bytes live inside the endpoint's pool
+  // arena — not in some per-datagram allocation.
+  udp_config cfg;
+  cfg.backend = udp_backend::mmsg;
+  udp_endpoint rx(cfg);
+  udp_endpoint tx;
+  tx.add_peer(2, "127.0.0.1", rx.port());
+  rx.add_peer(1, "127.0.0.1", tx.port());
+
+  ASSERT_TRUE(tx.send(2, to_bytes("in the slab")));
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(rx, 1, got), 1u);
+
+  const std::uint8_t* base = rx.pool()->arena_base();
+  const std::uint8_t* end = base + rx.pool()->slab_size() * rx.pool()->slab_count();
+  EXPECT_GE(got[0].second.data(), base);
+  EXPECT_LT(got[0].second.data(), end);
+  EXPECT_EQ(to_string(got[0].second.span()), "in the slab");
+
+  // The held view pins its slab beyond the endpoint's own armed rx
+  // buffers; dropping it recycles exactly that one slab.
+  const std::size_t with_view = rx.pool_stats().outstanding;
+  got.clear();
+  EXPECT_EQ(rx.pool_stats().outstanding, with_view - 1);
+}
+
+TEST(UdpBackend, OversizedDatagramTruncatedAndCounted) {
+  udp_config cfg;
+  cfg.backend = udp_backend::mmsg;
+  cfg.pool.slab_size = 128;  // far below the 512-byte datagram
+  udp_endpoint rx(cfg);
+  udp_endpoint tx;
+  tx.add_peer(2, "127.0.0.1", rx.port());
+  rx.add_peer(1, "127.0.0.1", tx.port());
+
+  ASSERT_TRUE(tx.send(2, bytes(512, 0x5c)));
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(rx, 1, got), 1u);
+  EXPECT_LE(got[0].second.size(), rx.pool()->slab_size());
+  EXPECT_LT(got[0].second.size(), 512u);
+  EXPECT_EQ(rx.rx_truncated(), 1u);
+}
+
+TEST(UdpBackend, SendGatherMatchesConcatenation) {
+  udp_endpoint a, b;
+  a.add_peer(2, "127.0.0.1", b.port());
+  b.add_peer(1, "127.0.0.1", a.port());
+
+  const bytes head = to_bytes("sealed-header|");
+  const bytes payload = to_bytes("opaque payload");
+  ASSERT_TRUE(a.send_gather(2, head, payload));
+
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(b, 1, got), 1u);
+  EXPECT_EQ(to_string(got[0].second.span()), "sealed-header|opaque payload");
+}
+
+// Same datagram set, byte-for-byte, through both backends. The uring arm
+// skips (not fails) where the kernel lacks io_uring.
+TEST(UdpBackend, MmsgUringEquivalence) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  udp_config mmsg_cfg;
+  mmsg_cfg.backend = udp_backend::mmsg;
+  udp_config uring_cfg;
+  uring_cfg.backend = udp_backend::uring;
+  udp_endpoint rx_mmsg(mmsg_cfg);
+  udp_endpoint rx_uring(uring_cfg);
+  ASSERT_EQ(rx_uring.backend(), udp_backend::uring);
+
+  udp_endpoint tx;
+  tx.add_peer(2, "127.0.0.1", rx_mmsg.port());
+  tx.add_peer(3, "127.0.0.1", rx_uring.port());
+  rx_mmsg.add_peer(1, "127.0.0.1", tx.port());
+  rx_uring.add_peer(1, "127.0.0.1", tx.port());
+
+  constexpr std::size_t kCount = 17;
+  std::vector<bytes> sent;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    sent.push_back(to_bytes("datagram " + std::to_string(i) + " payload"));
+    ASSERT_TRUE(tx.send(2, sent.back()));
+    ASSERT_TRUE(tx.send(3, sent.back()));
+  }
+
+  std::vector<std::pair<peer_id, buf::pkt_view>> via_mmsg, via_uring;
+  ASSERT_EQ(drain_views(rx_mmsg, kCount, via_mmsg), kCount);
+  ASSERT_EQ(drain_views(rx_uring, kCount, via_uring), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(via_mmsg[i].first, 1u);
+    EXPECT_EQ(via_uring[i].first, 1u);
+    EXPECT_EQ(to_string(via_mmsg[i].second.span()), to_string(sent[i]));
+    EXPECT_EQ(to_string(via_uring[i].second.span()), to_string(sent[i]));
+  }
+  EXPECT_EQ(rx_uring.received(), kCount);
+  EXPECT_EQ(rx_uring.rx_errors(), 0u);
+}
+
+TEST(UdpBackend, UringPartialCompletion) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  udp_config cfg;
+  cfg.backend = udp_backend::uring;
+  udp_endpoint rx(cfg);
+  ASSERT_EQ(rx.backend(), udp_backend::uring);
+  udp_endpoint tx;
+  tx.add_peer(2, "127.0.0.1", rx.port());
+  rx.add_peer(1, "127.0.0.1", tx.port());
+
+  // Fewer datagrams than the batch asks for: the drain returns what was
+  // posted and counts the short batch, exactly like the mmsg backend.
+  constexpr std::size_t kSent = 3;
+  static_assert(kSent < udp_endpoint::kBatchMax);
+  for (std::size_t i = 0; i < kSent; ++i) {
+    ASSERT_TRUE(tx.send(2, to_bytes("p" + std::to_string(i))));
+  }
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(rx, kSent, got), kSent);
+  EXPECT_GE(rx.rx_partial_batches(), 1u);
+  EXPECT_EQ(rx.rx_errors(), 0u);
+
+  // And a genuinely idle drain is an rx_empty, not an error.
+  const auto before = rx.rx_empty();
+  got.clear();
+  EXPECT_EQ(rx.recv_batch_views(udp_endpoint::kBatchMax, got), 0u);
+  EXPECT_EQ(rx.rx_empty(), before + 1);
+}
+
+TEST(UdpBackend, UringBufferReplenish) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  // A deliberately tiny pool and slot count: every armed slot must be
+  // replenished with a fresh slab many times over, and consumed views must
+  // recycle fast enough to keep the ring armed.
+  udp_config cfg;
+  cfg.backend = udp_backend::uring;
+  cfg.uring_slots = 4;
+  cfg.pool.slab_count = 8;
+  cfg.pool.cache_batch = 2;
+  udp_endpoint rx(cfg);
+  ASSERT_EQ(rx.backend(), udp_backend::uring);
+  udp_endpoint tx;
+  tx.add_peer(2, "127.0.0.1", rx.port());
+  rx.add_peer(1, "127.0.0.1", tx.port());
+
+  constexpr std::size_t kTotal = 64;  // 8x the slab count
+  std::size_t delivered = 0;
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    ASSERT_TRUE(tx.send(2, to_bytes("r" + std::to_string(i))));
+    // Consume as we go so slabs recycle into the armed slots.
+    got.clear();
+    delivered += rx.recv_batch_views(udp_endpoint::kBatchMax, got);
+  }
+  for (int attempt = 0; attempt < 2000 && delivered < kTotal; ++attempt) {
+    got.clear();
+    const std::size_t n = rx.recv_batch_views(udp_endpoint::kBatchMax, got);
+    if (n == 0) std::this_thread::sleep_for(1ms);
+    delivered += n;
+  }
+  EXPECT_EQ(delivered, kTotal);
+  EXPECT_EQ(rx.rx_errors(), 0u);
+  got.clear();
+  // Nothing leaked: the only outstanding slabs are the armed rx slots.
+  EXPECT_LE(rx.pool_stats().outstanding, cfg.uring_slots);
+}
+
+TEST(UdpEndpoint, PeerTableSurvivesGrowth) {
+  // ~100 peers forces the open-addressed table through several rehashes;
+  // lookups in both directions (peer -> addr, source -> peer) must hold.
+  udp_endpoint hub;
+  std::vector<std::unique_ptr<udp_endpoint>> spokes;
+  constexpr std::size_t kPeers = 100;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    spokes.push_back(std::make_unique<udp_endpoint>());
+    hub.add_peer(static_cast<peer_id>(i + 1), "127.0.0.1", spokes.back()->port());
+    spokes.back()->add_peer(1000, "127.0.0.1", hub.port());
+  }
+  // A scattering of spokes send to the hub; source resolution must map
+  // each back to the right peer_id after all the insertions.
+  for (std::size_t i = 0; i < kPeers; i += 7) {
+    ASSERT_TRUE(spokes[i]->send(1000, to_bytes("from " + std::to_string(i))));
+  }
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  const std::size_t expect = (kPeers + 6) / 7;
+  ASSERT_EQ(drain_views(hub, expect, got), expect);
+  for (auto& [from, view] : got) {
+    EXPECT_EQ(to_string(view.span()), "from " + std::to_string(from - 1));
+  }
+  // And the hub can address every spoke.
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    EXPECT_TRUE(hub.send(static_cast<peer_id>(i + 1), to_bytes("ping")));
+  }
+  EXPECT_EQ(hub.dropped_unknown(), 0u);
 }
 
 TEST(EventLoop, TimersFireInOrder) {

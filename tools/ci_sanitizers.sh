@@ -34,6 +34,12 @@ run_preset() {
   # trace_test unit pass plus the end-to-end path_trace scenarios.
   echo "== $preset: path tracing (focused) =="
   ctest --preset "$preset" -R 'trace_collector_test|path_trace_test' --output-on-failure
+  # Zero-copy datapath (ISSUE 6): slab refcounts crossing threads and SPSC
+  # rings (buf_pool_test's handoff/concurrent cases are the tsan targets),
+  # plus the real-socket transport — both rx backends, in-place decrypt
+  # windows over pool slabs, view lifetimes through the event loop.
+  echo "== $preset: slab pool + transport (focused) =="
+  ctest --preset "$preset" -R 'buf_pool_test|net_test' --output-on-failure
 }
 
 case "${1:-all}" in
