@@ -9,12 +9,18 @@
 // The cross-hop arms (ISSUE 5) price the path-tracing building blocks the
 // same way: context codec, the per-packet header-metadata miss every
 // unsampled packet pays, span emit + drain, and collector reassembly.
+// The health-plane arms (ISSUE 7) price the rollup tick, burn-rate
+// queries/evaluation, and the flight-recorder append — the costs behind
+// the plane's own share of the <2% budget.
 #include <benchmark/benchmark.h>
 
 #include <string>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
+#include "common/slo.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "common/trace_collector.h"
 #include "ilp/header.h"
@@ -230,6 +236,101 @@ void BM_CollectorIngest(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// ---- SLO health plane (ISSUE 7) ----------------------------------------
+
+// One health tick over an SN-sized registry: snapshot + diff every series
+// into the window ring. Runs on the control thread at ~100ms cadence, so
+// its absolute cost (not a per-packet rate) is what the <2% budget sees.
+void BM_TimeseriesTick(benchmark::State& state) {
+  metrics_registry reg;
+  populate_sn_sized(reg);
+  timeseries_store ts(timeseries_store::config{});
+  std::int64_t ns = 0;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // Mutate a few series so every tick diffs real movement.
+    reg.get_counter("sn.family.0").add(3);
+    reg.get_histogram("sn.stage.0").record(1000 + (i++ & 0xff));
+    ns += 100'000'000;  // 100ms cadence
+    ts.tick(reg, time_point(nanoseconds(ns)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// A burn-rate query: merge the span's window sketches and threshold them.
+void BM_TimeseriesFractionAbove(benchmark::State& state) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("lat");
+  timeseries_store ts(timeseries_store::config{});
+  std::int64_t ns = 0;
+  for (int t = 0; t < 64; ++t) {
+    for (int i = 0; i < 64; ++i) h.record(1'000'000 + i * 10'000);
+    ns += 10'000'000'000ll;
+    ts.tick(reg, time_point(nanoseconds(ns)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ts.hist_fraction_above("lat", std::chrono::minutes(5), 2'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// A full multi-window evaluation pass over a handful of targets — four
+// burn queries per target per tick.
+void BM_SloEvaluate(benchmark::State& state) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("lat");
+  timeseries_store ts(timeseries_store::config{});
+  slo::slo_monitor mon(ts, slo::burn_windows{});
+  for (int i = 0; i < 4; ++i) {
+    slo::slo_target t;
+    t.name = "t" + std::to_string(i);
+    t.service = "delivery";
+    t.latency_series = "lat";
+    t.threshold_ns = 2'000'000;
+    mon.add_target(t);
+  }
+  std::int64_t ns = 0;
+  for (int t = 0; t < 64; ++t) {
+    for (int i = 0; i < 64; ++i) h.record(1'000'000);
+    ns += 10'000'000'000ll;
+    ts.tick(reg, time_point(nanoseconds(ns)));
+  }
+  for (auto _ : state) {
+    mon.evaluate(time_point(nanoseconds(ns)));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+
+// Per-event flight-recorder append: one fetch_add + six relaxed stores.
+// This is the price the span drain pays per event while the box is armed
+// — the recorder-side share of the <2% budget.
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  static flight_recorder fr(flight_recorder::config{.capacity = 1024, .trigger_mask = 0});
+  fr_event e;
+  e.kind = fr_kind::span;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    e.time_ns = ++i;
+    e.a = i;
+    fr.record(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// The postmortem read: validate + sort the whole ring. Paid once per
+// freeze, never on a datapath.
+void BM_FlightRecorderSnapshot(benchmark::State& state) {
+  flight_recorder fr(flight_recorder::config{.capacity = 1024, .trigger_mask = 0});
+  for (std::uint64_t i = 0; i < 2048; ++i) {
+    fr.record(fr_event{.time_ns = i, .kind = fr_kind::span, .a = i});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fr.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 }  // namespace
 
 BENCHMARK(BM_CounterStringLookup);
@@ -246,5 +347,10 @@ BENCHMARK(BM_HeaderCtxLookupMiss);
 BENCHMARK(BM_HeaderCtxLookupHit);
 BENCHMARK(BM_PathRecorderEmitDrain);
 BENCHMARK(BM_CollectorIngest);
+BENCHMARK(BM_TimeseriesTick);
+BENCHMARK(BM_TimeseriesFractionAbove);
+BENCHMARK(BM_SloEvaluate);
+BENCHMARK(BM_FlightRecorderRecord)->Threads(1)->Threads(4);
+BENCHMARK(BM_FlightRecorderSnapshot);
 
 BENCHMARK_MAIN();

@@ -4,12 +4,19 @@
 // actual wire.
 //
 //   ./examples/udp_live [--messages=5] [--backend=auto|mmsg|uring]
+//                       [--dump-blackbox]
 //
 // The SN's socket drains through the zero-copy slab path
 // (recv_batch_views -> on_datagram_views): datagrams land in pool slabs,
 // ILP headers are decrypted in place, and the terminus consumes views —
 // no per-packet payload copy. --backend selects the receive backend
 // (io_uring when the kernel supports it; mmsg otherwise).
+//
+// The SLO health plane (ISSUE 7) runs on the SN for the duration of the
+// demo: sliding-window rollups over the merged registry, a burn-rate SLO
+// on the ingress stage latency, the shard watchdog, and the black-box
+// flight recorder. --dump-blackbox freezes the box at exit (manual
+// trigger) and prints the postmortem JSON.
 #include <cstdio>
 
 #include "common/flags.h"
@@ -108,6 +115,32 @@ int main(int argc, char** argv) {
     ++delivered;
   });
 
+  // SLO health plane (ISSUE 7): a 20ms health tick rolls the merged
+  // registry into the sliding-window store, scans the shard watchdog and
+  // evaluates a burn-rate SLO on the ingress stage latency. Ticks are
+  // bounded so the event loop's timer queue drains and run_until_quiet
+  // can return. Demo-scale windows: a real deployment keeps the SRE-book
+  // defaults (1m/5m fast, 30m/6h slow).
+  core::service_node::health_config health;
+  health.interval = 20ms;
+  health.series.window = 100ms;
+  health.windows.fast_short = 200ms;
+  health.windows.fast_long = 400ms;
+  health.windows.slow_short = 1000ms;
+  health.windows.slow_long = 2000ms;
+  slo::slo_target ingress_slo;
+  ingress_slo.name = "ingress-p99";
+  ingress_slo.service = "delivery";
+  ingress_slo.latency_series = "sn.stage.ingress";
+  ingress_slo.threshold_ns = 50'000;  // 50us budget per packet, 1% headroom
+  health.targets.push_back(ingress_slo);
+  health.alert_sink = [](const slo::slo_alert& a) {
+    std::printf("  !! SLO %s (%s): %s -> %s  burn_fast=%.1f\n", a.slo.c_str(),
+                a.service.c_str(), slo::slo_state_name(a.prev), slo::slo_state_name(a.state),
+                a.burn_fast);
+  };
+  sn.start_health_plane(health, /*max_ticks=*/50);
+
   services::pubsub_client sub(bob), pub(alice);
   int headlines = 0;
   sub.subscribe("headlines", [&](const std::string&, bytes p) {
@@ -168,6 +201,27 @@ int main(int argc, char** argv) {
 
   std::printf("\nstats snapshot (rates vs. previous snapshot):\n%s",
               sn.stats_snapshot().c_str());
+
+  // Health plane summary (ISSUE 7): window coverage of the rollup store
+  // and the per-target SLO state after the demo's traffic.
+  if (const timeseries_store* ts = sn.health_series()) {
+    std::printf("\nhealth plane rollups:\n%s\n", ts->export_json().c_str());
+  }
+  if (const slo::slo_monitor* slos = sn.health_slos()) {
+    std::printf("SLO state:\n%s\n", slos->export_json().c_str());
+  }
+
+  // Black-box postmortem: freeze the ring by hand (the kTrigManual path —
+  // the same freeze a peer-down, shed watermark or SLO page would fire)
+  // and dump what the node was doing right before.
+  if (flags.get_bool("dump-blackbox", false)) {
+    if (flight_recorder* box = sn.blackbox()) {
+      box->trigger(kTrigManual,
+                   static_cast<std::uint64_t>(clk.now().time_since_epoch().count()));
+      std::printf("\nblack-box flight recorder dump (--dump-blackbox):\n%s\n",
+                  sn.dump_blackbox_json().c_str());
+    }
+  }
 
   return (delivered == n_messages && headlines == 1) ? 0 : 1;
 }

@@ -241,6 +241,14 @@ std::vector<std::string> metrics_registry::family_names() const {
   return names;
 }
 
+void metrics_registry::for_each_histogram(
+    const std::function<void(const std::string& key, const histogram& h)>& fn) const {
+  std::lock_guard lock(mu_);
+  for (const entry& e : entries_) {
+    if (e.kind == metric_kind::histogram) fn(e.key, *e.h);
+  }
+}
+
 std::vector<metric_sample> metrics_registry::samples() const {
   std::lock_guard lock(mu_);
   std::vector<metric_sample> out;

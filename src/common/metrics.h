@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,6 +74,7 @@ class histogram {
  public:
   static constexpr int kSubBits = 4;
   static constexpr int kSub = 1 << kSubBits;
+  static constexpr std::size_t kBucketCount = 64 * kSub;
 
   void record(std::uint64_t value_ns);
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -89,6 +91,15 @@ class histogram {
   // exposition merging). Safe against concurrent record() on either side;
   // the merged view is a consistent-enough snapshot for reporting.
   void merge_from(const histogram& other);
+
+  // Raw bucket access for window differencing (timeseries rollups): the
+  // count in bucket `idx` and the representative value the bucket stands
+  // for. Reads race record() benignly — a window delta is a snapshot, not
+  // an invariant.
+  std::uint64_t bucket_value(std::size_t idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+  static std::uint64_t bucket_midpoint(std::size_t idx) { return bucket_mid(idx); }
 
  private:
   static std::size_t bucket_of(std::uint64_t v);
@@ -142,6 +153,12 @@ class metrics_registry {
   std::vector<std::string> family_names() const;
   // Every registered metric as a point sample, sorted by key.
   std::vector<metric_sample> samples() const;
+
+  // Visits every histogram entry as (rendered key, histogram&) under the
+  // registry lock — the timeseries tick diffs raw buckets this way instead
+  // of round-tripping through point samples.
+  void for_each_histogram(
+      const std::function<void(const std::string& key, const histogram& h)>& fn) const;
 
   // Accumulates every metric of `other` into this registry, interning
   // families on demand: counters/gauges/sharded counters add their values,

@@ -1,0 +1,137 @@
+#include "common/slo.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace interedge::slo {
+
+const char* slo_state_name(slo_state s) {
+  switch (s) {
+    case slo_state::ok: return "ok";
+    case slo_state::warn: return "warn";
+    case slo_state::page: return "page";
+  }
+  return "?";
+}
+
+slo_monitor::slo_monitor(const timeseries_store& ts, burn_windows w) : ts_(ts), windows_(w) {
+  if (windows_.clear_after == 0) windows_.clear_after = 1;
+}
+
+void slo_monitor::add_target(slo_target t) {
+  if (t.error_budget <= 0) t.error_budget = 0.01;
+  targets_.push_back(tracked{std::move(t), slo_state::ok, 0});
+}
+
+double slo_monitor::burn_of(const slo_target& t, nanoseconds span) const {
+  double error_rate = 0;
+  if (!t.latency_series.empty()) {
+    // No samples in the window means no evidence of burn — an idle service
+    // is not out of SLO.
+    if (ts_.hist_count(t.latency_series, span) == 0) return 0;
+    error_rate = ts_.hist_fraction_above(t.latency_series, span, t.threshold_ns);
+  } else {
+    const std::uint64_t total = ts_.delta(t.total_series, span);
+    if (total == 0) return 0;
+    const std::uint64_t errors = ts_.delta(t.errors_series, span);
+    error_rate = static_cast<double>(errors) / static_cast<double>(total);
+  }
+  return error_rate / t.error_budget;
+}
+
+std::size_t slo_monitor::evaluate(time_point now, std::vector<slo_alert>* out) {
+  std::size_t emitted = 0;
+  for (tracked& tr : targets_) {
+    const double fast_s = burn_of(tr.target, windows_.fast_short);
+    const double fast_l = burn_of(tr.target, windows_.fast_long);
+    const double slow_s = burn_of(tr.target, windows_.slow_short);
+    const double slow_l = burn_of(tr.target, windows_.slow_long);
+
+    // Multi-window AND: both the prompt and the sustaining window must
+    // agree before the state escalates.
+    slo_state observed = slo_state::ok;
+    if (slow_s >= windows_.warn_burn && slow_l >= windows_.warn_burn) observed = slo_state::warn;
+    if (fast_s >= windows_.page_burn && fast_l >= windows_.page_burn) observed = slo_state::page;
+
+    slo_state next = tr.state;
+    if (observed > tr.state) {
+      // Escalation is immediate — a page must not wait out hysteresis.
+      next = observed;
+      tr.healthy_evals = 0;
+    } else if (observed < tr.state) {
+      // Downgrade only after clear_after consecutive calmer evaluations.
+      if (++tr.healthy_evals >= windows_.clear_after) {
+        next = observed;
+        tr.healthy_evals = 0;
+      }
+    } else {
+      tr.healthy_evals = 0;
+    }
+
+    if (next != tr.state) {
+      slo_alert a;
+      a.slo = tr.target.name;
+      a.service = tr.target.service;
+      a.state = next;
+      a.prev = tr.state;
+      a.burn_fast = fast_s;
+      a.burn_slow = slow_s;
+      a.at_ns = static_cast<std::uint64_t>(now.time_since_epoch().count());
+      tr.state = next;
+      ++transitions_;
+      ++emitted;
+      if (out != nullptr) out->push_back(a);
+      alerts_.push_back(std::move(a));
+      while (alerts_.size() > kMaxAlerts) alerts_.pop_front();
+    }
+  }
+  return emitted;
+}
+
+slo_state slo_monitor::state(const std::string& name) const {
+  for (const tracked& tr : targets_) {
+    if (tr.target.name == name) return tr.state;
+  }
+  return slo_state::ok;
+}
+
+double slo_monitor::burn(const std::string& name, nanoseconds span) const {
+  for (const tracked& tr : targets_) {
+    if (tr.target.name == name) return burn_of(tr.target, span);
+  }
+  return 0;
+}
+
+void slo_monitor::expose(metrics_registry& reg) const {
+  for (const tracked& tr : targets_) {
+    reg.get_gauge("slo.state", {{"slo", tr.target.name}, {"service", tr.target.service}})
+        .set(static_cast<std::int64_t>(tr.state));
+  }
+  reg.get_gauge("slo.transitions").set(static_cast<std::int64_t>(transitions_));
+}
+
+std::string slo_monitor::export_json() const {
+  std::ostringstream os;
+  os << "{\"slos\":[";
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    const tracked& tr = targets_[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << tr.target.name << "\",\"service\":\"" << tr.target.service
+       << "\",\"state\":\"" << slo_state_name(tr.state)
+       << "\",\"burn_fast\":" << burn_of(tr.target, windows_.fast_short)
+       << ",\"burn_slow\":" << burn_of(tr.target, windows_.slow_short) << "}";
+  }
+  os << "],\"alerts\":[";
+  for (std::size_t i = 0; i < alerts_.size(); ++i) {
+    const slo_alert& a = alerts_[i];
+    if (i) os << ",";
+    os << "{\"slo\":\"" << a.slo << "\",\"service\":\"" << a.service << "\",\"state\":\""
+       << slo_state_name(a.state) << "\",\"prev\":\"" << slo_state_name(a.prev)
+       << "\",\"burn_fast\":" << a.burn_fast << ",\"burn_slow\":" << a.burn_slow
+       << ",\"at_ns\":" << a.at_ns << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace interedge::slo

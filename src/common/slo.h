@@ -1,0 +1,126 @@
+// Declarative SLO targets evaluated as multi-window burn rates (ISSUE 7).
+//
+// An SLO gives a service an error budget: "99% of deliveries under 2ms"
+// budgets 1% of samples over the threshold; "99.9% delivered" budgets
+// 0.1% loss. The burn rate is how fast the budget is being consumed:
+// burn = observed error rate / budgeted error rate, so burn 1.0 spends
+// exactly the budget over the SLO period and burn 14.4 spends a 30-day
+// budget in ~2 days. Following the SRE multi-window multi-burn-rate
+// recipe, a PAGE needs the fast burn high over BOTH a short and a longer
+// window (the short window makes the page prompt, the longer one keeps a
+// single spike from paging); a WARN uses slower windows and a lower burn.
+// Hysteresis: a state only downgrades after `clear_after` consecutive
+// healthy evaluations, so a flapping series cannot strobe the pager.
+//
+// Both SLO shapes reduce to one errors/total ratio per window:
+//   * latency targets count histogram samples above the threshold via the
+//     timeseries store's window sketches;
+//   * ratio targets (loss, availability) difference two counter series.
+//
+// Evaluation runs on the control/aggregation tick against a
+// timeseries_store — never on a packet path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/timeseries.h"
+
+namespace interedge::slo {
+
+enum class slo_state : std::uint8_t { ok = 0, warn = 1, page = 2 };
+const char* slo_state_name(slo_state s);
+
+// Window/threshold policy. Defaults follow the SRE book's 30-day-budget
+// numbers; deterministic tests shrink the windows to simulation scale.
+struct burn_windows {
+  nanoseconds fast_short = std::chrono::minutes(1);
+  nanoseconds fast_long = std::chrono::minutes(5);
+  double page_burn = 14.4;
+  nanoseconds slow_short = std::chrono::minutes(30);
+  nanoseconds slow_long = std::chrono::hours(6);
+  double warn_burn = 3.0;
+  // Consecutive healthy evaluations before a state downgrades.
+  std::uint32_t clear_after = 2;
+};
+
+// One declarative target. Exactly one shape is active: a latency SLO when
+// latency_series is set, an errors/total ratio SLO otherwise.
+struct slo_target {
+  std::string name;     // unique handle, e.g. "pass_through-p99"
+  std::string service;  // label for alerts and exposition
+
+  // Latency shape: histogram series key in the timeseries store (the
+  // rendered registry key, labels included) + the threshold; a sample
+  // above threshold_ns is an error.
+  std::string latency_series;
+  std::uint64_t threshold_ns = 0;
+
+  // Ratio shape: errors/total counter series keys.
+  std::string errors_series;
+  std::string total_series;
+
+  // Budgeted error fraction: SLO 99% => 0.01, 99.9% => 0.001.
+  double error_budget = 0.01;
+};
+
+// A state transition (what a pager or the edomain plane consumes). Only
+// transitions are emitted; steady state is queryable via state().
+struct slo_alert {
+  std::string slo;
+  std::string service;
+  slo_state state = slo_state::ok;
+  slo_state prev = slo_state::ok;
+  double burn_fast = 0;  // fast_short-window burn at the transition
+  double burn_slow = 0;  // slow_short-window burn
+  std::uint64_t at_ns = 0;
+};
+
+class slo_monitor {
+ public:
+  explicit slo_monitor(const timeseries_store& ts, burn_windows w = {});
+
+  void add_target(slo_target t);
+  std::size_t target_count() const { return targets_.size(); }
+
+  // Evaluates every target at `now`; appends state transitions to `out`
+  // (when non-null) and to the bounded internal alert log. Returns the
+  // number of transitions.
+  std::size_t evaluate(time_point now, std::vector<slo_alert>* out = nullptr);
+
+  slo_state state(const std::string& name) const;
+  // Burn rate of one target over an arbitrary window (test/introspection).
+  double burn(const std::string& name, nanoseconds span) const;
+
+  const burn_windows& windows() const { return windows_; }
+  const std::deque<slo_alert>& alerts() const { return alerts_; }
+
+  // Writes slo.state{slo=,service=} gauges (0 ok / 1 warn / 2 page) and a
+  // cumulative slo.transitions counter into `reg` for exposition.
+  void expose(metrics_registry& reg) const;
+  std::string export_json() const;
+
+ private:
+  struct tracked {
+    slo_target target;
+    slo_state state = slo_state::ok;
+    std::uint32_t healthy_evals = 0;
+  };
+  double burn_of(const slo_target& t, nanoseconds span) const;
+
+  const timeseries_store& ts_;
+  burn_windows windows_;
+  std::vector<tracked> targets_;
+  std::deque<slo_alert> alerts_;  // bounded (kMaxAlerts)
+  std::uint64_t transitions_ = 0;
+
+  static constexpr std::size_t kMaxAlerts = 256;
+};
+
+}  // namespace interedge::slo

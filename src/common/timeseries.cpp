@@ -1,0 +1,262 @@
+#include "common/timeseries.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace interedge {
+
+timeseries_store::timeseries_store(config cfg) : cfg_(cfg) {
+  if (cfg_.window.count() <= 0) cfg_.window = std::chrono::seconds(10);
+  if (cfg_.windows == 0) cfg_.windows = 1;
+  if (cfg_.sketch_buckets == 0) cfg_.sketch_buckets = 1;
+}
+
+bool timeseries_store::tracked(const std::string& key) const {
+  if (cfg_.prefixes.empty()) return true;
+  for (const std::string& p : cfg_.prefixes) {
+    if (key.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+void timeseries_store::tick(const metrics_registry& snapshot, time_point now) {
+  // Read the snapshot outside our lock: samples()/for_each_histogram take
+  // the registry's own lock, and holding both in a fixed order here avoids
+  // any chance of inversion with exposition paths.
+  const std::vector<metric_sample> samples = snapshot.samples();
+
+  std::lock_guard lk(mu_);
+  const std::int64_t slot = slot_of(now);
+  if (slot > last_slot_) last_slot_ = slot;
+  ++ticks_;
+
+  for (const metric_sample& s : samples) {
+    if (s.kind != metric_kind::counter && s.kind != metric_kind::sharded_counter) continue;
+    if (!tracked(s.key)) continue;
+    auto it = counters_.find(s.key);
+    if (it == counters_.end()) {
+      if (counters_.size() >= cfg_.max_counter_series) {
+        ++series_dropped_;
+        continue;
+      }
+      counter_series_t cs;
+      cs.ring.assign(cfg_.windows, 0.0);
+      cs.slot.assign(cfg_.windows, -1);
+      it = counters_.emplace(s.key, std::move(cs)).first;
+    }
+    counter_series_t& cs = it->second;
+    double d = 0;
+    if (cs.have_prev) {
+      d = s.value - cs.prev;
+      if (d < 0) {
+        // Counter reset: the node behind this series restarted and its
+        // cumulative value collapsed. The fresh value is the true delta
+        // since the wipe; a negative rate must never escape the store.
+        d = s.value;
+        ++resets_;
+      }
+    }
+    // First sighting contributes no delta — the cumulative baseline may
+    // cover history far older than this window.
+    cs.prev = s.value;
+    cs.have_prev = true;
+    const std::size_t r = static_cast<std::size_t>(slot % static_cast<std::int64_t>(cfg_.windows));
+    if (cs.slot[r] != slot) {
+      cs.ring[r] = 0;
+      cs.slot[r] = slot;
+    }
+    cs.ring[r] += d;
+  }
+
+  snapshot.for_each_histogram([&](const std::string& key, const histogram& h) {
+    if (!tracked(key)) return;
+    auto it = hists_.find(key);
+    if (it == hists_.end()) {
+      if (hists_.size() >= cfg_.max_hist_series) {
+        ++series_dropped_;
+        return;
+      }
+      hist_series_t hs;
+      hs.ring.resize(cfg_.windows);
+      it = hists_.emplace(key, std::move(hs)).first;
+    }
+    hist_series_t& hs = it->second;
+    if (hs.prev.empty()) hs.prev.assign(histogram::kBucketCount, 0);
+
+    const std::size_t r = static_cast<std::size_t>(slot % static_cast<std::int64_t>(cfg_.windows));
+    hist_window& w = hs.ring[r];
+    if (w.slot != slot) {
+      w.entries.clear();
+      w.total = 0;
+      w.slot = slot;
+    }
+    bool reset = false;
+    for (std::size_t i = 0; i < histogram::kBucketCount; ++i) {
+      const std::uint64_t cur = h.bucket_value(i);
+      if (!reset && hs.have_prev && cur < hs.prev[i]) {
+        // Any bucket shrinking means the histogram was wiped wholesale:
+        // re-baseline on the fresh contents, same clamp as counters.
+        reset = true;
+      }
+      if (reset) break;
+    }
+    if (reset) ++resets_;
+    for (std::size_t i = 0; i < histogram::kBucketCount; ++i) {
+      const std::uint64_t cur = h.bucket_value(i);
+      std::uint64_t d = 0;
+      if (!hs.have_prev) {
+        d = 0;  // baseline tick: history predating the store stays out
+      } else if (reset) {
+        d = cur;
+      } else {
+        d = cur - hs.prev[i];
+      }
+      hs.prev[i] = cur;
+      if (d == 0) continue;
+      w.total += d;
+      // Sparse accumulate: a window's traffic touches few of the 1024
+      // log-linear buckets, so linear search beats any indexing here.
+      bool found = false;
+      for (sketch_entry& e : w.entries) {
+        if (e.bucket == i) {
+          e.count += d;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        if (w.entries.size() < cfg_.sketch_buckets) {
+          w.entries.push_back(sketch_entry{static_cast<std::uint16_t>(i), d});
+        } else {
+          // Sketch full: fold into the highest-bucket entry so totals stay
+          // exact and the tail (what SLOs watch) stays pessimistic.
+          auto top = std::max_element(
+              w.entries.begin(), w.entries.end(),
+              [](const sketch_entry& a, const sketch_entry& b) { return a.bucket < b.bucket; });
+          top->count += d;
+        }
+      }
+    }
+    hs.have_prev = true;
+  });
+}
+
+std::int64_t timeseries_store::span_first_slot(nanoseconds span) const {
+  if (last_slot_ < 0) return 0;
+  std::int64_t n = (span.count() + cfg_.window.count() - 1) / cfg_.window.count();
+  if (n < 1) n = 1;
+  if (n > static_cast<std::int64_t>(cfg_.windows)) n = static_cast<std::int64_t>(cfg_.windows);
+  return last_slot_ - n + 1;
+}
+
+std::uint64_t timeseries_store::delta(const std::string& key, nanoseconds span) const {
+  std::lock_guard lk(mu_);
+  auto it = counters_.find(key);
+  if (it == counters_.end() || last_slot_ < 0) return 0;
+  const std::int64_t first = span_first_slot(span);
+  double total = 0;
+  const counter_series_t& cs = it->second;
+  for (std::size_t r = 0; r < cfg_.windows; ++r) {
+    if (cs.slot[r] >= first && cs.slot[r] <= last_slot_) total += cs.ring[r];
+  }
+  return total <= 0 ? 0 : static_cast<std::uint64_t>(total);
+}
+
+double timeseries_store::rate_per_sec(const std::string& key, nanoseconds span) const {
+  const std::uint64_t d = delta(key, span);
+  const double secs = static_cast<double>(span.count()) / 1e9;
+  return secs > 0 ? static_cast<double>(d) / secs : 0.0;
+}
+
+std::uint64_t timeseries_store::hist_count(const std::string& key, nanoseconds span) const {
+  std::lock_guard lk(mu_);
+  auto it = hists_.find(key);
+  if (it == hists_.end() || last_slot_ < 0) return 0;
+  const std::int64_t first = span_first_slot(span);
+  std::uint64_t total = 0;
+  for (const hist_window& w : it->second.ring) {
+    if (w.slot >= first && w.slot <= last_slot_) total += w.total;
+  }
+  return total;
+}
+
+std::uint64_t timeseries_store::hist_quantile(const std::string& key, nanoseconds span,
+                                              double q) const {
+  std::lock_guard lk(mu_);
+  auto it = hists_.find(key);
+  if (it == hists_.end() || last_slot_ < 0) return 0;
+  const std::int64_t first = span_first_slot(span);
+  // Merge the span's sketches into one dense-enough bucket list.
+  std::map<std::uint16_t, std::uint64_t> merged;
+  std::uint64_t total = 0;
+  for (const hist_window& w : it->second.ring) {
+    if (w.slot < first || w.slot > last_slot_) continue;
+    total += w.total;
+    for (const sketch_entry& e : w.entries) merged[e.bucket] += e.count;
+  }
+  if (total == 0) return 0;
+  std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (target >= total) target = total - 1;
+  std::uint64_t seen = 0;
+  std::uint16_t last = 0;
+  for (const auto& [bucket, count] : merged) {
+    last = bucket;
+    seen += count;
+    if (seen > target) return histogram::bucket_midpoint(bucket);
+  }
+  return histogram::bucket_midpoint(last);
+}
+
+double timeseries_store::hist_fraction_above(const std::string& key, nanoseconds span,
+                                             std::uint64_t threshold_ns) const {
+  std::lock_guard lk(mu_);
+  auto it = hists_.find(key);
+  if (it == hists_.end() || last_slot_ < 0) return 0.0;
+  const std::int64_t first = span_first_slot(span);
+  std::uint64_t total = 0, above = 0;
+  for (const hist_window& w : it->second.ring) {
+    if (w.slot < first || w.slot > last_slot_) continue;
+    total += w.total;
+    for (const sketch_entry& e : w.entries) {
+      if (histogram::bucket_midpoint(e.bucket) > threshold_ns) above += e.count;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(above) / static_cast<double>(total);
+}
+
+std::uint64_t timeseries_store::ticks() const {
+  std::lock_guard lk(mu_);
+  return ticks_;
+}
+
+std::uint64_t timeseries_store::counter_resets() const {
+  std::lock_guard lk(mu_);
+  return resets_;
+}
+
+std::uint64_t timeseries_store::series_dropped() const {
+  std::lock_guard lk(mu_);
+  return series_dropped_;
+}
+
+std::size_t timeseries_store::counter_series() const {
+  std::lock_guard lk(mu_);
+  return counters_.size();
+}
+
+std::size_t timeseries_store::hist_series() const {
+  std::lock_guard lk(mu_);
+  return hists_.size();
+}
+
+std::string timeseries_store::export_json() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  os << "{\"window_ns\":" << cfg_.window.count() << ",\"windows\":" << cfg_.windows
+     << ",\"ticks\":" << ticks_ << ",\"counter_series\":" << counters_.size()
+     << ",\"hist_series\":" << hists_.size() << ",\"counter_resets\":" << resets_
+     << ",\"series_dropped\":" << series_dropped_ << "}";
+  return os.str();
+}
+
+}  // namespace interedge

@@ -1,0 +1,130 @@
+// Sliding-window time-series rollups over metrics_registry snapshots
+// (ISSUE 7). The datapath keeps writing its relaxed-atomic counters and
+// histograms exactly as before — zero hot-path cost; the control thread's
+// health tick hands a merged snapshot to tick(), which differences it
+// against the previous one into a fixed-memory ring of per-window rollups:
+//
+//   * counter/sharded-counter families become per-window deltas, with
+//     counter-reset clamping (a delta going negative means the node behind
+//     the series restarted and its counters were wiped — the window takes
+//     the fresh value and the reset is counted, never a negative rate);
+//   * histogram families become per-window sparse bucket sketches (bounded
+//     (bucket, count) pairs diffed from the raw log-linear buckets), so a
+//     window quantile or an above-threshold error fraction is answerable
+//     long after the cumulative histogram has smeared the signal.
+//
+// Queries slide over the ring by wall-clock span: rate over the last 1m,
+// p99 over the last 5m, fraction of samples above an SLO threshold — the
+// exact primitives multi-window burn-rate alerting (common/slo.h) needs.
+// Memory is fixed at construction: series beyond the configured caps are
+// dropped and counted, windows beyond the ring depth age out.
+//
+// Single-threaded by design: tick() and the queries run on the owner's
+// control thread (a mutex still guards state so exposition from another
+// thread stays safe, but nothing here is on a packet path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace interedge {
+
+class timeseries_store {
+ public:
+  struct config {
+    // Window width and ring depth: window * windows is the whole history
+    // (the slow burn window must fit inside it).
+    nanoseconds window = std::chrono::seconds(10);
+    std::size_t windows = 64;
+    // Series caps — the fixed-memory contract. Excess series are ignored
+    // and counted in series_dropped().
+    std::size_t max_counter_series = 512;
+    std::size_t max_hist_series = 64;
+    // Distinct (bucket, count) pairs kept per histogram window; a window
+    // that touches more buckets folds the overflow into its last entry's
+    // count (quantiles degrade gracefully, totals stay exact).
+    std::size_t sketch_buckets = 48;
+    // Optional name-prefix filter: when non-empty, only series whose
+    // rendered key starts with one of these prefixes are tracked.
+    std::vector<std::string> prefixes;
+  };
+
+  explicit timeseries_store(config cfg);
+
+  // Folds one cumulative snapshot into the ring at `now`. Windows the
+  // clock skipped since the last tick are zeroed (no stale carry-over);
+  // several ticks inside one window accumulate into it.
+  void tick(const metrics_registry& snapshot, time_point now);
+
+  // ---- counter queries (span = lookback from the latest tick) ----
+  std::uint64_t delta(const std::string& key, nanoseconds span) const;
+  double rate_per_sec(const std::string& key, nanoseconds span) const;
+
+  // ---- histogram queries ----
+  std::uint64_t hist_count(const std::string& key, nanoseconds span) const;
+  // Merged-window quantile (bucket-midpoint resolution, like histogram).
+  std::uint64_t hist_quantile(const std::string& key, nanoseconds span, double q) const;
+  // Fraction of the span's samples strictly above `threshold_ns` — the
+  // latency-SLO error rate (0 when the span holds no samples).
+  double hist_fraction_above(const std::string& key, nanoseconds span,
+                             std::uint64_t threshold_ns) const;
+
+  // ---- accounting ----
+  std::uint64_t ticks() const;
+  // Counter wipes observed (node restarts behind a merged snapshot).
+  std::uint64_t counter_resets() const;
+  // Series refused by the max_* caps (cumulative).
+  std::uint64_t series_dropped() const;
+  std::size_t counter_series() const;
+  std::size_t hist_series() const;
+  const config& cfg() const { return cfg_; }
+
+  // Compact JSON summary (series counts, resets, window coverage).
+  std::string export_json() const;
+
+ private:
+  struct counter_series_t {
+    double prev = 0;                 // cumulative value at the last tick
+    bool have_prev = false;
+    std::vector<double> ring;        // per-window deltas
+    std::vector<std::int64_t> slot;  // which absolute window each ring cell holds
+  };
+  struct sketch_entry {
+    std::uint16_t bucket = 0;
+    std::uint64_t count = 0;
+  };
+  struct hist_window {
+    std::int64_t slot = -1;
+    std::vector<sketch_entry> entries;  // bounded by cfg_.sketch_buckets
+    std::uint64_t total = 0;            // exact sample count for the window
+  };
+  struct hist_series_t {
+    std::vector<std::uint64_t> prev;  // raw bucket snapshot at the last tick
+    bool have_prev = false;
+    std::vector<hist_window> ring;
+  };
+
+  bool tracked(const std::string& key) const;
+  std::int64_t slot_of(time_point t) const {
+    return static_cast<std::int64_t>(t.time_since_epoch().count() / cfg_.window.count());
+  }
+  // Windows covering the last `span` ending at the latest tick's slot.
+  std::int64_t span_first_slot(nanoseconds span) const;
+
+  config cfg_;
+  mutable std::mutex mu_;
+  std::int64_t last_slot_ = -1;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t resets_ = 0;
+  std::uint64_t series_dropped_ = 0;
+  std::map<std::string, counter_series_t> counters_;
+  std::map<std::string, hist_series_t> hists_;
+};
+
+}  // namespace interedge

@@ -21,23 +21,47 @@ bool span_order(const path_span& a, const path_span& b) {
 
 trace_collector::trace_collector(std::size_t max_traces) : max_traces_(max_traces) {}
 
-void trace_collector::ingest(const path_span& s) {
+void trace_collector::set_completion_hook(completion_hook hook) {
   std::lock_guard lock(mu_);
-  ingest_locked(s);
+  completion_hook_ = std::move(hook);
 }
 
-void trace_collector::ingest(std::span<const path_span> spans) {
-  std::lock_guard lock(mu_);
-  for (const path_span& s : spans) ingest_locked(s);
+bool trace_collector::ingest(const path_span& s) {
+  std::vector<pending_completion> completions;
+  bool accepted;
+  {
+    std::lock_guard lock(mu_);
+    accepted = ingest_locked(s, completions);
+  }
+  for (const pending_completion& c : completions) {
+    completion_hook_(c.service, c.connection, c.total_ns, c.annotations);
+  }
+  return accepted;
 }
 
-void trace_collector::ingest_locked(const path_span& s) {
+std::size_t trace_collector::ingest(std::span<const path_span> spans) {
+  std::vector<pending_completion> completions;
+  std::size_t accepted = 0;
+  {
+    std::lock_guard lock(mu_);
+    for (const path_span& s : spans) {
+      if (ingest_locked(s, completions)) ++accepted;
+    }
+  }
+  for (const pending_completion& c : completions) {
+    completion_hook_(c.service, c.connection, c.total_ns, c.annotations);
+  }
+  return accepted;
+}
+
+bool trace_collector::ingest_locked(const path_span& s,
+                                    std::vector<pending_completion>& completions) {
   ++spans_seen_;
   if (s.trace_id == 0) {
     // Node event: bounded like the trace table, oldest evicted first.
     if (events_.size() >= max_traces_) events_.erase(events_.begin());
     events_.push_back(s);
-    return;
+    return true;
   }
   auto it = traces_.find(s.trace_id);
   if (it == traces_.end()) {
@@ -46,19 +70,56 @@ void trace_collector::ingest_locked(const path_span& s) {
       order_.pop_front();
       ++evicted_;
     }
-    it = traces_.emplace(s.trace_id, std::vector<path_span>{}).first;
+    it = traces_.emplace(s.trace_id, trace_entry{}).first;
     order_.push_back(s.trace_id);
   } else {
     // Idempotent intake: a span batch replayed (or a duplicated datagram's
     // identical emission) must not double-count.
-    for (const path_span& have : it->second) {
+    for (const path_span& have : it->second.spans) {
       if (have.span_id == s.span_id) {
         ++duplicates_;
-        return;
+        return false;
       }
     }
   }
-  it->second.push_back(s);
+  trace_entry& entry = it->second;
+  entry.spans.push_back(s);
+
+  // Completion detection: the first time both the origin and a terminal
+  // delivery are present, report the end-to-end latency once. Only the
+  // span just added can complete the pair, so the scan is amortized O(1)
+  // for everything but that one intake.
+  if (completion_hook_ && !entry.completion_reported &&
+      (s.kind == span_kind::origin || s.kind == span_kind::deliver)) {
+    bool has_origin = false, has_deliver = false;
+    std::uint64_t origin_start = 0, deliver_end = 0;
+    std::uint16_t annotations = 0;
+    std::uint32_t service = 0;
+    std::uint64_t connection = 0;
+    for (const path_span& have : entry.spans) {
+      annotations |= have.annotations;
+      if (have.service != 0) service = have.service;
+      if (have.connection != 0) connection = have.connection;
+      if (have.kind == span_kind::origin) {
+        has_origin = true;
+        origin_start = have.start_ns;
+      }
+      if (have.kind == span_kind::deliver) {
+        has_deliver = true;
+        deliver_end = std::max(deliver_end, have.start_ns + have.duration_ns);
+      }
+    }
+    if (has_origin && has_deliver) {
+      entry.completion_reported = true;
+      pending_completion c;
+      c.service = service;
+      c.connection = connection;
+      c.total_ns = deliver_end > origin_start ? deliver_end - origin_start : 0;
+      c.annotations = annotations;
+      completions.push_back(c);
+    }
+  }
+  return true;
 }
 
 std::size_t trace_collector::trace_count() const {
@@ -98,8 +159,8 @@ std::optional<path_trace> trace_collector::assemble(std::uint64_t trace_id) cons
 
 std::optional<path_trace> trace_collector::assemble_locked(std::uint64_t trace_id) const {
   auto it = traces_.find(trace_id);
-  if (it == traces_.end() || it->second.empty()) return std::nullopt;
-  std::vector<path_span> spans = it->second;
+  if (it == traces_.end() || it->second.spans.empty()) return std::nullopt;
+  std::vector<path_span> spans = it->second.spans;
   std::sort(spans.begin(), spans.end(), span_order);
 
   path_trace out;

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -55,8 +56,20 @@ class trace_collector {
 
   // Span intake (thread-safe; duplicate span ids are ignored). Spans with
   // trace_id == 0 are node events, kept separately for time correlation.
-  void ingest(const path_span& s);
-  void ingest(std::span<const path_span> spans);
+  // Returns whether the span was newly accepted (false for a duplicate) /
+  // how many of the batch were — aggregators that roll spans up as they
+  // arrive key on this so a replayed batch can never double-count.
+  bool ingest(const path_span& s);
+  std::size_t ingest(std::span<const path_span> spans);
+
+  // Completion callback: fires the first time a trace holds both its
+  // origin and a terminal delivery, with the end-to-end latency
+  // (deliver end − origin start) and the union of annotations seen so
+  // far. Invoked AFTER the collector releases its lock (re-entry into the
+  // collector from the hook is safe); set before concurrent ingestion.
+  using completion_hook = std::function<void(std::uint32_t service, std::uint64_t connection,
+                                             std::uint64_t total_ns, std::uint16_t annotations)>;
+  void set_completion_hook(completion_hook hook);
 
   std::size_t trace_count() const;
   std::uint64_t spans_seen() const;
@@ -79,12 +92,24 @@ class trace_collector {
   std::string render_text(std::size_t limit = 16) const;
 
  private:
-  void ingest_locked(const path_span& s);
+  struct trace_entry {
+    std::vector<path_span> spans;
+    bool completion_reported = false;
+  };
+  struct pending_completion {
+    std::uint32_t service = 0;
+    std::uint64_t connection = 0;
+    std::uint64_t total_ns = 0;
+    std::uint16_t annotations = 0;
+  };
+
+  bool ingest_locked(const path_span& s, std::vector<pending_completion>& completions);
   std::optional<path_trace> assemble_locked(std::uint64_t trace_id) const;
 
   mutable std::mutex mu_;
   std::size_t max_traces_;
-  std::map<std::uint64_t, std::vector<path_span>> traces_;
+  completion_hook completion_hook_;
+  std::map<std::uint64_t, trace_entry> traces_;
   std::deque<std::uint64_t> order_;    // insertion order for eviction
   std::vector<path_span> events_;      // trace_id == 0 (bounded by max_traces_)
   std::uint64_t spans_seen_ = 0;

@@ -88,11 +88,22 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
   terminus_->enable_telemetry(metrics_, &tracer_);
   if (config_.path_span_capacity > 0) terminus_->enable_path_tracing(&path_rec_);
   pipes_.set_metrics(metrics_);
+  if (config_.blackbox_capacity > 0) {
+    blackbox_ = std::make_unique<flight_recorder>(
+        flight_recorder::config{.capacity = config_.blackbox_capacity,
+                                .trigger_mask = config_.blackbox_triggers});
+  }
   // Liveness transitions become node event spans the collector correlates
   // with in-flight traces (a failover mid-trace shows up annotated, not as
-  // a dangling path).
+  // a dangling path) — and black-box triggers, so the flight recorder
+  // freezes with the pre-fault tail intact.
   pipes_.set_peer_status_hook([this](peer_id peer, bool up) {
-    if (!up) emit_node_event(trace::kAnnoPeerDown, peer);
+    if (!up) {
+      emit_node_event(trace::kAnnoPeerDown, peer);
+      if (blackbox_) {
+        blackbox_->trigger(kTrigPeerDown, path_rec_.now(), peer);
+      }
+    }
   });
   m_slowpath_expired_ = &metrics_.get_counter("sn.slowpath.expired");
   m_checkpoint_taken_ = &metrics_.get_counter("sn.checkpoint.taken");
@@ -470,6 +481,13 @@ void service_node::worker_main(std::size_t shard) {
   trace::scoped_tracer st(&sh.tracer);
   std::uint32_t idle_spins = 0;
   while (!sh.stop.load(std::memory_order_acquire)) {
+    // Fault-injection stall: spin without advancing the heartbeat or
+    // consuming work — the live-lock shape the watchdog detects.
+    if (sh.stall.load(std::memory_order_acquire)) {
+      spin_pause();
+      continue;
+    }
+    sh.heartbeat.fetch_add(1, std::memory_order_relaxed);
     bool busy = worker_drain_aux(sh) > 0;
 
     sh.batch_scratch.clear();
@@ -807,6 +825,12 @@ slowpath_response service_node::handle_slowpath(slowpath_request req) {
 }
 
 void service_node::emit_node_event(std::uint16_t annotations, std::uint64_t correlate) {
+  if (blackbox_) {
+    blackbox_->record(fr_event{.time_ns = path_rec_.now(),
+                               .kind = fr_kind::lifecycle,
+                               .code = annotations,
+                               .a = correlate});
+  }
   if (config_.path_span_capacity == 0) return;
   const std::uint64_t now = path_rec_.now();
   path_rec_.emit(trace::path_span{
@@ -826,10 +850,30 @@ void service_node::emit_node_event(std::uint16_t annotations, std::uint64_t corr
 }
 
 std::size_t service_node::drain_path_spans(std::vector<trace::path_span>& out) {
+  const std::size_t base = out.size();
   std::size_t total = 0;
   for (std::size_t n = path_rec_.drain(out); n > 0; n = path_rec_.drain(out)) total += n;
   for (auto& sh : shards_) {
     for (std::size_t n = sh->path_rec.drain(out); n > 0; n = sh->path_rec.drain(out)) total += n;
+  }
+  // The drain doubles as the black box's feed: every span passing through
+  // the control thread lands in the ring, so a freeze dumps the recent
+  // traced traffic alongside the lifecycle events (recorded at emission —
+  // trace_id == 0 spans are skipped here to avoid double entry).
+  if (blackbox_ != nullptr && !blackbox_->frozen()) {
+    for (std::size_t k = base; k < out.size(); ++k) {
+      const trace::path_span& s = out[k];
+      if (s.trace_id == 0) continue;
+      blackbox_->record(fr_event{
+          .time_ns = s.start_ns,
+          .kind = fr_kind::span,
+          .code = (static_cast<std::uint32_t>(s.annotations) << 8) |
+                  static_cast<std::uint8_t>(s.verdict),
+          .a = s.trace_id,
+          .b = s.service,
+          .c = s.duration_ns,
+      });
+    }
   }
   return total;
 }
@@ -851,6 +895,9 @@ void service_node::schedule_observe_tick(nanoseconds interval, std::shared_ptr<o
                                          std::uint64_t remaining) {
   scheduler_(interval, [this, interval, sink, remaining] {
     if (!observe_running_) return;
+    // Saturation/loss gauges refresh before the merge so every pushed
+    // snapshot carries current ring depths and trace-drop accounting.
+    refresh_health_gauges();
     metrics_registry merged;
     merge_metrics_into(merged);
     span_drain_scratch_.clear();
@@ -897,8 +944,10 @@ void service_node::restore_full(const_byte_span snapshot) {
   env_->restore(r.blob());
   cache_.restore_warm(r.blob(), clock_.now());
   // A standby restoring a peer's state is a takeover: traces that cross
-  // this node around now get the failover annotation folded in.
+  // this node around now get the failover annotation folded in, and the
+  // black box freezes with whatever led up to the handoff.
   emit_node_event(trace::kAnnoFailover, config_.id);
+  if (blackbox_) blackbox_->trigger(kTrigFailover, path_rec_.now(), config_.id);
 }
 
 void service_node::start_checkpointing(nanoseconds interval, std::function<void(bytes)> sink,
@@ -923,6 +972,157 @@ void service_node::schedule_checkpoint_tick(nanoseconds interval,
     }
     schedule_checkpoint_tick(interval, sink, remaining == 0 ? 0 : remaining - 1);
   });
+}
+
+// ---- SLO health plane (ISSUE 7, DESIGN.md §13) ------------------------
+
+void service_node::start_health_plane(health_config cfg, std::uint64_t max_ticks) {
+  health_cfg_ = std::move(cfg);
+  health_ts_ = std::make_unique<timeseries_store>(health_cfg_.series);
+  health_slo_ = std::make_unique<slo::slo_monitor>(*health_ts_, health_cfg_.windows);
+  for (const slo::slo_target& t : health_cfg_.targets) health_slo_->add_target(t);
+  // Watchdog bookkeeping persists across plane restarts: a shard flagged
+  // stalled before a restart must still un-flag (and clear its gauge) when
+  // it recovers under the new plane.
+  if (wd_last_heartbeat_.size() != shards_.size()) {
+    wd_last_heartbeat_.assign(shards_.size(), 0);
+    wd_stalled_ticks_.assign(shards_.size(), 0);
+    wd_flagged_.assign(shards_.size(), false);
+  }
+  if (blackbox_ && health_cfg_.blackbox_sink) {
+    // The freeze hook runs on whichever thread fired the trigger; both the
+    // dump and the sink must therefore be safe off the control thread
+    // (dump_json reads the ring via the seqlock protocol — it is).
+    blackbox_->set_freeze_hook([this](std::uint32_t) {
+      // Re-read the sink at fire time: a later start_health_plane may have
+      // replaced the config (possibly with no sink) while this hook stays.
+      if (health_cfg_.blackbox_sink) health_cfg_.blackbox_sink(dump_blackbox_json());
+    });
+  }
+  health_running_ = true;
+  schedule_health_tick(max_ticks);
+}
+
+void service_node::schedule_health_tick(std::uint64_t remaining) {
+  scheduler_(health_cfg_.interval, [this, remaining] {
+    if (!health_running_) return;
+    health_tick();
+    if (remaining == 1) {
+      health_running_ = false;
+      return;
+    }
+    schedule_health_tick(remaining == 0 ? 0 : remaining - 1);
+  });
+}
+
+void service_node::refresh_health_gauges() {
+  std::uint64_t trace_dropped = tracer_.dropped_records();
+  std::uint64_t spans_dropped = path_rec_.dropped();
+  std::uint64_t in_flight = terminus_->in_flight();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    worker_shard& sh = *shards_[i];
+    const label_list shard_label{{"shard", std::to_string(i)}};
+    metrics_.get_gauge("sn.shard.ingress_depth", shard_label)
+        .set(static_cast<std::int64_t>(sh.ingress.size_approx()));
+    // Egress depth counts the spill too: a deep overflow deque is exactly
+    // the slow-drain signal this gauge exists to surface.
+    metrics_.get_gauge("sn.shard.egress_depth", shard_label)
+        .set(static_cast<std::int64_t>(sh.egress.size_approx() +
+                                       sh.spill.load(std::memory_order_acquire)));
+    in_flight += sh.inflight.load(std::memory_order_acquire);
+    trace_dropped += sh.tracer.dropped_records();
+    spans_dropped += sh.path_rec.dropped();
+  }
+  metrics_.get_gauge("sn.slowpath.in_flight_total").set(static_cast<std::int64_t>(in_flight));
+  metrics_.get_gauge("sn.trace.dropped_records").set(static_cast<std::int64_t>(trace_dropped));
+  metrics_.get_gauge("sn.path.spans_dropped").set(static_cast<std::int64_t>(spans_dropped));
+}
+
+void service_node::health_tick() {
+  const time_point now = clock_.now();
+  const std::uint64_t now_ns = static_cast<std::uint64_t>(now.time_since_epoch().count());
+
+  // Watchdog: a shard with pending work whose heartbeat has not moved for
+  // `watchdog_grace` consecutive ticks is stalled (a parked-idle shard has
+  // no pending work, so it never false-positives).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    worker_shard& sh = *shards_[i];
+    const std::uint64_t hb = sh.heartbeat.load(std::memory_order_acquire);
+    const bool pending = sh.consumed.load(std::memory_order_acquire) !=
+                             sh.pushed.load(std::memory_order_acquire) ||
+                         !sh.ingress.empty();
+    const label_list shard_label{{"shard", std::to_string(i)}};
+    if (pending && hb == wd_last_heartbeat_[i]) {
+      if (++wd_stalled_ticks_[i] >= health_cfg_.watchdog_grace && !wd_flagged_[i]) {
+        wd_flagged_[i] = true;
+        ++watchdog_stalls_;
+        metrics_.get_counter("sn.watchdog.stall_events", shard_label).add();
+        metrics_.get_gauge("sn.shard.stalled", shard_label).set(1);
+        IE_LOG(warn) << "service_node" << kv("node", config_.id) << kv("stalled_shard", i)
+                     << kv("heartbeat", hb);
+        if (blackbox_) {
+          blackbox_->record(
+              fr_event{.time_ns = now_ns, .kind = fr_kind::watchdog, .a = i, .b = hb});
+          blackbox_->trigger(kTrigWatchdog, now_ns, i, hb);
+        }
+      }
+    } else {
+      wd_stalled_ticks_[i] = 0;
+      if (wd_flagged_[i]) {
+        wd_flagged_[i] = false;
+        metrics_.get_gauge("sn.shard.stalled", shard_label).set(0);
+      }
+    }
+    wd_last_heartbeat_[i] = hb;
+  }
+
+  refresh_health_gauges();
+
+  // Merged cumulative snapshot into the sliding-window ring; the SLO pass
+  // reads the windows the tick just updated.
+  metrics_registry merged;
+  merge_metrics_into(merged);
+  health_ts_->tick(merged, now);
+
+  health_alert_scratch_.clear();
+  health_slo_->evaluate(now, &health_alert_scratch_);
+  for (const slo::slo_alert& a : health_alert_scratch_) {
+    if (blackbox_) {
+      blackbox_->record(fr_event{.time_ns = a.at_ns,
+                                 .kind = fr_kind::alert,
+                                 .code = static_cast<std::uint32_t>(a.state),
+                                 .a = static_cast<std::uint64_t>(a.prev),
+                                 .b = static_cast<std::uint64_t>(a.burn_fast * 1000.0)});
+      if (a.state == slo::slo_state::page) blackbox_->trigger(kTrigSloPage, a.at_ns);
+    }
+    if (health_cfg_.alert_sink) health_cfg_.alert_sink(a);
+  }
+  health_slo_->expose(metrics_);
+
+  // Shed-watermark trigger: shed verdicts applied since the last tick
+  // freeze the box with the overload's lead-up in the ring.
+  for (const metric_sample& s : merged.samples()) {
+    if (s.key == "sn.slowpath.shed") {
+      const auto shed_total = static_cast<std::uint64_t>(s.value);
+      if (shed_total > last_shed_total_) {
+        if (blackbox_) {
+          blackbox_->trigger(kTrigShed, now_ns, shed_total - last_shed_total_);
+        }
+        last_shed_total_ = shed_total;
+      }
+      break;
+    }
+  }
+}
+
+std::string service_node::dump_blackbox_json() const {
+  return blackbox_ ? blackbox_->dump_json() : std::string("{}");
+}
+
+void service_node::inject_worker_stall(std::size_t shard, bool on) {
+  if (shard >= shards_.size()) return;
+  shards_[shard]->stall.store(on, std::memory_order_release);
+  wake_shard(shard);
 }
 
 }  // namespace interedge::core

@@ -44,8 +44,11 @@
 
 #include "common/buf_pool.h"
 #include "common/clock.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/ring.h"
+#include "common/slo.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "common/trace_collector.h"
 #include "core/channel.h"
@@ -96,6 +99,15 @@ struct sn_config {
   nanoseconds slowpath_deadline{0};
   std::size_t slowpath_high_water = 0;
   nanoseconds shed_ttl = std::chrono::milliseconds(50);
+
+  // ---- SLO health plane (ISSUE 7) ----
+  // Black-box flight recorder ring slots (0 disables). The recorder is
+  // passive until events are fed to it (span drains, lifecycle events,
+  // triggers), so the default costs nothing on the packet path.
+  std::size_t blackbox_capacity = 1024;
+  // Which faults freeze the black box (common/flight_recorder.h bits).
+  std::uint32_t blackbox_triggers = kTrigPeerDown | kTrigFailover | kTrigShed | kTrigSloPage |
+                                    kTrigWatchdog | kTrigManual;
 };
 
 class service_node final : public node_services {
@@ -275,6 +287,46 @@ class service_node final : public node_services {
                            std::uint64_t max_checkpoints = 0);
   void stop_checkpointing() { checkpoint_running_ = false; }
 
+  // ---- SLO health plane (ISSUE 7, DESIGN.md §13) ----
+
+  struct health_config {
+    nanoseconds interval = std::chrono::milliseconds(100);
+    // Sliding-window store fed from the merged registry every tick.
+    timeseries_store::config series;
+    // Burn-rate policy + per-service targets evaluated every tick.
+    slo::burn_windows windows;
+    std::vector<slo::slo_target> targets;
+    // Health ticks a shard may sit with pending work and an unmoving
+    // heartbeat before the watchdog flags it stalled.
+    std::uint32_t watchdog_grace = 2;
+    // Structured alert fan-out (every SLO state transition).
+    std::function<void(const slo::slo_alert&)> alert_sink;
+    // Receives the frozen black-box JSON dump, once per freeze.
+    std::function<void(const std::string& json)> blackbox_sink;
+  };
+
+  // Arms the health tick: per-shard watchdog + saturation gauges, merged
+  // snapshot into the timeseries ring, SLO evaluation, black-box triggers.
+  // max_ticks == 0 runs until stop_health_plane() (bound it under the
+  // run-until-quiet simulator loop, like every other recurring tick).
+  void start_health_plane(health_config cfg, std::uint64_t max_ticks = 0);
+  void stop_health_plane() { health_running_ = false; }
+
+  // Health-plane introspection (null/zero before start_health_plane).
+  const timeseries_store* health_series() const { return health_ts_.get(); }
+  const slo::slo_monitor* health_slos() const { return health_slo_.get(); }
+  std::uint64_t watchdog_stalls() const { return watchdog_stalls_; }
+
+  // The black-box flight recorder (null when blackbox_capacity == 0).
+  flight_recorder* blackbox() { return blackbox_.get(); }
+  // Postmortem dump (empty JSON object when the recorder is disabled).
+  std::string dump_blackbox_json() const;
+
+  // Fault-injection hook (tests, chaos drills): while on, shard
+  // `shard`'s worker spins without advancing its heartbeat or consuming
+  // work — exactly the live-lock shape the watchdog exists to catch.
+  void inject_worker_stall(std::size_t shard, bool on);
+
  private:
   // One unit over a shard's ingress ring: a steered data datagram (full
   // wire bytes, kind byte included) as either an owned copy (`datagram`) or
@@ -326,6 +378,12 @@ class service_node final : public node_services {
     alignas(64) std::atomic<std::uint64_t> consumed{0};
     alignas(64) std::atomic<std::uint64_t> inflight{0};
     alignas(64) std::atomic<std::uint64_t> spill{0};
+    // Liveness sequence: bumped once per worker-loop iteration; the health
+    // tick samples it to tell "stalled with pending work" from "parked
+    // idle" (DESIGN.md §13). stall is the fault-injection hook — while
+    // set, the loop spins without advancing the heartbeat.
+    alignas(64) std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<bool> stall{false};
 
     std::atomic<bool> stop{false};
     std::atomic<bool> parked{false};
@@ -356,6 +414,11 @@ class service_node final : public node_services {
   void schedule_checkpoint_tick(nanoseconds interval,
                                 std::shared_ptr<std::function<void(bytes)>> sink,
                                 std::uint64_t remaining);
+  void schedule_health_tick(std::uint64_t remaining);
+  void health_tick();
+  // Point-in-time saturation/loss gauges (ring depths, slow-path lag,
+  // tracer drop accounting) refreshed before any snapshot leaves the node.
+  void refresh_health_gauges();
 
   // Parallel-mode plumbing.
   void start_workers();
@@ -387,6 +450,7 @@ class service_node final : public node_services {
   bool liveness_running_ = false;
   bool checkpoint_running_ = false;
   bool observe_running_ = false;
+  bool health_running_ = false;
   std::uint64_t slowpath_expired_ = 0;
   counter* m_slowpath_expired_ = nullptr;
   counter* m_checkpoint_taken_ = nullptr;
@@ -405,6 +469,19 @@ class service_node final : public node_services {
   std::vector<std::unique_ptr<worker_shard>> shards_;
   std::vector<counter*> m_steered_;        // sn.steer.pkts{shard=k}
   std::vector<counter*> m_ingress_drops_;  // sn.shard.ingress_drops{shard=k}
+
+  // ---- SLO health plane state (ISSUE 7) ----
+  std::unique_ptr<flight_recorder> blackbox_;
+  std::unique_ptr<timeseries_store> health_ts_;
+  std::unique_ptr<slo::slo_monitor> health_slo_;
+  health_config health_cfg_;
+  // Per-shard watchdog bookkeeping (control thread only).
+  std::vector<std::uint64_t> wd_last_heartbeat_;
+  std::vector<std::uint32_t> wd_stalled_ticks_;
+  std::vector<bool> wd_flagged_;
+  std::uint64_t watchdog_stalls_ = 0;
+  std::uint64_t last_shed_total_ = 0;  // shed-watermark trigger edge detector
+  std::vector<slo::slo_alert> health_alert_scratch_;
 
   // Batch-path scratch, reused across calls.
   std::vector<trace::path_span> span_drain_scratch_;

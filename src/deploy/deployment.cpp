@@ -28,7 +28,8 @@ peer_id deployment::add_sn(edomain_id domain) {
                       .cache_capacity = config_.cache_capacity,
                       .cache_hash_seed = id_rng_.next(),
                       .path_span_capacity = config_.sn_path_span_capacity,
-                      .keepalive_interval = config_.sn_keepalive_interval},
+                      .keepalive_interval = config_.sn_keepalive_interval,
+                      .blackbox_capacity = config_.sn_blackbox_capacity},
       net_.sim_clock(),
       [this, node](peer_id to, bytes datagram) {
         net_.send(node, static_cast<sim::node_id>(to), std::move(datagram));

@@ -45,6 +45,8 @@ struct deployment_config {
   // Pipe keepalives for the SNs (0 = liveness off, the default): needed by
   // topologies that want peer-down / failover events in their traces.
   nanoseconds sn_keepalive_interval{0};
+  // Black-box flight recorder ring per SN; 0 disables it.
+  std::size_t sn_blackbox_capacity = 1024;
 };
 
 struct host_identity {

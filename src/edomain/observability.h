@@ -13,15 +13,26 @@
 // Exposition mirrors the SN's own: Prometheus text (rollups plus every
 // node's counters, node-labelled), a JSON path-trace dump, and an
 // ie_top-style text renderer for humans.
+//
+// ISSUE 7 adds the SLO health surface: enable_health() arms a sliding-
+// window timeseries store over the plane's own rollups (end-to-end path
+// latency, hop errors) plus every node snapshot, and add_slo() declares
+// burn-rate targets evaluated on health_tick(). Alerts fan out through
+// set_alert_hook() and the slo.state gauges ride export_prometheus().
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
+#include "common/slo.h"
+#include "common/timeseries.h"
 #include "common/trace.h"
 #include "common/trace_collector.h"
 #include "ilp/header.h"
@@ -60,13 +71,36 @@ class observability_plane {
   };
   hop_rollup rollup(ilp::service_id service, ilp::peer_id node) const;
 
-  // Merged Prometheus exposition: rollup families (edomain.hop.*) plus
-  // every node's latest snapshot, all additively merged.
+  // Merged Prometheus exposition: rollup families (edomain.hop.*,
+  // edomain.path.*, edomain.traces.*, slo.*) plus every node's latest
+  // snapshot, all additively merged.
   std::string export_prometheus();
   // JSON path-trace dump (trace_collector::export_json).
   std::string export_json(std::size_t limit = 0);
   // Human-readable summary: rollup table + recent traces.
   std::string render_top(std::size_t limit = 8);
+
+  // ---- SLO health surface (ISSUE 7) ----
+
+  // Arms the sliding-window store + burn-rate monitor. Call once, before
+  // add_slo / health_tick.
+  void enable_health(timeseries_store::config series, slo::burn_windows windows = {});
+  // Declares one burn-rate target (no-op before enable_health). Latency
+  // targets usually key on the plane's own rollups, e.g. series
+  // edomain.path.total_ns{service="pass_through"}.
+  void add_slo(slo::slo_target target);
+  // Alert fan-out for every SLO state transition, fired outside the plane
+  // lock (a pager bridge, a test, an SN black-box trigger).
+  void set_alert_hook(std::function<void(const slo::slo_alert&)> hook);
+  // One health evaluation at `now`: folds the merged exposition view into
+  // the window ring and evaluates every target. Returns the number of
+  // state transitions. Call on the edomain core's control tick.
+  std::size_t health_tick(time_point now);
+
+  const timeseries_store* series() const { return ts_.get(); }
+  const slo::slo_monitor* slos() const { return slo_.get(); }
+  // Bounded structured-alert log (slo_monitor::export_json).
+  std::string export_alerts_json() const;
 
  private:
   struct rollup_entry {
@@ -75,6 +109,10 @@ class observability_plane {
     counter* errors = nullptr;
   };
   rollup_entry& entry_for(ilp::service_id service, ilp::peer_id node);
+  // Trace-loss accounting (collector evictions/duplicates, satellite of
+  // ISSUE 7) mirrored into gauges so the exposition carries it.
+  void refresh_trace_gauges_locked();
+  void merged_view_locked(metrics_registry& out);
 
   config cfg_;
   mutable std::mutex mu_;
@@ -83,6 +121,10 @@ class observability_plane {
   metrics_registry rollup_reg_;
   std::map<std::pair<ilp::service_id, ilp::peer_id>, rollup_entry> rollups_;
   trace::trace_collector collector_;
+  std::unique_ptr<timeseries_store> ts_;
+  std::unique_ptr<slo::slo_monitor> slo_;
+  std::function<void(const slo::slo_alert&)> alert_hook_;
+  std::vector<slo::slo_alert> alert_scratch_;
 };
 
 }  // namespace interedge::edomain

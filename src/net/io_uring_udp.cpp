@@ -167,7 +167,11 @@ void uring_rx::arm(unsigned idx) {
   slot.iov.iov_len = slot.view.size();
   slot.hdr.msg_namelen = sizeof(slot.source);
   slot.hdr.msg_flags = 0;
-  if (push_sqe(idx)) slot.armed = true;
+  if (push_sqe(idx)) {
+    slot.armed = true;
+  } else {
+    ++rearm_failed_;  // SQ full: slot retries via replenish()
+  }
 }
 
 bool uring_rx::push_sqe(unsigned idx) {

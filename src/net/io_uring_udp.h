@@ -107,6 +107,9 @@ class uring_rx {
   // Completions that could not immediately re-arm (pool dry at that
   // moment). Steady growth means the pool is undersized for the rx rate.
   std::uint64_t parked() const { return parked_; }
+  // Slots whose re-arm SQE push failed (SQ full — should be impossible
+  // with slots <= entries; non-zero is a backend bug worth alerting on).
+  std::uint64_t rearm_failed() const { return rearm_failed_; }
 
  private:
   struct rx_slot {
@@ -150,6 +153,7 @@ class uring_rx {
   std::uint64_t completions_ = 0;
   std::uint64_t truncated_ = 0;
   std::uint64_t parked_ = 0;
+  std::uint64_t rearm_failed_ = 0;
 };
 
 #endif  // INTEREDGE_HAS_IO_URING

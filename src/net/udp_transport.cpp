@@ -306,14 +306,56 @@ std::size_t udp_endpoint::recv_batch_views_uring(
 }
 #endif
 
+void udp_endpoint::sync_telemetry() {
+  if (m_rx_truncated_ == nullptr) return;  // telemetry not enabled
+  if (rx_truncated_ != last_rx_truncated_) {
+    m_rx_truncated_->add(rx_truncated_ - last_rx_truncated_);
+    last_rx_truncated_ = rx_truncated_;
+  }
+  if (rx_errors_ != last_rx_errors_) {
+    m_rx_errors_->add(rx_errors_ - last_rx_errors_);
+    last_rx_errors_ = rx_errors_;
+  }
+  if (dropped_unknown_ != last_dropped_unknown_) {
+    m_dropped_unknown_->add(dropped_unknown_ - last_dropped_unknown_);
+    last_dropped_unknown_ = dropped_unknown_;
+  }
+#if INTEREDGE_HAS_IO_URING
+  if (uring_ && m_uring_completions_ != nullptr) {
+    if (const auto v = uring_->completions(); v != last_uring_completions_) {
+      m_uring_completions_->add(v - last_uring_completions_);
+      last_uring_completions_ = v;
+    }
+    if (const auto v = uring_->truncated(); v != last_uring_truncated_) {
+      m_uring_truncated_->add(v - last_uring_truncated_);
+      last_uring_truncated_ = v;
+    }
+    if (const auto v = uring_->parked(); v != last_uring_parked_) {
+      m_uring_parked_->add(v - last_uring_parked_);
+      last_uring_parked_ = v;
+    }
+    if (const auto v = uring_->rearm_failed(); v != last_uring_rearm_failed_) {
+      m_uring_rearm_failed_->add(v - last_uring_rearm_failed_);
+      last_uring_rearm_failed_ = v;
+    }
+  }
+#endif
+}
+
 std::size_t udp_endpoint::recv_batch_views(
     std::size_t max, std::vector<std::pair<peer_id, buf::pkt_view>>& out) {
   max = std::min(max, kBatchMax);
   if (max == 0) return 0;
 #if INTEREDGE_HAS_IO_URING
-  if (uring_) return recv_batch_views_uring(max, out);
+  if (uring_) {
+    const std::size_t n = recv_batch_views_uring(max, out);
+    sync_telemetry();
+    return n;
+  }
 #endif
-  return recv_batch_views_mmsg(max, out);
+  const std::size_t n = recv_batch_views_mmsg(max, out);
+  sync_telemetry();
+  return n;
 }
 
 std::size_t udp_endpoint::recv_batch(std::size_t max,

@@ -163,15 +163,40 @@ class udp_endpoint {
     return pool_ ? pool_->stats() : buf::pool_stats{};
   }
 
-  // Optional: mirrors the send_again counter into `reg` as
-  // net.udp.send_again so it rides the SN's stats exposition.
+  // Optional: mirrors the endpoint's accounting into `reg` so it rides the
+  // SN's stats exposition and the SLO health plane — the net.udp.* socket
+  // counters plus the io_uring backend internals (completions, truncated
+  // datagrams, pool-starved slot parks, re-arm failures) when that backend
+  // is active. Mirrors count movement since enablement; the mirrored
+  // totals are delta-synced at the end of every rx batch.
   void enable_telemetry(metrics_registry& reg) {
     m_send_again_ = &reg.get_counter("net.udp.send_again");
+    m_rx_truncated_ = &reg.get_counter("net.udp.rx_truncated");
+    m_rx_errors_ = &reg.get_counter("net.udp.rx_errors");
+    m_dropped_unknown_ = &reg.get_counter("net.udp.dropped_unknown");
+    last_rx_truncated_ = rx_truncated_;
+    last_rx_errors_ = rx_errors_;
+    last_dropped_unknown_ = dropped_unknown_;
+#if INTEREDGE_HAS_IO_URING
+    if (uring_) {
+      m_uring_completions_ = &reg.get_counter("net.uring.completions");
+      m_uring_truncated_ = &reg.get_counter("net.uring.truncated");
+      m_uring_parked_ = &reg.get_counter("net.uring.parked");
+      m_uring_rearm_failed_ = &reg.get_counter("net.uring.rearm_failed");
+      last_uring_completions_ = uring_->completions();
+      last_uring_truncated_ = uring_->truncated();
+      last_uring_parked_ = uring_->parked();
+      last_uring_rearm_failed_ = uring_->rearm_failed();
+    }
+#endif
   }
 
  private:
   void open_socket(std::uint16_t port, bool reuse_port);
   void ensure_pool();
+  // Delta-syncs the mirrored counters from the raw totals; a handful of
+  // subtractions per rx batch, adds only when something moved.
+  void sync_telemetry();
   std::size_t recv_batch_views_mmsg(std::size_t max,
                                     std::vector<std::pair<peer_id, buf::pkt_view>>& out);
 #if INTEREDGE_HAS_IO_URING
@@ -204,6 +229,22 @@ class udp_endpoint {
   std::uint64_t rx_truncated_ = 0;
   std::uint64_t send_again_ = 0;
   counter* m_send_again_ = nullptr;
+  counter* m_rx_truncated_ = nullptr;
+  counter* m_rx_errors_ = nullptr;
+  counter* m_dropped_unknown_ = nullptr;
+  std::uint64_t last_rx_truncated_ = 0;
+  std::uint64_t last_rx_errors_ = 0;
+  std::uint64_t last_dropped_unknown_ = 0;
+#if INTEREDGE_HAS_IO_URING
+  counter* m_uring_completions_ = nullptr;
+  counter* m_uring_truncated_ = nullptr;
+  counter* m_uring_parked_ = nullptr;
+  counter* m_uring_rearm_failed_ = nullptr;
+  std::uint64_t last_uring_completions_ = 0;
+  std::uint64_t last_uring_truncated_ = 0;
+  std::uint64_t last_uring_parked_ = 0;
+  std::uint64_t last_uring_rearm_failed_ = 0;
+#endif
 
   // Transient send failures retry this many times before the datagram is
   // given up on (UDP is lossy; upper layers own reliability).

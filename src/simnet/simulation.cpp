@@ -83,6 +83,19 @@ void simulation::apply_fault(const fault_event& ev) {
       ++faults_applied_;
       break;
     }
+    case fault_kind::latency: {
+      // Degraded-path injection (brownout, reroute through a far PoP):
+      // everything else about the link is preserved.
+      const auto lat = nanoseconds(static_cast<std::int64_t>(ev.value * 1e6));
+      link_properties forward = link_between(ev.a, ev.b);
+      forward.latency = lat;
+      set_link(ev.a, ev.b, forward);
+      link_properties back = link_between(ev.b, ev.a);
+      back.latency = lat;
+      set_link(ev.b, ev.a, back);
+      ++faults_applied_;
+      break;
+    }
   }
 }
 
@@ -131,6 +144,9 @@ std::vector<fault_event> simulation::parse_fault_schedule(const std::string& tex
       need(ev.a, ev.b);
     } else if (verb == "loss") {
       ev.kind = fault_kind::loss;
+      need(ev.a, ev.b, ev.value);
+    } else if (verb == "latency") {
+      ev.kind = fault_kind::latency;
       need(ev.a, ev.b, ev.value);
     } else {
       throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +

@@ -58,6 +58,7 @@ enum class fault_kind : std::uint8_t {
   partition,  // links a<->b blocked both directions
   heal,       // undo partition a<->b
   loss,       // set loss_rate=value on links a<->b (both directions)
+  latency,    // set latency=value ms on links a<->b (both directions)
 };
 
 struct fault_event {
@@ -65,7 +66,7 @@ struct fault_event {
   fault_kind kind = fault_kind::crash;
   node_id a = kInvalidNode;
   node_id b = kInvalidNode;
-  double value = 0.0;  // loss rate for fault_kind::loss
+  double value = 0.0;  // loss rate (loss) or latency in ms (latency)
 };
 
 // A node's receive hook: (source node, datagram payload).
@@ -125,6 +126,7 @@ class simulation {
   //   <time_ms> partition <a> <b>
   //   <time_ms> heal <a> <b>
   //   <time_ms> loss <a> <b> <rate>
+  //   <time_ms> latency <a> <b> <ms>
   // Blank lines and lines starting with '#' are ignored. Throws
   // std::invalid_argument on malformed input.
   static std::vector<fault_event> parse_fault_schedule(const std::string& text);

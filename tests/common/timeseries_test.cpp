@@ -1,0 +1,174 @@
+#include "common/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace interedge {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+time_point at_ms(std::int64_t ms) { return time_point(nanoseconds(ms * 1'000'000)); }
+
+timeseries_store::config small_cfg() {
+  timeseries_store::config cfg;
+  cfg.window = seconds(1);
+  cfg.windows = 8;
+  return cfg;
+}
+
+TEST(Timeseries, FirstSightingContributesNoDelta) {
+  metrics_registry reg;
+  reg.get_counter("a").add(1000);
+  timeseries_store ts(small_cfg());
+  ts.tick(reg, at_ms(1000));
+  // The cumulative baseline predates the store's history — it must not
+  // appear as a burst in the first window.
+  EXPECT_EQ(ts.delta("a", seconds(8)), 0u);
+  EXPECT_EQ(ts.ticks(), 1u);
+  EXPECT_EQ(ts.counter_series(), 1u);
+}
+
+TEST(Timeseries, CounterDeltaAndRate) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("a");
+  timeseries_store ts(small_cfg());
+  c.add(10);
+  ts.tick(reg, at_ms(1000));
+  c.add(20);
+  ts.tick(reg, at_ms(2000));
+  EXPECT_EQ(ts.delta("a", seconds(1)), 20u);
+  EXPECT_EQ(ts.delta("a", seconds(8)), 20u);  // baseline window holds 0
+  EXPECT_DOUBLE_EQ(ts.rate_per_sec("a", seconds(1)), 20.0);
+}
+
+TEST(Timeseries, TicksInsideOneWindowAccumulate) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("a");
+  timeseries_store ts(small_cfg());
+  ts.tick(reg, at_ms(1000));
+  c.add(5);
+  ts.tick(reg, at_ms(2100));
+  c.add(7);
+  ts.tick(reg, at_ms(2600));  // same 1s window as the previous tick
+  EXPECT_EQ(ts.delta("a", seconds(1)), 12u);
+}
+
+TEST(Timeseries, CounterResetClampsToFreshValue) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("a");
+  timeseries_store ts(small_cfg());
+  c.add(100);
+  ts.tick(reg, at_ms(1000));
+  // Node restart: cumulative value collapses below the previous sample.
+  c.reset();
+  c.add(5);
+  ts.tick(reg, at_ms(2000));
+  EXPECT_EQ(ts.delta("a", seconds(1)), 5u);
+  EXPECT_EQ(ts.counter_resets(), 1u);
+  // Never a negative rate.
+  EXPECT_GE(ts.rate_per_sec("a", seconds(8)), 0.0);
+}
+
+TEST(Timeseries, OldWindowsAgeOutOfSpanQueries) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("a");
+  timeseries_store::config cfg = small_cfg();
+  cfg.windows = 4;
+  timeseries_store ts(cfg);
+  ts.tick(reg, at_ms(1000));
+  for (int s = 2; s <= 7; ++s) {
+    c.add(10);
+    ts.tick(reg, at_ms(s * 1000));
+  }
+  // Ring depth 4: only the last 4 windows (ticks at 4..7s) survive.
+  EXPECT_EQ(ts.delta("a", seconds(4)), 40u);
+  EXPECT_EQ(ts.delta("a", seconds(1)), 10u);
+}
+
+TEST(Timeseries, SeriesCapDropsExcess) {
+  metrics_registry reg;
+  reg.get_counter("a").add(1);
+  reg.get_counter("b").add(1);
+  timeseries_store::config cfg = small_cfg();
+  cfg.max_counter_series = 1;
+  timeseries_store ts(cfg);
+  ts.tick(reg, at_ms(1000));
+  EXPECT_EQ(ts.counter_series(), 1u);
+  EXPECT_GE(ts.series_dropped(), 1u);
+}
+
+TEST(Timeseries, PrefixFilterTracksOnlyMatches) {
+  metrics_registry reg;
+  reg.get_counter("sn.rx.pkts").add(3);
+  reg.get_counter("net.udp.tx").add(3);
+  timeseries_store::config cfg = small_cfg();
+  cfg.prefixes = {"sn."};
+  timeseries_store ts(cfg);
+  ts.tick(reg, at_ms(1000));
+  reg.get_counter("sn.rx.pkts").add(4);
+  reg.get_counter("net.udp.tx").add(4);
+  ts.tick(reg, at_ms(2000));
+  EXPECT_EQ(ts.delta("sn.rx.pkts", seconds(1)), 4u);
+  EXPECT_EQ(ts.delta("net.udp.tx", seconds(1)), 0u);
+  EXPECT_EQ(ts.counter_series(), 1u);
+}
+
+TEST(Timeseries, HistogramWindowQuantileAndFractionAbove) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("lat");
+  timeseries_store ts(small_cfg());
+  ts.tick(reg, at_ms(1000));  // baseline
+  for (int i = 0; i < 90; ++i) h.record(1'000'000);    // 1ms
+  for (int i = 0; i < 10; ++i) h.record(100'000'000);  // 100ms
+  ts.tick(reg, at_ms(2000));
+  EXPECT_EQ(ts.hist_count("lat", seconds(1)), 100u);
+  // p50 lands in the 1ms bucket (midpoint resolution).
+  const std::uint64_t p50 = ts.hist_quantile("lat", seconds(1), 0.5);
+  EXPECT_GT(p50, 600'000u);
+  EXPECT_LT(p50, 1'600'000u);
+  // p99 lands in the 100ms tail.
+  EXPECT_GT(ts.hist_quantile("lat", seconds(1), 0.99), 50'000'000u);
+  EXPECT_DOUBLE_EQ(ts.hist_fraction_above("lat", seconds(1), 10'000'000), 0.1);
+  EXPECT_DOUBLE_EQ(ts.hist_fraction_above("lat", seconds(1), 200'000'000), 0.0);
+}
+
+TEST(Timeseries, HistogramBaselineExcludesPreexistingSamples) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("lat");
+  for (int i = 0; i < 50; ++i) h.record(1'000'000);
+  timeseries_store ts(small_cfg());
+  ts.tick(reg, at_ms(1000));
+  EXPECT_EQ(ts.hist_count("lat", seconds(8)), 0u);
+}
+
+TEST(Timeseries, HistogramResetRebaselines) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("lat");
+  timeseries_store ts(small_cfg());
+  ts.tick(reg, at_ms(1000));
+  for (int i = 0; i < 20; ++i) h.record(1'000'000);
+  ts.tick(reg, at_ms(2000));
+  h.reset();  // restart behind the snapshot
+  for (int i = 0; i < 5; ++i) h.record(2'000'000);
+  ts.tick(reg, at_ms(3000));
+  EXPECT_EQ(ts.hist_count("lat", seconds(1)), 5u);
+  EXPECT_GE(ts.counter_resets(), 1u);
+}
+
+TEST(Timeseries, ExportJsonSummarizes) {
+  metrics_registry reg;
+  reg.get_counter("a").add(1);
+  timeseries_store ts(small_cfg());
+  ts.tick(reg, at_ms(1000));
+  const std::string j = ts.export_json();
+  EXPECT_NE(j.find("\"ticks\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"counter_series\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace interedge

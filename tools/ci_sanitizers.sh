@@ -40,6 +40,12 @@ run_preset() {
   # windows over pool slabs, view lifetimes through the event loop.
   echo "== $preset: slab pool + transport (focused) =="
   ctest --preset "$preset" -R 'buf_pool_test|net_test' --output-on-failure
+  # SLO health plane (ISSUE 7): the flight recorder's multi-producer
+  # seqlock ring with a racing snapshot reader and a mid-run freeze is the
+  # tsan target (health_test); the end-to-end binary drives the watchdog
+  # against real stalled worker threads and the burn-rate page path.
+  echo "== $preset: health plane + flight recorder (focused) =="
+  ctest --preset "$preset" -R 'health_test|slo_health_test' --output-on-failure
 }
 
 case "${1:-all}" in
