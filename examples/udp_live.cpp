@@ -4,13 +4,17 @@
 // actual wire.
 //
 //   ./examples/udp_live [--messages=5] [--backend=auto|mmsg|uring]
-//                       [--dump-blackbox]
+//                       [--pin=-1] [--dump-blackbox]
 //
 // The SN's socket drains through the zero-copy slab path
 // (recv_batch_views -> on_datagram_views): datagrams land in pool slabs,
 // ILP headers are decrypted in place, and the terminus consumes views —
-// no per-packet payload copy. --backend selects the receive backend
-// (io_uring when the kernel supports it; mmsg otherwise).
+// no per-packet payload copy. --backend selects the transport backend for
+// BOTH directions (ISSUE 8): with uring, receives are completion-driven
+// and forwarded packets go out as batched SENDMSG gather SQEs straight
+// from the slab they arrived in (zero-copy egress); mmsg keeps the
+// synchronous sendmsg/recvmmsg pair. --pin=N pins the event-loop thread
+// to CPU N and steers the ring's SQPOLL thread there (e.g. --pin=0).
 //
 // The SLO health plane (ISSUE 7) runs on the SN for the duration of the
 // demo: sliding-window rollups over the merged registry, a burn-rate SLO
@@ -19,6 +23,7 @@
 // trigger) and prints the postmortem JSON.
 #include <cstdio>
 
+#include "common/cpu_topology.h"
 #include "common/flags.h"
 #include "core/service_node.h"
 #include "host/host_stack.h"
@@ -53,10 +58,15 @@ int main(int argc, char** argv) {
   } else if (backend_flag == "uring") {
     sn_sock_cfg.backend = net::udp_backend::uring;
   }  // "auto" keeps auto_detect
+  const int pin_cpu = static_cast<int>(flags.get_int("pin", -1));
+  if (pin_cpu >= 0) {
+    sys::pin_thread_to_cpu(pin_cpu);
+    sn_sock_cfg.sq_aff_cpu = pin_cpu;
+  }
   net::udp_endpoint ep_alice, ep_bob;
   net::udp_endpoint ep_sn(sn_sock_cfg);
-  std::printf("SN receive backend: %s\n",
-              ep_sn.backend() == net::udp_backend::uring ? "io_uring" : "recvmmsg");
+  std::printf("SN transport backend: %s (rx + tx)\n",
+              ep_sn.backend() == net::udp_backend::uring ? "io_uring" : "recvmmsg/sendmsg");
   net::event_loop loop;
   const net::peer_id id_alice = ep_alice.port();
   const net::peer_id id_sn = ep_sn.port();
@@ -76,6 +86,9 @@ int main(int argc, char** argv) {
   core::service_node sn(
       core::sn_config{.id = id_sn, .edomain = 1, .trace_sample_shift = 0}, clk,
       [&](net::peer_id to, bytes d) { ep_sn.send(to, d); }, loop.scheduler(), &route);
+  // Socket/ring counters (net.udp.*, net.uring.* incl. the tx mirror) land
+  // in the SN registry and show up in the Prometheus dump below.
+  ep_sn.enable_telemetry(sn.metrics());
   sn.env().deploy(std::make_unique<services::delivery_service>());
 
   lookup::lookup_service directory;
@@ -103,10 +116,15 @@ int main(int argc, char** argv) {
   loop.attach_views(ep_sn, [&](std::span<std::pair<net::peer_id, buf::pkt_view>> ds) {
     sn.on_datagram_views(ds);
   });
-  // Zero-copy egress: forwarded packets seal into the pipe manager's
-  // scratch and go out as a span — no owned datagram built per send.
-  sn.pipes().set_send_raw(
-      [&](net::peer_id to, const_byte_span d) { ep_sn.send(to, d); });
+  // Zero-copy egress: forwarded packets seal their header into the pipe
+  // manager's scratch and go out as a (head, payload) gather pair. On the
+  // uring backend that stages a SENDMSG SQE pointing into the rx slab —
+  // the payload is never copied, and the slab recycles when the completion
+  // retires; on mmsg it is a synchronous two-iovec sendmsg.
+  sn.pipes().set_send_gather(
+      [&](net::peer_id to, const_byte_span head, const_byte_span payload) {
+        ep_sn.send_gather(to, head, payload);
+      });
 
   int delivered = 0;
   bob.set_default_handler([&](const ilp::ilp_header& h, bytes payload) {

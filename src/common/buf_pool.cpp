@@ -6,6 +6,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "common/cpu_topology.h"
+
 namespace interedge::buf {
 
 namespace {
@@ -57,6 +59,11 @@ buf_pool::buf_pool(pool_config cfg)
   arena_ = static_cast<std::uint8_t*>(
       ::aligned_alloc(kCacheLine, slab_size_ * slab_count_));
   if (arena_ == nullptr) throw std::bad_alloc();
+  if (cfg.numa_node >= 0) {
+    // Advisory NUMA placement: a shard-owned pool lands its slabs on the
+    // shard's node. Failure (no mbind, single-node box) costs locality only.
+    sys::bind_memory_to_node(arena_, slab_size_ * slab_count_, cfg.numa_node);
+  }
   ctl_ = std::make_unique<ctl[]>(slab_count_);
   free_.reserve(slab_count_);
   // LIFO free list: the most recently released slab is the hottest in
@@ -87,6 +94,14 @@ slab_ref buf_pool::try_alloc() {
   }
   ctl_[idx].refs.store(1, std::memory_order_relaxed);
   allocs_.fetch_add(1, std::memory_order_relaxed);
+  return slab_ref(this, idx);
+}
+
+slab_ref buf_pool::ref_for_ptr(const std::uint8_t* p) {
+  if (p < arena_ || p >= arena_ + slab_size_ * slab_count_) return slab_ref();
+  const auto idx = static_cast<std::uint32_t>(
+      static_cast<std::size_t>(p - arena_) / slab_size_);
+  ctl_[idx].refs.fetch_add(1, std::memory_order_relaxed);
   return slab_ref(this, idx);
 }
 

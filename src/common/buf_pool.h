@@ -45,6 +45,9 @@ struct pool_config {
   // Slabs moved between a local cache and the global free list per refill
   // or spill — the amortization factor on the pool mutex.
   std::size_t cache_batch = 32;
+  // NUMA node to place the arena on (best-effort mbind at construction;
+  // see cpu_topology.h). -1 = wherever first touch lands, the default.
+  int numa_node = -1;
 };
 
 struct pool_stats {
@@ -167,6 +170,14 @@ class buf_pool {
   // One slab off the global free list (refcount 1); null + counted when
   // the pool is dry. Hot paths go through a `cache` instead.
   slab_ref try_alloc();
+
+  // Recovers a NEW reference to the slab containing `p` (refcount
+  // increment), or a null ref when `p` lies outside the arena. The async
+  // egress path uses this to pin a payload it only holds a span over —
+  // the caller must already hold (transitively) a live reference to that
+  // slab, exactly as slab_ref::clone() requires; pinning a recycled slab
+  // through a stale pointer is the same lifetime bug as cloning one.
+  slab_ref ref_for_ptr(const std::uint8_t* p);
 
   std::size_t slab_size() const { return slab_size_; }
   std::size_t slab_count() const { return slab_count_; }

@@ -86,6 +86,12 @@ class spsc_ring {
 
   std::size_t capacity() const { return mask_; }
 
+  // Backing storage, exposed for advisory NUMA placement (mbind the slots
+  // onto the consumer's node). Construction-time only — never while the
+  // ring carries traffic.
+  void* storage() { return slots_.data(); }
+  std::size_t storage_bytes() const { return slots_.size() * sizeof(T); }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;

@@ -398,10 +398,8 @@ void pipe_terminus::apply(const decision& d, const ilp::ilp_header& header,
                           const_byte_span payload) {
   switch (d.kind) {
     case decision::verdict::forward:
-      for (peer_id hop : d.next_hops) {
-        forward_(hop, header, payload);
-        ++stats_.forwarded;
-      }
+      for (peer_id hop : d.next_hops) forward_(hop, header, payload);
+      stats_.forwarded += d.next_hops.size();
       break;
     case decision::verdict::deliver_local:
       ++stats_.delivered;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/cpu_topology.h"
 #include "common/logging.h"
 #include "common/serial.h"
 #include "ilp/pipe.h"
@@ -43,7 +44,7 @@ service_node::worker_shard::worker_shard(std::size_t idx, const sn_config& cfg,
                                             .capacity = cfg.path_span_capacity,
                                             .clk = clk}),
       ingress(cfg.shard_ring_depth),
-      egress(cfg.shard_ring_depth) {
+      egress(cfg.egress_ring_depth != 0 ? cfg.egress_ring_depth : cfg.shard_ring_depth) {
   m_rejected = &reg.get_counter("ilp.rx.rejected");
   m_no_replica = &reg.get_counter("sn.shard.no_replica");
   m_hits = &reg.get_counter("sn.cache.hits");
@@ -52,6 +53,7 @@ service_node::worker_shard::worker_shard(std::size_t idx, const sn_config& cfg,
   m_evictions = &reg.get_counter("sn.cache.evictions");
   m_invalidations = &reg.get_counter("sn.cache.invalidations");
   m_expired = &reg.get_counter("sn.cache.expired");
+  m_spill_drops = &reg.get_counter("sn.shard.egress_spill_drops");
 }
 
 service_node::service_node(sn_config config, const clock& clk, send_datagram_fn send_datagram,
@@ -164,6 +166,27 @@ void service_node::start_workers() {
       config_.shard_cache_capacity != 0
           ? config_.shard_cache_capacity
           : std::max<std::size_t>(std::size_t{64}, config_.cache_capacity / n);
+  // Placement (ISSUE 8): explicit worker_cpus wins; numa_aware derives an
+  // assignment by striping shards across NUMA nodes (each shard then gets
+  // its ring storage mbind'd onto its node below). Everything is advisory —
+  // on a single-node box or without the syscalls this degrades to the
+  // scheduler's choice, never to a failure.
+  worker_cpu_assign_.assign(n, -1);
+  if (!config_.worker_cpus.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      worker_cpu_assign_[i] = config_.worker_cpus[i % config_.worker_cpus.size()];
+    }
+  } else if (config_.numa_aware) {
+    const auto& topo = sys::topology::get();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& node = topo.nodes[i % topo.nodes.size()];
+      if (!node.cpus.empty()) {
+        worker_cpu_assign_[i] = node.cpus[(i / topo.nodes.size()) % node.cpus.size()];
+      }
+    }
+  }
+  if (config_.control_cpu >= 0) sys::pin_thread_to_cpu(config_.control_cpu);
+  const std::size_t spill_max = config_.egress_spill_max;
   steerer_ = std::make_unique<flow_steerer>(config_.cache_hash_seed, n);
   bus_ = std::make_unique<cache_invalidation_bus>(n);
   hub_ = std::make_unique<slowpath_hub>(
@@ -179,9 +202,30 @@ void service_node::start_workers() {
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<worker_shard>(i, config_, cache_cap, &clock_));
     worker_shard& sh = *shards_[i];
+    if (config_.numa_aware && worker_cpu_assign_[i] >= 0) {
+      // Land the shard's rings on its worker's node: the ingress slots are
+      // the worker's hottest read set, the egress slots its hottest writes.
+      const int node = sys::topology::get().node_of_cpu(worker_cpu_assign_[i]);
+      if (node >= 0) {
+        sys::bind_memory_to_node(sh.ingress.storage(), sh.ingress.storage_bytes(), node);
+        sys::bind_memory_to_node(sh.egress.storage(), sh.egress.storage_bytes(), node);
+      }
+    }
     sh.terminus = std::make_unique<pipe_terminus>(
         sh.cache, hub_->endpoint(i),
-        [&sh](peer_id to, const ilp::ilp_header& header, const_byte_span payload) {
+        [&sh, spill_max](peer_id to, const ilp::ilp_header& header, const_byte_span payload) {
+          // Never block the worker: a momentarily full egress ring spills
+          // into the worker-private overflow, drained next iteration. The
+          // spill is bounded (sn_config::egress_spill_max): past the cap
+          // the forward is dropped and counted BEFORE paying the payload
+          // copy — a stalled control thread costs packets (UDP is lossy by
+          // contract), not unbounded memory.
+          const bool ring_ok = sh.egress_overflow.empty() &&
+                               sh.egress.size_approx() < sh.egress.capacity();
+          if (!ring_ok && spill_max != 0 && sh.egress_overflow.size() >= spill_max) {
+            sh.m_spill_drops->add();
+            return;
+          }
           outbound o;
           o.to = to;
           o.header = header;
@@ -189,10 +233,7 @@ void service_node::start_workers() {
           // alias), so the deferred send takes an owned copy here — the one
           // copy the sharded forward path still pays (DESIGN.md §12).
           o.payload.assign(payload.begin(), payload.end());
-          // Never block the worker: a momentarily full egress ring spills
-          // into the worker-private overflow, drained next iteration.
-          if (sh.egress_overflow.empty() &&
-              sh.egress.size_approx() < sh.egress.capacity()) {
+          if (ring_ok) {
             sh.egress.try_push(std::move(o));
           } else {
             sh.egress_overflow.push_back(std::move(o));
@@ -380,6 +421,7 @@ void service_node::steer_data_run_views(peer_id from,
 }
 
 std::size_t service_node::drain_egress() {
+  if (egress_paused_.load(std::memory_order_acquire)) return 0;
   std::size_t n = 0;
   for (auto& shp : shards_) {
     worker_shard& sh = *shp;
@@ -478,6 +520,9 @@ void service_node::worker_flush_telemetry(worker_shard& sh) {
 
 void service_node::worker_main(std::size_t shard) {
   worker_shard& sh = *shards_[shard];
+  if (shard < worker_cpu_assign_.size() && worker_cpu_assign_[shard] >= 0) {
+    sys::pin_thread_to_cpu(worker_cpu_assign_[shard]);
+  }
   trace::scoped_tracer st(&sh.tracer);
   std::uint32_t idle_spins = 0;
   while (!sh.stop.load(std::memory_order_acquire)) {
@@ -1029,6 +1074,14 @@ void service_node::refresh_health_gauges() {
     metrics_.get_gauge("sn.shard.egress_depth", shard_label)
         .set(static_cast<std::int64_t>(sh.egress.size_approx() +
                                        sh.spill.load(std::memory_order_acquire)));
+    // Spill saturation in percent of the drop threshold: 100 means the
+    // next deferred forward that misses the ring is dropped (the alertable
+    // precursor to sn.shard.egress_spill_drops moving).
+    if (config_.egress_spill_max != 0) {
+      metrics_.get_gauge("sn.shard.egress_spill_saturation", shard_label)
+          .set(static_cast<std::int64_t>(100 * sh.spill.load(std::memory_order_acquire) /
+                                         config_.egress_spill_max));
+    }
     in_flight += sh.inflight.load(std::memory_order_acquire);
     trace_dropped += sh.tracer.dropped_records();
     spans_dropped += sh.path_rec.dropped();

@@ -84,6 +84,29 @@ struct sn_config {
   // (floor 64), keeping the aggregate working set comparable to the
   // single-threaded cache.
   std::size_t shard_cache_capacity = 0;
+  // Egress ring slots per shard; 0 inherits shard_ring_depth.
+  std::size_t egress_ring_depth = 0;
+  // High-water mark for the worker-private egress spill deque. A stalled
+  // control thread otherwise grows the spill without bound (every deferred
+  // forward is an owned payload copy); past the cap, forwards are dropped
+  // and counted (sn.shard.egress_spill_drops{shard=k}) — UDP egress is
+  // lossy by contract, unbounded memory growth is not. 0 = unbounded.
+  std::size_t egress_spill_max = 4096;
+
+  // ---- placement (ISSUE 8) ----
+  // Explicit worker pinning: shard k runs on worker_cpus[k % size()].
+  // Empty + numa_aware derives an assignment from the machine topology
+  // (shards striped across NUMA nodes); empty otherwise leaves the
+  // scheduler in charge.
+  std::vector<int> worker_cpus{};
+  // Pin the control thread (the caller of start_workers / the event loop)
+  // to this CPU; -1 leaves it unpinned. Also the natural home for the
+  // uring SQPOLL thread (udp_config::sq_aff_cpu).
+  int control_cpu = -1;
+  // NUMA-aware placement: derive worker CPUs per node (when worker_cpus is
+  // empty) and mbind each shard's ingress/egress ring storage onto the
+  // node its worker runs on. Advisory — a single-node box is a no-op.
+  bool numa_aware = false;
 
   // ---- robustness (DESIGN.md §10) ----
   // Pipe keepalives: 0 disables. When set, the SN arms pipe_manager
@@ -327,6 +350,11 @@ class service_node final : public node_services {
   // work — exactly the live-lock shape the watchdog exists to catch.
   void inject_worker_stall(std::size_t shard, bool on);
 
+  // Fault-injection hook: while on, drain_egress() leaves forwards in the
+  // shard egress rings — the stalled-control-thread shape that engages the
+  // workers' bounded spill (egress_spill_max).
+  void pause_egress_drain(bool on) { egress_paused_.store(on, std::memory_order_release); }
+
  private:
   // One unit over a shard's ingress ring: a steered data datagram (full
   // wire bytes, kind byte included) as either an owned copy (`datagram`) or
@@ -368,6 +396,7 @@ class service_node final : public node_services {
     counter* m_evictions = nullptr;
     counter* m_invalidations = nullptr;
     counter* m_expired = nullptr;  // sn.cache.expired (TTL lapses)
+    counter* m_spill_drops = nullptr;  // sn.shard.egress_spill_drops
     cache_stats last_cache{};
 
     // Cross-thread accounting for wait_idle: pushed is written by the
@@ -469,6 +498,8 @@ class service_node final : public node_services {
   std::vector<std::unique_ptr<worker_shard>> shards_;
   std::vector<counter*> m_steered_;        // sn.steer.pkts{shard=k}
   std::vector<counter*> m_ingress_drops_;  // sn.shard.ingress_drops{shard=k}
+  std::vector<int> worker_cpu_assign_;     // per-shard CPU, -1 = unpinned
+  std::atomic<bool> egress_paused_{false};
 
   // ---- SLO health plane state (ISSUE 7) ----
   std::unique_ptr<flight_recorder> blackbox_;

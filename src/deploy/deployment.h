@@ -47,6 +47,18 @@ struct deployment_config {
   nanoseconds sn_keepalive_interval{0};
   // Black-box flight recorder ring per SN; 0 disables it.
   std::size_t sn_blackbox_capacity = 1024;
+
+  // ---- multi-core datapath + placement (ISSUE 8) ----
+  // Worker shards per SN (0 = inline single-threaded, the default — the
+  // simulator topologies stay deterministic unless a deployment opts in).
+  std::size_t sn_workers = 0;
+  // Placement knobs forwarded to sn_config verbatim: explicit worker CPU
+  // list, control-thread CPU, NUMA-aware derivation (see service_node.h).
+  std::vector<int> sn_worker_cpus{};
+  int sn_control_cpu = -1;
+  bool sn_numa_aware = false;
+  // Bound for each shard's worker-private egress spill deque.
+  std::size_t sn_egress_spill_max = 4096;
 };
 
 struct host_identity {

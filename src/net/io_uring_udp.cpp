@@ -40,6 +40,22 @@ int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
       ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr, 0));
 }
 
+int sys_io_uring_register(int fd, unsigned opcode, void* arg, unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+// The zerocopy send opcodes and their CQE flags postdate the image's
+// <linux/io_uring.h> (they're enum values, so no #ifndef guard is
+// possible); the ABI constants are pinned here and support is probed at
+// runtime — never assumed from headers.
+constexpr std::uint8_t kOpSendmsgZc = 48;     // IORING_OP_SENDMSG_ZC (6.1+)
+constexpr unsigned kCqeFMore = 1u << 1;       // IORING_CQE_F_MORE
+constexpr unsigned kCqeFNotif = 1u << 3;      // IORING_CQE_F_NOTIF
+constexpr unsigned kRegisterProbe = 8;        // IORING_REGISTER_PROBE
+constexpr unsigned kOpSupported = 1u << 0;    // IO_URING_OP_SUPPORTED
+
+std::atomic<bool> g_force_no_zerocopy{false};
+
 // The SQ/CQ indices are shared with the kernel; loads/stores need the same
 // acquire/release pairing liburing uses.
 unsigned load_acquire(const unsigned* p) {
@@ -71,6 +87,12 @@ uring_rx::uring_rx(int socket_fd, buf::buf_pool& pool, config cfg)
   if (cfg.sqpoll) {
     params.flags = IORING_SETUP_SQPOLL;
     params.sq_thread_idle = cfg.sqpoll_idle_ms;
+    if (cfg.sq_aff_cpu >= 0) {
+      // Steer the kernel SQ thread next to whoever drives this ring (the
+      // SN control core under pinned placement).
+      params.flags |= IORING_SETUP_SQ_AFF;
+      params.sq_thread_cpu = static_cast<unsigned>(cfg.sq_aff_cpu);
+    }
     ring_fd_ = sys_io_uring_setup(cfg.slots, &params);
     sqpoll_active_ = ring_fd_ >= 0;
   }
@@ -243,6 +265,282 @@ void uring_rx::replenish() {
     if (!slots_[i].armed) arm(i);
   }
   submit_pending();
+}
+
+// ---- uring_tx ----------------------------------------------------------
+
+void uring_tx::force_no_zerocopy(bool on) {
+  g_force_no_zerocopy.store(on, std::memory_order_relaxed);
+}
+
+bool uring_tx::zerocopy_available() {
+  if (g_force_no_zerocopy.load(std::memory_order_relaxed)) return false;
+  static const bool probed = [] {
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(1, &params);
+    if (fd < 0) return false;
+    // io_uring_probe carries a flexible ops[] array; 256 covers every
+    // opcode the ABI can ever name (op indices are a u8).
+    constexpr unsigned kOps = 256;
+    std::vector<std::uint8_t> storage(
+        sizeof(io_uring_probe) + kOps * sizeof(io_uring_probe_op), 0);
+    auto* probe = reinterpret_cast<io_uring_probe*>(storage.data());
+    const int rc = sys_io_uring_register(fd, kRegisterProbe, probe, kOps);
+    ::close(fd);
+    if (rc < 0) return false;  // pre-5.6 kernel: no probe, no ZC either
+    return probe->last_op >= kOpSendmsgZc &&
+           (probe->ops[kOpSendmsgZc].flags & kOpSupported) != 0;
+  }();
+  return probed;
+}
+
+uring_tx::uring_tx(int socket_fd, config cfg) {
+  if (cfg.slots == 0) cfg.slots = 1;
+  want_zc_ = cfg.zerocopy;
+  zc_active_ = cfg.zerocopy && zerocopy_available();
+  zc_threshold_ = cfg.zc_threshold;
+
+  io_uring_params params{};
+  if (cfg.sqpoll) {
+    params.flags = IORING_SETUP_SQPOLL;
+    params.sq_thread_idle = cfg.sqpoll_idle_ms;
+    if (cfg.sq_aff_cpu >= 0) {
+      params.flags |= IORING_SETUP_SQ_AFF;
+      params.sq_thread_cpu = static_cast<unsigned>(cfg.sq_aff_cpu);
+    }
+    ring_fd_ = sys_io_uring_setup(cfg.slots, &params);
+    sqpoll_active_ = ring_fd_ >= 0;
+  }
+  if (ring_fd_ < 0) {
+    params = io_uring_params{};
+    ring_fd_ = sys_io_uring_setup(cfg.slots, &params);
+  }
+  if (ring_fd_ < 0) {
+    throw std::runtime_error(std::string("io_uring tx setup failed: ") +
+                             std::strerror(errno));
+  }
+
+  sq_ring_size_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_size_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && cq_ring_size_ > sq_ring_size_) sq_ring_size_ = cq_ring_size_;
+
+  sq_ring_ = ::mmap(nullptr, sq_ring_size_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    ::close(ring_fd_);
+    throw std::runtime_error("io_uring tx sq mmap failed");
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_size_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_size_);
+      ::close(ring_fd_);
+      throw std::runtime_error("io_uring tx cq mmap failed");
+    }
+  }
+  sqes_size_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(::mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+                                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                            IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    if (cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_size_);
+    ::munmap(sq_ring_, sq_ring_size_);
+    ::close(ring_fd_);
+    throw std::runtime_error("io_uring tx sqes mmap failed");
+  }
+
+  auto* sq_base = static_cast<std::uint8_t*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq_base + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.array);
+  sq_flags_ = reinterpret_cast<unsigned*>(sq_base + params.sq_off.flags);
+  auto* cq_base = static_cast<std::uint8_t*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq_base + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq_base + params.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq_base + params.cq_off.cqes);
+
+  socket_fd_ = socket_fd;
+  slots_.resize(std::min<unsigned>(cfg.slots, params.sq_entries));
+  free_.reserve(slots_.size());
+  for (unsigned i = 0; i < slots_.size(); ++i) {
+    slots_[i].copy_buf.resize(kCopyMax);
+    free_.push_back(static_cast<unsigned>(slots_.size() - 1 - i));  // LIFO: slot 0 first
+  }
+}
+
+uring_tx::~uring_tx() {
+  // Give in-flight sends a bounded chance to retire so the slab pins they
+  // hold release in an orderly way (the owning endpoint destroys this ring
+  // before the pool, so even a timed-out pin resets safely below).
+  drain(std::chrono::milliseconds(100));
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_size_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_size_);
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_size_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+bool uring_tx::push_sqe(unsigned idx, bool zc) {
+  const unsigned head = load_acquire(sq_head_);
+  const unsigned tail = *sq_tail_;
+  if (tail - head > sq_mask_) return false;  // SQ full (slots <= entries)
+  io_uring_sqe& sqe = sqes_[tail & sq_mask_];
+  std::memset(&sqe, 0, sizeof(sqe));
+  sqe.opcode = zc ? kOpSendmsgZc : IORING_OP_SENDMSG;
+  sqe.fd = socket_fd_;
+  sqe.addr = reinterpret_cast<std::uint64_t>(&slots_[idx].hdr);
+  sqe.user_data = idx;
+  sq_array_[tail & sq_mask_] = tail & sq_mask_;
+  store_release(sq_tail_, tail + 1);
+  ++to_submit_;
+  return true;
+}
+
+bool uring_tx::stage(const sockaddr_in& to, const_byte_span head,
+                     const_byte_span payload, buf::slab_ref payload_pin) {
+  if (head.size() > kHeadMax) return false;
+  if (!payload_pin && payload.size() > kCopyMax) return false;
+  if (head.empty() && payload.empty()) return false;
+  if (free_.empty()) {
+    reap();  // opportunistic retire; no syscall
+    if (free_.empty()) return false;
+  }
+  const unsigned idx = free_.back();
+  tx_slot& slot = slots_[idx];
+
+  unsigned niov = 0;
+  if (!head.empty()) {
+    std::memcpy(slot.head, head.data(), head.size());
+    slot.iov[niov++] = {slot.head, head.size()};
+  }
+  if (!payload.empty()) {
+    if (payload_pin) {
+      // Zero-copy: the SQE gathers straight out of the slab; the pin keeps
+      // it alive until the CQE (ZC: the notification) retires.
+      slot.pin = std::move(payload_pin);
+      slot.iov[niov++] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
+    } else {
+      std::memcpy(slot.copy_buf.data(), payload.data(), payload.size());
+      slot.iov[niov++] = {slot.copy_buf.data(), payload.size()};
+    }
+  }
+  slot.dest = to;
+  std::memset(&slot.hdr, 0, sizeof(slot.hdr));
+  slot.hdr.msg_name = &slot.dest;
+  slot.hdr.msg_namelen = sizeof(slot.dest);
+  slot.hdr.msg_iov = slot.iov;
+  slot.hdr.msg_iovlen = niov;
+  slot.total_len = static_cast<std::uint32_t>(head.size() + payload.size());
+  slot.retries = 0;
+  // Zerocopy only above the size threshold: a SENDMSG_ZC skb pins pages
+  // and carries a far larger truesize than a copied one, so small
+  // datagrams burn receiver-buffer budget (and notif CQEs) for no copy
+  // savings. Below the line, plain SENDMSG is the faster path — that is a
+  // policy choice, not a capability fallback, so zc_fallback stays still.
+  slot.zc = zc_active_ && slot.total_len >= zc_threshold_;
+  slot.await_notif = false;
+
+  if (!push_sqe(idx, slot.zc)) {
+    slot.pin.reset();
+    return false;
+  }
+  free_.pop_back();
+  slot.in_flight = true;
+  ++inflight_;
+  if (inflight_ > inflight_peak_) inflight_peak_ = inflight_;
+  if (slot.zc) {
+    ++zc_used_;
+  } else if (want_zc_ && !zc_active_) {
+    ++zc_fallback_;
+  }
+  return true;
+}
+
+std::size_t uring_tx::flush() {
+  if (to_submit_ == 0) return 0;
+  const unsigned staged = to_submit_;
+  if (sqpoll_active_) {
+    if ((load_acquire(sq_flags_) & IORING_SQ_NEED_WAKEUP) != 0) {
+      sys_io_uring_enter(ring_fd_, 0, 0, IORING_ENTER_SQ_WAKEUP);
+    }
+    to_submit_ = 0;
+    ++submit_batches_;
+    return staged;
+  }
+  int n;
+  do {
+    n = sys_io_uring_enter(ring_fd_, to_submit_, 0, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) to_submit_ -= std::min<unsigned>(to_submit_, static_cast<unsigned>(n));
+  ++submit_batches_;
+  return staged - to_submit_;
+}
+
+void uring_tx::release_slot(unsigned idx) {
+  tx_slot& slot = slots_[idx];
+  slot.pin.reset();  // completion-driven slab release — the whole point
+  slot.in_flight = false;
+  slot.await_notif = false;
+  free_.push_back(idx);
+  --inflight_;
+}
+
+std::size_t uring_tx::reap() {
+  std::size_t retired = 0;
+  unsigned head = load_acquire(cq_head_);
+  const unsigned tail = load_acquire(cq_tail_);
+  while (head != tail) {
+    const io_uring_cqe cqe = cqes_[head & cq_mask_];
+    ++head;
+    store_release(cq_head_, head);
+    const auto idx = static_cast<unsigned>(cqe.user_data);
+    if (idx >= slots_.size()) continue;  // never expected; defensive
+    tx_slot& slot = slots_[idx];
+    if (!slot.in_flight) continue;
+    if ((cqe.flags & kCqeFNotif) != 0) {
+      // ZC notification: the kernel dropped its last reference to the
+      // payload pages — only now is the slab safe to recycle.
+      if (slot.await_notif) release_slot(idx);
+      continue;
+    }
+    if (cqe.res == -EAGAIN && slot.retries < kRetryMax) {
+      ++slot.retries;
+      ++again_;
+      if (push_sqe(idx, slot.zc)) continue;  // resubmitted, still in flight
+    }
+    ++completions_;
+    if (cqe.res < 0) {
+      ++send_errors_;
+    } else if (static_cast<std::uint32_t>(cqe.res) < slot.total_len) {
+      ++short_sends_;
+    }
+    ++retired;
+    if ((cqe.flags & kCqeFMore) != 0) {
+      slot.await_notif = true;  // buffers stay pinned until the notif CQE
+    } else {
+      release_slot(idx);
+    }
+  }
+  return retired;
+}
+
+bool uring_tx::drain(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  flush();
+  while (inflight_ > 0) {
+    reap();
+    if (inflight_ == 0) break;
+    flush();  // EAGAIN resubmissions staged by reap()
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    // Block briefly for at least one completion instead of spinning.
+    sys_io_uring_enter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+  }
+  return true;
 }
 
 bool io_uring_runtime_available() { return uring_rx::available(); }

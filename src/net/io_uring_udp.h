@@ -1,4 +1,4 @@
-// io_uring receive backend for udp_endpoint.
+// io_uring backends (rx and tx) for udp_endpoint.
 //
 // The recvmmsg path pays one syscall per batch; io_uring amortizes further:
 // the kernel completes receives into pool slabs while userspace is busy
@@ -6,8 +6,8 @@
 // memory (no syscall at all when completions are already posted). We talk
 // to the kernel directly — setup/enter/register raw syscalls plus the
 // <linux/io_uring.h> ABI header — because the toolchain image carries no
-// liburing, and the subset we need (one socket, RECVMSG, optional SQPOLL)
-// is small.
+// liburing, and the subset we need (one socket, RECVMSG/SENDMSG, optional
+// SQPOLL) is small.
 //
 // Shape: a fixed set of rx slots, each owning one pool slab with its
 // msghdr/iovec/sockaddr scratch, each kept armed with a RECVMSG SQE
@@ -28,12 +28,32 @@
 // correctness. Setup failure (ENOSYS, seccomp EPERM, EPERM under
 // container policy) is reported by available()/the constructor so
 // udp_endpoint can fall back to recvmmsg at runtime.
+//
+// The tx half (uring_tx, ISSUE 8) mirrors the shape for egress: a fixed
+// set of send slots, each staging one gather SQE (sealed head copied into
+// slot storage + payload either pinned as a slab reference or copied into
+// a bounded slot buffer). Staged SQEs ride one io_uring_enter per flush —
+// the shard egress drain batches its whole burst into a single syscall —
+// and the payload's slab reference is held until the completion retires,
+// so egress buffer lifetime is completion-driven instead of
+// copy-then-release. When the kernel has IORING_OP_SENDMSG_ZC (probed at
+// runtime via IORING_REGISTER_PROBE; the opcode is newer than our uapi
+// header, so the constant is pinned locally) the payload pages are handed
+// to the NIC without the skb copy and the slab is released only on the
+// zerocopy notification CQE; otherwise plain SENDMSG is used and the
+// contract is identical one CQE earlier. Slot exhaustion and oversized
+// messages report false from stage() — callers fall back to the
+// synchronous sendmsg path, so backpressure degrades batching, never
+// delivery.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "common/bytes.h"
 
 #include "common/buf_pool.h"
 
@@ -68,6 +88,10 @@ class uring_rx {
     unsigned slots = 64;     // rx slots kept armed (rounded up to pow2 ring)
     bool sqpoll = false;     // request a kernel SQ poll thread (best effort)
     unsigned sqpoll_idle_ms = 50;
+    // With sqpoll: pin the kernel SQ thread to this cpu (IORING_SETUP_SQ_AFF)
+    // so the ring's polling work lands next to the control thread instead of
+    // wandering. -1 = let the scheduler place it.
+    int sq_aff_cpu = -1;
   };
 
   // Builds the ring over `socket_fd` and arms every slot with a slab from
@@ -154,6 +178,151 @@ class uring_rx {
   std::uint64_t truncated_ = 0;
   std::uint64_t parked_ = 0;
   std::uint64_t rearm_failed_ = 0;
+};
+
+// Batched zero-copy egress ring (ISSUE 8). One instance per endpoint,
+// single-threaded like the endpoint itself: the control thread stages,
+// flushes and reaps. See the file header for the slot/lifetime contract.
+class uring_tx {
+ public:
+  struct config {
+    unsigned slots = 64;   // in-flight send slots (ring entries to match)
+    bool zerocopy = true;  // use IORING_OP_SENDMSG_ZC when the kernel has it
+    // Smallest message (head + payload) staged as SENDMSG_ZC. A ZC skb
+    // pins the source pages, so its receiver-side truesize dwarfs a copied
+    // skb's — a burst of small ZC datagrams overruns the peer's rcvbuf
+    // long before an equal burst of copied ones. Below the threshold the
+    // slot stages plain SENDMSG (the copy is cheaper than the pin).
+    std::size_t zc_threshold = 4096;
+    bool sqpoll = false;
+    unsigned sqpoll_idle_ms = 50;
+    int sq_aff_cpu = -1;   // with sqpoll: IORING_SETUP_SQ_AFF cpu
+  };
+
+  // Builds the tx ring over `socket_fd`. Throws std::runtime_error when
+  // the kernel refuses (the endpoint then keeps synchronous sends).
+  uring_tx(int socket_fd, config cfg);
+  ~uring_tx();
+
+  uring_tx(const uring_tx&) = delete;
+  uring_tx& operator=(const uring_tx&) = delete;
+
+  // Does this kernel support SENDMSG_ZC? Probed once per process with
+  // IORING_REGISTER_PROBE on a throwaway ring; honors the force hook.
+  static bool zerocopy_available();
+  // Test hook: make zerocopy_available() report false so the plain-SENDMSG
+  // fallback is exercised deterministically on ZC-capable kernels. Affects
+  // subsequently constructed rings only.
+  static void force_no_zerocopy(bool on);
+
+  // Stages one gather send to `to`: `head` (the sealed ILP header, valid
+  // only for this call) is copied into the slot; `payload` is pinned
+  // through `payload_pin` when the caller recovered a slab reference
+  // (released exactly when the CQE — for ZC, the notification — retires),
+  // otherwise copied into bounded slot storage. Returns false when no slot
+  // frees up after an opportunistic reap or the message doesn't fit
+  // (head > kHeadMax, unpinned payload > kCopyMax): the caller sends
+  // synchronously instead — staging never drops a datagram.
+  bool stage(const sockaddr_in& to, const_byte_span head, const_byte_span payload,
+             buf::slab_ref payload_pin);
+
+  // Submits every staged SQE with one io_uring_enter (or an SQPOLL wake).
+  // Returns the number submitted.
+  std::size_t flush();
+
+  // Retires posted completions — no syscall, just the shared-memory CQ.
+  // Returns data completions retired (ZC notifications don't count twice).
+  std::size_t reap();
+
+  // flush() + reap() until nothing is in flight or `timeout` elapses.
+  // Quiesce for teardown and tests; false if sends were still in flight.
+  bool drain(std::chrono::milliseconds timeout);
+
+  int ring_fd() const { return ring_fd_; }
+  bool zerocopy_active() const { return zc_active_; }
+  std::size_t inflight() const { return inflight_; }
+  // Staged but not yet submitted (what the next flush() covers).
+  std::size_t staged() const { return to_submit_; }
+
+  std::uint64_t completions() const { return completions_; }
+  // Data CQEs reporting fewer bytes accepted than staged. UDP sendmsg is
+  // all-or-nothing so steady state is 0; non-zero flags a kernel/socket
+  // anomaly worth alerting on.
+  std::uint64_t short_sends() const { return short_sends_; }
+  std::uint64_t zc_used() const { return zc_used_; }
+  // Sends that wanted zerocopy but staged plain SENDMSG (kernel lacks the
+  // opcode or the probe was forced off).
+  std::uint64_t zc_fallback() const { return zc_fallback_; }
+  std::uint64_t inflight_peak() const { return inflight_peak_; }
+  std::uint64_t submit_batches() const { return submit_batches_; }
+  // Data CQEs with a negative result that exhausted their retry budget
+  // (the async twin of a failed sendmsg; the datagram is given up on).
+  std::uint64_t send_errors() const { return send_errors_; }
+  // -EAGAIN completions resubmitted (socket buffer full under the ring).
+  std::uint64_t again() const { return again_; }
+
+  // Largest sealed head a slot stores, and the copy bound for payloads
+  // staged without a slab pin (anything bigger falls back to synchronous
+  // sendmsg rather than bloating every slot).
+  static constexpr std::size_t kHeadMax = 512;
+  static constexpr std::size_t kCopyMax = 2048;
+
+ private:
+  struct tx_slot {
+    std::uint8_t head[kHeadMax];
+    std::vector<std::uint8_t> copy_buf;  // kCopyMax, allocated at setup
+    ::iovec iov[2];
+    ::msghdr hdr{};
+    sockaddr_in dest{};
+    buf::slab_ref pin;           // payload slab, held until the CQE retires
+    std::uint32_t total_len = 0;
+    std::uint8_t retries = 0;
+    bool in_flight = false;
+    bool zc = false;             // staged as SENDMSG_ZC (expects a notif CQE)
+    bool await_notif = false;    // data CQE seen, notification pending
+  };
+
+  bool push_sqe(unsigned idx, bool zc);
+  void release_slot(unsigned idx);
+
+  int ring_fd_ = -1;
+  int socket_fd_ = -1;
+  bool zc_active_ = false;
+  bool want_zc_ = false;
+  std::size_t zc_threshold_ = 4096;
+  bool sqpoll_active_ = false;
+  std::vector<tx_slot> slots_;
+  std::vector<unsigned> free_;  // slot indices not in flight
+  std::size_t inflight_ = 0;
+  unsigned to_submit_ = 0;
+
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_size_ = 0;
+  void* cq_ring_ = nullptr;
+  std::size_t cq_ring_size_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_size_ = 0;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* sq_flags_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  std::uint64_t completions_ = 0;
+  std::uint64_t short_sends_ = 0;
+  std::uint64_t zc_used_ = 0;
+  std::uint64_t zc_fallback_ = 0;
+  std::uint64_t inflight_peak_ = 0;
+  std::uint64_t submit_batches_ = 0;
+  std::uint64_t send_errors_ = 0;
+  std::uint64_t again_ = 0;
+
+  static constexpr std::uint8_t kRetryMax = 4;  // matches udp kSendRetries
 };
 
 #endif  // INTEREDGE_HAS_IO_URING

@@ -71,6 +71,7 @@ udp_endpoint::udp_endpoint(const udp_config& cfg) : cfg_(cfg) {
       uring_rx::config rcfg;
       rcfg.slots = cfg.uring_slots;
       rcfg.sqpoll = cfg.sqpoll;
+      rcfg.sq_aff_cpu = cfg.sq_aff_cpu;
       try {
         uring_ = std::make_unique<uring_rx>(fd_, *pool_, rcfg);
       } catch (const std::runtime_error&) {
@@ -80,6 +81,21 @@ udp_endpoint::udp_endpoint(const udp_config& cfg) : cfg_(cfg) {
       }
     }
   }
+  if (backend_ == udp_backend::uring && cfg.uring_tx) {
+    uring_tx::config tcfg;
+    tcfg.slots = cfg.uring_tx_slots;
+    tcfg.zerocopy = cfg.uring_zerocopy;
+    tcfg.zc_threshold = cfg.uring_zc_threshold;
+    // The tx ring stays non-SQPOLL: flush_tx() is the batching boundary,
+    // and a second kernel poll thread per endpoint would cost more than
+    // the enter it saves.
+    tcfg.sq_aff_cpu = cfg.sq_aff_cpu;
+    try {
+      uring_tx_ = std::make_unique<uring_tx>(fd_, tcfg);
+    } catch (const std::runtime_error&) {
+      // Keep the synchronous send path; rx stays on the ring.
+    }
+  }
 #else
   if (backend_ == udp_backend::uring) backend_ = udp_backend::mmsg;
 #endif
@@ -87,7 +103,8 @@ udp_endpoint::udp_endpoint(const udp_config& cfg) : cfg_(cfg) {
 
 udp_endpoint::~udp_endpoint() {
 #if INTEREDGE_HAS_IO_URING
-  uring_.reset();  // cancel in-flight SQEs before the pool dies
+  uring_tx_.reset();  // drains in-flight sends, releasing their slab pins
+  uring_.reset();     // cancel in-flight SQEs before the pool dies
 #endif
   rx_slabs_.clear();
   view_scratch_.clear();
@@ -117,9 +134,7 @@ void udp_endpoint::add_peer(peer_id peer, const std::string& ip, std::uint16_t p
   by_source_.insert(pack_source(addr), peer);
 }
 
-bool udp_endpoint::send(peer_id to, const_byte_span datagram) {
-  const sockaddr_in* addr = peers_.find(to);
-  if (addr == nullptr) return false;
+bool udp_endpoint::send_to_addr(const sockaddr_in* addr, const_byte_span datagram) {
   for (std::size_t attempt = 0;; ++attempt) {
     const ssize_t n = ::sendto(fd_, datagram.data(), datagram.size(), 0,
                                reinterpret_cast<const sockaddr*>(addr), sizeof(*addr));
@@ -134,9 +149,31 @@ bool udp_endpoint::send(peer_id to, const_byte_span datagram) {
   }
 }
 
+bool udp_endpoint::send(peer_id to, const_byte_span datagram) {
+  const sockaddr_in* addr = peers_.find(to);
+  if (addr == nullptr) return false;
+  return send_to_addr(addr, datagram);
+}
+
 bool udp_endpoint::send_gather(peer_id to, const_byte_span head, const_byte_span payload) {
   const sockaddr_in* addr = peers_.find(to);
   if (addr == nullptr) return false;
+#if INTEREDGE_HAS_IO_URING
+  if (uring_tx_) {
+    // Pin the payload's slab when it aliases the rx pool (the forward path:
+    // the packet goes back out of the slab it arrived in, released when the
+    // completion retires). Payloads from elsewhere (decrypt arena, owned
+    // bytes) are copied into the slot instead.
+    buf::slab_ref pin;
+    if (pool_ && !payload.empty()) pin = pool_->ref_for_ptr(payload.data());
+    if (uring_tx_->stage(*addr, head, payload, std::move(pin))) {
+      ++sent_;
+      if (uring_tx_->staged() >= kBatchMax) flush_tx();
+      return true;
+    }
+    // Ring saturated or message oversized: synchronous fallback below.
+  }
+#endif
   iovec iovs[2] = {
       {const_cast<std::uint8_t*>(head.data()), head.size()},
       {const_cast<std::uint8_t*>(payload.data()), payload.size()},
@@ -339,6 +376,30 @@ void udp_endpoint::sync_telemetry() {
       last_uring_rearm_failed_ = v;
     }
   }
+  if (uring_tx_ && m_tx_completions_ != nullptr) {
+    if (const auto v = uring_tx_->completions(); v != last_tx_completions_) {
+      m_tx_completions_->add(v - last_tx_completions_);
+      last_tx_completions_ = v;
+    }
+    if (const auto v = uring_tx_->short_sends(); v != last_tx_short_sends_) {
+      m_tx_short_sends_->add(v - last_tx_short_sends_);
+      last_tx_short_sends_ = v;
+    }
+    if (const auto v = uring_tx_->zc_used(); v != last_tx_zc_used_) {
+      m_tx_zc_used_->add(v - last_tx_zc_used_);
+      last_tx_zc_used_ = v;
+    }
+    if (const auto v = uring_tx_->zc_fallback(); v != last_tx_zc_fallback_) {
+      m_tx_zc_fallback_->add(v - last_tx_zc_fallback_);
+      last_tx_zc_fallback_ = v;
+    }
+    if (const auto v = uring_tx_->submit_batches(); v != last_tx_submit_batches_) {
+      m_tx_submit_batches_->add(v - last_tx_submit_batches_);
+      last_tx_submit_batches_ = v;
+    }
+    // High-water mark, not a rate: mirror as a gauge set.
+    m_tx_inflight_peak_->set(static_cast<std::int64_t>(uring_tx_->inflight_peak()));
+  }
 #endif
 }
 
@@ -370,10 +431,63 @@ std::size_t udp_endpoint::recv_batch(std::size_t max,
   return n;
 }
 
+std::size_t udp_endpoint::flush_tx() {
+#if INTEREDGE_HAS_IO_URING
+  if (uring_tx_) {
+    const std::size_t n = uring_tx_->flush();
+    uring_tx_->reap();
+    sync_telemetry();
+    return n;
+  }
+#endif
+  return 0;
+}
+
+bool udp_endpoint::tx_drain(std::chrono::milliseconds timeout) {
+#if INTEREDGE_HAS_IO_URING
+  if (uring_tx_) {
+    const bool done = uring_tx_->drain(timeout);
+    sync_telemetry();
+    return done;
+  }
+#endif
+  (void)timeout;
+  return true;
+}
+
+std::size_t udp_endpoint::tx_inflight() const {
+#if INTEREDGE_HAS_IO_URING
+  if (uring_tx_) return uring_tx_->inflight();
+#endif
+  return 0;
+}
+
 std::size_t udp_endpoint::send_batch(peer_id to, std::span<const bytes> datagrams) {
   const sockaddr_in* addr = peers_.find(to);
   if (addr == nullptr) return 0;
   std::size_t accepted = 0;
+#if INTEREDGE_HAS_IO_URING
+  if (uring_tx_) {
+    // Stage the whole batch onto the tx ring; one enter submits it all.
+    // A full ring flushes (submit + reap) and retries once before falling
+    // back to the synchronous path — the batch is never silently dropped.
+    for (const bytes& d : datagrams) {
+      if (!uring_tx_->stage(*addr, {}, d, {})) {
+        flush_tx();
+        if (!uring_tx_->stage(*addr, {}, d, {})) {
+          if (!send_to_addr(addr, d)) break;
+          ++accepted;
+          continue;
+        }
+      }
+      ++sent_;
+      ++accepted;
+      if (uring_tx_->staged() >= kBatchMax) flush_tx();
+    }
+    flush_tx();
+    return accepted;
+  }
+#endif
 #ifdef __linux__
   std::size_t offset = 0;
   std::size_t retries = 0;
@@ -451,6 +565,10 @@ std::size_t event_loop::pass(std::chrono::milliseconds max_wait) {
     fn();
   }
 
+  // Timer callbacks may have staged sends; submit them before blocking in
+  // select (otherwise a quiet socket strands them for a full max_wait).
+  for (const attached& a : endpoints_) a.endpoint->flush_tx();
+
   // Wait for readability across all endpoints (bounded by the next timer).
   // wait_fd() is the backend-agnostic readiness handle: the socket fd for
   // mmsg, the ring fd (readable when completions are posted) for uring.
@@ -500,6 +618,9 @@ std::size_t event_loop::pass(std::chrono::milliseconds max_wait) {
       ++dispatched;
     }
   }
+  // Handlers replying via send_gather leave sends staged; submit the batch
+  // before handing control back.
+  for (const attached& a : endpoints_) a.endpoint->flush_tx();
   return dispatched;
 }
 

@@ -31,6 +31,14 @@
 // posted) rather than the socket fd; event_loop does. The legacy
 // bytes-returning recv_batch/poll are preserved on both backends (one copy
 // out of the slab) so existing callers run unchanged.
+//
+// Since ISSUE 8 the uring backend is full duplex: send_gather/send_batch
+// stage gather SQEs on a tx ring (sealed head copied into the slot,
+// payload pinned by slab reference until the completion retires), one
+// io_uring_enter per flush_tx() covers the whole egress burst, and
+// SENDMSG_ZC is used when the kernel has it. The mmsg backend's send path
+// is untouched — byte-identical for non-uring kernels — and every staged
+// path degrades to the synchronous syscall when the ring is saturated.
 #pragma once
 
 #include <netinet/in.h>
@@ -70,6 +78,23 @@ struct udp_config {
   udp_backend backend = udp_backend::auto_detect;
   bool sqpoll = false;        // uring only: request a kernel SQ poll thread
   unsigned uring_slots = 64;  // uring only: rx slots kept armed
+  // uring only, egress (ISSUE 8): stage sends on a tx ring — gather SQEs
+  // batched into one io_uring_enter per flush, payload slabs pinned until
+  // the completion retires. Off (or ring setup failure) keeps the
+  // synchronous sendmsg/sendmmsg path byte-identically.
+  bool uring_tx = true;
+  unsigned uring_tx_slots = 64;  // in-flight staged sends
+  // Probe IORING_OP_SENDMSG_ZC and use it when present; plain SENDMSG
+  // otherwise (same bytes on the wire, one fewer kernel copy when it hits).
+  bool uring_zerocopy = true;
+  // Smallest message staged as SENDMSG_ZC (see uring_tx::config): a ZC
+  // skb's pinned-page truesize makes small-datagram bursts overrun the
+  // receiver's rcvbuf, so below this the slot stages plain SENDMSG. 0
+  // forces ZC for every send (tests).
+  std::size_t uring_zc_threshold = 4096;
+  // With sqpoll: pin the kernel SQ thread (IORING_SETUP_SQ_AFF) — the
+  // placement plumbing points this at the SN control core.
+  int sq_aff_cpu = -1;
   buf::pool_config pool;      // slab size/count for the rx pool
 };
 
@@ -105,10 +130,29 @@ class udp_endpoint {
   // (the kernel copies into the skb before sendto returns).
   bool send(peer_id to, const_byte_span datagram);
 
-  // Gather send: head + payload in one sendmsg(2) with two iovecs, so an
-  // egress path holding a sealed header and a payload view never glues
-  // them into one buffer.
+  // Gather send: head + payload as two iovecs, so an egress path holding a
+  // sealed header and a payload view never glues them into one buffer.
+  // Under the uring backend with a tx ring this *stages* the send: the
+  // head is copied into a slot, the payload — when it aliases the rx pool
+  // — is pinned by slab reference until the completion retires (true
+  // zero-copy egress lifetime), and the SQE rides the next flush_tx()
+  // (auto-triggered every kBatchMax staged sends). Otherwise, and whenever
+  // the ring is saturated or the message oversized, it is one synchronous
+  // sendmsg(2) — staging degrades to the mmsg path, never drops.
   bool send_gather(peer_id to, const_byte_span head, const_byte_span payload);
+
+  // Submits every staged tx SQE with one syscall and retires posted
+  // completions (releasing their slab pins). No-op without a tx ring.
+  // event_loop calls this once per pass; manual drivers should call it
+  // after their send burst. Returns SQEs submitted.
+  std::size_t flush_tx();
+
+  // flush_tx + reap until no send is in flight (bounded). True when the
+  // tx path fully quiesced — tests use this to assert slab recycling.
+  bool tx_drain(std::chrono::milliseconds timeout = std::chrono::milliseconds(100));
+
+  // Sends staged on the tx ring whose completion hasn't retired yet.
+  std::size_t tx_inflight() const;
 
   // Non-blocking receive of one datagram from a registered peer.
   std::optional<std::pair<peer_id, bytes>> poll();
@@ -163,6 +207,12 @@ class udp_endpoint {
     return pool_ ? pool_->stats() : buf::pool_stats{};
   }
 
+#if INTEREDGE_HAS_IO_URING
+  // The egress ring, when the uring backend armed one (counter access for
+  // tests and diagnostics); nullptr under mmsg or when setup failed.
+  const uring_tx* tx_ring() const { return uring_tx_.get(); }
+#endif
+
   // Optional: mirrors the endpoint's accounting into `reg` so it rides the
   // SN's stats exposition and the SLO health plane — the net.udp.* socket
   // counters plus the io_uring backend internals (completions, truncated
@@ -188,12 +238,28 @@ class udp_endpoint {
       last_uring_parked_ = uring_->parked();
       last_uring_rearm_failed_ = uring_->rearm_failed();
     }
+    if (uring_tx_) {
+      m_tx_completions_ = &reg.get_counter("net.uring.tx.completions");
+      m_tx_short_sends_ = &reg.get_counter("net.uring.tx.short_sends");
+      m_tx_zc_used_ = &reg.get_counter("net.uring.tx.zc_used");
+      m_tx_zc_fallback_ = &reg.get_counter("net.uring.tx.zc_fallback");
+      m_tx_inflight_peak_ = &reg.get_gauge("net.uring.tx.inflight_peak");
+      m_tx_submit_batches_ = &reg.get_counter("net.uring.tx.submit_batches");
+      last_tx_completions_ = uring_tx_->completions();
+      last_tx_short_sends_ = uring_tx_->short_sends();
+      last_tx_zc_used_ = uring_tx_->zc_used();
+      last_tx_zc_fallback_ = uring_tx_->zc_fallback();
+      last_tx_submit_batches_ = uring_tx_->submit_batches();
+    }
 #endif
   }
 
  private:
   void open_socket(std::uint16_t port, bool reuse_port);
   void ensure_pool();
+  // Synchronous sendto with the bounded EAGAIN retry loop — the shared
+  // tail of send() and the staged paths' fallback.
+  bool send_to_addr(const sockaddr_in* addr, const_byte_span datagram);
   // Delta-syncs the mirrored counters from the raw totals; a handful of
   // subtractions per rx batch, adds only when something moved.
   void sync_telemetry();
@@ -216,6 +282,7 @@ class udp_endpoint {
   std::optional<buf::buf_pool::cache> cache_;
 #if INTEREDGE_HAS_IO_URING
   std::unique_ptr<uring_rx> uring_;
+  std::unique_ptr<uring_tx> uring_tx_;  // reset before pool_: slots pin slabs
   std::vector<uring_completion> reap_scratch_;
 #endif
   std::vector<buf::slab_ref> rx_slabs_;  // armed recvmmsg buffers, reused
@@ -244,6 +311,17 @@ class udp_endpoint {
   std::uint64_t last_uring_truncated_ = 0;
   std::uint64_t last_uring_parked_ = 0;
   std::uint64_t last_uring_rearm_failed_ = 0;
+  counter* m_tx_completions_ = nullptr;
+  counter* m_tx_short_sends_ = nullptr;
+  counter* m_tx_zc_used_ = nullptr;
+  counter* m_tx_zc_fallback_ = nullptr;
+  gauge* m_tx_inflight_peak_ = nullptr;
+  counter* m_tx_submit_batches_ = nullptr;
+  std::uint64_t last_tx_completions_ = 0;
+  std::uint64_t last_tx_short_sends_ = 0;
+  std::uint64_t last_tx_zc_used_ = 0;
+  std::uint64_t last_tx_zc_fallback_ = 0;
+  std::uint64_t last_tx_submit_batches_ = 0;
 #endif
 
   // Transient send failures retry this many times before the datagram is

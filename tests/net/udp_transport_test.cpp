@@ -366,6 +366,290 @@ TEST(UdpBackend, UringBufferReplenish) {
   EXPECT_LE(rx.pool_stats().outstanding, cfg.uring_slots);
 }
 
+// ---- ISSUE 8: full-duplex io_uring (batched zero-copy egress) --------
+
+// The same datagram set, byte for byte, whether egress goes through the
+// synchronous sendmmsg path or the uring tx ring. The receiver is mmsg in
+// both arms so only the tx backend varies.
+TEST(UdpTx, MmsgUringTxEquivalence) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  udp_config mmsg_cfg;
+  mmsg_cfg.backend = udp_backend::mmsg;
+  udp_config uring_cfg;
+  uring_cfg.backend = udp_backend::uring;
+  udp_endpoint tx_mmsg(mmsg_cfg);
+  udp_endpoint tx_uring(uring_cfg);
+  ASSERT_EQ(tx_uring.backend(), udp_backend::uring);
+#if INTEREDGE_HAS_IO_URING
+  ASSERT_NE(tx_uring.tx_ring(), nullptr);
+#endif
+
+  udp_endpoint rx_a, rx_b;
+  tx_mmsg.add_peer(2, "127.0.0.1", rx_a.port());
+  tx_uring.add_peer(2, "127.0.0.1", rx_b.port());
+  rx_a.add_peer(1, "127.0.0.1", tx_mmsg.port());
+  rx_b.add_peer(1, "127.0.0.1", tx_uring.port());
+
+  constexpr std::size_t kCount = 23;
+  std::vector<bytes> sent;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    sent.push_back(to_bytes("egress " + std::to_string(i) + " payload"));
+  }
+  EXPECT_EQ(tx_mmsg.send_batch(2, sent), kCount);
+  EXPECT_EQ(tx_uring.send_batch(2, sent), kCount);
+  ASSERT_TRUE(tx_uring.tx_drain());
+
+  std::vector<std::pair<peer_id, buf::pkt_view>> via_mmsg, via_uring;
+  ASSERT_EQ(drain_views(rx_a, kCount, via_mmsg), kCount);
+  ASSERT_EQ(drain_views(rx_b, kCount, via_uring), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(to_string(via_mmsg[i].second.span()), to_string(sent[i]));
+    EXPECT_EQ(to_string(via_uring[i].second.span()), to_string(sent[i]));
+  }
+  // Both arms count kernel-accepted datagrams identically.
+  EXPECT_EQ(tx_mmsg.sent(), kCount);
+  EXPECT_EQ(tx_uring.sent(), kCount);
+  EXPECT_EQ(tx_uring.tx_inflight(), 0u);
+#if INTEREDGE_HAS_IO_URING
+  EXPECT_GE(tx_uring.tx_ring()->completions(), kCount);
+  EXPECT_EQ(tx_uring.tx_ring()->send_errors(), 0u);
+  // UDP sends are all-or-nothing at the datagram; a short send would mean
+  // the gather iovecs were mis-sized.
+  EXPECT_EQ(tx_uring.tx_ring()->short_sends(), 0u);
+  // The whole batch went out in far fewer enters than datagrams.
+  EXPECT_LT(tx_uring.tx_ring()->submit_batches(), kCount);
+#endif
+}
+
+// send_gather on the uring backend with a payload aliasing the rx pool:
+// the SQE gathers straight from the slab (no copy), the slab stays pinned
+// until the completion retires, and afterwards the pool is fully recycled
+// — release-exactly-on-CQE.
+TEST(UdpTx, GatherSlabPinReleasesOnCompletion) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  udp_config cfg;
+  cfg.backend = udp_backend::uring;
+  udp_endpoint fwd(cfg);  // receives into slabs, forwards out of them
+  ASSERT_EQ(fwd.backend(), udp_backend::uring);
+  udp_endpoint origin, sink;
+  origin.add_peer(2, "127.0.0.1", fwd.port());
+  fwd.add_peer(1, "127.0.0.1", origin.port());
+  fwd.add_peer(3, "127.0.0.1", sink.port());
+  sink.add_peer(2, "127.0.0.1", fwd.port());
+
+  ASSERT_TRUE(origin.send(2, to_bytes("payload-in-slab")));
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(fwd, 1, got), 1u);
+  const const_byte_span payload = got[0].second.span();
+  const std::uint8_t* base = fwd.pool()->arena_base();
+  ASSERT_GE(payload.data(), base);  // precondition: it IS in the arena
+
+  const bytes head = to_bytes("sealed|");
+  // Observer reference: the refcount tells the pin story exactly (pool
+  // -wide `outstanding` also counts the local cache magazine, so it can't).
+  const buf::pkt_view keeper = got[0].second.clone();
+  EXPECT_EQ(keeper.slab().refcount(), 2u);  // rx view + keeper
+  ASSERT_TRUE(fwd.send_gather(3, head, payload));
+  // The staged send holds its own slab reference: dropping the rx view
+  // must NOT recycle the slab out from under the in-flight SQE.
+  got.clear();
+  EXPECT_EQ(keeper.slab().refcount(), 2u);  // keeper + the staged tx pin
+  ASSERT_TRUE(fwd.tx_drain());
+  EXPECT_EQ(fwd.tx_inflight(), 0u);
+
+  // Completion retired the pin: the keeper holds the only reference left.
+  EXPECT_EQ(keeper.slab().refcount(), 1u);
+
+  std::vector<std::pair<peer_id, buf::pkt_view>> relayed;
+  ASSERT_EQ(drain_views(sink, 1, relayed), 1u);
+  EXPECT_EQ(to_string(relayed[0].second.span()), "sealed|payload-in-slab");
+}
+
+// An error CQE (here: -EINVAL from a zero destination port) must retire
+// its slot — counted, slot recycled, nothing pinned forever.
+TEST(UdpTx, ErrorCompletionRecyclesSlot) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  udp_config cfg;
+  cfg.backend = udp_backend::uring;
+  udp_endpoint a(cfg);
+  ASSERT_EQ(a.backend(), udp_backend::uring);
+  a.add_peer(7, "127.0.0.1", 0);  // port 0: the kernel rejects the send
+
+  const bytes head = to_bytes("doomed-head");
+  ASSERT_TRUE(a.send_gather(7, head, {}));
+  ASSERT_TRUE(a.tx_drain());
+  EXPECT_EQ(a.tx_inflight(), 0u);
+#if INTEREDGE_HAS_IO_URING
+  ASSERT_NE(a.tx_ring(), nullptr);
+  EXPECT_GE(a.tx_ring()->send_errors(), 1u);
+#endif
+
+  // The slot is reusable: a real peer still works after the error.
+  udp_endpoint rx;
+  a.add_peer(8, "127.0.0.1", rx.port());
+  rx.add_peer(2, "127.0.0.1", a.port());
+  ASSERT_TRUE(a.send_gather(8, to_bytes("alive"), {}));
+  ASSERT_TRUE(a.tx_drain());
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(rx, 1, got), 1u);
+  EXPECT_EQ(to_string(got[0].second.span()), "alive");
+}
+
+// The SEND_ZC probe is runtime, not compile-time: with zerocopy forced
+// off, staging falls back to plain SENDMSG, counts the fallback, and the
+// bytes on the wire are identical.
+TEST(UdpTx, ZerocopyProbeFallback) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+#if INTEREDGE_HAS_IO_URING
+  uring_tx::force_no_zerocopy(true);
+  udp_config cfg;
+  cfg.backend = udp_backend::uring;
+  cfg.uring_zc_threshold = 0;  // force ZC even for these tiny payloads
+  udp_endpoint a(cfg);
+  uring_tx::force_no_zerocopy(false);
+  ASSERT_NE(a.tx_ring(), nullptr);
+  EXPECT_FALSE(a.tx_ring()->zerocopy_active());
+
+  udp_endpoint rx;
+  a.add_peer(2, "127.0.0.1", rx.port());
+  rx.add_peer(1, "127.0.0.1", a.port());
+  ASSERT_TRUE(a.send_gather(2, to_bytes("head|"), to_bytes("copied payload")));
+  ASSERT_TRUE(a.tx_drain());
+  EXPECT_EQ(a.tx_ring()->zc_used(), 0u);
+  EXPECT_GE(a.tx_ring()->zc_fallback(), 1u);
+  std::vector<std::pair<peer_id, buf::pkt_view>> got;
+  ASSERT_EQ(drain_views(rx, 1, got), 1u);
+  EXPECT_EQ(to_string(got[0].second.span()), "head|copied payload");
+
+  // And with the force released, a fresh ring reflects the kernel's real
+  // capability; when active, traffic actually uses the ZC opcode.
+  udp_endpoint b(cfg);
+  ASSERT_NE(b.tx_ring(), nullptr);
+  if (b.tx_ring()->zerocopy_active()) {
+    b.add_peer(2, "127.0.0.1", rx.port());
+    rx.add_peer(3, "127.0.0.1", b.port());  // rx drops unknown sources
+    ASSERT_TRUE(b.send_gather(2, to_bytes("zc|"), to_bytes("notified payload")));
+    ASSERT_TRUE(b.tx_drain());
+    EXPECT_EQ(b.tx_ring()->send_errors(), 0u);
+    EXPECT_GE(b.tx_ring()->zc_used(), 1u);
+    EXPECT_EQ(b.tx_inflight(), 0u);  // data CQE + notif CQE both retired
+    got.clear();
+    ASSERT_EQ(drain_views(rx, 1, got), 1u);
+    EXPECT_EQ(to_string(got[0].second.span()), "zc|notified payload");
+  }
+#endif
+}
+
+// Tx telemetry mirror: the net.uring.tx.* metrics move in lockstep with
+// the ring's own counters.
+TEST(UdpTx, TelemetryMirrorsRingCounters) {
+  if (!io_uring_runtime_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  udp_config cfg;
+  cfg.backend = udp_backend::uring;
+  udp_endpoint a(cfg);
+  metrics_registry reg;
+  a.enable_telemetry(reg);
+  udp_endpoint rx;
+  a.add_peer(2, "127.0.0.1", rx.port());
+  rx.add_peer(1, "127.0.0.1", a.port());
+
+  const std::vector<bytes> burst(9, to_bytes("telemetry probe"));
+  EXPECT_EQ(a.send_batch(2, burst), burst.size());
+  ASSERT_TRUE(a.tx_drain());
+#if INTEREDGE_HAS_IO_URING
+  EXPECT_EQ(reg.get_counter("net.uring.tx.completions").value(),
+            a.tx_ring()->completions());
+  EXPECT_EQ(reg.get_counter("net.uring.tx.short_sends").value(),
+            a.tx_ring()->short_sends());
+  EXPECT_EQ(reg.get_counter("net.uring.tx.zc_used").value(), a.tx_ring()->zc_used());
+  EXPECT_EQ(reg.get_counter("net.uring.tx.zc_fallback").value(),
+            a.tx_ring()->zc_fallback());
+  EXPECT_EQ(reg.get_counter("net.uring.tx.submit_batches").value(),
+            a.tx_ring()->submit_batches());
+  EXPECT_EQ(static_cast<std::uint64_t>(reg.get_gauge("net.uring.tx.inflight_peak").value()),
+            a.tx_ring()->inflight_peak());
+  EXPECT_GE(a.tx_ring()->inflight_peak(), 1u);
+#endif
+}
+
+// The sanitizer-CI concurrency target (tools/ci_sanitizers.sh runs this
+// binary under tsan): a sharded SN forwards through a uring endpoint —
+// worker threads produce into egress rings while the control thread
+// drains them into staged gather SQEs. Exercises every cross-thread edge
+// of the egress path under real completions.
+TEST(UdpTx, ShardedEgressConcurrentDrain) {
+  udp_config sn_cfg;  // auto_detect: uring where available, mmsg otherwise
+  udp_endpoint ep_host_a, ep_host_b;
+  udp_endpoint ep_sn(sn_cfg);
+  event_loop loop;
+
+  const peer_id id_a = ep_host_a.port();
+  const peer_id id_sn = ep_sn.port();
+  const peer_id id_b = ep_host_b.port();
+  ep_host_a.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_host_b.add_peer(id_sn, "127.0.0.1", ep_sn.port());
+  ep_sn.add_peer(id_a, "127.0.0.1", ep_host_a.port());
+  ep_sn.add_peer(id_b, "127.0.0.1", ep_host_b.port());
+
+  core::testing::identity_router route;
+  real_clock clk;
+  core::service_node sn(core::sn_config{.id = id_sn, .edomain = 1, .workers = 2}, clk,
+                        [&](peer_id to, bytes d) { ep_sn.send(to, d); }, loop.scheduler(),
+                        &route);
+  sn.env().deploy(std::make_unique<core::testing::forwarder_module>());
+  // Forwards drain from the shard egress rings into staged gather sends.
+  sn.pipes().set_send_gather([&](peer_id to, const_byte_span head, const_byte_span payload) {
+    ep_sn.send_gather(to, head, payload);
+  });
+
+  host::host_stack host_a(
+      host::host_config{.addr = id_a, .first_hop_sn = id_sn, .fallback_sns = {}}, clk,
+      [&](peer_id to, bytes d) { ep_host_a.send(to, d); }, loop.scheduler(), nullptr);
+  host::host_stack host_b(
+      host::host_config{.addr = id_b, .first_hop_sn = id_sn, .fallback_sns = {}}, clk,
+      [&](peer_id to, bytes d) { ep_host_b.send(to, d); }, loop.scheduler(), nullptr);
+
+  loop.attach(ep_host_a, [&](peer_id f, const_byte_span d) { host_a.on_datagram(f, d); });
+  loop.attach(ep_host_b, [&](peer_id f, const_byte_span d) { host_b.on_datagram(f, d); });
+  loop.attach_views(ep_sn, [&](std::span<std::pair<peer_id, buf::pkt_view>> ds) {
+    sn.on_datagram_views(ds);
+  });
+
+  std::vector<std::string> inbox;
+  host_b.set_default_handler(
+      [&](const ilp::ilp_header&, bytes payload) { inbox.push_back(to_string(payload)); });
+
+  constexpr int kMsgs = 48;
+  auto conn = host_a.open(id_b, ilp::svc::delivery);
+  for (int i = 0; i < kMsgs; ++i) {
+    conn.send(to_bytes("concurrent " + std::to_string(i)));
+    if (i % 8 == 7) loop.run_for(5ms);  // interleave drains with sends
+  }
+  loop.run_until_quiet(30ms, 5000ms);
+  sn.wait_idle();
+  loop.run_until_quiet(30ms, 2000ms);
+  ASSERT_TRUE(ep_sn.tx_drain());
+
+  EXPECT_EQ(inbox.size(), static_cast<std::size_t>(kMsgs));
+  // In parallel mode the forward accounting lives in the shard termini.
+  std::uint64_t forwarded = 0;
+  for (std::size_t i = 0; i < sn.worker_count(); ++i) {
+    forwarded += sn.shard_terminus_stats(i).forwarded;
+  }
+  EXPECT_EQ(forwarded, static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(ep_sn.tx_inflight(), 0u);
+}
+
 TEST(UdpEndpoint, PeerTableSurvivesGrowth) {
   // ~100 peers forces the open-addressed table through several rehashes;
   // lookups in both directions (peer -> addr, source -> peer) must hold.

@@ -38,6 +38,11 @@ run_preset() {
   # rings (buf_pool_test's handoff/concurrent cases are the tsan targets),
   # plus the real-socket transport — both rx backends, in-place decrypt
   # windows over pool slabs, view lifetimes through the event loop.
+  # Full-duplex egress (ISSUE 8) rides the same net_test pass: the UdpTx
+  # cases pin completion-driven slab release (tx pins racing rx recycling)
+  # and ShardedEgressConcurrentDrain pushes worker-shard forwards through
+  # the uring tx ring while the control thread flushes — the tsan target
+  # for the egress half.
   echo "== $preset: slab pool + transport (focused) =="
   ctest --preset "$preset" -R 'buf_pool_test|net_test' --output-on-failure
   # SLO health plane (ISSUE 7): the flight recorder's multi-producer
