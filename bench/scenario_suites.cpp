@@ -1,0 +1,51 @@
+// Scenario suite runner (DESIGN.md §14): executes the named adversarial +
+// churn suites and prints one JSON SLO verdict report per suite. With
+// --json, each report is additionally written to SCENARIO_<suite>.json in
+// the current directory for machine comparison across runs.
+//
+//   scenario_suites [--suite=NAME|all] [--seed=N] [--json]
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "scenario/suites.h"
+
+int main(int argc, char** argv) {
+  std::string suite = "all";
+  std::uint64_t seed = 42;
+  bool json_files = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--suite=", 8) == 0) {
+      suite = arg + 8;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_files = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--suite=NAME|all] [--seed=N] [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  int failed = 0;
+  for (const std::string_view name : interedge::scenario::suite_names()) {
+    if (suite != "all" && suite != name) continue;
+    const auto rep = interedge::scenario::run_suite(name, seed);
+    const std::string json = rep.to_json();
+    std::printf("%s\n", json.c_str());
+    if (json_files) {
+      std::ofstream out("SCENARIO_" + std::string(name) + ".json");
+      out << json << '\n';
+    }
+    if (!rep.passed()) {
+      std::fprintf(stderr, "FAIL: suite %.*s\n", static_cast<int>(name.size()),
+                   name.data());
+      ++failed;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}

@@ -53,3 +53,12 @@ echo
 run_gbench ablation_observability --benchmark_min_time=0.05
 echo
 ./build/bench/ablation_services --max_subscribers=64
+echo
+# Scenario suites (DESIGN.md §14): one JSON SLO verdict report per suite
+# on stdout; with --json each is also written to SCENARIO_<suite>.json.
+# Exits nonzero if any suite's verdicts fail, so CI gates on it directly.
+if [ "$json" = 1 ]; then
+  ./build/bench/scenario_suites --seed=42 --json
+else
+  ./build/bench/scenario_suites --seed=42
+fi

@@ -1,5 +1,7 @@
 #include "core/decision_cache.h"
 
+#include <algorithm>
+
 #include "common/serial.h"
 
 namespace interedge::core {
@@ -150,6 +152,26 @@ std::size_t decision_cache::erase_service(ilp::service_id service) {
   return erased;
 }
 
+std::size_t decision_cache::erase_forwards_to(peer_id hop) {
+  std::size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const bool names_hop =
+        it->value.kind == decision::verdict::forward &&
+        std::find(it->value.next_hops.begin(), it->value.next_hops.end(), hop) !=
+            it->value.next_hops.end();
+    if (names_hop) {
+      svc_index_remove(it);
+      index_.erase(it->key);
+      it = entries_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += erased;
+  return erased;
+}
+
 void decision_cache::clear() {
   stats_.invalidations += entries_.size();
   entries_.clear();
@@ -278,6 +300,9 @@ std::size_t cache_invalidation_bus::drain(std::size_t shard, decision_cache& cac
         break;
       case cache_op::erase_service:
         cache.erase_service(cmd->service);
+        break;
+      case cache_op::erase_next_hop:
+        cache.erase_forwards_to(cmd->hop);
         break;
       case cache_op::clear:
         cache.clear();

@@ -75,6 +75,11 @@ class decision_cache {
   std::size_t erase_connection(ilp::service_id service, ilp::connection_id connection);
   // Drops every entry installed by a service (service reconfiguration).
   std::size_t erase_service(ilp::service_id service);
+  // Drops every forward verdict that names `hop` as a next hop — called
+  // when liveness declares a peer down, so flows re-resolve on the slow
+  // path instead of blackholing into the dead adjacency. O(cache size):
+  // peer-down is a rare control event, not a packet-path operation.
+  std::size_t erase_forwards_to(peer_id hop);
   void clear();
 
   // Sweeps all expired entries now (checkpoint hygiene); returns the
@@ -155,12 +160,14 @@ class flow_steerer {
   std::size_t shards_;
 };
 
-// A cache invalidation to fan out to every shard.
-enum class cache_op : std::uint8_t { erase_connection, erase_service, clear };
+// A cache invalidation to fan out to every shard. erase_next_hop carries
+// the dead peer in `hop` (liveness peer-down purging stale forwards).
+enum class cache_op : std::uint8_t { erase_connection, erase_service, erase_next_hop, clear };
 struct cache_command {
   cache_op op = cache_op::clear;
   ilp::service_id service = 0;
   ilp::connection_id connection = 0;
+  peer_id hop = 0;
   std::uint64_t seq = 0;  // stamped by the bus
 };
 

@@ -34,6 +34,8 @@ class exec_env::context_impl final : public service_context {
     node_.invalidate_connection(service, conn);
   }
 
+  void invalidate_service(ilp::service_id service) override { node_.invalidate_service(service); }
+
   std::uint64_t cache_hit_count(const cache_key& key) const override {
     return node_.cache().hit_count(key);
   }

@@ -88,6 +88,10 @@ class service_context {
 
   // Decision-cache maintenance outside the packet path.
   virtual void invalidate_connection(ilp::service_id service, ilp::connection_id conn) = 0;
+  // Drops every cached verdict for `service` on this SN — for control-plane
+  // transitions that change the answer for flows already in flight (a dest
+  // newly protected by ddos, a host re-anchored by mobility).
+  virtual void invalidate_service(ilp::service_id service) = 0;
   virtual std::uint64_t cache_hit_count(const cache_key& key) const = 0;
 
   // Routing: resolves the next adjacent element toward a destination host.

@@ -105,6 +105,10 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
       if (blackbox_) {
         blackbox_->trigger(kTrigPeerDown, path_rec_.now(), peer);
       }
+      // A dead adjacency invalidates every cached forward that names it:
+      // otherwise established flows blackhole until LRU eviction while
+      // the slow path would happily re-resolve around the failure.
+      invalidate_next_hop(peer);
     }
   });
   m_slowpath_expired_ = &metrics_.get_counter("sn.slowpath.expired");
@@ -128,7 +132,10 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
     lcfg.reconnect_backoff = config_.reconnect_backoff;
     lcfg.reconnect_backoff_max = config_.reconnect_backoff_max;
     // Node-unique jitter seed: peers of one recovered SN desynchronize.
-    lcfg.jitter_seed = config_.id * 0x9e3779b97f4a7c15ull + 1;
+    // An explicitly configured seed wins (root-seed plumbing).
+    lcfg.jitter_seed = config_.liveness_jitter_seed != 0
+                           ? config_.liveness_jitter_seed
+                           : config_.id * 0x9e3779b97f4a7c15ull + 1;
     pipes_.enable_liveness(clock_, lcfg);
     liveness_running_ = true;
     schedule_liveness_tick();
@@ -650,6 +657,15 @@ void service_node::invalidate_service(ilp::service_id service) {
     return;
   }
   bus_->publish(cache_command{cache_op::erase_service, service, 0, 0});
+  for (std::size_t i = 0; i < shards_.size(); ++i) wake_shard(i);
+}
+
+void service_node::invalidate_next_hop(peer_id hop) {
+  if (shards_.empty()) {
+    cache_.erase_forwards_to(hop);
+    return;
+  }
+  bus_->publish(cache_command{cache_op::erase_next_hop, 0, 0, hop});
   for (std::size_t i = 0; i < shards_.size(); ++i) wake_shard(i);
 }
 

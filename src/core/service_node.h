@@ -116,6 +116,10 @@ struct sn_config {
   std::uint32_t keepalive_miss_budget = 3;
   nanoseconds reconnect_backoff = std::chrono::milliseconds(50);
   nanoseconds reconnect_backoff_max = std::chrono::seconds(2);
+  // Liveness keepalive-jitter seed. 0 derives a node-unique default from
+  // the SN id; deployments that plumb one root seed everywhere (scenario
+  // suites) set it explicitly so the jitter stream is part of the seed.
+  std::uint64_t liveness_jitter_seed = 0;
   // Slow-path degradation: deadline stamped on every slow-path request
   // (0 = none) and the in-flight high-water mark past which the terminus
   // sheds with a TTL'd default verdict (0 = legacy blocking behavior).
@@ -197,6 +201,10 @@ class service_node final : public node_services {
   // the node cache directly (the node_services default).
   void invalidate_connection(ilp::service_id service, ilp::connection_id conn) override;
   void invalidate_service(ilp::service_id service) override;
+  // Purges every cached forward naming `hop` — liveness calls this when a
+  // peer goes down so established flows re-resolve on the slow path
+  // instead of blackholing into the dead adjacency until LRU eviction.
+  void invalidate_next_hop(peer_id hop);
 
   exec_env& env() { return *env_; }
   ilp::pipe_manager& pipes() { return pipes_; }

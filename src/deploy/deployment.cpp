@@ -34,6 +34,10 @@ peer_id deployment::add_sn(edomain_id domain) {
                       .control_cpu = config_.sn_control_cpu,
                       .numa_aware = config_.sn_numa_aware,
                       .keepalive_interval = config_.sn_keepalive_interval,
+                      .liveness_jitter_seed = id_rng_.next() | 1,
+                      .slowpath_deadline = config_.sn_slowpath_deadline,
+                      .slowpath_high_water = config_.sn_slowpath_high_water,
+                      .shed_ttl = config_.sn_shed_ttl,
                       .blackbox_capacity = config_.sn_blackbox_capacity},
       net_.sim_clock(),
       [this, node](peer_id to, bytes datagram) {

@@ -48,6 +48,15 @@ struct deployment_config {
   // Black-box flight recorder ring per SN; 0 disables it.
   std::size_t sn_blackbox_capacity = 1024;
 
+  // ---- slow-path degradation (DESIGN.md §10), forwarded to sn_config ----
+  // Deadline stamped on slow-path requests (0 = none) and the in-flight
+  // high-water mark past which the terminus sheds with a TTL'd default
+  // drop verdict (0 = legacy blocking). Scenario suites arm these to model
+  // overload; steady-state deployments leave them off.
+  nanoseconds sn_slowpath_deadline{0};
+  std::size_t sn_slowpath_high_water = 0;
+  nanoseconds sn_shed_ttl = std::chrono::milliseconds(50);
+
   // ---- multi-core datapath + placement (ISSUE 8) ----
   // Worker shards per SN (0 = inline single-threaded, the default — the
   // simulator topologies stay deterministic unless a deployment opts in).
@@ -79,6 +88,9 @@ class deployment {
   sim::simulation& net() { return net_; }
   lookup::lookup_service& directory() { return directory_; }
   edomain::settlement_ledger& ledger() { return ledger_; }
+  // The root seed every derived randomness stream (simnet, id_rng, service
+  // secrets, workload generators) hangs off — see DESIGN.md §14.
+  std::uint64_t seed() const { return config_.seed; }
 
   // ---- topology construction ----
   edomain_id add_edomain();

@@ -18,6 +18,17 @@
 
 namespace interedge::deploy {
 
+namespace {
+// splitmix64 step: decorrelates the per-(purpose, SN) secret seeds derived
+// from the deployment's one root seed (RNG audit, DESIGN.md §14).
+std::uint64_t mix_seed(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 void deploy_standard_services(deployment& d, const standard_services_config& config) {
   using namespace interedge::services;
   if (config.delivery) {
@@ -48,10 +59,19 @@ void deploy_standard_services(deployment& d, const standard_services_config& con
     d.deploy_service_simple([] { return std::make_unique<mixnet_service>(); });
   }
   if (config.ddos) {
-    d.deploy_service_simple([] { return std::make_unique<ddos_service>(); });
+    // Token secrets hang off the deployment's root seed: same-seed runs
+    // mint identical capability tokens (scenario replay needs this).
+    const std::uint64_t root = d.seed();
+    d.deploy_service([root](edomain::domain_core&, peer_id sn) {
+      return std::make_unique<ddos_service>(1000.0, 100.0,
+                                            mix_seed(root ^ (0xdd05ull << 48) ^ sn) | 1);
+    });
   }
   if (config.vpn) {
-    d.deploy_service_simple([] { return std::make_unique<vpn_service>(); });
+    const std::uint64_t root = d.seed();
+    d.deploy_service([root](edomain::domain_core&, peer_id sn) {
+      return std::make_unique<vpn_service>(mix_seed(root ^ (0x1234ull << 48) ^ sn) | 1);
+    });
   }
   if (config.message_queue) {
     d.deploy_service([](edomain::domain_core& core, peer_id sn) {

@@ -1,0 +1,91 @@
+#include "scenario/scenario.h"
+
+#include <sstream>
+
+namespace interedge::scenario {
+
+slo_check check_max(std::string name, double observed, double bound) {
+  return {std::move(name), observed, bound, /*upper_bound=*/true, observed <= bound};
+}
+
+slo_check check_min(std::string name, double observed, double bound) {
+  return {std::move(name), observed, bound, /*upper_bound=*/false, observed >= bound};
+}
+
+bool scenario_report::passed() const {
+  for (const slo_check& c : checks) {
+    if (!c.pass) return false;
+  }
+  return !checks.empty();
+}
+
+namespace {
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+std::string scenario_report::to_json() const {
+  std::ostringstream os;
+  os << "{\"suite\":";
+  json_string(os, suite);
+  os << ",\"seed\":" << seed << ",\"behavior_digest\":\"" << std::hex << behavior_digest
+     << std::dec << "\",\"passed\":" << (passed() ? "true" : "false") << ",\"checks\":[";
+  bool first = true;
+  for (const slo_check& c : checks) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    json_string(os, c.name);
+    os << ",\"observed\":" << c.observed << ",\"bound\":" << c.bound << ",\"kind\":\""
+       << (c.upper_bound ? "max" : "min") << "\",\"pass\":" << (c.pass ? "true" : "false")
+       << '}';
+  }
+  os << "],\"stats\":{";
+  first = true;
+  for (const auto& [k, v] : stats) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, k);
+    os << ':' << v;
+  }
+  os << "},\"notes\":[";
+  first = true;
+  for (const std::string& n : notes) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, n);
+  }
+  os << "]}";
+  return os.str();
+}
+
+void behavior_digest::record(std::uint64_t from, std::uint64_t to, std::size_t size,
+                             std::int64_t at_ns) {
+  const std::uint64_t words[4] = {from, to, static_cast<std::uint64_t>(size),
+                                  static_cast<std::uint64_t>(at_ns)};
+  for (const std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (w >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  ++packets_;
+}
+
+void behavior_digest::attach(sim::simulation& net) {
+  net.set_tap([this, &net](sim::node_id from, sim::node_id to, const bytes& data) {
+    record(from, to, data.size(), net.now().time_since_epoch().count());
+  });
+}
+
+}  // namespace interedge::scenario

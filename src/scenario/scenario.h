@@ -1,0 +1,70 @@
+// Scenario verdicts and the behavioral digest (DESIGN.md §14).
+//
+// A suite run ends in a machine-readable scenario_report: named SLO checks
+// (observed value vs. bound, pass/fail), free-form stats, and a 64-bit
+// behavioral digest folded over every datagram the simulator moved —
+// (from, to, size, time), the same tuple the determinism tests compare.
+// Two runs of a suite with the same seed must produce byte-identical
+// reports; the digest is how the replay test asserts it cheaply.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "simnet/simulation.h"
+
+namespace interedge::scenario {
+
+// One SLO verdict line: pass iff observed respects the bound.
+struct slo_check {
+  std::string name;
+  double observed = 0.0;
+  double bound = 0.0;
+  bool upper_bound = true;  // true: observed <= bound; false: observed >= bound
+  bool pass = false;
+};
+
+// observed must stay at or below `bound` (latency, loss, shed fraction...).
+slo_check check_max(std::string name, double observed, double bound);
+// observed must reach at least `bound` (delivery ratio, shed coverage...).
+slo_check check_min(std::string name, double observed, double bound);
+
+struct scenario_report {
+  std::string suite;
+  std::uint64_t seed = 0;
+  std::uint64_t behavior_digest = 0;
+  std::vector<slo_check> checks;
+  // Raw observations that inform but don't gate the verdict (counts,
+  // ratios, quantiles) — keyed for the EXPERIMENTS.md tables.
+  std::map<std::string, double> stats;
+  std::vector<std::string> notes;
+
+  bool passed() const;
+  // Stable JSON: keys in fixed order, checks in insertion order — replay
+  // equality can compare the serialized form directly.
+  std::string to_json() const;
+};
+
+// FNV-1a accumulator over the simulator's behavioral trace. Packet bytes
+// vary run-to-run (fresh handshake keys), so the digest folds only the
+// (from, to, size, time) tuple — identical across same-seed runs.
+class behavior_digest {
+ public:
+  void record(std::uint64_t from, std::uint64_t to, std::size_t size, std::int64_t at_ns);
+  std::uint64_t value() const { return h_; }
+  std::uint64_t packets() const { return packets_; }
+
+  // Installs the digest as the simulation's tap. Replaces any existing tap
+  // (the deployment's settlement tap included) — suites attach after
+  // topology construction and don't assert on settlement.
+  void attach(sim::simulation& net);
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace interedge::scenario

@@ -1,0 +1,77 @@
+#include "scenario/workload.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace interedge::scenario {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view label) {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ root;
+  for (const char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  const std::uint64_t mixed = splitmix64(h);
+  return mixed == 0 ? 1 : mixed;
+}
+
+zipf_sampler::zipf_sampler(std::size_t n, double exponent, std::uint64_t seed)
+    : rng_(seed) {
+  if (n == 0) throw std::invalid_argument("zipf_sampler: n must be nonzero");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short
+}
+
+std::size_t zipf_sampler::next() {
+  const double u = rng_.uniform();
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<nanoseconds> poisson_arrivals(std::span<const rate_phase> phases,
+                                          std::uint64_t seed, std::size_t max_events) {
+  std::vector<nanoseconds> out;
+  rng r(seed);
+  for (const rate_phase& p : phases) {
+    if (p.rate_pps <= 0.0 || p.end <= p.begin) continue;
+    const double mean_gap_ns = 1e9 / p.rate_pps;
+    double t = static_cast<double>(p.begin.count());
+    const double end = static_cast<double>(p.end.count());
+    while (true) {
+      // Exponential inter-arrival: -ln(1-u) * mean. uniform() < 1 so the
+      // log argument is never zero.
+      t += -std::log(1.0 - r.uniform()) * mean_gap_ns;
+      if (t >= end) break;
+      out.push_back(nanoseconds(static_cast<std::int64_t>(t)));
+      if (out.size() >= max_events) {
+        throw std::invalid_argument("poisson_arrivals: schedule exceeds max_events");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace interedge::scenario

@@ -1,0 +1,61 @@
+// Seeded workload generators for the scenario engine (DESIGN.md §14).
+//
+// Every randomness source a suite uses hangs off one root seed through
+// derive_seed(root, label): two runs with the same root seed draw the same
+// arrival times, the same object popularity sequence, and the same attack
+// interleavings — the precondition for digest-identical replay. The
+// generators are pure (no ambient entropy, no wall clock): they emit plain
+// data (timestamps, ranks) that suites schedule onto the simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace interedge::scenario {
+
+// Stable per-(root, purpose) stream seed: FNV-1a over the label folded
+// into the root, then a splitmix64 finalizer so adjacent labels do not
+// produce correlated xoshiro states. Never returns 0 (rng treats seeds
+// uniformly, but callers use 0 as "unset").
+std::uint64_t derive_seed(std::uint64_t root, std::string_view label);
+
+// Zipf-distributed object popularity (CDN catalogs, topic fan-in): rank 0
+// is the hottest object. Sampling is a binary search over the precomputed
+// CDF — exact, not the rejection approximation, so a seed fully determines
+// the sequence.
+class zipf_sampler {
+ public:
+  // n objects, P(rank k) ∝ 1/(k+1)^exponent.
+  zipf_sampler(std::size_t n, double exponent, std::uint64_t seed);
+
+  std::size_t next();
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  rng rng_;
+};
+
+// One segment of a piecewise-constant arrival rate: `rate_pps` packets per
+// second over [begin, end). A flash crowd is two phases — baseline then a
+// spike at many times the rate.
+struct rate_phase {
+  nanoseconds begin{0};
+  nanoseconds end{0};
+  double rate_pps = 0.0;
+};
+
+// Open-loop Poisson arrivals over a phase schedule: exponential
+// inter-arrival times at each phase's rate, phases walked in order.
+// Returns absolute event times, sorted. `max_events` caps runaway
+// schedules (a suite asking for more is a bug, not a workload).
+std::vector<nanoseconds> poisson_arrivals(std::span<const rate_phase> phases,
+                                          std::uint64_t seed,
+                                          std::size_t max_events = 1u << 20);
+
+}  // namespace interedge::scenario

@@ -1,5 +1,6 @@
 #include "services/ddos.h"
 
+#include "common/rng.h"
 #include "common/serial.h"
 #include "crypto/kdf.h"
 #include "crypto/random.h"
@@ -10,8 +11,14 @@ void ddos_service::start(core::service_context& ctx) {
   protected_metric_.bind(ctx);
   denied_metric_.bind(ctx);
   rate_limited_metric_.bind(ctx);
+  spoof_rejected_metric_.bind(ctx);
+  invalidated_metric_.bind(ctx);
   secret_.resize(32);
-  crypto::random_bytes(secret_);
+  if (secret_seed_ != 0) {
+    rng(secret_seed_).fill(secret_);
+  } else {
+    crypto::random_bytes(secret_);
+  }
 }
 
 bytes ddos_service::token_for(core::edge_addr dest, core::edge_addr sender) const {
@@ -31,11 +38,20 @@ core::module_result ddos_service::handle_control(core::service_context& ctx,
   if (*op == ops::protect) {
     protected_.insert(*src);
     protected_metric_.add(ctx);
+    // Flows admitted before protection hold cached forward verdicts that
+    // now bypass default-deny — purge them so every in-flight connection
+    // re-faces admission.
+    ctx.invalidate_service(id());
+    invalidated_metric_.add(ctx);
     return core::module_result::deliver();
   }
   if (*op == ops::allow) {
     // Only the protected host itself can admit senders to its allowlist.
     if (!protected_.count(*src)) return core::module_result::drop();
+    // Symmetrically, a newly allowed sender may have cached drop verdicts
+    // from pre-allow denials — purge so its next packet is re-judged.
+    ctx.invalidate_service(id());
+    invalidated_metric_.add(ctx);
     try {
       reader r(pkt.payload);
       const core::edge_addr sender = r.u64();
@@ -86,9 +102,22 @@ core::module_result ddos_service::on_packet(core::service_context& ctx,
     bool admitted = false;
     auto allow_it = allowlist_.find(*dest);
     if (allow_it != allowlist_.end() && allow_it->second.count(sender)) {
-      admitted = true;
-    } else if (const auto token = get_skey_bytes(pkt.header, skey::auth_token)) {
-      admitted = ct_equal(*token, token_for(*dest, sender));
+      // uRPF-style spoof check for allowlist admission: a packet claiming
+      // `sender` must arrive over the adjacency this SN would use toward
+      // `sender` (the sender itself when host-attached, its gateway when
+      // relayed). Capability tokens skip this — they are unforgeable.
+      const auto reverse = ctx.next_hop(sender);
+      if (pkt.l3_src == sender || (reverse && *reverse == pkt.l3_src)) {
+        admitted = true;
+      } else {
+        ++spoof_rejected_;
+        spoof_rejected_metric_.add(ctx);
+      }
+    }
+    if (!admitted) {
+      if (const auto token = get_skey_bytes(pkt.header, skey::auth_token)) {
+        admitted = ct_equal(*token, token_for(*dest, sender));
+      }
     }
     if (!admitted) {
       ++denied_;
@@ -109,9 +138,23 @@ core::module_result ddos_service::on_packet(core::service_context& ctx,
 
   const auto hop = ctx.next_hop(*dest);
   if (!hop) return core::module_result::drop();
-  // Admitted traffic is deliberately NOT fast-path cached: the rate limit
-  // must see every packet.
-  if (protected_.count(*dest)) return core::module_result::forward(*hop);
+  // Admitted traffic is by default NOT fast-path cached: the rate limit
+  // must see every packet. With admit_cache_ttl_ms set, a short-TTL
+  // forward entry is installed instead — the flow rides the fast path
+  // between expiries (surviving slow-path saturation during an attack)
+  // and the rate limit re-checks it each time the entry ages out.
+  if (protected_.count(*dest)) {
+    core::module_result r = core::module_result::forward(*hop);
+    // Read lazily: operators set this via set_config after deploy.
+    const auto ttl_ms = std::stoul(ctx.config("admit_cache_ttl_ms", "0"));
+    if (ttl_ms > 0) {
+      core::decision d = core::decision::forward_to(*hop);
+      d.ttl = std::chrono::milliseconds(ttl_ms);
+      r.cache_inserts.emplace_back(
+          core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection}, d);
+    }
+    return r;
+  }
   core::module_result r = core::module_result::forward(*hop);
   r.cache_inserts.emplace_back(
       core::cache_key{pkt.l3_src, pkt.header.service, pkt.header.connection},

@@ -26,8 +26,12 @@ namespace interedge::services {
 class ddos_service final : public core::service_module {
  public:
   // rate_pps: per-(dest,sender) admitted packet rate; burst: bucket depth.
-  explicit ddos_service(double rate_pps = 1000.0, double burst = 100.0)
-      : rate_pps_(rate_pps), burst_(burst) {}
+  // secret_seed 0 draws the token secret from ambient entropy; nonzero
+  // derives it deterministically (seeded deployments — the token for a
+  // (dest, sender) pair is then replayable across same-seed runs).
+  explicit ddos_service(double rate_pps = 1000.0, double burst = 100.0,
+                        std::uint64_t secret_seed = 0)
+      : rate_pps_(rate_pps), burst_(burst), secret_seed_(secret_seed) {}
 
   ilp::service_id id() const override { return ilp::svc::ddos_protect; }
   std::string_view name() const override { return "ddos-protect"; }
@@ -42,6 +46,7 @@ class ddos_service final : public core::service_module {
   bool is_protected(core::edge_addr dest) const { return protected_.count(dest) > 0; }
   std::uint64_t denied() const { return denied_; }
   std::uint64_t rate_limited() const { return rate_limited_; }
+  std::uint64_t spoof_rejected() const { return spoof_rejected_; }
 
  private:
   struct bucket {
@@ -54,15 +59,24 @@ class ddos_service final : public core::service_module {
 
   double rate_pps_;
   double burst_;
+  std::uint64_t secret_seed_;
   bytes secret_;
+  // Config "admit_cache_ttl_ms" (default 0 = off, read lazily per packet):
+  // when set, admitted protected-flow packets install a TTL'd forward entry
+  // so legitimate connections ride the fast path while the slow path is
+  // saturated with attack traffic — the rate limit re-checks each time the
+  // entry ages out.
   std::set<core::edge_addr> protected_;
   std::map<core::edge_addr, std::set<core::edge_addr>> allowlist_;  // dest -> senders
   std::map<std::pair<core::edge_addr, core::edge_addr>, bucket> buckets_;
   std::uint64_t denied_ = 0;
   std::uint64_t rate_limited_ = 0;
+  std::uint64_t spoof_rejected_ = 0;
   counter_handle protected_metric_{"ddos.protected_hosts"};
   counter_handle denied_metric_{"ddos.denied"};
   counter_handle rate_limited_metric_{"ddos.rate_limited"};
+  counter_handle spoof_rejected_metric_{"ddos.spoof_rejected"};
+  counter_handle invalidated_metric_{"ddos.policy_invalidations"};
 };
 
 }  // namespace interedge::services

@@ -4,6 +4,29 @@
 
 namespace interedge::services {
 
+void mobility_service::start(core::service_context& ctx) {
+  announces_metric_.bind(ctx);
+  breadcrumbed_metric_.bind(ctx);
+  crumb_expired_metric_.bind(ctx);
+  invalidated_metric_.bind(ctx);
+}
+
+// True while the crumb is inside its grace period; expired crumbs are
+// erased on access (TTL 0 = crumbs never expire, the historical behavior).
+bool mobility_service::crumb_fresh(core::service_context& ctx, core::edge_addr host) {
+  auto it = breadcrumbs_.find(host);
+  if (it == breadcrumbs_.end()) return false;
+  // Read lazily: operators set this via set_config after deploy.
+  const nanoseconds ttl =
+      std::chrono::milliseconds(std::stoul(ctx.config("breadcrumb_ttl_ms", "0")));
+  if (ttl.count() > 0 && ctx.now() - it->second.installed >= ttl) {
+    breadcrumbs_.erase(it);
+    crumb_expired_metric_.add(ctx);
+    return false;
+  }
+  return true;
+}
+
 core::module_result mobility_service::handle_control(core::service_context& ctx,
                                                      const core::packet& pkt) {
   const auto op = pkt.header.meta_str(ilp::meta_key::control_op);
@@ -46,10 +69,17 @@ core::module_result mobility_service::handle_control(core::service_context& ctx,
     // sender is the packet's L3 source, an SN, not a host).
     try {
       reader r(pkt.payload);
-      breadcrumbs_[*src] = r.u64();
+      breadcrumbs_[*src] = {r.u64(), ctx.now()};
     } catch (const serial_error&) {
       return core::module_result::drop();
     }
+    // The host re-anchored: cached forward verdicts at this (old) SN still
+    // point flows at the stale attachment. Purge delivery and mobility
+    // entries so in-flight connections re-resolve through the refreshed
+    // lookup record (or this breadcrumb) instead of blackholing.
+    ctx.invalidate_service(ilp::svc::delivery);
+    ctx.invalidate_service(kId);
+    invalidated_metric_.add(ctx);
     return core::module_result::deliver();
   }
 
@@ -85,13 +115,12 @@ core::module_result mobility_service::on_packet(core::service_context& ctx,
   if (!dest) return core::module_result::drop();
 
   // Breadcrumb chase: the destination moved away from this SN.
-  auto crumb = breadcrumbs_.find(*dest);
-  if (crumb != breadcrumbs_.end()) {
+  if (crumb_fresh(ctx, *dest)) {
     ++breadcrumbed_;
     breadcrumbed_metric_.add(ctx);
     // NOT cached: the lookup record is already fresh, so new connections
     // route correctly; only stragglers take this path.
-    return core::module_result::forward(crumb->second);
+    return core::module_result::forward(breadcrumbs_.at(*dest).new_sn);
   }
 
   const auto hop = ctx.next_hop(*dest);

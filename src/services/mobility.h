@@ -39,10 +39,7 @@ class mobility_service final : public core::service_module {
   ilp::service_id id() const override { return kId; }
   std::string_view name() const override { return "mobility"; }
 
-  void start(core::service_context& ctx) override {
-    announces_metric_.bind(ctx);
-    breadcrumbed_metric_.bind(ctx);
-  }
+  void start(core::service_context& ctx) override;
   core::module_result on_packet(core::service_context& ctx, const core::packet& pkt) override;
 
   std::uint64_t announces() const { return announces_; }
@@ -52,14 +49,25 @@ class mobility_service final : public core::service_module {
  private:
   core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
 
+  bool crumb_fresh(core::service_context& ctx, core::edge_addr host);
+
   edomain::domain_core& core_;
   core::peer_id self_;
+  struct crumb_entry {
+    core::peer_id new_sn = 0;
+    time_point installed{};
+  };
   // host -> its new first-hop SN (left at the OLD SN after a move).
-  std::map<core::edge_addr, core::peer_id> breadcrumbs_;
+  // Config "breadcrumb_ttl_ms" (default 0 = never expire) bounds the grace
+  // period: stragglers past the TTL fall back to the (refreshed) lookup
+  // route instead of chasing a stale crumb forever.
+  std::map<core::edge_addr, crumb_entry> breadcrumbs_;
   std::uint64_t announces_ = 0;
   std::uint64_t breadcrumbed_ = 0;
   counter_handle announces_metric_{"mobility.announces"};
   counter_handle breadcrumbed_metric_{"mobility.breadcrumbed"};
+  counter_handle crumb_expired_metric_{"mobility.breadcrumbs_expired"};
+  counter_handle invalidated_metric_{"mobility.reanchor_invalidations"};
 };
 
 }  // namespace interedge::services

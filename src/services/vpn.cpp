@@ -1,5 +1,6 @@
 #include "services/vpn.h"
 
+#include "common/rng.h"
 #include "common/serial.h"
 #include "crypto/kdf.h"
 #include "crypto/random.h"
@@ -10,7 +11,11 @@ void vpn_service::start(core::service_context& ctx) {
   customers_metric_.bind(ctx);
   redirected_metric_.bind(ctx);
   secret_.resize(32);
-  crypto::random_bytes(secret_);
+  if (secret_seed_ != 0) {
+    rng(secret_seed_).fill(secret_);
+  } else {
+    crypto::random_bytes(secret_);
+  }
 }
 
 bytes vpn_service::token_for(core::edge_addr customer, core::edge_addr sender) const {

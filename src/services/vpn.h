@@ -23,6 +23,10 @@ namespace interedge::services {
 
 class vpn_service final : public core::service_module {
  public:
+  // secret_seed 0 = ambient entropy; nonzero derives the token secret
+  // deterministically for seeded deployments (scenario replay).
+  explicit vpn_service(std::uint64_t secret_seed = 0) : secret_seed_(secret_seed) {}
+
   ilp::service_id id() const override { return ilp::svc::vpn; }
   std::string_view name() const override { return "vpn"; }
 
@@ -37,6 +41,7 @@ class vpn_service final : public core::service_module {
  private:
   core::module_result handle_control(core::service_context& ctx, const core::packet& pkt);
 
+  std::uint64_t secret_seed_ = 0;
   bytes secret_;
   std::map<core::edge_addr, core::edge_addr> customers_;  // customer -> auth service
   std::uint64_t redirected_ = 0;

@@ -105,8 +105,9 @@ void simulation::schedule_faults(std::span<const fault_event> schedule) {
   }
 }
 
-std::vector<fault_event> simulation::parse_fault_schedule(const std::string& text) {
-  std::vector<fault_event> out;
+simulation::fault_parse_result simulation::parse_fault_schedule_checked(const std::string& text,
+                                                                        bool strict) {
+  fault_parse_result out;
   std::istringstream lines(text);
   std::string line;
   std::size_t line_no = 0;
@@ -115,20 +116,28 @@ std::vector<fault_event> simulation::parse_fault_schedule(const std::string& tex
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
 
+    bool bad = false;
+    auto fail = [&](const std::string& message) {
+      out.errors.push_back({line_no, message});
+      bad = true;
+    };
+
     std::istringstream fields(line);
     double at_ms = 0.0;
     std::string verb;
     if (!(fields >> at_ms >> verb)) {
-      throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
-                                  ": expected '<time_ms> <verb> ...'");
+      fail("expected '<time_ms> <verb> ...'");
+      continue;
+    }
+    if (at_ms < 0.0) {
+      fail("negative time " + std::to_string(at_ms) + "ms");
+      continue;
     }
     fault_event ev;
-    ev.at = std::chrono::duration_cast<nanoseconds>(std::chrono::duration<double, std::milli>(at_ms));
+    ev.at =
+        std::chrono::duration_cast<nanoseconds>(std::chrono::duration<double, std::milli>(at_ms));
     auto need = [&](auto&... vals) {
-      if (!((fields >> vals) && ...)) {
-        throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
-                                    ": missing operand for '" + verb + "'");
-      }
+      if (!((fields >> vals) && ...)) fail("missing or malformed operand for '" + verb + "'");
     };
     if (verb == "crash") {
       ev.kind = fault_kind::crash;
@@ -145,16 +154,41 @@ std::vector<fault_event> simulation::parse_fault_schedule(const std::string& tex
     } else if (verb == "loss") {
       ev.kind = fault_kind::loss;
       need(ev.a, ev.b, ev.value);
+      if (!bad && (ev.value < 0.0 || ev.value > 1.0)) {
+        fail("loss rate " + std::to_string(ev.value) + " outside [0, 1]");
+      }
     } else if (verb == "latency") {
       ev.kind = fault_kind::latency;
       need(ev.a, ev.b, ev.value);
+      if (!bad && ev.value < 0.0) {
+        fail("negative latency " + std::to_string(ev.value) + "ms");
+      }
     } else {
-      throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
-                                  ": unknown verb '" + verb + "'");
+      fail("unknown verb '" + verb + "'");
     }
-    out.push_back(ev);
+    if (!bad) {
+      // Anything left after the operands is garbage the old parser used to
+      // swallow silently ("10 crash 1 2" scheduling a crash of node 1).
+      std::string trailing;
+      if (fields >> trailing) fail("trailing garbage '" + trailing + "'");
+    }
+    if (!bad) out.events.push_back(ev);
   }
+  if (strict && !out.errors.empty()) out.events.clear();
   return out;
+}
+
+std::vector<fault_event> simulation::parse_fault_schedule(const std::string& text) {
+  fault_parse_result parsed = parse_fault_schedule_checked(text, /*strict=*/true);
+  if (!parsed.ok()) {
+    std::ostringstream what;
+    what << "fault schedule:";
+    for (const fault_parse_error& e : parsed.errors) {
+      what << " line " << e.line << ": " << e.message << ';';
+    }
+    throw std::invalid_argument(what.str());
+  }
+  return std::move(parsed.events);
 }
 
 // ---- datagram transport ------------------------------------------------

@@ -128,8 +128,29 @@ class simulation {
   //   <time_ms> loss <a> <b> <rate>
   //   <time_ms> latency <a> <b> <ms>
   // Blank lines and lines starting with '#' are ignored. Throws
-  // std::invalid_argument on malformed input.
+  // std::invalid_argument on malformed input, naming every bad line and
+  // its line number (the strict path — see parse_fault_schedule_checked
+  // for the collecting variant).
   static std::vector<fault_event> parse_fault_schedule(const std::string& text);
+
+  // Line-numbered diagnostics for one malformed schedule line.
+  struct fault_parse_error {
+    std::size_t line = 0;
+    std::string message;
+  };
+  struct fault_parse_result {
+    std::vector<fault_event> events;  // the well-formed lines, in order
+    std::vector<fault_parse_error> errors;
+    bool ok() const { return errors.empty(); }
+  };
+  // Checked parse: every malformed line (bad time, unknown verb, missing
+  // operand, out-of-range value, trailing garbage) produces a
+  // line-numbered error instead of being dropped on the floor. With
+  // strict=false the well-formed lines are still returned alongside the
+  // errors (a tool can warn and run what parsed); strict=true returns no
+  // events unless the whole schedule is clean. Never throws.
+  static fault_parse_result parse_fault_schedule_checked(const std::string& text,
+                                                         bool strict = false);
 
   // Runs events until the queue is empty or `limit` events have executed.
   // Returns the number of events executed.

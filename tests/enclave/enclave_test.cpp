@@ -23,6 +23,7 @@ class stub_context final : public core::service_context {
     return fallback;
   }
   void invalidate_connection(ilp::service_id, ilp::connection_id) override {}
+  void invalidate_service(ilp::service_id) override {}
   std::uint64_t cache_hit_count(const core::cache_key&) const override { return 0; }
   std::optional<core::peer_id> next_hop(core::edge_addr dest) const override { return dest; }
   metrics_registry& metrics() override { return metrics_; }

@@ -305,6 +305,76 @@ TEST(Simulation, FaultScheduleParserRejectsMalformedLines) {
   EXPECT_THROW(simulation::parse_fault_schedule("10 loss 0 1\n"), std::invalid_argument);
 }
 
+TEST(Simulation, CheckedFaultParseReportsLineNumbers) {
+  const auto parsed = simulation::parse_fault_schedule_checked(
+      "# comment counts toward numbering\n"
+      "10 crash 2\n"
+      "20 explode 1\n"
+      "\n"
+      "30 loss 0 1 1.5\n"
+      "40 heal 0 1\n"
+      "50 crash 3 junk\n");
+  EXPECT_FALSE(parsed.ok());
+  // Collecting mode: the clean lines still come back, in order (the
+  // trailing-garbage line is malformed, not "crash 3 with extras").
+  ASSERT_EQ(parsed.events.size(), 2u);
+  EXPECT_EQ(parsed.events[0].kind, fault_kind::crash);
+  EXPECT_EQ(parsed.events[1].kind, fault_kind::heal);
+  ASSERT_EQ(parsed.errors.size(), 3u);
+  EXPECT_EQ(parsed.errors[0].line, 3u);
+  EXPECT_NE(parsed.errors[0].message.find("unknown verb"), std::string::npos);
+  EXPECT_EQ(parsed.errors[1].line, 5u);
+  EXPECT_NE(parsed.errors[1].message.find("outside [0, 1]"), std::string::npos);
+  EXPECT_EQ(parsed.errors[2].line, 7u);
+  EXPECT_NE(parsed.errors[2].message.find("trailing garbage"), std::string::npos);
+}
+
+TEST(Simulation, CheckedFaultParseStrictReturnsNoEventsOnError) {
+  const auto strict = simulation::parse_fault_schedule_checked(
+      "10 crash 2\n"
+      "20 explode 1\n",
+      /*strict=*/true);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.events.empty());
+  ASSERT_EQ(strict.errors.size(), 1u);
+  EXPECT_EQ(strict.errors[0].line, 2u);
+
+  const auto clean = simulation::parse_fault_schedule_checked(
+      "10 crash 2\n"
+      "20 restart 2\n",
+      /*strict=*/true);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(clean.events.size(), 2u);
+}
+
+TEST(Simulation, CheckedFaultParseFlagsBadTimesAndOperands) {
+  const auto parsed = simulation::parse_fault_schedule_checked(
+      "-5 crash 1\n"
+      "oops crash 1\n"
+      "10 latency 0 1 -3\n"
+      "10 partition 1\n");
+  EXPECT_TRUE(parsed.events.empty());
+  ASSERT_EQ(parsed.errors.size(), 4u);
+  EXPECT_NE(parsed.errors[0].message.find("negative time"), std::string::npos);
+  EXPECT_NE(parsed.errors[1].message.find("expected"), std::string::npos);
+  EXPECT_NE(parsed.errors[2].message.find("negative latency"), std::string::npos);
+  EXPECT_NE(parsed.errors[3].message.find("malformed operand"), std::string::npos);
+}
+
+TEST(Simulation, ThrowingFaultParseNamesEveryBadLine) {
+  try {
+    simulation::parse_fault_schedule(
+        "10 crash 2\n"
+        "20 explode 1\n"
+        "30 loss 0 1 2.0\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
 TEST(Simulation, LossFaultAdjustsLinkBothWays) {
   simulation net(5);
   const node_id a = net.add_node([](node_id, const bytes&) {});

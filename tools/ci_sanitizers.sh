@@ -51,6 +51,15 @@ run_preset() {
   # against real stalled worker threads and the burn-rate page path.
   echo "== $preset: health plane + flight recorder (focused) =="
   ctest --preset "$preset" -R 'health_test|slo_health_test' --output-on-failure
+  # Scenario engine (ISSUE 9): the adversarial + churn suites drive every
+  # concurrent subsystem at once — sharded datapaths under flood-driven
+  # shed, the invalidation bus purging verdicts on protect/allow and
+  # peer-down, liveness teardown racing traffic during mobility_churn's
+  # crash, and the observability push path mid-page. asan owns the
+  # lifetime edges (pipes torn down with packets in flight), tsan the
+  # cross-thread verdict and metric flows.
+  echo "== $preset: scenario suites (focused) =="
+  ctest --preset "$preset" -R scenario_test --output-on-failure
 }
 
 case "${1:-all}" in
