@@ -1,0 +1,180 @@
+#include "common/prof_symbolize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <elf.h>
+#include <link.h>
+#endif
+
+namespace interedge::prof {
+
+namespace {
+
+std::string hex_of(std::uintptr_t v) {
+  char buf[2 + sizeof(v) * 2 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Trailing path component, for the "module+0xoff" fallback rendering.
+std::string basename_of(const std::string& path) {
+  auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+#ifdef __linux__
+
+symbolizer::symbolizer() {
+  // Snapshot the module map once. Profiled processes here don't dlopen
+  // mid-run; a PC outside every known module renders as hex.
+  dl_iterate_phdr(
+      [](struct dl_phdr_info* info, std::size_t, void* arg) -> int {
+        auto* mods = static_cast<std::vector<module>*>(arg);
+        module m;
+        m.base = info->dlpi_addr;
+        m.path = (info->dlpi_name != nullptr && info->dlpi_name[0] != '\0')
+                     ? info->dlpi_name
+                     : "/proc/self/exe";
+        std::uintptr_t lo = ~static_cast<std::uintptr_t>(0);
+        std::uintptr_t hi = 0;
+        for (int i = 0; i < info->dlpi_phnum; ++i) {
+          const auto& ph = info->dlpi_phdr[i];
+          if (ph.p_type != PT_LOAD || (ph.p_flags & PF_X) == 0) continue;
+          lo = std::min(lo, static_cast<std::uintptr_t>(ph.p_vaddr));
+          hi = std::max(hi, static_cast<std::uintptr_t>(ph.p_vaddr + ph.p_memsz));
+        }
+        if (hi == 0) return 0;  // no executable segment: vdso-like, skip
+        m.lo = m.base + lo;
+        m.hi = m.base + hi;
+        mods->push_back(std::move(m));
+        return 0;
+      },
+      &modules_);
+}
+
+std::string symbolizer::demangle(const char* name) {
+  int status = 0;
+  char* d = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  if (status == 0 && d != nullptr) {
+    std::string out{d};
+    std::free(d);
+    return out;
+  }
+  std::free(d);
+  return name;
+}
+
+symbolizer::module* symbolizer::module_of(std::uintptr_t pc) {
+  for (auto& m : modules_) {
+    if (pc >= m.lo && pc < m.hi) return &m;
+  }
+  return nullptr;
+}
+
+// Parses .symtab (and .dynsym, for completeness) of the module's backing
+// file into a sorted function list. File I/O happens once per module, on
+// the first PC that dladdr couldn't name.
+void symbolizer::load_symtab(module& m) {
+  m.symtab_loaded = true;
+  std::FILE* f = std::fopen(m.path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size <= static_cast<long>(sizeof(ElfW(Ehdr)))) {
+    std::fclose(f);
+    return;
+  }
+  std::vector<unsigned char> buf(static_cast<std::size_t>(size));
+  std::fseek(f, 0, SEEK_SET);
+  std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (got != buf.size()) return;
+
+  const auto* eh = reinterpret_cast<const ElfW(Ehdr)*>(buf.data());
+  if (std::memcmp(eh->e_ident, ELFMAG, SELFMAG) != 0) return;
+  if (eh->e_shoff == 0 || eh->e_shoff + std::uint64_t{eh->e_shnum} * eh->e_shentsize > buf.size())
+    return;
+  const auto* sh = reinterpret_cast<const ElfW(Shdr)*>(buf.data() + eh->e_shoff);
+
+  for (int i = 0; i < eh->e_shnum; ++i) {
+    if (sh[i].sh_type != SHT_SYMTAB && sh[i].sh_type != SHT_DYNSYM) continue;
+    if (sh[i].sh_link >= eh->e_shnum) continue;
+    const auto& strs = sh[sh[i].sh_link];
+    if (sh[i].sh_offset + sh[i].sh_size > buf.size() ||
+        strs.sh_offset + strs.sh_size > buf.size())
+      continue;
+    const char* strtab = reinterpret_cast<const char*>(buf.data() + strs.sh_offset);
+    const auto* syms = reinterpret_cast<const ElfW(Sym)*>(buf.data() + sh[i].sh_offset);
+    std::size_t count = sh[i].sh_size / sizeof(ElfW(Sym));
+    for (std::size_t s = 0; s < count; ++s) {
+      if (ELF64_ST_TYPE(syms[s].st_info) != STT_FUNC) continue;
+      if (syms[s].st_value == 0 || syms[s].st_name >= strs.sh_size) continue;
+      const char* nm = strtab + syms[s].st_name;
+      if (nm[0] == '\0') continue;
+      m.syms.push_back({static_cast<std::uintptr_t>(syms[s].st_value),
+                        static_cast<std::uintptr_t>(syms[s].st_size), nm});
+    }
+  }
+  std::sort(m.syms.begin(), m.syms.end(),
+            [](const module::sym& a, const module::sym& b) { return a.addr < b.addr; });
+  // Collapse duplicates (a function present in both .symtab and .dynsym).
+  m.syms.erase(std::unique(m.syms.begin(), m.syms.end(),
+                           [](const module::sym& a, const module::sym& b) {
+                             return a.addr == b.addr && a.name == b.name;
+                           }),
+               m.syms.end());
+}
+
+std::string symbolizer::resolve(std::uintptr_t pc) {
+  Dl_info info{};
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 && info.dli_sname != nullptr) {
+    return demangle(info.dli_sname);
+  }
+  module* m = module_of(pc);
+  if (m == nullptr) return hex_of(pc);
+  if (!m->symtab_loaded) load_symtab(*m);
+  // dlpi_addr is the relocation base: 0 for ET_EXEC (st_value is already
+  // absolute), the load bias for ET_DYN — pc - base works for both.
+  std::uintptr_t rel = pc - m->base;
+  auto it = std::upper_bound(m->syms.begin(), m->syms.end(), rel,
+                             [](std::uintptr_t v, const module::sym& s) { return v < s.addr; });
+  if (it != m->syms.begin()) {
+    --it;
+    // st_size 0 (assembly, some compiler stubs) still matches if this is
+    // the nearest preceding symbol; bound the slop to 4 KiB.
+    std::uintptr_t span = it->size != 0 ? it->size : 4096;
+    if (rel >= it->addr && rel < it->addr + span) return demangle(it->name.c_str());
+  }
+  return basename_of(m->path) + "+" + hex_of(rel);
+}
+
+std::string symbolizer::name_of(std::uintptr_t pc, bool return_address) {
+  // A return address points one past the call; resolve the call itself.
+  std::uintptr_t lookup = (return_address && pc != 0) ? pc - 1 : pc;
+  auto it = cache_.find(lookup);
+  if (it != cache_.end()) return it->second;
+  std::string name = resolve(lookup);
+  cache_.emplace(lookup, name);
+  return name;
+}
+
+#else  // !__linux__
+
+symbolizer::symbolizer() = default;
+std::string symbolizer::name_of(std::uintptr_t pc, bool) { return hex_of(pc); }
+symbolizer::module* symbolizer::module_of(std::uintptr_t) { return nullptr; }
+void symbolizer::load_symtab(module&) {}
+std::string symbolizer::demangle(const char* name) { return name; }
+std::string symbolizer::resolve(std::uintptr_t pc) { return hex_of(pc); }
+
+#endif
+
+}  // namespace interedge::prof

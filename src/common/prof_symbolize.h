@@ -1,0 +1,63 @@
+// PC -> function-name resolution for the sampling profiler (ISSUE 10).
+// Drain-thread-side only — nothing here is async-signal-safe.
+//
+// Resolution order per PC:
+//   1. dladdr: covers everything in .dynsym (exported functions, shared
+//      library code).
+//   2. ELF .symtab of the containing module: covers static/local
+//      functions the dynamic symbol table never sees — the common case
+//      in a statically-linked -O2 binary. Modules are discovered via
+//      dl_iterate_phdr (the main executable's path comes from
+//      /proc/self/exe) and their symbol tables parsed lazily, once.
+//   3. "module+0xoff" when both miss.
+// C++ names are demangled (abi::__cxa_demangle) and results are cached,
+// so repeated exports only pay hash lookups.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace interedge::prof {
+
+class symbolizer {
+ public:
+  symbolizer();
+
+  // Resolves the *call site* for a return address: pass the raw frame PC
+  // and whether it is a return address (every frame but the innermost) —
+  // return addresses are looked up at pc-1 so a call as the last
+  // instruction of a function doesn't resolve into its successor.
+  std::string name_of(std::uintptr_t pc, bool return_address = false);
+
+  // Cache statistics (tests).
+  std::size_t cached() const { return cache_.size(); }
+  std::size_t modules() const { return modules_.size(); }
+
+ private:
+  struct module {
+    std::uintptr_t base = 0;  // dlpi_addr relocation base
+    std::uintptr_t lo = 0;    // lowest/highest mapped PT_LOAD vaddr
+    std::uintptr_t hi = 0;
+    std::string path;
+    bool symtab_loaded = false;
+    // Sorted by addr for binary search; addr is module-relative.
+    struct sym {
+      std::uintptr_t addr;
+      std::uintptr_t size;
+      std::string name;
+    };
+    std::vector<sym> syms;
+  };
+
+  std::string resolve(std::uintptr_t pc);
+  module* module_of(std::uintptr_t pc);
+  static void load_symtab(module& m);
+  static std::string demangle(const char* name);
+
+  std::vector<module> modules_;
+  std::map<std::uintptr_t, std::string> cache_;
+};
+
+}  // namespace interedge::prof

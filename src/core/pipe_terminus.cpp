@@ -1,6 +1,7 @@
 #include "core/pipe_terminus.h"
 
 #include "common/logging.h"
+#include "common/prof.h"
 
 namespace interedge::core {
 
@@ -221,6 +222,7 @@ void pipe_terminus::handle_batch(std::span<packet_view> pkts) { handle_batch_imp
 template <typename P>
 void pipe_terminus::handle_batch_impl(std::span<P> pkts) {
   trace::span batch_span(trace::stage::ingress);
+  prof::cycle_scope cyc(prof::cycle_stage::terminus);
   // One atomic claims the whole batch's sampler sequence range; per packet
   // the sampling decision is then a mask compare on a register.
   std::uint64_t sample_base = 0;
@@ -314,6 +316,7 @@ void pipe_terminus::handle_batch_impl(std::span<P> pkts) {
   // Drain the slow-path channel once per batch, not once per packet.
   if (submitted) {
     trace::span drain_span(trace::stage::slowpath);
+    prof::cycle_scope cys(prof::cycle_stage::slowpath);
     pump();
   }
 

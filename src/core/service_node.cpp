@@ -1,6 +1,7 @@
 #include "core/service_node.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "common/cpu_topology.h"
@@ -140,6 +141,18 @@ service_node::service_node(sn_config config, const clock& clk, send_datagram_fn 
     liveness_running_ = true;
     schedule_liveness_tick();
   }
+  if (config_.profiler_hz > 0) {
+    profiler_ = std::make_unique<prof::profiler>(
+        prof::profiler_config{.sample_hz = config_.profiler_hz,
+                              .ring_slots = config_.profiler_ring_slots,
+                              .max_stacks = config_.profiler_max_stacks,
+                              .force_timer = config_.profiler_force_timer});
+    // The constructing thread is the control thread (it owns the event
+    // loop, the slow path and the egress drain); bind it now, arm
+    // immediately — worker shards self-register as they start.
+    profiler_->register_current_thread("control");
+    profiler_->arm();
+  }
   pipes_.set_batch_deliver([this](peer_id from, std::span<ilp::opened_packet> pkts) {
     // Zero-copy dispatch: the terminus consumes views aliasing the opened
     // payloads (decrypt arena or ingress slab). Only slow-path detours copy
@@ -163,6 +176,10 @@ service_node::~service_node() {
     }
     if (sh->thread.joinable()) sh->thread.join();
   }
+  // Workers unregistered themselves on the way out; release the control
+  // thread's slot too (the destructing thread is the one that registered
+  // in the constructor — the SN lifecycle contract).
+  if (profiler_) profiler_->unregister_current_thread();
 }
 
 // ---- multi-core datapath (DESIGN.md §9) ------------------------------
@@ -328,6 +345,7 @@ void service_node::steer(std::span<std::pair<peer_id, bytes>> datagrams) {
 }
 
 void service_node::steer_data_run(peer_id from, std::span<std::pair<peer_id, bytes>> run) {
+  prof::cycle_scope sc(prof::cycle_stage::peek_steer);
   ilp::pipe* p = pipes_.pipe_for(from);
   if (p == nullptr) {
     // Data before any pipe: the inline path counts and logs the drop.
@@ -392,6 +410,7 @@ void service_node::steer_views(std::span<std::pair<peer_id, buf::pkt_view>> data
 
 void service_node::steer_data_run_views(peer_id from,
                                         std::span<std::pair<peer_id, buf::pkt_view>> run) {
+  prof::cycle_scope sc(prof::cycle_stage::peek_steer);
   ilp::pipe* p = pipes_.pipe_for(from);
   if (p == nullptr) {
     for (auto& [peer, view] : run) pipes_.on_datagram(peer, view.span());
@@ -429,6 +448,7 @@ void service_node::steer_data_run_views(peer_id from,
 
 std::size_t service_node::drain_egress() {
   if (egress_paused_.load(std::memory_order_acquire)) return 0;
+  prof::cycle_scope sc(prof::cycle_stage::egress);
   std::size_t n = 0;
   for (auto& shp : shards_) {
     worker_shard& sh = *shp;
@@ -445,6 +465,7 @@ std::size_t service_node::drain_egress() {
 }
 
 std::size_t service_node::poll() {
+  prof::scoped_cycle_set cy(&control_cycles_);
   if (shards_.empty()) {
     const std::size_t n = terminus_->pump();
     if (n > 0) terminus_->flush_telemetry();
@@ -531,6 +552,12 @@ void service_node::worker_main(std::size_t shard) {
     sys::pin_thread_to_cpu(worker_cpu_assign_[shard]);
   }
   trace::scoped_tracer st(&sh.tracer);
+  prof::scoped_cycle_set cycles(&sh.cycles);
+  if (profiler_) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "shard%zu", shard);
+    profiler_->register_current_thread(name);
+  }
   std::uint32_t idle_spins = 0;
   while (!sh.stop.load(std::memory_order_acquire)) {
     // Fault-injection stall: spin without advancing the heartbeat or
@@ -640,6 +667,9 @@ void service_node::worker_main(std::size_t shard) {
     sh.parked.store(false, std::memory_order_release);
     idle_spins = 0;
   }
+  // Unbind from the sampler on the owning thread (the only place the TLS
+  // gate can be cleared race-free); tail samples fold in here.
+  if (profiler_) profiler_->unregister_current_thread();
 }
 
 void service_node::invalidate_connection(ilp::service_id service, ilp::connection_id conn) {
@@ -684,6 +714,7 @@ metrics_registry& service_node::shard_metrics(std::size_t shard) { return shards
 // ---- ingress entry points --------------------------------------------
 
 void service_node::on_datagram(peer_id from, const_byte_span datagram) {
+  prof::scoped_cycle_set cy(&control_cycles_);
   if (!shards_.empty()) {
     copy_scratch_.clear();
     copy_scratch_.emplace_back(from, bytes(datagram.begin(), datagram.end()));
@@ -696,6 +727,7 @@ void service_node::on_datagram(peer_id from, const_byte_span datagram) {
 
 void service_node::on_datagram_batch(peer_id from,
                                      std::span<const const_byte_span> datagrams) {
+  prof::scoped_cycle_set cy(&control_cycles_);
   if (!shards_.empty()) {
     copy_scratch_.clear();
     copy_scratch_.reserve(datagrams.size());
@@ -710,6 +742,7 @@ void service_node::on_datagram_batch(peer_id from,
 }
 
 void service_node::on_datagrams(std::span<std::pair<peer_id, bytes>> datagrams) {
+  prof::scoped_cycle_set cy(&control_cycles_);
   if (!shards_.empty()) {
     steer(datagrams);
     return;
@@ -718,6 +751,7 @@ void service_node::on_datagrams(std::span<std::pair<peer_id, bytes>> datagrams) 
 }
 
 void service_node::on_datagrams(std::span<const std::pair<peer_id, bytes>> datagrams) {
+  prof::scoped_cycle_set cy(&control_cycles_);
   if (!shards_.empty()) {
     copy_scratch_.assign(datagrams.begin(), datagrams.end());
     steer(copy_scratch_);
@@ -741,6 +775,7 @@ void service_node::on_datagrams(std::span<const std::pair<peer_id, bytes>> datag
 }
 
 void service_node::on_datagram_views(std::span<std::pair<peer_id, buf::pkt_view>> datagrams) {
+  prof::scoped_cycle_set cy(&control_cycles_);
   if (!shards_.empty()) {
     steer_views(datagrams);
     return;
@@ -830,6 +865,7 @@ void service_node::schedule_stats_tick(
 }
 
 slowpath_response service_node::handle_slowpath(slowpath_request req) {
+  prof::cycle_scope sc(prof::cycle_stage::slowpath);
   // Deadline gate: a request that aged past its budget (e.g. behind a
   // slow module) is dropped rather than dispatched — its sender has long
   // since shed or moved on, and stale verdicts must not be installed.
@@ -1146,6 +1182,10 @@ void service_node::health_tick() {
   }
 
   refresh_health_gauges();
+  // Profiler drain + hot-stack snapshot BEFORE the SLO pass: a burn-rate
+  // page or watchdog freeze this tick then dumps a postmortem whose
+  // hot-stack table covers the samples leading up to the fault.
+  profile_tick();
 
   // Merged cumulative snapshot into the sliding-window ring; the SLO pass
   // reads the windows the tick just updated.
@@ -1184,8 +1224,70 @@ void service_node::health_tick() {
   }
 }
 
+void service_node::profile_tick() {
+  if (!profiler_) return;
+  profiler_->drain();
+  // Render the top-N table now, on the control thread, and publish it
+  // lock-free: a freeze-path dump_blackbox_json (any thread) only loads
+  // the shared_ptr — it never touches the profiler's aggregation mutex.
+  hot_stacks_snapshot_.store(std::make_shared<const std::string>(
+                                 profiler_->hot_stacks_json(config_.profiler_top_n)),
+                             std::memory_order_release);
+  metrics_.get_gauge("sn.profile.samples").set(static_cast<std::int64_t>(profiler_->total_samples()));
+  metrics_.get_gauge("sn.profile.dropped").set(static_cast<std::int64_t>(profiler_->total_dropped()));
+
+  // Per-stage cycle shares: delta since the last tick over control +
+  // every shard's cycle set, as percent of all attributed cycles. The
+  // cheap cross-check for the sampled stacks (DESIGN.md §15).
+  std::array<std::uint64_t, prof::kCycleStageCount> cur{};
+  for (std::size_t s = 0; s < prof::kCycleStageCount; ++s) {
+    cur[s] = control_cycles_.self[s].load(std::memory_order_relaxed);
+    for (const auto& sh : shards_) cur[s] += sh->cycles.self[s].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_delta = 0;
+  for (std::size_t s = 0; s < prof::kCycleStageCount; ++s) {
+    total_delta += cur[s] - last_stage_cycles_[s];
+  }
+  if (total_delta > 0) {
+    for (std::size_t s = 0; s < prof::kCycleStageCount; ++s) {
+      const std::uint64_t delta = cur[s] - last_stage_cycles_[s];
+      metrics_
+          .get_gauge("sn.profile.stage_share",
+                     {{"stage", prof::cycle_stage_name(static_cast<prof::cycle_stage>(s))}})
+          .set(static_cast<std::int64_t>(100 * delta / total_delta));
+    }
+  }
+  last_stage_cycles_ = cur;
+}
+
+void service_node::profile_refresh() { profile_tick(); }
+
+std::string service_node::export_profile_folded() {
+  if (!profiler_) return "";
+  profiler_->drain();
+  return profiler_->folded();
+}
+
+std::string service_node::export_profile_json() {
+  if (!profiler_) return "{}";
+  profiler_->drain();
+  return profiler_->export_json();
+}
+
 std::string service_node::dump_blackbox_json() const {
-  return blackbox_ ? blackbox_->dump_json() : std::string("{}");
+  std::string out = blackbox_ ? blackbox_->dump_json() : std::string("{}");
+  // Splice the last-published hot-stack table into the postmortem. The
+  // load is lock-free (freeze hooks run on whichever thread tripped the
+  // trigger and must never block); "[]" when the profiler is disarmed or
+  // hasn't ticked yet.
+  std::shared_ptr<const std::string> snap = hot_stacks_snapshot_.load(std::memory_order_acquire);
+  const std::string hot = (profiler_ && snap) ? *snap : std::string("[]");
+  auto close = out.rfind('}');
+  if (close != std::string::npos) {
+    const bool empty_obj = close > 0 && out[close - 1] == '{';
+    out.insert(close, (empty_obj ? "\"hot_stacks\":" : ",\"hot_stacks\":") + hot);
+  }
+  return out;
 }
 
 void service_node::inject_worker_stall(std::size_t shard, bool on) {

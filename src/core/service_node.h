@@ -28,6 +28,7 @@
 //                   the slow path still run on the control thread.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -46,6 +47,7 @@
 #include "common/clock.h"
 #include "common/flight_recorder.h"
 #include "common/metrics.h"
+#include "common/prof.h"
 #include "common/ring.h"
 #include "common/slo.h"
 #include "common/timeseries.h"
@@ -135,6 +137,22 @@ struct sn_config {
   // Which faults freeze the black box (common/flight_recorder.h bits).
   std::uint32_t blackbox_triggers = kTrigPeerDown | kTrigFailover | kTrigShed | kTrigSloPage |
                                     kTrigWatchdog | kTrigManual;
+
+  // ---- continuous profiling plane (ISSUE 10, DESIGN.md §15) ----
+  // On-CPU sampling rate in Hz per thread; 0 disables the profiler
+  // entirely (no signal handler, no slot claims, no datapath cost beyond
+  // the always-compiled cycle scopes' TLS checks). The prime default in
+  // prof.h (97) is what deployments that arm it should use.
+  std::uint32_t profiler_hz = 0;
+  // Per-thread raw-sample ring slots (a full ring is a counted drop).
+  std::size_t profiler_ring_slots = 256;
+  // Aggregated stack-table cap across all threads.
+  std::size_t profiler_max_stacks = 2048;
+  // Hot stacks embedded in the black-box postmortem / snapshot JSON.
+  std::size_t profiler_top_n = 10;
+  // Skip the perf_event_open probe and use the CPU-clock timer backend
+  // (deterministic backend choice for tests; see prof.h).
+  bool profiler_force_timer = false;
 };
 
 class service_node final : public node_services {
@@ -351,7 +369,27 @@ class service_node final : public node_services {
   // The black-box flight recorder (null when blackbox_capacity == 0).
   flight_recorder* blackbox() { return blackbox_.get(); }
   // Postmortem dump (empty JSON object when the recorder is disabled).
+  // With the profiler armed, the dump carries a "hot_stacks" table — the
+  // top-N snapshot last rendered by a health tick / profile_refresh(),
+  // read lock-free so a freeze-path dump never blocks on profiler state.
   std::string dump_blackbox_json() const;
+
+  // ---- continuous profiling plane (ISSUE 10, DESIGN.md §15) ----
+
+  // Null when profiler_hz == 0. Worker shards self-register as shard<k>;
+  // the constructing (control) thread registers as "control".
+  prof::profiler* profiler() { return profiler_.get(); }
+
+  // Drains pending samples and refreshes the postmortem hot-stack
+  // snapshot — what a health tick does, callable on demand (tools, tests,
+  // pre-dump). Control-thread side; no-op without a profiler.
+  void profile_refresh();
+
+  // FlameGraph-collapsed folded stacks / profile JSON after an implicit
+  // drain (empty string / "{}" without a profiler). The exposition
+  // counterparts of export_prometheus for the profiling plane.
+  std::string export_profile_folded();
+  std::string export_profile_json();
 
   // Fault-injection hook (tests, chaos drills): while on, shard
   // `shard`'s worker spins without advancing its heartbeat or consuming
@@ -422,6 +460,10 @@ class service_node final : public node_services {
     alignas(64) std::atomic<std::uint64_t> heartbeat{0};
     std::atomic<bool> stall{false};
 
+    // Per-stage rdtsc self-time, written by this shard's cycle scopes,
+    // read by the health tick (relaxed atomics inside).
+    prof::cycle_set cycles;
+
     std::atomic<bool> stop{false};
     std::atomic<bool> parked{false};
     std::mutex doorbell_mu;
@@ -456,6 +498,9 @@ class service_node final : public node_services {
   // Point-in-time saturation/loss gauges (ring depths, slow-path lag,
   // tracer drop accounting) refreshed before any snapshot leaves the node.
   void refresh_health_gauges();
+  // Profiler drain + hot-stack snapshot + per-stage cycle-share gauges,
+  // folded into every health tick before the merged snapshot is taken.
+  void profile_tick();
 
   // Parallel-mode plumbing.
   void start_workers();
@@ -521,6 +566,16 @@ class service_node final : public node_services {
   std::uint64_t watchdog_stalls_ = 0;
   std::uint64_t last_shed_total_ = 0;  // shed-watermark trigger edge detector
   std::vector<slo::slo_alert> health_alert_scratch_;
+
+  // ---- continuous profiling plane state (ISSUE 10) ----
+  std::unique_ptr<prof::profiler> profiler_;
+  prof::cycle_set control_cycles_;  // control-thread stage cycles
+  // Rendered top-N hot-stack JSON, refreshed by profile_tick(). The
+  // freeze-path postmortem dump loads it lock-free — rendering (which
+  // takes the profiler mutex) never happens on a freeze path.
+  std::atomic<std::shared_ptr<const std::string>> hot_stacks_snapshot_;
+  // Per-stage cycle baselines for the share gauges (control thread only).
+  std::array<std::uint64_t, prof::kCycleStageCount> last_stage_cycles_{};
 
   // Batch-path scratch, reused across calls.
   std::vector<trace::path_span> span_drain_scratch_;

@@ -38,7 +38,9 @@ peer_id deployment::add_sn(edomain_id domain) {
                       .slowpath_deadline = config_.sn_slowpath_deadline,
                       .slowpath_high_water = config_.sn_slowpath_high_water,
                       .shed_ttl = config_.sn_shed_ttl,
-                      .blackbox_capacity = config_.sn_blackbox_capacity},
+                      .blackbox_capacity = config_.sn_blackbox_capacity,
+                      .profiler_hz = config_.sn_profiler_hz,
+                      .profiler_force_timer = config_.sn_profiler_force_timer},
       net_.sim_clock(),
       [this, node](peer_id to, bytes datagram) {
         net_.send(node, static_cast<sim::node_id>(to), std::move(datagram));

@@ -68,6 +68,16 @@ struct deployment_config {
   bool sn_numa_aware = false;
   // Bound for each shard's worker-private egress spill deque.
   std::size_t sn_egress_spill_max = 4096;
+
+  // ---- continuous profiling plane (ISSUE 10), forwarded to sn_config ----
+  // On-CPU sampling Hz per SN thread; 0 (the default) leaves the profiler
+  // off, so simulator topologies and scenario suites pay nothing unless a
+  // deployment opts in. Sampling never touches simulated behavior (the
+  // SIGPROF handler only reads stacks; SA_RESTART hides it from syscalls)
+  // — the scenario determinism guard asserts exactly that.
+  std::uint32_t sn_profiler_hz = 0;
+  // Deterministic backend choice for tests (prof.h: skip the perf probe).
+  bool sn_profiler_force_timer = false;
 };
 
 struct host_identity {

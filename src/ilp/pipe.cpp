@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/prof.h"
 #include "common/serial.h"
 #include "common/trace.h"
 #include "crypto/kdf.h"
@@ -80,6 +81,7 @@ std::optional<std::pair<ilp_header, bytes>> rx_core::open(const_byte_span body,
 std::size_t rx_core::decrypt_batch(std::span<const const_byte_span> bodies,
                                    std::vector<std::optional<opened_packet>>& out,
                                    pipe_stats& stats) {
+  prof::cycle_scope cyc(prof::cycle_stage::decrypt);
   const std::size_t n = bodies.size();
   out.clear();
   out.resize(n);
@@ -166,6 +168,7 @@ std::size_t rx_core::decrypt_batch(std::span<const const_byte_span> bodies,
 std::size_t rx_core::decrypt_batch_mut(std::span<const byte_span> bodies,
                                        std::vector<std::optional<opened_packet>>& out,
                                        pipe_stats& stats) {
+  prof::cycle_scope cyc(prof::cycle_stage::decrypt);
   const std::size_t n = bodies.size();
   out.clear();
   out.resize(n);

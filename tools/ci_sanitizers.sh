@@ -51,6 +51,14 @@ run_preset() {
   # against real stalled worker threads and the burn-rate page path.
   echo "== $preset: health plane + flight recorder (focused) =="
   ctest --preset "$preset" -R 'health_test|slo_health_test' --output-on-failure
+  # Profiling plane (ISSUE 10): an async-signal handler writing per-thread
+  # SPSC rings while the control thread drains and tears threads down.
+  # ConcurrentSamplingDrainAndTeardown fires live SIGPROF at 1993Hz into
+  # spinning workers under concurrent drain — tsan proves the handler
+  # touches nothing but the ring's atomics and its slot memory, asan that
+  # teardown never races a late signal into freed memory.
+  echo "== $preset: sampling profiler (focused) =="
+  ctest --preset "$preset" -R prof_test --output-on-failure
   # Scenario engine (ISSUE 9): the adversarial + churn suites drive every
   # concurrent subsystem at once — sharded datapaths under flood-driven
   # shed, the invalidation bus purging verdicts on protect/allow and
